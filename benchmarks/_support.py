@@ -1,0 +1,17 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def total_costs(result) -> dict[str, float]:
+    """Total simulated cost per program version."""
+    return {series.version: series.total_cost() for series in result.series}
+
+
+def total_seconds(result) -> dict[str, float]:
+    return {series.version: series.total_seconds() for series in result.series}
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run a figure sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)

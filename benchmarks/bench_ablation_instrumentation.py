@@ -1,0 +1,88 @@
+"""Ablation: the Sec. 5 instrumentation refinements, quantified.
+
+The paper motivates each refinement with a cost it removes:
+
+* Figure 4 (naive): *every* elementary update performs an RRR lookup —
+  including updates to objects never involved in any materialization;
+* Sec. 5.1 (SchemaDepFct): updates of irrelevant *attributes* stop
+  notifying, but updates of "innocent" objects of relevant types (the
+  paper's lone Vertex id111) still pay the lookup;
+* Sec. 5.2 (ObjDepFct): only updates of objects actually marked as
+  involved reach the GMR manager.
+
+This benchmark drives updates of *uninvolved* vertices and counts GMR
+manager invocations per level — the quantified version of the paper's
+"terrible penalty upon geometric transformations of innocent objects".
+"""
+
+from _support import run_once
+
+from repro import InstrumentationLevel, ObjectBase
+from repro.domains.geometry import (
+    build_geometry_schema,
+    build_figure2_database,
+    create_vertex,
+)
+
+
+def _manager_calls_for_innocent_updates(level, updates=200):
+    db = ObjectBase(level=level)
+    build_geometry_schema(db)
+    build_figure2_database(db)
+    db.materialize([("Cuboid", "volume")])
+    lone_vertices = [create_vertex(db, float(i), 0.0, 0.0) for i in range(20)]
+    before = db.gmr_manager.stats.snapshot()
+    for index in range(updates):
+        lone_vertices[index % len(lone_vertices)].set_X(float(index))
+    delta = db.gmr_manager.stats.delta(before)
+    return delta.invalidate_calls
+
+
+def test_naive_pays_for_every_update(benchmark):
+    calls = benchmark.pedantic(
+        lambda: _manager_calls_for_innocent_updates(InstrumentationLevel.NAIVE),
+        rounds=1,
+        iterations=1,
+    )
+    assert calls == 200  # one RRR lookup per update
+
+
+def test_schema_dep_still_pays_for_relevant_types(benchmark):
+    calls = benchmark.pedantic(
+        lambda: _manager_calls_for_innocent_updates(
+            InstrumentationLevel.SCHEMA_DEP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Vertex.set_X is in SchemaDepFct(volume): innocent vertices still
+    # trigger lookups — the problem Sec. 5.2 solves.
+    assert calls == 200
+
+
+def test_obj_dep_eliminates_innocent_lookups(benchmark):
+    calls = benchmark.pedantic(
+        lambda: _manager_calls_for_innocent_updates(
+            InstrumentationLevel.OBJ_DEP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert calls == 0
+
+
+def test_schema_dep_skips_irrelevant_attributes(benchmark):
+    """set_Value never notifies at SCHEMA_DEP or above (Sec. 5.1)."""
+
+    def run():
+        db = ObjectBase(level=InstrumentationLevel.SCHEMA_DEP)
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        db.materialize([("Cuboid", "volume")])
+        before = db.gmr_manager.stats.snapshot()
+        for index in range(200):
+            fixture.cuboids[index % 3].set_Value(float(index))
+        return db.gmr_manager.stats.delta(before).invalidate_calls
+
+    calls = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert calls == 0

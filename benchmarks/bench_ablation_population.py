@@ -1,0 +1,98 @@
+"""Ablation: complete population vs. incremental (cache-style) setup.
+
+Sec. 3.2: "the database programmer can choose whether the GMR extension
+has to be complete or whether the extension may be set up incrementally
+(starting with an empty GMR extension)".  The trade-off:
+
+* a *complete* GMR pays the full cross-product materialization up front
+  and then answers backward queries from the index alone;
+* an *incremental* GMR starts free and fills as forward queries touch
+  objects — cheap when only a small working set is ever asked for;
+* a *capped* incremental GMR additionally bounds memory via LRU
+  replacement, paying recomputations for evicted entries.
+"""
+
+from _support import run_once
+
+from repro import ObjectBase
+from repro.bench.runner import measure
+from repro.domains.geometry import (
+    build_geometry_schema,
+    create_cuboid,
+    create_material,
+)
+from repro.util.rng import DeterministicRng
+
+
+def _build(cuboids=300, **materialize_options):
+    db = ObjectBase(buffer_pages=48)
+    build_geometry_schema(db)
+    rng = DeterministicRng(17)
+    iron = create_material(db, "Iron", 7.86)
+    handles = [
+        create_cuboid(
+            db,
+            dims=(rng.uniform(1, 10), rng.uniform(1, 10), rng.uniform(1, 10)),
+            material=iron,
+            cuboid_id=index,
+        )
+        for index in range(cuboids)
+    ]
+    setup = measure(
+        db,
+        lambda: db.materialize([("Cuboid", "volume")], **materialize_options),
+        0.0,
+    )
+    return db, handles, setup
+
+
+def _hot_set_queries(db, handles, queries=200, working_set=20):
+    rng = DeterministicRng(4)
+    hot = handles[:working_set]
+
+    def work():
+        for _ in range(queries):
+            rng.choice(hot).volume()
+
+    return measure(db, work, 0.0)
+
+
+def test_incremental_setup_is_nearly_free(benchmark):
+    _, _, complete_setup = _build(complete=True)
+    db, handles, incremental_setup = _build(complete=False)
+    assert incremental_setup.logical_reads < complete_setup.logical_reads / 50
+
+    point = benchmark.pedantic(
+        lambda: _hot_set_queries(db, handles), rounds=1, iterations=1
+    )
+    gmr = db.gmr_manager.gmrs()[0]
+    # Only the hot set was cached.
+    assert len(gmr) == 20
+
+
+def test_hot_set_amortizes_in_cache(benchmark):
+    """After warm-up, repeated queries on the hot set are pure hits."""
+    db, handles, _ = _build(complete=False)
+    _hot_set_queries(db, handles)  # warm-up
+    stats = db.gmr_manager.stats
+    before = stats.snapshot()
+    point = benchmark.pedantic(
+        lambda: _hot_set_queries(db, handles), rounds=1, iterations=1
+    )
+    delta = stats.delta(before)
+    assert delta.rematerializations == 0
+    assert delta.forward_hits == 200
+
+
+def test_capped_cache_trades_memory_for_recomputation(benchmark):
+    db, handles, _ = _build(complete=False, capacity=10)
+    point = benchmark.pedantic(
+        lambda: _hot_set_queries(db, handles, working_set=30),
+        rounds=1,
+        iterations=1,
+    )
+    gmr = db.gmr_manager.gmrs()[0]
+    assert len(gmr) == 10           # capacity held
+    assert gmr.evictions > 0        # replacement happened
+    stats = db.gmr_manager.stats
+    assert stats.rematerializations > 30  # evicted entries recomputed

@@ -1,0 +1,113 @@
+"""Ablation: immediate vs. lazy vs. snapshot maintenance disciplines.
+
+The paper's Sec. 4.1 tuning choice (immediate/lazy) plus the related-work
+snapshot discipline [Adiba/Lindsay], measured on one update-then-query
+profile:
+
+* *immediate* pays at update time,
+* *lazy* pays at (first) query time,
+* *snapshot* pays never — until an explicit refresh recomputes all —
+  at the price of stale answers in between.
+"""
+
+from _support import run_once
+
+from repro import ObjectBase, Strategy
+from repro.bench.runner import measure
+from repro.domains.geometry import (
+    build_geometry_schema,
+    create_cuboid,
+    create_material,
+    create_vertex,
+)
+from repro.util.rng import DeterministicRng
+
+
+def _build(strategy, cuboids=200):
+    db = ObjectBase(buffer_pages=48)
+    build_geometry_schema(db)
+    rng = DeterministicRng(31)
+    iron = create_material(db, "Iron", 7.86)
+    handles = [
+        create_cuboid(
+            db,
+            dims=(rng.uniform(1, 10), rng.uniform(1, 10), rng.uniform(1, 10)),
+            material=iron,
+            cuboid_id=index,
+        )
+        for index in range(cuboids)
+    ]
+    gmr = db.materialize([("Cuboid", "volume")], strategy=strategy)
+    return db, handles, gmr
+
+
+def _update_phase(db, handles, updates=60):
+    rng = DeterministicRng(8)
+    param = create_vertex(db, 1.0, 1.0, 1.0)
+
+    def work():
+        for _ in range(updates):
+            cuboid = rng.choice(handles)
+            param.set_X(rng.uniform(0.9, 1.1))
+            cuboid.scale(param)
+
+    return measure(db, work, 0.0)
+
+
+def _query_phase(db, handles, queries=60):
+    rng = DeterministicRng(9)
+
+    def work():
+        for _ in range(queries):
+            rng.choice(handles).volume()
+
+    return measure(db, work, 0.0)
+
+
+def test_update_cost_ordering(benchmark):
+    """snapshot < lazy < immediate at update time."""
+    costs = {}
+    for strategy in (Strategy.IMMEDIATE, Strategy.LAZY, Strategy.SNAPSHOT):
+        db, handles, _ = _build(strategy)
+        if strategy is Strategy.SNAPSHOT:
+            point = benchmark.pedantic(
+                lambda db=db, handles=handles: _update_phase(db, handles),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            point = _update_phase(db, handles)
+        costs[strategy] = point.logical_reads
+    assert costs[Strategy.SNAPSHOT] <= costs[Strategy.LAZY]
+    assert costs[Strategy.LAZY] < costs[Strategy.IMMEDIATE]
+
+
+def test_query_cost_ordering(benchmark):
+    """After an update burst, lazy pays at query time; snapshot stays
+    cheap but answers from the past until refreshed."""
+    results = {}
+    for strategy in (Strategy.IMMEDIATE, Strategy.LAZY, Strategy.SNAPSHOT):
+        db, handles, gmr = _build(strategy)
+        _update_phase(db, handles)
+        if strategy is Strategy.LAZY:
+            point = benchmark.pedantic(
+                lambda db=db, handles=handles: _query_phase(db, handles),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            point = _query_phase(db, handles)
+        results[strategy] = (db, handles, gmr, point)
+
+    lazy_reads = results[Strategy.LAZY][3].logical_reads
+    immediate_reads = results[Strategy.IMMEDIATE][3].logical_reads
+    snapshot_reads = results[Strategy.SNAPSHOT][3].logical_reads
+    assert immediate_reads < lazy_reads       # immediate already paid
+    assert snapshot_reads < lazy_reads        # snapshot never pays...
+
+    # ... but the snapshot is stale until refreshed.
+    db, handles, gmr, _ = results[Strategy.SNAPSHOT]
+    stale = gmr.check_consistency(db)
+    assert stale, "updates must have outdated the snapshot"
+    db.gmr_manager.refresh_snapshot(gmr)
+    assert gmr.check_consistency(db) == []

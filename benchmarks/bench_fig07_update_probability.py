@@ -1,0 +1,47 @@
+"""Figure 7: GMR performance under varying update probabilities.
+
+Paper shape: the GMR-supported versions beat the unsupported program up
+to an update probability of about 0.9, and information hiding pushes the
+break-even point further out (≈ 0.95 at paper scale).
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.cuboid import run_figure07
+from repro.bench.runner import WITH_GMR, WITHOUT_GMR, measure
+from repro.bench.workload import OperationMix
+from repro.util.rng import DeterministicRng
+
+
+def test_fig07_sweep(benchmark):
+    result = run_once(
+        benchmark, run_figure07, cuboids=250, ops_per_point=24, pup_step=0.25
+    )
+    totals = total_costs(result)
+    # Query-heavy regime: materialization wins overall.
+    assert totals["WithGMR"] < totals["WithoutGMR"]
+    assert totals["InfoHiding"] < totals["WithoutGMR"]
+    # Information hiding never loses to plain GMR maintenance here.
+    assert totals["InfoHiding"] <= totals["WithGMR"] * 1.05
+
+
+def test_fig07_query_only_point_favors_gmr(benchmark, cuboid_app_factory):
+    """At Pup = 0 (pure queries) the GMR version does far less work."""
+    mix = OperationMix(
+        queries=[(0.5, "Qbw"), (0.5, "Qfw")],
+        updates=[(0.5, "I"), (0.5, "S")],
+        update_probability=0.0,
+        operations=10,
+    )
+    without = cuboid_app_factory(WITHOUT_GMR)
+    with_gmr = cuboid_app_factory(WITH_GMR)
+    point_without = measure(
+        without.db, lambda: without.run_mix(mix, DeterministicRng(1)), 0.0
+    )
+
+    benchmark(lambda: with_gmr.run_mix(mix, DeterministicRng(1)))
+
+    point_with = measure(
+        with_gmr.db, lambda: with_gmr.run_mix(mix, DeterministicRng(2)), 0.0
+    )
+    assert point_with.logical_reads < point_without.logical_reads

@@ -1,0 +1,52 @@
+"""Figure 8: determining the break-even point of function materialization.
+
+Paper shape: with only backward queries and scales, the supported
+versions lose their advantage only at very high update probabilities
+(≈ 0.96 for WithGMR and ≈ 0.975 for InfoHiding at paper scale), and the
+InfoHiding break-even always lies beyond the WithGMR one.
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.cuboid import CuboidConfig, run_figure08
+
+
+def test_fig08_sweep(benchmark):
+    result = run_once(
+        benchmark, run_figure08, cuboids=250, ops_per_point=60
+    )
+    # The break-even of InfoHiding lies at a higher update probability
+    # than that of WithGMR (or beyond the sweep for either).
+    cross_gmr = result.crossover("WithGMR", "WithoutGMR")
+    cross_hiding = result.crossover("InfoHiding", "WithoutGMR")
+    if cross_hiding is not None:
+        assert cross_gmr is not None
+        assert cross_hiding >= cross_gmr
+    totals = total_costs(result)
+    assert totals["InfoHiding"] <= totals["WithGMR"] * 1.05
+
+
+def test_fig08_pure_update_point_favors_unsupported(benchmark, cuboid_app_factory):
+    """At Pup = 1.0 (scales only), maintaining the GMR costs extra."""
+    from repro.bench.runner import WITH_GMR, WITHOUT_GMR, measure
+    from repro.bench.workload import OperationMix
+    from repro.util.rng import DeterministicRng
+
+    mix = OperationMix(
+        queries=[(1.0, "Qbw")],
+        updates=[(1.0, "S")],
+        update_probability=1.0,
+        operations=20,
+    )
+    without = cuboid_app_factory(WITHOUT_GMR)
+    with_gmr = cuboid_app_factory(WITH_GMR)
+    point_without = measure(
+        without.db, lambda: without.run_mix(mix, DeterministicRng(1)), 1.0
+    )
+
+    benchmark(lambda: with_gmr.run_mix(mix, DeterministicRng(1)))
+
+    point_with = measure(
+        with_gmr.db, lambda: with_gmr.run_mix(mix, DeterministicRng(2)), 1.0
+    )
+    assert point_with.logical_reads > point_without.logical_reads

@@ -1,0 +1,46 @@
+"""Figure 9: the cost of forward queries.
+
+Paper shape: with only forward queries (no updates), exploiting the GMR
+is a factor ~4-5 gain, and cost grows linearly with the query count for
+both versions.
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.cuboid import run_figure09
+
+
+def test_fig09_sweep(benchmark):
+    result = run_once(
+        benchmark, run_figure09, cuboids=250, max_queries=200, step=50
+    )
+    totals = total_costs(result)
+    assert totals["WithGMR"] < totals["WithoutGMR"]
+    # The paper reports a gain of about a factor 4 to 5; our simulator
+    # lands in the same ballpark (allow a generous band).
+    gain = totals["WithoutGMR"] / max(totals["WithGMR"], 1e-9)
+    assert gain > 2.0
+
+    # Linear growth: the last point costs roughly 4x the first
+    # (4x as many queries) for the unsupported version.
+    series = result.series_by_name("WithoutGMR")
+    first, last = series.points[0], series.points[-1]
+    assert last.logical_reads > 3 * first.logical_reads
+
+
+def test_fig09_single_forward_query(benchmark, cuboid_app_factory):
+    from repro.bench.runner import WITH_GMR
+    from repro.util.rng import DeterministicRng
+
+    application = cuboid_app_factory(WITH_GMR)
+    rng = DeterministicRng(3)
+    benchmark(lambda: application.q_forward(rng))
+
+
+def test_fig09_single_forward_query_without_gmr(benchmark, cuboid_app_factory):
+    from repro.bench.runner import WITHOUT_GMR
+    from repro.util.rng import DeterministicRng
+
+    application = cuboid_app_factory(WITHOUT_GMR)
+    rng = DeterministicRng(3)
+    benchmark(lambda: application.q_forward(rng))

@@ -1,0 +1,42 @@
+"""Figure 10: invalidation overhead incurred by materialized volume.
+
+Paper shape: under an all-rotations profile the plain WithGMR version
+pays close to an order of magnitude over the unsupported program (12
+invalidations + immediate rematerializations per rotate), while both the
+pre-invalidated Lazy configuration and InfoHiding track WithoutGMR
+closely.
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.cuboid import run_figure10
+
+
+def test_fig10_sweep(benchmark):
+    result = run_once(
+        benchmark, run_figure10, cuboids=250, max_rotations=150, step=50
+    )
+    totals = total_costs(result)
+    # WithGMR is by far the most expensive version.
+    assert totals["WithGMR"] > 3 * totals["WithoutGMR"]
+    # Lazy and InfoHiding stay close to the unsupported program.
+    assert totals["Lazy"] < 1.5 * totals["WithoutGMR"] + 5
+    assert totals["InfoHiding"] < 1.5 * totals["WithoutGMR"] + 5
+
+
+def test_fig10_single_rotation_with_gmr(benchmark, cuboid_app_factory):
+    from repro.bench.runner import WITH_GMR
+    from repro.util.rng import DeterministicRng
+
+    application = cuboid_app_factory(WITH_GMR)
+    rng = DeterministicRng(5)
+    benchmark(lambda: application.u_rotate(rng))
+
+
+def test_fig10_single_rotation_info_hiding(benchmark, cuboid_app_factory):
+    from repro.bench.runner import INFO_HIDING
+    from repro.util.rng import DeterministicRng
+
+    application = cuboid_app_factory(INFO_HIDING)
+    rng = DeterministicRng(5)
+    benchmark(lambda: application.u_rotate(rng))

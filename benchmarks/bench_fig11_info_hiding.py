@@ -1,0 +1,42 @@
+"""Figure 11: the benefits of information hiding.
+
+Paper shape: under a pure update mix shifting from rotations to scales,
+WithoutGMR and WithGMR stay roughly flat; InfoHiding starts near
+WithoutGMR (rotations are free) and climbs towards — but stays below —
+WithGMR (one invalidation per scale instead of twelve).
+"""
+
+from _support import run_once
+
+from repro.bench.cuboid import run_figure11
+
+
+def test_fig11_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure11,
+        cuboids=250,
+        ops_per_point=40,
+        weight_step=0.25,
+    )
+    hiding = result.series_by_name("InfoHiding")
+    with_gmr = result.series_by_name("WithGMR")
+    without = result.series_by_name("WithoutGMR")
+
+    # At the all-rotations end InfoHiding is close to WithoutGMR...
+    assert hiding.points[0].sim_cost < 0.6 * with_gmr.points[0].sim_cost
+    # ... and rises towards WithGMR as scales take over, staying below.
+    assert hiding.points[-1].sim_cost > hiding.points[0].sim_cost
+    assert hiding.points[-1].sim_cost < with_gmr.points[-1].sim_cost
+
+    # WithGMR pays heavily across the whole sweep.
+    assert with_gmr.total_cost() > without.total_cost()
+
+
+def test_fig11_scale_with_hiding_vs_plain(benchmark, cuboid_app_factory):
+    from repro.bench.runner import INFO_HIDING
+    from repro.util.rng import DeterministicRng
+
+    application = cuboid_app_factory(INFO_HIDING)
+    rng = DeterministicRng(4)
+    benchmark(lambda: application.u_scale(rng))

@@ -1,0 +1,59 @@
+"""Figure 13: cost of backward queries on ⟨⟨ranking⟩⟩.
+
+Paper shape: for update probabilities below ≈ 0.95 both GMR versions
+beat the unsupported program by orders of magnitude, and lazy equals
+immediate rematerialization except at Pup = 1.0 (backward queries force
+all results valid anyway).
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.company import CompanyConfig, run_figure13
+
+
+def _config():
+    return CompanyConfig(
+        departments=4,
+        employees_per_department=15,
+        projects=80,
+        jobs_per_employee=5,
+    )
+
+
+def test_fig13_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure13,
+        config=_config(),
+        ops_per_point=8,
+        pup_step=0.25,
+    )
+    totals = total_costs(result)
+    assert totals["Immediate"] < totals["WithoutGMR"]
+    assert totals["Lazy"] < totals["WithoutGMR"]
+
+    # Lazy ≈ Immediate on every point except possibly the last (Pup=1).
+    lazy = result.series_by_name("Lazy").points
+    immediate = result.series_by_name("Immediate").points
+    for left, right in list(zip(lazy, immediate))[:-1]:
+        assert abs(left.logical_reads - right.logical_reads) <= max(
+            0.5 * right.logical_reads, 200
+        )
+
+
+def test_fig13_single_backward_query(benchmark, ranking_app_factory):
+    from repro.bench.runner import IMMEDIATE
+    from repro.util.rng import DeterministicRng
+
+    application = ranking_app_factory(IMMEDIATE)
+    rng = DeterministicRng(6)
+    benchmark(lambda: application.q_backward(rng))
+
+
+def test_fig13_single_backward_query_without_gmr(benchmark, ranking_app_factory):
+    from repro.bench.runner import WITHOUT_GMR
+    from repro.util.rng import DeterministicRng
+
+    application = ranking_app_factory(WITHOUT_GMR)
+    rng = DeterministicRng(6)
+    benchmark(lambda: application.q_backward(rng))

@@ -1,0 +1,57 @@
+"""Figure 14: cost of forward queries on ⟨⟨ranking⟩⟩.
+
+Paper shape: lazy rematerialization clearly beats immediate across the
+mixed region (the paper reports a factor 2-12): invalidated rankings are
+only recomputed when a forward query actually touches them.
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.company import CompanyConfig, run_figure14
+
+
+def _config():
+    return CompanyConfig(
+        departments=4,
+        employees_per_department=15,
+        projects=80,
+        jobs_per_employee=5,
+    )
+
+
+def test_fig14_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure14,
+        config=_config(),
+        ops_per_point=80,
+        pup_step=0.25,
+    )
+    totals = total_costs(result)
+    assert totals["Lazy"] < totals["Immediate"]
+
+    # In the mixed middle region Lazy does strictly less work.
+    lazy = result.series_by_name("Lazy").points
+    immediate = result.series_by_name("Immediate").points
+    middle = slice(1, -1)
+    lazy_mid = sum(point.logical_reads for point in lazy[middle])
+    immediate_mid = sum(point.logical_reads for point in immediate[middle])
+    assert lazy_mid < immediate_mid
+
+
+def test_fig14_promotion_under_lazy(benchmark, ranking_app_factory):
+    from repro.bench.runner import LAZY_COMPANY
+    from repro.util.rng import DeterministicRng
+
+    application = ranking_app_factory(LAZY_COMPANY)
+    rng = DeterministicRng(8)
+    benchmark(lambda: application.u_promote(rng))
+
+
+def test_fig14_promotion_under_immediate(benchmark, ranking_app_factory):
+    from repro.bench.runner import IMMEDIATE
+    from repro.util.rng import DeterministicRng
+
+    application = ranking_app_factory(IMMEDIATE)
+    rng = DeterministicRng(8)
+    benchmark(lambda: application.u_promote(rng))

@@ -1,0 +1,53 @@
+"""Figure 15: the benefits of compensating actions on ⟨⟨matrix⟩⟩.
+
+Paper shape: the version with a compensating action outperforms plain
+immediate rematerialization over the whole mixed region (an update
+appends the new project's lines instead of recomputing the matrix);
+for very high update probabilities lazy rematerialization becomes
+competitive because runs of consecutive updates collapse into a single
+deferred recomputation.
+"""
+
+from _support import run_once, total_costs
+
+from repro.bench.company import CompanyConfig, run_figure15
+
+
+def test_fig15_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure15,
+        config=CompanyConfig.matrix_shape(),
+        ops_per_point=8,
+        pup_step=0.25,
+    )
+    totals = total_costs(result)
+    assert totals["CompAction"] < totals["Immediate"]
+    assert totals["Lazy"] < totals["Immediate"]
+    assert totals["CompAction"] < totals["WithoutGMR"]
+
+    # At Pup = 1.0 (only insertions) Lazy never rematerializes: it must
+    # cost no more than Immediate there.
+    lazy_last = result.series_by_name("Lazy").points[-1]
+    immediate_last = result.series_by_name("Immediate").points[-1]
+    assert lazy_last.logical_reads <= immediate_last.logical_reads
+
+
+def test_fig15_add_project_with_compensation(benchmark):
+    from repro.bench.company import CompanyConfig, MatrixApplication
+    from repro.bench.runner import COMP_ACTION
+    from repro.util.rng import DeterministicRng
+
+    application = MatrixApplication(COMP_ACTION, CompanyConfig.matrix_shape())
+    rng = DeterministicRng(10)
+    benchmark(lambda: application.u_new_project(rng))
+
+
+def test_fig15_add_project_with_immediate(benchmark):
+    from repro.bench.company import CompanyConfig, MatrixApplication
+    from repro.bench.runner import IMMEDIATE
+    from repro.util.rng import DeterministicRng
+
+    application = MatrixApplication(IMMEDIATE, CompanyConfig.matrix_shape())
+    rng = DeterministicRng(10)
+    benchmark(lambda: application.u_new_project(rng))

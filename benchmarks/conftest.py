@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_fig*.py`` file regenerates one figure of the paper's
+evaluation section at a reduced scale (so the whole suite runs in
+minutes) and asserts the figure's qualitative *shape* — who wins, where
+break-even points fall.  ``python -m repro.bench --figure N`` runs the
+full sweeps; ``--paper-scale`` restores the published sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def cuboid_app_factory():
+    from repro.bench.cuboid import CuboidApplication, CuboidConfig
+
+    def make(version, cuboids=200, seed=7):
+        return CuboidApplication(version, CuboidConfig(cuboids=cuboids, seed=seed))
+
+    return make
+
+
+@pytest.fixture
+def ranking_app_factory():
+    from repro.bench.company import CompanyConfig, RankingApplication
+
+    def make(version):
+        config = CompanyConfig(
+            departments=4,
+            employees_per_department=15,
+            projects=80,
+            jobs_per_employee=5,
+        )
+        return RankingApplication(version, config)
+
+    return make

@@ -1,0 +1,27 @@
+"""Access Support Relations — the dual of function materialization.
+
+The paper positions function materialization as "a dual approach to our
+previously discussed indexing structures, called Access Support
+Relations [12, 11], which constitute materializations of heavily
+traversed path expressions that relate objects along attribute chains"
+(Kemper & Moerkotte, SIGMOD 1990).  This package implements that
+substrate so the two techniques can be compared on the same object base:
+
+* an :class:`~repro.asr.relation.AccessSupportRelation` materializes one
+  path expression ``t0.A1.….An`` as a relation ``[S0, S1, ..., Sn]``
+  holding, per source object, the chain of references it traverses and
+  the terminal value, with a range index over the terminal column;
+* the :class:`~repro.asr.manager.ASRManager` keeps every ASR consistent
+  under elementary updates (attribute writes, object creation and
+  deletion) by listening to the object base's update stream.
+
+A backward path query ("all cuboids whose material is named Iron") is
+then an index probe instead of an object-graph traversal — exactly the
+access pattern function materialization accelerates for *computed*
+values.
+"""
+
+from repro.asr.relation import AccessSupportRelation, PathSpec
+from repro.asr.manager import ASRManager
+
+__all__ = ["AccessSupportRelation", "PathSpec", "ASRManager"]

@@ -1,0 +1,106 @@
+"""ASR maintenance: keeping materialized paths consistent.
+
+The manager subscribes to the object base's elementary-update stream and
+refreshes affected chains:
+
+* ``set_A`` on an object at position *i* of some chain recomputes the
+  chains of every source object passing through it — found via the
+  per-position occurrence index, never by scanning;
+* creating an instance of a path's source type adds its chain;
+* deleting any object drops the chains through it (and recomputes the
+  surviving sources, which simply yields broken chains).
+
+This mirrors the GMR manager's role for function results, restricted to
+pure attribute paths — which is exactly why the paper calls the two
+techniques dual.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.asr.relation import AccessSupportRelation, PathSpec
+from repro.errors import SchemaError
+from repro.gom.oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+
+
+class ASRManager:
+    """Maintains every Access Support Relation of one object base."""
+
+    def __init__(self, db: "ObjectBase") -> None:
+        self._db = db
+        self._asrs: dict[str, AccessSupportRelation] = {}
+        # (declaring type, attr) → ASRs watching that update.
+        self._watchers: dict[tuple[str, str], list[AccessSupportRelation]] = {}
+        self._registered = False
+
+    # -- definition --------------------------------------------------------------
+
+    def materialize_path(
+        self, source_type: str, *attrs: str
+    ) -> AccessSupportRelation:
+        """Create and populate ``⟦source_type.attrs...⟧``."""
+        spec = PathSpec(self._db, source_type, tuple(attrs))
+        name = f"[[{spec}]]"
+        if name in self._asrs:
+            raise SchemaError(f"{name} is already materialized")
+        asr = AccessSupportRelation(self._db, spec)
+        self._asrs[name] = asr
+        for pair in spec.watched:
+            self._watchers.setdefault(pair, []).append(asr)
+        if not self._registered:
+            self._db.register_update_listener(self._on_update)
+            self._registered = True
+        asr.populate()
+        return asr
+
+    def asr(self, name: str) -> AccessSupportRelation:
+        try:
+            return self._asrs[name]
+        except KeyError:
+            raise SchemaError(f"no ASR named {name}") from None
+
+    def asrs(self) -> list[AccessSupportRelation]:
+        return list(self._asrs.values())
+
+    # -- the update listener --------------------------------------------------------
+
+    def _on_update(self, kind, oid, type_name, attr, old, new) -> None:
+        if kind == "set":
+            for asr in self._watchers.get((type_name, attr), ()):
+                self._refresh_through(asr, oid)
+        elif kind == "create":
+            schema = self._db.schema
+            for asr in self._asrs.values():
+                if schema.is_subtype(type_name, asr.spec.source_type):
+                    asr.refresh_source(oid)
+        elif kind == "delete":
+            for asr in self._asrs.values():
+                for source in list(asr.sources_through(oid)):
+                    if source == oid:
+                        asr.remove_source(source)
+                    else:
+                        asr.refresh_source(source)
+        # Collection membership ('insert'/'remove') cannot affect pure
+        # attribute paths.
+
+    def _refresh_through(self, asr: AccessSupportRelation, oid: Oid) -> None:
+        sources = asr.sources_through(oid)
+        schema = self._db.schema
+        if schema.is_subtype(
+            self._db.objects.type_of(oid), asr.spec.source_type
+        ):
+            sources.add(oid)
+        for source in sources:
+            asr.refresh_source(source)
+
+    # -- validation --------------------------------------------------------------------
+
+    def check_consistency(self) -> list[str]:
+        problems: list[str] = []
+        for asr in self._asrs.values():
+            problems.extend(asr.check_consistency())
+        return problems

@@ -1,0 +1,232 @@
+"""One Access Support Relation: a materialized path expression.
+
+For a path ``t0.A1.….An`` the ASR ``⟦t0.A1.….An⟧`` stores one tuple
+``[o0, o1, ..., o_{n-1}, v]`` per source object whose chain is complete:
+``o_{i} = o_{i-1}.A_i`` for the reference steps and ``v`` the terminal
+value (an atomic value, or the OID for an object-valued terminal).
+Chains broken by an unset (``None``) reference are absent — this is the
+*full extension* variant of Kemper/Moerkotte's ASR taxonomy.
+
+Physical representation mirrors the GMR store: rows on simulated pages,
+a B+ tree over the terminal column for backward range queries, and a
+per-position occurrence index so maintenance can find every chain an
+updated object participates in without scanning.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import SchemaError
+from repro.gom.oid import Oid
+from repro.gom.types import is_atomic_type
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import Placement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+
+_ROW_BASE = 16
+_FIELD = 10
+
+
+class PathSpec:
+    """A validated path expression ``t0.A1.….An``."""
+
+    def __init__(self, db: "ObjectBase", source_type: str, attrs: tuple[str, ...]):
+        if not attrs:
+            raise SchemaError("an ASR path needs at least one attribute")
+        schema = db.schema
+        self.source_type = source_type
+        self.attrs = tuple(attrs)
+        #: Type of each position 0..n (position 0 = source type).
+        self.step_types: list[str] = [source_type]
+        current = source_type
+        for index, attr in enumerate(self.attrs):
+            if is_atomic_type(current):
+                raise SchemaError(
+                    f"path {self}: {current} is atomic but attribute "
+                    f"{attr} follows"
+                )
+            definition = schema.attribute(current, attr)
+            current = definition.type_name
+            self.step_types.append(current)
+        #: (declaring type, attr) per step — the update events to watch.
+        self.watched: list[tuple[str, str]] = []
+        current = source_type
+        for attr in self.attrs:
+            declaring = schema.attribute_declaring_type(current, attr)
+            self.watched.append((declaring, attr))
+            current = schema.attribute(current, attr).type_name
+
+    @property
+    def length(self) -> int:
+        return len(self.attrs)
+
+    @property
+    def terminal_type(self) -> str:
+        return self.step_types[-1]
+
+    def __str__(self) -> str:
+        return ".".join((self.source_type,) + self.attrs)
+
+
+class AccessSupportRelation:
+    """The extension of one materialized path."""
+
+    def __init__(self, db: "ObjectBase", spec: PathSpec) -> None:
+        self.db = db
+        self.spec = spec
+        self.name = f"[[{spec}]]"
+        # source oid → row tuple (o0, ..., o_{n-1}, terminal value)
+        self._rows: dict[Oid, tuple] = {}
+        self._placements: dict[Oid, Placement] = {}
+        self._terminal_index = BPlusTree(
+            db.page_store, db.buffer, segment=f"asr:{self.name}:terminal"
+        )
+        # position (1..n-1) → oid → set of source oids whose chain passes
+        # through that object at that position.
+        self._occurrences: list[dict[Oid, set[Oid]]] = [
+            {} for _ in range(spec.length)
+        ]
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _touch(self, source: Oid, *, write: bool = False) -> None:
+        placement = self._placements.get(source)
+        if placement is None:
+            placement = self.db.page_store.place(
+                f"asr:{self.name}", _ROW_BASE + _FIELD * (self.spec.length + 1)
+            )
+            self._placements[source] = placement
+        self.db.buffer.touch(placement.page_id, write=write)
+
+    def _walk(self, source: Oid) -> tuple | None:
+        """Compute the chain from ``source``; None if it is broken."""
+        objects = self.db.objects
+        chain: list[Any] = [source]
+        current: Any = source
+        for attr in self.spec.attrs:
+            if not isinstance(current, Oid) or not objects.exists(current):
+                return None
+            value = objects.get(current).data.get(attr)
+            self.db.buffer.touch(objects.get(current).placement.page_id)
+            if value is None:
+                return None
+            chain.append(value)
+            current = value
+        return tuple(chain)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def refresh_source(self, source: Oid) -> None:
+        """(Re)compute the chain of one source object."""
+        self.remove_source(source)
+        chain = self._walk(source)
+        if chain is None:
+            return
+        self._rows[source] = chain
+        self._touch(source, write=True)
+        terminal = chain[-1]
+        self._terminal_index.insert(_index_key(terminal), source)
+        for position in range(1, self.spec.length + 1):
+            step = chain[position]
+            if isinstance(step, Oid):
+                self._occurrences[position - 1].setdefault(step, set()).add(
+                    source
+                )
+
+    def remove_source(self, source: Oid) -> None:
+        chain = self._rows.pop(source, None)
+        if chain is None:
+            return
+        self._touch(source, write=True)
+        self._terminal_index.remove(_index_key(chain[-1]), source)
+        for position in range(1, self.spec.length + 1):
+            step = chain[position]
+            if isinstance(step, Oid):
+                bucket = self._occurrences[position - 1].get(step)
+                if bucket is not None:
+                    bucket.discard(source)
+
+    def sources_through(self, oid: Oid) -> set[Oid]:
+        """Source objects whose chain passes through ``oid`` anywhere."""
+        result: set[Oid] = set()
+        if oid in self._rows:
+            result.add(oid)
+        for per_position in self._occurrences:
+            result |= per_position.get(oid, set())
+        return result
+
+    def populate(self) -> None:
+        for source in self.db.objects.extension(self.spec.source_type):
+            self.refresh_source(source)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def forward(self, source: Oid | Any) -> Any | None:
+        """Terminal value of one source object's chain (None if absent)."""
+        from repro.gom.handles import unwrap
+
+        chain = self._rows.get(unwrap(source))
+        if chain is None:
+            return None
+        self._touch(chain[0])
+        return chain[-1]
+
+    def backward(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Oid]:
+        """Source objects whose terminal value lies in the range."""
+        return [
+            source
+            for _key, source in self._terminal_index.range_scan(
+                _index_key(low) if low is not None else None,
+                _index_key(high) if high is not None else None,
+                include_low=include_low,
+                include_high=include_high,
+            )
+        ]
+
+    def backward_exact(self, value: Any) -> list[Oid]:
+        return self._terminal_index.search(_index_key(value))
+
+    def rows(self) -> Iterator[tuple]:
+        for source, chain in self._rows.items():
+            self._touch(source)
+            yield chain
+
+    # -- validation --------------------------------------------------------------------
+
+    def check_consistency(self) -> list[str]:
+        """Recompute every chain; report mismatches (test helper)."""
+        problems = []
+        for source in self.db.objects.extension(self.spec.source_type):
+            expected = self._walk(source)
+            stored = self._rows.get(source)
+            if expected != stored:
+                problems.append(
+                    f"{self.name}[{source!r}]: stored {stored!r} "
+                    f"!= expected {expected!r}"
+                )
+        extras = set(self._rows) - set(
+            self.db.objects.extension(self.spec.source_type)
+        )
+        for source in extras:
+            problems.append(f"{self.name}: stale row for deleted {source!r}")
+        return problems
+
+
+def _index_key(value: Any) -> Any:
+    """B+ tree keys must be mutually comparable; OIDs map to their ints."""
+    if isinstance(value, Oid):
+        return value.value
+    return value

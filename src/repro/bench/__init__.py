@@ -1,0 +1,31 @@
+"""Benchmark harness reproducing the paper's evaluation (Sec. 7).
+
+Each figure of the paper has one entry point returning a
+:class:`~repro.bench.runner.FigureResult` with one cost series per
+program version:
+
+======  ==================================================================
+Figure  Entry point
+======  ==================================================================
+7       :func:`repro.bench.cuboid.run_figure07`
+8       :func:`repro.bench.cuboid.run_figure08`
+9       :func:`repro.bench.cuboid.run_figure09`
+10      :func:`repro.bench.cuboid.run_figure10`
+11      :func:`repro.bench.cuboid.run_figure11`
+13      :func:`repro.bench.company.run_figure13`
+14      :func:`repro.bench.company.run_figure14`
+15      :func:`repro.bench.company.run_figure15`
+======  ==================================================================
+
+Run ``python -m repro.bench --figure 7`` (or ``--all``) from the command
+line; ``--paper-scale`` restores the published database sizes and
+operation counts (the defaults are scaled down to keep a full run in the
+minutes range).  Costs are reported both as wall-clock seconds and as
+simulated page I/O (buffer misses) — the *shapes* (who wins, where the
+break-even points fall) hold under either metric.
+"""
+
+from repro.bench.runner import FigureResult, ProgramVersion, Series
+from repro.bench.workload import OperationMix
+
+__all__ = ["FigureResult", "ProgramVersion", "Series", "OperationMix"]

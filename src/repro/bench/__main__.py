@@ -1,0 +1,83 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench --figure 7
+    python -m repro.bench --all --metric seconds
+    python -m repro.bench --all --paper-scale --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import cuboid, company
+from repro.bench.reporting import summarize
+
+_RUNNERS = {
+    "7": cuboid.run_figure07,
+    "8": cuboid.run_figure08,
+    "9": cuboid.run_figure09,
+    "10": cuboid.run_figure10,
+    "11": cuboid.run_figure11,
+    "13": company.run_figure13,
+    "14": company.run_figure14,
+    "15": company.run_figure15,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the figures of the paper's evaluation section.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=sorted(_RUNNERS, key=int),
+        help="figure number to run (repeatable)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the published database sizes and operation counts",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=["cost", "seconds", "ios"],
+        default="cost",
+        help="which cost metric to tabulate (default: simulated cost)",
+    )
+    parser.add_argument(
+        "--output", help="also append the report to this file", default=None
+    )
+    arguments = parser.parse_args(argv)
+
+    figures = sorted(set(arguments.figure or []), key=int)
+    if arguments.all:
+        figures = sorted(_RUNNERS, key=int)
+    if not figures:
+        parser.error("pass --figure N (repeatable) or --all")
+
+    chunks: list[str] = []
+    for figure in figures:
+        start = time.perf_counter()
+        result = _RUNNERS[figure](paper_scale=arguments.paper_scale)
+        elapsed = time.perf_counter() - start
+        report = summarize(result, metric=arguments.metric)
+        chunks.append(report + f"\n(ran in {elapsed:.1f}s)\n")
+        print(report)
+        print(f"(ran in {elapsed:.1f}s)\n")
+
+    if arguments.output:
+        with open(arguments.output, "a", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks))
+            handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

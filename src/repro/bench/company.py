@@ -1,0 +1,373 @@
+"""The Company benchmark (Sec. 7.2) — Figures 13, 14 and 15.
+
+Two applications over the personnel/project schema:
+
+* ``ranking`` — backward queries (Fig. 13) and forward queries (Fig. 14)
+  against a materialized ⟨⟨ranking⟩⟩, mixed with promotions (``P``: a
+  random employee's job status flags change);
+* ``matrix`` — selections on the department × project matrix (``Qsel,m``)
+  mixed with project insertions (``N``), comparing *no GMR*, *immediate*,
+  *lazy* and *compensating action* maintenance of ⟨⟨matrix⟩⟩ (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import (
+    COMP_ACTION,
+    FigureResult,
+    IMMEDIATE,
+    LAZY_COMPANY,
+    ProgramVersion,
+    Series,
+    WITHOUT_GMR,
+    measure,
+)
+from repro.bench.workload import OperationMix
+from repro.domains.company import (
+    add_random_project,
+    build_company_schema,
+    increase_matrix,
+    populate_company,
+)
+from repro.gom.database import ObjectBase
+from repro.gomql import run_statement
+from repro.util.rng import DeterministicRng
+
+_RANKING_EPSILON = 0.3
+
+
+@dataclass
+class CompanyConfig:
+    departments: int = 20
+    employees_per_department: int = 100
+    projects: int = 1000
+    jobs_per_employee: int = 10
+    seed: int = 11
+    buffer_pages: int = 150
+
+    @staticmethod
+    def quick() -> "CompanyConfig":
+        """Scaled-down population for the default benchmark runs."""
+        return CompanyConfig(
+            departments=5,
+            employees_per_department=20,
+            projects=150,
+            jobs_per_employee=6,
+        )
+
+    @staticmethod
+    def matrix_shape() -> "CompanyConfig":
+        """The Figure 15 population: 5 departments × 10 employees, 100
+        projects, 5 programmers per project."""
+        return CompanyConfig(
+            departments=5,
+            employees_per_department=10,
+            projects=100,
+            jobs_per_employee=10,
+        )
+
+
+class RankingApplication:
+    """Figures 13/14: queries on ``ranking`` plus promotions."""
+
+    def __init__(self, version: ProgramVersion, config: CompanyConfig) -> None:
+        self.version = version
+        self.config = config
+        self.db = ObjectBase(level=version.level, buffer_pages=config.buffer_pages)
+        build_company_schema(self.db)
+        self.fixture = populate_company(
+            self.db,
+            DeterministicRng(config.seed),
+            departments=config.departments,
+            employees_per_department=config.employees_per_department,
+            projects=config.projects,
+            jobs_per_employee=config.jobs_per_employee,
+        )
+        self.db.create_attr_index("Employee", "EmpNo")
+        self.gmr = None
+        if version.use_gmr:
+            self.gmr = self.db.materialize(
+                [("Employee", "ranking")], strategy=version.strategy
+            )
+        self._max_ranking = 12.0
+
+    # -- operations ------------------------------------------------------------
+
+    def q_backward(self, rng: DeterministicRng) -> int:
+        center = rng.uniform(0.0, self._max_ranking)
+        result = run_statement(
+            self.db,
+            "range e: Employee retrieve e "
+            "where e.ranking > lo and e.ranking < hi",
+            {"lo": center - _RANKING_EPSILON, "hi": center + _RANKING_EPSILON},
+        )
+        return len(result)
+
+    def q_forward(self, rng: DeterministicRng) -> float | None:
+        employee = rng.choice(self.fixture.employees)
+        number = employee.EmpNo
+        result = run_statement(
+            self.db,
+            "range e: Employee retrieve e.ranking where e.EmpNo = k",
+            {"k": number},
+        )
+        return result[0] if result else None
+
+    def u_promote(self, rng: DeterministicRng) -> None:
+        """P: promotion/degradation — a random job's status flips."""
+        employee = rng.choice(self.fixture.employees)
+        jobs = employee.JobHistory.elements()
+        if not jobs:
+            return
+        job = rng.choice(jobs)
+        if rng.random() < 0.5:
+            job.set_OnTime(not job.OnTime)
+        else:
+            job.set_WithinBudget(not job.WithinBudget)
+
+    def u_new_employee(self, rng: DeterministicRng) -> None:
+        """N: hire a new employee into a random department."""
+        department = rng.choice(self.fixture.departments)
+        history = self.db.new_collection("Jobs")
+        number = len(self.fixture.employees) + 1
+        employee = self.db.new(
+            "Employee",
+            Name=f"E{number}",
+            EmpNo=number,
+            Salary=rng.uniform(30_000.0, 120_000.0),
+            JobHistory=history,
+        )
+        department.Emps.insert(employee)
+        self.fixture.employees.append(employee)
+
+    _DISPATCH = {
+        "Qbw": q_backward,
+        "Qfw": q_forward,
+        "P": u_promote,
+        "N": u_new_employee,
+    }
+
+    def run_mix(self, mix: OperationMix, rng: DeterministicRng) -> None:
+        for code in mix.stream(rng):
+            self._DISPATCH[code](self, rng)
+
+
+class MatrixApplication:
+    """Figure 15: matrix selections plus project insertions."""
+
+    def __init__(self, version: ProgramVersion, config: CompanyConfig) -> None:
+        self.version = version
+        self.config = config
+        self.db = ObjectBase(level=version.level, buffer_pages=config.buffer_pages)
+        build_company_schema(self.db)
+        self.fixture = populate_company(
+            self.db,
+            DeterministicRng(config.seed),
+            departments=config.departments,
+            employees_per_department=config.employees_per_department,
+            projects=config.projects,
+            jobs_per_employee=config.jobs_per_employee,
+        )
+        self.company = self.fixture.company
+        self._new_projects = 0
+        self.gmr = None
+        if version.use_gmr:
+            self.gmr = self.db.materialize(
+                [("Company", "matrix")], strategy=version.strategy
+            )
+            if version.compensation:
+                self.db.gmr_manager.register_compensation(
+                    "Company",
+                    "add_project",
+                    ("Company", "matrix"),
+                    increase_matrix,
+                )
+
+    # -- operations ------------------------------------------------------------
+
+    def q_select(self, rng: DeterministicRng) -> list:
+        """Qsel,m: projects of a random department's matrix lines."""
+        dep_no = rng.randint(0, self.config.departments - 1)
+        lines = self.company.matrix()
+        return [line.proj for line in lines if line.dep.DepNo == dep_no]
+
+    def u_new_project(self, rng: DeterministicRng) -> None:
+        """N: create a new project with 5 random programmers."""
+        self._new_projects += 1
+        add_random_project(
+            self.db,
+            rng,
+            self.company,
+            self.fixture.employees,
+            programmers=5,
+            index=self._new_projects,
+        )
+
+    _DISPATCH = {"Qsel": q_select, "N": u_new_project}
+
+    def run_mix(self, mix: OperationMix, rng: DeterministicRng) -> None:
+        for code in mix.stream(rng):
+            self._DISPATCH[code](self, rng)
+
+
+def _sweep(
+    application_class,
+    versions: list[ProgramVersion],
+    config: CompanyConfig,
+    points: list[tuple[float, OperationMix]],
+    *,
+    figure: str,
+    title: str,
+    x_label: str,
+) -> FigureResult:
+    series: list[Series] = []
+    for version in versions:
+        application = application_class(version, config)
+        measured = Series(version.name)
+        for index, (x, mix) in enumerate(points):
+            rng = DeterministicRng(config.seed).fork(2000 + index)
+            point = measure(
+                application.db,
+                lambda app=application, m=mix, r=rng: app.run_mix(m, r),
+                x,
+            )
+            measured.points.append(point)
+        series.append(measured)
+    return FigureResult(
+        figure=figure, title=title, x_label=x_label, series=series
+    )
+
+
+def _pups(step: float) -> list[float]:
+    values = []
+    current = 0.0
+    while current <= 1.0 + 1e-9:
+        values.append(round(current, 3))
+        current += step
+    return values
+
+
+def run_figure13(
+    *,
+    config: CompanyConfig | None = None,
+    ops_per_point: int = 10,
+    pup_step: float = 0.1,
+    seed: int | None = None,
+    paper_scale: bool = False,
+) -> FigureResult:
+    """Figure 13: cost of backward queries on ⟨⟨ranking⟩⟩ vs. promotions.
+
+    Expected: both GMR versions beat WithoutGMR for Pup < 0.95, and Lazy
+    equals Immediate except at Pup = 1.0 (backward queries force all
+    results valid anyway).
+    """
+    config = config or (CompanyConfig() if paper_scale else CompanyConfig.quick())
+    if seed is not None:
+        config.seed = seed
+    points = [
+        (
+            pup,
+            OperationMix(
+                queries=[(1.0, "Qbw")],
+                updates=[(1.0, "P")],
+                update_probability=pup,
+                operations=ops_per_point,
+            ),
+        )
+        for pup in _pups(pup_step)
+    ]
+    return _sweep(
+        RankingApplication,
+        [WITHOUT_GMR, IMMEDIATE, LAZY_COMPANY],
+        config,
+        points,
+        figure="13",
+        title="Cost of backward queries",
+        x_label="Pup",
+    )
+
+
+def run_figure14(
+    *,
+    config: CompanyConfig | None = None,
+    ops_per_point: int = 200,
+    pup_step: float = 0.1,
+    seed: int | None = None,
+    paper_scale: bool = False,
+) -> FigureResult:
+    """Figure 14: cost of forward queries on ⟨⟨ranking⟩⟩ vs. promotions.
+
+    Expected: Lazy beats Immediate by a clear factor across the middle of
+    the sweep (invalidated rankings are only recomputed when the forward
+    query actually touches them); break-even with WithoutGMR lies at low
+    Pup (≈0.1 immediate / ≈0.2 lazy at paper scale).
+    """
+    config = config or (CompanyConfig() if paper_scale else CompanyConfig.quick())
+    if seed is not None:
+        config.seed = seed
+    if paper_scale:
+        ops_per_point = 1000
+    points = [
+        (
+            pup,
+            OperationMix(
+                queries=[(1.0, "Qfw")],
+                updates=[(1.0, "P")],
+                update_probability=pup,
+                operations=ops_per_point,
+            ),
+        )
+        for pup in _pups(pup_step)
+    ]
+    return _sweep(
+        RankingApplication,
+        [WITHOUT_GMR, IMMEDIATE, LAZY_COMPANY],
+        config,
+        points,
+        figure="14",
+        title="Cost of forward queries",
+        x_label="Pup",
+    )
+
+
+def run_figure15(
+    *,
+    config: CompanyConfig | None = None,
+    ops_per_point: int = 10,
+    pup_step: float = 0.1,
+    seed: int | None = None,
+    paper_scale: bool = False,
+) -> FigureResult:
+    """Figure 15: the benefits of compensating actions on ⟨⟨matrix⟩⟩.
+
+    Expected: the compensating action wins for 0 < Pup ≤ 0.9; for very
+    high update probabilities Lazy becomes superior (subsequent updates
+    never trigger a rematerialization); Lazy tracks WithoutGMR closely
+    in the 0.5–0.9 region.
+    """
+    config = config or CompanyConfig.matrix_shape()
+    if seed is not None:
+        config.seed = seed
+    points = [
+        (
+            pup,
+            OperationMix(
+                queries=[(1.0, "Qsel")],
+                updates=[(1.0, "N")],
+                update_probability=pup,
+                operations=ops_per_point,
+            ),
+        )
+        for pup in _pups(pup_step)
+    ]
+    return _sweep(
+        MatrixApplication,
+        [WITHOUT_GMR, IMMEDIATE, LAZY_COMPANY, COMP_ACTION],
+        config,
+        points,
+        figure="15",
+        title="The benefits of compensating actions",
+        x_label="Pup",
+    )

@@ -1,0 +1,51 @@
+"""Rendering figure results and shape summaries.
+
+Besides the raw series tables, :func:`summarize` prints the qualitative
+observations the paper's text makes for each figure (break-even points,
+who-wins orderings), computed from the measured data — these are the
+claims EXPERIMENTS.md checks off.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import FigureResult
+
+
+def summarize(result: FigureResult, *, metric: str = "cost") -> str:
+    """A figure's table plus computed break-even/ordering notes."""
+    lines = [result.to_table(metric=metric), ""]
+    lines.extend(shape_notes(result, metric=metric))
+    if result.notes:
+        lines.append(result.notes)
+    return "\n".join(lines)
+
+
+def shape_notes(result: FigureResult, *, metric: str = "cost") -> list[str]:
+    notes: list[str] = []
+    names = [series.version for series in result.series]
+    if "WithoutGMR" in names:
+        for name in names:
+            if name == "WithoutGMR":
+                continue
+            crossover = result.crossover(name, "WithoutGMR", metric=metric)
+            if crossover is None:
+                notes.append(
+                    f"{name} beats WithoutGMR over the whole sweep "
+                    f"({result.x_label} up to {result.series[0].xs()[-1]})"
+                )
+            else:
+                notes.append(
+                    f"break-even of {name} vs WithoutGMR at "
+                    f"{result.x_label} ≈ {crossover}"
+                )
+    totals = {
+        series.version: (
+            series.total_cost() if metric == "cost" else series.total_seconds()
+        )
+        for series in result.series
+    }
+    ordering = sorted(totals, key=totals.get)  # type: ignore[arg-type]
+    notes.append(
+        "total-cost ordering (cheapest first): " + " < ".join(ordering)
+    )
+    return notes

@@ -1,0 +1,152 @@
+"""Program versions, measured points and figure results.
+
+The paper compares *program versions* — the same application compiled
+against different materialization configurations.  A
+:class:`ProgramVersion` captures one configuration; the figure drivers
+build one object base per version (same seed → identical data and
+operation streams) and measure each sweep point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.strategies import Strategy
+from repro.gom.instrumentation import InstrumentationLevel
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class ProgramVersion:
+    """One benchmark configuration (a paper 'program version')."""
+
+    name: str
+    use_gmr: bool = True
+    level: InstrumentationLevel = InstrumentationLevel.OBJ_DEP
+    strategy: Strategy = Strategy.IMMEDIATE
+    strict: bool = False
+    compensation: bool = False
+    pre_invalidate: bool = False
+
+
+#: The version names used throughout Sec. 7.
+WITHOUT_GMR = ProgramVersion(
+    "WithoutGMR", use_gmr=False, level=InstrumentationLevel.NONE
+)
+WITH_GMR = ProgramVersion("WithGMR")
+INFO_HIDING = ProgramVersion(
+    "InfoHiding", level=InstrumentationLevel.INFO_HIDING, strict=True
+)
+LAZY = ProgramVersion("Lazy", strategy=Strategy.LAZY, pre_invalidate=True)
+IMMEDIATE = ProgramVersion("Immediate")
+LAZY_COMPANY = ProgramVersion("Lazy", strategy=Strategy.LAZY)
+COMP_ACTION = ProgramVersion("CompAction", compensation=True)
+
+
+@dataclass
+class MeasuredPoint:
+    """Cost of one sweep point for one version."""
+
+    x: float
+    seconds: float
+    page_ios: int
+    logical_reads: int
+    sim_cost: float
+
+
+@dataclass
+class Series:
+    """One version's cost curve."""
+
+    version: str
+    points: list[MeasuredPoint] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        return [point.x for point in self.points]
+
+    def seconds(self) -> list[float]:
+        return [point.seconds for point in self.points]
+
+    def costs(self) -> list[float]:
+        return [point.sim_cost for point in self.points]
+
+    def total_cost(self) -> float:
+        return sum(point.sim_cost for point in self.points)
+
+    def total_seconds(self) -> float:
+        return sum(point.seconds for point in self.points)
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    series: list[Series]
+    notes: str = ""
+
+    def series_by_name(self, name: str) -> Series:
+        for series in self.series:
+            if series.version == name:
+                return series
+        raise KeyError(f"no series named {name} in figure {self.figure}")
+
+    def to_table(self, *, metric: str = "cost") -> str:
+        """Render the figure's series like the paper's plots, as a table.
+
+        ``metric`` is ``cost`` (simulated page-I/O based cost), ``seconds``
+        or ``ios``.
+        """
+        headers = [self.x_label] + [series.version for series in self.series]
+        rows = []
+        xs = self.series[0].xs()
+        for index, x in enumerate(xs):
+            row: list[object] = [x]
+            for series in self.series:
+                point = series.points[index]
+                if metric == "seconds":
+                    row.append(point.seconds)
+                elif metric == "ios":
+                    row.append(point.page_ios)
+                else:
+                    row.append(point.sim_cost)
+            rows.append(row)
+        title = f"Figure {self.figure}: {self.title} [{metric}]"
+        return format_table(headers, rows, title=title)
+
+    def crossover(
+        self, cheaper: str, reference: str, *, metric: str = "cost"
+    ) -> float | None:
+        """First x where ``cheaper`` stops beating ``reference``.
+
+        Returns ``None`` when ``cheaper`` wins over the whole sweep —
+        i.e. the break-even point lies beyond the measured range.
+        """
+        first = self.series_by_name(cheaper)
+        second = self.series_by_name(reference)
+        for point_a, point_b in zip(first.points, second.points):
+            value_a = point_a.sim_cost if metric == "cost" else point_a.seconds
+            value_b = point_b.sim_cost if metric == "cost" else point_b.seconds
+            if value_a > value_b:
+                return point_a.x
+        return None
+
+
+def measure(db, action: Callable[[], None], x: float) -> MeasuredPoint:
+    """Run ``action`` and capture wall-clock plus buffer-stat deltas."""
+    before = db.buffer.stats.snapshot()
+    start = time.perf_counter()
+    action()
+    elapsed = time.perf_counter() - start
+    delta = db.buffer.stats.delta(before)
+    return MeasuredPoint(
+        x=x,
+        seconds=elapsed,
+        page_ios=delta.misses + delta.writebacks,
+        logical_reads=delta.logical_reads,
+        sim_cost=db.cost_model.cost(delta),
+    )

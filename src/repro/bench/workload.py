@@ -1,0 +1,55 @@
+"""Operation mixes: ``M = (Qmix, Umix, Pup, #ops)`` (Sec. 7.1).
+
+An operation mix draws, for each of ``#ops`` operations, an update with
+probability ``Pup`` (choosing among the weighted updates of ``Umix``) or
+a query otherwise (choosing among the weighted queries of ``Qmix``).
+Operations are identified by the paper's single-letter codes (``Qbw``,
+``Qfw``, ``D``, ``I``, ``S``, ``R``, ``T``, ...); the benchmark drivers
+map codes to actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.util.rng import DeterministicRng, WeightedChoice
+
+
+@dataclass
+class OperationMix:
+    """One benchmark operation profile."""
+
+    queries: Sequence[tuple[float, str]]
+    updates: Sequence[tuple[float, str]]
+    update_probability: float
+    operations: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.update_probability <= 1.0:
+            raise ValueError("update probability must be within [0, 1]")
+        self._query_choice = (
+            WeightedChoice(self.queries) if self.queries else None
+        )
+        self._update_choice = (
+            WeightedChoice(self.updates) if self.updates else None
+        )
+
+    def draw(self, rng: DeterministicRng) -> str:
+        """Draw one operation code."""
+        take_update = rng.random() < self.update_probability
+        if take_update and self._update_choice is not None:
+            return self._update_choice.draw(rng)
+        if not take_update and self._query_choice is not None:
+            return self._query_choice.draw(rng)
+        # Degenerate profiles (Pup=1 with no updates or Pup=0 with no
+        # queries) fall back to whichever side exists.
+        if self._update_choice is not None:
+            return self._update_choice.draw(rng)
+        if self._query_choice is not None:
+            return self._query_choice.draw(rng)
+        raise ValueError("operation mix is empty")
+
+    def stream(self, rng: DeterministicRng) -> Iterator[str]:
+        for _ in range(self.operations):
+            yield self.draw(rng)

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: function materialization.
+
+* :mod:`repro.core.gmr` — Generalized Materialization Relations
+  (Defs. 3.1–3.4: consistent / valid / complete extensions);
+* :mod:`repro.core.rrr` — the Reverse Reference Relation (Def. 4.1);
+* :mod:`repro.core.manager` — the GMR manager (invalidate / new_object /
+  forget_object / compensate, lazy and immediate rematerialization,
+  retrieval of materialized results);
+* :mod:`repro.core.dependencies` — RelAttr / SchemaDepFct bookkeeping
+  (Defs. 5.1/5.2), fed by the static analysis in
+  :mod:`repro.core.analysis` (the paper's Appendix);
+* :mod:`repro.core.compensation` — compensating actions (Defs. 5.4/5.5);
+* :mod:`repro.core.restricted` — restricted GMRs (Sec. 6).
+"""
+
+from repro.core.function_registry import FunctionInfo, FunctionRegistry
+from repro.core.gmr import GMR
+from repro.core.manager import GMRManager
+from repro.core.strategies import Strategy
+from repro.core.restricted import Restriction, ValueRestriction, RangeRestriction
+
+__all__ = [
+    "FunctionInfo",
+    "FunctionRegistry",
+    "GMR",
+    "GMRManager",
+    "Strategy",
+    "Restriction",
+    "ValueRestriction",
+    "RangeRestriction",
+]

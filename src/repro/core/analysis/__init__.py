@@ -1,0 +1,30 @@
+"""Static path-extraction analysis (the paper's Appendix).
+
+Determines ``RelAttr(f)`` — the set of ``type.attribute`` pairs a
+materialized function may read — by assigning a *path extraction
+structure* ``E(S) = (P, R)`` to every syntactic structure ``S`` of the
+function body, where ``P`` is a set of path expressions and ``R`` a term
+rewriting system of rules ``v → p`` recording variable assignments.
+Structures compose with the (left-associative) ``⊗`` operator of
+Def. 8.1; called functions are inlined with formal→actual substitution.
+
+The Python frontend lowers a disciplined subset of Python (the style the
+domain schemas are written in) to a small IR; bodies outside the subset
+raise :class:`~repro.errors.UnsupportedConstructError` and the dependency
+layer falls back to treating the function as depending on everything
+(sound, never unsound).
+"""
+
+from repro.core.analysis.paths import PathExpression
+from repro.core.analysis.extraction import (
+    ExtractionStructure,
+    FunctionAnalyzer,
+    RelAttrResult,
+)
+
+__all__ = [
+    "PathExpression",
+    "ExtractionStructure",
+    "FunctionAnalyzer",
+    "RelAttrResult",
+]

@@ -1,0 +1,454 @@
+"""The path-extraction calculus ``E(S) = (P, R)`` of the Appendix.
+
+``P`` is the set of path expressions extracted from a syntactic structure
+``S`` and ``R`` a term rewriting system of rules ``v → p`` recording
+assignments.  Sequences compose with the left-associative ``⊗`` operator
+(Def. 8.1); conditionals union their branches; loops bind the loop
+variable to "an element of" the iterated path; operation calls inline the
+callee's extraction structure under formal→actual substitution.
+
+The analyzer is *conservative*: ``P(f)`` is a superset of the paths a
+real invocation evaluates, which is the sound direction for invalidation
+(extra entries in ``RelAttr`` can only cause unnecessary, never missing,
+invalidations).  Constructs outside the supported subset raise
+:class:`~repro.errors.UnsupportedConstructError` and the caller falls
+back to an everything-is-relevant assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import UnsupportedConstructError
+from repro.core.analysis import ir
+from repro.core.analysis.paths import (
+    PathExpression,
+    Rule,
+    rewrite_path,
+    rewrite_paths,
+)
+from repro.gom.types import ELEMENTS_ATTR, TypeKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.schema import Schema
+
+#: Canonical summary roots — callee summaries are stored with these roots
+#: so inlining can never collide with caller variable names.
+SELF_ROOT = "@self"
+
+
+def param_root(index: int) -> str:
+    return f"@p{index}"
+
+
+@dataclass(frozen=True)
+class ExtractionStructure:
+    """``E(S) = (P, R)`` — paths and rewrite rules."""
+
+    paths: frozenset[PathExpression] = frozenset()
+    rules: frozenset[Rule] = frozenset()
+
+    @staticmethod
+    def of(
+        paths: set[PathExpression] | frozenset[PathExpression] = frozenset(),
+        rules: set[Rule] | frozenset[Rule] = frozenset(),
+    ) -> "ExtractionStructure":
+        return ExtractionStructure(frozenset(paths), frozenset(rules))
+
+    def combine(self, other: "ExtractionStructure") -> "ExtractionStructure":
+        """The ``⊗`` operator of Def. 8.1 (``self`` happens-before ``other``).
+
+        * ``other``'s paths are rewritten by ``self``'s rules (they may
+          start with variables assigned earlier);
+        * ``other``'s rules are rewritten likewise;
+        * ``self``'s rules for variables re-assigned by ``other`` are
+          dropped.
+        """
+        rewritten_paths = rewrite_paths(other.paths, self.rules)
+        rewritten_rules = {
+            (variable, rewritten)
+            for variable, replacement in other.rules
+            for rewritten in rewrite_path(replacement, self.rules)
+        }
+        reassigned = {variable for variable, _ in other.rules}
+        kept = {
+            (variable, replacement)
+            for variable, replacement in self.rules
+            if variable not in reassigned
+        }
+        return ExtractionStructure(
+            frozenset(rewritten_paths) | self.paths,
+            frozenset(rewritten_rules) | frozenset(kept),
+        )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Cached analysis of one operation, with canonical roots."""
+
+    paths: frozenset[PathExpression]
+    returns: frozenset[PathExpression]
+    param_count: int
+
+
+@dataclass(frozen=True)
+class RelAttrResult:
+    """The final product: typed attribute pairs plus the raw paths."""
+
+    pairs: frozenset[tuple[str, str]]
+    paths: frozenset[PathExpression]
+
+
+class FunctionAnalyzer:
+    """Computes ``RelAttr(f)`` for operations lowered to the IR.
+
+    ``ir_provider(decl_type, op_name)`` must return the
+    :class:`~repro.core.analysis.ir.FunctionIR` of the operation (the
+    Python frontend provides this) or raise ``UnsupportedConstructError``.
+    """
+
+    def __init__(
+        self,
+        schema: "Schema",
+        ir_provider: Callable[[str, str], ir.FunctionIR],
+    ) -> None:
+        self._schema = schema
+        self._provide = ir_provider
+        self._summaries: dict[tuple[str, str], FunctionSummary] = {}
+        self._visiting: set[tuple[str, str]] = set()
+
+    # -- public API ----------------------------------------------------------
+
+    def relevant_attributes(self, decl_type: str, op_name: str) -> RelAttrResult:
+        """``RelAttr(f)`` for ``f = decl_type.op_name`` (Def. 5.1).
+
+        Paths are typed from the declared receiver/parameter types and
+        cut into ``(declaring type, attribute)`` pairs of maximal length
+        two, exactly as the Appendix prescribes.
+        """
+        summary = self.summary(decl_type, op_name)
+        _, operation = self._schema.resolve_operation(decl_type, op_name)
+        env = {SELF_ROOT: decl_type}
+        for index, param_type in enumerate(operation.param_types):
+            env[param_root(index)] = param_type
+        pairs: set[tuple[str, str]] = set()
+        for path in summary.paths:
+            self._cut_path(path, env, pairs)
+        return RelAttrResult(frozenset(pairs), summary.paths)
+
+    def summary(self, decl_type: str, op_name: str) -> FunctionSummary:
+        key = (decl_type, op_name)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self._visiting:
+            raise UnsupportedConstructError(
+                f"recursive function {decl_type}.{op_name} cannot be analyzed"
+            )
+        self._visiting.add(key)
+        try:
+            summary = self._analyze(decl_type, op_name)
+        finally:
+            self._visiting.discard(key)
+        self._summaries[key] = summary
+        return summary
+
+    # -- analysis -------------------------------------------------------------
+
+    def _analyze(self, decl_type: str, op_name: str) -> FunctionSummary:
+        function_ir = self._provide(decl_type, op_name)
+        _, operation = self._schema.resolve_operation(decl_type, op_name)
+        env: dict[str, str] = {"self": decl_type}
+        for name, param_type in zip(function_ir.params, operation.param_types):
+            env[name] = param_type
+        accumulator = ExtractionStructure()
+        accumulator, returns = self._extract_block(
+            function_ir.body, accumulator, env
+        )
+        # Canonicalize roots: actual parameter names → @p{i}, self → @self.
+        canonical: dict[str, str] = {"self": SELF_ROOT}
+        for index, name in enumerate(function_ir.params):
+            canonical[name] = param_root(index)
+
+        def canon(paths: frozenset[PathExpression]) -> frozenset[PathExpression]:
+            result = set()
+            for path in paths:
+                root = canonical.get(path.root)
+                if root is None:
+                    # A path still rooted at a local variable carries no
+                    # information about the arguments — drop it.
+                    continue
+                result.add(PathExpression(root, path.attrs))
+            return frozenset(result)
+
+        return FunctionSummary(
+            paths=canon(accumulator.paths),
+            returns=canon(frozenset(returns)),
+            param_count=len(function_ir.params),
+        )
+
+    def _extract_block(
+        self,
+        stmts: tuple[ir.Stmt, ...],
+        accumulator: ExtractionStructure,
+        env: dict[str, str],
+    ) -> tuple[ExtractionStructure, set[PathExpression]]:
+        returns: set[PathExpression] = set()
+        for stmt in stmts:
+            accumulator, stmt_returns = self._extract_stmt(stmt, accumulator, env)
+            returns |= stmt_returns
+        return accumulator, returns
+
+    def _extract_stmt(
+        self,
+        stmt: ir.Stmt,
+        accumulator: ExtractionStructure,
+        env: dict[str, str],
+    ) -> tuple[ExtractionStructure, set[PathExpression]]:
+        if isinstance(stmt, ir.Assign):
+            paths, values = self._extract_expr(stmt.value, accumulator, env)
+            structure = ExtractionStructure.of(
+                paths, {(stmt.target, value) for value in values}
+            )
+            return accumulator.combine(structure), set()
+        if isinstance(stmt, ir.Return):
+            if stmt.value is None:
+                return accumulator, set()
+            paths, values = self._extract_expr(stmt.value, accumulator, env)
+            return accumulator.combine(ExtractionStructure.of(paths)), set(values)
+        if isinstance(stmt, ir.ExprStmt):
+            paths, _ = self._extract_expr(stmt.value, accumulator, env)
+            return accumulator.combine(ExtractionStructure.of(paths)), set()
+        if isinstance(stmt, ir.If):
+            cond_paths, _ = self._extract_expr(stmt.cond, accumulator, env)
+            base = accumulator.combine(ExtractionStructure.of(cond_paths))
+            then_acc, then_returns = self._extract_block(stmt.then, base, env)
+            else_acc, else_returns = self._extract_block(stmt.orelse, base, env)
+            merged = ExtractionStructure(
+                then_acc.paths | else_acc.paths,
+                then_acc.rules | else_acc.rules,
+            )
+            return merged, then_returns | else_returns
+        if isinstance(stmt, ir.ForEach):
+            iter_paths, iter_values = self._extract_expr(
+                stmt.iterable, accumulator, env
+            )
+            element_paths = {value.extend(ELEMENTS_ATTR) for value in iter_values}
+            pre = accumulator.combine(
+                ExtractionStructure.of(
+                    set(iter_paths) | element_paths,
+                    {(stmt.var, element) for element in element_paths},
+                )
+            )
+            body_acc, body_returns = self._extract_block(stmt.body, pre, env)
+            # Second pass so rules established late in the body feed paths
+            # early in the next iteration (a cheap loop fixpoint).
+            body_acc, second_returns = self._extract_block(stmt.body, body_acc, env)
+            return body_acc, body_returns | second_returns
+        raise UnsupportedConstructError(f"unsupported statement {stmt!r}")
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _extract_expr(
+        self,
+        expr: ir.Expr,
+        accumulator: ExtractionStructure,
+        env: dict[str, str],
+    ) -> tuple[set[PathExpression], set[PathExpression]]:
+        """Returns (all extracted paths, paths denoting the value)."""
+        if isinstance(expr, ir.Const):
+            return set(), set()
+        if isinstance(expr, ir.Var):
+            variants = rewrite_path(PathExpression(expr.name), accumulator.rules)
+            return set(variants), set(variants)
+        if isinstance(expr, ir.Attr):
+            base_paths, base_values = self._extract_expr(expr.base, accumulator, env)
+            values = {value.extend(expr.name) for value in base_values}
+            return base_paths | values, values
+        if isinstance(expr, ir.Binary):
+            left_paths, _ = self._extract_expr(expr.left, accumulator, env)
+            right_paths, _ = self._extract_expr(expr.right, accumulator, env)
+            return left_paths | right_paths, set()
+        if isinstance(expr, ir.Unary):
+            paths, _ = self._extract_expr(expr.operand, accumulator, env)
+            return paths, set()
+        if isinstance(expr, ir.Conditional):
+            cond_paths, _ = self._extract_expr(expr.cond, accumulator, env)
+            then_paths, then_values = self._extract_expr(expr.then, accumulator, env)
+            other_paths, other_values = self._extract_expr(
+                expr.other, accumulator, env
+            )
+            return (
+                cond_paths | then_paths | other_paths,
+                then_values | other_values,
+            )
+        if isinstance(expr, ir.Call):
+            return self._extract_call(expr, accumulator, env)
+        if isinstance(expr, ir.Comprehension):
+            return self._extract_comprehension(expr, accumulator, env)
+        raise UnsupportedConstructError(f"unsupported expression {expr!r}")
+
+    def _extract_comprehension(
+        self,
+        expr: ir.Comprehension,
+        accumulator: ExtractionStructure,
+        env: dict[str, str],
+    ) -> tuple[set[PathExpression], set[PathExpression]]:
+        """``[e for v in iter if c]`` — like a ForEach with a yielded
+        element: the loop variable binds to "an element of" the iterated
+        paths, and the produced collection's value paths are the
+        element's (so chained comprehension results keep their roots)."""
+        iter_paths, iter_values = self._extract_expr(
+            expr.iterable, accumulator, env
+        )
+        element_paths = {value.extend(ELEMENTS_ATTR) for value in iter_values}
+        inner = accumulator.combine(
+            ExtractionStructure.of(
+                set(iter_paths) | element_paths,
+                {(expr.var, element) for element in element_paths},
+            )
+        )
+        paths = set(iter_paths) | element_paths
+        for condition in expr.conditions:
+            condition_paths, _ = self._extract_expr(condition, inner, env)
+            paths |= condition_paths
+        body_paths, body_values = self._extract_expr(expr.element, inner, env)
+        paths |= body_paths
+        return paths, set(body_values)
+
+    def _extract_call(
+        self,
+        expr: ir.Call,
+        accumulator: ExtractionStructure,
+        env: dict[str, str],
+    ) -> tuple[set[PathExpression], set[PathExpression]]:
+        arg_results = [
+            self._extract_expr(argument, accumulator, env) for argument in expr.args
+        ]
+        paths: set[PathExpression] = set()
+        for arg_paths, _ in arg_results:
+            paths |= arg_paths
+
+        if expr.receiver is None:
+            # A bare builtin like len(...), sum(...), abs(...).
+            if expr.name == "len":
+                for _, arg_values in arg_results:
+                    for value in arg_values:
+                        paths.add(value.extend(ELEMENTS_ATTR))
+            return paths, set()
+
+        recv_paths, recv_values = self._extract_expr(expr.receiver, accumulator, env)
+        paths |= recv_paths
+
+        values: set[PathExpression] = set()
+        resolved = False
+        for receiver in recv_values:
+            receiver_type = self._type_of_path(receiver, env)
+            if receiver_type is None:
+                continue
+            if expr.name in ("elements", "contains"):
+                member = receiver.extend(ELEMENTS_ATTR)
+                paths.add(member)
+                if expr.name == "elements":
+                    values.add(member)
+                resolved = True
+                continue
+            definition = self._schema.type(receiver_type)
+            if definition.kind is TypeKind.TUPLE and self._schema.has_operation(
+                receiver_type, expr.name
+            ):
+                callee_decl, _ = self._schema.resolve_operation(
+                    receiver_type, expr.name
+                )
+                summary = self.summary(callee_decl, expr.name)
+                substitution: set[Rule] = {(SELF_ROOT, receiver)}
+                callee_params = {SELF_ROOT}
+                for index in range(summary.param_count):
+                    root = param_root(index)
+                    callee_params.add(root)
+                    if index < len(arg_results):
+                        for arg_value in arg_results[index][1]:
+                            substitution.add((root, arg_value))
+                inlined = rewrite_paths(summary.paths, substitution)
+                paths |= {
+                    path for path in inlined if path.root not in callee_params
+                }
+                returned = rewrite_paths(summary.returns, substitution)
+                values |= {
+                    path for path in returned if path.root not in callee_params
+                }
+                resolved = True
+                continue
+            if expr.name.startswith("set_") or expr.name in ("insert", "remove"):
+                # An elementary update — reads only its argument expressions
+                # (already collected); appears in non-materialized helpers.
+                resolved = True
+                continue
+            # An accessor spelled as a call, e.g. self.X() for attribute X.
+            try:
+                self._schema.attribute(receiver_type, expr.name)
+            except Exception:
+                continue
+            member = receiver.extend(expr.name)
+            paths.add(member)
+            values.add(member)
+            resolved = True
+
+        if not resolved and recv_values:
+            typable = any(
+                self._type_of_path(value, env) is not None for value in recv_values
+            )
+            if typable:
+                raise UnsupportedConstructError(
+                    f"cannot resolve call .{expr.name}(...) on a database value"
+                )
+        return paths, values
+
+    # -- typing --------------------------------------------------------------------
+
+    def _type_of_path(self, path: PathExpression, env: dict[str, str]) -> str | None:
+        current = env.get(path.root)
+        if current is None:
+            return None
+        for attribute in path.attrs:
+            definition = self._schema.type(current)
+            if attribute == ELEMENTS_ATTR:
+                if not definition.is_collection():
+                    return None
+                current = definition.element_type
+                if current is None:
+                    return None
+                continue
+            try:
+                current = self._schema.attribute(current, attribute).type_name
+            except Exception:
+                return None
+        return current
+
+    def _cut_path(
+        self,
+        path: PathExpression,
+        env: dict[str, str],
+        pairs: set[tuple[str, str]],
+    ) -> None:
+        """Type a path and cut it into length-≤2 pairs (Appendix, last step)."""
+        current = env.get(path.root)
+        if current is None:
+            return
+        for attribute in path.attrs:
+            if not self._schema.has_type(current):
+                return
+            definition = self._schema.type(current)
+            if attribute == ELEMENTS_ATTR:
+                if not definition.is_collection():
+                    return
+                pairs.add((current, ELEMENTS_ATTR))
+                current = definition.element_type or ""
+                continue
+            try:
+                declaring = self._schema.attribute_declaring_type(current, attribute)
+            except Exception:
+                return
+            pairs.add((declaring, attribute))
+            current = self._schema.attribute(current, attribute).type_name

@@ -1,0 +1,123 @@
+"""A small statement/expression IR for analyzable function bodies.
+
+The Python frontend lowers operation bodies into this IR; the extraction
+calculus walks it.  The IR deliberately covers only what side-effect-free
+GOM functions need: attribute chains, arithmetic/comparisons, operation
+calls, conditionals, loops over collections and local assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class of IR expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Attr(Expr):
+    base: Expr
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Binary(Expr):
+    """Any binary operator — the calculus only unions the operand paths."""
+
+    left: Expr
+    right: Expr
+    op: str = "?"
+
+
+@dataclass(frozen=True, slots=True)
+class Unary(Expr):
+    operand: Expr
+    op: str = "?"
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    """A call ``receiver.name(args)`` — a GOM operation, a collection
+    accessor or (when the receiver is not a database value) a builtin."""
+
+    receiver: Expr | None
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Conditional(Expr):
+    """``then if cond else other`` — contributes the union of all parts."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Comprehension(Expr):
+    """``[element for var in iterable if condition ...]`` (or a
+    generator/set comprehension — the calculus treats them alike)."""
+
+    var: str
+    iterable: Expr
+    conditions: tuple[Expr, ...]
+    element: Expr
+
+
+class Stmt:
+    """Base class of IR statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    cond: Expr
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ForEach(Stmt):
+    var: str
+    iterable: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionIR:
+    """A lowered function body: parameter names (excluding self) + code."""
+
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    name: str = "<anonymous>"

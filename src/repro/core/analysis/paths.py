@@ -1,0 +1,65 @@
+"""Path expressions ``v.A1.….Ak`` and rewrite rules ``v → p``.
+
+A path expression is relevant to a function ``f`` if ``f`` uses the value
+of ``v.A1.….Ak`` for some variable ``v`` to compute its result (Appendix).
+The pseudo-attribute :data:`~repro.gom.types.ELEMENTS_ATTR` denotes
+"an element of" a set/list-valued path, so membership dependence is a
+first-class path step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class PathExpression:
+    """``root.attrs[0].….attrs[-1]`` — ``attrs`` may be empty (a bare var)."""
+
+    root: str
+    attrs: tuple[str, ...] = ()
+
+    def extend(self, attribute: str) -> "PathExpression":
+        return PathExpression(self.root, self.attrs + (attribute,))
+
+    def rebase(self, base: "PathExpression") -> "PathExpression":
+        """Substitute ``base`` for this path's root (rule application)."""
+        return PathExpression(base.root, base.attrs + self.attrs)
+
+    @property
+    def length(self) -> int:
+        return len(self.attrs)
+
+    def __str__(self) -> str:
+        return ".".join((self.root,) + self.attrs)
+
+
+#: A rewrite rule ``v → p``: the variable name and the replacement path.
+Rule = tuple[str, PathExpression]
+
+
+def rewrite_path(
+    path: PathExpression, rules: Iterable[Rule]
+) -> set[PathExpression]:
+    """Apply every applicable rule ``v → p`` to ``path``.
+
+    Returns the rewritten variants, or ``{path}`` unchanged when no rule's
+    left-hand side matches the root (Def. 8.1, the ``P ⊗ R`` case).
+    """
+    results = {
+        path.rebase(replacement)
+        for variable, replacement in rules
+        if variable == path.root
+    }
+    return results if results else {path}
+
+
+def rewrite_paths(
+    paths: Iterable[PathExpression], rules: Iterable[Rule]
+) -> set[PathExpression]:
+    rule_list = list(rules)
+    result: set[PathExpression] = set()
+    for path in paths:
+        result |= rewrite_path(path, rule_list)
+    return result

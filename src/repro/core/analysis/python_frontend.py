@@ -1,0 +1,210 @@
+"""Lowering Python operation bodies to the analysis IR.
+
+Operation bodies in this library are plain Python functions over handles,
+written in the paper's style::
+
+    def volume(self):
+        return self.length() * self.width() * self.height()
+
+This frontend parses the body's source with :mod:`ast` and lowers a
+disciplined subset to :mod:`repro.core.analysis.ir`:
+
+* statements: ``return``, single-target assignment, augmented
+  assignment, ``if``/``else``, ``for`` over a collection, expression
+  statements, ``pass``;
+* expressions: names, constants, attribute chains, arithmetic/boolean/
+  comparison operators, conditional expressions, calls (method calls on
+  database values become IR calls; everything else is treated as a
+  builtin).
+
+Anything else raises :class:`~repro.errors.UnsupportedConstructError`;
+the dependency layer then falls back to the sound everything-is-relevant
+assumption for that function.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from functools import lru_cache
+from typing import Callable
+
+from repro.core.analysis import ir
+from repro.errors import UnsupportedConstructError
+
+
+def lower_callable(body: Callable) -> ir.FunctionIR:
+    """Lower a Python callable (an operation body) to the IR."""
+    code = getattr(body, "__code__", None)
+    if code is None:
+        raise UnsupportedConstructError(f"{body!r} has no analyzable code")
+    return _lower_cached(code)
+
+
+@lru_cache(maxsize=None)
+def _lower_cached(code) -> ir.FunctionIR:
+    try:
+        source = inspect.getsource(code)
+    except (OSError, TypeError) as exc:
+        raise UnsupportedConstructError(
+            f"source of {code.co_name} is unavailable"
+        ) from exc
+    tree = ast.parse(textwrap.dedent(source))
+    function = next(
+        (
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ),
+        None,
+    )
+    if function is None or isinstance(function, ast.AsyncFunctionDef):
+        raise UnsupportedConstructError(f"{code.co_name}: no function definition")
+    arg_names = [argument.arg for argument in function.args.args]
+    if not arg_names or arg_names[0] != "self":
+        raise UnsupportedConstructError(
+            f"{code.co_name}: first parameter must be 'self'"
+        )
+    if (
+        function.args.vararg
+        or function.args.kwarg
+        or function.args.kwonlyargs
+        or function.args.posonlyargs
+    ):
+        raise UnsupportedConstructError(
+            f"{code.co_name}: only plain positional parameters are supported"
+        )
+    return ir.FunctionIR(
+        params=tuple(arg_names[1:]),
+        body=_lower_block(function.body),
+        name=code.co_name,
+    )
+
+
+def _lower_block(stmts: list[ast.stmt]) -> tuple[ir.Stmt, ...]:
+    lowered: list[ir.Stmt] = []
+    for stmt in stmts:
+        result = _lower_stmt(stmt)
+        if result is not None:
+            lowered.append(result)
+    return tuple(lowered)
+
+
+def _lower_stmt(stmt: ast.stmt) -> ir.Stmt | None:
+    if isinstance(stmt, ast.Return):
+        value = None if stmt.value is None else _lower_expr(stmt.value)
+        return ir.Return(value)
+    if isinstance(stmt, ast.Assign):
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            raise UnsupportedConstructError(
+                "only single-name assignment targets are supported"
+            )
+        return ir.Assign(stmt.targets[0].id, _lower_expr(stmt.value))
+    if isinstance(stmt, ast.AugAssign):
+        if not isinstance(stmt.target, ast.Name):
+            raise UnsupportedConstructError(
+                "only name targets are supported in augmented assignment"
+            )
+        name = stmt.target.id
+        combined = ir.Binary(
+            ir.Var(name), _lower_expr(stmt.value), type(stmt.op).__name__
+        )
+        return ir.Assign(name, combined)
+    if isinstance(stmt, ast.AnnAssign):
+        if not isinstance(stmt.target, ast.Name) or stmt.value is None:
+            raise UnsupportedConstructError("unsupported annotated assignment")
+        return ir.Assign(stmt.target.id, _lower_expr(stmt.value))
+    if isinstance(stmt, ast.If):
+        return ir.If(
+            _lower_expr(stmt.test),
+            _lower_block(stmt.body),
+            _lower_block(stmt.orelse),
+        )
+    if isinstance(stmt, ast.For):
+        if not isinstance(stmt.target, ast.Name):
+            raise UnsupportedConstructError("only simple loop variables supported")
+        if stmt.orelse:
+            raise UnsupportedConstructError("for/else is not supported")
+        return ir.ForEach(
+            stmt.target.id,
+            _lower_expr(stmt.iter),
+            _lower_block(stmt.body),
+        )
+    if isinstance(stmt, ast.Expr):
+        if isinstance(stmt.value, ast.Constant):
+            return None  # docstring
+        return ir.ExprStmt(_lower_expr(stmt.value))
+    if isinstance(stmt, ast.Pass):
+        return None
+    raise UnsupportedConstructError(
+        f"unsupported statement {type(stmt).__name__}"
+    )
+
+
+def _lower_expr(expr: ast.expr) -> ir.Expr:
+    if isinstance(expr, ast.Name):
+        return ir.Var(expr.id)
+    if isinstance(expr, ast.Constant):
+        return ir.Const(expr.value)
+    if isinstance(expr, ast.Attribute):
+        return ir.Attr(_lower_expr(expr.value), expr.attr)
+    if isinstance(expr, ast.BinOp):
+        return ir.Binary(
+            _lower_expr(expr.left), _lower_expr(expr.right), type(expr.op).__name__
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ir.Unary(_lower_expr(expr.operand), type(expr.op).__name__)
+    if isinstance(expr, ast.BoolOp):
+        lowered = [_lower_expr(value) for value in expr.values]
+        result = lowered[0]
+        for operand in lowered[1:]:
+            result = ir.Binary(result, operand, type(expr.op).__name__)
+        return result
+    if isinstance(expr, ast.Compare):
+        result: ir.Expr = _lower_expr(expr.left)
+        for operator, comparator in zip(expr.ops, expr.comparators):
+            result = ir.Binary(
+                result, _lower_expr(comparator), type(operator).__name__
+            )
+        return result
+    if isinstance(expr, ast.IfExp):
+        return ir.Conditional(
+            _lower_expr(expr.test),
+            _lower_expr(expr.body),
+            _lower_expr(expr.orelse),
+        )
+    if isinstance(expr, ast.Call):
+        if expr.keywords:
+            raise UnsupportedConstructError("keyword arguments are not supported")
+        args = tuple(_lower_expr(argument) for argument in expr.args)
+        if isinstance(expr.func, ast.Attribute):
+            return ir.Call(_lower_expr(expr.func.value), expr.func.attr, args)
+        if isinstance(expr.func, ast.Name):
+            return ir.Call(None, expr.func.id, args)
+        raise UnsupportedConstructError("unsupported call target")
+    if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+        if len(expr.generators) != 1:
+            raise UnsupportedConstructError(
+                "only single-generator comprehensions are supported"
+            )
+        generator = expr.generators[0]
+        if not isinstance(generator.target, ast.Name) or generator.is_async:
+            raise UnsupportedConstructError(
+                "comprehension targets must be simple names"
+            )
+        return ir.Comprehension(
+            var=generator.target.id,
+            iterable=_lower_expr(generator.iter),
+            conditions=tuple(_lower_expr(test) for test in generator.ifs),
+            element=_lower_expr(expr.elt),
+        )
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        elements = [_lower_expr(element) for element in expr.elts]
+        if not elements:
+            return ir.Const(None)
+        result = elements[0]
+        for element in elements[1:]:
+            result = ir.Binary(result, element, "collection")
+        return result
+    raise UnsupportedConstructError(f"unsupported expression {type(expr).__name__}")

@@ -1,0 +1,73 @@
+"""Compensating actions (Defs. 5.4 and 5.5).
+
+A compensating action ``c`` for function ``f`` and update operation
+``t.u`` recomputes an invalidated result from the *old* result and the
+update parameters instead of re-evaluating ``f`` — e.g. adding one new
+cuboid's volume to the stored ``total_volume`` rather than summing the
+whole set again.
+
+The GMR manager maintains the ``CA`` table; ``CompensatedFct(t.u)``
+(Def. 5.5) is the projection the rewritten update operations consult.
+Compensating actions may only be attached to update operations of
+*argument types* of the materialized function — the paper shows that
+attaching them elsewhere (e.g. ``Cuboid.scale`` for ``total_volume``)
+leads to inconsistent extensions; registration enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+#: ``c(receiver_handle, *update_args, old_result) -> new_result``
+CompensationBody = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class CompensatingAction:
+    """One ``CA`` table entry ``[Upd_Op, Mat_Fct, Comp_Act]``."""
+
+    update_type: str
+    update_op: str
+    fid: str
+    action: CompensationBody
+    name: str = ""
+
+    @property
+    def update_key(self) -> tuple[str, str]:
+        return (self.update_type, self.update_op)
+
+
+class CompensationTable:
+    """The ``CA`` table of Sec. 5.4."""
+
+    def __init__(self) -> None:
+        self._by_update: dict[tuple[str, str], dict[str, CompensatingAction]] = {}
+
+    def register(self, action: CompensatingAction) -> None:
+        bucket = self._by_update.setdefault(action.update_key, {})
+        bucket[action.fid] = action
+
+    def has(self, update_type: str, update_op: str) -> bool:
+        return (update_type, update_op) in self._by_update
+
+    def compensated_fct(self, update_type: str, update_op: str) -> frozenset[str]:
+        """``CompensatedFct(t.u)`` — Def. 5.5."""
+        bucket = self._by_update.get((update_type, update_op))
+        return frozenset(bucket) if bucket else frozenset()
+
+    def action_for(
+        self, update_type: str, update_op: str, fid: str
+    ) -> CompensatingAction | None:
+        bucket = self._by_update.get((update_type, update_op))
+        if bucket is None:
+            return None
+        return bucket.get(fid)
+
+    def entries(self) -> list[CompensatingAction]:
+        return [
+            action
+            for bucket in self._by_update.values()
+            for action in bucket.values()
+        ]

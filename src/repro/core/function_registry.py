@@ -1,0 +1,124 @@
+"""Registry of materializable functions.
+
+A materializable function ``f : t1, ..., tn → tn+1`` is a side-effect
+free, type-associated operation: the receiver type is the first argument
+type.  Registration computes ``RelAttr(f)`` (Def. 5.1) with the static
+analysis of the Appendix; bodies outside the analyzable subset get
+``relevant_attrs = None``, which the dependency index treats as
+"relevant to every update" — sound, never unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.analysis.extraction import FunctionAnalyzer
+from repro.core.analysis.python_frontend import lower_callable
+from repro.errors import GMRDefinitionError, UnsupportedConstructError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+
+
+def function_id(type_name: str, op_name: str) -> str:
+    return f"{type_name}.{op_name}"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Metadata of one registered materializable function."""
+
+    fid: str
+    type_name: str
+    op_name: str
+    arg_types: tuple[str, ...]
+    result_type: str
+    #: ``RelAttr(f)`` as (declaring type, attribute) pairs, or ``None``
+    #: when the body could not be analyzed (treated as "everything").
+    relevant_attrs: frozenset[tuple[str, str]] | None
+
+    @property
+    def short_name(self) -> str:
+        return self.op_name
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+
+class FunctionRegistry:
+    """Registers functions and runs the RelAttr analysis once each."""
+
+    def __init__(self, db: "ObjectBase") -> None:
+        self._db = db
+        self._functions: dict[str, FunctionInfo] = {}
+        self._analyzer: FunctionAnalyzer | None = None
+
+    @property
+    def analyzer(self) -> FunctionAnalyzer:
+        if self._analyzer is None:
+            schema = self._db.schema
+
+            def provide(decl_type: str, op_name: str):
+                _, operation = schema.resolve_operation(decl_type, op_name)
+                return lower_callable(operation.body)
+
+            self._analyzer = FunctionAnalyzer(schema, provide)
+        return self._analyzer
+
+    def register(
+        self,
+        type_name: str,
+        op_name: str,
+        *,
+        relevant_attrs: Iterable[tuple[str, str]] | None = None,
+    ) -> FunctionInfo:
+        """Register ``type_name.op_name`` as a materializable function.
+
+        ``relevant_attrs`` overrides the static analysis (the escape hatch
+        for bodies the analyzer cannot handle, mirroring a data type
+        implementor supplying the dependency information by hand).
+        """
+        schema = self._db.schema
+        decl_type, operation = schema.resolve_operation(type_name, op_name)
+        fid = function_id(decl_type, op_name)
+        existing = self._functions.get(fid)
+        if existing is not None:
+            return existing
+        if operation.result_type == "void":
+            raise GMRDefinitionError(
+                f"{fid} returns void and cannot be materialized"
+            )
+        if relevant_attrs is not None:
+            pairs: frozenset[tuple[str, str]] | None = frozenset(relevant_attrs)
+        else:
+            try:
+                pairs = self.analyzer.relevant_attributes(decl_type, op_name).pairs
+            except UnsupportedConstructError:
+                pairs = None
+        info = FunctionInfo(
+            fid=fid,
+            type_name=decl_type,
+            op_name=op_name,
+            arg_types=(decl_type,) + tuple(operation.param_types),
+            result_type=operation.result_type,
+            relevant_attrs=pairs,
+        )
+        self._functions[fid] = info
+        return info
+
+    def get(self, fid: str) -> FunctionInfo:
+        try:
+            return self._functions[fid]
+        except KeyError:
+            raise GMRDefinitionError(f"unknown function {fid}") from None
+
+    def lookup(self, type_name: str, op_name: str) -> FunctionInfo | None:
+        return self._functions.get(function_id(type_name, op_name))
+
+    def __contains__(self, fid: str) -> bool:
+        return fid in self._functions
+
+    def all(self) -> list[FunctionInfo]:
+        return list(self._functions.values())

@@ -1,0 +1,716 @@
+"""The GMR manager (Sec. 4): keeping materialized results consistent.
+
+All GMR extensions are maintained by this manager.  It owns the Reverse
+Reference Relation, the SchemaDepFct dependency index, the CA table of
+compensating actions, and implements the paper's maintenance algorithms:
+
+* ``invalidate(o, fcts)`` — the lazy / immediate rematerialization
+  algorithms of Sec. 4.1 (triggered by the rewritten update operations);
+* ``new_object(o, t)`` / ``forget_object(o)`` — extension adaptation on
+  argument-object creation/deletion (Sec. 4.2), with the paper's lazy
+  *blind reference* cleanup;
+* ``compensate(...)`` — compensating actions (Sec. 5.4), applied before
+  the update executes;
+* restriction-predicate maintenance (Sec. 6.1) — predicates are
+  materialized like Boolean functions under a pseudo function id;
+* retrieval — forward lookups (including the mapping of materialized
+  function invocations onto GMR probes) and validity-completing backward
+  range queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from repro.core.compensation import CompensatingAction, CompensationTable
+from repro.core.dependencies import DependencyIndex
+from repro.core.function_registry import FunctionInfo, function_id
+from repro.core.gmr import GMR
+from repro.core.restricted import RestrictionSpec, validate_atomic_restrictions
+from repro.core.rrr import ReverseReferenceRelation
+from repro.core.strategies import Strategy
+from repro.errors import CompensationError, GMRDefinitionError
+from repro.gom.oid import Oid
+from repro.gom.types import is_atomic_type
+from repro.predicates.ast import all_variables
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+
+
+FunctionSpec = "str | tuple[str, str] | FunctionInfo"
+
+
+@dataclass
+class ManagerStats:
+    """Operational counters of the GMR manager.
+
+    Useful for tests, benchmarks and production observability: the
+    paper's cost arguments (e.g. "12 invalidations per scale", "lazy
+    defers recomputation") become directly measurable.
+    """
+
+    forward_hits: int = 0
+    forward_computes: int = 0
+    invalidate_calls: int = 0
+    entries_invalidated: int = 0
+    rematerializations: int = 0
+    compensations: int = 0
+    predicate_evaluations: int = 0
+    rows_created: int = 0
+    rows_removed: int = 0
+    blind_rows_removed: int = 0
+
+    def snapshot(self) -> "ManagerStats":
+        return ManagerStats(**vars(self))
+
+    def delta(self, earlier: "ManagerStats") -> "ManagerStats":
+        return ManagerStats(
+            **{
+                name: value - getattr(earlier, name)
+                for name, value in vars(self).items()
+            }
+        )
+
+
+class GMRManager:
+    """Maintains every GMR extension of one object base."""
+
+    def __init__(self, db: "ObjectBase") -> None:
+        self._db = db
+        self._gmrs: dict[str, GMR] = {}
+        self._gmr_of_fid: dict[str, GMR] = {}
+        self._op_dispatch: dict[tuple[str, str], str] = {}
+        self._deps = DependencyIndex()
+        self._rrr = ReverseReferenceRelation(db.page_store, db.buffer)
+        self._ca = CompensationTable()
+        self.stats = ManagerStats()
+        #: RRR maintenance policy (Sec. 4.1): ``"remove"`` removes entries
+        #: in step 1 of the invalidation algorithms and lets the
+        #: rematerialization re-insert them; ``"second_chance"`` marks
+        #: them instead and removes only entries still marked at the next
+        #: invalidation (the paper's proposed alternative).
+        self.rrr_policy = "remove"
+
+    # ------------------------------------------------------------------
+    # GMR creation
+    # ------------------------------------------------------------------
+
+    def materialize(
+        self,
+        functions: Sequence[Any],
+        *,
+        complete: bool = True,
+        strategy: Strategy = Strategy.IMMEDIATE,
+        restriction: RestrictionSpec | None = None,
+        storage: str = "auto",
+        name: str | None = None,
+        populate: bool = True,
+        capacity: int | None = None,
+        row_placement: str = "separate",
+    ) -> GMR:
+        """Create the GMR ``⟨⟨f1, ..., fm⟩⟩`` and (optionally) populate it.
+
+        ``functions`` items are ``(type_name, op_name)`` pairs, ``"Type.op"``
+        ids of already registered functions, or :class:`FunctionInfo`
+        objects.  ``complete=False`` creates an incrementally set up GMR
+        (a result cache, Sec. 3.2); ``capacity`` bounds such a cache with
+        LRU replacement.
+        """
+        infos = [self._resolve_function(spec) for spec in functions]
+        for info in infos:
+            if info.fid in self._gmr_of_fid:
+                raise GMRDefinitionError(
+                    f"{info.fid} is already materialized in "
+                    f"{self._gmr_of_fid[info.fid].name}"
+                )
+        gmr = GMR(
+            infos,
+            page_store=self._db.page_store,
+            buffer=self._db.buffer,
+            complete=complete,
+            strategy=strategy,
+            restriction=restriction,
+            storage=storage,
+            name=name,
+            capacity=capacity,
+            row_placement=row_placement,
+        )
+        if gmr.name in self._gmrs:
+            raise GMRDefinitionError(f"a GMR named {gmr.name} already exists")
+        validate_atomic_restrictions(gmr.arg_types, restriction)
+
+        self._gmrs[gmr.name] = gmr
+        for info in infos:
+            self._gmr_of_fid[info.fid] = gmr
+            self._op_dispatch[(info.type_name, info.op_name)] = info.fid
+            if strategy is not Strategy.SNAPSHOT:
+                # Snapshot GMRs are refreshed periodically, never
+                # invalidated: they register no update dependencies.
+                self._deps.add_function(info)
+        if gmr.restriction is not None and gmr.restriction.predicate is not None:
+            self._gmr_of_fid[gmr.predicate_fid] = gmr
+            self._deps.add_pairs(gmr.predicate_fid, self._predicate_pairs(gmr))
+        elif gmr.restriction is not None:
+            # Atomic-only restriction: still track the pseudo function so
+            # forget_object can clean rows via predicate RRR entries.
+            self._gmr_of_fid[gmr.predicate_fid] = gmr
+
+        if complete and populate:
+            self._populate(gmr)
+        return gmr
+
+    def _resolve_function(self, spec: Any) -> FunctionInfo:
+        if isinstance(spec, FunctionInfo):
+            return spec
+        if isinstance(spec, tuple):
+            type_name, op_name = spec
+            return self._db.functions.register(type_name, op_name)
+        if isinstance(spec, str):
+            if "." in spec:
+                type_name, op_name = spec.split(".", 1)
+                return self._db.functions.register(type_name, op_name)
+            raise GMRDefinitionError(
+                f"function spec {spec!r} must be 'Type.op' or a (type, op) pair"
+            )
+        raise GMRDefinitionError(f"cannot interpret function spec {spec!r}")
+
+    def _predicate_pairs(
+        self, gmr: GMR
+    ) -> frozenset[tuple[str, str]] | None:
+        """RelAttr of the restriction predicate, typed from arg types."""
+        spec = gmr.restriction
+        assert spec is not None and spec.predicate is not None
+        schema = self._db.schema
+        pairs: set[tuple[str, str]] = set()
+        names = list(spec.var_names)
+        for variable in all_variables(spec.predicate):
+            if variable.name not in names:
+                return None  # unknown binding: be conservative
+            current = gmr.arg_types[names.index(variable.name)]
+            for attribute in variable.path:
+                if is_atomic_type(current):
+                    return None
+                try:
+                    declaring = schema.attribute_declaring_type(current, attribute)
+                except Exception:
+                    return None
+                pairs.add((declaring, attribute))
+                current = schema.attribute(current, attribute).type_name
+        return frozenset(pairs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rrr(self) -> ReverseReferenceRelation:
+        return self._rrr
+
+    @property
+    def compensations(self) -> CompensationTable:
+        return self._ca
+
+    def gmrs(self) -> list[GMR]:
+        return list(self._gmrs.values())
+
+    def gmr(self, name: str) -> GMR:
+        try:
+            return self._gmrs[name]
+        except KeyError:
+            raise GMRDefinitionError(f"no GMR named {name}") from None
+
+    def gmr_of(self, fid: str) -> GMR | None:
+        return self._gmr_of_fid.get(fid)
+
+    def is_materialized_op(self, decl_type: str, op_name: str) -> bool:
+        return (decl_type, op_name) in self._op_dispatch
+
+    def fid_of_op(self, decl_type: str, op_name: str) -> str | None:
+        return self._op_dispatch.get((decl_type, op_name))
+
+    def schema_dep_fct(self, decl_type: str, attr: str) -> frozenset[str]:
+        return self._deps.schema_dep_fct(decl_type, attr)
+
+    def relevant_attrs(self, fid: str) -> frozenset[tuple[str, str]]:
+        return self._deps.relevant_attrs(fid)
+
+    # ------------------------------------------------------------------
+    # Population and (re-)materialization
+    # ------------------------------------------------------------------
+
+    def _domains(self, gmr: GMR, fixed: dict[int, Any] | None = None) -> list[list]:
+        domains: list[list] = []
+        for position, type_name in enumerate(gmr.arg_types):
+            if fixed is not None and position in fixed:
+                domains.append([fixed[position]])
+            elif is_atomic_type(type_name):
+                assert gmr.restriction is not None
+                domains.append(gmr.restriction.atomic_values(position))
+            else:
+                domains.append(list(self._db.objects.extension(type_name)))
+        return domains
+
+    def _populate(self, gmr: GMR) -> None:
+        for args in product(*self._domains(gmr)):
+            self._admit(gmr, args)
+
+    def _admit(self, gmr: GMR, args: tuple) -> bool:
+        """Evaluate the restriction for ``args`` and materialize the row."""
+        if gmr.restriction is not None:
+            if not self._evaluate_predicate(gmr, args):
+                return False
+        self.stats.rows_created += 1
+        gmr.ensure_row(args)
+        for fid in gmr.fids:
+            self._rematerialize(gmr, fid, args)
+        return True
+
+    def _evaluate_predicate(self, gmr: GMR, args: tuple) -> bool:
+        """Evaluate (and trace) the restriction predicate for ``args``.
+
+        The accessed objects get RRR entries under the GMR's predicate
+        pseudo-function so later updates re-trigger the evaluation
+        (Sec. 6.1).
+        """
+        spec = gmr.restriction
+        assert spec is not None
+        self.stats.predicate_evaluations += 1
+        db = self._db
+        with db.materialization_scope():
+            with db.trace() as tracer:
+                allowed = spec.allows(db, args)
+        if gmr.strategy is not Strategy.SNAPSHOT:
+            accessed = set(tracer.objects)
+            accessed.update(arg for arg in args if isinstance(arg, Oid))
+            for oid in accessed:
+                self._rrr_insert(oid, gmr.predicate_fid, args)
+        return allowed
+
+    def _rematerialize(self, gmr: GMR, fid: str, args: tuple) -> Any:
+        """Recompute ``f(args)``, store it and refresh the RRR (Sec. 4.1)."""
+        info = gmr.function(fid)
+        self.stats.rematerializations += 1
+        db = self._db
+        try:
+            with db.trace() as tracer:
+                value = db.call_function(info, args)
+        except Exception:
+            # A failing function body must never leave a stale value
+            # flagged valid (Def. 3.2): invalidate the entry and let the
+            # error surface to the updater/querier.
+            if gmr.lookup(args) is not None:
+                gmr.mark_invalid(args, fid)
+            raise
+        gmr.set_result(args, fid, value)
+        if gmr.strategy is not Strategy.SNAPSHOT:
+            accessed = set(tracer.objects)
+            accessed.update(arg for arg in args if isinstance(arg, Oid))
+            for oid in accessed:
+                self._rrr_insert(oid, fid, args)
+        return value
+
+    # -- RRR/ObjDepFct lockstep maintenance (Sec. 5.2) ---------------------------
+
+    def _rrr_insert(self, oid: Oid, fid: str, args: tuple) -> None:
+        first = self._rrr.insert(oid, fid, args)
+        if first and self._db.objects.exists(oid):
+            self._db.objects.get(oid).obj_dep_fct.add(fid)
+
+    def _rrr_pop_args(self, oid: Oid, fid: str) -> set[tuple]:
+        popped = self._rrr.pop_args(oid, fid)
+        if popped and self._db.objects.exists(oid):
+            self._db.objects.get(oid).obj_dep_fct.discard(fid)
+        return popped
+
+    def _rrr_remove(self, oid: Oid, fid: str, args: tuple) -> None:
+        last = self._rrr.remove(oid, fid, args)
+        if last and self._db.objects.exists(oid):
+            self._db.objects.get(oid).obj_dep_fct.discard(fid)
+
+    def _sync_obj_dep(self, oid: Oid) -> None:
+        """Rebuild an object's ObjDepFct from its current RRR entries."""
+        if not self._db.objects.exists(oid):
+            return
+        obj = self._db.objects.get(oid)
+        current = self._rrr.fids_of(oid)
+        obj.obj_dep_fct.clear()
+        obj.obj_dep_fct.update(current)
+
+    # ------------------------------------------------------------------
+    # Invalidation (Sec. 4.1)
+    # ------------------------------------------------------------------
+
+    def invalidate(
+        self,
+        oid: Oid,
+        fcts: Iterable[str] | None = None,
+        *,
+        exclude: frozenset[str] = frozenset(),
+    ) -> int:
+        """Handle an update of ``oid``; returns the number of affected
+        entries.  ``fcts=None`` is the naive variant (Figure 4): the RRR
+        is searched for every function."""
+        self.stats.invalidate_calls += 1
+        if fcts is None:
+            relevant = self._rrr.fids_of(oid)
+        else:
+            relevant = set(fcts)
+        if exclude:
+            relevant -= exclude
+        affected = 0
+        for fid in relevant:
+            if self.rrr_policy == "second_chance":
+                # Step 1, second-chance variant: drop stale leftovers from
+                # the previous round, mark the fresh entries and process
+                # exactly those.
+                self._rrr.pop_marked(oid, fid)
+                args_set = self._rrr.mark_all(oid, fid)
+                self._sync_obj_dep(oid)
+            else:
+                args_set = self._rrr_pop_args(oid, fid)
+            if not args_set:
+                continue
+            gmr = self._gmr_of_fid.get(fid)
+            if gmr is None:
+                continue
+            if fid == gmr.predicate_fid:
+                for args in args_set:
+                    self._predicate_update(gmr, args)
+                    affected += 1
+                continue
+            if gmr.strategy is Strategy.LAZY:
+                for args in args_set:
+                    # A missing row is a blind reference (Sec. 4.2): the
+                    # popped entry was the stale leftover; nothing to do.
+                    gmr.mark_invalid(args, fid)
+                    affected += 1
+            else:
+                for args in args_set:
+                    if gmr.lookup(args) is None:
+                        continue  # blind reference, lazily cleaned
+                    if not self._args_alive(args):
+                        gmr.remove_row(args)  # blind row: argument deleted
+                        self.stats.blind_rows_removed += 1
+                        continue
+                    self._rematerialize(gmr, fid, args)
+                    affected += 1
+        self.stats.entries_invalidated += affected
+        return affected
+
+    def _args_alive(self, args: tuple) -> bool:
+        objects = self._db.objects
+        return all(
+            objects.exists(arg) for arg in args if isinstance(arg, Oid)
+        )
+
+    def _predicate_update(self, gmr: GMR, args: tuple) -> None:
+        """Sec. 6.1: re-evaluate the restriction predicate for ``args``."""
+        if any(
+            isinstance(arg, Oid) and not self._db.objects.exists(arg)
+            for arg in args
+        ):
+            return  # argument object gone; row (if any) is removed elsewhere
+        allowed = self._evaluate_predicate(gmr, args)
+        row = gmr.lookup(args)
+        if allowed:
+            if row is None:
+                gmr.ensure_row(args)
+                for fid in gmr.fids:
+                    self._rematerialize(gmr, fid, args)
+        else:
+            if row is not None:
+                gmr.remove_row(args)
+
+    # ------------------------------------------------------------------
+    # Creation / deletion of argument objects (Sec. 4.2)
+    # ------------------------------------------------------------------
+
+    def new_object(self, oid: Oid, type_name: str) -> None:
+        """Insert GMR entries for every argument combination containing
+        the new object (complete GMRs only)."""
+        schema = self._db.schema
+        for gmr in self._gmrs.values():
+            if not gmr.complete or gmr.strategy is Strategy.SNAPSHOT:
+                continue
+            positions = [
+                index
+                for index, arg_type in enumerate(gmr.arg_types)
+                if not is_atomic_type(arg_type)
+                and schema.is_subtype(type_name, arg_type)
+            ]
+            if not positions:
+                continue
+            combos: set[tuple] = set()
+            for position in positions:
+                combos.update(product(*self._domains(gmr, fixed={position: oid})))
+            for args in combos:
+                if gmr.lookup(args) is None:
+                    self._admit(gmr, args)
+
+    def forget_object(self, oid: Oid) -> None:
+        """Remove the deleted object's RRR entries and every GMR entry it
+        was an argument of; other references become blind and are cleaned
+        lazily (Sec. 4.2)."""
+        by_fct = self._rrr.pop_object(oid)
+        if self._db.objects.exists(oid):
+            self._db.objects.get(oid).obj_dep_fct.clear()
+        for fid, args_set in by_fct.items():
+            gmr = self._gmr_of_fid.get(fid)
+            if gmr is None:
+                continue
+            for args in args_set:
+                if oid in args and gmr.remove_row(args):
+                    self.stats.rows_removed += 1
+
+    # ------------------------------------------------------------------
+    # Compensating actions (Sec. 5.4)
+    # ------------------------------------------------------------------
+
+    def register_compensation(
+        self,
+        update_type: str,
+        update_op: str,
+        function: Any,
+        action: Callable[..., Any],
+        *,
+        name: str = "",
+    ) -> CompensatingAction:
+        """Register ``action`` as the compensating action for ``function``
+        and the update operation ``update_type.update_op``.
+
+        Enforces Def. 5.4's side condition: the update operation must be
+        associated with an *argument type* of the materialized function.
+        """
+        info = self._resolve_function(function)
+        if info.fid not in self._gmr_of_fid:
+            raise CompensationError(
+                f"{info.fid} is not materialized; create its GMR first"
+            )
+        schema = self._db.schema
+        decl_type = self._resolve_update_type(update_type, update_op)
+        compatible = any(
+            schema.is_subtype(decl_type, arg_type)
+            or schema.is_subtype(arg_type, decl_type)
+            for arg_type in info.arg_types
+            if not is_atomic_type(arg_type)
+        )
+        if not compatible:
+            raise CompensationError(
+                f"compensating actions may only be specified for update "
+                f"operations of argument types of the materialized function; "
+                f"{decl_type}.{update_op} is not associated with an argument "
+                f"type of {info.fid}"
+            )
+        entry = CompensatingAction(
+            update_type=decl_type,
+            update_op=update_op,
+            fid=info.fid,
+            action=action,
+            name=name or getattr(action, "__name__", ""),
+        )
+        self._ca.register(entry)
+        return entry
+
+    def _resolve_update_type(self, update_type: str, update_op: str) -> str:
+        schema = self._db.schema
+        definition = schema.type(update_type)
+        if update_op in ("insert", "remove") and definition.is_collection():
+            return update_type
+        if update_op.startswith("set_"):
+            attr = update_op[len("set_") :]
+            return schema.attribute_declaring_type(update_type, attr)
+        declaring, _ = schema.resolve_operation(update_type, update_op)
+        return declaring
+
+    def has_compensation(self, decl_type: str, update_op: str) -> bool:
+        return self._ca.has(decl_type, update_op)
+
+    def compensated_fct(self, decl_type: str, update_op: str) -> frozenset[str]:
+        return self._ca.compensated_fct(decl_type, update_op)
+
+    def compensate(
+        self,
+        oid: Oid,
+        update_args: tuple,
+        decl_type: str,
+        update_op: str,
+        fcts: Iterable[str],
+    ) -> int:
+        """Apply compensating actions for an impending update of ``oid``.
+
+        Called *before* the update executes so actions can read the old
+        object-base state (Sec. 5.4).  Returns the number of compensated
+        entries.
+        """
+        db = self._db
+        compensated = 0
+        for fid in fcts:
+            entry = self._ca.action_for(decl_type, update_op, fid)
+            if entry is None:
+                continue
+            gmr = self._gmr_of_fid.get(fid)
+            if gmr is None:
+                continue
+            column = gmr.column_of(fid)
+            receiver = db.handle(oid)
+            wrapped = tuple(
+                db.handle(argument) if isinstance(argument, Oid) else argument
+                for argument in update_args
+            )
+            for args in list(self._rrr.args_of(oid, fid)):
+                row = gmr.lookup(args)
+                if row is None:
+                    self._rrr_remove(oid, fid, args)  # blind reference
+                    continue
+                if not row.valid[column]:
+                    continue  # already invalid; the next access recomputes
+                old = row.results[column]
+                with db.materialization_scope():
+                    with db.trace() as tracer:
+                        new_value = entry.action(receiver, *wrapped, old)
+                self.stats.compensations += 1
+                gmr.set_result(args, fid, new_value)
+                accessed = set(tracer.objects)
+                accessed.update(arg for arg in args if isinstance(arg, Oid))
+                for touched in accessed:
+                    self._rrr_insert(touched, fid, args)
+                compensated += 1
+        return compensated
+
+    # ------------------------------------------------------------------
+    # Retrieval (Sec. 3.2)
+    # ------------------------------------------------------------------
+
+    def retrieve_forward_op(
+        self, decl_type: str, op_name: str, args: tuple
+    ) -> Any:
+        fid = self._op_dispatch[(decl_type, op_name)]
+        return self.retrieve_forward(fid, args)
+
+    def retrieve_forward(self, fid: str, args: tuple) -> Any:
+        """A forward query: the result of ``f(args)``.
+
+        Serves valid entries from the GMR; (re-)computes invalid or
+        missing entries (updating the GMR, unless the arguments fall
+        outside a restriction — then the "normal" function answers).
+        """
+        gmr = self._gmr_of_fid.get(fid)
+        if gmr is None:
+            raise GMRDefinitionError(f"{fid} is not materialized")
+        column = gmr.column_of(fid)
+        row = gmr.lookup(args)
+        if row is not None and row.valid[column]:
+            self.stats.forward_hits += 1
+            return row.results[column]
+        self.stats.forward_computes += 1
+        if row is None and gmr.strategy is Strategy.SNAPSHOT:
+            # Created after the last refresh: answer with the normal
+            # function; the snapshot extension stays fixed.
+            return self._db.call_function(gmr.function(fid), args)
+        if row is None and gmr.is_restricted:
+            if not self._evaluate_predicate(gmr, args):
+                # Outside the restriction: compute with the normal function.
+                return self._db.call_function(gmr.function(fid), args)
+        return self._rematerialize(gmr, fid, args)
+
+    def force_invalidate_all(self, gmr: GMR) -> None:
+        """Invalidate every entry of ``gmr`` and drop the corresponding
+        RRR entries and ObjDepFct markings.
+
+        This is the starting state of the paper's Figure 10 ``Lazy``
+        configuration: "all materialized volume results had been
+        invalidated before the benchmark was started — this causes the
+        RRR and the sets ObjDepFct to be empty with respect to
+        ⟨⟨volume⟩⟩"."""
+        fids = set(gmr.fids)
+        stale = [
+            (oid, fid, args)
+            for oid, fid, args in self._rrr.triples()
+            if fid in fids
+        ]
+        for oid, fid, args in stale:
+            self._rrr_remove(oid, fid, args)
+        for fid in gmr.fids:
+            for args in gmr.args():
+                gmr.mark_invalid(args, fid)
+
+    def revalidate(self, gmr: GMR, fid: str | None = None) -> int:
+        """Rematerialize every invalid entry (the paper's low-load sweep)."""
+        count = 0
+        fids = [fid] if fid is not None else gmr.fids
+        for function_fid in fids:
+            for args in list(gmr.invalid_args(function_fid)):
+                if gmr.lookup(args) is None:
+                    continue
+                if not self._args_alive(args):
+                    # A blind row: its argument object was deleted after
+                    # the entry had been lazily invalidated (Sec. 4.2's
+                    # lazy maintenance) — detected and dropped here.
+                    gmr.remove_row(args)
+                    self.stats.blind_rows_removed += 1
+                    continue
+                self._rematerialize(gmr, function_fid, args)
+                count += 1
+        return count
+
+    def vacuum(self, gmr: GMR | None = None) -> int:
+        """Remove blind rows (rows over deleted argument objects).
+
+        The paper's alternative to lazy cleanup is "a periodic
+        reorganization"; this is that sweep, usable on one GMR or all.
+        """
+        removed = 0
+        targets = [gmr] if gmr is not None else list(self._gmrs.values())
+        for target in targets:
+            for args in target.args():
+                if not self._args_alive(args):
+                    target.remove_row(args)
+                    removed += 1
+        self.stats.blind_rows_removed += removed
+        return removed
+
+    def refresh_snapshot(self, gmr: GMR) -> int:
+        """Recompute a snapshot GMR against the current object base.
+
+        Drops the old extension and repopulates from the current type
+        extensions (the Adiba/Lindsay periodic refresh).  Returns the new
+        row count.
+        """
+        if gmr.strategy is not Strategy.SNAPSHOT:
+            raise GMRDefinitionError(
+                f"{gmr.name} is not a snapshot GMR; use revalidate instead"
+            )
+        for args in gmr.args():
+            gmr.remove_row(args)
+        self._populate(gmr)
+        return len(gmr)
+
+    def backward_query(
+        self,
+        fid: str,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[tuple[Any, tuple]]:
+        """A backward range query over ``fid``'s results.
+
+        All results must be valid for the answer to be complete, so
+        invalid entries are rematerialized first (this is why lazy and
+        immediate strategies cost the same for backward-query-only mixes,
+        Fig. 13).
+        """
+        gmr = self._gmr_of_fid.get(fid)
+        if gmr is None:
+            raise GMRDefinitionError(f"{fid} is not materialized")
+        if gmr.strategy is not Strategy.SNAPSHOT:
+            self.revalidate(gmr, fid)
+        return list(
+            gmr.backward(
+                fid, low, high, include_low=include_low, include_high=include_high
+            )
+        )

@@ -1,0 +1,148 @@
+"""Restricted GMRs (Sec. 6): predicate and atomic-argument restrictions.
+
+A restriction has two parts:
+
+* an optional *restriction predicate* ``p`` over the complex argument
+  objects (e.g. ``c.Mat.Name = "Iron"``), evaluated through handles so a
+  tracer can capture its dependencies — the predicate is maintained like
+  a materialized Boolean function (Sec. 6.1);
+* per-position restrictions on *atomic* argument types (Sec. 6.2):
+  ``float`` arguments must be value-restricted, ``int`` arguments may be
+  value- or range-restricted — a function with an unrestricted atomic
+  argument type cannot be materialized for all values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.errors import AtomicArgumentError
+from repro.predicates.ast import Predicate, all_variables
+from repro.predicates.evaluate import evaluate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+    from repro.gom.oid import Oid
+
+
+class Restriction:
+    """Base class of atomic-argument restrictions."""
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def values(self) -> list[Any]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ValueRestriction(Restriction):
+    """``x = v1 ∨ ... ∨ x = vk`` — a value-restricted atomic argument."""
+
+    allowed: tuple[Any, ...]
+
+    def contains(self, value: Any) -> bool:
+        return value in self.allowed
+
+    def values(self) -> list[Any]:
+        return list(self.allowed)
+
+
+@dataclass(frozen=True)
+class RangeRestriction(Restriction):
+    """``lb ≤ x ≤ ub`` — a range-restricted *int* argument."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise AtomicArgumentError(
+                f"empty range restriction [{self.low}, {self.high}]"
+            )
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and self.low <= value <= self.high
+
+    def values(self) -> list[Any]:
+        return list(range(self.low, self.high + 1))
+
+
+@dataclass
+class RestrictionSpec:
+    """The restriction of a p-restricted GMR ``⟨⟨f1,...,fm⟩⟩p``."""
+
+    predicate: Predicate | None = None
+    #: Range-variable names binding argument positions for the predicate.
+    var_names: tuple[str, ...] = ()
+    #: Restrictions of atomic argument positions (0-based index).
+    atomic: dict[int, Restriction] = field(default_factory=dict)
+
+    def predicate_variables(self) -> set[str]:
+        if self.predicate is None:
+            return set()
+        return {variable.name for variable in all_variables(self.predicate)}
+
+    def allows(self, db: "ObjectBase", args: Sequence[Any]) -> bool:
+        """Evaluate the restriction for one argument combination.
+
+        Complex arguments are bound as handles so attribute paths in the
+        predicate navigate the live object graph (and are traced when a
+        tracer is active — this is what keeps the predicate
+        materialization consistent, Sec. 6.1).
+        """
+        for position, restriction in self.atomic.items():
+            if not restriction.contains(args[position]):
+                return False
+        if self.predicate is None:
+            return True
+        binding: dict[str, Any] = {}
+        for name, value in zip(self.var_names, args):
+            binding[name] = self._bind(db, value)
+        return evaluate(self.predicate, binding)
+
+    @staticmethod
+    def _bind(db: "ObjectBase", value: Any) -> Any:
+        from repro.gom.oid import Oid
+
+        if isinstance(value, Oid):
+            return db.handle(value)
+        return value
+
+    def atomic_values(self, position: int) -> list[Any]:
+        restriction = self.atomic.get(position)
+        if restriction is None:
+            raise AtomicArgumentError(
+                f"argument position {position} has no atomic restriction"
+            )
+        return restriction.values()
+
+
+def validate_atomic_restrictions(
+    arg_types: Sequence[str],
+    spec: RestrictionSpec | None,
+    *,
+    atomic_types: Iterable[str] = ("float", "int", "decimal", "string", "bool", "char"),
+) -> None:
+    """Enforce Sec. 6.2: atomic argument positions must be restricted.
+
+    ``float`` (and ``decimal``) arguments must be *value*-restricted;
+    ``int`` arguments may be value- or range-restricted.
+    """
+    atomic_set = set(atomic_types)
+    for position, type_name in enumerate(arg_types):
+        if type_name not in atomic_set:
+            continue
+        restriction = None if spec is None else spec.atomic.get(position)
+        if restriction is None:
+            raise AtomicArgumentError(
+                f"argument {position} of atomic type {type_name} requires a "
+                f"value or range restriction (Sec. 6.2)"
+            )
+        if type_name in ("float", "decimal") and not isinstance(
+            restriction, ValueRestriction
+        ):
+            raise AtomicArgumentError(
+                "float-valued arguments must always be value-restricted"
+            )

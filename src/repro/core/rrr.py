@@ -1,0 +1,189 @@
+"""The Reverse Reference Relation (Def. 4.1).
+
+The RRR is a set of tuples ``[O: OID, F: FunctionId, A: ⟨OID⟩]``: object
+``O`` has been accessed during the materialization of ``F`` with argument
+list ``A``.  Because references in the object base are uni-directional,
+the RRR is what lets the GMR manager find all materialized results an
+updated object influences.
+
+Physically the RRR is keyed by ``O`` (every algorithm in Sec. 4 starts
+from "foreach triple [o, f, ⟨...⟩] in RRR"); each object's entry bucket
+is placed on a simulated page so RRR lookups carry an I/O charge — the
+lookup penalty the paper's Sec. 5.2 optimisation exists to avoid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.gom.oid import Oid
+from repro.storage.pages import BufferManager, PageStore, Placement
+
+_ENTRY_SIZE = 48
+
+
+class ReverseReferenceRelation:
+    """Maps objects to the materializations that used them."""
+
+    def __init__(
+        self,
+        page_store: PageStore | None = None,
+        buffer: BufferManager | None = None,
+    ) -> None:
+        self._pages = page_store
+        self._buffer = buffer
+        # oid → fid → {args: marked}.  The marked flag implements the
+        # paper's *second chance* variant of Sec. 4.1: instead of removing
+        # an entry in step 1 of the maintenance algorithms, it is marked;
+        # a re-insertion during rematerialization clears the mark, and an
+        # entry still marked at the next invalidation is a genuine
+        # leftover and is dropped.
+        self._entries: dict[Oid, dict[str, dict[tuple, bool]]] = {}
+        self._placements: dict[Oid, Placement] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _touch(self, oid: Oid, *, write: bool = False) -> None:
+        if self._pages is None or self._buffer is None:
+            return
+        placement = self._placements.get(oid)
+        if placement is None:
+            placement = self._pages.place("RRR", _ENTRY_SIZE)
+            self._placements[oid] = placement
+        self._buffer.touch(placement.page_id, write=write)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def insert(self, oid: Oid, fid: str, args: tuple) -> bool:
+        """Insert ``[oid, fid, args]`` (if not present; clears any mark).
+
+        Returns True when this is the first entry of ``fid`` for ``oid``
+        — the caller then adds ``fid`` to the object's ``ObjDepFct``.
+        """
+        self._touch(oid, write=True)
+        by_fct = self._entries.setdefault(oid, {})
+        bucket = by_fct.get(fid)
+        if bucket is None:
+            by_fct[fid] = {args: False}
+            self._size += 1
+            return True
+        if args not in bucket:
+            bucket[args] = False
+            self._size += 1
+        else:
+            bucket[args] = False  # re-used after an update: second chance
+        return False
+
+    def remove(self, oid: Oid, fid: str, args: tuple) -> bool:
+        """Remove one triple; returns True when ``fid`` has no entries left
+        for ``oid`` (the caller then removes the ``ObjDepFct`` marking)."""
+        self._touch(oid, write=True)
+        by_fct = self._entries.get(oid)
+        if by_fct is None:
+            return False
+        bucket = by_fct.get(fid)
+        if bucket is None or args not in bucket:
+            return False
+        del bucket[args]
+        self._size -= 1
+        if not bucket:
+            del by_fct[fid]
+            if not by_fct:
+                del self._entries[oid]
+            return True
+        return False
+
+    def pop_args(self, oid: Oid, fid: str) -> set[tuple]:
+        """Remove and return every argument list of ``fid`` for ``oid``."""
+        self._touch(oid, write=True)
+        by_fct = self._entries.get(oid)
+        if by_fct is None:
+            return set()
+        bucket = by_fct.pop(fid, None)
+        if bucket is None:
+            return set()
+        self._size -= len(bucket)
+        if not by_fct:
+            del self._entries[oid]
+        return set(bucket)
+
+    def mark_all(self, oid: Oid, fid: str) -> set[tuple]:
+        """Second-chance step 1: mark (rather than remove) the entries.
+
+        Returns the argument lists that were *unmarked* — those are the
+        ones the caller processes; entries already marked are stale
+        leftovers handled by :meth:`pop_marked`.
+        """
+        self._touch(oid, write=True)
+        by_fct = self._entries.get(oid)
+        if by_fct is None:
+            return set()
+        bucket = by_fct.get(fid)
+        if bucket is None:
+            return set()
+        fresh = {args for args, marked in bucket.items() if not marked}
+        for args in fresh:
+            bucket[args] = True
+        return fresh
+
+    def pop_marked(self, oid: Oid, fid: str) -> set[tuple]:
+        """Remove and return entries still marked from a prior round."""
+        self._touch(oid, write=True)
+        by_fct = self._entries.get(oid)
+        if by_fct is None:
+            return set()
+        bucket = by_fct.get(fid)
+        if bucket is None:
+            return set()
+        stale = {args for args, marked in bucket.items() if marked}
+        for args in stale:
+            del bucket[args]
+        self._size -= len(stale)
+        if not bucket:
+            del by_fct[fid]
+            if not by_fct:
+                del self._entries[oid]
+        return stale
+
+    def is_marked(self, oid: Oid, fid: str, args: tuple) -> bool:
+        by_fct = self._entries.get(oid)
+        if by_fct is None:
+            return False
+        bucket = by_fct.get(fid)
+        return bool(bucket and bucket.get(args, False))
+
+    def pop_object(self, oid: Oid) -> dict[str, set[tuple]]:
+        """Remove and return all entries of ``oid`` (used by forget_object)."""
+        self._touch(oid, write=True)
+        by_fct = self._entries.pop(oid, None)
+        if by_fct is None:
+            return {}
+        self._size -= sum(len(bucket) for bucket in by_fct.values())
+        return {fid: set(bucket) for fid, bucket in by_fct.items()}
+
+    # -- lookups -----------------------------------------------------------------
+
+    def fids_of(self, oid: Oid) -> set[str]:
+        self._touch(oid)
+        by_fct = self._entries.get(oid)
+        return set(by_fct) if by_fct else set()
+
+    def args_of(self, oid: Oid, fid: str) -> set[tuple]:
+        self._touch(oid)
+        by_fct = self._entries.get(oid)
+        if by_fct is None:
+            return set()
+        return set(by_fct.get(fid, {}))
+
+    def has_entries(self, oid: Oid) -> bool:
+        self._touch(oid)
+        return oid in self._entries
+
+    def triples(self) -> Iterator[tuple[Oid, str, tuple]]:
+        """All ``[O, F, A]`` triples (for tests and figure reproduction)."""
+        for oid, by_fct in self._entries.items():
+            for fid, buckets in by_fct.items():
+                for args in buckets:
+                    yield oid, fid, args

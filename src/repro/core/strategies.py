@@ -1,0 +1,32 @@
+"""Rematerialization strategies (Sec. 3.1 / 4.1, related work [1]).
+
+``IMMEDIATE``
+    An invalidated function result is recomputed as soon as the
+    invalidation occurs.
+
+``LAZY``
+    The result is only marked invalid (``Vi := false``); recomputation is
+    deferred until the result is next needed (or an explicit
+    :meth:`~repro.core.manager.GMRManager.revalidate` sweep, the paper's
+    "load falls below a threshold" case).
+
+``SNAPSHOT``
+    The Adiba/Lindsay *database snapshot* discipline the paper contrasts
+    itself with: updates never touch the extension at all; queries read
+    the possibly stale snapshot, and an explicit
+    :meth:`~repro.core.manager.GMRManager.refresh_snapshot` recomputes
+    everything (periodic refresh).  Snapshot GMRs deliberately waive the
+    consistency guarantee of Def. 3.2 between refreshes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Strategy(Enum):
+    """When invalidated GMR entries are recomputed."""
+
+    IMMEDIATE = "immediate"
+    LAZY = "lazy"
+    SNAPSHOT = "snapshot"

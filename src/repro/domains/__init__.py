@@ -1,0 +1,19 @@
+"""The paper's two benchmark schemas.
+
+* :mod:`repro.domains.geometry` — the computer-geometry application:
+  ``Vertex`` / ``Material`` / ``Cuboid`` / ``Robot`` plus the set types
+  ``Workpieces`` and ``Valuables`` (Secs. 2–6, benchmark Sec. 7.1);
+* :mod:`repro.domains.company` — the personnel/project administration:
+  ``Company`` / ``Department`` / ``Project`` / ``Employee`` / ``Job`` and
+  the ``ranking`` / ``matrix`` functions (benchmark Sec. 7.2).
+"""
+
+from repro.domains.geometry import build_geometry_schema, create_cuboid
+from repro.domains.company import build_company_schema, populate_company
+
+__all__ = [
+    "build_geometry_schema",
+    "create_cuboid",
+    "build_company_schema",
+    "populate_company",
+]

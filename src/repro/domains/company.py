@@ -1,0 +1,298 @@
+"""The company administration schema of Sec. 7.2.
+
+Matrix organization of a company: a ``Company`` holds ``Departments``
+(each with a set of ``Employees``) and ``Projects`` (each with the set of
+programmers involved).  Each ``Employee`` has a unique number, a salary
+and a job history; a ``Job`` records the part of a project delegated to
+the employee (lines of code written plus two Boolean status flags).
+
+The two materialized functions of the benchmark:
+
+* ``Employee.ranking`` — the average of the assessment values of all
+  jobs in the employee's history;
+* ``Company.matrix`` — the department × project matrix: the set of
+  ``MatrixLine(dep, proj, emps)`` records with a non-empty employee set.
+
+``increase_matrix`` is the compensating action of Figure 15: inserting a
+new project extends the stored matrix with that project's lines instead
+of recomputing the whole matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+    from repro.gom.handles import Handle
+
+
+@dataclass(frozen=True)
+class MatrixLine:
+    """One line of the department × project matrix.
+
+    ``emps`` holds the employees of ``dep`` working in ``proj``; lines
+    with an empty employee set are not part of the matrix.
+    """
+
+    dep: object
+    proj: object
+    emps: tuple
+
+    def __repr__(self) -> str:  # keep benchmark output compact
+        return f"MatrixLine({self.dep!r}, {self.proj!r}, {len(self.emps)} emps)"
+
+
+# ---------------------------------------------------------------------------
+# Operation bodies
+# ---------------------------------------------------------------------------
+
+
+def job_assessment(self):
+    """Assessment of one job: productivity plus status bonuses."""
+    score = self.LinesOfCode / 1000.0
+    if self.OnTime:
+        score = score + 1.0
+    if self.WithinBudget:
+        score = score + 1.0
+    return score
+
+
+def employee_ranking(self):
+    """Average assessment over the employee's job history (0 if empty)."""
+    total = 0.0
+    count = 0
+    for job in self.JobHistory:
+        total = total + job.assessment()
+        count = count + 1
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def company_matrix(self):
+    """The department × project matrix (a set of MatrixLine records).
+
+    Returned as a frozenset: the matrix "is defined as a set of tuples of
+    the type MatrixLine", so equality is order-insensitive — which also
+    makes compensating actions composable with full recomputation.
+    """
+    lines = []
+    for dep in self.Deps:
+        for proj in self.Projs:
+            emps = []
+            for employee in dep.Emps:
+                if proj.Programmers.contains(employee):
+                    emps.append(employee)
+            if len(emps) > 0:
+                lines.append(MatrixLine(dep, proj, tuple(emps)))
+    return frozenset(lines)
+
+
+def company_add_project(self, project):
+    """Register a new project with the company (public update)."""
+    self.Projs.insert(project)
+
+
+def company_drop_project(self, project):
+    """Remove a project from the company (public update)."""
+    self.Projs.remove(project)
+
+
+# ---------------------------------------------------------------------------
+# Compensating action for Figure 15
+# ---------------------------------------------------------------------------
+
+
+def increase_matrix(company, new_project, old_matrix):
+    """Compensate ``Company.add_project`` for ``matrix``: append the new
+    project's lines to the stored matrix (Def. 5.4)."""
+    lines = set(old_matrix)
+    for dep in company.Deps:
+        emps = tuple(
+            employee
+            for employee in dep.Emps
+            if new_project.Programmers.contains(employee)
+        )
+        if emps:
+            lines.add(MatrixLine(dep, new_project, emps))
+    return frozenset(lines)
+
+
+# ---------------------------------------------------------------------------
+# Schema construction
+# ---------------------------------------------------------------------------
+
+
+def build_company_schema(db: "ObjectBase") -> None:
+    """Define the company types (reference graph of Figure 12)."""
+    db.define_tuple_type("Person", {"Name": "string"})
+    db.define_set_type("Employees", "Employee")
+    db.define_set_type("Jobs", "Job")
+    db.define_set_type("Projects", "Project")
+    db.define_set_type("Departments", "Department")
+    db.define_tuple_type(
+        "Employee",
+        {"EmpNo": "int", "Salary": "float", "JobHistory": "Jobs"},
+        supertype="Person",
+    )
+    db.define_tuple_type(
+        "Project",
+        {
+            "PName": "string",
+            "Status": "float",   # −1000 (delay/loss) .. 1000 (profitable)
+            "Size": "int",       # lines of code
+            "Programmers": "Employees",
+        },
+    )
+    db.define_tuple_type(
+        "Job",
+        {
+            "Proj": "Project",
+            "LinesOfCode": "int",
+            "OnTime": "bool",
+            "WithinBudget": "bool",
+        },
+    )
+    db.define_tuple_type(
+        "Department",
+        {"DName": "string", "DepNo": "int", "Emps": "Employees"},
+    )
+    db.define_tuple_type(
+        "Company",
+        {"CName": "string", "Deps": "Departments", "Projs": "Projects"},
+    )
+
+    db.define_operation("Job", "assessment", [], "float", job_assessment)
+    db.define_operation("Employee", "ranking", [], "float", employee_ranking)
+    db.define_operation("Company", "matrix", [], "MatrixLines", company_matrix)
+    db.define_operation(
+        "Company", "add_project", ["Project"], "void", company_add_project
+    )
+    db.define_operation(
+        "Company", "drop_project", ["Project"], "void", company_drop_project
+    )
+    # InvalidatedFct specification for the update operations (consulted
+    # whenever add_project carries a compensating action, and under
+    # information hiding).
+    db.declare_invalidates("Company", "add_project", ["Company.matrix"])
+    db.declare_invalidates("Company", "drop_project", ["Company.matrix"])
+
+
+# ---------------------------------------------------------------------------
+# Population
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompanyFixture:
+    """Handles created by :func:`populate_company`."""
+
+    company: "Handle"
+    departments: list
+    employees: list
+    projects: list
+    jobs: list
+
+
+def populate_company(
+    db: "ObjectBase",
+    rng: DeterministicRng,
+    *,
+    departments: int = 20,
+    employees_per_department: int = 100,
+    projects: int = 1000,
+    jobs_per_employee: int = 10,
+) -> CompanyFixture:
+    """Create one company with the paper's population parameters.
+
+    Every employee holds ``jobs_per_employee`` jobs on randomly chosen
+    projects; each project's ``Programmers`` set is kept consistent with
+    the job references.
+    """
+    project_handles = []
+    for index in range(projects):
+        programmers = db.new_collection("Employees")
+        project = db.new(
+            "Project",
+            PName=f"P{index}",
+            Status=rng.uniform(-1000.0, 1000.0),
+            Size=rng.randint(1_000, 100_000),
+            Programmers=programmers,
+        )
+        project_handles.append(project)
+
+    department_handles = []
+    employee_handles = []
+    job_handles = []
+    emp_no = 0
+    for dep_index in range(departments):
+        emps = db.new_collection("Employees")
+        department = db.new(
+            "Department",
+            DName=f"D{dep_index}",
+            DepNo=dep_index,
+            Emps=emps,
+        )
+        department_handles.append(department)
+        for _ in range(employees_per_department):
+            emp_no += 1
+            history = db.new_collection("Jobs")
+            employee = db.new(
+                "Employee",
+                Name=f"E{emp_no}",
+                EmpNo=emp_no,
+                Salary=rng.uniform(30_000.0, 120_000.0),
+                JobHistory=history,
+            )
+            employee_handles.append(employee)
+            emps.insert(employee)
+            for _ in range(jobs_per_employee):
+                project = rng.choice(project_handles)
+                job = db.new(
+                    "Job",
+                    Proj=project,
+                    LinesOfCode=rng.randint(100, 20_000),
+                    OnTime=rng.random() < 0.6,
+                    WithinBudget=rng.random() < 0.6,
+                )
+                job_handles.append(job)
+                history.insert(job)
+                project.Programmers.insert(employee)
+
+    deps_set = db.new_collection("Departments", department_handles)
+    projs_set = db.new_collection("Projects", project_handles)
+    company = db.new("Company", CName="ACME", Deps=deps_set, Projs=projs_set)
+    return CompanyFixture(
+        company=company,
+        departments=department_handles,
+        employees=employee_handles,
+        projects=project_handles,
+        jobs=job_handles,
+    )
+
+
+def add_random_project(
+    db: "ObjectBase",
+    rng: DeterministicRng,
+    company: "Handle",
+    candidates: list,
+    *,
+    programmers: int = 5,
+    index: int = 0,
+) -> "Handle":
+    """The benchmark's ``N`` update: create and register a new project."""
+    staff = rng.sample(candidates, min(programmers, len(candidates)))
+    programmers_set = db.new_collection("Employees", staff)
+    project = db.new(
+        "Project",
+        PName=f"NP{index}",
+        Status=rng.uniform(-1000.0, 1000.0),
+        Size=rng.randint(1_000, 100_000),
+        Programmers=programmers_set,
+    )
+    company.add_project(project)
+    return project

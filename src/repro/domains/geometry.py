@@ -1,0 +1,408 @@
+"""The computer-geometry schema of the paper (Figures 1 and 2).
+
+Defines ``Vertex``, ``Material``, ``Robot``, ``Cuboid`` and the set types
+``Workpieces`` (cuboids used in manufacturing; functions ``total_volume``
+and ``total_weight``) and ``Valuables`` (cuboids interesting because of
+their value; function ``total_value``).
+
+The operation bodies are written in the analyzable Python subset, so the
+static analysis of the Appendix extracts exactly the paper's Sec. 5.1
+example::
+
+    RelAttr(volume) = {Cuboid.V1, Cuboid.V2, Cuboid.V4, Cuboid.V5,
+                       Vertex.X, Vertex.Y, Vertex.Z}
+
+``build_geometry_schema(db, strict_cuboids=True)`` produces the Sec. 5.3
+variant: ``Cuboid`` is strictly encapsulated, its vertex accessors leave
+the public clause, and the ``InvalidatedFct`` sets record that *scale* is
+the only geometric transformation affecting a materialized volume while
+*rotate* and *translate* leave it invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+    from repro.gom.handles import Handle
+
+
+# ---------------------------------------------------------------------------
+# Operation bodies (paper Figure 1, written over handles)
+# ---------------------------------------------------------------------------
+
+
+def vertex_dist(self, other):
+    """Euclidean distance between two vertices."""
+    dx = self.X - other.X
+    dy = self.Y - other.Y
+    dz = self.Z - other.Z
+    return (dx * dx + dy * dy + dz * dz) ** 0.5
+
+
+def vertex_translate(self, t):
+    """Move this vertex by the components of ``t``."""
+    self.set_X(self.X + t.X)
+    self.set_Y(self.Y + t.Y)
+    self.set_Z(self.Z + t.Z)
+
+
+def vertex_scale(self, s):
+    """Scale this vertex componentwise by ``s`` (about the origin)."""
+    self.set_X(self.X * s.X)
+    self.set_Y(self.Y * s.Y)
+    self.set_Z(self.Z * s.Z)
+
+
+def vertex_rotate(self, angle, axis):
+    """Rotate about the origin around the given axis ('x', 'y' or 'z').
+
+    All three coordinates are written (the unchanged one with its old
+    value) — this matches the paper's account that one ``rotate`` of a
+    cuboid triggers twelve ``set_X``/``set_Y``/``set_Z`` invocations on
+    the vertices relevant to a materialized volume.
+    """
+    cos_a = math.cos(angle)
+    sin_a = math.sin(angle)
+    x, y, z = self.X, self.Y, self.Z
+    if axis == "x":
+        self.set_X(x)
+        self.set_Y(y * cos_a - z * sin_a)
+        self.set_Z(y * sin_a + z * cos_a)
+    elif axis == "y":
+        self.set_X(x * cos_a + z * sin_a)
+        self.set_Y(y)
+        self.set_Z(-x * sin_a + z * cos_a)
+    else:
+        self.set_X(x * cos_a - y * sin_a)
+        self.set_Y(x * sin_a + y * cos_a)
+        self.set_Z(z)
+
+
+def cuboid_length(self):
+    """V1.dist(V2) — delegate the computation to Vertex V1."""
+    return self.V1.dist(self.V2)
+
+
+def cuboid_width(self):
+    """V1.dist(V4)."""
+    return self.V1.dist(self.V4)
+
+
+def cuboid_height(self):
+    """V1.dist(V5)."""
+    return self.V1.dist(self.V5)
+
+
+def cuboid_volume(self):
+    """length * width * height."""
+    return self.length() * self.width() * self.height()
+
+
+def cuboid_weight(self):
+    """volume * Mat.SpecWeight."""
+    return self.volume() * self.Mat.SpecWeight
+
+
+def cuboid_translate(self, t):
+    """Delegate translate to the eight boundary vertices."""
+    self.V1.translate(t)
+    self.V2.translate(t)
+    self.V3.translate(t)
+    self.V4.translate(t)
+    self.V5.translate(t)
+    self.V6.translate(t)
+    self.V7.translate(t)
+    self.V8.translate(t)
+
+
+def cuboid_scale(self, s):
+    """Delegate scale to the eight boundary vertices."""
+    self.V1.scale(s)
+    self.V2.scale(s)
+    self.V3.scale(s)
+    self.V4.scale(s)
+    self.V5.scale(s)
+    self.V6.scale(s)
+    self.V7.scale(s)
+    self.V8.scale(s)
+
+
+def cuboid_rotate(self, axis, angle):
+    """Delegate rotate to the eight boundary vertices (volume-invariant)."""
+    self.V1.rotate(angle, axis)
+    self.V2.rotate(angle, axis)
+    self.V3.rotate(angle, axis)
+    self.V4.rotate(angle, axis)
+    self.V5.rotate(angle, axis)
+    self.V6.rotate(angle, axis)
+    self.V7.rotate(angle, axis)
+    self.V8.rotate(angle, axis)
+
+
+def cuboid_distance(self, robot):
+    """Distance from the cuboid's center to the robot's position."""
+    cx = (self.V1.X + self.V7.X) / 2.0
+    cy = (self.V1.Y + self.V7.Y) / 2.0
+    cz = (self.V1.Z + self.V7.Z) / 2.0
+    dx = cx - robot.Pos.X
+    dy = cy - robot.Pos.Y
+    dz = cz - robot.Pos.Z
+    return (dx * dx + dy * dy + dz * dz) ** 0.5
+
+
+def cuboid_pairwise_distance(self, other):
+    """Center-to-center distance between two cuboids (Sec. 6 example)."""
+    cx = (self.V1.X + self.V7.X) / 2.0
+    cy = (self.V1.Y + self.V7.Y) / 2.0
+    cz = (self.V1.Z + self.V7.Z) / 2.0
+    ox = (other.V1.X + other.V7.X) / 2.0
+    oy = (other.V1.Y + other.V7.Y) / 2.0
+    oz = (other.V1.Z + other.V7.Z) / 2.0
+    dx = cx - ox
+    dy = cy - oy
+    dz = cz - oz
+    return (dx * dx + dy * dy + dz * dz) ** 0.5
+
+
+def workpieces_total_volume(self):
+    """Sum of the volumes of all member cuboids."""
+    total = 0.0
+    for cuboid in self:
+        total = total + cuboid.volume()
+    return total
+
+
+def workpieces_total_weight(self):
+    """Sum of the weights of all member cuboids."""
+    total = 0.0
+    for cuboid in self:
+        total = total + cuboid.weight()
+    return total
+
+
+def valuables_total_value(self):
+    """Sum of the Value attributes of all member cuboids."""
+    total = 0.0
+    for cuboid in self:
+        total = total + cuboid.Value
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Compensating actions (Sec. 5.4)
+# ---------------------------------------------------------------------------
+
+
+def increase_total(workpieces, new_cuboid, old_total):
+    """Compensate ``Workpieces.insert`` for ``total_volume`` (paper ex.)."""
+    return old_total + new_cuboid.volume()
+
+
+def decrease_total(workpieces, removed_cuboid, old_total):
+    """Compensate ``Workpieces.remove`` for ``total_volume``."""
+    return old_total - removed_cuboid.volume()
+
+
+# ---------------------------------------------------------------------------
+# Schema construction
+# ---------------------------------------------------------------------------
+
+_VERTEX_PUBLIC = [
+    "X", "set_X", "Y", "set_Y", "Z", "set_Z",
+    "translate", "scale", "rotate", "dist",
+]
+
+_MATERIAL_PUBLIC = ["Name", "set_Name", "SpecWeight", "set_SpecWeight"]
+
+_CUBOID_PUBLIC_OPEN = [
+    "length", "width", "height", "volume", "weight",
+    "rotate", "scale", "translate", "distance", "distance_to",
+    "V1", "set_V1", "V2", "set_V2", "V3", "set_V3", "V4", "set_V4",
+    "V5", "set_V5", "V6", "set_V6", "V7", "set_V7", "V8", "set_V8",
+    "Value", "set_Value", "Mat", "set_Mat", "CuboidID", "set_CuboidID",
+]
+
+#: Sec. 5.3: "public rotate, scale, translate, volume, weight ..." — the
+#: boundary vertices disappear from the interface.
+_CUBOID_PUBLIC_STRICT = [
+    "length", "width", "height", "volume", "weight",
+    "rotate", "scale", "translate", "distance", "distance_to",
+    "Value", "set_Value", "Mat", "CuboidID",
+]
+
+
+def build_geometry_schema(db: "ObjectBase", *, strict_cuboids: bool = False) -> None:
+    """Define the geometry types and operations on ``db``.
+
+    ``strict_cuboids=True`` builds the information-hiding variant of
+    Sec. 5.3: ``Cuboid`` becomes strictly encapsulated and every public
+    update operation carries its ``InvalidatedFct`` specification.
+    """
+    db.define_tuple_type(
+        "Vertex",
+        {"X": "float", "Y": "float", "Z": "float"},
+        public=_VERTEX_PUBLIC,
+    )
+    db.define_tuple_type(
+        "Material",
+        {"Name": "string", "SpecWeight": "float"},
+        public=_MATERIAL_PUBLIC,
+    )
+    db.define_tuple_type(
+        "Robot",
+        {"Name": "string", "Pos": "Vertex"},
+        public=["Name", "set_Name", "Pos", "set_Pos"],
+    )
+    db.define_tuple_type(
+        "Cuboid",
+        {
+            "V1": "Vertex", "V2": "Vertex", "V3": "Vertex", "V4": "Vertex",
+            "V5": "Vertex", "V6": "Vertex", "V7": "Vertex", "V8": "Vertex",
+            "Mat": "Material", "Value": "decimal", "CuboidID": "int",
+        },
+        public=_CUBOID_PUBLIC_STRICT if strict_cuboids else _CUBOID_PUBLIC_OPEN,
+    )
+    db.define_set_type("Workpieces", "Cuboid")
+    db.define_set_type("Valuables", "Cuboid")
+
+    db.define_operation("Vertex", "dist", ["Vertex"], "float", vertex_dist)
+    db.define_operation("Vertex", "translate", ["Vertex"], "void", vertex_translate)
+    db.define_operation("Vertex", "scale", ["Vertex"], "void", vertex_scale)
+    db.define_operation("Vertex", "rotate", ["float", "char"], "void", vertex_rotate)
+
+    db.define_operation("Cuboid", "length", [], "float", cuboid_length)
+    db.define_operation("Cuboid", "width", [], "float", cuboid_width)
+    db.define_operation("Cuboid", "height", [], "float", cuboid_height)
+    db.define_operation("Cuboid", "volume", [], "float", cuboid_volume)
+    db.define_operation("Cuboid", "weight", [], "float", cuboid_weight)
+    db.define_operation("Cuboid", "translate", ["Vertex"], "void", cuboid_translate)
+    db.define_operation("Cuboid", "scale", ["Vertex"], "void", cuboid_scale)
+    db.define_operation("Cuboid", "rotate", ["char", "float"], "void", cuboid_rotate)
+    db.define_operation("Cuboid", "distance", ["Robot"], "float", cuboid_distance)
+    db.define_operation(
+        "Cuboid", "distance_to", ["Cuboid"], "float", cuboid_pairwise_distance
+    )
+
+    db.define_operation(
+        "Workpieces", "total_volume", [], "float", workpieces_total_volume
+    )
+    db.define_operation(
+        "Workpieces", "total_weight", [], "float", workpieces_total_weight
+    )
+    db.define_operation(
+        "Valuables", "total_value", [], "float", valuables_total_value
+    )
+
+    if strict_cuboids:
+        db.set_strict_encapsulation("Cuboid")
+        # InvalidatedFct specifications (Def. 5.3), supplied by the data
+        # type implementor: scale is the only geometric transformation
+        # that can invalidate a precomputed volume/weight; all three move
+        # the cuboid relative to robots and other cuboids.
+        geometry_fcts = [
+            "Cuboid.volume",
+            "Cuboid.weight",
+            "Workpieces.total_volume",
+            "Workpieces.total_weight",
+        ]
+        position_fcts = ["Cuboid.distance", "Cuboid.distance_to"]
+        db.declare_invalidates("Cuboid", "scale", geometry_fcts + position_fcts)
+        db.declare_invalidates("Cuboid", "translate", position_fcts)
+        db.declare_invalidates("Cuboid", "rotate", position_fcts)
+
+
+# ---------------------------------------------------------------------------
+# Data construction helpers
+# ---------------------------------------------------------------------------
+
+
+def create_vertex(db: "ObjectBase", x: float, y: float, z: float) -> "Handle":
+    return db.new("Vertex", X=float(x), Y=float(y), Z=float(z))
+
+
+def create_material(db: "ObjectBase", name: str, spec_weight: float) -> "Handle":
+    return db.new("Material", Name=name, SpecWeight=float(spec_weight))
+
+
+def create_cuboid(
+    db: "ObjectBase",
+    *,
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    dims: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    material: "Handle",
+    value: float = 0.0,
+    cuboid_id: int = 0,
+) -> "Handle":
+    """Create a cuboid with its eight boundary vertices.
+
+    Vertex layout matches the paper's function definitions: ``length``
+    runs V1→V2 (x), ``width`` V1→V4 (y), ``height`` V1→V5 (z); V7 is the
+    corner opposite V1.
+    """
+    ox, oy, oz = origin
+    dx, dy, dz = dims
+    v1 = create_vertex(db, ox, oy, oz)
+    v2 = create_vertex(db, ox + dx, oy, oz)
+    v3 = create_vertex(db, ox + dx, oy + dy, oz)
+    v4 = create_vertex(db, ox, oy + dy, oz)
+    v5 = create_vertex(db, ox, oy, oz + dz)
+    v6 = create_vertex(db, ox + dx, oy, oz + dz)
+    v7 = create_vertex(db, ox + dx, oy + dy, oz + dz)
+    v8 = create_vertex(db, ox, oy + dy, oz + dz)
+    return db.new(
+        "Cuboid",
+        V1=v1, V2=v2, V3=v3, V4=v4, V5=v5, V6=v6, V7=v7, V8=v8,
+        Mat=material,
+        Value=float(value),
+        CuboidID=int(cuboid_id),
+    )
+
+
+def create_robot(
+    db: "ObjectBase", name: str, position: tuple[float, float, float]
+) -> "Handle":
+    pos = create_vertex(db, *position)
+    return db.new("Robot", Name=name, Pos=pos)
+
+
+@dataclass
+class GeometryFixture:
+    """Handles of the Figure 2 example database."""
+
+    gold: "Handle"
+    iron: "Handle"
+    cuboids: list
+    workpieces: "Handle"
+    valuables: "Handle"
+
+
+def build_figure2_database(db: "ObjectBase") -> GeometryFixture:
+    """The example extension of Figure 2: three cuboids, two materials,
+    one Workpieces and one Valuables set."""
+    gold = create_material(db, "Gold", 19.0)
+    iron = create_material(db, "Iron", 7.86)
+    # Dimensions chosen so volume/weight match the paper's GMR table:
+    # id1: 300.0 / 2358.0 (iron), id2: 200.0 / 1572.0 (iron),
+    # id3: 100.0 / 1900.0 (gold).
+    c1 = create_cuboid(
+        db, dims=(10.0, 6.0, 5.0), material=iron, value=39.99, cuboid_id=1
+    )
+    c2 = create_cuboid(
+        db, dims=(10.0, 5.0, 4.0), material=iron, value=19.95, cuboid_id=2
+    )
+    c3 = create_cuboid(
+        db, dims=(5.0, 5.0, 4.0), material=gold, value=89.90, cuboid_id=3
+    )
+    workpieces = db.new_collection("Workpieces", [c1, c2])
+    valuables = db.new_collection("Valuables", [c3])
+    return GeometryFixture(
+        gold=gold,
+        iron=iron,
+        cuboids=[c1, c2, c3],
+        workpieces=workpieces,
+        valuables=valuables,
+    )

@@ -1,0 +1,163 @@
+"""Exception hierarchy for the function-materialization object base.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Object model (GOM) errors
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A type definition or schema manipulation is invalid."""
+
+
+class TypeCheckError(SchemaError):
+    """A value does not conform to the statically declared type."""
+
+
+class UnknownTypeError(SchemaError):
+    """A type name was referenced that is not part of the schema."""
+
+
+class DuplicateTypeError(SchemaError):
+    """A type with the same name is already defined."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute was referenced that the type does not declare."""
+
+
+class UnknownOperationError(SchemaError):
+    """An operation was invoked that the type does not declare."""
+
+
+class EncapsulationError(ReproError):
+    """A non-public operation was invoked from outside the type."""
+
+
+class ObjectError(ReproError):
+    """Base class for object-manager failures."""
+
+
+class NoSuchObjectError(ObjectError):
+    """An OID does not denote a live object."""
+
+
+class DeletedObjectError(ObjectError):
+    """The object behind an OID has been deleted."""
+
+
+class NotSetStructuredError(ObjectError):
+    """A set operation (insert/remove) was applied to a non-set object."""
+
+
+class NotListStructuredError(ObjectError):
+    """A list operation was applied to a non-list object."""
+
+
+# ---------------------------------------------------------------------------
+# Materialization (GMR) errors
+# ---------------------------------------------------------------------------
+
+
+class MaterializationError(ReproError):
+    """Base class for GMR-manager failures."""
+
+
+class GMRDefinitionError(MaterializationError):
+    """A GMR was declared over an invalid function combination."""
+
+
+class GMRConsistencyError(MaterializationError):
+    """A GMR extension violates the consistency invariant (Def. 3.2)."""
+
+
+class CompensationError(MaterializationError):
+    """A compensating action was declared for an illegal operation."""
+
+
+class AtomicArgumentError(MaterializationError):
+    """A function with atomic argument types was materialized without a
+    value or range restriction (Sec. 6.2)."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis (Appendix) errors
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for path-extraction analysis failures."""
+
+
+class UnsupportedConstructError(AnalysisError):
+    """The function body uses a construct outside the analyzable subset."""
+
+
+# ---------------------------------------------------------------------------
+# Predicate subsystem errors
+# ---------------------------------------------------------------------------
+
+
+class PredicateError(ReproError):
+    """Base class for predicate-subsystem failures."""
+
+
+class PredicateClassError(PredicateError):
+    """A predicate falls outside the Rosenkrantz–Hunt decidable subclass."""
+
+
+# ---------------------------------------------------------------------------
+# Query language errors
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for GOMql failures."""
+
+
+class LexError(QueryError):
+    """The query text could not be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(QueryError):
+    """The token stream does not form a valid GOMql statement."""
+
+
+class PlanningError(QueryError):
+    """No executable plan could be produced for the query."""
+
+
+class ExecutionError(QueryError):
+    """The query plan failed during evaluation."""
+
+
+# ---------------------------------------------------------------------------
+# Storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-substrate failures."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into a page."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id does not denote a stored record."""

@@ -1,0 +1,40 @@
+"""GOM: the object model substrate (Sec. 2 of the paper).
+
+Implements the features of the GOM data model that function
+materialization depends on:
+
+* tuple-, set- and list-structured object types with single inheritance
+  under strong typing (``ANY`` is the implicit root supertype);
+* object identity — objects are referenced via immutable OIDs, and
+  referencing/dereferencing is implicit through :class:`Handle`;
+* encapsulation — for every attribute ``A`` the built-in operations ``A``
+  (read) and ``set_A`` (write) exist, and only members listed in a type's
+  *public clause* may be invoked from outside;
+* type-associated operations with declared signatures, implemented as
+  plain Python callables over handles (so bodies read like the paper's
+  GOM code: ``self.V1.dist(self.V2)``);
+* the *schema rewrite* update-notification mechanism (Sec. 4.3): the
+  elementary update operations ``set_A`` / ``insert`` / ``remove`` /
+  ``create`` / ``delete`` notify the GMR manager according to the
+  selected instrumentation level (Figures 4 and 5 of the paper).
+"""
+
+from repro.gom.oid import Oid
+from repro.gom.types import TypeKind, AttributeDef, OperationDef, TypeDefinition
+from repro.gom.schema import Schema, ANY
+from repro.gom.handles import Handle
+from repro.gom.instrumentation import InstrumentationLevel
+from repro.gom.database import ObjectBase
+
+__all__ = [
+    "Oid",
+    "TypeKind",
+    "AttributeDef",
+    "OperationDef",
+    "TypeDefinition",
+    "Schema",
+    "ANY",
+    "Handle",
+    "InstrumentationLevel",
+    "ObjectBase",
+]

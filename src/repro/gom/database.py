@@ -1,0 +1,857 @@
+"""The object base: schema + object manager + storage + GMR hooks.
+
+:class:`ObjectBase` is the facade a user of the library works with.  It
+wires together the schema, the object manager, the simulated page store
+and buffer, the access tracers and — once materialization is enabled —
+the GMR manager.  All elementary update operations (``set_A``,
+``insert``, ``remove``, ``create``, ``delete``) run through this class,
+which is where the paper's *schema rewrite* notification mechanism lives:
+depending on the selected :class:`InstrumentationLevel` the update paths
+notify the GMR manager exactly as the modified operations of Figures 4
+and 5 (and the information-hiding variant of Sec. 5.3) would.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import (
+    EncapsulationError,
+    NotSetStructuredError,
+    SchemaError,
+    TypeCheckError,
+    UnknownAttributeError,
+    UnknownOperationError,
+)
+from repro.gom.handles import Handle, unwrap
+from repro.gom.instrumentation import InstrumentationLevel
+from repro.gom.object_manager import ObjectManager
+from repro.gom.objects import StoredObject
+from repro.gom.oid import Oid
+from repro.gom.schema import Schema
+from repro.gom.tracing import AccessTracer
+from repro.gom.types import (
+    ELEMENTS_ATTR,
+    OperationDef,
+    TypeDefinition,
+    TypeKind,
+    is_atomic_type,
+    writer_name,
+)
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import BufferManager, CostModel, PageStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.function_registry import FunctionInfo, FunctionRegistry
+    from repro.core.manager import GMRManager
+
+_ATOMIC_DEFAULTS: dict[str, Any] = {
+    "float": 0.0,
+    "int": 0,
+    "string": "",
+    "bool": False,
+    "char": " ",
+    "decimal": 0.0,
+}
+
+
+class ObjectBase:
+    """A GOM object base with optional function materialization."""
+
+    def __init__(
+        self,
+        *,
+        buffer_pages: int | None = None,
+        page_size: int = 4096,
+        enforce_encapsulation: bool = True,
+        level: InstrumentationLevel = InstrumentationLevel.OBJ_DEP,
+    ) -> None:
+        self.schema = Schema()
+        self.page_store = PageStore(page_size=page_size)
+        if buffer_pages is None:
+            self.buffer = BufferManager()
+        else:
+            self.buffer = BufferManager(capacity=buffer_pages)
+        self.cost_model = CostModel()
+        self.objects = ObjectManager(self.schema, self.page_store)
+        self.enforce_encapsulation = enforce_encapsulation
+        self.level = level
+
+        self._gmr: "GMRManager | None" = None
+        self._functions: "FunctionRegistry | None" = None
+        self._tracers: list[AccessTracer] = []
+        self._opaque_depth = 0
+        self._suppress_depth = 0
+        self._materializing_depth = 0
+        self._member_plans: dict[tuple[str, str], tuple] = {}
+        self._strict_cache: dict[str, bool] = {}
+        self._attr_indexes: dict[tuple[str, str], BPlusTree] = {}
+        #: Update listeners: callables invoked after every elementary
+        #: update with (kind, oid, type_name, attr, old, new) where kind
+        #: is 'set' | 'insert' | 'remove' | 'create' | 'delete'.  Used by
+        #: subsystems that maintain derived structures outside the GMR
+        #: manager (e.g. Access Support Relations).
+        self._update_listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Schema definition
+    # ------------------------------------------------------------------
+
+    def define_tuple_type(
+        self,
+        name: str,
+        attributes: Mapping[str, str],
+        *,
+        supertype: str = "ANY",
+        public: Iterable[str] | None = None,
+    ) -> TypeDefinition:
+        """Define a tuple-structured type (a ``type ... is ...`` frame)."""
+        definition = TypeDefinition.tuple_type(
+            name, attributes, supertype=supertype, public=public
+        )
+        self.schema.add_type(definition)
+        self._invalidate_plan_cache()
+        return definition
+
+    def define_set_type(
+        self, name: str, element_type: str, *, public: Iterable[str] | None = None
+    ) -> TypeDefinition:
+        definition = TypeDefinition.set_type(name, element_type, public=public)
+        self.schema.add_type(definition)
+        self._invalidate_plan_cache()
+        return definition
+
+    def define_list_type(
+        self, name: str, element_type: str, *, public: Iterable[str] | None = None
+    ) -> TypeDefinition:
+        definition = TypeDefinition.list_type(name, element_type, public=public)
+        self.schema.add_type(definition)
+        self._invalidate_plan_cache()
+        return definition
+
+    def define_operation(
+        self,
+        type_name: str,
+        name: str,
+        param_types: Iterable[str],
+        result_type: str,
+        body: Callable[..., Any],
+        *,
+        doc: str = "",
+    ) -> OperationDef:
+        """Declare and define an operation on ``type_name``."""
+        operation = self.schema.type(type_name).define_operation(
+            name, param_types, result_type, body, doc=doc
+        )
+        self._invalidate_plan_cache()
+        return operation
+
+    def make_public(self, type_name: str, *members: str) -> None:
+        """Add members to a type's public clause."""
+        self.schema.type(type_name).make_public(*members)
+        self._invalidate_plan_cache()
+
+    def set_strict_encapsulation(self, type_name: str, strict: bool = True) -> None:
+        """Mark a type strictly encapsulated (Sec. 5.3)."""
+        self.schema.type(type_name).strict_encapsulation = strict
+        self._strict_cache.clear()
+
+    def declare_invalidates(
+        self, type_name: str, operation: str, functions: Iterable[str]
+    ) -> None:
+        """Supply an ``InvalidatedFct`` specification (Def. 5.3)."""
+        self.schema.type(type_name).declare_invalidates(operation, functions)
+
+    def _invalidate_plan_cache(self) -> None:
+        self._member_plans.clear()
+        self._strict_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Materialization wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def functions(self) -> "FunctionRegistry":
+        if self._functions is None:
+            from repro.core.function_registry import FunctionRegistry
+
+            self._functions = FunctionRegistry(self)
+        return self._functions
+
+    @property
+    def gmr_manager(self) -> "GMRManager":
+        if self._gmr is None:
+            from repro.core.manager import GMRManager
+
+            self._gmr = GMRManager(self)
+        return self._gmr
+
+    @property
+    def has_gmr_manager(self) -> bool:
+        return self._gmr is not None
+
+    @property
+    def asr_manager(self):
+        """The Access Support Relation manager (created on first use)."""
+        if not hasattr(self, "_asr_manager"):
+            from repro.asr.manager import ASRManager
+
+            self._asr_manager = ASRManager(self)
+        return self._asr_manager
+
+    @property
+    def transactions(self):
+        """The transaction manager (created on first use)."""
+        if not hasattr(self, "_transactions"):
+            from repro.gom.transactions import TransactionManager
+
+            self._transactions = TransactionManager(self)
+        return self._transactions
+
+    def transaction(self):
+        """``with db.transaction() as txn:`` — atomic update scope with
+        rollback that keeps every materialization consistent."""
+        from repro.gom.transactions import TransactionScope
+
+        return TransactionScope(self.transactions)
+
+    @property
+    def materializing(self) -> bool:
+        return self._materializing_depth > 0
+
+    @contextmanager
+    def materialization_scope(self) -> Iterator[None]:
+        """Evaluate code as part of a materialization: nested invocations
+        of materialized functions run their real bodies instead of being
+        mapped to GMR forward queries."""
+        self._materializing_depth += 1
+        try:
+            yield
+        finally:
+            self._materializing_depth -= 1
+
+    def materialize(self, functions, **kwargs):
+        """Create a GMR over ``functions`` — see
+        :meth:`repro.core.manager.GMRManager.materialize`."""
+        return self.gmr_manager.materialize(functions, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def trace(self) -> Iterator[AccessTracer]:
+        """Record every object/attribute access within the block."""
+        tracer = AccessTracer()
+        self._tracers.append(tracer)
+        try:
+            yield tracer
+        finally:
+            self._tracers.remove(tracer)
+
+    def _record_access(self, oid: Oid, decl_type: str, attribute: str) -> None:
+        if self._opaque_depth:
+            return
+        for tracer in self._tracers:
+            tracer.record_object(oid)
+            tracer.record_attribute(decl_type, attribute)
+
+    def _record_object_only(self, oid: Oid) -> None:
+        for tracer in self._tracers:
+            tracer.record_object(oid)
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def new(self, type_name: str, **attributes: Any) -> Handle:
+        """Create a tuple-structured object (the elementary ``create``)."""
+        definition = self.schema.type(type_name)
+        if definition.kind is not TypeKind.TUPLE:
+            raise SchemaError(
+                f"{type_name} is {definition.kind.value}-structured; "
+                f"use new_collection for sets and lists"
+            )
+        declared = self.schema.all_attributes(type_name)
+        data: dict[str, Any] = {}
+        for attr, attr_def in declared.items():
+            if attr in attributes:
+                value = unwrap(attributes.pop(attr))
+                self.schema.check_value(
+                    attr_def.type_name, value, type_of_oid=self.objects.type_of
+                )
+                data[attr] = value
+            elif is_atomic_type(attr_def.type_name):
+                data[attr] = _ATOMIC_DEFAULTS.get(attr_def.type_name)
+            else:
+                data[attr] = None
+        if attributes:
+            unknown = ", ".join(sorted(attributes))
+            raise UnknownAttributeError(f"{type_name} has no attribute(s) {unknown}")
+        obj = self.objects.create(type_name, data=data)
+        self.buffer.touch(obj.placement.page_id, write=True)
+        self._index_new_object(obj)
+        self._notify_create(obj)
+        return Handle(self, obj.oid)
+
+    def new_collection(
+        self, type_name: str, elements: Iterable[Any] = ()
+    ) -> Handle:
+        """Create a set- or list-structured object."""
+        definition = self.schema.type(type_name)
+        if not definition.is_collection():
+            raise SchemaError(f"{type_name} is not set/list-structured")
+        element_type = definition.element_type
+        assert element_type is not None
+        stored: list[Any] = []
+        for element in elements:
+            raw = unwrap(element)
+            self.schema.check_value(
+                element_type, raw, type_of_oid=self.objects.type_of
+            )
+            if definition.is_set() and raw in stored:
+                continue
+            stored.append(raw)
+        obj = self.objects.create(type_name, elements=stored)
+        self.buffer.touch(obj.placement.page_id, write=True)
+        self._notify_create(obj)
+        return Handle(self, obj.oid)
+
+    def delete(self, target: Handle | Oid) -> None:
+        """Delete an object (the elementary ``delete``, Figure 4/5)."""
+        oid = unwrap(target)
+        if hasattr(self, "_transactions"):
+            self._transactions.check_delete_allowed(oid)
+        obj = self.objects.get(oid)
+        gmr = self._gmr
+        if gmr is not None and self.level.notifies:
+            if self.level >= InstrumentationLevel.OBJ_DEP:
+                # Figure 5: check ObjDepFct before bothering the manager.
+                if obj.obj_dep_fct:
+                    gmr.forget_object(oid)
+            else:
+                gmr.forget_object(oid)
+        self._index_drop_object(obj)
+        self.objects.delete(oid)
+        # Listeners fire after the object is gone so derived structures
+        # recompute against the post-delete state.
+        self._fire_listeners("delete", oid, obj.type_name, None, None, None)
+
+    def handle(self, oid: Oid | Handle) -> Handle:
+        return Handle(self, unwrap(oid))
+
+    def type_of(self, oid: Oid) -> str:
+        return self.objects.type_of(oid)
+
+    def extension(self, type_name: str) -> list[Handle]:
+        """``ext(t)`` as handles (includes subtype instances)."""
+        return [Handle(self, oid) for oid in self.objects.extension(type_name)]
+
+    # ------------------------------------------------------------------
+    # Member plans (cached resolution for the hot access path)
+    # ------------------------------------------------------------------
+
+    def _plan(self, type_name: str, member: str) -> tuple:
+        key = (type_name, member)
+        plan = self._member_plans.get(key)
+        if plan is None:
+            plan = self._build_plan(type_name, member)
+            self._member_plans[key] = plan
+        return plan
+
+    def _build_plan(self, type_name: str, member: str) -> tuple:
+        schema = self.schema
+        attributes = schema.all_attributes(type_name)
+        if member in attributes:
+            decl = schema.attribute_declaring_type(type_name, member)
+            public = schema.is_public(type_name, member)
+            return ("attr", member, decl, attributes[member].type_name, public)
+        if member.startswith("set_"):
+            attr = member[len("set_") :]
+            if attr in attributes:
+                decl = schema.attribute_declaring_type(type_name, attr)
+                public = schema.is_public(type_name, member)
+                return ("setter", attr, decl, attributes[attr].type_name, public)
+        try:
+            decl, operation = schema.resolve_operation(type_name, member)
+        except UnknownOperationError:
+            raise UnknownAttributeError(
+                f"{type_name} has no attribute or operation {member}"
+            ) from None
+        public = schema.is_public(type_name, member)
+        return ("op", member, decl, operation, public)
+
+    def _is_strict(self, type_name: str) -> bool:
+        strict = self._strict_cache.get(type_name)
+        if strict is None:
+            strict = any(
+                definition.strict_encapsulation
+                for definition in self.schema.supertype_chain(type_name)
+            )
+            self._strict_cache[type_name] = strict
+        return strict
+
+    def handle_member(self, handle: Handle, member: str) -> Any:
+        """Resolve ``handle.member`` — attribute read, setter or operation."""
+        oid = handle.oid
+        obj = self.objects.get(oid)
+        plan = self._plan(obj.type_name, member)
+        kind = plan[0]
+        if kind == "attr":
+            _, attr, decl, _attr_type, public = plan
+            if self.enforce_encapsulation and not handle._internal and not public:
+                raise EncapsulationError(
+                    f"{obj.type_name}.{attr} is not public"
+                )
+            value = self._read_attr(obj, attr, decl)
+            if isinstance(value, Oid):
+                return Handle(self, value, internal=handle._internal)
+            return value
+        if kind == "setter":
+            _, attr, decl, attr_type, public = plan
+            if self.enforce_encapsulation and not handle._internal and not public:
+                raise EncapsulationError(
+                    f"{obj.type_name}.set_{attr} is not public"
+                )
+
+            def setter(value: Any, *, _oid=oid, _attr=attr) -> None:
+                self.set_attr(_oid, _attr, value)
+
+            return setter
+        _, op_name, decl, operation, public = plan
+
+        def invoker(*args: Any, _oid=oid, _op=op_name, _internal=handle._internal) -> Any:
+            return self.invoke(_oid, _op, args, internal=_internal)
+
+        return invoker
+
+    # ------------------------------------------------------------------
+    # Elementary reads
+    # ------------------------------------------------------------------
+
+    def _read_attr(self, obj: StoredObject, attr: str, decl_type: str) -> Any:
+        self.buffer.touch(obj.placement.page_id)
+        if self._tracers:
+            self._record_access(obj.oid, decl_type, attr)
+        return obj.data[attr]
+
+    def read_attr(self, oid: Oid, attr: str) -> Any:
+        """Raw attribute read (OIDs are not wrapped into handles)."""
+        obj = self.objects.get(oid)
+        plan = self._plan(obj.type_name, attr)
+        if plan[0] != "attr":
+            raise UnknownAttributeError(f"{obj.type_name} has no attribute {attr}")
+        return self._read_attr(obj, attr, plan[2])
+
+    # ------------------------------------------------------------------
+    # Elementary updates with schema-rewrite notification
+    # ------------------------------------------------------------------
+
+    def set_attr(self, oid: Oid, attr: str, value: Any) -> None:
+        """The elementary ``t.set_A`` update operation."""
+        obj = self.objects.get(oid)
+        plan = self._plan(obj.type_name, attr)
+        if plan[0] != "attr":
+            raise UnknownAttributeError(f"{obj.type_name} has no attribute {attr}")
+        _, _, decl_type, attr_type, _ = plan
+        raw = unwrap(value)
+        self.schema.check_value(attr_type, raw, type_of_oid=self.objects.type_of)
+        gmr = self._gmr
+        exclude: frozenset[str] = frozenset()
+        if gmr is not None and self.level.notifies and not self._suppress_depth:
+            # Compensating actions fire *before* the update (Sec. 5.4).
+            exclude = self._compensate_if_registered(
+                obj, decl_type, writer_name(attr), (raw,)
+            )
+        old = obj.data.get(attr)
+        obj.data[attr] = raw
+        self.buffer.touch(obj.placement.page_id, write=True)
+        index = self._attr_indexes.get((decl_type, attr))
+        if index is not None:
+            if old is not None:
+                index.remove(old, oid)
+            if raw is not None:
+                index.insert(raw, oid)
+        self._fire_listeners("set", oid, decl_type, attr, old, raw)
+        self._notify_update(obj, decl_type, attr, exclude)
+
+    def collection_insert(
+        self, target: Handle | Oid, element: Any, *, position: int | None = None
+    ) -> None:
+        """The elementary ``insert`` update on a set/list object.
+
+        ``position`` inserts at a specific index (used by transaction
+        rollback to restore list order); the default appends.
+        """
+        oid = unwrap(target)
+        obj = self.objects.get(oid)
+        definition = self.schema.type(obj.type_name)
+        if not definition.is_collection():
+            # A tuple type may declare an operation named "insert".
+            if self.schema.has_operation(obj.type_name, "insert"):
+                self.invoke(oid, "insert", (element,))
+                return
+            raise NotSetStructuredError(f"{obj.type_name} is not set/list-structured")
+        raw = unwrap(element)
+        assert definition.element_type is not None
+        self.schema.check_value(
+            definition.element_type, raw, type_of_oid=self.objects.type_of
+        )
+        if definition.is_set() and raw in obj.elements:
+            return
+        gmr = self._gmr
+        exclude: frozenset[str] = frozenset()
+        if gmr is not None and self.level.notifies and not self._suppress_depth:
+            exclude = self._compensate_if_registered(
+                obj, obj.type_name, "insert", (raw,)
+            )
+        if position is None:
+            obj.elements.append(raw)
+        else:
+            obj.elements.insert(position, raw)
+        self.buffer.touch(obj.placement.page_id, write=True)
+        self._fire_listeners(
+            "insert", oid, obj.type_name, ELEMENTS_ATTR, None, raw
+        )
+        self._notify_update(obj, obj.type_name, ELEMENTS_ATTR, exclude)
+
+    def collection_remove(self, target: Handle | Oid, element: Any) -> None:
+        """The elementary ``remove`` update on a set/list object."""
+        oid = unwrap(target)
+        obj = self.objects.get(oid)
+        definition = self.schema.type(obj.type_name)
+        if not definition.is_collection():
+            if self.schema.has_operation(obj.type_name, "remove"):
+                self.invoke(oid, "remove", (element,))
+                return
+            raise NotSetStructuredError(f"{obj.type_name} is not set/list-structured")
+        raw = unwrap(element)
+        if raw not in obj.elements:
+            return
+        gmr = self._gmr
+        exclude: frozenset[str] = frozenset()
+        if gmr is not None and self.level.notifies and not self._suppress_depth:
+            exclude = self._compensate_if_registered(
+                obj, obj.type_name, "remove", (raw,)
+            )
+        removed_at = obj.elements.index(raw)
+        obj.elements.remove(raw)
+        self.buffer.touch(obj.placement.page_id, write=True)
+        # ``new`` carries the removal index so transaction rollback can
+        # restore list order exactly.
+        self._fire_listeners(
+            "remove", oid, obj.type_name, ELEMENTS_ATTR, raw, removed_at
+        )
+        self._notify_update(obj, obj.type_name, ELEMENTS_ATTR, exclude)
+
+    def _compensate_if_registered(
+        self,
+        obj: StoredObject,
+        decl_type: str,
+        update_name: str,
+        update_args: tuple,
+    ) -> frozenset[str]:
+        """Run compensating actions; returns the compensated function ids."""
+        gmr = self._gmr
+        assert gmr is not None
+        if not gmr.has_compensation(decl_type, update_name):
+            return frozenset()
+        relevant = gmr.compensated_fct(decl_type, update_name) & obj.obj_dep_fct
+        if not relevant:
+            return frozenset()
+        gmr.compensate(obj.oid, update_args, decl_type, update_name, relevant)
+        return frozenset(relevant)
+
+    def _notify_update(
+        self,
+        obj: StoredObject,
+        decl_type: str,
+        attr: str,
+        exclude: frozenset[str],
+    ) -> None:
+        """The schema-rewrite notification branch (Figures 4 and 5)."""
+        gmr = self._gmr
+        level = self.level
+        if gmr is None or not level.notifies:
+            return
+        if self._suppress_depth:
+            # Inside a public operation of a strictly encapsulated type
+            # (Sec. 5.3) or an operation whose effect was already handled
+            # by a compensating action (Sec. 5.4): the enclosing operation
+            # performs the single invalidation afterwards.
+            return
+        if level is InstrumentationLevel.NAIVE:
+            # Figure 4: notify unconditionally; manager does the RRR lookup.
+            gmr.invalidate(obj.oid, None, exclude=exclude)
+            return
+        schema_dep = gmr.schema_dep_fct(decl_type, attr)
+        if not schema_dep:
+            return
+        if level is InstrumentationLevel.SCHEMA_DEP:
+            gmr.invalidate(obj.oid, schema_dep - exclude, exclude=exclude)
+            return
+        # OBJ_DEP and INFO_HIDING (the latter for non-suppressed updates):
+        relevant = obj.obj_dep_fct & schema_dep
+        relevant -= exclude
+        if relevant:
+            gmr.invalidate(obj.oid, relevant, exclude=exclude)
+
+    def _notify_create(self, obj: StoredObject) -> None:
+        gmr = self._gmr
+        if gmr is not None and self.level.notifies:
+            gmr.new_object(obj.oid, obj.type_name)
+        self._fire_listeners("create", obj.oid, obj.type_name, None, None, None)
+
+    # ------------------------------------------------------------------
+    # Update listeners (derived structures outside the GMR manager)
+    # ------------------------------------------------------------------
+
+    def register_update_listener(self, listener) -> None:
+        """Register a callable invoked after every elementary update."""
+        self._update_listeners.append(listener)
+
+    def unregister_update_listener(self, listener) -> None:
+        self._update_listeners.remove(listener)
+
+    def _fire_listeners(self, kind, oid, type_name, attr, old, new) -> None:
+        if not self._update_listeners:
+            return
+        for listener in list(self._update_listeners):
+            listener(kind, oid, type_name, attr, old, new)
+
+    # ------------------------------------------------------------------
+    # Collection reads
+    # ------------------------------------------------------------------
+
+    def _collection_obj(self, target: Handle | Oid) -> StoredObject:
+        obj = self.objects.get(unwrap(target))
+        if not self.schema.type(obj.type_name).is_collection():
+            raise NotSetStructuredError(f"{obj.type_name} is not set/list-structured")
+        return obj
+
+    def collection_iter(self, target: Handle | Oid) -> Iterator[Any]:
+        obj = self._collection_obj(target)
+        self.buffer.touch(obj.placement.page_id)
+        if self._tracers:
+            self._record_access(obj.oid, obj.type_name, ELEMENTS_ATTR)
+        internal = isinstance(target, Handle) and target._internal
+        for element in list(obj.elements):
+            if isinstance(element, Oid):
+                yield Handle(self, element, internal=internal)
+            else:
+                yield element
+
+    def collection_len(self, target: Handle | Oid) -> int:
+        obj = self._collection_obj(target)
+        self.buffer.touch(obj.placement.page_id)
+        if self._tracers:
+            self._record_access(obj.oid, obj.type_name, ELEMENTS_ATTR)
+        return len(obj.elements)
+
+    def collection_contains(self, target: Handle | Oid, element: Any) -> bool:
+        obj = self._collection_obj(target)
+        self.buffer.touch(obj.placement.page_id)
+        if self._tracers:
+            self._record_access(obj.oid, obj.type_name, ELEMENTS_ATTR)
+        return unwrap(element) in obj.elements
+
+    # ------------------------------------------------------------------
+    # Operation dispatch
+    # ------------------------------------------------------------------
+
+    def invoke(
+        self,
+        oid: Oid,
+        op_name: str,
+        args: tuple,
+        *,
+        internal: bool = False,
+    ) -> Any:
+        """Invoke a declared operation on an object.
+
+        Handles, in order: encapsulation enforcement, the materialized
+        fast path (an invocation of a materialized function is mapped to
+        a forward query, Sec. 3.2), compensating actions (before the
+        update, Sec. 5.4), information-hiding suppression and the single
+        post-operation invalidation (Sec. 5.3).
+        """
+        obj = self.objects.get(oid)
+        plan = self._plan(obj.type_name, op_name)
+        if plan[0] != "op":
+            raise UnknownOperationError(f"{obj.type_name} has no operation {op_name}")
+        _, _, decl_type, operation, public = plan
+        if self.enforce_encapsulation and not internal and not public:
+            raise EncapsulationError(f"{obj.type_name}.{op_name} is not public")
+
+        raw_args = tuple(unwrap(argument) for argument in args)
+        if len(raw_args) != len(operation.param_types):
+            raise TypeCheckError(
+                f"{decl_type}.{op_name} expects {len(operation.param_types)} "
+                f"argument(s), got {len(raw_args)}"
+            )
+        for expected, raw in zip(operation.param_types, raw_args):
+            self.schema.check_value(expected, raw, type_of_oid=self.objects.type_of)
+
+        gmr = self._gmr
+        # Materialized fast path: outside a materialization, invocation of
+        # a materialized function becomes a forward query on its GMR.
+        if (
+            gmr is not None
+            and not self._materializing_depth
+            and gmr.is_materialized_op(decl_type, op_name)
+        ):
+            return gmr.retrieve_forward_op(decl_type, op_name, (oid,) + raw_args)
+
+        # Compensating actions on declared operations run before the body.
+        compensated: frozenset[str] = frozenset()
+        if (
+            gmr is not None
+            and self.level.notifies
+            and not self._suppress_depth
+            and not self._materializing_depth
+        ):
+            compensated = self._compensate_if_registered(
+                obj, decl_type, op_name, raw_args
+            )
+
+        strict = self._is_strict(obj.type_name)
+        info_hiding = (
+            self.level is InstrumentationLevel.INFO_HIDING
+            and strict
+            and gmr is not None
+        )
+        # Record the strictly-encapsulated receiver as one opaque unit
+        # while tracing ("only this object, but none of its subobjects,
+        # have to be marked", Sec. 5.3).
+        opaque = strict and bool(self._tracers)
+        post_invalidate = (
+            (info_hiding or bool(compensated))
+            and not self._suppress_depth
+            and self.level.notifies
+        )
+        suppress = (info_hiding or bool(compensated)) and gmr is not None
+
+        if opaque and not self._opaque_depth:
+            self._record_object_only(oid)
+        if opaque:
+            self._opaque_depth += 1
+        if suppress:
+            self._suppress_depth += 1
+        try:
+            self_handle = Handle(self, oid, internal=True)
+            wrapped = tuple(
+                Handle(self, raw) if isinstance(raw, Oid) else raw
+                for raw in raw_args
+            )
+            result = operation.body(self_handle, *wrapped)
+        finally:
+            if opaque:
+                self._opaque_depth -= 1
+            if suppress:
+                self._suppress_depth -= 1
+
+        if post_invalidate and gmr is not None:
+            invalidates = self._invalidated_fct(obj.type_name, op_name)
+            relevant = (obj.obj_dep_fct & invalidates) - compensated
+            if relevant:
+                gmr.invalidate(oid, relevant, exclude=compensated)
+        return result
+
+    def _invalidated_fct(self, type_name: str, op_name: str) -> frozenset[str]:
+        """``InvalidatedFct(t.u)`` collected along the supertype chain."""
+        result: set[str] = set()
+        for definition in self.schema.supertype_chain(type_name):
+            result.update(definition.invalidates.get(op_name, ()))
+        return frozenset(result)
+
+    def call_function(self, info: "FunctionInfo", args: tuple) -> Any:
+        """Evaluate a registered function body directly (no GMR fast path).
+
+        Used by the GMR manager during (re-)materialization: the paper's
+        "modified versions" of the materialized functions are invoked,
+        i.e. the real implementations run under tracing.
+        """
+        self._materializing_depth += 1
+        try:
+            result = self.invoke(args[0], info.op_name, args[1:], internal=True)
+        finally:
+            self._materializing_depth -= 1
+        return unwrap(result)
+
+    # ------------------------------------------------------------------
+    # Attribute indexes (used by the query planner, e.g. on CuboidID)
+    # ------------------------------------------------------------------
+
+    def create_attr_index(self, type_name: str, attr: str) -> BPlusTree:
+        """Create (and backfill) an index over ``type_name.attr``."""
+        decl_type = self.schema.attribute_declaring_type(type_name, attr)
+        key = (decl_type, attr)
+        if key in self._attr_indexes:
+            return self._attr_indexes[key]
+        index = BPlusTree(
+            self.page_store, self.buffer, segment=f"idx:{decl_type}.{attr}"
+        )
+        self._attr_indexes[key] = index
+        for oid in self.objects.extension(decl_type):
+            value = self.objects.get(oid).data.get(attr)
+            if value is not None:
+                index.insert(value, oid)
+        return index
+
+    def attr_index(self, type_name: str, attr: str) -> BPlusTree | None:
+        try:
+            decl_type = self.schema.attribute_declaring_type(type_name, attr)
+        except UnknownAttributeError:
+            return None
+        return self._attr_indexes.get((decl_type, attr))
+
+    def _index_new_object(self, obj: StoredObject) -> None:
+        if not self._attr_indexes or obj.data is None:
+            return
+        for (decl_type, attr), index in self._attr_indexes.items():
+            if attr in obj.data and self.schema.is_subtype(obj.type_name, decl_type):
+                value = obj.data[attr]
+                if value is not None:
+                    index.insert(value, obj.oid)
+
+    def _index_drop_object(self, obj: StoredObject) -> None:
+        if not self._attr_indexes or obj.data is None:
+            return
+        for (decl_type, attr), index in self._attr_indexes.items():
+            if attr in obj.data and self.schema.is_subtype(obj.type_name, decl_type):
+                value = obj.data[attr]
+                if value is not None:
+                    index.remove(value, obj.oid)
+
+    # ------------------------------------------------------------------
+    # Queries (GOMql)
+    # ------------------------------------------------------------------
+
+    def query(self, text: str) -> Any:
+        """Parse and execute a GOMql statement.
+
+        ``retrieve`` queries return a list of result rows (or a scalar for
+        aggregate queries); ``materialize`` statements create the GMR and
+        return it.
+        """
+        from repro.gomql import run_statement
+
+        return run_statement(self, text)
+
+    def explain(self, text: str, params: dict | None = None):
+        """Explain — without executing — how a query would be evaluated
+        (GMR backward plan, attribute index, or extension scan)."""
+        from repro.gomql import explain_statement
+
+        return explain_statement(self, text, params)
+
+    # ------------------------------------------------------------------
+    # Cost reporting
+    # ------------------------------------------------------------------
+
+    def simulated_cost(self) -> float:
+        return self.cost_model.cost(self.buffer.stats)
+
+    def reset_costs(self) -> None:
+        self.buffer.reset_stats()

@@ -1,0 +1,52 @@
+"""Schema-rewrite instrumentation levels.
+
+The paper refines the update-notification mechanism in stages; each stage
+corresponds to one "modified version" of the elementary update operations
+(Figures 4 and 5, Sec. 5.3).  The :class:`ObjectBase` selects a level and
+its update paths branch accordingly:
+
+``NONE``
+    No notification at all — the *WithoutGMR* program version.  GMRs (if
+    any were created) silently go stale; benchmarks use this level only
+    for the unsupported baseline.
+
+``NAIVE``
+    Figure 4: *every* elementary update invokes
+    ``GMR_Manager.invalidate(self)`` / ``forget_object(self)``,
+    unconditionally.  Each invocation performs an RRR lookup.
+
+``SCHEMA_DEP``
+    Sec. 5.1: only update operations with a non-empty
+    ``SchemaDepFct(t.set_A)`` notify the manager, passing the statically
+    determined set of potentially affected functions along.
+
+``OBJ_DEP``
+    Figure 5 / Sec. 5.2: additionally intersect with the updated object's
+    ``ObjDepFct`` marking, so the manager is invoked only when an
+    invalidation will actually take place.  This is the paper's standard
+    *WithGMR* configuration.
+
+``INFO_HIDING``
+    Sec. 5.3: for strictly encapsulated types, elementary updates inside
+    a public operation are silent; the public operation itself performs a
+    single invalidation based on its ``InvalidatedFct`` set.  Types that
+    are not strictly encapsulated fall back to ``OBJ_DEP`` behaviour.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class InstrumentationLevel(IntEnum):
+    """How aggressively elementary updates are rewritten to notify."""
+
+    NONE = 0
+    NAIVE = 1
+    SCHEMA_DEP = 2
+    OBJ_DEP = 3
+    INFO_HIDING = 4
+
+    @property
+    def notifies(self) -> bool:
+        return self is not InstrumentationLevel.NONE

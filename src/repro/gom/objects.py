@@ -1,0 +1,65 @@
+"""Stored object representation.
+
+A :class:`StoredObject` is the object manager's record of one object:
+its OID, dynamic type, attribute values (atomic values or OID references)
+or element list, its page placement, and the ``ObjDepFct`` marking set of
+Sec. 5.2 — the ids of all materialized functions that used the object
+during some materialization.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gom.oid import Oid
+from repro.storage.pages import Placement
+
+_BASE_SIZE = 24
+_ATTR_SIZE = 16
+_ELEMENT_SIZE = 8
+
+
+class StoredObject:
+    """One live object in the object base."""
+
+    __slots__ = (
+        "oid",
+        "type_name",
+        "data",
+        "elements",
+        "obj_dep_fct",
+        "placement",
+        "deleted",
+    )
+
+    def __init__(
+        self,
+        oid: Oid,
+        type_name: str,
+        *,
+        data: dict[str, Any] | None = None,
+        elements: list[Any] | None = None,
+        placement: Placement | None = None,
+    ) -> None:
+        self.oid = oid
+        self.type_name = type_name
+        self.data = data
+        self.elements = elements
+        #: ObjDepFct (Sec. 5.2): ids of materialized functions whose
+        #: materialization accessed this object.  Maintained in lockstep
+        #: with the RRR by the GMR manager.
+        self.obj_dep_fct: set[str] = set()
+        self.placement = placement
+        self.deleted = False
+
+    def size_estimate(self) -> int:
+        """Approximate on-page size in bytes (drives page placement)."""
+        size = _BASE_SIZE
+        if self.data is not None:
+            size += _ATTR_SIZE * len(self.data)
+        if self.elements is not None:
+            size += _ELEMENT_SIZE * max(len(self.elements), 4)
+        return size
+
+    def __repr__(self) -> str:
+        return f"<{self.type_name} {self.oid!r}>"

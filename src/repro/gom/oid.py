@@ -1,0 +1,33 @@
+"""Object identifiers.
+
+GOM guarantees that "the OID of an object is guaranteed to remain
+invariant throughout its lifetime" — OIDs are immutable, hashable values
+handed out by a monotonically increasing generator, printed ``id⟨n⟩`` to
+match the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Oid:
+    """An immutable object identifier."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"id{self.value}"
+
+
+class OidGenerator:
+    """Hands out fresh OIDs, never reusing a value."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def next(self) -> Oid:
+        oid = Oid(self._next)
+        self._next += 1
+        return oid

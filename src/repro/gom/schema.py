@@ -1,0 +1,239 @@
+"""The schema: a registry of type definitions with inheritance resolution.
+
+GOM supports single inheritance coupled with subtyping and
+substitutability under strong typing: a subtype instance is always
+substitutable for a supertype instance, and every database component is
+constrained to a declared type or a subtype thereof.  The schema answers
+all subtype/membership questions and resolves inherited attributes and
+operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import (
+    DuplicateTypeError,
+    SchemaError,
+    TypeCheckError,
+    UnknownAttributeError,
+    UnknownOperationError,
+    UnknownTypeError,
+)
+from repro.gom.oid import Oid
+from repro.gom.types import (
+    ATOMIC_TYPES,
+    AttributeDef,
+    OperationDef,
+    TypeDefinition,
+    TypeKind,
+    atomic_value_ok,
+    is_atomic_type,
+    writer_name,
+)
+
+#: Name of the implicit root supertype of all tuple types.
+ANY = "ANY"
+
+
+class Schema:
+    """Registry of type definitions.
+
+    Atomic types (``float``, ``int``, ...) and ``ANY`` are pre-registered.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, TypeDefinition] = {}
+        self._subtypes: dict[str, set[str]] = {}
+        any_type = TypeDefinition(name=ANY, kind=TypeKind.TUPLE, supertype=None)
+        any_type.public = set()
+        self._types[ANY] = any_type
+        self._subtypes[ANY] = set()
+        for atomic_name in ATOMIC_TYPES:
+            self._types[atomic_name] = TypeDefinition(
+                name=atomic_name, kind=TypeKind.ATOMIC, supertype=None
+            )
+
+    # -- registration -----------------------------------------------------------
+
+    def add_type(self, definition: TypeDefinition) -> TypeDefinition:
+        name = definition.name
+        if name in self._types:
+            raise DuplicateTypeError(f"type {name} is already defined")
+        supertype = definition.supertype
+        if definition.kind is TypeKind.TUPLE:
+            if supertype is None:
+                definition.supertype = supertype = ANY
+            if supertype not in self._types:
+                raise UnknownTypeError(f"supertype {supertype} of {name} is unknown")
+            super_def = self._types[supertype]
+            if super_def.kind is not TypeKind.TUPLE:
+                raise SchemaError(
+                    f"{name}: supertype {supertype} is not tuple-structured"
+                )
+            for attribute in definition.attributes:
+                if self._find_attr(supertype, attribute) is not None:
+                    raise SchemaError(
+                        f"{name}.{attribute} shadows an inherited attribute"
+                    )
+        elif definition.kind in (TypeKind.SET, TypeKind.LIST):
+            if definition.element_type is None:
+                raise SchemaError(f"collection type {name} needs an element type")
+            definition.supertype = None
+        self._types[name] = definition
+        self._subtypes[name] = set()
+        if definition.supertype:
+            self._subtypes[definition.supertype].add(name)
+        return definition
+
+    def type(self, name: str) -> TypeDefinition:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownTypeError(f"unknown type {name}") from None
+
+    def has_type(self, name: str) -> bool:
+        return name in self._types
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def type_names(self) -> Iterator[str]:
+        return iter(self._types)
+
+    # -- inheritance -----------------------------------------------------------
+
+    def supertype_chain(self, name: str) -> Iterator[TypeDefinition]:
+        """Yield the type and its supertypes up to (and including) ANY."""
+        current: str | None = name
+        while current is not None:
+            definition = self.type(current)
+            yield definition
+            current = definition.supertype
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """True iff ``sub`` equals ``sup`` or inherits from it."""
+        if sub == sup:
+            return True
+        return any(definition.name == sup for definition in self.supertype_chain(sub))
+
+    def subtypes_transitive(self, name: str) -> set[str]:
+        """All proper subtypes of ``name`` (transitively)."""
+        result: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for child in self._subtypes.get(current, ()):
+                if child not in result:
+                    result.add(child)
+                    frontier.append(child)
+        return result
+
+    # -- member resolution --------------------------------------------------------
+
+    def _find_attr(self, type_name: str, attribute: str) -> tuple[str, AttributeDef] | None:
+        for definition in self.supertype_chain(type_name):
+            found = definition.attributes.get(attribute)
+            if found is not None:
+                return definition.name, found
+        return None
+
+    def all_attributes(self, type_name: str) -> dict[str, AttributeDef]:
+        """All attributes, inherited ones first."""
+        chain = list(self.supertype_chain(type_name))
+        result: dict[str, AttributeDef] = {}
+        for definition in reversed(chain):
+            result.update(definition.attributes)
+        return result
+
+    def attribute(self, type_name: str, attribute: str) -> AttributeDef:
+        found = self._find_attr(type_name, attribute)
+        if found is None:
+            raise UnknownAttributeError(f"{type_name} has no attribute {attribute}")
+        return found[1]
+
+    def attribute_declaring_type(self, type_name: str, attribute: str) -> str:
+        """The type in the supertype chain that declares ``attribute``."""
+        found = self._find_attr(type_name, attribute)
+        if found is None:
+            raise UnknownAttributeError(f"{type_name} has no attribute {attribute}")
+        return found[0]
+
+    def resolve_operation(
+        self, type_name: str, operation: str
+    ) -> tuple[str, OperationDef]:
+        """Find ``operation`` on ``type_name`` or a supertype."""
+        for definition in self.supertype_chain(type_name):
+            found = definition.operations.get(operation)
+            if found is not None:
+                return definition.name, found
+        raise UnknownOperationError(f"{type_name} has no operation {operation}")
+
+    def has_operation(self, type_name: str, operation: str) -> bool:
+        try:
+            self.resolve_operation(type_name, operation)
+            return True
+        except UnknownOperationError:
+            return False
+
+    def is_public(self, type_name: str, member: str) -> bool:
+        """Whether ``member`` (operation or accessor name) is public.
+
+        Each type in the chain may contribute public members; a type with
+        ``public is None`` exposes everything it declares.
+        """
+        for definition in self.supertype_chain(type_name):
+            declares = (
+                member in definition.operations
+                or definition.has_attribute(member)
+                or (
+                    member.startswith("set_")
+                    and definition.has_attribute(member[len("set_") :])
+                )
+            )
+            if definition.public is None:
+                if declares or definition.kind in (TypeKind.SET, TypeKind.LIST):
+                    return True
+                continue
+            if member in definition.public:
+                return True
+        return False
+
+    # -- type checking --------------------------------------------------------------
+
+    def check_value(
+        self,
+        expected_type: str,
+        value: Any,
+        *,
+        type_of_oid,
+    ) -> None:
+        """Raise :class:`TypeCheckError` unless ``value`` conforms.
+
+        ``type_of_oid`` maps an :class:`Oid` to its dynamic type name (the
+        object manager supplies it); subtype instances are substitutable.
+        ``None`` is accepted for any complex type (an unset reference).
+        """
+        if is_atomic_type(expected_type):
+            if expected_type == "void":
+                if value is not None:
+                    raise TypeCheckError("void cannot hold a value")
+                return
+            if not atomic_value_ok(expected_type, value):
+                raise TypeCheckError(
+                    f"value {value!r} does not conform to atomic type {expected_type}"
+                )
+            return
+        if value is None:
+            return
+        if not isinstance(value, Oid):
+            raise TypeCheckError(
+                f"expected a reference to {expected_type}, got {value!r}"
+            )
+        actual = type_of_oid(value)
+        if not self.is_subtype(actual, expected_type):
+            raise TypeCheckError(
+                f"object {value!r} of type {actual} is not substitutable "
+                f"for {expected_type}"
+            )

@@ -1,0 +1,36 @@
+"""Access tracers.
+
+During a (re-)materialization the GMR manager must "remember all accessed
+objects" (Sec. 4.1) to build the Reverse Reference Relation, and the
+static analysis of the Appendix needs an observed-access fallback.  A
+tracer records, while active, every object whose state is read and every
+``(declaring type, attribute)`` pair that is accessed.
+
+Tracers form a stack on the :class:`~repro.gom.database.ObjectBase`;
+reads notify every active tracer.  An *opaque* depth counter supports the
+information-hiding rule that accesses inside a public operation of a
+strictly encapsulated object are attributed to that object alone.
+"""
+
+from __future__ import annotations
+
+from repro.gom.oid import Oid
+
+
+class AccessTracer:
+    """Records object and attribute accesses while active."""
+
+    __slots__ = ("objects", "attributes")
+
+    def __init__(self) -> None:
+        #: OIDs of all objects whose state was read.
+        self.objects: set[Oid] = set()
+        #: ``(type name, attribute)`` pairs read, keyed by the *declaring*
+        #: type so they line up with RelAttr entries.
+        self.attributes: set[tuple[str, str]] = set()
+
+    def record_object(self, oid: Oid) -> None:
+        self.objects.add(oid)
+
+    def record_attribute(self, type_name: str, attribute: str) -> None:
+        self.attributes.add((type_name, attribute))

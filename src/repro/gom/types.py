@@ -1,0 +1,224 @@
+"""Type definitions: tuple, set and list structured types with operations.
+
+A :class:`TypeDefinition` corresponds to one ``type ... is ... end type``
+frame of the paper (see the ``Vertex`` / ``Material`` / ``Cuboid``
+definitions in Sec. 2).  It carries:
+
+* the structural description (typed attributes for tuple types, the
+  element type for set/list types);
+* the *public clause* — names of operations (including the built-in
+  attribute accessors ``A`` / ``set_A``) that clients may invoke;
+* declared operations with their signatures and Python bodies;
+* the strict-encapsulation flag and per-operation ``InvalidatedFct``
+  sets used by the information-hiding optimisation (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+#: Names of the built-in atomic types and the Python classes that are
+#: acceptable for each.  ``decimal`` and ``char`` follow the paper's type
+#: frames; both map onto ordinary Python values.
+ATOMIC_TYPES: dict[str, tuple[type, ...]] = {
+    "float": (float, int),
+    "int": (int,),
+    "string": (str,),
+    "bool": (bool,),
+    "char": (str,),
+    "decimal": (float, int),
+    "void": (type(None),),
+}
+
+#: Pseudo-attribute used to model dependence on a set/list object's
+#: membership (iterating a set reads this; insert/remove write it).
+ELEMENTS_ATTR = "__elements__"
+
+
+class TypeKind(Enum):
+    """Structural description kinds of GOM types."""
+
+    ATOMIC = "atomic"
+    TUPLE = "tuple"
+    SET = "set"
+    LIST = "list"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeDef:
+    """A typed attribute of a tuple-structured type."""
+
+    name: str
+    type_name: str
+
+
+@dataclass
+class OperationDef:
+    """A type-associated operation.
+
+    ``param_types`` excludes the implicit receiver; ``body`` is a Python
+    callable invoked as ``body(self_handle, *argument_handles)``.
+    """
+
+    name: str
+    param_types: list[str]
+    result_type: str
+    body: Callable[..., Any]
+    doc: str = ""
+
+
+def reader_name(attribute: str) -> str:
+    """The built-in read accessor for an attribute is named like it."""
+    return attribute
+
+
+def writer_name(attribute: str) -> str:
+    """The built-in write accessor: ``set_A`` for attribute ``A``."""
+    return f"set_{attribute}"
+
+
+@dataclass
+class TypeDefinition:
+    """One GOM type frame."""
+
+    name: str
+    kind: TypeKind
+    supertype: str | None = "ANY"
+    attributes: dict[str, AttributeDef] = field(default_factory=dict)
+    element_type: str | None = None
+    operations: dict[str, OperationDef] = field(default_factory=dict)
+    #: Members invocable from outside; ``None`` means "everything public"
+    #: (a convenience for tests and interactive use — the paper's examples
+    #: always list the public clause explicitly, and the domain schemas do
+    #: the same).
+    public: set[str] | None = None
+    strict_encapsulation: bool = False
+    #: ``InvalidatedFct`` specifications (Def. 5.3): operation name → set
+    #: of materialized-function ids the operation may affect.  Supplied by
+    #: the database programmer; consulted only under information hiding.
+    invalidates: dict[str, set[str]] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def tuple_type(
+        cls,
+        name: str,
+        attributes: Mapping[str, str],
+        *,
+        supertype: str = "ANY",
+        public: Iterable[str] | None = None,
+    ) -> "TypeDefinition":
+        return cls(
+            name=name,
+            kind=TypeKind.TUPLE,
+            supertype=supertype,
+            attributes={
+                attr: AttributeDef(attr, type_name)
+                for attr, type_name in attributes.items()
+            },
+            public=None if public is None else set(public),
+        )
+
+    @classmethod
+    def set_type(
+        cls,
+        name: str,
+        element_type: str,
+        *,
+        public: Iterable[str] | None = None,
+    ) -> "TypeDefinition":
+        return cls(
+            name=name,
+            kind=TypeKind.SET,
+            element_type=element_type,
+            public=None if public is None else set(public),
+        )
+
+    @classmethod
+    def list_type(
+        cls,
+        name: str,
+        element_type: str,
+        *,
+        public: Iterable[str] | None = None,
+    ) -> "TypeDefinition":
+        return cls(
+            name=name,
+            kind=TypeKind.LIST,
+            element_type=element_type,
+            public=None if public is None else set(public),
+        )
+
+    # -- membership ------------------------------------------------------------
+
+    def is_tuple(self) -> bool:
+        return self.kind is TypeKind.TUPLE
+
+    def is_set(self) -> bool:
+        return self.kind is TypeKind.SET
+
+    def is_list(self) -> bool:
+        return self.kind is TypeKind.LIST
+
+    def is_collection(self) -> bool:
+        return self.kind in (TypeKind.SET, TypeKind.LIST)
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def define_operation(
+        self,
+        name: str,
+        param_types: Iterable[str],
+        result_type: str,
+        body: Callable[..., Any],
+        *,
+        doc: str = "",
+    ) -> OperationDef:
+        if self.kind is TypeKind.ATOMIC:
+            raise SchemaError(f"cannot define operations on atomic type {self.name}")
+        if name in self.attributes:
+            raise SchemaError(
+                f"{self.name}.{name} clashes with the built-in attribute accessor"
+            )
+        operation = OperationDef(
+            name=name,
+            param_types=list(param_types),
+            result_type=result_type,
+            body=body,
+            doc=doc or (body.__doc__ or ""),
+        )
+        self.operations[name] = operation
+        return operation
+
+    def make_public(self, *members: str) -> None:
+        if self.public is None:
+            self.public = set()
+        self.public.update(members)
+
+    def declare_invalidates(self, operation: str, functions: Iterable[str]) -> None:
+        """Record an ``InvalidatedFct`` specification for ``operation``."""
+        self.invalidates.setdefault(operation, set()).update(functions)
+
+
+def is_atomic_type(type_name: str) -> bool:
+    return type_name in ATOMIC_TYPES
+
+
+def atomic_value_ok(type_name: str, value: Any) -> bool:
+    """Check a Python value against an atomic GOM type."""
+    expected = ATOMIC_TYPES.get(type_name)
+    if expected is None:
+        return False
+    if type_name != "bool" and isinstance(value, bool):
+        # bool is a subclass of int in Python; keep GOM's types distinct.
+        return False
+    if type_name == "char":
+        return isinstance(value, str) and len(value) == 1
+    return isinstance(value, expected)

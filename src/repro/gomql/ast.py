@@ -1,0 +1,156 @@
+"""GOMql abstract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+AGGREGATES = ("sum", "count", "avg", "min", "max")
+
+
+class QExpr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class QConst(QExpr):
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class QName(QExpr):
+    """A bare identifier: a range variable or an external parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class QAttr(QExpr):
+    base: QExpr
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class QCall(QExpr):
+    """An operation invocation ``base.name(args)``."""
+
+    base: QExpr
+    name: str
+    args: tuple[QExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QBin(QExpr):
+    op: str  # + - * /
+    left: QExpr
+    right: QExpr
+
+
+@dataclass(frozen=True, slots=True)
+class QNeg(QExpr):
+    operand: QExpr
+
+
+@dataclass(frozen=True, slots=True)
+class QAgg(QExpr):
+    func: str  # one of AGGREGATES
+    arg: QExpr
+
+
+class QPred:
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class QCmp(QPred):
+    op: str  # = != < <= > >=
+    left: QExpr
+    right: QExpr
+
+
+@dataclass(frozen=True, slots=True)
+class QIn(QPred):
+    item: QExpr
+    collection: QExpr
+
+
+@dataclass(frozen=True, slots=True)
+class QAnd(QPred):
+    parts: tuple[QPred, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QOr(QPred):
+    parts: tuple[QPred, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QNot(QPred):
+    part: QPred
+
+
+@dataclass(frozen=True, slots=True)
+class RangeDecl:
+    """``range var: TypeName`` — binds ``var`` to the type extension."""
+
+    var: str
+    type_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    ranges: tuple[RangeDecl, ...]
+    projections: tuple[QExpr, ...]
+    where: QPred | None
+
+
+@dataclass(frozen=True, slots=True)
+class MaterializeStmt:
+    ranges: tuple[RangeDecl, ...]
+    targets: tuple[QCall, ...]
+    where: QPred | None
+
+
+def conjuncts(pred: QPred | None) -> list[QPred]:
+    """Flatten a top-level conjunction into its conjuncts."""
+    if pred is None:
+        return []
+    if isinstance(pred, QAnd):
+        result: list[QPred] = []
+        for part in pred.parts:
+            result.extend(conjuncts(part))
+        return result
+    return [pred]
+
+
+def variables_of(expr: QExpr | QPred) -> set[str]:
+    """Names of all bare identifiers appearing in an expression."""
+    if isinstance(expr, QName):
+        return {expr.name}
+    if isinstance(expr, QConst):
+        return set()
+    if isinstance(expr, QAttr):
+        return variables_of(expr.base)
+    if isinstance(expr, QCall):
+        result = variables_of(expr.base)
+        for argument in expr.args:
+            result |= variables_of(argument)
+        return result
+    if isinstance(expr, QBin):
+        return variables_of(expr.left) | variables_of(expr.right)
+    if isinstance(expr, QNeg):
+        return variables_of(expr.operand)
+    if isinstance(expr, QAgg):
+        return variables_of(expr.arg)
+    if isinstance(expr, QCmp):
+        return variables_of(expr.left) | variables_of(expr.right)
+    if isinstance(expr, QIn):
+        return variables_of(expr.item) | variables_of(expr.collection)
+    if isinstance(expr, (QAnd, QOr)):
+        result = set()
+        for part in expr.parts:
+            result |= variables_of(part)
+        return result
+    if isinstance(expr, QNot):
+        return variables_of(expr.part)
+    raise TypeError(f"unknown node {expr!r}")

@@ -1,0 +1,116 @@
+"""GOMql tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "range",
+        "retrieve",
+        "materialize",
+        "where",
+        "and",
+        "or",
+        "not",
+        "in",
+        "true",
+        "false",
+    }
+)
+
+_SYMBOLS = (
+    "<=",
+    ">=",
+    "!=",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    ",",
+    ".",
+    ":",
+    "+",
+    "-",
+    "*",
+    "/",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'number' | 'string' | 'symbol' | 'eof'
+    text: str
+    position: int
+    value: object = None
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == '"' or char == "'":
+            end = text.find(char, index + 1)
+            if end < 0:
+                raise LexError("unterminated string literal", index)
+            tokens.append(
+                Token("string", text[index : end + 1], index, text[index + 1 : end])
+            )
+            index = end + 1
+            continue
+        if char.isdecimal():
+            # isdecimal(), not isdigit(): characters like '²' count as
+            # digits but are not valid int() literals.
+            end = index
+            seen_dot = False
+            while end < length and (
+                text[end].isdecimal()
+                or (
+                    text[end] == "."
+                    and not seen_dot
+                    and end + 1 < length
+                    and text[end + 1].isdecimal()
+                )
+            ):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            literal = text[index:end]
+            value: object = float(literal) if seen_dot else int(literal)
+            tokens.append(Token("number", literal, index, value))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                if lowered == "true":
+                    tokens.append(Token("number", word, index, True))
+                elif lowered == "false":
+                    tokens.append(Token("number", word, index, False))
+                else:
+                    tokens.append(Token("keyword", lowered, index))
+            else:
+                tokens.append(Token("ident", word, index))
+            index = end
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("symbol", symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", index)
+    tokens.append(Token("eof", "", length))
+    return tokens

@@ -1,0 +1,242 @@
+"""Saving and loading an object base (objects + materializations).
+
+An object base persists as a JSON document holding the object graph
+(OIDs preserved), the attribute indexes, every GMR's definition and
+extension, and the Reverse Reference Relation — everything except code.
+Operation bodies and restriction predicates are Python objects, so the
+loading application first rebuilds the *schema* (type definitions and
+operations, e.g. by calling its usual ``build_*_schema`` function) and
+then loads the state into it::
+
+    dump_object_base(db, "base.json")
+    ...
+    fresh = ObjectBase()
+    build_geometry_schema(fresh)
+    load_object_base(fresh, "base.json")
+
+GMR entries whose results are not JSON-representable (complex Python
+values such as the company example's matrix lines) are persisted as
+*invalid* entries: they rematerialize on first access after loading —
+the lazy strategy's behaviour, applied to a cold start.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.core.restricted import RestrictionSpec
+from repro.core.strategies import Strategy
+from repro.errors import ReproError
+from repro.gom.oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gom.database import ObjectBase
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """The document cannot be produced or applied."""
+
+
+# -- value encoding --------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Oid):
+        return {"$oid": value.value}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise PersistenceError(f"value {value!r} is not persistable")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"$oid"}:
+        return Oid(value["$oid"])
+    return value
+
+
+def _try_encode(value: Any) -> tuple[bool, Any]:
+    try:
+        return True, _encode_value(value)
+    except PersistenceError:
+        return False, None
+
+
+# -- dumping ---------------------------------------------------------------------
+
+
+def dump_object_base(db: "ObjectBase", path: str) -> None:
+    """Write the object base's state to ``path`` as JSON."""
+    document = to_document(db)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def to_document(db: "ObjectBase") -> dict:
+    objects = []
+    for obj in db.objects.iter_objects():
+        record: dict[str, Any] = {
+            "oid": obj.oid.value,
+            "type": obj.type_name,
+        }
+        if obj.data is not None:
+            record["data"] = {
+                attr: _encode_value(value) for attr, value in obj.data.items()
+            }
+        if obj.elements is not None:
+            record["elements"] = [
+                _encode_value(element) for element in obj.elements
+            ]
+        objects.append(record)
+
+    indexes = [
+        {"type": type_name, "attr": attr}
+        for (type_name, attr) in db._attr_indexes
+    ]
+
+    gmrs = []
+    rrr_triples: list[dict] = []
+    if db.has_gmr_manager:
+        manager = db.gmr_manager
+        for gmr in manager.gmrs():
+            rows = []
+            for row in gmr.rows():
+                results = []
+                valid = []
+                for value, flag in zip(row.results, row.valid):
+                    ok, encoded = _try_encode(value)
+                    if ok:
+                        results.append(encoded)
+                        valid.append(flag)
+                    else:
+                        # Not JSON-representable: reload as invalid and
+                        # let the first access rematerialize.
+                        results.append(None)
+                        valid.append(False)
+                rows.append(
+                    {
+                        "args": [_encode_value(arg) for arg in row.args],
+                        "results": results,
+                        "valid": valid,
+                    }
+                )
+            gmrs.append(
+                {
+                    "name": gmr.name,
+                    "functions": [
+                        {"type": info.type_name, "op": info.op_name}
+                        for info in gmr.functions
+                    ],
+                    "complete": gmr.complete,
+                    "strategy": gmr.strategy.value,
+                    "storage": gmr.store.storage,
+                    "capacity": gmr.capacity,
+                    "row_placement": gmr.row_placement,
+                    "restricted": gmr.restriction is not None,
+                    "rows": rows,
+                }
+            )
+        for oid, fid, args in manager.rrr.triples():
+            rrr_triples.append(
+                {
+                    "oid": oid.value,
+                    "fid": fid,
+                    "args": [_encode_value(arg) for arg in args],
+                }
+            )
+
+    return {
+        "format": FORMAT_VERSION,
+        "objects": objects,
+        "attr_indexes": indexes,
+        "gmrs": gmrs,
+        "rrr": rrr_triples,
+    }
+
+
+# -- loading ---------------------------------------------------------------------
+
+
+def load_object_base(
+    db: "ObjectBase",
+    path: str,
+    *,
+    restrictions: dict[str, RestrictionSpec] | None = None,
+) -> None:
+    """Load a dumped state into ``db`` (schema must already be defined).
+
+    ``restrictions`` re-supplies the restriction specs of restricted GMRs
+    by GMR name (predicates contain code and are not persisted).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    from_document(db, document, restrictions=restrictions)
+
+
+def from_document(
+    db: "ObjectBase",
+    document: dict,
+    *,
+    restrictions: dict[str, RestrictionSpec] | None = None,
+) -> None:
+    if document.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported document format {document.get('format')!r}"
+        )
+    if len(db.objects) > 0:
+        raise PersistenceError("load requires an empty object base")
+    restrictions = restrictions or {}
+
+    for record in document["objects"]:
+        data = None
+        if "data" in record:
+            data = {
+                attr: _decode_value(value)
+                for attr, value in record["data"].items()
+            }
+        elements = None
+        if "elements" in record:
+            elements = [_decode_value(element) for element in record["elements"]]
+        db.objects.restore(
+            Oid(record["oid"]), record["type"], data=data, elements=elements
+        )
+
+    for index in document["attr_indexes"]:
+        db.create_attr_index(index["type"], index["attr"])
+
+    if not document["gmrs"]:
+        return
+    manager = db.gmr_manager
+    for entry in document["gmrs"]:
+        restriction = restrictions.get(entry["name"])
+        if entry["restricted"] and restriction is None:
+            raise PersistenceError(
+                f"GMR {entry['name']} is restricted; pass its "
+                f"RestrictionSpec via restrictions={{...}}"
+            )
+        gmr = manager.materialize(
+            [(fn["type"], fn["op"]) for fn in entry["functions"]],
+            complete=entry["complete"],
+            strategy=Strategy(entry["strategy"]),
+            storage=entry["storage"],
+            name=entry["name"],
+            capacity=entry.get("capacity"),
+            row_placement=entry.get("row_placement", "separate"),
+            restriction=restriction,
+            populate=False,
+        )
+        for row in entry["rows"]:
+            args = tuple(_decode_value(arg) for arg in row["args"])
+            gmr.ensure_row(args)
+            for fid, value, flag in zip(gmr.fids, row["results"], row["valid"]):
+                if flag:
+                    gmr.set_result(args, fid, _decode_value(value))
+
+    for triple in document["rrr"]:
+        manager._rrr_insert(
+            Oid(triple["oid"]),
+            triple["fid"],
+            tuple(_decode_value(arg) for arg in triple["args"]),
+        )

@@ -1,0 +1,50 @@
+"""Predicate subsystem for restricted GMRs (Sec. 6).
+
+Implements the decidable predicate subclass of Rosenkrantz & Hunt used by
+the paper to decide whether a ``p``-restricted GMR is applicable to a
+backward query: Boolean combinations of comparisons
+
+* Type 1 — ``x θ c`` (variable against constant),
+* Type 2 — ``x θ y`` (variable against variable),
+* Type 3 — ``x θ y + c`` (variable against variable plus offset),
+
+with ``θ ∈ {=, ≠, <, ≤, ≥, >}``, excluding ``≠`` in Types 2/3.  The
+satisfiability of a conjunction is decided in polynomial time with an
+all-pairs shortest-path closure; ``σ' ⇒ p`` is decided as the
+unsatisfiability of ``¬p ∧ σ'``.
+"""
+
+from repro.predicates.ast import (
+    And,
+    Comparison,
+    Constant,
+    FALSE,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+    Variable,
+)
+from repro.predicates.dnf import to_dnf, negate
+from repro.predicates.satisfiability import is_satisfiable, predicate_satisfiable
+from repro.predicates.cover import covers, restriction_applicable
+from repro.predicates.evaluate import evaluate
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Constant",
+    "FALSE",
+    "Not",
+    "Or",
+    "Predicate",
+    "TRUE",
+    "Variable",
+    "to_dnf",
+    "negate",
+    "is_satisfiable",
+    "predicate_satisfiable",
+    "covers",
+    "restriction_applicable",
+    "evaluate",
+]

@@ -1,0 +1,201 @@
+"""Predicate AST: terms, comparisons and Boolean combinators.
+
+A :class:`Variable` names a range variable plus an optional attribute
+path, so ``c1.V1.X ≤ c2.V1.X`` is a Type-2 comparison between the
+variables ``c1.V1.X`` and ``c2.V1.X`` — each distinct (name, path) pair
+is one variable of the decision procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Comparison operators (GOM's ``θ ∈ {=, ≠, ≤, <, ≥, >}``).
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+_NEGATED = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+_FLIPPED = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+class Predicate:
+    """Base class of predicate nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A range variable with an optional attribute path."""
+
+    name: str
+    path: tuple[str, ...] = ()
+
+    def attr(self, *attributes: str) -> "Variable":
+        return Variable(self.name, self.path + attributes)
+
+    def __str__(self) -> str:
+        return ".".join((self.name,) + self.path)
+
+    # -- comparison sugar ----------------------------------------------------
+
+    def _compare(self, op: str, other: Any) -> "Comparison":
+        if isinstance(other, Variable):
+            return Comparison(self, op, other)
+        if isinstance(other, OffsetTerm):
+            return Comparison(self, op, other.variable, offset=other.offset)
+        return Comparison(self, op, None, constant=other)
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return self._compare("<", other)
+
+    def __le__(self, other: Any) -> "Comparison":
+        return self._compare("<=", other)
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return self._compare(">", other)
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return self._compare(">=", other)
+
+    def eq(self, other: Any) -> "Comparison":
+        return self._compare("=", other)
+
+    def ne(self, other: Any) -> "Comparison":
+        return self._compare("!=", other)
+
+    def plus(self, offset: float) -> "OffsetTerm":
+        return OffsetTerm(self, offset)
+
+
+@dataclass(frozen=True, slots=True)
+class OffsetTerm:
+    """``y + c`` — the right-hand side of a Type-3 comparison."""
+
+    variable: Variable
+    offset: float
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A literal value (kept for symmetry; comparisons store it inline)."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Predicate):
+    """``left θ right + offset`` or ``left θ constant``.
+
+    * Type 1: ``right is None`` — compare against ``constant``;
+    * Type 2: ``right`` set, ``offset == 0``;
+    * Type 3: ``right`` set, ``offset != 0``.
+    """
+
+    left: Variable
+    op: str
+    right: Variable | None
+    offset: float = 0.0
+    constant: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    @property
+    def comparison_type(self) -> int:
+        if self.right is None:
+            return 1
+        return 2 if self.offset == 0 else 3
+
+    def negated(self) -> "Comparison":
+        return Comparison(
+            self.left, _NEGATED[self.op], self.right, self.offset, self.constant
+        )
+
+    def variables(self) -> set[Variable]:
+        result = {self.left}
+        if self.right is not None:
+            result.add(self.right)
+        return result
+
+    def __str__(self) -> str:
+        if self.right is None:
+            return f"{self.left} {self.op} {self.constant!r}"
+        if self.offset:
+            return f"{self.left} {self.op} {self.right} + {self.offset}"
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Predicate):
+    part: Predicate
+
+    def __str__(self) -> str:
+        return f"not ({self.part})"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolConst(Predicate):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def all_variables(predicate: Predicate) -> set[Variable]:
+    """Collect every variable occurring in ``predicate``."""
+    if isinstance(predicate, Comparison):
+        return predicate.variables()
+    if isinstance(predicate, (And, Or)):
+        result: set[Variable] = set()
+        for part in predicate.parts:
+            result |= all_variables(part)
+        return result
+    if isinstance(predicate, Not):
+        return all_variables(predicate.part)
+    return set()

@@ -1,0 +1,49 @@
+"""The cover test: may a p-restricted GMR answer a backward query?
+
+Sec. 6 of the paper: a ``p``-restricted GMR is applicable to a backward
+query with relevant selection part ``σ'`` iff
+
+1. ``¬p`` belongs to the decidable subclass (``p`` contains no ``x = y``
+   or ``x = y + c`` comparisons — their negations would be ``≠``),
+2. ``σ'`` belongs to the subclass (no ``≠`` between variables), and
+3. ``¬p ∧ σ'`` is not satisfiable (every object satisfying ``σ'``
+   satisfies ``p``, i.e. ``σ' ⇒ p``).
+"""
+
+from __future__ import annotations
+
+from repro.predicates.ast import And, Not, Predicate
+from repro.predicates.dnf import to_dnf
+from repro.predicates.satisfiability import (
+    in_decidable_class,
+    is_satisfiable,
+)
+
+
+def covers(restriction: Predicate, selection: Predicate) -> bool:
+    """True iff ``selection ⇒ restriction`` (so the GMR covers the query).
+
+    Returns False — never raises — when either predicate falls outside
+    the decidable subclass, because inapplicability is always a safe
+    answer (the query falls back to a full evaluation).
+    """
+    if not restriction_applicable(restriction, selection):
+        return False
+    combined = And((Not(restriction), selection))
+    for conjunct in to_dnf(combined):
+        try:
+            if is_satisfiable(conjunct):
+                return False
+        except Exception:
+            return False
+    return True
+
+
+def restriction_applicable(restriction: Predicate, selection: Predicate) -> bool:
+    """Conditions 1 and 2 of the applicability test."""
+    try:
+        negation_ok = in_decidable_class(Not(restriction))
+        selection_ok = in_decidable_class(selection)
+    except Exception:
+        return False
+    return negation_ok and selection_ok

@@ -1,0 +1,85 @@
+"""Negation pushing and disjunctive normal form.
+
+The cover test (Sec. 6) transforms selection predicates into disjunctive
+normal form; each disjunct is a conjunction of (possibly negated)
+comparisons, and negated comparisons are eliminated by operator flipping
+(``¬(x ≤ y)`` becomes ``x > y``).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.predicates.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+)
+
+
+def negate(predicate: Predicate) -> Predicate:
+    """Push one negation through ``predicate`` (De Morgan + flipping)."""
+    if isinstance(predicate, BoolConst):
+        return FALSE if predicate.value else TRUE
+    if isinstance(predicate, Comparison):
+        return predicate.negated()
+    if isinstance(predicate, Not):
+        return predicate.part
+    if isinstance(predicate, And):
+        return Or(tuple(negate(part) for part in predicate.parts))
+    if isinstance(predicate, Or):
+        return And(tuple(negate(part) for part in predicate.parts))
+    raise TypeError(f"cannot negate {predicate!r}")
+
+
+def _nnf(predicate: Predicate) -> Predicate:
+    """Negation normal form: negations only on comparisons, then removed."""
+    if isinstance(predicate, (BoolConst, Comparison)):
+        return predicate
+    if isinstance(predicate, Not):
+        return _nnf(negate(predicate.part))
+    if isinstance(predicate, And):
+        return And(tuple(_nnf(part) for part in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(tuple(_nnf(part) for part in predicate.parts))
+    raise TypeError(f"unknown predicate node {predicate!r}")
+
+
+def to_dnf(predicate: Predicate) -> list[list[Comparison]]:
+    """Disjunctive normal form as a list of conjunctions of comparisons.
+
+    Boolean constants are folded away: an always-true predicate yields
+    ``[[]]`` (one empty conjunct — trivially satisfiable) and an
+    always-false predicate yields ``[]`` (no disjunct).
+    """
+    normalized = _nnf(predicate)
+    return _dnf(normalized)
+
+
+def _dnf(predicate: Predicate) -> list[list[Comparison]]:
+    if isinstance(predicate, BoolConst):
+        return [[]] if predicate.value else []
+    if isinstance(predicate, Comparison):
+        return [[predicate]]
+    if isinstance(predicate, Or):
+        result: list[list[Comparison]] = []
+        for part in predicate.parts:
+            result.extend(_dnf(part))
+        return result
+    if isinstance(predicate, And):
+        branches = [_dnf(part) for part in predicate.parts]
+        if any(not branch for branch in branches):
+            return []
+        result = []
+        for combo in product(*branches):
+            conjunct: list[Comparison] = []
+            for piece in combo:
+                conjunct.extend(piece)
+            result.append(conjunct)
+        return result
+    raise TypeError(f"unexpected node in NNF: {predicate!r}")

@@ -1,0 +1,70 @@
+"""Evaluating predicates against object bindings.
+
+Restriction predicates are materialized like ordinary functions
+(Sec. 6.1): evaluation navigates attribute paths through handles, so a
+tracer active during evaluation records exactly the objects the predicate
+result depends on — which is what keeps restricted GMRs consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import PredicateError
+from repro.predicates.ast import (
+    And,
+    BoolConst,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    Variable,
+)
+
+
+def _resolve(variable: Variable, binding: Mapping[str, Any]) -> Any:
+    try:
+        value = binding[variable.name]
+    except KeyError:
+        raise PredicateError(f"unbound variable {variable.name}") from None
+    for attribute in variable.path:
+        value = getattr(value, attribute)
+    return value
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise PredicateError(f"unknown operator {op}")
+
+
+def evaluate(predicate: Predicate, binding: Mapping[str, Any]) -> bool:
+    """Evaluate ``predicate`` under ``binding`` (names → handles/values)."""
+    if isinstance(predicate, BoolConst):
+        return predicate.value
+    if isinstance(predicate, Comparison):
+        left = _resolve(predicate.left, binding)
+        if predicate.right is None:
+            right = predicate.constant
+        else:
+            right = _resolve(predicate.right, binding)
+            if predicate.offset:
+                right = right + predicate.offset
+        return _compare(predicate.op, left, right)
+    if isinstance(predicate, And):
+        return all(evaluate(part, binding) for part in predicate.parts)
+    if isinstance(predicate, Or):
+        return any(evaluate(part, binding) for part in predicate.parts)
+    if isinstance(predicate, Not):
+        return not evaluate(predicate.part, binding)
+    raise PredicateError(f"cannot evaluate {predicate!r}")

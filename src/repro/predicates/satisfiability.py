@@ -1,0 +1,181 @@
+"""The Rosenkrantz–Hunt satisfiability procedure.
+
+Decides satisfiability of conjunctions of comparisons of Types 1–3 in
+polynomial time (the paper cites an O(k³) bound in the number of
+variables).  Every comparison is normalized into difference constraints
+``v - u ≤ w`` (with a strictness flag); a Floyd–Warshall closure over the
+variables plus a pseudo-variable for the constant 0 detects negative (or
+zero-but-strict) cycles — the unsatisfiable case.  ``≠`` against a
+constant is handled afterwards: it contradicts the conjunction iff the
+closure forces the variable to exactly that constant.
+
+``≠`` between variables (Types 2/3) falls outside the decidable subclass
+(Rosenkrantz & Hunt show its inclusion makes the problem NP-hard) and
+raises :class:`~repro.errors.PredicateClassError`.
+
+The decision is made over a dense domain (the reals).  For discrete
+domains (ints, OIDs) this over-approximates satisfiability, which is the
+*safe* direction for the cover test of Sec. 6: a predicate may be deemed
+"possibly satisfiable" when it is not, so a restricted GMR is never
+applied to a query it does not cover.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.errors import PredicateClassError
+from repro.predicates.ast import Comparison, Predicate, Variable
+from repro.predicates.dnf import to_dnf
+
+#: Pseudo-variable representing the constant zero.
+_ZERO = Variable("@zero")
+
+#: A bound: (weight, strict).  ``(w, False)`` means ``v - u ≤ w``;
+#: ``(w, True)`` means ``v - u < w``.
+_Bound = tuple[float, bool]
+
+_INF: _Bound = (float("inf"), False)
+
+
+def _tighter(first: _Bound, second: _Bound) -> _Bound:
+    """The more restrictive of two bounds."""
+    if first[0] != second[0]:
+        return first if first[0] < second[0] else second
+    return first if first[1] else second
+
+
+def _add(first: _Bound, second: _Bound) -> _Bound:
+    return (first[0] + second[0], first[1] or second[1])
+
+
+def _encode_constants(conjunct: Sequence[Comparison]) -> dict[Any, float]:
+    """Map Type-1 constants to floats preserving order and equality."""
+    numeric: dict[Any, float] = {}
+    symbolic: list[Any] = []
+    for comparison in conjunct:
+        if comparison.right is not None:
+            continue
+        constant = comparison.constant
+        if isinstance(constant, bool):
+            numeric[constant] = float(constant)
+        elif isinstance(constant, (int, float)):
+            numeric[constant] = float(constant)
+        elif hasattr(constant, "value") and isinstance(
+            getattr(constant, "value"), int
+        ):
+            # OIDs and similar wrappers: equality/order via the wrapped int.
+            numeric[constant] = float(constant.value)
+        elif constant not in symbolic:
+            symbolic.append(constant)
+    # Remaining constants (strings etc.): dense rank encoding.  Order is
+    # by type name then repr, which preserves equality and gives *some*
+    # total order; order comparisons across incompatible types are the
+    # caller's responsibility.
+    for rank, constant in enumerate(
+        sorted(symbolic, key=lambda item: (type(item).__name__, repr(item)))
+    ):
+        numeric[constant] = float(rank)
+    return numeric
+
+
+def is_satisfiable(conjunct: Sequence[Comparison]) -> bool:
+    """Decide satisfiability of a conjunction of comparisons."""
+    constants = _encode_constants(conjunct)
+    variables: list[Variable] = [_ZERO]
+    index: dict[Variable, int] = {_ZERO: 0}
+
+    def node(variable: Variable) -> int:
+        position = index.get(variable)
+        if position is None:
+            position = len(variables)
+            index[variable] = position
+            variables.append(variable)
+        return position
+
+    edges: dict[tuple[int, int], _Bound] = {}
+    disequalities: list[tuple[int, int, float]] = []  # (u, v, c): v - u ≠ c
+
+    def constrain(u: int, v: int, bound: _Bound) -> None:
+        key = (u, v)
+        existing = edges.get(key)
+        edges[key] = bound if existing is None else _tighter(existing, bound)
+
+    for comparison in conjunct:
+        left = node(comparison.left)
+        if comparison.right is None:
+            right = 0  # the zero node
+            offset = constants[comparison.constant]
+        else:
+            right = node(comparison.right)
+            offset = float(comparison.offset)
+        op = comparison.op
+        # All forms reduce to: left θ right + offset.
+        if op == "!=":
+            if comparison.right is not None:
+                raise PredicateClassError(
+                    f"≠ between variables is outside the decidable subclass: "
+                    f"{comparison}"
+                )
+            disequalities.append((right, left, offset))
+            continue
+        if op in ("<", "<="):
+            # left - right ≤ offset  →  edge right → left.
+            constrain(right, left, (offset, op == "<"))
+        elif op in (">", ">="):
+            # right - left ≤ -offset  →  edge left → right.
+            constrain(left, right, (-offset, op == ">"))
+        else:  # "="
+            constrain(right, left, (offset, False))
+            constrain(left, right, (-offset, False))
+
+    count = len(variables)
+    dist: list[list[_Bound]] = [[_INF] * count for _ in range(count)]
+    for position in range(count):
+        dist[position][position] = (0.0, False)
+    for (u, v), bound in edges.items():
+        dist[u][v] = _tighter(dist[u][v], bound)
+
+    for k in range(count):
+        dist_k = dist[k]
+        for i in range(count):
+            via = dist[i][k]
+            if via[0] == float("inf"):
+                continue
+            row = dist[i]
+            for j in range(count):
+                if dist_k[j][0] == float("inf"):
+                    continue
+                candidate = _add(via, dist_k[j])
+                row[j] = _tighter(row[j], candidate)
+
+    for position in range(count):
+        weight, strict = dist[position][position]
+        if weight < 0 or (weight == 0 and strict):
+            return False
+
+    for u, v, constant in disequalities:
+        upper = dist[u][v]
+        lower = dist[v][u]
+        forced = (
+            upper == (constant, False)
+            and lower == (-constant, False)
+        )
+        if forced:
+            return False
+    return True
+
+
+def predicate_satisfiable(predicate: Predicate) -> bool:
+    """Satisfiability of an arbitrary Boolean combination (via DNF)."""
+    return any(is_satisfiable(conjunct) for conjunct in to_dnf(predicate))
+
+
+def in_decidable_class(predicate: Predicate) -> bool:
+    """Whether ``predicate``'s DNF is free of ``≠`` in Types 2 and 3."""
+    for conjunct in to_dnf(predicate):
+        for comparison in conjunct:
+            if comparison.op == "!=" and comparison.right is not None:
+                return False
+    return True

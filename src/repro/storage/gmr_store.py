@@ -1,0 +1,318 @@
+"""Physical representation of GMR extensions (Sec. 3.3).
+
+Authoritative row data lives in an argument-keyed table (rows placed on
+simulated pages, clustered per GMR); secondary access paths are chosen
+per the paper:
+
+* for GMRs whose total dimensionality ``n + m`` is at most
+  :data:`MDS_DIMENSION_LIMIT`, a grid file over ``(O1..On, f1..fm)`` — the
+  single multi-dimensional storage structure (MDS) of the paper's
+  Figure 3;
+* otherwise, per-function B+ tree indexes over the result columns ("more
+  conventional indexing schemes ... for GMRs of higher arity").
+
+Only *valid*, scalar results are indexed; invalidating a result removes
+it from the access path, revalidating reinserts it, so backward range
+lookups never return stale values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.storage.btree import BPlusTree
+from repro.storage.gridfile import GridFile
+from repro.storage.pages import BufferManager, PageStore, Placement
+
+#: Grid files degrade beyond three or four dimensions (Sec. 3.3).
+MDS_DIMENSION_LIMIT = 4
+
+_ROW_BASE_SIZE = 16
+_FIELD_SIZE = 12
+
+
+def _is_scalar(value: Any) -> bool:
+    return isinstance(value, (int, float, str, bool))
+
+
+class GMRRow:
+    """One GMR tuple: arguments, per-function results and validity bits."""
+
+    __slots__ = ("args", "results", "valid", "placement")
+
+    def __init__(self, args: tuple, fct_count: int, placement: Placement) -> None:
+        self.args = args
+        self.results: list[Any] = [None] * fct_count
+        self.valid: list[bool] = [False] * fct_count
+        self.placement = placement
+
+    def __repr__(self) -> str:
+        cells = ", ".join(
+            f"{result!r}/{'T' if flag else 'F'}"
+            for result, flag in zip(self.results, self.valid)
+        )
+        return f"GMRRow({self.args!r}: {cells})"
+
+
+class GMRStore:
+    """Row storage plus access paths for one GMR."""
+
+    def __init__(
+        self,
+        name: str,
+        arg_count: int,
+        fct_count: int,
+        page_store: PageStore | None = None,
+        buffer: BufferManager | None = None,
+        *,
+        storage: str = "auto",
+        row_segment: str | None = None,
+    ) -> None:
+        """``row_segment`` overrides where rows are placed.
+
+        By default rows cluster in a private segment ("separate caching",
+        the choice the paper justifies via Jhingran's CS-vs-CT analysis);
+        passing an object type's segment stores results *near the
+        argument objects* instead (the CT alternative) — rows then share
+        pages with objects, which removes the clustering benefit for
+        result scans.  Used by the storage ablation benchmark.
+        """
+        if storage not in ("auto", "mds", "columns"):
+            raise ValueError(f"unknown storage mode {storage!r}")
+        self.name = name
+        self.arg_count = arg_count
+        self.fct_count = fct_count
+        self.row_segment = row_segment or f"gmr:{name}"
+        self._pages = page_store
+        self._buffer = buffer
+        self._rows: dict[tuple, GMRRow] = {}
+        self._invalid: list[set[tuple]] = [set() for _ in range(fct_count)]
+        if storage == "auto":
+            storage = (
+                "mds" if arg_count + fct_count <= MDS_DIMENSION_LIMIT else "columns"
+            )
+        self.storage = storage
+        self._mds: GridFile | None = None
+        self._columns: list[BPlusTree | None] = [None] * fct_count
+        if storage == "mds":
+            self._mds = GridFile(
+                arg_count + fct_count,
+                page_store,
+                buffer,
+                segment=f"gmr:{name}:mds",
+            )
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _touch_row(self, row: GMRRow, *, write: bool = False) -> None:
+        if self._buffer is not None:
+            self._buffer.touch(row.placement.page_id, write=write)
+
+    def _column(self, fct_index: int) -> BPlusTree:
+        index = self._columns[fct_index]
+        if index is None:
+            index = BPlusTree(
+                self._pages,
+                self._buffer,
+                segment=f"gmr:{self.name}:f{fct_index}",
+            )
+            for row in self._rows.values():
+                if row.valid[fct_index] and _is_scalar(row.results[fct_index]):
+                    index.insert(row.results[fct_index], row.args)
+            self._columns[fct_index] = index
+        return index
+
+    def _mds_point(self, row: GMRRow) -> tuple | None:
+        """The grid-file point of a fully valid, all-scalar row."""
+        if not all(row.valid):
+            return None
+        if not all(_is_scalar(result) for result in row.results):
+            return None
+        return row.args + tuple(row.results)
+
+    def _index_remove(self, row: GMRRow, fct_index: int, *, had_all: bool) -> None:
+        old = row.results[fct_index]
+        if self.storage == "columns":
+            index = self._columns[fct_index]
+            if index is not None and _is_scalar(old):
+                index.remove(old, row.args)
+        elif had_all and self._mds is not None:
+            point = row.args + tuple(row.results)
+            if all(_is_scalar(result) for result in row.results):
+                self._mds.remove(point, row.args)
+
+    def _index_insert(self, row: GMRRow, fct_index: int) -> None:
+        new = row.results[fct_index]
+        if self.storage == "columns":
+            index = self._columns[fct_index]
+            if index is not None and _is_scalar(new):
+                index.insert(new, row.args)
+        elif self._mds is not None:
+            point = self._mds_point(row)
+            if point is not None:
+                self._mds.insert(point, row.args)
+
+    # -- row lifecycle --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, args: tuple) -> GMRRow | None:
+        row = self._rows.get(args)
+        if row is not None:
+            self._touch_row(row)
+        return row
+
+    def ensure_row(self, args: tuple) -> GMRRow:
+        row = self._rows.get(args)
+        if row is None:
+            placement = (
+                self._pages.place(
+                    self.row_segment,
+                    _ROW_BASE_SIZE + _FIELD_SIZE * (self.arg_count + self.fct_count),
+                )
+                if self._pages is not None
+                else Placement(-1, 0)
+            )
+            row = GMRRow(args, self.fct_count, placement)
+            self._rows[args] = row
+            for fct_index in range(self.fct_count):
+                self._invalid[fct_index].add(args)
+        self._touch_row(row, write=True)
+        return row
+
+    def remove_row(self, args: tuple) -> bool:
+        row = self._rows.pop(args, None)
+        if row is None:
+            return False
+        self._touch_row(row, write=True)
+        had_all = all(row.valid)
+        for fct_index in range(self.fct_count):
+            if row.valid[fct_index]:
+                self._index_remove(row, fct_index, had_all=had_all)
+                # In MDS mode the whole point disappears with the first
+                # removal; stop after it.
+                if self.storage == "mds" and had_all:
+                    break
+            self._invalid[fct_index].discard(args)
+        if self._pages is not None and row.placement.page_id >= 0:
+            self._pages.remove(row.placement)
+        return True
+
+    # -- result maintenance ------------------------------------------------------------
+
+    def set_result(self, args: tuple, fct_index: int, value: Any) -> GMRRow:
+        """Store a freshly (re-)materialized result and mark it valid."""
+        row = self.ensure_row(args)
+        had_all = all(row.valid)
+        if row.valid[fct_index]:
+            self._index_remove(row, fct_index, had_all=had_all)
+        elif self.storage == "mds" and had_all:
+            pass  # cannot happen: invalid flag contradicts had_all
+        elif self.storage == "mds" and self._mds is not None:
+            # The row was not fully valid, so it is not in the MDS yet;
+            # nothing to remove.
+            pass
+        row.results[fct_index] = value
+        row.valid[fct_index] = True
+        self._invalid[fct_index].discard(args)
+        self._index_insert(row, fct_index)
+        self._touch_row(row, write=True)
+        return row
+
+    def mark_invalid(self, args: tuple, fct_index: int) -> bool:
+        """Set ``V_fct := false`` (lazy rematerialization, Sec. 4.1)."""
+        row = self._rows.get(args)
+        if row is None or not row.valid[fct_index]:
+            return False
+        had_all = all(row.valid)
+        self._index_remove(row, fct_index, had_all=had_all)
+        row.valid[fct_index] = False
+        self._invalid[fct_index].add(args)
+        self._touch_row(row, write=True)
+        return True
+
+    def invalid_args(self, fct_index: int) -> set[tuple]:
+        return set(self._invalid[fct_index])
+
+    def has_invalid(self, fct_index: int) -> bool:
+        return bool(self._invalid[fct_index])
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def rows(self) -> Iterator[GMRRow]:
+        for row in self._rows.values():
+            self._touch_row(row)
+            yield row
+
+    def args(self) -> list[tuple]:
+        return list(self._rows)
+
+    def backward(
+        self,
+        fct_index: int,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, tuple]]:
+        """Yield ``(result, args)`` for valid results within the range.
+
+        Uses the MDS or the per-column B+ tree; falls back to a row scan
+        for non-scalar results.
+        """
+        if self.storage == "mds" and self._mds is not None:
+            conditions: list[Any] = [None] * (self.arg_count + self.fct_count)
+            conditions[self.arg_count + fct_index] = (low, high)
+            for point, args in self._mds.query(conditions):
+                value = point[self.arg_count + fct_index]
+                if not include_low and low is not None and value == low:
+                    continue
+                if not include_high and high is not None and value == high:
+                    continue
+                row = self._rows.get(args)
+                if row is not None and row.valid[fct_index]:
+                    yield value, args
+            # Rows not fully valid are not in the MDS; surface the valid
+            # results for *this* function among them by a residual scan.
+            for args in self._partial_rows(fct_index):
+                row = self._rows[args]
+                value = row.results[fct_index]
+                if not _in_range(
+                    value, low, high, include_low=include_low, include_high=include_high
+                ):
+                    continue
+                self._touch_row(row)
+                yield value, args
+            return
+        index = self._column(fct_index)
+        yield from index.range_scan(
+            low, high, include_low=include_low, include_high=include_high
+        )
+
+    def _partial_rows(self, fct_index: int) -> list[tuple]:
+        """Args of rows valid for ``fct_index`` but absent from the MDS."""
+        result = []
+        for args, row in self._rows.items():
+            if row.valid[fct_index] and self._mds_point(row) is None:
+                result.append(args)
+        return result
+
+
+def _in_range(
+    value: Any,
+    low: Any,
+    high: Any,
+    *,
+    include_low: bool,
+    include_high: bool,
+) -> bool:
+    if not _is_scalar(value):
+        return False
+    if low is not None and (value < low or (not include_low and value == low)):
+        return False
+    if high is not None and (value > high or (not include_high and value == high)):
+        return False
+    return True

@@ -1,0 +1,327 @@
+"""A grid file: the multi-dimensional storage structure (MDS) of Sec. 3.3.
+
+The paper stores low-arity GMRs in a single multi-dimensional index over
+the fields ``O1..On, f1..fm`` (citing Nievergelt et al.'s grid file) and
+falls back to conventional indexes beyond three or four dimensions.
+
+This is a classic two-level grid file:
+
+* per-dimension *scales* — sorted lists of split boundaries partitioning
+  the domain into intervals;
+* a *directory* mapping each cell (one interval index per dimension) to a
+  data bucket; several cells may share one bucket (bucket regions);
+* data buckets of fixed capacity placed on simulated pages.
+
+On bucket overflow the structure first tries to split the bucket's cell
+region between existing cells; if the bucket covers a single cell, a new
+boundary is introduced on the dimension with the largest value spread
+(cyclic tie-break), which refines the grid for all buckets but only
+splits the overflowing one.
+
+Supported queries: exact point lookup, partial-match and range queries
+(any combination of fixed values, ranges and wildcards per dimension —
+exactly the ``?`` / ``[lb, ub]`` / ``–`` retrieval patterns of Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterator, Sequence
+from itertools import product
+from typing import Any
+
+from repro.storage.pages import BufferManager, PageStore
+
+_DEFAULT_BUCKET_CAPACITY = 32
+
+
+class _Bucket:
+    __slots__ = ("entries", "cells", "page_id")
+
+    def __init__(self, page_id: int) -> None:
+        # entries: list of (point, value) with point a tuple of scalars
+        self.entries: list[tuple[tuple[Any, ...], Any]] = []
+        self.cells: set[tuple[int, ...]] = set()
+        self.page_id = page_id
+
+
+class GridFile:
+    """Grid file over ``dimensions`` comparable scalar coordinates."""
+
+    def __init__(
+        self,
+        dimensions: int,
+        page_store: PageStore | None = None,
+        buffer: BufferManager | None = None,
+        *,
+        bucket_capacity: int = _DEFAULT_BUCKET_CAPACITY,
+        segment: str = "gridfile",
+    ) -> None:
+        if dimensions < 1:
+            raise ValueError("grid file needs at least one dimension")
+        self.dimensions = dimensions
+        self.bucket_capacity = bucket_capacity
+        self._pages = page_store
+        self._buffer = buffer
+        self._segment = segment
+        self._size = 0
+        self._scales: list[list[Any]] = [[] for _ in range(dimensions)]
+        root = self._new_bucket()
+        origin = (0,) * dimensions
+        root.cells.add(origin)
+        self._directory: dict[tuple[int, ...], _Bucket] = {origin: root}
+        self._next_split_dim = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _new_bucket(self) -> _Bucket:
+        if self._pages is None:
+            return _Bucket(-1)
+        placement = self._pages.place(self._segment, self._pages.page_size)
+        return _Bucket(placement.page_id)
+
+    def _touch(self, bucket: _Bucket, *, write: bool = False) -> None:
+        if self._buffer is not None and bucket.page_id >= 0:
+            self._buffer.touch(bucket.page_id, write=write)
+
+    def _cell_of(self, point: Sequence[Any]) -> tuple[int, ...]:
+        return tuple(
+            bisect_right(self._scales[dim], point[dim])
+            for dim in range(self.dimensions)
+        )
+
+    def _check_point(self, point: Sequence[Any]) -> tuple[Any, ...]:
+        if len(point) != self.dimensions:
+            raise ValueError(
+                f"point has {len(point)} coordinates, "
+                f"grid file has {self.dimensions} dimensions"
+            )
+        return tuple(point)
+
+    # -- public API --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def scales(self) -> list[list[Any]]:
+        """Current split boundaries per dimension (for inspection/tests)."""
+        return [list(scale) for scale in self._scales]
+
+    def insert(self, point: Sequence[Any], value: Any) -> None:
+        point = self._check_point(point)
+        cell = self._cell_of(point)
+        bucket = self._directory[cell]
+        self._touch(bucket, write=True)
+        bucket.entries.append((point, value))
+        self._size += 1
+        if len(bucket.entries) > self.bucket_capacity:
+            self._split(bucket)
+
+    def remove(self, point: Sequence[Any], value: Any) -> bool:
+        point = self._check_point(point)
+        bucket = self._directory[self._cell_of(point)]
+        self._touch(bucket, write=True)
+        for index, entry in enumerate(bucket.entries):
+            if entry == (point, value):
+                bucket.entries.pop(index)
+                self._size -= 1
+                return True
+        return False
+
+    def search(self, point: Sequence[Any]) -> list[Any]:
+        """Exact point lookup — touches exactly one bucket."""
+        point = self._check_point(point)
+        bucket = self._directory[self._cell_of(point)]
+        self._touch(bucket)
+        return [value for stored, value in bucket.entries if stored == point]
+
+    def query(
+        self, conditions: Sequence[tuple[Any, Any] | Any | None]
+    ) -> Iterator[tuple[tuple[Any, ...], Any]]:
+        """Partial-match / range query.
+
+        ``conditions`` has one entry per dimension:
+
+        * ``None`` — wildcard (the paper's "don't care"),
+        * a ``(low, high)`` tuple — inclusive range; either end may be
+          ``None`` for an open side,
+        * any other value — exact match on that coordinate.
+        """
+        if len(conditions) != self.dimensions:
+            raise ValueError("one condition per dimension required")
+        index_ranges: list[range] = []
+        for dim, condition in enumerate(conditions):
+            count = len(self._scales[dim]) + 1
+            if condition is None:
+                index_ranges.append(range(count))
+            elif isinstance(condition, tuple) and len(condition) == 2:
+                low, high = condition
+                start = 0 if low is None else bisect_right(self._scales[dim], low)
+                stop = (
+                    count
+                    if high is None
+                    else bisect_right(self._scales[dim], high) + 1
+                )
+                index_ranges.append(range(start, min(stop, count)))
+            else:
+                position = bisect_right(self._scales[dim], condition)
+                index_ranges.append(range(position, position + 1))
+
+        seen: set[int] = set()
+        for cell in product(*index_ranges):
+            bucket = self._directory.get(cell)
+            if bucket is None or id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            self._touch(bucket)
+            for point, value in bucket.entries:
+                if self._matches(point, conditions):
+                    yield point, value
+
+    def items(self) -> Iterator[tuple[tuple[Any, ...], Any]]:
+        yield from self.query([None] * self.dimensions)
+
+    @staticmethod
+    def _matches(
+        point: tuple[Any, ...],
+        conditions: Sequence[tuple[Any, Any] | Any | None],
+    ) -> bool:
+        for coordinate, condition in zip(point, conditions):
+            if condition is None:
+                continue
+            if isinstance(condition, tuple) and len(condition) == 2:
+                low, high = condition
+                if low is not None and coordinate < low:
+                    return False
+                if high is not None and coordinate > high:
+                    return False
+            elif coordinate != condition:
+                return False
+        return True
+
+    # -- splitting --------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket) -> None:
+        if len(bucket.cells) > 1:
+            self._split_region(bucket)
+        else:
+            self._split_grid(bucket)
+
+    def _split_region(self, bucket: _Bucket) -> None:
+        """Partition a multi-cell bucket region between two buckets."""
+        # Choose the dimension along which the region spans the most cells.
+        cells = sorted(bucket.cells)
+        best_dim = 0
+        best_span = 0
+        for dim in range(self.dimensions):
+            coords = {cell[dim] for cell in cells}
+            if len(coords) > best_span:
+                best_span = len(coords)
+                best_dim = dim
+        if best_span < 2:
+            # Region is a single cell after all; refine the grid instead.
+            self._split_grid(bucket)
+            return
+        coords = sorted({cell[best_dim] for cell in cells})
+        pivot = coords[len(coords) // 2]
+        new_bucket = self._new_bucket()
+        moving = {cell for cell in bucket.cells if cell[best_dim] >= pivot}
+        bucket.cells -= moving
+        new_bucket.cells = moving
+        for cell in moving:
+            self._directory[cell] = new_bucket
+        kept: list[tuple[tuple[Any, ...], Any]] = []
+        for entry in bucket.entries:
+            if self._cell_of(entry[0]) in moving:
+                new_bucket.entries.append(entry)
+            else:
+                kept.append(entry)
+        bucket.entries = kept
+        self._touch(new_bucket, write=True)
+        self._touch(bucket, write=True)
+        if len(bucket.entries) > self.bucket_capacity:
+            self._split(bucket)
+        if len(new_bucket.entries) > self.bucket_capacity:
+            self._split(new_bucket)
+
+    def _split_grid(self, bucket: _Bucket) -> None:
+        """Introduce a new scale boundary to split a single-cell bucket."""
+        (cell,) = bucket.cells
+        dim, boundary = self._choose_boundary(bucket)
+        if dim is None:
+            # All points identical in every dimension: overflow bucket —
+            # we simply allow it to exceed capacity (duplicates cluster).
+            return
+        scale = self._scales[dim]
+        insert_at = bisect_right(scale, boundary)
+        scale.insert(insert_at, boundary)
+        # Remap the directory: interval indices >= insert_at + 1 shift up;
+        # cells exactly at interval insert_at split into two cells that
+        # initially share their bucket.
+        new_directory: dict[tuple[int, ...], _Bucket] = {}
+        for old_cell, old_bucket in self._directory.items():
+            coordinate = old_cell[dim]
+            if coordinate > insert_at:
+                new_cell = old_cell[:dim] + (coordinate + 1,) + old_cell[dim + 1 :]
+                new_directory[new_cell] = old_bucket
+            elif coordinate == insert_at:
+                upper_cell = old_cell[:dim] + (coordinate + 1,) + old_cell[dim + 1 :]
+                new_directory[old_cell] = old_bucket
+                new_directory[upper_cell] = old_bucket
+            else:
+                new_directory[old_cell] = old_bucket
+        self._directory = new_directory
+        # Rebuild every bucket's cell set from the remapped directory so
+        # no bucket keeps stale coordinates.
+        cells_by_bucket: dict[int, set[tuple[int, ...]]] = {}
+        buckets_by_id: dict[int, _Bucket] = {}
+        for new_cell, mapped_bucket in new_directory.items():
+            cells_by_bucket.setdefault(id(mapped_bucket), set()).add(new_cell)
+            buckets_by_id[id(mapped_bucket)] = mapped_bucket
+        for bucket_id, cells in cells_by_bucket.items():
+            buckets_by_id[bucket_id].cells = cells
+        # The overflowing bucket now covers two cells — split the region.
+        self._split_region(bucket)
+
+    def _choose_boundary(self, bucket: _Bucket) -> tuple[int | None, Any]:
+        """Pick a dimension and boundary value splitting the entries.
+
+        A candidate boundary must actually partition the bucket's points
+        under ``bisect_right`` semantics *given the existing scale* —
+        re-inserting a value that is already a scale boundary at the low
+        edge of the cell separates nothing (equal coordinates sort after
+        every duplicate) and would split forever.
+        """
+        start = self._next_split_dim
+        for offset in range(self.dimensions):
+            dim = (start + offset) % self.dimensions
+            values = sorted({point[dim] for point, _ in bucket.entries})
+            if len(values) < 2:
+                continue
+            middle = (len(values) - 1) // 2
+            # Try the middle boundary first, then the remaining candidates;
+            # for numeric scales also midpoints between neighbours (they
+            # can separate even when every value already sits on a scale
+            # boundary).
+            candidates = [values[middle]] + [
+                value
+                for index, value in enumerate(values[:-1])
+                if index != middle
+            ]
+            if all(isinstance(value, (int, float)) for value in values):
+                candidates.extend(
+                    (first + second) / 2
+                    for first, second in zip(values, values[1:])
+                )
+            for boundary in candidates:
+                if self._separates(bucket, dim, boundary):
+                    self._next_split_dim = (dim + 1) % self.dimensions
+                    return dim, boundary
+        return None, None
+
+    def _separates(self, bucket: _Bucket, dim: int, boundary: Any) -> bool:
+        """Would inserting ``boundary`` split the bucket's entries?"""
+        trial = sorted(self._scales[dim] + [boundary])
+        cells = {bisect_right(trial, point[dim]) for point, _ in bucket.entries}
+        return len(cells) >= 2

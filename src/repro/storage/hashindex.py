@@ -1,0 +1,115 @@
+"""A bucket hash index over exact-match keys.
+
+The GMR store uses a hash index over the full argument combination
+``(O1, ..., On)`` for forward queries (Sec. 3.2: "all argument objects
+are specified and the corresponding function values are obtained"), and
+secondary hash indexes per argument column to support
+``forget_object`` row removal without exhaustive search.
+
+Buckets are placed on simulated pages; lookups touch the bucket's page.
+The directory doubles when the average bucket occupancy exceeds a
+threshold (a simplified linear-hashing scheme — adequate because we only
+need realistic page-touch patterns, not byte-level layout).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.storage.pages import BufferManager, PageStore
+
+_INITIAL_BUCKETS = 8
+_MAX_AVG_OCCUPANCY = 16
+
+
+class _Bucket:
+    __slots__ = ("entries", "page_id")
+
+    def __init__(self, page_id: int) -> None:
+        self.entries: list[tuple[Any, Any]] = []
+        self.page_id = page_id
+
+
+class HashIndex:
+    """Hash index mapping hashable keys to (possibly multiple) values."""
+
+    def __init__(
+        self,
+        page_store: PageStore | None = None,
+        buffer: BufferManager | None = None,
+        *,
+        segment: str = "hash",
+    ) -> None:
+        self._pages = page_store
+        self._buffer = buffer
+        self._segment = segment
+        self._size = 0
+        self._buckets = [self._new_bucket() for _ in range(_INITIAL_BUCKETS)]
+
+    def _new_bucket(self) -> _Bucket:
+        if self._pages is None:
+            return _Bucket(-1)
+        placement = self._pages.place(self._segment, self._pages.page_size)
+        return _Bucket(placement.page_id)
+
+    def _touch(self, bucket: _Bucket, *, write: bool = False) -> None:
+        if self._buffer is not None and bucket.page_id >= 0:
+            self._buffer.touch(bucket.page_id, write=write)
+
+    def _bucket_for(self, key: Any) -> _Bucket:
+        return self._buckets[hash(key) % len(self._buckets)]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: Any, value: Any) -> None:
+        bucket = self._bucket_for(key)
+        self._touch(bucket, write=True)
+        bucket.entries.append((key, value))
+        self._size += 1
+        if self._size > _MAX_AVG_OCCUPANCY * len(self._buckets):
+            self._grow()
+
+    def remove(self, key: Any, value: Any) -> bool:
+        bucket = self._bucket_for(key)
+        self._touch(bucket, write=True)
+        for index, (stored_key, stored_value) in enumerate(bucket.entries):
+            if stored_key == key and stored_value == value:
+                bucket.entries.pop(index)
+                self._size -= 1
+                return True
+        return False
+
+    def remove_all(self, key: Any) -> int:
+        """Remove every entry under ``key``; returns the number removed."""
+        bucket = self._bucket_for(key)
+        self._touch(bucket, write=True)
+        kept = [entry for entry in bucket.entries if entry[0] != key]
+        removed = len(bucket.entries) - len(kept)
+        bucket.entries = kept
+        self._size -= removed
+        return removed
+
+    def search(self, key: Any) -> list[Any]:
+        bucket = self._bucket_for(key)
+        self._touch(bucket)
+        return [value for stored_key, value in bucket.entries if stored_key == key]
+
+    def contains_key(self, key: Any) -> bool:
+        bucket = self._bucket_for(key)
+        self._touch(bucket)
+        return any(stored_key == key for stored_key, _ in bucket.entries)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        for bucket in self._buckets:
+            self._touch(bucket)
+            yield from bucket.entries
+
+    def _grow(self) -> None:
+        old_buckets = self._buckets
+        self._buckets = [self._new_bucket() for _ in range(2 * len(old_buckets))]
+        count = len(self._buckets)
+        for bucket in old_buckets:
+            for key, value in bucket.entries:
+                self._buckets[hash(key) % count].entries.append((key, value))

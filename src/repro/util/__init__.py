@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG helpers and table rendering."""
+
+from repro.util.rng import DeterministicRng, WeightedChoice
+from repro.util.tables import format_table
+
+__all__ = ["DeterministicRng", "WeightedChoice", "format_table"]

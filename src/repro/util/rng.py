@@ -1,0 +1,87 @@
+"""Deterministic random-number helpers for workloads and tests.
+
+The benchmark harness needs reproducible operation streams: the paper's
+operation mix ``M = (Qmix, Umix, Pup, #ops)`` draws weighted operations at
+random, and all program versions must see the *same* draw sequence so that
+cost differences come from the system under test, not the workload.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """A seeded wrapper around :class:`random.Random`.
+
+    Exists mostly to make seeding explicit at call sites and to provide the
+    handful of draw shapes the workload generator needs.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Derive an independent, reproducible sub-stream."""
+        return DeterministicRng(hash((self.seed, salt)) & 0x7FFFFFFF)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(items, k)
+
+    def shuffle(self, items: list[T]) -> None:
+        self._random.shuffle(items)
+
+
+class WeightedChoice(Generic[T]):
+    """Draw items with fixed relative probabilities.
+
+    Mirrors the paper's weighted query/update mixes: weights must be
+    non-negative and sum to a positive value; they are normalised
+    internally so callers can pass the paper's weights verbatim.
+    """
+
+    def __init__(self, weighted_items: Sequence[tuple[float, T]]) -> None:
+        if not weighted_items:
+            raise ValueError("WeightedChoice requires at least one item")
+        total = sum(weight for weight, _ in weighted_items)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        for weight, _ in weighted_items:
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+        self._items = [item for _, item in weighted_items]
+        self._cumulative: list[float] = []
+        running = 0.0
+        for weight, _ in weighted_items:
+            running += weight / total
+            self._cumulative.append(running)
+        # Guard against floating-point drift on the last boundary.
+        self._cumulative[-1] = 1.0
+
+    def draw(self, rng: DeterministicRng) -> T:
+        needle = rng.random()
+        for boundary, item in zip(self._cumulative, self._items):
+            if needle <= boundary:
+                return item
+        return self._items[-1]
+
+    @property
+    def items(self) -> list[T]:
+        return list(self._items)

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for GMR dumps and benchmark reports."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Cells are stringified with ``str``; floats are shown with a compact
+    fixed precision so benchmark output stays readable.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    materialized = [[cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(text.ljust(width) for text, width in zip(cells, widths)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)

@@ -1,0 +1,86 @@
+"""Static analysis of comprehension-style function bodies."""
+
+import pytest
+
+from repro import ObjectBase
+
+
+@pytest.fixture
+def db():
+    database = ObjectBase()
+    database.define_set_type("Items", "Item")
+    database.define_tuple_type("Item", {"V": "float", "W": "float", "Tag": "string"})
+    database.define_tuple_type("Box", {"Contents": "Items", "Label": "string"})
+    return database
+
+
+def relattr(db, type_name, op_name):
+    return db.functions.analyzer.relevant_attributes(type_name, op_name).pairs
+
+
+class TestComprehensions:
+    def test_sum_over_generator(self, db):
+        def total(self):
+            return sum(item.V for item in self.Contents)
+
+        db.define_operation("Box", "total", [], "float", total)
+        assert relattr(db, "Box", "total") == {
+            ("Box", "Contents"),
+            ("Items", "__elements__"),
+            ("Item", "V"),
+        }
+
+    def test_filtered_comprehension_sees_condition(self, db):
+        def heavy_total(self):
+            return sum(item.V for item in self.Contents if item.W > 10.0)
+
+        db.define_operation("Box", "heavy_total", [], "float", heavy_total)
+        pairs = relattr(db, "Box", "heavy_total")
+        assert ("Item", "W") in pairs
+        assert ("Item", "V") in pairs
+        assert ("Box", "Label") not in pairs
+
+    def test_list_comprehension_assigned_then_iterated(self, db):
+        def spread(self):
+            values = [item.V for item in self.Contents]
+            return max(values) - min(values) if values else 0.0
+
+        db.define_operation("Box", "spread", [], "float", spread)
+        pairs = relattr(db, "Box", "spread")
+        assert ("Item", "V") in pairs
+        assert ("Items", "__elements__") in pairs
+
+    def test_len_of_comprehension(self, db):
+        def tagged_count(self):
+            return len([item for item in self.Contents if item.Tag == "x"])
+
+        db.define_operation("Box", "tagged_count", [], "int", tagged_count)
+        pairs = relattr(db, "Box", "tagged_count")
+        assert ("Item", "Tag") in pairs
+        assert ("Items", "__elements__") in pairs
+
+    def test_materialized_comprehension_function(self, db):
+        """End to end: a comprehension body is maintained correctly."""
+        def total(self):
+            return sum(item.V for item in self.Contents)
+
+        db.define_operation("Box", "total", [], "float", total)
+        items = [db.new("Item", V=float(i), W=1.0) for i in range(4)]
+        contents = db.new_collection("Items", items)
+        box = db.new("Box", Contents=contents, Label="b")
+        gmr = db.materialize([("Box", "total")])
+        assert box.total() == 6.0
+        items[0].set_V(10.0)
+        assert box.total() == 16.0
+        contents.remove(items[1])
+        assert box.total() == 15.0
+        box.set_Label("renamed")  # irrelevant
+        assert gmr.check_consistency(db) == []
+
+    def test_multi_generator_unsupported(self, db):
+        def cross(self):
+            return sum(a.V * b.W for a in self.Contents for b in self.Contents)
+
+        db.define_operation("Box", "cross", [], "float", cross)
+        info = db.functions.register("Box", "cross")
+        assert info.relevant_attrs is None  # sound fallback

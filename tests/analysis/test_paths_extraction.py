@@ -1,0 +1,94 @@
+"""Unit tests for path expressions and the ⊗ calculus (Def. 8.1)."""
+
+from repro.core.analysis.extraction import ExtractionStructure
+from repro.core.analysis.paths import (
+    PathExpression,
+    rewrite_path,
+    rewrite_paths,
+)
+
+
+def P(root, *attrs):
+    return PathExpression(root, tuple(attrs))
+
+
+class TestPathExpression:
+    def test_str(self):
+        assert str(P("self", "V1", "X")) == "self.V1.X"
+        assert str(P("v")) == "v"
+
+    def test_extend(self):
+        assert P("v").extend("A") == P("v", "A")
+
+    def test_rebase(self):
+        assert P("v", "X").rebase(P("self", "V1")) == P("self", "V1", "X")
+
+    def test_length(self):
+        assert P("v").length == 0
+        assert P("v", "A", "B").length == 2
+
+    def test_hashable_and_equal(self):
+        assert P("a", "b") == P("a", "b")
+        assert len({P("a", "b"), P("a", "b"), P("a")}) == 2
+
+
+class TestRewriting:
+    def test_no_matching_rule_keeps_path(self):
+        assert rewrite_path(P("v", "X"), [("w", P("self"))]) == {P("v", "X")}
+
+    def test_single_rule(self):
+        assert rewrite_path(P("v", "X"), [("v", P("self", "V1"))]) == {
+            P("self", "V1", "X")
+        }
+
+    def test_multiple_rules_for_same_variable(self):
+        rules = [("v", P("self", "V1")), ("v", P("self", "V2"))]
+        assert rewrite_path(P("v", "X"), rules) == {
+            P("self", "V1", "X"),
+            P("self", "V2", "X"),
+        }
+
+    def test_rewrite_paths_union(self):
+        rules = [("v", P("self", "V1"))]
+        result = rewrite_paths([P("v", "X"), P("w", "Y")], rules)
+        assert result == {P("self", "V1", "X"), P("w", "Y")}
+
+
+class TestCombine:
+    """E1 ⊗ E2 (Def. 8.1)."""
+
+    def test_later_paths_rewritten_by_earlier_rules(self):
+        # v := self.V1 ; ... v.X ...
+        first = ExtractionStructure.of(set(), {("v", P("self", "V1"))})
+        second = ExtractionStructure.of({P("v", "X")})
+        combined = first.combine(second)
+        assert P("self", "V1", "X") in combined.paths
+
+    def test_earlier_paths_kept(self):
+        first = ExtractionStructure.of({P("self", "A")})
+        second = ExtractionStructure.of({P("self", "B")})
+        combined = first.combine(second)
+        assert combined.paths == {P("self", "A"), P("self", "B")}
+
+    def test_rule_chaining(self):
+        # v := self.V1 ; w := v — the second rule is rewritten.
+        first = ExtractionStructure.of(set(), {("v", P("self", "V1"))})
+        second = ExtractionStructure.of(set(), {("w", P("v"))})
+        combined = first.combine(second)
+        assert ("w", P("self", "V1")) in combined.rules
+
+    def test_reassignment_drops_old_rule(self):
+        # v := self.V1 ; v := self.V2
+        first = ExtractionStructure.of(set(), {("v", P("self", "V1"))})
+        second = ExtractionStructure.of(set(), {("v", P("self", "V2"))})
+        combined = first.combine(second)
+        assert ("v", P("self", "V1")) not in combined.rules
+        assert ("v", P("self", "V2")) in combined.rules
+
+    def test_left_associative_sequence(self):
+        # v := self.V1 ; w := v.Sub ; ... w.X ...
+        one = ExtractionStructure.of(set(), {("v", P("self", "V1"))})
+        two = ExtractionStructure.of(set(), {("w", P("v", "Sub"))})
+        three = ExtractionStructure.of({P("w", "X")})
+        combined = one.combine(two).combine(three)
+        assert P("self", "V1", "Sub", "X") in combined.paths

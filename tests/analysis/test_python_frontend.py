@@ -1,0 +1,156 @@
+"""Unit tests for the Python → IR frontend."""
+
+import pytest
+
+from repro.core.analysis import ir
+from repro.core.analysis.python_frontend import lower_callable
+from repro.errors import UnsupportedConstructError
+
+
+class TestLowering:
+    def test_simple_return(self):
+        def f(self):
+            return self.A
+
+        lowered = lower_callable(f)
+        assert lowered.params == ()
+        assert lowered.body == (ir.Return(ir.Attr(ir.Var("self"), "A")),)
+
+    def test_parameters(self):
+        def f(self, a, b):
+            return a
+
+        lowered = lower_callable(f)
+        assert lowered.params == ("a", "b")
+
+    def test_assignment_and_augassign(self):
+        def f(self):
+            x = self.A
+            x += 1.0
+            return x
+
+        lowered = lower_callable(f)
+        assert isinstance(lowered.body[0], ir.Assign)
+        assert isinstance(lowered.body[1], ir.Assign)
+        assert isinstance(lowered.body[1].value, ir.Binary)
+
+    def test_if_else(self):
+        def f(self):
+            if self.A > 0:
+                return self.B
+            else:
+                return self.C
+
+        lowered = lower_callable(f)
+        branch = lowered.body[0]
+        assert isinstance(branch, ir.If)
+        assert len(branch.then) == 1
+        assert len(branch.orelse) == 1
+
+    def test_for_loop(self):
+        def f(self):
+            total = 0.0
+            for item in self.Items:
+                total = total + item.V
+            return total
+
+        lowered = lower_callable(f)
+        loop = lowered.body[1]
+        assert isinstance(loop, ir.ForEach)
+        assert loop.var == "item"
+
+    def test_docstring_skipped(self):
+        def f(self):
+            """doc"""
+            return self.A
+
+        lowered = lower_callable(f)
+        assert len(lowered.body) == 1
+
+    def test_method_call(self):
+        def f(self):
+            return self.V1.dist(self.V2)
+
+        lowered = lower_callable(f)
+        call = lowered.body[0].value
+        assert isinstance(call, ir.Call)
+        assert call.name == "dist"
+
+    def test_bare_builtin_call(self):
+        def f(self):
+            return len(self.Items)
+
+        lowered = lower_callable(f)
+        call = lowered.body[0].value
+        assert isinstance(call, ir.Call)
+        assert call.receiver is None
+        assert call.name == "len"
+
+    def test_bool_and_compare_chains(self):
+        def f(self):
+            return 0 < self.A < 10 and self.B
+
+        lowered = lower_callable(f)  # must not raise
+        assert isinstance(lowered.body[0], ir.Return)
+
+    def test_ternary(self):
+        def f(self):
+            return self.A if self.C else self.B
+
+        lowered = lower_callable(f)
+        assert isinstance(lowered.body[0].value, ir.Conditional)
+
+    def test_caching(self):
+        def f(self):
+            return self.A
+
+        assert lower_callable(f) is lower_callable(f)
+
+
+class TestUnsupported:
+    def test_lambda_rejected(self):
+        f = lambda self: self.A  # noqa: E731
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(f)
+
+    def test_missing_self(self):
+        def f(x):
+            return x
+
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(f)
+
+    def test_varargs_rejected(self):
+        def f(self, *args):
+            return args
+
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(f)
+
+    def test_while_rejected(self):
+        def f(self):
+            while self.A > 0:
+                pass
+            return 0
+
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(f)
+
+    def test_tuple_assignment_rejected(self):
+        def f(self):
+            a, b = self.A, self.B
+            return a
+
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(f)
+
+    def test_keyword_call_rejected(self):
+        def f(self):
+            return self.g(x=1)
+
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(f)
+
+    def test_builtin_without_code_rejected(self):
+        with pytest.raises(UnsupportedConstructError):
+            lower_callable(len)

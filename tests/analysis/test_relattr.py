@@ -1,0 +1,210 @@
+"""End-to-end static analysis tests: RelAttr over real schemas.
+
+The central example is the paper's Sec. 5.1 result:
+
+    RelAttr(volume) = {Cuboid.V1, Cuboid.V2, Cuboid.V4, Cuboid.V5,
+                       Vertex.X, Vertex.Y, Vertex.Z}
+"""
+
+import pytest
+
+from repro import ObjectBase
+from repro.domains.company import build_company_schema
+from repro.domains.geometry import build_geometry_schema
+from repro.errors import UnsupportedConstructError
+
+
+@pytest.fixture
+def geo():
+    db = ObjectBase()
+    build_geometry_schema(db)
+    return db
+
+
+def relattr(db, type_name, op_name):
+    return db.functions.analyzer.relevant_attributes(type_name, op_name).pairs
+
+
+class TestPaperExample:
+    def test_relattr_volume_paper_example(self, geo):
+        assert relattr(geo, "Cuboid", "volume") == {
+            ("Cuboid", "V1"),
+            ("Cuboid", "V2"),
+            ("Cuboid", "V4"),
+            ("Cuboid", "V5"),
+            ("Vertex", "X"),
+            ("Vertex", "Y"),
+            ("Vertex", "Z"),
+        }
+
+    def test_relattr_length_only_v1_v2(self, geo):
+        assert relattr(geo, "Cuboid", "length") == {
+            ("Cuboid", "V1"),
+            ("Cuboid", "V2"),
+            ("Vertex", "X"),
+            ("Vertex", "Y"),
+            ("Vertex", "Z"),
+        }
+
+    def test_relattr_weight_adds_material(self, geo):
+        pairs = relattr(geo, "Cuboid", "weight")
+        assert ("Cuboid", "Mat") in pairs
+        assert ("Material", "SpecWeight") in pairs
+        assert ("Material", "Name") not in pairs
+        assert pairs >= relattr(geo, "Cuboid", "volume")
+
+    def test_relattr_dist(self, geo):
+        assert relattr(geo, "Vertex", "dist") == {
+            ("Vertex", "X"),
+            ("Vertex", "Y"),
+            ("Vertex", "Z"),
+        }
+
+    def test_relattr_distance_uses_robot_position(self, geo):
+        pairs = relattr(geo, "Cuboid", "distance")
+        assert ("Robot", "Pos") in pairs
+        assert ("Cuboid", "V1") in pairs
+        assert ("Cuboid", "V7") in pairs
+        assert ("Cuboid", "V2") not in pairs
+
+
+class TestCollectionFunctions:
+    def test_total_volume_includes_membership(self, geo):
+        pairs = relattr(geo, "Workpieces", "total_volume")
+        assert ("Workpieces", "__elements__") in pairs
+        assert ("Cuboid", "V1") in pairs
+        assert ("Vertex", "X") in pairs
+        assert ("Cuboid", "Value") not in pairs
+
+    def test_total_value_sees_value_not_geometry(self, geo):
+        pairs = relattr(geo, "Valuables", "total_value")
+        assert ("Valuables", "__elements__") in pairs
+        assert ("Cuboid", "Value") in pairs
+        assert ("Vertex", "X") not in pairs
+
+
+class TestCompanyFunctions:
+    @pytest.fixture
+    def comp(self):
+        db = ObjectBase()
+        build_company_schema(db)
+        return db
+
+    def test_ranking(self, comp):
+        pairs = relattr(comp, "Employee", "ranking")
+        assert pairs == {
+            ("Employee", "JobHistory"),
+            ("Jobs", "__elements__"),
+            ("Job", "LinesOfCode"),
+            ("Job", "OnTime"),
+            ("Job", "WithinBudget"),
+        }
+
+    def test_matrix(self, comp):
+        pairs = relattr(comp, "Company", "matrix")
+        assert ("Company", "Deps") in pairs
+        assert ("Company", "Projs") in pairs
+        assert ("Departments", "__elements__") in pairs
+        assert ("Projects", "__elements__") in pairs
+        assert ("Department", "Emps") in pairs
+        assert ("Employees", "__elements__") in pairs
+        assert ("Project", "Programmers") in pairs
+        # Salaries and statuses play no role in the matrix.
+        assert ("Employee", "Salary") not in pairs
+        assert ("Project", "Status") not in pairs
+
+
+class TestAnalyzerBehaviour:
+    def test_conditionals_union_branches(self, db):
+        db.define_tuple_type("T", {"A": "float", "B": "float", "C": "bool"})
+
+        def pick(self):
+            if self.C:
+                return self.A
+            return self.B
+
+        db.define_operation("T", "pick", [], "float", pick)
+        assert relattr(db, "T", "pick") == {
+            ("T", "A"),
+            ("T", "B"),
+            ("T", "C"),
+        }
+
+    def test_local_variable_aliasing(self, db):
+        db.define_tuple_type("Inner", {"V": "float"})
+        db.define_tuple_type("Outer", {"Child": "Inner"})
+
+        def peek(self):
+            child = self.Child
+            return child.V
+
+        db.define_operation("Outer", "peek", [], "float", peek)
+        assert relattr(db, "Outer", "peek") == {
+            ("Outer", "Child"),
+            ("Inner", "V"),
+        }
+
+    def test_parameter_paths(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+
+        def diff(self, other):
+            return self.A - other.A
+
+        db.define_operation("T", "diff", ["T"], "float", diff)
+        assert relattr(db, "T", "diff") == {("T", "A")}
+
+    def test_inherited_attribute_keyed_by_declaring_type(self, db):
+        db.define_tuple_type("Base", {"A": "float"})
+        db.define_tuple_type("Sub", {"B": "float"}, supertype="Base")
+
+        def combine(self):
+            return self.A + self.B
+
+        db.define_operation("Sub", "combine", [], "float", combine)
+        assert relattr(db, "Sub", "combine") == {
+            ("Base", "A"),
+            ("Sub", "B"),
+        }
+
+    def test_recursion_is_unsupported(self, db):
+        db.define_tuple_type("Node", {"Next": "Node", "V": "float"})
+
+        def depth(self):
+            return 1.0 + self.Next.depth()
+
+        db.define_operation("Node", "depth", [], "float", depth)
+        with pytest.raises(UnsupportedConstructError):
+            relattr(db, "Node", "depth")
+
+    def test_unsupported_falls_back_to_none_in_registry(self, db):
+        db.define_tuple_type("Node", {"Next": "Node", "V": "float"})
+
+        def depth(self):
+            return 1.0 + self.Next.depth()
+
+        db.define_operation("Node", "depth", [], "float", depth)
+        info = db.functions.register("Node", "depth")
+        assert info.relevant_attrs is None
+
+    def test_explicit_override(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+
+        def weird(self):
+            return self.A
+
+        db.define_operation("T", "weird", [], "float", weird)
+        info = db.functions.register(
+            "T", "weird", relevant_attrs=[("T", "A")]
+        )
+        assert info.relevant_attrs == {("T", "A")}
+
+    def test_static_result_covers_observed_accesses(self, geo):
+        """Soundness: the static RelAttr is a superset of any traced run."""
+        from repro.domains.geometry import build_figure2_database
+
+        fixture = build_figure2_database(geo)
+        static = relattr(geo, "Cuboid", "weight")
+        with geo.trace() as tracer:
+            with geo.materialization_scope():
+                fixture.cuboids[0].weight()
+        assert tracer.attributes <= static

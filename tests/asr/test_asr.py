@@ -1,0 +1,200 @@
+"""Access Support Relation tests (the dual indexing technique)."""
+
+import pytest
+
+from repro import ObjectBase
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_cuboid,
+    create_material,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def setting():
+    db = ObjectBase()
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    asr = db.asr_manager.materialize_path("Cuboid", "Mat", "Name")
+    return db, fixture, asr
+
+
+class TestPathSpec:
+    def test_types_along_path(self, geometry_db):
+        from repro.asr.relation import PathSpec
+
+        db, _ = geometry_db
+        spec = PathSpec(db, "Cuboid", ("Mat", "Name"))
+        assert spec.step_types == ["Cuboid", "Material", "string"]
+        assert spec.terminal_type == "string"
+        assert spec.watched == [("Cuboid", "Mat"), ("Material", "Name")]
+        assert str(spec) == "Cuboid.Mat.Name"
+
+    def test_empty_path_rejected(self, geometry_db):
+        from repro.asr.relation import PathSpec
+
+        db, _ = geometry_db
+        with pytest.raises(SchemaError):
+            PathSpec(db, "Cuboid", ())
+
+    def test_attribute_after_atomic_rejected(self, geometry_db):
+        from repro.asr.relation import PathSpec
+
+        db, _ = geometry_db
+        with pytest.raises(SchemaError):
+            PathSpec(db, "Cuboid", ("Value", "X"))
+
+    def test_unknown_attribute_rejected(self, geometry_db):
+        from repro.asr.relation import PathSpec
+
+        db, _ = geometry_db
+        with pytest.raises(Exception):
+            PathSpec(db, "Cuboid", ("Ghost",))
+
+
+class TestPopulation:
+    def test_full_extension(self, setting):
+        db, fixture, asr = setting
+        assert len(asr) == 3
+        assert asr.forward(fixture.cuboids[0]) == "Iron"
+        assert asr.forward(fixture.cuboids[2]) == "Gold"
+
+    def test_backward_exact(self, setting):
+        db, fixture, asr = setting
+        iron_sources = set(asr.backward_exact("Iron"))
+        assert iron_sources == {fixture.cuboids[0].oid, fixture.cuboids[1].oid}
+
+    def test_backward_range(self, setting):
+        db, fixture, asr = setting
+        assert set(asr.backward("Gold", "Gold")) == {fixture.cuboids[2].oid}
+        assert len(asr.backward()) == 3
+
+    def test_broken_chain_absent(self, geometry_db):
+        db, fixture = geometry_db
+        orphan = db.new("Cuboid", CuboidID=99)  # Mat is None
+        asr = db.asr_manager.materialize_path("Cuboid", "Mat", "Name")
+        assert len(asr) == 3
+        assert asr.forward(orphan) is None
+
+    def test_duplicate_path_rejected(self, setting):
+        db, _, _ = setting
+        with pytest.raises(SchemaError):
+            db.asr_manager.materialize_path("Cuboid", "Mat", "Name")
+
+    def test_consistency_check(self, setting):
+        db, _, asr = setting
+        assert asr.check_consistency() == []
+
+
+class TestMaintenance:
+    def test_terminal_attribute_update(self, setting):
+        """Renaming a material rewrites every chain through it."""
+        db, fixture, asr = setting
+        fixture.iron.set_Name("Steel")
+        assert asr.forward(fixture.cuboids[0]) == "Steel"
+        assert asr.backward_exact("Iron") == []
+        assert len(asr.backward_exact("Steel")) == 2
+        assert asr.check_consistency() == []
+
+    def test_reference_step_update(self, setting):
+        """Re-pointing Mat moves the cuboid between terminal values."""
+        db, fixture, asr = setting
+        fixture.cuboids[0].set_Mat(fixture.gold)
+        assert asr.forward(fixture.cuboids[0]) == "Gold"
+        assert set(asr.backward_exact("Gold")) == {
+            fixture.cuboids[0].oid,
+            fixture.cuboids[2].oid,
+        }
+        assert asr.check_consistency() == []
+
+    def test_reference_set_to_none_breaks_chain(self, setting):
+        db, fixture, asr = setting
+        fixture.cuboids[0].set_Mat(None)
+        assert asr.forward(fixture.cuboids[0]) is None
+        assert len(asr) == 2
+        assert asr.check_consistency() == []
+
+    def test_new_source_object(self, setting):
+        db, fixture, asr = setting
+        copper = create_material(db, "Copper", 8.96)
+        new = create_cuboid(db, dims=(1, 1, 1), material=copper)
+        assert asr.forward(new) == "Copper"
+        assert asr.check_consistency() == []
+
+    def test_delete_source(self, setting):
+        db, fixture, asr = setting
+        victim = fixture.cuboids[0]
+        db.delete(victim)
+        assert len(asr) == 2
+        assert asr.check_consistency() == []
+
+    def test_delete_intermediate_object(self, setting):
+        """Deleting a material breaks every chain through it."""
+        db, fixture, asr = setting
+        db.delete(fixture.iron)
+        assert len(asr) == 1  # only the gold chain survives
+        assert asr.check_consistency() == []
+
+    def test_irrelevant_updates_ignored(self, setting):
+        db, fixture, asr = setting
+        fixture.cuboids[0].set_Value(9.0)
+        fixture.iron.set_SpecWeight(7.9)
+        assert asr.forward(fixture.cuboids[0]) == "Iron"
+        assert asr.check_consistency() == []
+
+    def test_unset_reference_then_set(self, setting):
+        db, fixture, asr = setting
+        cuboid = fixture.cuboids[0]
+        cuboid.set_Mat(None)
+        cuboid.set_Mat(fixture.gold)
+        assert asr.forward(cuboid) == "Gold"
+        assert asr.check_consistency() == []
+
+
+class TestLongerPaths:
+    def test_vertex_coordinate_path(self, geometry_db):
+        db, fixture = geometry_db
+        asr = db.asr_manager.materialize_path("Cuboid", "V1", "X")
+        assert len(asr) == 3
+        v1 = db.objects.get(fixture.cuboids[0].oid).data["V1"]
+        db.handle(v1).set_X(42.0)
+        assert asr.forward(fixture.cuboids[0]) == 42.0
+        assert set(asr.backward(40.0, 45.0)) == {fixture.cuboids[0].oid}
+        assert asr.check_consistency() == []
+
+    def test_object_valued_terminal(self, geometry_db):
+        db, fixture = geometry_db
+        asr = db.asr_manager.materialize_path("Cuboid", "Mat")
+        assert asr.forward(fixture.cuboids[0]) == fixture.iron.oid
+        assert set(asr.backward_exact(fixture.iron.oid)) == {
+            fixture.cuboids[0].oid,
+            fixture.cuboids[1].oid,
+        }
+
+    def test_multiple_asrs_maintained_together(self, geometry_db):
+        db, fixture = geometry_db
+        names = db.asr_manager.materialize_path("Cuboid", "Mat", "Name")
+        weights = db.asr_manager.materialize_path("Cuboid", "Mat", "SpecWeight")
+        fixture.cuboids[0].set_Mat(fixture.gold)
+        assert names.forward(fixture.cuboids[0]) == "Gold"
+        assert weights.forward(fixture.cuboids[0]) == 19.0
+        assert db.asr_manager.check_consistency() == []
+
+
+class TestAsrVersusGmr:
+    def test_asr_and_restricted_gmr_agree(self, geometry_db):
+        """The dual techniques answer the same question consistently."""
+        db, fixture = geometry_db
+        asr = db.asr_manager.materialize_path("Cuboid", "Mat", "Name")
+        gmr = db.query(
+            'range c: Cuboid materialize c.volume where c.Mat.Name = "Iron"'
+        )
+        assert set(asr.backward_exact("Iron")) == {
+            args[0] for args in gmr.args()
+        }
+        fixture.cuboids[2].set_Mat(fixture.iron)
+        assert set(asr.backward_exact("Iron")) == {
+            args[0] for args in gmr.args()
+        }

@@ -1,0 +1,78 @@
+"""Tests of the reporting helpers and the CLI entry point."""
+
+import pytest
+
+from repro.bench.reporting import shape_notes, summarize
+from repro.bench.runner import FigureResult, MeasuredPoint, Series
+
+
+@pytest.fixture
+def result():
+    winner = Series("WithGMR", [
+        MeasuredPoint(0.0, 0.1, 1, 5, 1.0),
+        MeasuredPoint(1.0, 0.1, 2, 5, 2.0),
+    ])
+    loser = Series("WithoutGMR", [
+        MeasuredPoint(0.0, 0.4, 9, 40, 9.0),
+        MeasuredPoint(1.0, 0.4, 9, 40, 9.0),
+    ])
+    return FigureResult("99", "synthetic", "Pup", [loser, winner])
+
+
+class TestReporting:
+    def test_summarize_contains_table_and_notes(self, result):
+        text = summarize(result)
+        assert "Figure 99" in text
+        assert "WithGMR" in text
+        assert "ordering" in text
+
+    def test_shape_notes_report_dominance(self, result):
+        notes = shape_notes(result)
+        assert any("beats WithoutGMR over the whole sweep" in note for note in notes)
+
+    def test_shape_notes_report_crossover(self):
+        crossing = Series("WithGMR", [
+            MeasuredPoint(0.0, 0.1, 1, 5, 1.0),
+            MeasuredPoint(1.0, 0.1, 20, 5, 20.0),
+        ])
+        flat = Series("WithoutGMR", [
+            MeasuredPoint(0.0, 0.4, 9, 40, 9.0),
+            MeasuredPoint(1.0, 0.4, 9, 40, 9.0),
+        ])
+        notes = shape_notes(FigureResult("98", "t", "Pup", [flat, crossing]))
+        assert any("break-even of WithGMR" in note for note in notes)
+
+    def test_seconds_metric(self, result):
+        text = summarize(result, metric="seconds")
+        assert "[seconds]" in text
+
+
+class TestCli:
+    def test_figure_13_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["--figure", "13"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 13" in captured
+        assert "Lazy" in captured
+
+    def test_requires_figure_argument(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--figure", "12"])
+
+    def test_output_file(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        target = tmp_path / "report.md"
+        main(["--figure", "13", "--output", str(target)])
+        capsys.readouterr()
+        assert "Figure 13" in target.read_text()

@@ -1,0 +1,197 @@
+"""Tests of the benchmark harness itself."""
+
+import pytest
+
+from repro.bench.runner import (
+    FigureResult,
+    MeasuredPoint,
+    ProgramVersion,
+    Series,
+    WITHOUT_GMR,
+    WITH_GMR,
+)
+from repro.bench.workload import OperationMix
+from repro.util.rng import DeterministicRng
+
+
+class TestOperationMix:
+    def test_pure_queries(self):
+        mix = OperationMix(
+            queries=[(1.0, "Q")], updates=[(1.0, "U")],
+            update_probability=0.0, operations=50,
+        )
+        codes = list(mix.stream(DeterministicRng(1)))
+        assert codes == ["Q"] * 50
+
+    def test_pure_updates(self):
+        mix = OperationMix(
+            queries=[(1.0, "Q")], updates=[(1.0, "U")],
+            update_probability=1.0, operations=50,
+        )
+        assert list(mix.stream(DeterministicRng(1))) == ["U"] * 50
+
+    def test_mixed_ratio(self):
+        mix = OperationMix(
+            queries=[(1.0, "Q")], updates=[(1.0, "U")],
+            update_probability=0.3, operations=5000,
+        )
+        codes = list(mix.stream(DeterministicRng(2)))
+        assert 0.25 < codes.count("U") / len(codes) < 0.35
+
+    def test_weighted_updates(self):
+        mix = OperationMix(
+            queries=[], updates=[(0.5, "I"), (0.5, "S")],
+            update_probability=1.0, operations=1000,
+        )
+        codes = list(mix.stream(DeterministicRng(3)))
+        assert 0.4 < codes.count("I") / len(codes) < 0.6
+
+    def test_degenerate_profile_falls_back(self):
+        # Pup = 1 with no updates: queries are drawn anyway.
+        mix = OperationMix(
+            queries=[(1.0, "Q")], updates=[],
+            update_probability=1.0, operations=5,
+        )
+        assert list(mix.stream(DeterministicRng(1))) == ["Q"] * 5
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            OperationMix(queries=[], updates=[], update_probability=1.5,
+                         operations=1)
+
+    def test_same_seed_same_stream(self):
+        mix = OperationMix(
+            queries=[(0.5, "A"), (0.5, "B")], updates=[(1.0, "U")],
+            update_probability=0.4, operations=100,
+        )
+        first = list(mix.stream(DeterministicRng(9)))
+        second = list(mix.stream(DeterministicRng(9)))
+        assert first == second
+
+
+class TestFigureResult:
+    def _result(self):
+        cheap = Series("Cheap", [
+            MeasuredPoint(0.0, 0.1, 1, 10, 1.0),
+            MeasuredPoint(0.5, 0.1, 2, 10, 2.0),
+            MeasuredPoint(1.0, 0.1, 9, 10, 9.0),
+        ])
+        dear = Series("Dear", [
+            MeasuredPoint(0.0, 0.2, 5, 20, 5.0),
+            MeasuredPoint(0.5, 0.2, 5, 20, 5.0),
+            MeasuredPoint(1.0, 0.2, 5, 20, 5.0),
+        ])
+        return FigureResult("X", "test", "Pup", [cheap, dear])
+
+    def test_crossover(self):
+        result = self._result()
+        assert result.crossover("Cheap", "Dear") == 1.0
+
+    def test_no_crossover(self):
+        result = self._result()
+        assert result.crossover("Dear", "Dear") is None
+
+    def test_series_lookup(self):
+        result = self._result()
+        assert result.series_by_name("Cheap").version == "Cheap"
+        with pytest.raises(KeyError):
+            result.series_by_name("Ghost")
+
+    def test_totals(self):
+        result = self._result()
+        assert result.series_by_name("Cheap").total_cost() == pytest.approx(12.0)
+
+    def test_table_contains_all_versions(self):
+        text = self._result().to_table()
+        assert "Cheap" in text and "Dear" in text and "Pup" in text
+
+    def test_table_metrics(self):
+        seconds = self._result().to_table(metric="seconds")
+        assert "0.2" in seconds
+        ios = self._result().to_table(metric="ios")
+        assert "Figure X" in ios
+
+
+class TestProgramVersions:
+    def test_canonical_versions(self):
+        assert WITHOUT_GMR.use_gmr is False
+        assert WITH_GMR.use_gmr is True
+        assert WITH_GMR.level.notifies
+
+
+class TestCuboidApplication:
+    @pytest.fixture
+    def app(self):
+        from repro.bench.cuboid import CuboidApplication, CuboidConfig
+
+        return CuboidApplication(WITH_GMR, CuboidConfig(cuboids=30, seed=1))
+
+    def test_population(self, app):
+        assert len(app.cuboids) == 30
+        assert len(app.gmr) == 30
+
+    def test_all_operations_run(self, app):
+        rng = DeterministicRng(4)
+        for code in ("Qbw", "Qfw", "I", "D", "S", "R", "T"):
+            app._DISPATCH[code](app, rng)
+        assert app.gmr.check_consistency(app.db) == []
+
+    def test_insert_then_forward_query(self, app):
+        rng = DeterministicRng(4)
+        app.u_insert(rng)
+        assert len(app.gmr) == 31
+        assert app.q_forward(rng) is not None
+
+    def test_delete_keeps_gmr_complete(self, app):
+        rng = DeterministicRng(4)
+        app.u_delete(rng)
+        assert len(app.gmr) == 29
+        assert app.gmr.is_complete(app.db)
+
+    def test_backward_query_counts(self, app):
+        rng = DeterministicRng(4)
+        count = app.q_backward(rng)
+        assert isinstance(count, int)
+
+
+class TestRankingApplication:
+    @pytest.fixture
+    def app(self):
+        from repro.bench.company import CompanyConfig, RankingApplication
+        from repro.bench.runner import IMMEDIATE
+
+        config = CompanyConfig(
+            departments=2, employees_per_department=5, projects=10,
+            jobs_per_employee=3,
+        )
+        return RankingApplication(IMMEDIATE, config)
+
+    def test_population(self, app):
+        assert len(app.fixture.employees) == 10
+        assert len(app.gmr) == 10
+
+    def test_operations(self, app):
+        rng = DeterministicRng(2)
+        app.q_backward(rng)
+        assert app.q_forward(rng) is not None
+        app.u_promote(rng)
+        app.u_new_employee(rng)
+        assert len(app.gmr) == 11
+        assert app.gmr.check_consistency(app.db) == []
+
+
+class TestMatrixApplication:
+    def test_compensated_version_stays_consistent(self):
+        from repro.bench.company import CompanyConfig, MatrixApplication
+        from repro.bench.runner import COMP_ACTION
+
+        config = CompanyConfig(
+            departments=2, employees_per_department=4, projects=8,
+            jobs_per_employee=2,
+        )
+        app = MatrixApplication(COMP_ACTION, config)
+        rng = DeterministicRng(3)
+        app.u_new_project(rng)
+        app.q_select(rng)
+        app.u_new_project(rng)
+        assert app.gmr.check_consistency(app.db) == []

@@ -1,0 +1,178 @@
+"""Compensating-action tests (Defs. 5.4, 5.5 and the paper's examples)."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_cuboid,
+    create_vertex,
+    decrease_total,
+    increase_total,
+)
+from repro.errors import CompensationError
+
+
+@pytest.fixture
+def setting():
+    db = ObjectBase()
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    gmr = db.materialize([("Workpieces", "total_volume")])
+    return db, fixture, gmr
+
+
+class TestRegistration:
+    def test_register_for_argument_type(self, setting):
+        db, _, _ = setting
+        entry = db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+        )
+        assert entry.update_type == "Workpieces"
+        assert db.gmr_manager.has_compensation("Workpieces", "insert")
+        assert db.gmr_manager.compensated_fct("Workpieces", "insert") == {
+            "Workpieces.total_volume"
+        }
+
+    def test_register_for_non_argument_type_rejected(self, setting):
+        """The paper's Cuboid.scale / total_volume counterexample."""
+        db, _, _ = setting
+        with pytest.raises(CompensationError):
+            db.gmr_manager.register_compensation(
+                "Cuboid", "scale", ("Workpieces", "total_volume"), increase_total
+            )
+
+    def test_register_for_unmaterialized_function_rejected(self, setting):
+        db, _, _ = setting
+        with pytest.raises(CompensationError):
+            db.gmr_manager.register_compensation(
+                "Workpieces", "insert", ("Workpieces", "total_weight"),
+                increase_total,
+            )
+
+    def test_ca_table_entries(self, setting):
+        db, _, _ = setting
+        db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+        )
+        entries = db.gmr_manager.compensations.entries()
+        assert len(entries) == 1
+        assert entries[0].name == "increase_total"
+
+
+class TestInsertCompensation:
+    """The paper's increase_total example."""
+
+    def test_insert_compensates_without_recompute(self, setting):
+        db, fixture, gmr = setting
+        db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+        )
+        old_total = fixture.workpieces.total_volume()
+        new = create_cuboid(db, dims=(2, 2, 2), material=fixture.iron)
+
+        evaluations = []
+        original = db.call_function
+        def counting(info, args):
+            evaluations.append(info.fid)
+            return original(info, args)
+        db.call_function = counting
+
+        fixture.workpieces.insert(new)
+        # The CA ran (evaluating the new cuboid's volume) but the full
+        # total_volume body never did.
+        assert "Workpieces.total_volume" not in evaluations
+        db.call_function = original
+        row = gmr.lookup((fixture.workpieces.oid,))
+        assert row.valid[0] is True
+        assert row.results[0] == pytest.approx(old_total + 8.0)
+        assert gmr.check_consistency(db) == []
+
+    def test_remove_compensation(self, setting):
+        db, fixture, gmr = setting
+        db.gmr_manager.register_compensation(
+            "Workpieces", "remove", ("Workpieces", "total_volume"), decrease_total
+        )
+        old_total = fixture.workpieces.total_volume()
+        victim = fixture.cuboids[0]
+        victim_volume = victim.volume()
+        fixture.workpieces.remove(victim)
+        row = gmr.lookup((fixture.workpieces.oid,))
+        assert row.valid[0] is True
+        assert row.results[0] == pytest.approx(old_total - victim_volume)
+        assert gmr.check_consistency(db) == []
+
+    def test_compensation_extends_rrr_to_new_dependencies(self, setting):
+        db, fixture, gmr = setting
+        db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+        )
+        new = create_cuboid(db, dims=(2, 2, 2), material=fixture.iron)
+        fixture.workpieces.insert(new)
+        # The inserted cuboid now influences the total — a later scale
+        # must invalidate (and here immediately rematerialize) the total.
+        assert "Workpieces.total_volume" in db.objects.get(new.oid).obj_dep_fct
+        new.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert gmr.check_consistency(db) == []
+
+    def test_uncompensated_update_still_invalidates(self, setting):
+        """Only the registered update operation is compensated."""
+        db, fixture, gmr = setting
+        db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+        )
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert gmr.check_consistency(db) == []
+        assert gmr.lookup((fixture.workpieces.oid,)).results[0] == pytest.approx(
+            fixture.workpieces.total_volume()
+        )
+
+    def test_invalid_entry_not_compensated(self, setting):
+        """Compensation only patches *valid* results; invalid ones wait
+        for their regular rematerialization."""
+        db, fixture, _ = setting
+        db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+        )
+        gmr = db.gmr_manager.gmr("<<total_volume>>")
+        gmr.mark_invalid((fixture.workpieces.oid,), "Workpieces.total_volume")
+        new = create_cuboid(db, dims=(2, 2, 2), material=fixture.iron)
+        fixture.workpieces.insert(new)
+        row = gmr.lookup((fixture.workpieces.oid,))
+        assert row.valid[0] is False  # untouched by the CA
+        # The next access recomputes the correct value.
+        assert fixture.workpieces.total_volume() == pytest.approx(
+            sum(cuboid.volume() for cuboid in fixture.workpieces)
+        )
+
+
+class TestDeclaredOperationCompensation:
+    """CAs on declared public operations (the Fig. 15 matrix pattern)."""
+
+    def test_add_project_compensation(self, company_db):
+        from repro.domains.company import increase_matrix
+
+        db, fixture = company_db
+        gmr = db.materialize([("Company", "matrix")])
+        db.gmr_manager.register_compensation(
+            "Company", "add_project", ("Company", "matrix"), increase_matrix
+        )
+        staff = db.new_collection("Employees", fixture.employees[:3])
+        project = db.new("Project", PName="NEW", Programmers=staff)
+
+        recomputed = []
+        original = db.call_function
+        def counting(info, args):
+            recomputed.append(info.fid)
+            return original(info, args)
+        db.call_function = counting
+        fixture.company.add_project(project)
+        db.call_function = original
+
+        assert "Company.matrix" not in recomputed
+        row = gmr.lookup((fixture.company.oid,))
+        assert row.valid[0] is True
+        assert gmr.check_consistency(db) == []
+        lines = fixture.company.matrix()
+        assert any(line.proj == project for line in lines)

@@ -1,0 +1,141 @@
+"""Error-path and edge-case tests across the materialization stack."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.errors import (
+    EncapsulationError,
+    GMRDefinitionError,
+    ReproError,
+    TypeCheckError,
+)
+
+
+class TestFailingFunctionBodies:
+    def test_population_failure_propagates(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+
+        def bad(self):
+            raise ValueError("domain error")
+
+        db.define_operation("T", "bad", [], "float", bad)
+        db.new("T", A=1.0)
+        with pytest.raises(ValueError):
+            db.materialize([("T", "bad")])
+
+    def test_partial_failure_leaves_rows_invalid(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+
+        def picky(self):
+            if self.A < 0:
+                raise ValueError("negative")
+            return self.A * 2
+
+        db.define_operation("T", "picky", [], "float", picky)
+        good = db.new("T", A=1.0)
+        db.new("T", A=-1.0)
+        with pytest.raises(ValueError):
+            db.materialize([("T", "picky")])
+        # The GMR exists; the failed entry is invalid, not wrong.
+        gmr = db.gmr_manager.gmrs()[0]
+        assert gmr.check_consistency(db) == []
+
+    def test_update_time_failure_propagates(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+
+        def touchy(self):
+            if self.A > 100:
+                raise ValueError("overflow")
+            return self.A
+
+        db.define_operation("T", "touchy", [], "float", touchy)
+        obj = db.new("T", A=1.0)
+        gmr = db.materialize([("T", "touchy")])
+        with pytest.raises(ValueError):
+            obj.set_A(1000.0)  # immediate rematerialization fails
+        # The attribute write itself persisted; the entry stayed invalid.
+        raw = db.objects.get(obj.oid)
+        assert raw.data["A"] == 1000.0
+        assert gmr.check_consistency(db) == []
+
+    def test_lazy_failure_surfaces_on_access(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+
+        def touchy(self):
+            if self.A > 100:
+                raise ValueError("overflow")
+            return self.A
+
+        db.define_operation("T", "touchy", [], "float", touchy)
+        obj = db.new("T", A=1.0)
+        db.materialize([("T", "touchy")], strategy=Strategy.LAZY)
+        obj.set_A(1000.0)  # no failure yet: lazily invalidated
+        with pytest.raises(ValueError):
+            obj.touchy()
+
+
+class TestDefinitionErrors:
+    def test_materialize_unknown_operation(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+        with pytest.raises(ReproError):
+            db.materialize([("T", "ghost")])
+
+    def test_materialize_unknown_type(self, db):
+        with pytest.raises(ReproError):
+            db.materialize([("Ghost", "f")])
+
+    def test_operation_on_deleted_object(self, point_db):
+        point = point_db.new("Point", X=1.0, Y=1.0)
+        point_db.materialize([("Point", "norm")])
+        point_db.delete(point)
+        with pytest.raises(ReproError):
+            point.norm()
+
+    def test_backward_query_unknown_fid(self, point_db):
+        point_db.materialize([("Point", "norm")])
+        with pytest.raises(GMRDefinitionError):
+            point_db.gmr_manager.backward_query("Point.ghost", 0, 1)
+
+
+class TestEncapsulationUnderMaterialization:
+    def test_materialization_bypasses_public_clause(self, db):
+        """The GMR manager evaluates bodies internally — the public
+        clause applies to clients, not to the machinery."""
+        db.define_tuple_type("Sealed", {"A": "float"}, public=["f"])
+
+        def f(self):
+            return self.A * 2  # reads the non-public attribute
+
+        db.define_operation("Sealed", "f", [], "float", f)
+        obj = db.new("Sealed", A=3.0)
+        gmr = db.materialize([("Sealed", "f")])
+        assert obj.f() == 6.0
+        with pytest.raises(EncapsulationError):
+            obj.A
+
+    def test_compensation_receives_handles(self, geometry_db):
+        """CA bodies get handles (not raw OIDs) for object arguments."""
+        db, fixture = geometry_db
+        db.materialize([("Workpieces", "total_volume")])
+        seen = []
+
+        def ca(workpieces, new_cuboid, old):
+            seen.append((workpieces.type_name, new_cuboid.type_name))
+            return old + new_cuboid.volume()
+
+        db.gmr_manager.register_compensation(
+            "Workpieces", "insert", ("Workpieces", "total_volume"), ca
+        )
+        fixture.workpieces.insert(fixture.cuboids[2])
+        assert seen == [("Workpieces", "Cuboid")]
+
+
+class TestTypeSafetyUnderMaterialization:
+    def test_wrong_argument_type_to_materialized_function(self, geometry_db):
+        db, fixture = geometry_db
+        from repro.domains.geometry import create_robot
+
+        create_robot(db, "R", (1.0, 1.0, 1.0))
+        db.materialize([("Cuboid", "distance")])
+        with pytest.raises(TypeCheckError):
+            fixture.cuboids[0].distance(fixture.iron)  # Material ≠ Robot

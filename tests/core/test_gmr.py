@@ -1,0 +1,152 @@
+"""GMR-level tests (Defs. 3.1-3.4), including the paper's §3 example."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.core.gmr import GMR
+from repro.errors import GMRDefinitionError
+
+
+class TestDefinition:
+    def test_arity(self, point_db):
+        gmr = point_db.materialize([("Point", "norm"), ("Point", "manhattan")])
+        # Def. 3.1: arity n + 2m.
+        assert gmr.arity == 1 + 2 * 2
+
+    def test_name(self, point_db):
+        gmr = point_db.materialize([("Point", "norm")])
+        assert gmr.name == "<<norm>>"
+
+    def test_functions_must_share_argument_types(self, db):
+        db.define_tuple_type("A", {"X": "float"})
+        db.define_tuple_type("B", {"X": "float"})
+        db.define_operation("A", "f", [], "float", lambda self: self.X)
+        db.define_operation("B", "g", [], "float", lambda self: self.X)
+        with pytest.raises(GMRDefinitionError):
+            db.materialize([("A", "f"), ("B", "g")])
+
+    def test_function_in_only_one_gmr(self, point_db):
+        point_db.materialize([("Point", "norm")])
+        with pytest.raises(GMRDefinitionError):
+            point_db.materialize([("Point", "norm")], name="again")
+
+    def test_void_function_rejected(self, db):
+        db.define_tuple_type("T", {"A": "float"})
+        db.define_operation("T", "u", [], "void", lambda self: None)
+        with pytest.raises(GMRDefinitionError):
+            db.materialize([("T", "u")])
+
+    def test_unknown_column(self, point_db):
+        gmr = point_db.materialize([("Point", "norm")])
+        with pytest.raises(GMRDefinitionError):
+            gmr.column_of("Point.ghost")
+
+    def test_string_fid_spec(self, point_db):
+        gmr = point_db.materialize(["Point.norm"])
+        assert gmr.fids == ["Point.norm"]
+
+    def test_bad_string_spec(self, point_db):
+        with pytest.raises(GMRDefinitionError):
+            point_db.materialize(["norm"])
+
+
+class TestPaperExtensionExample:
+    """The ⟨⟨volume, weight⟩⟩ table of Sec. 3 over the Figure 2 database."""
+
+    def test_paper_extension_example(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume"), ("Cuboid", "weight")])
+        c1, c2, c3 = fixture.cuboids
+        expected = {
+            c1.oid: (300.0, 2358.0),
+            c2.oid: (200.0, 1572.0),
+            c3.oid: (100.0, 1900.0),
+        }
+        for cuboid_oid, (volume, weight) in expected.items():
+            row = gmr.lookup((cuboid_oid,))
+            assert row is not None
+            assert row.results[0] == pytest.approx(volume)
+            assert row.results[1] == pytest.approx(weight)
+            assert row.valid == [True, True]
+
+    def test_extension_is_consistent_valid_complete(self, geometry_db):
+        db, _ = geometry_db
+        gmr = db.materialize([("Cuboid", "volume"), ("Cuboid", "weight")])
+        assert gmr.check_consistency(db) == []
+        assert gmr.is_valid("Cuboid.volume")
+        assert gmr.is_valid("Cuboid.weight")
+        assert gmr.is_fully_valid()
+        assert gmr.is_complete(db)
+
+    def test_extension_table_rendering(self, geometry_db):
+        db, _ = geometry_db
+        gmr = db.materialize([("Cuboid", "volume"), ("Cuboid", "weight")])
+        table = gmr.extension_table()
+        assert "<<volume, weight>>" in table
+        assert "300" in table
+        assert "True" in table
+
+
+class TestValidity:
+    def test_invalidation_breaks_fj_validity_only(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.materialize(
+            [("Cuboid", "volume"), ("Cuboid", "weight")],
+            strategy=Strategy.LAZY,
+        )
+        fixture.cuboids[0].set_Mat(fixture.gold)  # only weight depends on Mat
+        assert gmr.is_valid("Cuboid.volume")
+        assert not gmr.is_valid("Cuboid.weight")
+
+    def test_consistency_means_valid_entries_correct(self, geometry_db):
+        """Def. 3.2: invalid entries may be stale, valid ones never."""
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")], strategy=Strategy.LAZY)
+        from repro.domains.geometry import create_vertex
+
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 2.0, 2.0))
+        # Stale value still stored, but flagged invalid → still consistent.
+        row = gmr.lookup((fixture.cuboids[0].oid,))
+        assert row.results[0] == pytest.approx(300.0)
+        assert row.valid[0] is False
+        assert gmr.check_consistency(db) == []
+
+    def test_incomplete_gmr(self, point_db):
+        point_db.new("Point", X=3.0, Y=4.0)
+        gmr = point_db.materialize([("Point", "norm")], complete=False)
+        assert len(gmr) == 0
+        assert not gmr.is_complete(point_db)
+
+    def test_incomplete_gmr_fills_on_access(self, point_db):
+        point = point_db.new("Point", X=3.0, Y=4.0)
+        gmr = point_db.materialize([("Point", "norm")], complete=False)
+        assert point.norm() == 5.0
+        assert len(gmr) == 1
+        assert gmr.is_complete(point_db)
+
+    def test_result_accessor(self, point_db):
+        point = point_db.new("Point", X=3.0, Y=4.0)
+        gmr = point_db.materialize([("Point", "norm")])
+        value, valid = gmr.result((point.oid,), "Point.norm")
+        assert value == 5.0 and valid is True
+        with pytest.raises(GMRDefinitionError):
+            gmr.result(("ghost",), "Point.norm")
+
+
+class TestSharedGMR:
+    """Functions sharing argument types may share one GMR (Sec. 3.1)."""
+
+    def test_single_update_invalidates_both_when_relevant(self, point_db):
+        point = point_db.new("Point", X=3.0, Y=4.0)
+        gmr = point_db.materialize(
+            [("Point", "norm"), ("Point", "manhattan")], strategy=Strategy.LAZY
+        )
+        point.set_X(6.0)
+        row = gmr.lookup((point.oid,))
+        assert row.valid == [False, False]
+
+    def test_results_stored_in_same_row(self, point_db):
+        point = point_db.new("Point", X=3.0, Y=4.0)
+        gmr = point_db.materialize([("Point", "norm"), ("Point", "manhattan")])
+        row = gmr.lookup((point.oid,))
+        assert row.results == [5.0, 7.0]

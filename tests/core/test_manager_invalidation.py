@@ -1,0 +1,206 @@
+"""GMR-manager invalidation tests: the Sec. 4.1 algorithms."""
+
+import pytest
+
+from repro import InstrumentationLevel, ObjectBase, Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+
+
+def make_db(level=InstrumentationLevel.OBJ_DEP, strategy=Strategy.IMMEDIATE):
+    db = ObjectBase(level=level)
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    gmr = db.materialize([("Cuboid", "volume")], strategy=strategy)
+    return db, fixture, gmr
+
+
+class TestImmediate:
+    def test_update_rematerializes(self):
+        db, fixture, gmr = make_db()
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        row = gmr.lookup((c1.oid,))
+        assert row.valid[0] is True
+        assert row.results[0] == pytest.approx(600.0)
+
+    def test_uninvolved_objects_untouched(self):
+        db, fixture, gmr = make_db()
+        c1, c2, _ = fixture.cuboids
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert gmr.lookup((c2.oid,)).results[0] == pytest.approx(200.0)
+
+    def test_rrr_refreshed_after_remat(self):
+        db, fixture, gmr = make_db()
+        c1 = fixture.cuboids[0]
+        rrr = db.gmr_manager.rrr
+        before = rrr.args_of(c1.oid, "Cuboid.volume")
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        after = rrr.args_of(c1.oid, "Cuboid.volume")
+        assert before == after == {(c1.oid,)}
+
+    def test_irrelevant_attribute_does_not_invalidate(self):
+        """Sec. 5.1: set_Value must not touch a materialized volume."""
+        db, fixture, gmr = make_db()
+        c1 = fixture.cuboids[0]
+        calls = []
+        manager = db.gmr_manager
+        original = manager.invalidate
+        manager.invalidate = lambda *a, **k: (calls.append(a), original(*a, **k))[1]
+        c1.set_Value(123.50)
+        assert calls == []
+        assert gmr.lookup((c1.oid,)).valid[0] is True
+
+    def test_relevant_attribute_on_other_function(self, geometry_db):
+        """set_Mat invalidates weight but not volume (Sec. 5.1)."""
+        db, fixture = geometry_db
+        gmr = db.materialize(
+            [("Cuboid", "volume"), ("Cuboid", "weight")], strategy=Strategy.LAZY
+        )
+        c1 = fixture.cuboids[0]
+        c1.set_Mat(fixture.gold)
+        row = gmr.lookup((c1.oid,))
+        assert row.valid[gmr.column_of("Cuboid.volume")] is True
+        assert row.valid[gmr.column_of("Cuboid.weight")] is False
+
+    def test_vertex_update_invalidates_owner(self):
+        db, fixture, gmr = make_db()
+        c1 = fixture.cuboids[0]
+        v2 = db.handle(db.objects.get(c1.oid).data["V2"])
+        v2.set_X(100.0)
+        row = gmr.lookup((c1.oid,))
+        assert row.valid[0] is True  # immediate remat
+        assert row.results[0] != pytest.approx(300.0)
+        assert gmr.check_consistency(db) == []
+
+    def test_innocent_vertex_update_is_cheap(self):
+        """Sec. 5.2: a vertex outside any materialization never reaches
+        the GMR manager under OBJ_DEP instrumentation."""
+        db, fixture, gmr = make_db()
+        lone_vertex = create_vertex(db, 1.0, 2.0, 3.0)
+        calls = []
+        manager = db.gmr_manager
+        original = manager.invalidate
+        manager.invalidate = lambda *a, **k: (calls.append(a), original(*a, **k))[1]
+        lone_vertex.set_X(9.0)
+        assert calls == []
+
+
+class TestLazy:
+    def test_update_marks_invalid_only(self):
+        db, fixture, gmr = make_db(strategy=Strategy.LAZY)
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        row = gmr.lookup((c1.oid,))
+        assert row.valid[0] is False
+        assert row.results[0] == pytest.approx(300.0)  # stale but flagged
+
+    def test_access_revalidates(self):
+        db, fixture, gmr = make_db(strategy=Strategy.LAZY)
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert c1.volume() == pytest.approx(600.0)
+        assert gmr.lookup((c1.oid,)).valid[0] is True
+
+    def test_repeated_updates_invalidate_once(self):
+        """Step 2 of lazy(o): removing the RRR entry blocks repeated
+        invalidations of the same result (Sec. 4.1)."""
+        db, fixture, gmr = make_db(strategy=Strategy.LAZY)
+        c1 = fixture.cuboids[0]
+        v1 = db.handle(db.objects.get(c1.oid).data["V1"])
+        manager = db.gmr_manager
+        counts = []
+        original = manager.invalidate
+        manager.invalidate = lambda *a, **k: counts.append(original(*a, **k))
+        v1.set_X(1.0)
+        v1.set_X(2.0)
+        v1.set_X(3.0)
+        # Only the first update finds an RRR entry and flips the flag; the
+        # later ones never even call the manager (ObjDepFct was cleared).
+        assert counts == [1]
+
+    def test_revalidate_sweep(self):
+        db, fixture, gmr = make_db(strategy=Strategy.LAZY)
+        for cuboid in fixture.cuboids:
+            cuboid.scale(create_vertex(db, 2.0, 2.0, 2.0))
+        assert len(gmr.invalid_args("Cuboid.volume")) == 3
+        recomputed = db.gmr_manager.revalidate(gmr)
+        assert recomputed == 3
+        assert gmr.is_valid("Cuboid.volume")
+        assert gmr.check_consistency(db) == []
+
+    def test_backward_query_forces_validity(self):
+        db, fixture, gmr = make_db(strategy=Strategy.LAZY)
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        matches = db.gmr_manager.backward_query("Cuboid.volume", 550.0, 650.0)
+        assert [args for _, args in matches] == [(c1.oid,)]
+        assert gmr.is_valid("Cuboid.volume")
+
+
+class TestInstrumentationLevels:
+    """All notifying levels preserve consistency; they differ in cost."""
+
+    @pytest.mark.parametrize(
+        "level",
+        [
+            InstrumentationLevel.NAIVE,
+            InstrumentationLevel.SCHEMA_DEP,
+            InstrumentationLevel.OBJ_DEP,
+        ],
+    )
+    def test_consistency_after_updates(self, level):
+        db, fixture, gmr = make_db(level=level)
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        c1.set_Value(1.0)
+        c1.translate(create_vertex(db, 1.0, 1.0, 1.0))
+        assert gmr.check_consistency(db) == []
+        assert gmr.is_complete(db)
+
+    def test_none_level_lets_gmr_go_stale(self):
+        """WithoutGMR instrumentation: updates bypass the manager."""
+        db, fixture, gmr = make_db(level=InstrumentationLevel.NONE)
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        row = gmr.lookup((c1.oid,))
+        assert row.valid[0] is True  # stale: nobody told the manager
+        assert gmr.check_consistency(db) != []
+
+    def test_naive_notifies_for_every_object(self):
+        """Figure 4: every update calls the manager, relevant or not."""
+        db, fixture, gmr = make_db(level=InstrumentationLevel.NAIVE)
+        calls = []
+        manager = db.gmr_manager
+        original = manager.invalidate
+        manager.invalidate = lambda *a, **k: (calls.append(a), original(*a, **k))[1]
+        fixture.cuboids[0].set_Value(5.0)  # irrelevant to volume
+        assert len(calls) == 1
+
+    def test_schema_dep_skips_irrelevant_updates(self):
+        """Sec. 5.1: SchemaDepFct(set_Value) = {} → no manager call."""
+        db, fixture, gmr = make_db(level=InstrumentationLevel.SCHEMA_DEP)
+        calls = []
+        manager = db.gmr_manager
+        original = manager.invalidate
+        manager.invalidate = lambda *a, **k: (calls.append(a), original(*a, **k))[1]
+        fixture.cuboids[0].set_Value(5.0)
+        assert calls == []
+        # ... but a vertex update of an *uninvolved* vertex still calls
+        # the manager (the penalty Sec. 5.2 removes).
+        lone = create_vertex(db, 0.0, 0.0, 0.0)
+        lone.set_X(1.0)
+        assert len(calls) == 1
+
+    def test_blind_reference_cleanup(self):
+        """A leftover RRR entry whose row is gone is dropped silently."""
+        db, fixture, gmr = make_db(strategy=Strategy.LAZY)
+        c1 = fixture.cuboids[0]
+        v1 = db.handle(db.objects.get(c1.oid).data["V1"])
+        # Remove the row behind the manager's back to simulate a leftover.
+        gmr.remove_row((c1.oid,))
+        v1.set_X(42.0)  # invalidation hits a blind reference
+        assert db.gmr_manager.rrr.args_of(v1.oid, "Cuboid.volume") == set()

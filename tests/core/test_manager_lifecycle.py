@@ -1,0 +1,180 @@
+"""Creation/deletion of argument objects (Sec. 4.2) and retrieval."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_cuboid,
+    create_robot,
+)
+from repro.errors import GMRDefinitionError
+
+
+class TestNewObject:
+    def test_new_argument_object_gets_row(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")])
+        new = create_cuboid(db, dims=(2, 3, 4), material=fixture.iron)
+        row = gmr.lookup((new.oid,))
+        assert row is not None
+        assert row.results[0] == pytest.approx(24.0)
+        assert gmr.is_complete(db)
+
+    def test_incomplete_gmr_ignores_new_objects(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")], complete=False)
+        create_cuboid(db, dims=(2, 3, 4), material=fixture.iron)
+        assert len(gmr) == 0
+
+    def test_new_object_in_binary_gmr(self, geometry_db):
+        db, fixture = geometry_db
+        robot = create_robot(db, "R1", (10.0, 0.0, 0.0))
+        gmr = db.materialize([("Cuboid", "distance")])
+        assert len(gmr) == 3
+        new_cuboid = create_cuboid(db, dims=(1, 1, 1), material=fixture.iron)
+        assert len(gmr) == 4
+        new_robot = create_robot(db, "R2", (0.0, 10.0, 0.0))
+        assert len(gmr) == 8
+        assert gmr.is_complete(db)
+
+    def test_subtype_instance_joins_supertype_gmr(self, point_db):
+        point_db.define_tuple_type("Point3", {"Z": "float"}, supertype="Point")
+        point_db.new("Point", X=3.0, Y=4.0)
+        gmr = point_db.materialize([("Point", "norm")])
+        assert len(gmr) == 1
+        point_db.new("Point3", X=1.0, Y=0.0, Z=5.0)
+        assert len(gmr) == 2
+        assert gmr.is_complete(point_db)
+
+
+class TestForgetObject:
+    def test_deleting_argument_removes_row(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")])
+        victim = fixture.cuboids[0]
+        db.delete(victim)
+        assert gmr.lookup((victim.oid,)) is None
+        assert len(gmr) == 2
+        assert gmr.is_complete(db)
+
+    def test_deleting_argument_cleans_its_rrr(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        victim = fixture.cuboids[0]
+        oid = victim.oid
+        db.delete(victim)
+        assert not db.gmr_manager.rrr.has_entries(oid)
+
+    def test_deleting_influencer_keeps_blind_refs_lazily(self, geometry_db):
+        """Deleting a *non-argument* influencer (a vertex) removes only
+        its own entries; other objects' entries stay until touched."""
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")])
+        c1 = fixture.cuboids[0]
+        v1_oid = db.objects.get(c1.oid).data["V1"]
+        db.delete(v1_oid)
+        # The vertex is not an argument, so the row survives.
+        assert gmr.lookup((c1.oid,)) is not None
+        assert not db.gmr_manager.rrr.has_entries(v1_oid)
+
+    def test_delete_in_binary_gmr_removes_all_combinations(self, geometry_db):
+        db, fixture = geometry_db
+        create_robot(db, "R1", (1.0, 2.0, 3.0))
+        robot2 = create_robot(db, "R2", (4.0, 5.0, 6.0))
+        gmr = db.materialize([("Cuboid", "distance")])
+        assert len(gmr) == 6
+        db.delete(robot2)
+        assert len(gmr) == 3
+        assert gmr.is_complete(db)
+
+
+class TestForwardRetrieval:
+    def test_materialized_invocation_served_from_gmr(self, geometry_db):
+        """Sec. 3.2: invocations map to forward queries — the function
+        body is not re-evaluated when the entry is valid."""
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        c1 = fixture.cuboids[0]
+        with db.trace() as tracer:
+            assert c1.volume() == pytest.approx(300.0)
+        # No vertex was touched: the value came from the GMR.
+        vertex_oids = {
+            db.objects.get(c1.oid).data[f"V{i}"] for i in range(1, 9)
+        }
+        assert not (tracer.objects & vertex_oids)
+
+    def test_unmaterialized_invocation_evaluates(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        c1 = fixture.cuboids[0]
+        with db.trace() as tracer:
+            c1.weight()  # weight is NOT materialized
+        assert (fixture.iron.oid in tracer.objects)
+
+    def test_retrieve_forward_unknown_fid(self, geometry_db):
+        db, _ = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        with pytest.raises(GMRDefinitionError):
+            db.gmr_manager.retrieve_forward("Cuboid.ghost", ())
+
+    def test_nested_function_uses_real_body_during_materialization(
+        self, geometry_db
+    ):
+        """The modified (traced) versions run during materialization, so
+        ⟨⟨weight⟩⟩ depends on vertices even though volume is materialized."""
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        db.materialize([("Cuboid", "weight")])
+        c1 = fixture.cuboids[0]
+        v1 = db.objects.get(c1.oid).data["V1"]
+        assert db.gmr_manager.rrr.args_of(v1, "Cuboid.weight") == {(c1.oid,)}
+
+
+class TestBackwardRetrieval:
+    def test_range_query(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        matches = db.gmr_manager.backward_query("Cuboid.volume", 150.0, 250.0)
+        assert [args[0] for _, args in matches] == [fixture.cuboids[1].oid]
+
+    def test_open_ended_range(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        matches = db.gmr_manager.backward_query("Cuboid.volume", 150.0, None)
+        assert len(matches) == 2
+
+    def test_exclusive_bounds(self, geometry_db):
+        db, _ = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        matches = db.gmr_manager.backward_query(
+            "Cuboid.volume", 100.0, 300.0, include_low=False, include_high=False
+        )
+        assert len(matches) == 1
+
+
+class TestGMRManagerIntrospection:
+    def test_gmr_registry(self, geometry_db):
+        db, _ = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")])
+        manager = db.gmr_manager
+        assert manager.gmr("<<volume>>") is gmr
+        assert manager.gmr_of("Cuboid.volume") is gmr
+        assert manager.gmr_of("Cuboid.ghost") is None
+        assert gmr in manager.gmrs()
+        with pytest.raises(GMRDefinitionError):
+            manager.gmr("<<nothing>>")
+
+    def test_duplicate_gmr_name_rejected(self, geometry_db):
+        db, _ = geometry_db
+        db.materialize([("Cuboid", "volume")], name="geo")
+        with pytest.raises(GMRDefinitionError):
+            db.materialize([("Cuboid", "weight")], name="geo")
+
+    def test_is_materialized_op(self, geometry_db):
+        db, _ = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        manager = db.gmr_manager
+        assert manager.is_materialized_op("Cuboid", "volume")
+        assert not manager.is_materialized_op("Cuboid", "weight")

@@ -1,0 +1,127 @@
+"""Tests for the QBE-style tabular GMR retrieval of Sec. 3.2."""
+
+import pytest
+
+from repro import Strategy
+from repro.errors import GMRDefinitionError
+
+
+@pytest.fixture
+def gmr_setting(geometry_db):
+    db, fixture = geometry_db
+    gmr = db.materialize([("Cuboid", "volume"), ("Cuboid", "weight")])
+    return db, fixture, gmr
+
+
+class TestForwardRetrieval:
+    def test_forward_query_shape(self, gmr_setting):
+        """The paper's first table row: all arguments given, results ?"""
+        db, fixture, gmr = gmr_setting
+        rows = gmr.retrieve(
+            {"O1": fixture.cuboids[0].oid, "volume": "?", "weight": "?"}
+        )
+        assert rows == [
+            {"volume": pytest.approx(300.0), "weight": pytest.approx(2358.0)}
+        ]
+
+    def test_single_result_column(self, gmr_setting):
+        db, fixture, gmr = gmr_setting
+        rows = gmr.retrieve({"O1": fixture.cuboids[1].oid, "volume": "?"})
+        assert rows == [{"volume": pytest.approx(200.0)}]
+
+    def test_missing_argument_yields_empty(self, gmr_setting):
+        from repro.gom.oid import Oid
+
+        db, _, gmr = gmr_setting
+        assert gmr.retrieve({"O1": Oid(9999), "volume": "?"}) == []
+
+
+class TestBackwardRetrieval:
+    def test_backward_range_query_shape(self, gmr_setting):
+        """The paper's second row: ranges on results, arguments ?"""
+        db, fixture, gmr = gmr_setting
+        rows = gmr.retrieve(
+            {"O1": "?", "volume": (150.0, 250.0), "weight": (1000.0, 2000.0)}
+        )
+        assert rows == [{"O1": fixture.cuboids[1].oid}]
+
+    def test_open_ended_range(self, gmr_setting):
+        db, fixture, gmr = gmr_setting
+        rows = gmr.retrieve({"O1": "?", "volume": (150.0, None)})
+        assert {row["O1"] for row in rows} == {
+            fixture.cuboids[0].oid,
+            fixture.cuboids[1].oid,
+        }
+
+    def test_exact_result_match(self, gmr_setting):
+        db, fixture, gmr = gmr_setting
+        rows = gmr.retrieve({"O1": "?", "volume": 100.0})
+        assert rows == [{"O1": fixture.cuboids[2].oid}]
+
+
+class TestDontCareAndMixed:
+    def test_dont_care_returns_everything(self, gmr_setting):
+        db, _, gmr = gmr_setting
+        rows = gmr.retrieve({"O1": "?"})
+        assert len(rows) == 3
+
+    def test_question_marks_on_both_sides(self, gmr_setting):
+        db, fixture, gmr = gmr_setting
+        rows = gmr.retrieve({"O1": "?", "volume": "?", "weight": (1500.0, 1600.0)})
+        assert rows == [
+            {"O1": fixture.cuboids[1].oid, "volume": pytest.approx(200.0)}
+        ]
+
+    def test_no_question_marks_returns_empty_records(self, gmr_setting):
+        db, _, gmr = gmr_setting
+        rows = gmr.retrieve({"volume": (150.0, None)})
+        assert rows == [{}, {}]
+
+    def test_unknown_column_rejected(self, gmr_setting):
+        db, _, gmr = gmr_setting
+        with pytest.raises(GMRDefinitionError):
+            gmr.retrieve({"O9": "?"})
+        with pytest.raises(GMRDefinitionError):
+            gmr.retrieve({"ghost": "?"})
+
+
+class TestValidity:
+    def test_invalid_results_do_not_participate(self, geometry_db):
+        """Invalid entries are never returned for a result condition
+        (queries needing completeness revalidate first)."""
+        db, fixture, = geometry_db[0], geometry_db[1]
+        gmr = db.materialize([("Cuboid", "volume")], strategy=Strategy.LAZY)
+        from repro.domains.geometry import create_vertex
+
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        rows = gmr.retrieve({"O1": "?", "volume": (0.0, None)})
+        assert {row["O1"] for row in rows} == {
+            fixture.cuboids[1].oid,
+            fixture.cuboids[2].oid,
+        }
+
+    def test_dont_care_keeps_invalid_rows(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")], strategy=Strategy.LAZY)
+        from repro.domains.geometry import create_vertex
+
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        rows = gmr.retrieve({"O1": "?"})  # no condition on volume
+        assert len(rows) == 3
+
+
+class TestBinaryGMR:
+    def test_two_argument_columns(self, geometry_db):
+        from repro.domains.geometry import create_robot
+
+        db, fixture = geometry_db
+        robot_a = create_robot(db, "A", (100.0, 0.0, 0.0))
+        robot_b = create_robot(db, "B", (0.0, 100.0, 0.0))
+        gmr = db.materialize([("Cuboid", "distance")])
+        rows = gmr.retrieve({"O1": "?", "O2": robot_a.oid, "distance": "?"})
+        assert len(rows) == 3
+        assert all(row["O2"] if "O2" in row else True for row in rows)
+        fixed = gmr.retrieve(
+            {"O1": fixture.cuboids[0].oid, "O2": robot_b.oid, "distance": "?"}
+        )
+        assert len(fixed) == 1

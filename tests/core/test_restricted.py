@@ -1,0 +1,195 @@
+"""Restricted-GMR tests (Sec. 6): predicates and atomic restrictions."""
+
+import pytest
+
+from repro import (
+    ObjectBase,
+    RangeRestriction,
+    RestrictionSpec,
+    Strategy,
+    ValueRestriction,
+    Variable,
+)
+from repro.core.restricted import validate_atomic_restrictions
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_cuboid,
+)
+from repro.errors import AtomicArgumentError
+
+
+@pytest.fixture
+def iron_restricted(geometry_db):
+    """⟨⟨volume, weight⟩⟩p with p ≡ c.Mat.Name = "Iron" (the Sec. 6 opener)."""
+    db, fixture = geometry_db
+    gmr = db.query(
+        'range c: Cuboid materialize c.volume, c.weight '
+        'where c.Mat.Name = "Iron"'
+    )
+    return db, fixture, gmr
+
+
+class TestRestrictedPopulation:
+    def test_only_matching_rows(self, iron_restricted):
+        db, fixture, gmr = iron_restricted
+        c1, c2, c3 = fixture.cuboids
+        assert gmr.lookup((c1.oid,)) is not None
+        assert gmr.lookup((c2.oid,)) is not None
+        assert gmr.lookup((c3.oid,)) is None  # gold
+        assert gmr.is_complete(db)
+
+    def test_forward_query_outside_restriction_computes(self, iron_restricted):
+        db, fixture, gmr = iron_restricted
+        gold_cuboid = fixture.cuboids[2]
+        assert gold_cuboid.volume() == pytest.approx(100.0)
+        assert gmr.lookup((gold_cuboid.oid,)) is None  # still not cached
+
+    def test_new_object_respects_predicate(self, iron_restricted):
+        db, fixture, gmr = iron_restricted
+        iron_cuboid = create_cuboid(db, dims=(1, 1, 1), material=fixture.iron)
+        gold_cuboid = create_cuboid(db, dims=(1, 1, 1), material=fixture.gold)
+        assert gmr.lookup((iron_cuboid.oid,)) is not None
+        assert gmr.lookup((gold_cuboid.oid,)) is None
+        assert gmr.is_complete(db)
+
+
+class TestPredicateMaintenance:
+    """Sec. 6.1: the predicate is materialized like a Boolean function."""
+
+    def test_flip_into_restriction_inserts_row(self, iron_restricted):
+        db, fixture, gmr = iron_restricted
+        gold_cuboid = fixture.cuboids[2]
+        gold_cuboid.set_Mat(fixture.iron)
+        row = gmr.lookup((gold_cuboid.oid,))
+        assert row is not None
+        assert row.results[gmr.column_of("Cuboid.volume")] == pytest.approx(100.0)
+        assert gmr.is_complete(db)
+
+    def test_flip_out_of_restriction_removes_row(self, iron_restricted):
+        db, fixture, gmr = iron_restricted
+        iron_cuboid = fixture.cuboids[0]
+        iron_cuboid.set_Mat(fixture.gold)
+        assert gmr.lookup((iron_cuboid.oid,)) is None
+        assert gmr.is_complete(db)
+
+    def test_predicate_dependency_via_material_rename(self, iron_restricted):
+        """Renaming the shared Material flips every referencing cuboid."""
+        db, fixture, gmr = iron_restricted
+        fixture.iron.set_Name("Steel")
+        assert len(gmr) == 0
+        fixture.iron.set_Name("Iron")
+        assert len(gmr) == 2
+        assert gmr.is_complete(db)
+
+    def test_restricted_consistency_under_updates(self, iron_restricted):
+        db, fixture, gmr = iron_restricted
+        from repro.domains.geometry import create_vertex
+
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert gmr.check_consistency(db) == []
+        assert gmr.is_complete(db)
+
+
+class TestAtomicRestrictions:
+    def test_value_restriction(self):
+        restriction = ValueRestriction((9.81, 3.7, 22.01))
+        assert restriction.contains(9.81)
+        assert not restriction.contains(1.0)
+        assert set(restriction.values()) == {9.81, 3.7, 22.01}
+
+    def test_range_restriction(self):
+        restriction = RangeRestriction(2, 5)
+        assert restriction.contains(3)
+        assert not restriction.contains(6)
+        assert restriction.values() == [2, 3, 4, 5]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(AtomicArgumentError):
+            RangeRestriction(5, 2)
+
+    def test_unrestricted_atomic_argument_rejected(self):
+        with pytest.raises(AtomicArgumentError):
+            validate_atomic_restrictions(("Cuboid", "float"), None)
+
+    def test_float_requires_value_restriction(self):
+        spec = RestrictionSpec(atomic={1: RangeRestriction(1, 3)})
+        with pytest.raises(AtomicArgumentError):
+            validate_atomic_restrictions(("Cuboid", "float"), spec)
+
+    def test_int_may_be_range_restricted(self):
+        spec = RestrictionSpec(atomic={1: RangeRestriction(1, 3)})
+        validate_atomic_restrictions(("Cuboid", "int"), spec)
+
+    def test_materializing_weight_per_gravity(self, geometry_db):
+        """Sec. 6.2: weight(gravitation) value-restricted to the planets."""
+        db, fixture = geometry_db
+
+        def weight_at(self, gravitation):
+            return self.volume() * self.Mat.SpecWeight * gravitation / 9.81
+
+        db.define_operation(
+            "Cuboid", "weight_at", ["float"], "float", weight_at
+        )
+        gravities = (9.81, 3.7, 22.01)
+        gmr = db.materialize(
+            [("Cuboid", "weight_at")],
+            restriction=RestrictionSpec(
+                atomic={1: ValueRestriction(gravities)}
+            ),
+        )
+        assert len(gmr) == 3 * len(gravities)
+        c1 = fixture.cuboids[0]
+        row = gmr.lookup((c1.oid, 3.7))
+        assert row.results[0] == pytest.approx(2358.0 * 3.7 / 9.81)
+        assert gmr.is_complete(db)
+
+    def test_atomic_gmr_forward_query_outside_values(self, geometry_db):
+        db, fixture = geometry_db
+
+        def weight_at(self, gravitation):
+            return self.volume() * self.Mat.SpecWeight * gravitation / 9.81
+
+        db.define_operation("Cuboid", "weight_at", ["float"], "float", weight_at)
+        db.make_public("Cuboid", "weight_at")
+        db.materialize(
+            [("Cuboid", "weight_at")],
+            restriction=RestrictionSpec(atomic={1: ValueRestriction((9.81,))}),
+        )
+        # 5.0 is not materialized: computed by the normal function.
+        value = fixture.cuboids[0].weight_at(5.0)
+        assert value == pytest.approx(2358.0 * 5.0 / 9.81)
+
+    def test_atomic_gmr_maintained_under_updates(self, geometry_db):
+        db, fixture = geometry_db
+
+        def weight_at(self, gravitation):
+            return self.volume() * self.Mat.SpecWeight * gravitation / 9.81
+
+        db.define_operation("Cuboid", "weight_at", ["float"], "float", weight_at)
+        gmr = db.materialize(
+            [("Cuboid", "weight_at")],
+            restriction=RestrictionSpec(atomic={1: ValueRestriction((9.81, 3.7))}),
+        )
+        from repro.domains.geometry import create_vertex
+
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert gmr.check_consistency(db) == []
+
+    def test_atomic_restriction_with_predicate(self, geometry_db):
+        db, fixture = geometry_db
+
+        def weight_at(self, gravitation):
+            return self.volume() * self.Mat.SpecWeight * gravitation / 9.81
+
+        db.define_operation("Cuboid", "weight_at", ["float"], "float", weight_at)
+        predicate = Variable("c", ("Mat", "Name")).eq("Iron")
+        gmr = db.materialize(
+            [("Cuboid", "weight_at")],
+            restriction=RestrictionSpec(
+                predicate=predicate,
+                var_names=("c", "g"),
+                atomic={1: ValueRestriction((9.81,))},
+            ),
+        )
+        assert len(gmr) == 2  # two iron cuboids × one gravity

@@ -1,0 +1,115 @@
+"""Stress tests for the Sec. 6 distance example: a two-argument
+restriction predicate whose truth depends on mutable coordinates."""
+
+import pytest
+
+from repro import ObjectBase, RestrictionSpec, Strategy, Variable
+from repro.domains.geometry import (
+    build_geometry_schema,
+    create_cuboid,
+    create_material,
+)
+
+
+def distance_spec():
+    predicate = Variable("c1").ne(Variable("c2")) & (
+        Variable("c1", ("V1", "X")) <= Variable("c2", ("V1", "X"))
+    )
+    return RestrictionSpec(predicate=predicate, var_names=("c1", "c2"))
+
+
+@pytest.fixture
+def setting():
+    db = ObjectBase()
+    build_geometry_schema(db)
+    iron = create_material(db, "Iron", 7.86)
+    cuboids = [
+        create_cuboid(db, origin=(float(i * 10), 0.0, 0.0), dims=(1, 1, 1),
+                      material=iron, cuboid_id=i)
+        for i in range(3)
+    ]
+    gmr = db.materialize(
+        [("Cuboid", "distance_to")], restriction=distance_spec()
+    )
+    return db, cuboids, gmr
+
+
+class TestPopulation:
+    def test_only_ordered_pairs(self, setting):
+        """With distinct V1.X, exactly one orientation per pair stores."""
+        db, cuboids, gmr = setting
+        assert len(gmr) == 3  # (0,1), (0,2), (1,2)
+        for args in gmr.args():
+            c1, c2 = args
+            x1 = db.objects.get(db.objects.get(c1).data["V1"]).data["X"]
+            x2 = db.objects.get(db.objects.get(c2).data["V1"]).data["X"]
+            assert c1 != c2 and x1 <= x2
+
+    def test_complete_and_consistent(self, setting):
+        db, _, gmr = setting
+        assert gmr.is_complete(db)
+        assert gmr.check_consistency(db) == []
+
+
+class TestPredicateFlips:
+    def test_moving_a_cuboid_reorients_pairs(self, setting):
+        """Translating cuboid 0 past cuboid 2 flips pair orientations."""
+        db, cuboids, gmr = setting
+        from repro.domains.geometry import create_vertex
+
+        cuboids[0].translate(create_vertex(db, 100.0, 0.0, 0.0))
+        # Now the order along X is 1 < 2 < 0.
+        assert gmr.is_complete(db)
+        assert gmr.check_consistency(db) == []
+        args = set(gmr.args())
+        assert (cuboids[1].oid, cuboids[0].oid) in args
+        assert (cuboids[2].oid, cuboids[0].oid) in args
+        assert (cuboids[0].oid, cuboids[1].oid) not in args
+
+    def test_distance_values_follow_updates(self, setting):
+        db, cuboids, gmr = setting
+        from repro.domains.geometry import create_vertex
+
+        cuboids[1].translate(create_vertex(db, 5.0, 0.0, 0.0))
+        assert gmr.check_consistency(db) == []
+        assert gmr.is_complete(db)
+
+    def test_new_cuboid_joins_all_pairs(self, setting):
+        db, cuboids, gmr = setting
+        iron = db.handle(db.objects.get(cuboids[0].oid).data["Mat"])
+        new = create_cuboid(db, origin=(15.0, 0.0, 0.0), dims=(1, 1, 1),
+                            material=iron, cuboid_id=9)
+        # New order along X: 0(0) < 10(1) < 15(new) < 20(2) → 6 pairs.
+        assert len(gmr) == 6
+        assert gmr.is_complete(db)
+
+    def test_delete_removes_pairs(self, setting):
+        db, cuboids, gmr = setting
+        db.delete(cuboids[1])
+        assert len(gmr) == 1
+        assert gmr.is_complete(db)
+
+    def test_lazy_restricted_gmr(self):
+        db = ObjectBase()
+        build_geometry_schema(db)
+        iron = create_material(db, "Iron", 7.86)
+        cuboids = [
+            create_cuboid(db, origin=(float(i * 10), 0.0, 0.0), dims=(1, 1, 1),
+                          material=iron, cuboid_id=i)
+            for i in range(3)
+        ]
+        gmr = db.materialize(
+            [("Cuboid", "distance_to")],
+            restriction=distance_spec(),
+            strategy=Strategy.LAZY,
+        )
+        from repro.domains.geometry import create_vertex
+
+        cuboids[0].translate(create_vertex(db, 3.0, 0.0, 0.0))
+        # Predicate maintenance is always eager (rows appear/disappear);
+        # the function values revalidate lazily.
+        assert gmr.is_complete(db)
+        assert gmr.check_consistency(db) == []
+        db.gmr_manager.revalidate(gmr)
+        assert gmr.is_fully_valid()
+        assert gmr.check_consistency(db) == []

@@ -1,0 +1,142 @@
+"""Reverse Reference Relation tests (Def. 4.1), incl. the Figure 3 example."""
+
+import pytest
+
+from repro import ObjectBase
+from repro.core.rrr import ReverseReferenceRelation
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_robot,
+)
+from repro.gom.oid import Oid
+
+
+class TestRelationBasics:
+    def test_insert_and_lookup(self):
+        rrr = ReverseReferenceRelation()
+        first = rrr.insert(Oid(1), "f", (Oid(1),))
+        assert first is True
+        assert rrr.args_of(Oid(1), "f") == {(Oid(1),)}
+        assert len(rrr) == 1
+
+    def test_insert_is_idempotent(self):
+        rrr = ReverseReferenceRelation()
+        rrr.insert(Oid(1), "f", (Oid(1),))
+        rrr.insert(Oid(1), "f", (Oid(1),))
+        assert len(rrr) == 1
+
+    def test_second_args_for_same_fct(self):
+        rrr = ReverseReferenceRelation()
+        first = rrr.insert(Oid(1), "f", (Oid(1),))
+        second = rrr.insert(Oid(1), "f", (Oid(2),))
+        assert first is True and second is False
+        assert len(rrr) == 2
+
+    def test_remove_signals_last_entry(self):
+        rrr = ReverseReferenceRelation()
+        rrr.insert(Oid(1), "f", (Oid(1),))
+        rrr.insert(Oid(1), "f", (Oid(2),))
+        assert rrr.remove(Oid(1), "f", (Oid(1),)) is False
+        assert rrr.remove(Oid(1), "f", (Oid(2),)) is True
+        assert len(rrr) == 0
+
+    def test_remove_missing(self):
+        rrr = ReverseReferenceRelation()
+        assert rrr.remove(Oid(1), "f", ()) is False
+
+    def test_pop_args(self):
+        rrr = ReverseReferenceRelation()
+        rrr.insert(Oid(1), "f", (Oid(1),))
+        rrr.insert(Oid(1), "f", (Oid(2),))
+        rrr.insert(Oid(1), "g", (Oid(1),))
+        popped = rrr.pop_args(Oid(1), "f")
+        assert popped == {(Oid(1),), (Oid(2),)}
+        assert rrr.fids_of(Oid(1)) == {"g"}
+
+    def test_pop_object(self):
+        rrr = ReverseReferenceRelation()
+        rrr.insert(Oid(1), "f", (Oid(1),))
+        rrr.insert(Oid(1), "g", (Oid(2),))
+        rrr.insert(Oid(2), "f", (Oid(2),))
+        popped = rrr.pop_object(Oid(1))
+        assert set(popped) == {"f", "g"}
+        assert len(rrr) == 1
+        assert not rrr.has_entries(Oid(1))
+
+    def test_triples_iteration(self):
+        rrr = ReverseReferenceRelation()
+        rrr.insert(Oid(1), "f", (Oid(1),))
+        rrr.insert(Oid(2), "f", (Oid(1), Oid(2)))
+        assert sorted(rrr.triples(), key=repr) == sorted(
+            [(Oid(1), "f", (Oid(1),)), (Oid(2), "f", (Oid(1), Oid(2)))],
+            key=repr,
+        )
+
+
+class TestPaperFigure3:
+    """Figure 3: the RRR for ⟨⟨volume, weight⟩⟩ and ⟨⟨distance⟩⟩."""
+
+    @pytest.fixture
+    def setting(self):
+        db = ObjectBase()
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        robots = [
+            create_robot(db, "R2", (100.0, 0.0, 0.0)),
+            create_robot(db, "C3PO", (0.0, 100.0, 0.0)),
+        ]
+        db.materialize([("Cuboid", "volume"), ("Cuboid", "weight")])
+        db.materialize([("Cuboid", "distance")])
+        return db, fixture, robots
+
+    def test_cuboid_entries(self, setting):
+        db, fixture, robots = setting
+        rrr = db.gmr_manager.rrr
+        c1 = fixture.cuboids[0]
+        # id1 influences volume(id1), weight(id1) and both distances.
+        assert rrr.args_of(c1.oid, "Cuboid.volume") == {(c1.oid,)}
+        assert rrr.args_of(c1.oid, "Cuboid.weight") == {(c1.oid,)}
+        assert rrr.args_of(c1.oid, "Cuboid.distance") == {
+            (c1.oid, robots[0].oid),
+            (c1.oid, robots[1].oid),
+        }
+
+    def test_material_entries(self, setting):
+        """Materials influence weight but not volume (Fig. 3: id77, id99)."""
+        db, fixture, _ = setting
+        rrr = db.gmr_manager.rrr
+        iron = fixture.iron
+        c1, c2, _ = fixture.cuboids
+        assert rrr.args_of(iron.oid, "Cuboid.weight") == {(c1.oid,), (c2.oid,)}
+        assert rrr.args_of(iron.oid, "Cuboid.volume") == set()
+        gold = fixture.gold
+        assert rrr.args_of(gold.oid, "Cuboid.weight") == {
+            (fixture.cuboids[2].oid,)
+        }
+
+    def test_robot_entries(self, setting):
+        """Each robot influences the distance of every cuboid."""
+        db, fixture, robots = setting
+        rrr = db.gmr_manager.rrr
+        robot = robots[1]
+        expected = {(cuboid.oid, robot.oid) for cuboid in fixture.cuboids}
+        assert rrr.args_of(robot.oid, "Cuboid.distance") == expected
+
+    def test_vertex_entries_cover_used_corners(self, setting):
+        """Vertices used by the materialization carry reverse references."""
+        db, fixture, _ = setting
+        rrr = db.gmr_manager.rrr
+        c1 = fixture.cuboids[0]
+        v1 = db.objects.get(c1.oid).data["V1"]
+        assert rrr.args_of(v1, "Cuboid.volume") == {(c1.oid,)}
+        # V3 is not touched by volume (only V1, V2, V4, V5).
+        v3 = db.objects.get(c1.oid).data["V3"]
+        assert rrr.args_of(v3, "Cuboid.volume") == set()
+
+    def test_objdepfct_lockstep(self, setting):
+        """ObjDepFct mirrors the RRR (Sec. 5.2)."""
+        db, fixture, robots = setting
+        rrr = db.gmr_manager.rrr
+        for obj in db.objects.iter_objects():
+            assert obj.obj_dep_fct == rrr.fids_of(obj.oid)

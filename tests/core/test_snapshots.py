@@ -1,0 +1,109 @@
+"""Snapshot-GMR tests (the Adiba/Lindsay related-work mode)."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_cuboid,
+    create_vertex,
+)
+from repro.errors import GMRDefinitionError
+
+
+@pytest.fixture
+def setting():
+    db = ObjectBase()
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    gmr = db.materialize([("Cuboid", "volume")], strategy=Strategy.SNAPSHOT)
+    return db, fixture, gmr
+
+
+class TestSnapshotSemantics:
+    def test_initial_population(self, setting):
+        db, fixture, gmr = setting
+        assert len(gmr) == 3
+        assert fixture.cuboids[0].volume() == pytest.approx(300.0)
+
+    def test_updates_leave_snapshot_stale(self, setting):
+        """Snapshots waive Def. 3.2 between refreshes: reads are stale."""
+        db, fixture, gmr = setting
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        # The forward query still answers with the snapshot value.
+        assert fixture.cuboids[0].volume() == pytest.approx(300.0)
+
+    def test_snapshot_registers_no_dependencies(self, setting):
+        db, _, _ = setting
+        assert db.gmr_manager.schema_dep_fct("Vertex", "X") == frozenset()
+        assert len(db.gmr_manager.rrr) == 0
+
+    def test_updates_cost_nothing(self, setting):
+        db, fixture, _ = setting
+        before = db.gmr_manager.stats.snapshot()
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        delta = db.gmr_manager.stats.delta(before)
+        assert delta.invalidate_calls == 0
+        assert delta.rematerializations == 0
+
+    def test_new_objects_invisible_until_refresh(self, setting):
+        db, fixture, gmr = setting
+        new = create_cuboid(db, dims=(2, 2, 2), material=fixture.iron)
+        assert len(gmr) == 3
+        # ... but a forward query on it still answers (computed fresh).
+        assert new.volume() == pytest.approx(8.0)
+        assert len(gmr) == 3
+
+    def test_backward_queries_read_the_snapshot(self, setting):
+        db, fixture, gmr = setting
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        matches = db.gmr_manager.backward_query("Cuboid.volume", 250.0, 350.0)
+        # Still the old value 300.0 — the snapshot discipline.
+        assert [args for _, args in matches] == [(fixture.cuboids[0].oid,)]
+
+
+class TestRefresh:
+    def test_refresh_recomputes_everything(self, setting):
+        db, fixture, gmr = setting
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        new = create_cuboid(db, dims=(2, 2, 2), material=fixture.iron)
+        count = db.gmr_manager.refresh_snapshot(gmr)
+        assert count == 4
+        assert gmr.check_consistency(db) == []
+        assert fixture.cuboids[0].volume() == pytest.approx(600.0)
+        value, valid = gmr.result((new.oid,), "Cuboid.volume")
+        assert valid and value == pytest.approx(8.0)
+
+    def test_refresh_drops_deleted_objects(self, setting):
+        db, fixture, gmr = setting
+        db.delete(fixture.cuboids[0])
+        assert len(gmr) == 3  # stale until refresh
+        db.gmr_manager.refresh_snapshot(gmr)
+        assert len(gmr) == 2
+        assert gmr.is_complete(db)
+
+    def test_refresh_rejected_for_non_snapshot(self, geometry_db):
+        db, _ = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")])
+        with pytest.raises(GMRDefinitionError):
+            db.gmr_manager.refresh_snapshot(gmr)
+
+    def test_snapshot_vs_maintained_gmr(self):
+        """Side by side: the maintained GMR tracks updates, the snapshot
+        answers from the past until refreshed."""
+        db = ObjectBase()
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        snap = db.materialize(
+            [("Cuboid", "volume")], strategy=Strategy.SNAPSHOT, name="snap"
+        )
+        live = db.materialize([("Cuboid", "weight")], name="live")
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        # live weight followed the update; snapshot volume did not.
+        assert live.result(
+            (fixture.cuboids[0].oid,), "Cuboid.weight"
+        )[0] == pytest.approx(600.0 * 7.86)
+        assert snap.result(
+            (fixture.cuboids[0].oid,), "Cuboid.volume"
+        )[0] == pytest.approx(300.0)

@@ -1,0 +1,116 @@
+"""Tests for the update-notification mechanism details of Sec. 4.3.
+
+The paper argues for schema rewrite over object-manager adaptation
+because (a) uninvolved users must not be penalized and (b) the manager
+must learn about updates *immediately* so applications that update and
+then query see consistent results.  These tests pin both properties,
+plus the exact rewritten-operation semantics of Figures 4 and 5.
+"""
+
+import pytest
+
+from repro import InstrumentationLevel, ObjectBase, Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+
+
+class TestImmediatePropagation:
+    def test_update_then_query_sees_new_state(self, geometry_db):
+        """The motivating requirement: modify, then read the materialized
+        result — no deferred-store window may expose a stale value."""
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        c1 = fixture.cuboids[0]
+        for factor in (2.0, 0.5, 3.0):
+            c1.scale(create_vertex(db, factor, 1.0, 1.0))
+            expected = 300.0
+            # Recompute expected volume from raw state.
+            raw = db.objects.get(c1.oid)
+            v1 = db.objects.get(raw.data["V1"]).data
+            v2 = db.objects.get(raw.data["V2"]).data
+            v4 = db.objects.get(raw.data["V4"]).data
+            v5 = db.objects.get(raw.data["V5"]).data
+            length = sum((v1[c] - v2[c]) ** 2 for c in "XYZ") ** 0.5
+            width = sum((v1[c] - v4[c]) ** 2 for c in "XYZ") ** 0.5
+            height = sum((v1[c] - v5[c]) ** 2 for c in "XYZ") ** 0.5
+            assert c1.volume() == pytest.approx(length * width * height)
+
+    def test_lazy_update_then_query_also_consistent(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "weight")], strategy=Strategy.LAZY)
+        c1 = fixture.cuboids[0]
+        c1.set_Mat(fixture.gold)
+        assert c1.weight() == pytest.approx(300.0 * 19.0)
+
+
+class TestFigure4Semantics:
+    def test_naive_delete_always_notifies(self):
+        """Figure 4's delete' invokes forget_object unconditionally."""
+        db = ObjectBase(level=InstrumentationLevel.NAIVE)
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        db.materialize([("Cuboid", "volume")])
+        calls = []
+        manager = db.gmr_manager
+        original = manager.forget_object
+        manager.forget_object = lambda oid: (calls.append(oid), original(oid))[1]
+        lone = create_vertex(db, 1.0, 1.0, 1.0)  # uninvolved object
+        db.delete(lone)
+        assert calls == [lone.oid]
+
+    def test_objdep_delete_checks_marking_first(self, geometry_db):
+        """Figure 5's delete' consults ObjDepFct before the manager."""
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        calls = []
+        manager = db.gmr_manager
+        original = manager.forget_object
+        manager.forget_object = lambda oid: (calls.append(oid), original(oid))[1]
+        lone = create_vertex(db, 1.0, 1.0, 1.0)
+        db.delete(lone)
+        assert calls == []  # unmarked: the manager is never bothered
+        db.delete(fixture.cuboids[0])
+        assert calls  # marked: forget_object ran
+
+    def test_uninvolved_types_unpenalized_under_objdep(self, geometry_db):
+        """The paper's Cylinder/Pyramid concern: clients of Vertex that
+        are not involved in any materialization pay no manager calls."""
+        db, fixture = geometry_db
+        db.define_tuple_type("Pyramid", {"Apex": "Vertex"})
+        db.materialize([("Cuboid", "volume")])
+        apex = create_vertex(db, 0.0, 0.0, 5.0)
+        db.new("Pyramid", Apex=apex)
+        before = db.gmr_manager.stats.snapshot()
+        apex.set_Z(7.0)  # a Vertex update — SchemaDepFct(Vertex.set_Z) ≠ {}
+        delta = db.gmr_manager.stats.delta(before)
+        assert delta.invalidate_calls == 0
+
+
+class TestCreateNotification:
+    def test_create_under_info_hiding(self, strict_geometry_db):
+        from repro.domains.geometry import create_cuboid
+
+        db, fixture = strict_geometry_db
+        gmr = db.materialize([("Cuboid", "volume")])
+        new = create_cuboid(db, dims=(2, 2, 2), material=fixture.iron)
+        row = gmr.lookup((new.oid,))
+        assert row is not None and row.results[0] == pytest.approx(8.0)
+        # Strict marking: only the cuboid itself carries the dependency.
+        marked = [
+            obj.type_name
+            for obj in db.objects.iter_objects()
+            if "Cuboid.volume" in obj.obj_dep_fct
+        ]
+        assert set(marked) == {"Cuboid"}
+
+    def test_create_non_argument_type_is_cheap(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        before = db.gmr_manager.stats.snapshot()
+        create_vertex(db, 1.0, 2.0, 3.0)
+        delta = db.gmr_manager.stats.delta(before)
+        assert delta.rows_created == 0
+        assert delta.rematerializations == 0

@@ -1,0 +1,182 @@
+"""Tests of the company domain schema (Sec. 7.2, Figure 12)."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.domains.company import (
+    add_random_project,
+    build_company_schema,
+    populate_company,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestAssessmentAndRanking:
+    @pytest.fixture
+    def db(self):
+        database = ObjectBase()
+        build_company_schema(database)
+        return database
+
+    def make_employee(self, db, jobs):
+        history = db.new_collection("Jobs")
+        employee = db.new("Employee", Name="E", EmpNo=1, JobHistory=history)
+        for loc, on_time, in_budget in jobs:
+            project = db.new(
+                "Project", PName="P", Programmers=db.new_collection("Employees")
+            )
+            job = db.new(
+                "Job",
+                Proj=project,
+                LinesOfCode=loc,
+                OnTime=on_time,
+                WithinBudget=in_budget,
+            )
+            history.insert(job)
+        return employee
+
+    def test_assessment_components(self, db):
+        employee = self.make_employee(db, [(2000, True, False)])
+        job = next(iter(employee.JobHistory))
+        assert job.assessment() == pytest.approx(3.0)
+
+    def test_ranking_averages(self, db):
+        employee = self.make_employee(
+            db, [(1000, True, True), (3000, False, False)]
+        )
+        assert employee.ranking() == pytest.approx((3.0 + 3.0) / 2)
+
+    def test_ranking_of_empty_history(self, db):
+        employee = self.make_employee(db, [])
+        assert employee.ranking() == 0.0
+
+    def test_status_flip_changes_ranking(self, db):
+        employee = self.make_employee(db, [(1000, False, False)])
+        before = employee.ranking()
+        job = next(iter(employee.JobHistory))
+        job.set_OnTime(True)
+        assert employee.ranking() == pytest.approx(before + 1.0)
+
+
+class TestMatrix:
+    @pytest.fixture
+    def setting(self):
+        database = ObjectBase()
+        build_company_schema(database)
+        fixture = populate_company(
+            database,
+            DeterministicRng(5),
+            departments=2,
+            employees_per_department=3,
+            projects=4,
+            jobs_per_employee=2,
+        )
+        return database, fixture
+
+    def test_matrix_lines_nonempty(self, setting):
+        db, fixture = setting
+        lines = fixture.company.matrix()
+        assert lines
+        for line in lines:
+            assert line.emps
+            for employee in line.emps:
+                assert line.proj.Programmers.contains(employee)
+                assert line.dep.Emps.contains(employee)
+
+    def test_matrix_covers_every_assignment(self, setting):
+        db, fixture = setting
+        lines = fixture.company.matrix()
+        covered = {
+            (line.dep.oid, line.proj.oid, employee.oid)
+            for line in lines
+            for employee in line.emps
+        }
+        for department in fixture.departments:
+            for employee in department.Emps:
+                for project in fixture.projects:
+                    if project.Programmers.contains(employee):
+                        assert (
+                            department.oid,
+                            project.oid,
+                            employee.oid,
+                        ) in covered
+
+    def test_add_project_extends_matrix(self, setting):
+        db, fixture = setting
+        before = fixture.company.matrix()
+        project = add_random_project(
+            db, DeterministicRng(9), fixture.company, fixture.employees,
+            programmers=2,
+        )
+        after = fixture.company.matrix()
+        assert before < after  # strict superset
+        assert any(line.proj == project for line in after)
+
+    def test_drop_project_shrinks_matrix(self, setting):
+        db, fixture = setting
+        target = None
+        for line in fixture.company.matrix():
+            target = line.proj
+            break
+        fixture.company.drop_project(target)
+        assert all(
+            line.proj != target for line in fixture.company.matrix()
+        )
+
+
+class TestPopulation:
+    def test_population_counts(self, company_db):
+        db, fixture = company_db
+        assert len(fixture.departments) == 3
+        assert len(fixture.employees) == 12
+        assert len(fixture.projects) == 10
+        assert len(fixture.jobs) == 36
+
+    def test_programmers_consistent_with_jobs(self, company_db):
+        db, fixture = company_db
+        for employee in fixture.employees:
+            for job in employee.JobHistory:
+                assert job.Proj.Programmers.contains(employee)
+
+    def test_employee_numbers_unique(self, company_db):
+        db, fixture = company_db
+        numbers = [employee.EmpNo for employee in fixture.employees]
+        assert len(numbers) == len(set(numbers))
+
+
+class TestMaterializedCompany:
+    def test_ranking_gmr(self, company_db):
+        db, fixture = company_db
+        gmr = db.materialize([("Employee", "ranking")])
+        assert len(gmr) == len(fixture.employees)
+        assert gmr.check_consistency(db) == []
+
+    def test_promotion_invalidates_one_ranking(self, company_db):
+        db, fixture = company_db
+        gmr = db.materialize([("Employee", "ranking")], strategy=Strategy.LAZY)
+        victim = fixture.employees[0]
+        job = next(iter(victim.JobHistory))
+        job.set_OnTime(not job.OnTime)
+        invalid = gmr.invalid_args("Employee.ranking")
+        assert invalid == {(victim.oid,)}
+
+    def test_matrix_gmr_single_row(self, company_db):
+        db, fixture = company_db
+        gmr = db.materialize([("Company", "matrix")])
+        assert len(gmr) == 1
+        value, valid = gmr.result((fixture.company.oid,), "Company.matrix")
+        assert valid and value == fixture.company.matrix()
+
+    def test_matrix_invalidated_by_new_project(self, company_db):
+        db, fixture = company_db
+        gmr = db.materialize([("Company", "matrix")], strategy=Strategy.LAZY)
+        add_random_project(
+            db, DeterministicRng(1), fixture.company, fixture.employees
+        )
+        assert not gmr.is_valid("Company.matrix")
+        assert gmr.check_consistency(db) == []
+        # Access recomputes.
+        lines = fixture.company.matrix()
+        assert gmr.is_valid("Company.matrix")
+        value, _ = gmr.result((fixture.company.oid,), "Company.matrix")
+        assert value == lines

@@ -1,0 +1,146 @@
+"""Tests of the geometry domain schema (Figures 1 and 2)."""
+
+import math
+
+import pytest
+
+from repro import ObjectBase
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_cuboid,
+    create_robot,
+    create_vertex,
+)
+
+
+class TestVertex:
+    @pytest.fixture
+    def db(self):
+        database = ObjectBase()
+        build_geometry_schema(database)
+        return database
+
+    def test_dist(self, db):
+        a = create_vertex(db, 0.0, 0.0, 0.0)
+        b = create_vertex(db, 3.0, 4.0, 0.0)
+        assert a.dist(b) == pytest.approx(5.0)
+        assert b.dist(a) == pytest.approx(5.0)
+
+    def test_translate(self, db):
+        v = create_vertex(db, 1.0, 2.0, 3.0)
+        v.translate(create_vertex(db, 1.0, -1.0, 0.5))
+        assert (v.X, v.Y, v.Z) == (2.0, 1.0, 3.5)
+
+    def test_scale(self, db):
+        v = create_vertex(db, 1.0, 2.0, 3.0)
+        v.scale(create_vertex(db, 2.0, 0.5, 1.0))
+        assert (v.X, v.Y, v.Z) == (2.0, 1.0, 3.0)
+
+    def test_rotate_preserves_norm(self, db):
+        v = create_vertex(db, 3.0, 4.0, 5.0)
+        norm = (v.X**2 + v.Y**2 + v.Z**2) ** 0.5
+        for axis in "xyz":
+            v.rotate(0.7, axis)
+        after = (v.X**2 + v.Y**2 + v.Z**2) ** 0.5
+        assert after == pytest.approx(norm)
+
+
+class TestCuboid:
+    @pytest.fixture
+    def setting(self):
+        database = ObjectBase()
+        build_geometry_schema(database)
+        fixture = build_figure2_database(database)
+        return database, fixture
+
+    def test_figure2_dimensions(self, setting):
+        _, fixture = setting
+        c1 = fixture.cuboids[0]
+        assert c1.length() == pytest.approx(10.0)
+        assert c1.width() == pytest.approx(6.0)
+        assert c1.height() == pytest.approx(5.0)
+
+    def test_figure2_volumes_and_weights(self, setting):
+        _, fixture = setting
+        expected = [(300.0, 2358.0), (200.0, 1572.0), (100.0, 1900.0)]
+        for cuboid, (volume, weight) in zip(fixture.cuboids, expected):
+            assert cuboid.volume() == pytest.approx(volume)
+            assert cuboid.weight() == pytest.approx(weight)
+
+    def test_translate_preserves_volume(self, setting):
+        db, fixture = setting
+        c1 = fixture.cuboids[0]
+        c1.translate(create_vertex(db, 5.0, -2.0, 1.0))
+        assert c1.volume() == pytest.approx(300.0)
+
+    def test_rotate_preserves_volume(self, setting):
+        db, fixture = setting
+        c1 = fixture.cuboids[0]
+        c1.rotate("z", 1.0)
+        assert c1.volume() == pytest.approx(300.0)
+
+    def test_axis_aligned_scale_scales_volume(self, setting):
+        db, fixture = setting
+        c1 = fixture.cuboids[0]
+        c1.scale(create_vertex(db, 2.0, 3.0, 1.0))
+        assert c1.volume() == pytest.approx(300.0 * 6.0)
+
+    def test_distance_to_robot(self, setting):
+        db, fixture = setting
+        robot = create_robot(db, "R", (105.0, 3.0, 2.5))
+        c1 = fixture.cuboids[0]  # center at (5, 3, 2.5)
+        assert c1.distance(robot) == pytest.approx(100.0)
+
+    def test_pairwise_distance_symmetry(self, setting):
+        db, fixture = setting
+        c1, c2, _ = fixture.cuboids
+        assert c1.distance_to(c2) == pytest.approx(c2.distance_to(c1))
+        assert c1.distance_to(c1) == pytest.approx(0.0)
+
+    def test_create_cuboid_vertex_layout(self, setting):
+        db, fixture = setting
+        cuboid = create_cuboid(
+            db, origin=(1.0, 2.0, 3.0), dims=(4.0, 5.0, 6.0),
+            material=fixture.iron,
+        )
+        v1, v7 = cuboid.V1, cuboid.V7
+        assert (v1.X, v1.Y, v1.Z) == (1.0, 2.0, 3.0)
+        assert (v7.X, v7.Y, v7.Z) == (5.0, 7.0, 9.0)
+
+
+class TestCollections:
+    def test_total_functions(self, geometry_db):
+        db, fixture = geometry_db
+        assert fixture.workpieces.total_volume() == pytest.approx(500.0)
+        assert fixture.workpieces.total_weight() == pytest.approx(3930.0)
+        assert fixture.valuables.total_value() == pytest.approx(89.90)
+
+    def test_totals_follow_membership(self, geometry_db):
+        db, fixture = geometry_db
+        fixture.workpieces.insert(fixture.cuboids[2])
+        assert fixture.workpieces.total_volume() == pytest.approx(600.0)
+        fixture.workpieces.remove(fixture.cuboids[0])
+        assert fixture.workpieces.total_volume() == pytest.approx(300.0)
+
+
+class TestStrictVariant:
+    def test_vertex_accessors_hidden(self, strict_geometry_db):
+        from repro.errors import EncapsulationError
+
+        db, fixture = strict_geometry_db
+        with pytest.raises(EncapsulationError):
+            fixture.cuboids[0].V1
+
+    def test_public_operations_still_work(self, strict_geometry_db):
+        db, fixture = strict_geometry_db
+        c1 = fixture.cuboids[0]
+        assert c1.volume() == pytest.approx(300.0)
+        c1.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        assert c1.volume() == pytest.approx(600.0)
+
+    def test_invalidated_fct_declarations(self, strict_geometry_db):
+        db, _ = strict_geometry_db
+        assert "Cuboid.volume" in db._invalidated_fct("Cuboid", "scale")
+        assert "Cuboid.volume" not in db._invalidated_fct("Cuboid", "rotate")
+        assert "Cuboid.distance" in db._invalidated_fct("Cuboid", "rotate")

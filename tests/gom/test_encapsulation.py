@@ -1,0 +1,103 @@
+"""Tests for the public clause and strict encapsulation (Secs. 2, 5.3)."""
+
+import pytest
+
+from repro import InstrumentationLevel, ObjectBase
+from repro.errors import EncapsulationError
+
+
+@pytest.fixture
+def db():
+    database = ObjectBase()
+    database.define_tuple_type(
+        "Account",
+        {"Balance": "float", "Pin": "int"},
+        public=["Balance", "deposit"],
+    )
+
+    def deposit(self, amount):
+        self.set_Balance(self.Balance + amount)
+
+    def audit(self):
+        return self.Pin
+
+    database.define_operation("Account", "deposit", ["float"], "void", deposit)
+    database.define_operation("Account", "audit", [], "int", audit)
+    return database
+
+
+class TestPublicClause:
+    def test_public_reader_allowed(self, db):
+        account = db.new("Account", Balance=10.0)
+        assert account.Balance == 10.0
+
+    def test_private_reader_rejected(self, db):
+        account = db.new("Account", Pin=1234)
+        with pytest.raises(EncapsulationError):
+            account.Pin
+
+    def test_private_writer_rejected(self, db):
+        account = db.new("Account")
+        with pytest.raises(EncapsulationError):
+            account.set_Balance(99.0)
+
+    def test_private_operation_rejected(self, db):
+        account = db.new("Account")
+        with pytest.raises(EncapsulationError):
+            account.audit()
+
+    def test_public_operation_may_use_private_members(self, db):
+        account = db.new("Account", Balance=10.0)
+        account.deposit(5.0)  # internally calls the private set_Balance
+        assert account.Balance == 15.0
+
+    def test_enforcement_can_be_disabled(self):
+        database = ObjectBase(enforce_encapsulation=False)
+        database.define_tuple_type("T", {"A": "float"}, public=[])
+        obj = database.new("T", A=1.0)
+        assert obj.A == 1.0
+
+
+class TestStrictEncapsulation:
+    def test_flag_propagates_to_subtypes(self, db):
+        db.define_tuple_type("Savings", {}, supertype="Account")
+        db.set_strict_encapsulation("Account")
+        assert db._is_strict("Savings")
+        assert db._is_strict("Account")
+
+    def test_strict_receiver_marked_as_unit_under_trace(self):
+        database = ObjectBase(level=InstrumentationLevel.INFO_HIDING)
+        database.define_tuple_type("Inner", {"V": "float"})
+        database.define_tuple_type(
+            "Outer", {"Child": "Inner"}, public=["probe"]
+        )
+
+        def probe(self):
+            return self.Child.V
+
+        database.define_operation("Outer", "probe", [], "float", probe)
+        database.set_strict_encapsulation("Outer")
+        inner = database.new("Inner", V=4.0)
+        outer = database.new("Outer", Child=inner)
+        with database.trace() as tracer:
+            with database.materialization_scope():
+                assert outer.probe() == 4.0
+        assert outer.oid in tracer.objects
+        # The subobject is hidden behind the strict interface.
+        assert inner.oid not in tracer.objects
+
+    def test_non_strict_receiver_marks_subobjects(self):
+        database = ObjectBase()
+        database.define_tuple_type("Inner", {"V": "float"})
+        database.define_tuple_type("Outer", {"Child": "Inner"})
+
+        def probe(self):
+            return self.Child.V
+
+        database.define_operation("Outer", "probe", [], "float", probe)
+        inner = database.new("Inner", V=4.0)
+        outer = database.new("Outer", Child=inner)
+        with database.trace() as tracer:
+            outer.probe()
+        assert inner.oid in tracer.objects
+        assert ("Inner", "V") in tracer.attributes

@@ -1,0 +1,109 @@
+"""List-structured types, handle misc, and operation edge cases."""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+
+
+@pytest.fixture
+def db():
+    database = ObjectBase()
+    database.define_tuple_type("Item", {"V": "float"})
+    database.define_list_type("Sequence", "Item")
+
+    def total(self):
+        result = 0.0
+        for item in self:
+            result = result + item.V
+        return result
+
+    database.define_operation("Sequence", "total", [], "float", total)
+    return database
+
+
+class TestListSemantics:
+    def test_duplicates_count_twice(self, db):
+        item = db.new("Item", V=5.0)
+        sequence = db.new_collection("Sequence", [item, item])
+        assert sequence.total() == 10.0
+
+    def test_materialized_list_function(self, db):
+        item = db.new("Item", V=5.0)
+        other = db.new("Item", V=2.0)
+        sequence = db.new_collection("Sequence", [item, item, other])
+        gmr = db.materialize([("Sequence", "total")])
+        assert sequence.total() == 12.0
+        item.set_V(1.0)  # affects both occurrences
+        assert sequence.total() == 4.0
+        sequence.remove(item)  # removes one occurrence
+        assert sequence.total() == 3.0
+        assert gmr.check_consistency(db) == []
+
+    def test_positional_insert(self, db):
+        first = db.new("Item", V=1.0)
+        second = db.new("Item", V=2.0)
+        third = db.new("Item", V=3.0)
+        sequence = db.new_collection("Sequence", [first, third])
+        db.collection_insert(sequence, second, position=1)
+        assert [item.V for item in sequence] == [1.0, 2.0, 3.0]
+
+    def test_elements_snapshot(self, db):
+        item = db.new("Item", V=1.0)
+        sequence = db.new_collection("Sequence", [item])
+        snapshot = sequence.elements()
+        sequence.insert(db.new("Item", V=2.0))
+        assert len(snapshot) == 1
+
+
+class TestOperationEdgeCases:
+    def test_void_operation(self, db):
+        def bump(self):
+            self.set_V(self.V + 1.0)
+
+        db.define_operation("Item", "bump", [], "void", bump)
+        item = db.new("Item", V=1.0)
+        assert item.bump() is None
+        assert item.V == 2.0
+
+    def test_operation_returning_handle(self, db):
+        db.define_tuple_type("Pair", {"Left": "Item", "Right": "Item"})
+
+        def bigger(self):
+            if self.Left.V >= self.Right.V:
+                return self.Left
+            return self.Right
+
+        db.define_operation("Pair", "bigger", [], "Item", bigger)
+        small = db.new("Item", V=1.0)
+        large = db.new("Item", V=9.0)
+        pair = db.new("Pair", Left=small, Right=large)
+        winner = pair.bigger()
+        assert winner == large
+        assert winner.V == 9.0
+
+    def test_operation_with_atomic_and_object_args(self, db):
+        def scaled_sum(self, other, factor):
+            return (self.V + other.V) * factor
+
+        db.define_operation(
+            "Item", "scaled_sum", ["Item", "float"], "float", scaled_sum
+        )
+        a = db.new("Item", V=2.0)
+        b = db.new("Item", V=3.0)
+        assert a.scaled_sum(b, 2.0) == 10.0
+
+    def test_materialized_binary_with_lazy_updates(self, db):
+        def combined(self, other):
+            return self.V + other.V
+
+        db.define_operation("Item", "combined", ["Item"], "float", combined)
+        a = db.new("Item", V=2.0)
+        b = db.new("Item", V=3.0)
+        gmr = db.materialize([("Item", "combined")], strategy=Strategy.LAZY)
+        assert len(gmr) == 4  # 2x2 cross product
+        a.set_V(10.0)
+        # Three of the four combinations involve `a`.
+        assert len(gmr.invalid_args("Item.combined")) == 3
+        assert a.combined(b) == 13.0
+        db.gmr_manager.revalidate(gmr)
+        assert gmr.check_consistency(db) == []

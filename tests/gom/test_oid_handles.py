@@ -1,0 +1,75 @@
+"""Unit tests for OIDs and handles."""
+
+import pytest
+
+from repro import ObjectBase
+from repro.gom.handles import Handle, unwrap
+from repro.gom.oid import Oid, OidGenerator
+
+
+class TestOid:
+    def test_repr_matches_paper_notation(self):
+        assert repr(Oid(42)) == "id42"
+
+    def test_equality_and_hash(self):
+        assert Oid(1) == Oid(1)
+        assert Oid(1) != Oid(2)
+        assert len({Oid(1), Oid(1), Oid(2)}) == 2
+
+    def test_ordering(self):
+        assert Oid(1) < Oid(2)
+        assert sorted([Oid(3), Oid(1), Oid(2)]) == [Oid(1), Oid(2), Oid(3)]
+
+    def test_immutability(self):
+        with pytest.raises(Exception):
+            Oid(1).value = 2  # type: ignore[misc]
+
+    def test_generator_monotonic_and_unique(self):
+        generator = OidGenerator()
+        oids = [generator.next() for _ in range(100)]
+        assert len(set(oids)) == 100
+        assert oids == sorted(oids)
+
+
+class TestHandle:
+    @pytest.fixture
+    def db(self):
+        database = ObjectBase()
+        database.define_tuple_type("T", {"A": "float"})
+        return database
+
+    def test_equality_by_oid(self, db):
+        obj = db.new("T", A=1.0)
+        assert db.handle(obj.oid) == obj
+        assert obj == obj.oid  # handles compare to raw OIDs too
+
+    def test_inequality(self, db):
+        first = db.new("T")
+        second = db.new("T")
+        assert first != second
+        assert (first == "something else") is False
+
+    def test_hashable(self, db):
+        obj = db.new("T")
+        assert len({obj, db.handle(obj.oid)}) == 1
+
+    def test_repr(self, db):
+        obj = db.new("T")
+        assert repr(obj).startswith("<T id")
+
+    def test_type_name(self, db):
+        assert db.new("T").type_name == "T"
+
+    def test_unwrap(self, db):
+        obj = db.new("T")
+        assert unwrap(obj) == obj.oid
+        assert unwrap(5.0) == 5.0
+        assert unwrap(None) is None
+
+    def test_oid_property(self, db):
+        obj = db.new("T")
+        assert isinstance(obj.oid, Oid)
+
+    def test_handle_of_handle(self, db):
+        obj = db.new("T")
+        assert db.handle(obj) == obj

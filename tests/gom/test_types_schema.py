@@ -1,0 +1,256 @@
+"""Unit tests for type definitions and the schema registry."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateTypeError,
+    SchemaError,
+    TypeCheckError,
+    UnknownAttributeError,
+    UnknownOperationError,
+    UnknownTypeError,
+)
+from repro.gom.oid import Oid
+from repro.gom.schema import ANY, Schema
+from repro.gom.types import (
+    TypeDefinition,
+    TypeKind,
+    atomic_value_ok,
+    is_atomic_type,
+    reader_name,
+    writer_name,
+)
+
+
+class TestTypeDefinition:
+    def test_tuple_type_attributes(self):
+        definition = TypeDefinition.tuple_type("T", {"A": "float", "B": "string"})
+        assert definition.is_tuple()
+        assert definition.has_attribute("A")
+        assert definition.attributes["B"].type_name == "string"
+
+    def test_set_type(self):
+        definition = TypeDefinition.set_type("S", "T")
+        assert definition.is_set()
+        assert definition.is_collection()
+        assert definition.element_type == "T"
+
+    def test_list_type(self):
+        definition = TypeDefinition.list_type("L", "T")
+        assert definition.is_list()
+        assert definition.is_collection()
+
+    def test_accessor_names(self):
+        assert reader_name("A") == "A"
+        assert writer_name("A") == "set_A"
+
+    def test_operation_clashing_with_accessor_rejected(self):
+        definition = TypeDefinition.tuple_type("T", {"A": "float"})
+        with pytest.raises(SchemaError):
+            definition.define_operation("A", [], "float", lambda self: 0.0)
+
+    def test_public_clause(self):
+        definition = TypeDefinition.tuple_type("T", {"A": "float"}, public=["A"])
+        assert definition.public == {"A"}
+        definition.make_public("set_A")
+        assert "set_A" in definition.public
+
+    def test_declare_invalidates_accumulates(self):
+        definition = TypeDefinition.tuple_type("T", {"A": "float"})
+        definition.declare_invalidates("op", ["f1"])
+        definition.declare_invalidates("op", ["f2"])
+        assert definition.invalidates["op"] == {"f1", "f2"}
+
+
+class TestAtomicTypes:
+    def test_atomic_membership(self):
+        assert is_atomic_type("float")
+        assert is_atomic_type("int")
+        assert not is_atomic_type("Cuboid")
+
+    def test_float_accepts_int(self):
+        assert atomic_value_ok("float", 3)
+        assert atomic_value_ok("float", 3.5)
+
+    def test_bool_is_not_int(self):
+        assert not atomic_value_ok("int", True)
+        assert atomic_value_ok("bool", True)
+
+    def test_char_requires_single_character(self):
+        assert atomic_value_ok("char", "x")
+        assert not atomic_value_ok("char", "xy")
+        assert not atomic_value_ok("char", "")
+
+    def test_string(self):
+        assert atomic_value_ok("string", "hello")
+        assert not atomic_value_ok("string", 7)
+
+
+class TestSchema:
+    def test_any_preregistered(self):
+        schema = Schema()
+        assert schema.has_type(ANY)
+        assert "float" in schema
+
+    def test_add_and_get(self):
+        schema = Schema()
+        schema.add_type(TypeDefinition.tuple_type("T", {"A": "float"}))
+        assert schema.type("T").name == "T"
+
+    def test_duplicate_rejected(self):
+        schema = Schema()
+        schema.add_type(TypeDefinition.tuple_type("T", {}))
+        with pytest.raises(DuplicateTypeError):
+            schema.add_type(TypeDefinition.tuple_type("T", {}))
+
+    def test_unknown_type(self):
+        schema = Schema()
+        with pytest.raises(UnknownTypeError):
+            schema.type("Missing")
+
+    def test_unknown_supertype_rejected(self):
+        schema = Schema()
+        with pytest.raises(UnknownTypeError):
+            schema.add_type(
+                TypeDefinition.tuple_type("T", {}, supertype="Missing")
+            )
+
+    def test_shadowing_inherited_attribute_rejected(self):
+        schema = Schema()
+        schema.add_type(TypeDefinition.tuple_type("Base", {"A": "float"}))
+        with pytest.raises(SchemaError):
+            schema.add_type(
+                TypeDefinition.tuple_type("Sub", {"A": "int"}, supertype="Base")
+            )
+
+    def test_collection_needs_element_type(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.add_type(TypeDefinition(name="S", kind=TypeKind.SET))
+
+
+class TestInheritance:
+    @pytest.fixture
+    def schema(self):
+        schema = Schema()
+        schema.add_type(TypeDefinition.tuple_type("Person", {"Name": "string"}))
+        schema.add_type(
+            TypeDefinition.tuple_type(
+                "Employee", {"EmpNo": "int"}, supertype="Person"
+            )
+        )
+        schema.add_type(
+            TypeDefinition.tuple_type(
+                "Manager", {"Bonus": "float"}, supertype="Employee"
+            )
+        )
+        return schema
+
+    def test_is_subtype_reflexive(self, schema):
+        assert schema.is_subtype("Person", "Person")
+
+    def test_is_subtype_transitive(self, schema):
+        assert schema.is_subtype("Manager", "Person")
+        assert schema.is_subtype("Manager", ANY)
+
+    def test_is_subtype_directional(self, schema):
+        assert not schema.is_subtype("Person", "Manager")
+
+    def test_subtypes_transitive(self, schema):
+        assert schema.subtypes_transitive("Person") == {"Employee", "Manager"}
+        assert schema.subtypes_transitive("Manager") == set()
+
+    def test_all_attributes_inherited(self, schema):
+        attrs = schema.all_attributes("Manager")
+        assert set(attrs) == {"Name", "EmpNo", "Bonus"}
+
+    def test_attribute_declaring_type(self, schema):
+        assert schema.attribute_declaring_type("Manager", "Name") == "Person"
+        assert schema.attribute_declaring_type("Manager", "Bonus") == "Manager"
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.attribute("Person", "Ghost")
+
+    def test_operation_resolution_walks_chain(self, schema):
+        schema.type("Person").define_operation(
+            "greet", [], "string", lambda self: "hi"
+        )
+        declaring, operation = schema.resolve_operation("Manager", "greet")
+        assert declaring == "Person"
+        assert operation.name == "greet"
+
+    def test_operation_override_uses_most_specific(self, schema):
+        schema.type("Person").define_operation(
+            "greet", [], "string", lambda self: "person"
+        )
+        schema.type("Manager").define_operation(
+            "greet", [], "string", lambda self: "manager"
+        )
+        declaring, _ = schema.resolve_operation("Manager", "greet")
+        assert declaring == "Manager"
+
+    def test_unknown_operation(self, schema):
+        with pytest.raises(UnknownOperationError):
+            schema.resolve_operation("Person", "fly")
+
+
+class TestTypeChecking:
+    @pytest.fixture
+    def schema(self):
+        schema = Schema()
+        schema.add_type(TypeDefinition.tuple_type("Base", {}))
+        schema.add_type(TypeDefinition.tuple_type("Sub", {}, supertype="Base"))
+        return schema
+
+    def test_atomic_ok(self, schema):
+        schema.check_value("float", 1.5, type_of_oid=lambda oid: "Base")
+
+    def test_atomic_mismatch(self, schema):
+        with pytest.raises(TypeCheckError):
+            schema.check_value("int", "nope", type_of_oid=lambda oid: "Base")
+
+    def test_reference_subtype_substitutable(self, schema):
+        schema.check_value("Base", Oid(1), type_of_oid=lambda oid: "Sub")
+
+    def test_reference_supertype_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            schema.check_value("Sub", Oid(1), type_of_oid=lambda oid: "Base")
+
+    def test_none_reference_allowed(self, schema):
+        schema.check_value("Base", None, type_of_oid=lambda oid: "Base")
+
+    def test_raw_value_for_reference_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            schema.check_value("Base", 42, type_of_oid=lambda oid: "Base")
+
+    def test_void(self, schema):
+        schema.check_value("void", None, type_of_oid=lambda oid: "Base")
+        with pytest.raises(TypeCheckError):
+            schema.check_value("void", 1, type_of_oid=lambda oid: "Base")
+
+
+class TestPublicClause:
+    def test_none_means_everything_public(self):
+        schema = Schema()
+        schema.add_type(TypeDefinition.tuple_type("T", {"A": "float"}))
+        assert schema.is_public("T", "A")
+        assert schema.is_public("T", "set_A")
+
+    def test_explicit_clause(self):
+        schema = Schema()
+        schema.add_type(
+            TypeDefinition.tuple_type("T", {"A": "float"}, public=["A"])
+        )
+        assert schema.is_public("T", "A")
+        assert not schema.is_public("T", "set_A")
+
+    def test_inherited_public_members(self):
+        schema = Schema()
+        schema.add_type(
+            TypeDefinition.tuple_type("Base", {"A": "float"}, public=["A"])
+        )
+        schema.add_type(
+            TypeDefinition.tuple_type("Sub", {}, supertype="Base", public=[])
+        )
+        assert schema.is_public("Sub", "A")

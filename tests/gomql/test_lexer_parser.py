@@ -1,0 +1,177 @@
+"""GOMql lexer and parser tests."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.gomql.ast import (
+    MaterializeStmt,
+    QAgg,
+    QAnd,
+    QAttr,
+    QBin,
+    QCall,
+    QCmp,
+    QConst,
+    QIn,
+    QName,
+    QNot,
+    QOr,
+    Query,
+    conjuncts,
+    variables_of,
+)
+from repro.gomql.lexer import tokenize
+from repro.gomql.parser import parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("RANGE retrieve WHERE")
+        assert [t.kind for t in tokens[:-1]] == ["keyword"] * 3
+        assert tokens[0].text == "range"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.5
+
+    def test_strings(self):
+        tokens = tokenize('"Iron" \'Gold\'')
+        assert tokens[0].value == "Iron"
+        assert tokens[1].value == "Gold"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_symbols(self):
+        texts = [t.text for t in tokenize("<= >= != < > = ( ) , . :")[:-1]]
+        assert texts == ["<=", ">=", "!=", "<", ">", "=", "(", ")", ",", ".", ":"]
+
+    def test_booleans(self):
+        tokens = tokenize("true false")
+        assert tokens[0].value is True
+        assert tokens[1].value is False
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a § b")
+
+    def test_member_access_vs_float(self):
+        # "c.volume" must lex as ident, dot, ident — not a float.
+        kinds = [t.kind for t in tokenize("c.volume")[:-1]]
+        assert kinds == ["ident", "symbol", "ident"]
+
+
+class TestParser:
+    def test_paper_backward_query(self):
+        stmt = parse_statement(
+            "range c: Cuboid retrieve c "
+            "where c.volume > 20.0 and c.weight > 100.0"
+        )
+        assert isinstance(stmt, Query)
+        assert stmt.ranges[0].var == "c"
+        assert stmt.ranges[0].type_name == "Cuboid"
+        assert stmt.projections == (QName("c"),)
+        parts = conjuncts(stmt.where)
+        assert len(parts) == 2
+        assert all(isinstance(part, QCmp) for part in parts)
+
+    def test_paper_forward_aggregate(self):
+        stmt = parse_statement(
+            "range c: MyValuableCuboids retrieve sum(c.weight)"
+        )
+        assert isinstance(stmt.projections[0], QAgg)
+        assert stmt.projections[0].func == "sum"
+        assert stmt.where is None
+
+    def test_materialize_statement(self):
+        stmt = parse_statement("range c: Cuboid materialize c.volume, c.weight")
+        assert isinstance(stmt, MaterializeStmt)
+        assert [target.name for target in stmt.targets] == ["volume", "weight"]
+        assert all(isinstance(target, QCall) for target in stmt.targets)
+
+    def test_restricted_materialize(self):
+        stmt = parse_statement(
+            "range c: Cuboid materialize c.volume, c.weight "
+            'where c.Mat.Name = "Iron"'
+        )
+        assert isinstance(stmt.where, QCmp)
+        assert isinstance(stmt.where.left, QAttr)
+
+    def test_materialize_with_argument(self):
+        stmt = parse_statement(
+            "range c1: Cuboid, c2: Cuboid materialize c1.distance_to(c2)"
+        )
+        target = stmt.targets[0]
+        assert target.name == "distance_to"
+        assert target.args == (QName("c2"),)
+
+    def test_multiple_ranges(self):
+        stmt = parse_statement(
+            "range a: T1, b: T2 retrieve a, b where a.X = b.X"
+        )
+        assert len(stmt.ranges) == 2
+        assert len(stmt.projections) == 2
+
+    def test_boolean_structure(self):
+        stmt = parse_statement(
+            "range c: T retrieve c where not (c.A = 1 or c.B = 2) and c.C = 3"
+        )
+        assert isinstance(stmt.where, QAnd)
+        negated, last = stmt.where.parts
+        assert isinstance(negated, QNot)
+        assert isinstance(negated.part, QOr)
+        assert isinstance(last, QCmp)
+
+    def test_membership_predicate(self):
+        stmt = parse_statement(
+            "range l: MatrixLine retrieve l where l in comp.lines"
+        )
+        assert isinstance(stmt.where, QIn)
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("range c: T retrieve c.A + c.B * 2")
+        projection = stmt.projections[0]
+        assert isinstance(projection, QBin) and projection.op == "+"
+        assert isinstance(projection.right, QBin) and projection.right.op == "*"
+
+    def test_parenthesized_arithmetic(self):
+        stmt = parse_statement("range c: T retrieve (c.A + c.B) * 2")
+        projection = stmt.projections[0]
+        assert projection.op == "*"
+        assert isinstance(projection.left, QBin) and projection.left.op == "+"
+
+    def test_call_with_arguments(self):
+        stmt = parse_statement(
+            "range c: Cuboid retrieve c where c.distance(r) < 100.0"
+        )
+        call = stmt.where.left
+        assert isinstance(call, QCall)
+        assert call.args == (QName("r"),)
+
+    def test_unary_minus(self):
+        stmt = parse_statement("range c: T retrieve c where c.A > -5")
+        assert stmt.where.right is not None
+
+    def test_variables_of(self):
+        stmt = parse_statement(
+            "range c: T retrieve c where c.volume > lo and c.volume < hi"
+        )
+        assert variables_of(stmt.where) == {"c", "lo", "hi"}
+
+    def test_missing_retrieve(self):
+        with pytest.raises(ParseError):
+            parse_statement("range c: Cuboid")
+
+    def test_bad_materialize_target(self):
+        with pytest.raises(ParseError):
+            parse_statement("range c: Cuboid materialize 42")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("range c: T retrieve c extra")
+
+    def test_missing_comparison(self):
+        with pytest.raises(ParseError):
+            parse_statement("range c: T retrieve c where c.A")

@@ -1,0 +1,41 @@
+"""Fuzz test: the parser always terminates with a clean outcome.
+
+Arbitrary text must either parse or raise a library error (LexError /
+ParseError) — never an unhandled exception or a hang.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LexError, ParseError
+from repro.gomql.parser import parse_statement
+
+_FRAGMENTS = st.lists(
+    st.sampled_from(
+        [
+            "range", "retrieve", "materialize", "where", "and", "or", "not",
+            "in", "c", "Cuboid", "volume", ":", ".", ",", "(", ")", "<", ">",
+            "=", "<=", ">=", "!=", "+", "-", "*", "/", "1", "2.5", '"s"',
+            "sum", "count",
+        ]
+    ),
+    max_size=25,
+)
+
+
+@given(fragments=_FRAGMENTS)
+@settings(max_examples=300, deadline=None)
+def test_parser_terminates_cleanly(fragments):
+    text = " ".join(fragments)
+    try:
+        parse_statement(text)
+    except (LexError, ParseError):
+        pass
+
+
+@given(text=st.text(max_size=60))
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_statement(text)
+    except (LexError, ParseError):
+        pass

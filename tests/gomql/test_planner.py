@@ -1,0 +1,165 @@
+"""Planner tests: GMR exploitation decisions (Secs. 3.2 and 6)."""
+
+import pytest
+
+from repro.gomql import run_statement
+
+
+class TestBackwardPlans:
+    def test_backward_query_avoids_object_scan(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        with db.trace() as tracer:
+            result = db.query(
+                "range c: Cuboid retrieve c where c.volume > 250.0"
+            )
+        assert len(result) == 1
+        # The candidate set came from the GMR index: cuboids that do not
+        # qualify were never dereferenced.
+        assert fixture.cuboids[1].oid not in tracer.objects
+        assert fixture.cuboids[2].oid not in tracer.objects
+
+    def test_backward_window_with_parameters(self, geometry_db):
+        db, _ = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        result = run_statement(
+            db,
+            "range c: Cuboid retrieve c where c.volume > lo and c.volume < hi",
+            {"lo": 150.0, "hi": 250.0},
+        )
+        assert len(result) == 1
+
+    def test_backward_equality(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        result = db.query("range c: Cuboid retrieve c where c.volume = 200.0")
+        assert [h.oid for h in result] == [fixture.cuboids[1].oid]
+
+    def test_residual_predicate_still_applied(self, geometry_db):
+        db, _ = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        result = db.query(
+            "range c: Cuboid retrieve c "
+            'where c.volume > 50.0 and c.Mat.Name = "Gold"'
+        )
+        assert len(result) == 1
+
+    def test_without_gmr_scan_still_answers(self, geometry_db):
+        db, _ = geometry_db
+        result = db.query("range c: Cuboid retrieve c where c.volume > 250.0")
+        assert len(result) == 1
+
+    def test_incomplete_gmr_not_used_for_backward(self, geometry_db):
+        """An incrementally set up GMR cannot answer backward queries."""
+        db, fixture = geometry_db
+        gmr = db.materialize([("Cuboid", "volume")], complete=False)
+        result = db.query("range c: Cuboid retrieve c where c.volume > 250.0")
+        assert len(result) == 1  # answered by scan
+
+    def test_binary_function_backward(self, geometry_db):
+        from repro.domains.geometry import create_robot
+
+        db, fixture = geometry_db
+        robot = create_robot(db, "R1", (1000.0, 0.0, 0.0))
+        db.materialize([("Cuboid", "distance")])
+        result = run_statement(
+            db,
+            "range c: Cuboid retrieve c where c.distance(r) < 1000.0",
+            {"r": robot},
+        )
+        assert len(result) == 3
+
+    def test_updates_reflected_in_backward_answers(self, geometry_db):
+        from repro.domains.geometry import create_vertex
+
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        fixture.cuboids[2].scale(create_vertex(db, 4.0, 1.0, 1.0))  # 100→400
+        result = db.query("range c: Cuboid retrieve c where c.volume > 350.0")
+        assert [h.oid for h in result] == [fixture.cuboids[2].oid]
+
+
+class TestMultiVariablePlans:
+    def test_first_variable_planned_in_join(self, geometry_db):
+        """The outermost range variable of a join still gets a backward
+        plan; join conjuncts are evaluated residually."""
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        with db.trace() as tracer:
+            rows = db.query(
+                "range a: Cuboid, b: Cuboid retrieve a.CuboidID, b.CuboidID "
+                "where a.volume > 250.0 and a.Mat = b.Mat"
+            )
+        assert sorted(rows) == [(1, 1), (1, 2)]
+        plan = db.explain(
+            "range a: Cuboid, b: Cuboid retrieve a, b "
+            "where a.volume > 250.0 and a.Mat = b.Mat"
+        )
+        assert plan.paths[0].kind == "gmr-backward"
+        assert plan.paths[1].kind == "scan"
+
+    def test_join_conjunct_does_not_confuse_bounds(self, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        rows = db.query(
+            "range a: Cuboid, b: Cuboid retrieve a.CuboidID, b.CuboidID "
+            "where a.volume > b.volume and a.volume > 250.0"
+        )
+        assert sorted(rows) == [(1, 2), (1, 3)]
+
+
+class TestIndexPlans:
+    def test_forward_query_uses_attribute_index(self, geometry_db):
+        db, fixture = geometry_db
+        db.create_attr_index("Cuboid", "CuboidID")
+        with db.trace() as tracer:
+            result = db.query(
+                "range c: Cuboid retrieve c.volume where c.CuboidID = 2"
+            )
+        assert result == [pytest.approx(200.0)]
+        assert fixture.cuboids[0].oid not in tracer.objects
+
+    def test_without_index_falls_back_to_scan(self, geometry_db):
+        db, _ = geometry_db
+        result = db.query(
+            "range c: Cuboid retrieve c.volume where c.CuboidID = 2"
+        )
+        assert result == [pytest.approx(200.0)]
+
+
+class TestRestrictedApplicability:
+    """Sec. 6: a restricted GMR answers only covered backward queries."""
+
+    @pytest.fixture
+    def setting(self, geometry_db):
+        db, fixture = geometry_db
+        gmr = db.query(
+            "range c: Cuboid materialize c.volume "
+            'where c.Mat.Name = "Iron"'
+        )
+        return db, fixture, gmr
+
+    def test_covered_query_answers_from_gmr(self, setting):
+        db, fixture, gmr = setting
+        with db.trace() as tracer:
+            result = db.query(
+                "range c: Cuboid retrieve c "
+                'where c.volume > 250.0 and c.Mat.Name = "Iron"'
+            )
+        assert [h.oid for h in result] == [fixture.cuboids[0].oid]
+        # The candidates came from the restricted GMR's index: the gold
+        # cuboid (outside the restriction) was never dereferenced.
+        assert fixture.cuboids[2].oid not in tracer.objects
+
+    def test_uncovered_query_falls_back_to_scan(self, setting):
+        db, fixture, gmr = setting
+        # No Mat.Name conjunct: the gold cuboid must not be missed.
+        result = db.query("range c: Cuboid retrieve c where c.volume > 50.0")
+        assert len(result) == 3
+
+    def test_uncovered_query_correct_for_gold(self, setting):
+        db, fixture, gmr = setting
+        result = db.query(
+            'range c: Cuboid retrieve c where c.volume = 100.0'
+        )
+        assert [h.oid for h in result] == [fixture.cuboids[2].oid]

@@ -1,0 +1,77 @@
+"""Cover-test tests (Sec. 6), including the paper's distance example."""
+
+from repro.predicates.ast import Not, Variable
+from repro.predicates.cover import covers, restriction_applicable
+from repro.gom.oid import Oid
+
+x = Variable("x")
+c = Variable("c")
+
+
+class TestApplicabilityConditions:
+    def test_restriction_with_variable_equality_rejected(self):
+        # p contains x = y → ¬p has x ≠ y: condition 1 fails.
+        y = Variable("y")
+        assert not restriction_applicable(x.eq(y), x < 5)
+
+    def test_selection_with_variable_disequality_rejected(self):
+        y = Variable("y")
+        assert not restriction_applicable(x < 5, x.ne(y))
+
+    def test_plain_comparisons_accepted(self):
+        assert restriction_applicable(x < 5, x < 3)
+
+
+class TestCovers:
+    def test_tighter_selection_covered(self):
+        assert covers(x < 5, x < 3)
+
+    def test_looser_selection_not_covered(self):
+        assert not covers(x < 3, x < 5)
+
+    def test_equal_bounds(self):
+        assert covers(x <= 5, x <= 5)
+        assert covers(x <= 5, x < 5)
+        assert not covers(x < 5, x <= 5)
+
+    def test_equality_selection(self):
+        assert covers(x > 0, x.eq(3))
+        assert not covers(x > 0, x.eq(-1))
+
+    def test_conjunction_restriction(self):
+        p = (x > 0) & (x < 10)
+        assert covers(p, (x > 2) & (x < 5))
+        assert not covers(p, x > 2)  # upper bound not implied
+
+    def test_disjunctive_restriction(self):
+        p = (x < 0) | (x > 10)
+        assert covers(p, x > 20)
+        assert not covers(p, x > 5)
+
+    def test_unrelated_variable_conjunct_is_harmless(self):
+        other = Variable("other")
+        assert covers(x < 5, (x < 3) & (other > 7))
+
+    def test_paper_distance_example(self):
+        """Sec. 6: p(c1,c2) ≡ c1 ≠ c2 ∧ c1.V1.X ≤ c2.V1.X.
+
+        The backward query instantiates c2 with the constant id99, so the
+        restriction becomes c ≠ id99 ∧ c.V1.X ≤ ⟨id99.V1.X⟩ and the query
+        predicate repeats exactly those conjuncts.
+        """
+        id99 = Oid(99)
+        id99_v1x = 4.0  # the constant value of id99.V1.X
+        cx = Variable("c", ("V1", "X"))
+        call = Variable("@call0")  # distance(c, id99) as opaque value
+
+        restriction = c.ne(id99) & (cx <= id99_v1x)
+        selection = (call < 100.0) & c.ne(id99) & (cx <= id99_v1x)
+        assert covers(restriction, selection)
+
+        # Dropping one of the binding conjuncts breaks coverage.
+        weaker = (call < 100.0) & c.ne(id99)
+        assert not covers(restriction, weaker)
+
+    def test_negated_restriction(self):
+        assert covers(Not(x.eq(5)), x > 6)
+        assert not covers(Not(x.eq(5)), x >= 5)

@@ -1,0 +1,63 @@
+"""Predicate evaluation over handles and plain values."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.predicates.ast import FALSE, Not, TRUE, Variable
+from repro.predicates.evaluate import evaluate
+
+
+class TestScalarEvaluation:
+    x = Variable("x")
+
+    def test_comparisons(self):
+        assert evaluate(self.x < 5, {"x": 3})
+        assert not evaluate(self.x < 5, {"x": 7})
+        assert evaluate(self.x.eq(3), {"x": 3})
+        assert evaluate(self.x.ne(4), {"x": 3})
+        assert evaluate(self.x >= 3, {"x": 3})
+
+    def test_offset(self):
+        y = Variable("y")
+        assert evaluate(self.x <= y.plus(2.0), {"x": 5, "y": 3})
+        assert not evaluate(self.x <= y.plus(1.0), {"x": 5, "y": 3})
+
+    def test_boolean_combinators(self):
+        pred = (self.x > 0) & ((self.x < 10) | self.x.eq(42))
+        assert evaluate(pred, {"x": 5})
+        assert evaluate(pred, {"x": 42})
+        assert not evaluate(pred, {"x": -1})
+        assert evaluate(Not(self.x.eq(0)), {"x": 1})
+
+    def test_constants(self):
+        assert evaluate(TRUE, {})
+        assert not evaluate(FALSE, {})
+
+    def test_unbound_variable(self):
+        with pytest.raises(PredicateError):
+            evaluate(self.x < 5, {})
+
+
+class TestHandleEvaluation:
+    def test_attribute_paths(self, geometry_db):
+        db, fixture = geometry_db
+        pred = Variable("c", ("Mat", "Name")).eq("Iron")
+        assert evaluate(pred, {"c": fixture.cuboids[0]})
+        assert not evaluate(pred, {"c": fixture.cuboids[2]})
+
+    def test_object_identity_comparison(self, geometry_db):
+        db, fixture = geometry_db
+        c1, c2 = fixture.cuboids[0], fixture.cuboids[1]
+        pred = Variable("a").ne(Variable("b"))
+        assert evaluate(pred, {"a": c1, "b": c2})
+        assert not evaluate(pred, {"a": c1, "b": c1})
+
+    def test_evaluation_is_traced(self, geometry_db):
+        """Restriction predicates are materialized: their reads must be
+        visible to a tracer (Sec. 6.1)."""
+        db, fixture = geometry_db
+        pred = Variable("c", ("Mat", "Name")).eq("Iron")
+        with db.trace() as tracer:
+            evaluate(pred, {"c": fixture.cuboids[0]})
+        assert fixture.iron.oid in tracer.objects
+        assert ("Material", "Name") in tracer.attributes

@@ -1,0 +1,168 @@
+"""Unit tests for the Rosenkrantz–Hunt decision procedure."""
+
+import pytest
+
+from repro.errors import PredicateClassError
+from repro.predicates.ast import Comparison, Variable
+from repro.predicates.dnf import to_dnf
+from repro.predicates.satisfiability import (
+    in_decidable_class,
+    is_satisfiable,
+    predicate_satisfiable,
+)
+
+x = Variable("x")
+y = Variable("y")
+z = Variable("z")
+
+
+class TestType1:
+    def test_single_bound(self):
+        assert is_satisfiable([x < 5])
+
+    def test_window(self):
+        assert is_satisfiable([x > 3, x < 5])
+
+    def test_empty_window(self):
+        assert not is_satisfiable([x > 5, x < 3])
+
+    def test_touching_bounds_non_strict(self):
+        assert is_satisfiable([x >= 5, x <= 5])
+
+    def test_touching_bounds_strict(self):
+        assert not is_satisfiable([x > 5, x < 5])
+        assert not is_satisfiable([x >= 5, x < 5])
+
+    def test_equality(self):
+        assert is_satisfiable([x.eq(5)])
+        assert not is_satisfiable([x.eq(5), x.eq(6)])
+        assert is_satisfiable([x.eq(5), x <= 5])
+        assert not is_satisfiable([x.eq(5), x < 5])
+
+    def test_disequality_against_constant(self):
+        assert is_satisfiable([x.ne(5)])
+        assert not is_satisfiable([x.eq(5), x.ne(5)])
+        assert is_satisfiable([x >= 5, x.ne(5)])  # x may exceed 5
+        assert not is_satisfiable([x >= 5, x <= 5, x.ne(5)])
+
+    def test_dense_domain_assumption(self):
+        # Over the reals there is always a value strictly between 3 and 4.
+        assert is_satisfiable([x > 3, x < 4])
+
+
+class TestType2:
+    def test_chain(self):
+        assert is_satisfiable([x < y, y < z])
+
+    def test_cycle_strict(self):
+        assert not is_satisfiable([x < y, y < z, z < x])
+
+    def test_cycle_non_strict(self):
+        assert is_satisfiable([x <= y, y <= z, z <= x])
+
+    def test_equality_between_variables(self):
+        assert is_satisfiable([x.eq(y), y.eq(z)])
+        assert not is_satisfiable([x.eq(y), x < y])
+
+    def test_variable_vs_constant_interaction(self):
+        assert not is_satisfiable([x < y, y < 5, x > 7])
+        assert is_satisfiable([x < y, y < 5, x > 2])
+
+    def test_disequality_between_variables_rejected(self):
+        with pytest.raises(PredicateClassError):
+            is_satisfiable([x.ne(y)])
+
+
+class TestType3:
+    def test_offset_chain(self):
+        # x ≤ y + (-3) and y ≤ 10 → x ≤ 7; x > 8 is contradictory.
+        assert not is_satisfiable([x <= y.plus(-3.0), y <= 10, x > 8])
+        assert is_satisfiable([x <= y.plus(-3.0), y <= 10, x > 6])
+
+    def test_offset_cycle(self):
+        # x ≤ y - 1 and y ≤ x - 1 → negative cycle.
+        assert not is_satisfiable([x <= y.plus(-1.0), y <= x.plus(-1.0)])
+
+    def test_offset_equality(self):
+        assert is_satisfiable([x.eq(y.plus(2.0)), y.eq(3)])
+        assert not is_satisfiable([x.eq(y.plus(2.0)), y.eq(3), x.eq(6)])
+
+    def test_offsets_accumulate(self):
+        assert not is_satisfiable(
+            [x >= y.plus(1.0), y >= z.plus(1.0), z >= x.plus(1.0)]
+        )
+
+
+class TestAttributePaths:
+    def test_paths_are_distinct_variables(self):
+        a = Variable("c", ("V1", "X"))
+        b = Variable("c", ("V2", "X"))
+        assert is_satisfiable([a < b, b < a.plus(5.0)])
+        assert not is_satisfiable([a < b, b < a])
+
+
+class TestNonNumericConstants:
+    def test_string_equality(self):
+        assert is_satisfiable([x.eq("Iron")])
+        assert not is_satisfiable([x.eq("Iron"), x.eq("Gold")])
+
+    def test_string_disequality(self):
+        assert is_satisfiable([x.eq("Iron"), x.ne("Gold")])
+        assert not is_satisfiable([x.eq("Iron"), x.ne("Iron")])
+
+    def test_oid_like_constants(self):
+        from repro.gom.oid import Oid
+
+        assert not is_satisfiable([x.eq(Oid(3)), x.ne(Oid(3))])
+        assert is_satisfiable([x.eq(Oid(3)), x.ne(Oid(4))])
+
+
+class TestPredicateLevel:
+    def test_disjunction(self):
+        pred = (x < 3) | (x > 5)
+        assert predicate_satisfiable(pred)
+
+    def test_contradictory_disjunction(self):
+        pred = ((x < 3) & (x > 5)) | ((x.eq(1)) & (x.eq(2)))
+        assert not predicate_satisfiable(pred)
+
+    def test_negation(self):
+        from repro.predicates.ast import Not
+
+        pred = Not((x < 3) | (x >= 3))
+        assert not predicate_satisfiable(pred)
+
+    def test_class_membership(self):
+        assert in_decidable_class((x < 3) & (x.ne(5)))
+        assert not in_decidable_class(x.ne(y))
+        # ¬(x = y) introduces ≠ between variables:
+        from repro.predicates.ast import Not
+
+        assert not in_decidable_class(Not(x.eq(y)))
+
+    def test_empty_conjunction_satisfiable(self):
+        assert is_satisfiable([])
+
+
+class TestDNF:
+    def test_simple(self):
+        pred = (x < 3) & ((y > 1) | (z.eq(2)))
+        disjuncts = to_dnf(pred)
+        assert len(disjuncts) == 2
+        assert all(len(conjunct) == 2 for conjunct in disjuncts)
+
+    def test_negation_pushing(self):
+        from repro.predicates.ast import Not
+
+        pred = Not((x < 3) & (y > 1))
+        disjuncts = to_dnf(pred)
+        ops = sorted(comparison.op for [comparison] in disjuncts)
+        assert ops == ["<=", ">="]
+
+    def test_true_false_folding(self):
+        from repro.predicates.ast import FALSE, TRUE
+
+        assert to_dnf(TRUE) == [[]]
+        assert to_dnf(FALSE) == []
+        assert to_dnf(TRUE & (x < 1)) == [[Comparison(x, "<", None, constant=1)]]
+        assert to_dnf(FALSE & (x < 1)) == []

@@ -1,0 +1,77 @@
+"""Property test: the decision procedure agrees with brute force.
+
+Random conjunctions over a few variables with small integer constants are
+checked against an exhaustive search over a rational grid (step 1/2 so
+strict comparisons over the dense domain are honoured).
+"""
+
+from fractions import Fraction
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.predicates.ast import Comparison, Variable
+from repro.predicates.satisfiability import is_satisfiable
+
+_VARS = [Variable("a"), Variable("b"), Variable("c")]
+_OPS = ["<", "<=", ">", ">=", "="]
+
+
+@st.composite
+def conjunctions(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    comparisons = []
+    for _ in range(count):
+        left = draw(st.sampled_from(_VARS))
+        op = draw(st.sampled_from(_OPS))
+        kind = draw(st.integers(min_value=1, max_value=3))
+        if kind == 1:
+            constant = draw(st.integers(min_value=-3, max_value=3))
+            comparisons.append(Comparison(left, op, None, constant=constant))
+        else:
+            right = draw(st.sampled_from(_VARS))
+            offset = (
+                0.0 if kind == 2 else draw(st.integers(min_value=-2, max_value=2))
+            )
+            comparisons.append(Comparison(left, op, right, offset=float(offset)))
+    return comparisons
+
+
+def brute_force(conjunct) -> bool:
+    variables = sorted(
+        {v.name for comparison in conjunct for v in comparison.variables()}
+    )
+    # Constants live in [-3, 3]; offsets in [-2, 2]; half-step grid over a
+    # padded range is exhaustive enough to witness satisfiability for this
+    # constraint family (all boundaries are multiples of 1/2).
+    grid = [Fraction(n, 2) for n in range(-16, 17)]
+    ops = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "=": lambda a, b: a == b,
+    }
+    for values in product(grid, repeat=len(variables)):
+        binding = dict(zip(variables, values))
+        ok = True
+        for comparison in conjunct:
+            left = binding[comparison.left.name]
+            if comparison.right is None:
+                right = Fraction(comparison.constant)
+            else:
+                right = binding[comparison.right.name] + Fraction(
+                    comparison.offset
+                )
+            if not ops[comparison.op](left, right):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@given(conjunct=conjunctions())
+@settings(max_examples=150, deadline=None)
+def test_agrees_with_brute_force(conjunct):
+    assert is_satisfiable(conjunct) == brute_force(conjunct)

@@ -1,0 +1,180 @@
+"""Unit tests for the B+ tree."""
+
+import pytest
+
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import BufferManager, PageStore
+
+
+def make_tree(order=4):
+    return BPlusTree(order=order)
+
+
+class TestInsertSearch:
+    def test_empty_search(self):
+        tree = make_tree()
+        assert tree.search(5) == []
+
+    def test_single_insert(self):
+        tree = make_tree()
+        tree.insert(5, "a")
+        assert tree.search(5) == ["a"]
+
+    def test_many_inserts_split(self):
+        tree = make_tree(order=3)
+        for key in range(100):
+            tree.insert(key, key * 10)
+        for key in range(100):
+            assert tree.search(key) == [key * 10]
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_duplicate_keys(self):
+        tree = make_tree()
+        tree.insert(7, "a")
+        tree.insert(7, "b")
+        assert sorted(tree.search(7)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_reverse_insert_order(self):
+        tree = make_tree(order=3)
+        for key in reversed(range(50)):
+            tree.insert(key, key)
+        assert list(tree.keys()) == list(range(50))
+        tree.check_invariants()
+
+    def test_string_keys(self):
+        tree = make_tree()
+        for word in ["pear", "apple", "mango", "fig"]:
+            tree.insert(word, word.upper())
+        assert tree.search("mango") == ["MANGO"]
+        assert list(tree.keys()) == sorted(["pear", "apple", "mango", "fig"])
+
+    def test_contains(self):
+        tree = make_tree()
+        tree.insert(1, "x")
+        assert tree.contains(1, "x")
+        assert not tree.contains(1, "y")
+        assert not tree.contains(2, "x")
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        tree = make_tree(order=4)
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert(key, f"v{key}")
+        return tree
+
+    def test_full_scan(self, tree):
+        assert [key for key, _ in tree.range_scan()] == list(range(0, 100, 2))
+
+    def test_bounded_scan(self, tree):
+        keys = [key for key, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        keys = [
+            key
+            for key, _ in tree.range_scan(
+                10, 20, include_low=False, include_high=False
+            )
+        ]
+        assert keys == [12, 14, 16, 18]
+
+    def test_open_low(self, tree):
+        keys = [key for key, _ in tree.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        keys = [key for key, _ in tree.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_bounds_between_keys(self, tree):
+        keys = [key for key, _ in tree.range_scan(11, 19)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(11, 11)) == []
+
+    def test_scan_includes_duplicates(self):
+        tree = make_tree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.insert(6, "c")
+        assert [value for _, value in tree.range_scan(5, 6)] == ["a", "b", "c"]
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        assert tree.remove(1, "a") is True
+        assert tree.search(1) == []
+        assert len(tree) == 0
+
+    def test_remove_missing_key(self):
+        tree = make_tree()
+        assert tree.remove(1, "a") is False
+
+    def test_remove_missing_value(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        assert tree.remove(1, "b") is False
+        assert len(tree) == 1
+
+    def test_remove_one_duplicate(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a")
+        assert tree.search(1) == ["b"]
+
+    def test_remove_many_with_rebalancing(self):
+        tree = make_tree(order=3)
+        for key in range(200):
+            tree.insert(key, key)
+        for key in range(0, 200, 2):
+            assert tree.remove(key, key)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1, 200, 2))
+
+    def test_remove_all(self):
+        tree = make_tree(order=3)
+        for key in range(50):
+            tree.insert(key, key)
+        for key in range(50):
+            assert tree.remove(key, key)
+        assert len(tree) == 0
+        assert list(tree.keys()) == []
+
+
+class TestBufferedTree:
+    def test_searches_touch_pages(self):
+        store = PageStore()
+        buffer = BufferManager(capacity=100)
+        tree = BPlusTree(store, buffer, order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        before = buffer.stats.logical_reads
+        tree.search(50)
+        assert buffer.stats.logical_reads > before
+
+    def test_deep_tree_touches_more_pages_than_shallow(self):
+        store = PageStore()
+        buffer = BufferManager(capacity=1000)
+        shallow = BPlusTree(store, buffer, order=512)
+        deep = BPlusTree(store, buffer, order=4)
+        for key in range(300):
+            shallow.insert(key, key)
+            deep.insert(key, key)
+        buffer.reset_stats()
+        shallow.search(250)
+        shallow_reads = buffer.stats.logical_reads
+        buffer.reset_stats()
+        deep.search(250)
+        assert buffer.stats.logical_reads > shallow_reads

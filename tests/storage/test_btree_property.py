@@ -1,0 +1,66 @@
+"""Property-based tests: the B+ tree behaves like a sorted multimap."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BPlusTree
+
+# (op, key, value) triples: insert or remove.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove"]),
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=300,
+)
+
+
+@given(ops=_ops, order=st.integers(min_value=3, max_value=8))
+@settings(max_examples=120, deadline=None)
+def test_matches_reference_multimap(ops, order):
+    tree = BPlusTree(order=order)
+    reference: dict[int, list[int]] = defaultdict(list)
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            reference[key].append(value)
+        else:
+            expected = value in reference[key]
+            assert tree.remove(key, value) == expected
+            if expected:
+                reference[key].remove(value)
+    tree.check_invariants()
+    live = {key: values for key, values in reference.items() if values}
+    assert len(tree) == sum(len(values) for values in live.values())
+    for key, values in live.items():
+        assert sorted(tree.search(key)) == sorted(values)
+    assert list(tree.keys()) == sorted(live)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=-100, max_value=100), max_size=200),
+    low=st.integers(min_value=-100, max_value=100),
+    high=st.integers(min_value=-100, max_value=100),
+    include_low=st.booleans(),
+    include_high=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_range_scan_matches_filter(keys, low, high, include_low, include_high):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.insert(key, key)
+    scanned = [
+        key
+        for key, _ in tree.range_scan(
+            low, high, include_low=include_low, include_high=include_high
+        )
+    ]
+    expected = sorted(
+        key
+        for key in keys
+        if (key > low or (include_low and key == low))
+        and (key < high or (include_high and key == high))
+    )
+    assert scanned == expected

@@ -1,0 +1,44 @@
+"""Property test: the buffer manager implements exact LRU with
+write-back-on-eviction, checked against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.pages import BufferManager
+
+_ACCESSES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.booleans()),
+    max_size=400,
+)
+
+
+@given(accesses=_ACCESSES, capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=150, deadline=None)
+def test_matches_reference_lru(accesses, capacity):
+    buffer = BufferManager(capacity=capacity)
+
+    resident: OrderedDict[int, bool] = OrderedDict()  # page -> dirty
+    hits = misses = writebacks = 0
+    for page, write in accesses:
+        expected_hit = page in resident
+        if expected_hit:
+            hits += 1
+            resident.move_to_end(page)
+            if write:
+                resident[page] = True
+        else:
+            misses += 1
+            resident[page] = write
+            if len(resident) > capacity:
+                _evicted, dirty = resident.popitem(last=False)
+                if dirty:
+                    writebacks += 1
+        assert buffer.touch(page, write=write) == expected_hit
+
+    assert buffer.stats.hits == hits
+    assert buffer.stats.misses == misses
+    assert buffer.stats.writebacks == writebacks
+    assert buffer.resident_count == len(resident)
+    assert buffer.stats.logical_reads == len(accesses)
+    assert buffer.stats.logical_writes == sum(1 for _, w in accesses if w)

@@ -1,0 +1,113 @@
+"""Unit tests for the grid file (the paper's MDS)."""
+
+import pytest
+
+from repro.storage.gridfile import GridFile
+from repro.storage.pages import BufferManager, PageStore
+
+
+class TestBasics:
+    def test_insert_and_exact_search(self):
+        grid = GridFile(2, bucket_capacity=4)
+        grid.insert((1.0, 2.0), "a")
+        assert grid.search((1.0, 2.0)) == ["a"]
+        assert grid.search((2.0, 1.0)) == []
+
+    def test_duplicate_points(self):
+        grid = GridFile(2, bucket_capacity=4)
+        grid.insert((1.0, 2.0), "a")
+        grid.insert((1.0, 2.0), "b")
+        assert sorted(grid.search((1.0, 2.0))) == ["a", "b"]
+
+    def test_remove(self):
+        grid = GridFile(1, bucket_capacity=4)
+        grid.insert((5,), "x")
+        assert grid.remove((5,), "x") is True
+        assert grid.remove((5,), "x") is False
+        assert len(grid) == 0
+
+    def test_dimension_mismatch(self):
+        grid = GridFile(2)
+        with pytest.raises(ValueError):
+            grid.insert((1.0,), "a")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GridFile(0)
+
+    def test_splitting_grows_scales(self):
+        grid = GridFile(2, bucket_capacity=4)
+        for index in range(50):
+            grid.insert((float(index), float(index % 7)), index)
+        assert any(grid.scales)
+        assert len(grid) == 50
+        for index in range(50):
+            assert grid.search((float(index), float(index % 7))) == [index]
+
+    def test_identical_points_overflow_allowed(self):
+        # All points equal: no boundary can separate them; the bucket is
+        # allowed to exceed capacity rather than loop forever.
+        grid = GridFile(2, bucket_capacity=2)
+        for index in range(10):
+            grid.insert((1.0, 1.0), index)
+        assert len(grid.search((1.0, 1.0))) == 10
+
+
+class TestQueries:
+    @pytest.fixture
+    def grid(self):
+        grid = GridFile(2, bucket_capacity=4)
+        for x in range(10):
+            for y in range(10):
+                grid.insert((x, y), (x, y))
+        return grid
+
+    def test_wildcard_query_returns_everything(self, grid):
+        assert len(list(grid.query([None, None]))) == 100
+
+    def test_exact_coordinate_condition(self, grid):
+        results = [value for _, value in grid.query([3, None])]
+        assert sorted(results) == [(3, y) for y in range(10)]
+
+    def test_range_condition(self, grid):
+        results = [value for _, value in grid.query([(2, 4), (7, 8)])]
+        expected = [(x, y) for x in (2, 3, 4) for y in (7, 8)]
+        assert sorted(results) == expected
+
+    def test_open_range(self, grid):
+        results = [value for _, value in grid.query([(8, None), None])]
+        assert sorted(results) == [(x, y) for x in (8, 9) for y in range(10)]
+
+    def test_point_query_via_conditions(self, grid):
+        results = list(grid.query([5, 5]))
+        assert results == [((5, 5), (5, 5))]
+
+    def test_items(self, grid):
+        assert len(list(grid.items())) == 100
+
+
+class TestBufferCharging:
+    def test_exact_search_touches_one_bucket(self):
+        store = PageStore()
+        buffer = BufferManager(capacity=200)
+        grid = GridFile(2, store, buffer, bucket_capacity=8)
+        for x in range(20):
+            for y in range(20):
+                grid.insert((x, y), x * 100 + y)
+        buffer.reset_stats()
+        grid.search((7, 7))
+        assert buffer.stats.logical_reads == 1
+
+    def test_partial_match_touches_fewer_buckets_than_full_scan(self):
+        store = PageStore()
+        buffer = BufferManager(capacity=500)
+        grid = GridFile(2, store, buffer, bucket_capacity=8)
+        for x in range(20):
+            for y in range(20):
+                grid.insert((x, y), x)
+        buffer.reset_stats()
+        list(grid.query([(3, 4), None]))
+        partial = buffer.stats.logical_reads
+        buffer.reset_stats()
+        list(grid.query([None, None]))
+        assert partial < buffer.stats.logical_reads

@@ -1,0 +1,59 @@
+"""Property-based tests: the grid file behaves like a point multiset."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.gridfile import GridFile
+
+_points = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+    ),
+    max_size=200,
+)
+
+
+@given(points=_points, capacity=st.integers(min_value=2, max_value=16))
+@settings(max_examples=100, deadline=None)
+def test_exact_search_after_inserts(points, capacity):
+    grid = GridFile(2, bucket_capacity=capacity)
+    for index, point in enumerate(points):
+        grid.insert(point, index)
+    assert len(grid) == len(points)
+    for index, point in enumerate(points):
+        assert index in grid.search(point)
+    # Every stored entry is found by a full wildcard query exactly once.
+    values = sorted(value for _, value in grid.query([None, None]))
+    assert values == list(range(len(points)))
+
+
+@given(
+    points=_points,
+    low_x=st.integers(min_value=-20, max_value=20),
+    high_x=st.integers(min_value=-20, max_value=20),
+    y_exact=st.integers(min_value=-20, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_partial_match_equals_filter(points, low_x, high_x, y_exact):
+    grid = GridFile(2, bucket_capacity=4)
+    for index, point in enumerate(points):
+        grid.insert(point, index)
+    result = sorted(value for _, value in grid.query([(low_x, high_x), y_exact]))
+    expected = sorted(
+        index
+        for index, (x, y) in enumerate(points)
+        if low_x <= x <= high_x and y == y_exact
+    )
+    assert result == expected
+
+
+@given(points=_points)
+@settings(max_examples=60, deadline=None)
+def test_insert_remove_roundtrip(points):
+    grid = GridFile(2, bucket_capacity=4)
+    for index, point in enumerate(points):
+        grid.insert(point, index)
+    for index, point in enumerate(points):
+        assert grid.remove(point, index)
+    assert len(grid) == 0
+    assert list(grid.query([None, None])) == []

@@ -1,0 +1,64 @@
+"""Unit tests for the hash index."""
+
+from repro.storage.hashindex import HashIndex
+from repro.storage.pages import BufferManager, PageStore
+
+
+class TestHashIndex:
+    def test_insert_search(self):
+        index = HashIndex()
+        index.insert(("a", 1), "v1")
+        assert index.search(("a", 1)) == ["v1"]
+        assert index.search(("a", 2)) == []
+
+    def test_duplicates(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert sorted(index.search("k")) == [1, 2]
+
+    def test_remove_specific_value(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert index.remove("k", 1) is True
+        assert index.search("k") == [2]
+        assert index.remove("k", 1) is False
+
+    def test_remove_all(self):
+        index = HashIndex()
+        for value in range(5):
+            index.insert("k", value)
+        index.insert("other", 99)
+        assert index.remove_all("k") == 5
+        assert index.search("k") == []
+        assert index.search("other") == [99]
+
+    def test_contains_key(self):
+        index = HashIndex()
+        index.insert(7, "x")
+        assert index.contains_key(7)
+        assert not index.contains_key(8)
+
+    def test_growth_preserves_entries(self):
+        index = HashIndex()
+        for key in range(1000):
+            index.insert(key, key * 2)
+        assert len(index) == 1000
+        for key in range(1000):
+            assert index.search(key) == [key * 2]
+
+    def test_items(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert sorted(index.items()) == [("a", 1), ("b", 2)]
+
+    def test_buffer_charging(self):
+        store = PageStore()
+        buffer = BufferManager(capacity=100)
+        index = HashIndex(store, buffer)
+        index.insert("k", 1)
+        before = buffer.stats.logical_reads
+        index.search("k")
+        assert buffer.stats.logical_reads == before + 1

@@ -1,0 +1,51 @@
+"""Differential property test: MDS and column storage agree.
+
+The two physical representations of Sec. 3.3 must produce identical
+answers for every operation sequence — inserts, result updates,
+invalidations and range queries.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.gmr_store import GMRStore
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "invalidate", "remove"]),
+        st.integers(min_value=0, max_value=12),   # argument id
+        st.integers(min_value=0, max_value=1),    # function column
+        st.integers(min_value=-50, max_value=50), # result value
+    ),
+    max_size=120,
+)
+
+
+@given(
+    ops=_OPS,
+    low=st.integers(min_value=-50, max_value=50),
+    high=st.integers(min_value=-50, max_value=50),
+)
+@settings(max_examples=120, deadline=None)
+def test_mds_and_columns_agree(ops, low, high):
+    mds = GMRStore("m", arg_count=1, fct_count=2, storage="mds")
+    columns = GMRStore("c", arg_count=1, fct_count=2, storage="columns")
+
+    for op, arg, column, value in ops:
+        args = (f"o{arg}",)
+        if op == "set":
+            mds.set_result(args, column, value)
+            columns.set_result(args, column, value)
+        elif op == "invalidate":
+            assert mds.mark_invalid(args, column) == columns.mark_invalid(
+                args, column
+            )
+        else:
+            assert mds.remove_row(args) == columns.remove_row(args)
+
+    assert len(mds) == len(columns)
+    for column in range(2):
+        assert mds.invalid_args(column) == columns.invalid_args(column)
+        expected = sorted(columns.backward(column, low, high))
+        actual = sorted(mds.backward(column, low, high))
+        assert actual == expected
+        assert sorted(mds.backward(column)) == sorted(columns.backward(column))

@@ -1,0 +1,185 @@
+"""Persistence tests: dump / load round-trips."""
+
+import pytest
+
+from repro import ObjectBase, RestrictionSpec, Strategy, Variable
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+from repro.persistence import (
+    PersistenceError,
+    dump_object_base,
+    from_document,
+    load_object_base,
+    to_document,
+)
+
+
+@pytest.fixture
+def dumped(tmp_path, geometry_db):
+    db, fixture = geometry_db
+    db.create_attr_index("Cuboid", "CuboidID")
+    db.materialize([("Cuboid", "volume"), ("Cuboid", "weight")])
+    path = tmp_path / "base.json"
+    dump_object_base(db, str(path))
+    return db, fixture, path
+
+
+def fresh_db():
+    db = ObjectBase()
+    build_geometry_schema(db)
+    return db
+
+
+class TestRoundTrip:
+    def test_objects_survive(self, dumped):
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        assert len(db.extension("Cuboid")) == 3
+        reloaded = db.handle(fixture.cuboids[0].oid)
+        assert reloaded.CuboidID == 1
+        assert reloaded.Mat.Name == "Iron"
+
+    def test_oids_preserved_and_generator_advanced(self, dumped):
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        existing = {oid.value for oid in db.objects.oids()}
+        fresh = db.new("Material", Name="X", SpecWeight=1.0)
+        assert fresh.oid.value not in existing
+        assert fresh.oid.value > max(existing)
+
+    def test_gmr_extension_survives(self, dumped):
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        gmr = db.gmr_manager.gmr("<<volume, weight>>")
+        assert len(gmr) == 3
+        value, valid = gmr.result((fixture.cuboids[0].oid,), "Cuboid.volume")
+        assert valid and value == pytest.approx(300.0)
+        assert gmr.check_consistency(db) == []
+        assert gmr.is_complete(db)
+
+    def test_maintenance_continues_after_load(self, dumped):
+        """The RRR travelled with the dump: updates still invalidate."""
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        cuboid = db.handle(fixture.cuboids[0].oid)
+        cuboid.scale(create_vertex(db, 2.0, 1.0, 1.0))
+        gmr = db.gmr_manager.gmr("<<volume, weight>>")
+        value, valid = gmr.result((cuboid.oid,), "Cuboid.volume")
+        assert valid and value == pytest.approx(600.0)
+        assert gmr.check_consistency(db) == []
+
+    def test_obj_dep_fct_rebuilt(self, dumped):
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        obj = db.objects.get(fixture.cuboids[0].oid)
+        assert "Cuboid.volume" in obj.obj_dep_fct
+
+    def test_attr_index_rebuilt(self, dumped):
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        index = db.attr_index("Cuboid", "CuboidID")
+        assert index is not None
+        assert index.search(2)
+
+    def test_queries_work_after_load(self, dumped):
+        original, fixture, path = dumped
+        db = fresh_db()
+        load_object_base(db, str(path))
+        result = db.query("range c: Cuboid retrieve c where c.volume > 250.0")
+        assert [h.oid for h in result] == [fixture.cuboids[0].oid]
+
+
+class TestEdgeCases:
+    def test_load_requires_empty_base(self, dumped):
+        _, _, path = dumped
+        db = fresh_db()
+        build_figure2_database(db)
+        with pytest.raises(PersistenceError):
+            load_object_base(db, str(path))
+
+    def test_format_version_checked(self, geometry_db):
+        db, _ = geometry_db
+        document = to_document(db)
+        document["format"] = 999
+        with pytest.raises(PersistenceError):
+            from_document(fresh_db(), document)
+
+    def test_lazy_invalid_rows_survive_as_invalid(self, tmp_path):
+        db = ObjectBase()
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        gmr = db.materialize([("Cuboid", "volume")], strategy=Strategy.LAZY)
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        path = tmp_path / "lazy.json"
+        dump_object_base(db, str(path))
+
+        reloaded = fresh_db()
+        load_object_base(reloaded, str(path))
+        restored = reloaded.gmr_manager.gmr("<<volume>>")
+        assert not restored.is_valid("Cuboid.volume")
+        # First access recomputes the fresh value.
+        assert reloaded.handle(fixture.cuboids[0].oid).volume() == pytest.approx(
+            600.0
+        )
+        assert restored.check_consistency(reloaded) == []
+
+    def test_non_serializable_results_reload_invalid(self, tmp_path, company_db):
+        db, fixture = company_db
+        gmr = db.materialize([("Company", "matrix")])
+        path = tmp_path / "company.json"
+        dump_object_base(db, str(path))
+
+        reloaded = ObjectBase()
+        from repro.domains.company import build_company_schema
+
+        build_company_schema(reloaded)
+        load_object_base(reloaded, str(path))
+        restored = reloaded.gmr_manager.gmr("<<matrix>>")
+        assert not restored.is_valid("Company.matrix")
+        lines = reloaded.handle(fixture.company.oid).matrix()
+        assert lines  # recomputed on demand
+        assert restored.is_valid("Company.matrix")
+
+    def test_restricted_gmr_needs_spec(self, tmp_path, geometry_db):
+        db, _ = geometry_db
+        db.query(
+            'range c: Cuboid materialize c.volume where c.Mat.Name = "Iron"'
+        )
+        path = tmp_path / "restricted.json"
+        dump_object_base(db, str(path))
+
+        with pytest.raises(PersistenceError):
+            load_object_base(fresh_db(), str(path))
+
+    def test_restricted_gmr_round_trip(self, tmp_path, geometry_db):
+        db, fixture = geometry_db
+        db.query(
+            'range c: Cuboid materialize c.volume where c.Mat.Name = "Iron"'
+        )
+        name = db.gmr_manager.gmrs()[0].name
+        path = tmp_path / "restricted.json"
+        dump_object_base(db, str(path))
+
+        spec = RestrictionSpec(
+            predicate=Variable("c", ("Mat", "Name")).eq("Iron"),
+            var_names=("c",),
+        )
+        reloaded = fresh_db()
+        load_object_base(reloaded, str(path), restrictions={name: spec})
+        gmr = reloaded.gmr_manager.gmr(name)
+        assert len(gmr) == 2
+        # Predicate maintenance still works after the reload.
+        reloaded.handle(fixture.cuboids[2].oid).set_Mat(
+            db.handle(fixture.iron.oid).oid
+        )
+        assert len(gmr) == 3
+        assert gmr.is_complete(reloaded)

@@ -1,0 +1,81 @@
+"""Deterministic RNG and weighted choice tests."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng, WeightedChoice
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        first = DeterministicRng(42)
+        second = DeterministicRng(42)
+        assert [first.random() for _ in range(10)] == [
+            second.random() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRng(1).random() != DeterministicRng(2).random()
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = DeterministicRng(42)
+        fork_a = base.fork(1)
+        fork_b = DeterministicRng(42).fork(1)
+        assert fork_a.random() == fork_b.random()
+        assert DeterministicRng(42).fork(1).random() != DeterministicRng(
+            42
+        ).fork(2).random()
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRng(7)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(7)
+        values = {rng.randint(1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(7)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 2)
+        assert len(sample) == 2 and set(sample) <= set(items)
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        choice = WeightedChoice([(1.0, "only")])
+        rng = DeterministicRng(1)
+        assert all(choice.draw(rng) == "only" for _ in range(10))
+
+    def test_zero_weight_never_drawn(self):
+        choice = WeightedChoice([(0.0, "never"), (1.0, "always")])
+        rng = DeterministicRng(1)
+        assert all(choice.draw(rng) == "always" for _ in range(100))
+
+    def test_relative_frequencies(self):
+        choice = WeightedChoice([(0.9, "common"), (0.1, "rare")])
+        rng = DeterministicRng(5)
+        draws = [choice.draw(rng) for _ in range(2000)]
+        ratio = draws.count("common") / len(draws)
+        assert 0.85 < ratio < 0.95
+
+    def test_weights_need_not_be_normalized(self):
+        choice = WeightedChoice([(3, "a"), (1, "b")])
+        rng = DeterministicRng(5)
+        draws = [choice.draw(rng) for _ in range(2000)]
+        assert 0.70 < draws.count("a") / len(draws) < 0.80
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedChoice([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedChoice([(-1.0, "a"), (2.0, "b")])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedChoice([(0.0, "a")])

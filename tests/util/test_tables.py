@@ -1,0 +1,30 @@
+"""Table-rendering tests."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Blong"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert all(len(line) <= len(lines[1]) + 10 for line in lines)
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = format_table(["X"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["V"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
