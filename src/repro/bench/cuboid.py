@@ -167,9 +167,24 @@ class CuboidApplication:
         "T": u_translate,
     }
 
-    def run_mix(self, mix: OperationMix, rng: DeterministicRng) -> None:
-        for code in mix.stream(rng):
-            self._DISPATCH[code](self, rng)
+    def run_mix(
+        self,
+        mix: OperationMix,
+        rng: DeterministicRng,
+        *,
+        batch_size: int | None = None,
+    ) -> None:
+        """Run the mix; ``batch_size`` groups the operation stream into
+        ``db.batch()`` scopes of that many operations (queries inside a
+        chunk force a flush, so mixed chunks stay correct)."""
+        if batch_size is None:
+            for code in mix.stream(rng):
+                self._DISPATCH[code](self, rng)
+            return
+        for chunk in mix.chunked_stream(rng, batch_size):
+            with self.db.batch():
+                for code in chunk:
+                    self._DISPATCH[code](self, rng)
 
 
 def _sweep(

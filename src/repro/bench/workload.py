@@ -53,3 +53,29 @@ class OperationMix:
     def stream(self, rng: DeterministicRng) -> Iterator[str]:
         for _ in range(self.operations):
             yield self.draw(rng)
+
+    def chunked_stream(
+        self, rng: DeterministicRng, batch_size: int
+    ) -> Iterator[Iterator[str]]:
+        """The same operation stream, grouped into batches of at most
+        ``batch_size`` codes (the batched-maintenance ablation runs each
+        chunk inside one ``db.batch()`` scope).
+
+        Each chunk is a *lazy* iterator: codes are drawn as the consumer
+        advances it.  Benchmark drivers draw operation parameters from
+        the same rng between codes, so eager per-chunk drawing would
+        reorder the draw sequence relative to :meth:`stream` and the
+        batched run would perform different operations.  Consume each
+        chunk fully before requesting the next."""
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        emitted = 0
+        while emitted < self.operations:
+            take = min(batch_size, self.operations - emitted)
+            emitted += take
+
+            def chunk(count: int = take) -> Iterator[str]:
+                for _ in range(count):
+                    yield self.draw(rng)
+
+            yield chunk()

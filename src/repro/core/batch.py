@@ -1,0 +1,228 @@
+"""Batched update notification (the deferred-maintenance pipeline).
+
+The paper's cost analysis (Sec. 5, Figures 7–11) charges every
+elementary update one RRR probe.  Under heavy update traffic most of
+those probes are redundant: a single ``scale`` touches twelve vertex
+coordinates of the same four vertices, and a bulk load touches the same
+objects over and over.  Datalog-materialisation maintenance systems
+solve this by *batching* deltas and running the maintenance rules once
+per batch instead of once per elementary update; this module is the
+analogue for the GMR manager.
+
+While a batch is open (``with db.batch(): ...``) the rewritten update
+operations do not call :meth:`GMRManager.invalidate` /
+:meth:`GMRManager.new_object` / :meth:`GMRManager.forget_object`
+directly.  Instead the notifications are appended to an
+:class:`InvalidationQueue` which
+
+* **coalesces** repeated ``(oid, fct)`` invalidations — the second and
+  later notifications for the same object merge into the first pending
+  event, so the flush performs **one** grouped RRR probe per distinct
+  object instead of one per elementary update;
+* **merges** ``forget_object`` with a pending invalidation of the same
+  object — the deletion's wholesale ``pop_object`` probe subsumes the
+  invalidation's per-function probes;
+* preserves **event order** around extension adaptations: a pending
+  ``create``/``forget`` acts as a coalescing *barrier*, because merging
+  an invalidation across it would re-order maintenance against the
+  adaptation of Sec. 4.2 and change which rows end up invalid.
+
+The flush replays the queue in order, so the final GMR state (values
+*and* validity flags) is identical to unbatched maintenance; the
+differential update-equivalence suite in
+``tests/core/test_batch_equivalence.py`` asserts exactly that across
+every instrumentation level and strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.gom.oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import GMRManager
+
+
+@dataclass
+class InvalidationEvent:
+    """One pending (coalesced) ``invalidate`` notification."""
+
+    oid: Oid
+    #: Explicitly named function ids (levels SCHEMA_DEP and above).
+    fids: set[str] = field(default_factory=set)
+    #: True when a NAIVE-level notification asked for "all functions in
+    #: the RRR"; resolved against the RRR at flush time (which matches
+    #: the unbatched resolution point because the replay is in order).
+    all_fids: bool = False
+    #: Functions excluded from *every* merged all-fids notification
+    #: (compensating actions, Sec. 5.4): the intersection of the
+    #: individual excludes — a function is only skipped if every update
+    #: that would have probed it was compensated.
+    all_exclude: set[str] = field(default_factory=set)
+    #: How many elementary notifications merged into this event.
+    merged: int = 1
+
+    def absorb(
+        self, fcts: Iterable[str] | None, exclude: frozenset[str]
+    ) -> None:
+        if fcts is None:
+            if self.all_fids:
+                self.all_exclude &= set(exclude)
+            else:
+                self.all_fids = True
+                self.all_exclude = set(exclude)
+        else:
+            self.fids.update(set(fcts) - set(exclude))
+        self.merged += 1
+
+
+@dataclass
+class CreateEvent:
+    """A deferred extension adaptation for a new argument object."""
+
+    oid: Oid
+    type_name: str
+
+
+@dataclass
+class ForgetEvent:
+    """A deferred ``forget_object``, possibly carrying a folded-in
+    invalidation of the same object (one grouped RRR probe serves
+    both)."""
+
+    oid: Oid
+    folded: InvalidationEvent | None = None
+
+
+class InvalidationQueue:
+    """Order-preserving queue of deferred GMR maintenance events."""
+
+    def __init__(self) -> None:
+        self._events: list[object] = []
+        #: Coalescing map: oid → its open InvalidationEvent.  Cleared at
+        #: every create/forget barrier.
+        self._open_inv: dict[Oid, InvalidationEvent] = {}
+        #: Pending create adaptations by oid (for create+delete elision).
+        self._creates: dict[Oid, CreateEvent] = {}
+        #: Notifications absorbed without a new event (probes saved).
+        self.coalesced = 0
+        #: Total notifications enqueued (events + coalesced).
+        self.notifications = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def has_creates(self) -> bool:
+        """Whether a create adaptation is pending.
+
+        While one is, the OBJ_DEP/INFO_HIDING update paths must not
+        filter notifications through ``ObjDepFct``: the marking of an
+        object created inside the batch only materializes at flush, so
+        the eager filter would drop invalidations the unbatched pipeline
+        performs.  The notification paths fall back to SchemaDepFct
+        granularity until the next flush.
+        """
+        return bool(self._creates)
+
+    # -- enqueueing ------------------------------------------------------------
+
+    def note_invalidate(
+        self,
+        oid: Oid,
+        fcts: Iterable[str] | None,
+        exclude: frozenset[str] = frozenset(),
+    ) -> bool:
+        """Record an ``invalidate`` notification; returns True when it
+        merged into an already pending event (an RRR probe saved)."""
+        self.notifications += 1
+        event = self._open_inv.get(oid)
+        if event is not None:
+            event.absorb(fcts, exclude)
+            self.coalesced += 1
+            return True
+        event = InvalidationEvent(oid)
+        if fcts is None:
+            event.all_fids = True
+            event.all_exclude = set(exclude)
+        else:
+            event.fids = set(fcts) - set(exclude)
+        self._events.append(event)
+        self._open_inv[oid] = event
+        return False
+
+    def note_create(self, oid: Oid, type_name: str) -> None:
+        """Record a deferred extension adaptation for a new object."""
+        self.notifications += 1
+        event = CreateEvent(oid, type_name)
+        self._events.append(event)
+        self._creates[oid] = event
+        self._open_inv.clear()  # barrier: no coalescing across adaptations
+
+    def note_forget(self, oid: Oid) -> bool:
+        """Record a deferred ``forget_object``.
+
+        A pending invalidation of the same object folds into the forget
+        (its probe is subsumed by the deletion's ``pop_object``); a
+        pending *create* of the same object cancels out entirely —
+        the object never reached any extension.  Returns True when a
+        probe was saved by folding or elision.
+        """
+        self.notifications += 1
+        saved = False
+        created = self._creates.pop(oid, None)
+        if created is not None:
+            self._events.remove(created)
+            saved = True
+        folded = self._open_inv.pop(oid, None)
+        if folded is not None:
+            self._events.remove(folded)
+            self.coalesced += 1  # the folded event's own probe is saved
+            saved = True
+        self._events.append(ForgetEvent(oid, folded))
+        self._open_inv.clear()  # barrier, like note_create
+        return saved
+
+    # -- draining --------------------------------------------------------------
+
+    def drain(self) -> list[object]:
+        """Return the pending events in order and reset the queue."""
+        events = self._events
+        self._events = []
+        self._open_inv = {}
+        self._creates = {}
+        return events
+
+
+class UpdateBatch:
+    """Context manager opening one batched-maintenance scope.
+
+    Nested batches are re-entrant: only the outermost exit flushes.  The
+    flush also runs when the body raises — the elementary updates have
+    already been applied physically, so the materializations must be
+    brought back in sync regardless.
+    """
+
+    def __init__(self, manager: "GMRManager") -> None:
+        self._manager = manager
+        #: Filled at exit: how many elementary notifications this batch
+        #: absorbed and how many RRR probes coalescing saved.
+        self.notifications = 0
+        self.probes_saved = 0
+
+    def __enter__(self) -> "UpdateBatch":
+        self._manager._batch_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        manager = self._manager
+        manager._batch_depth -= 1
+        if manager._batch_depth == 0:
+            queue = manager._queue
+            self.notifications = queue.notifications
+            self.probes_saved = queue.coalesced
+            queue.notifications = 0
+            queue.coalesced = 0
+            manager.flush_batch()

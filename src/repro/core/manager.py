@@ -24,12 +24,20 @@ from dataclasses import dataclass
 from itertools import product
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from repro.core.batch import (
+    CreateEvent,
+    ForgetEvent,
+    InvalidationEvent,
+    InvalidationQueue,
+    UpdateBatch,
+)
 from repro.core.compensation import CompensatingAction, CompensationTable
 from repro.core.dependencies import DependencyIndex
 from repro.core.function_registry import FunctionInfo, function_id
 from repro.core.gmr import GMR
 from repro.core.restricted import RestrictionSpec, validate_atomic_restrictions
 from repro.core.rrr import ReverseReferenceRelation
+from repro.core.scheduler import RevalidationScheduler
 from repro.core.strategies import Strategy
 from repro.errors import CompensationError, GMRDefinitionError
 from repro.gom.oid import Oid
@@ -62,6 +70,17 @@ class ManagerStats:
     rows_created: int = 0
     rows_removed: int = 0
     blind_rows_removed: int = 0
+    #: Update notifications absorbed by an open batch instead of being
+    #: processed eagerly (the batching pipeline's input volume).
+    batched_invalidations: int = 0
+    #: RRR probes avoided by batching: notifications that coalesced into
+    #: an already pending event (or folded into a forget) and therefore
+    #: never performed their own probe.
+    rrr_probes_saved: int = 0
+    #: Batch flushes performed (including query-forced mid-batch ones).
+    batch_flushes: int = 0
+    #: Entries rematerialized by the revalidation scheduler's drain.
+    scheduler_revalidations: int = 0
 
     def snapshot(self) -> "ManagerStats":
         return ManagerStats(**vars(self))
@@ -87,6 +106,10 @@ class GMRManager:
         self._rrr = ReverseReferenceRelation(db.page_store, db.buffer)
         self._ca = CompensationTable()
         self.stats = ManagerStats()
+        self.scheduler = RevalidationScheduler(self)
+        self._queue = InvalidationQueue()
+        self._batch_depth = 0
+        self._flushing = False
         #: RRR maintenance policy (Sec. 4.1): ``"remove"`` removes entries
         #: in step 1 of the invalidation algorithms and lets the
         #: rematerialization re-insert them; ``"second_chance"`` marks
@@ -340,6 +363,112 @@ class GMRManager:
         obj.obj_dep_fct.update(current)
 
     # ------------------------------------------------------------------
+    # Batched maintenance (the deferred-notification pipeline)
+    # ------------------------------------------------------------------
+
+    @property
+    def batching(self) -> bool:
+        """Whether notifications are currently deferred into the queue."""
+        return self._batch_depth > 0 and not self._flushing
+
+    @property
+    def batch_conservative(self) -> bool:
+        """Whether batch-mode notifications must skip the ObjDepFct
+        filter (a create adaptation is pending, so markings of in-batch
+        objects are not materialized yet — see
+        :attr:`InvalidationQueue.has_creates`)."""
+        return self.batching and self._queue.has_creates
+
+    def batch(self) -> UpdateBatch:
+        """Open a batched-maintenance scope (see :mod:`repro.core.batch`).
+
+        Usually entered via :meth:`ObjectBase.batch`.
+        """
+        return UpdateBatch(self)
+
+    def flush_batch(self) -> int:
+        """Replay all deferred maintenance events in order.
+
+        Called at batch exit and — to preserve query correctness —
+        before any forward or backward query while a batch is open.
+        Each invalidation event performs one grouped RRR probe for its
+        object, however many elementary updates coalesced into it.
+        Returns the number of events processed.
+        """
+        if not len(self._queue):
+            return 0
+        events = self._queue.drain()
+        self._flushing = True
+        try:
+            for event in events:
+                if isinstance(event, InvalidationEvent):
+                    relevant = set(event.fids)
+                    if event.all_fids:
+                        relevant |= (
+                            self._rrr.fids_of(event.oid) - event.all_exclude
+                        )
+                    self.invalidate(event.oid, relevant)
+                elif isinstance(event, CreateEvent):
+                    if self._db.objects.exists(event.oid):
+                        self.new_object(event.oid, event.type_name)
+                else:
+                    assert isinstance(event, ForgetEvent)
+                    self._forget_grouped(event)
+        finally:
+            self._flushing = False
+        self.stats.batch_flushes += 1
+        return len(events)
+
+    def _forget_grouped(self, event: ForgetEvent) -> None:
+        """Process a deferred deletion, serving a folded-in invalidation
+        of the same object from the single ``pop_object`` probe."""
+        oid = event.oid
+        folded = event.folded
+        inv_fids: set[str] = set()
+        by_fct = self._rrr.pop_object(oid)
+        if folded is not None:
+            inv_fids = set(folded.fids)
+            if folded.all_fids:
+                inv_fids |= set(by_fct) - folded.all_exclude
+            self.stats.invalidate_calls += 1  # the merged probe
+        if self._db.objects.exists(oid):
+            self._db.objects.get(oid).obj_dep_fct.clear()
+        affected = 0
+        for fid, args_set in by_fct.items():
+            gmr = self._gmr_of_fid.get(fid)
+            if gmr is None:
+                continue
+            process = fid in inv_fids
+            for args in args_set:
+                if oid in args:
+                    # The forget_object part: drop the deleted object's
+                    # own rows; any folded invalidation of them is moot.
+                    if gmr.remove_row(args):
+                        self.stats.rows_removed += 1
+                    continue
+                if not process:
+                    continue  # entry dropped; the row becomes blind
+                if fid == gmr.predicate_fid:
+                    self._predicate_update(gmr, args)
+                    affected += 1
+                elif gmr.strategy.marks_only:
+                    if gmr.mark_invalid(args, fid) and (
+                        gmr.strategy is Strategy.DEFERRED
+                    ):
+                        self.scheduler.schedule(gmr, fid, args)
+                    affected += 1
+                else:
+                    if gmr.lookup(args) is None:
+                        continue
+                    if not self._args_alive(args):
+                        gmr.remove_row(args)
+                        self.stats.blind_rows_removed += 1
+                        continue
+                    self._rematerialize(gmr, fid, args)
+                    affected += 1
+        self.stats.entries_invalidated += affected
+
+    # ------------------------------------------------------------------
     # Invalidation (Sec. 4.1)
     # ------------------------------------------------------------------
 
@@ -352,7 +481,18 @@ class GMRManager:
     ) -> int:
         """Handle an update of ``oid``; returns the number of affected
         entries.  ``fcts=None`` is the naive variant (Figure 4): the RRR
-        is searched for every function."""
+        is searched for every function.
+
+        While a batch is open the notification is deferred into the
+        queue (coalescing with pending notifications for ``oid``) and 0
+        is returned; the work happens at the next flush.
+        """
+        if self.batching:
+            merged = self._queue.note_invalidate(oid, fcts, exclude)
+            self.stats.batched_invalidations += 1
+            if merged:
+                self.stats.rrr_probes_saved += 1
+            return 0
         self.stats.invalidate_calls += 1
         if fcts is None:
             relevant = self._rrr.fids_of(oid)
@@ -381,11 +521,14 @@ class GMRManager:
                     self._predicate_update(gmr, args)
                     affected += 1
                 continue
-            if gmr.strategy is Strategy.LAZY:
+            if gmr.strategy.marks_only:
                 for args in args_set:
                     # A missing row is a blind reference (Sec. 4.2): the
                     # popped entry was the stale leftover; nothing to do.
-                    gmr.mark_invalid(args, fid)
+                    if gmr.mark_invalid(args, fid) and (
+                        gmr.strategy is Strategy.DEFERRED
+                    ):
+                        self.scheduler.schedule(gmr, fid, args)
                     affected += 1
             else:
                 for args in args_set:
@@ -401,9 +544,8 @@ class GMRManager:
         return affected
 
     def _args_alive(self, args: tuple) -> bool:
-        objects = self._db.objects
-        return all(
-            objects.exists(arg) for arg in args if isinstance(arg, Oid)
+        return self._db.objects.exists_all(
+            arg for arg in args if isinstance(arg, Oid)
         )
 
     def _predicate_update(self, gmr: GMR, args: tuple) -> None:
@@ -431,6 +573,10 @@ class GMRManager:
     def new_object(self, oid: Oid, type_name: str) -> None:
         """Insert GMR entries for every argument combination containing
         the new object (complete GMRs only)."""
+        if self.batching:
+            self._queue.note_create(oid, type_name)
+            self.stats.batched_invalidations += 1
+            return
         schema = self._db.schema
         for gmr in self._gmrs.values():
             if not gmr.complete or gmr.strategy is Strategy.SNAPSHOT:
@@ -454,6 +600,11 @@ class GMRManager:
         """Remove the deleted object's RRR entries and every GMR entry it
         was an argument of; other references become blind and are cleaned
         lazily (Sec. 4.2)."""
+        if self.batching:
+            if self._queue.note_forget(oid):
+                self.stats.rrr_probes_saved += 1
+            self.stats.batched_invalidations += 1
+            return
         by_fct = self._rrr.pop_object(oid)
         if self._db.objects.exists(oid):
             self._db.objects.get(oid).obj_dep_fct.clear()
@@ -596,7 +747,12 @@ class GMRManager:
         Serves valid entries from the GMR; (re-)computes invalid or
         missing entries (updating the GMR, unless the arguments fall
         outside a restriction — then the "normal" function answers).
+        A query inside an open batch forces a flush first: the answer
+        must reflect every elementary update already applied.
         """
+        if self.batching:
+            self.flush_batch()
+        self.scheduler.note_query(fid)
         gmr = self._gmr_of_fid.get(fid)
         if gmr is None:
             raise GMRDefinitionError(f"{fid} is not materialized")
@@ -635,7 +791,10 @@ class GMRManager:
             self._rrr_remove(oid, fid, args)
         for fid in gmr.fids:
             for args in gmr.args():
-                gmr.mark_invalid(args, fid)
+                if gmr.mark_invalid(args, fid) and (
+                    gmr.strategy is Strategy.DEFERRED
+                ):
+                    self.scheduler.schedule(gmr, fid, args)
 
     def revalidate(self, gmr: GMR, fid: str | None = None) -> int:
         """Rematerialize every invalid entry (the paper's low-load sweep)."""
@@ -704,6 +863,8 @@ class GMRManager:
         immediate strategies cost the same for backward-query-only mixes,
         Fig. 13).
         """
+        if self.batching:
+            self.flush_batch()
         gmr = self._gmr_of_fid.get(fid)
         if gmr is None:
             raise GMRDefinitionError(f"{fid} is not materialized")

@@ -41,11 +41,17 @@ class ReverseReferenceRelation:
         self._entries: dict[Oid, dict[str, dict[tuple, bool]]] = {}
         self._placements: dict[Oid, Placement] = {}
         self._size = 0
+        #: Total probes (per-object bucket accesses).  Every maintenance
+        #: or lookup call charges exactly one probe — this is the unit
+        #: the paper's Sec. 5 cost model charges per elementary update,
+        #: and the quantity the batching pipeline drives down.
+        self.probes = 0
 
     def __len__(self) -> int:
         return self._size
 
     def _touch(self, oid: Oid, *, write: bool = False) -> None:
+        self.probes += 1
         if self._pages is None or self._buffer is None:
             return
         placement = self._placements.get(oid)

@@ -1,0 +1,123 @@
+"""Deferred revalidation (the paper's "load falls below a threshold").
+
+Sec. 4.1 sketches lazy rematerialization: an invalidated result is only
+recomputed "as soon as [it] is needed in some application or the system
+load falls below a predefined threshold".  The existing
+:meth:`GMRManager.revalidate` is the unbounded low-load sweep; this
+module adds the *scheduled* variant the quoted sentence implies — a
+priority queue of invalidated entries that a background/idle loop drains
+under an explicit time or row budget.
+
+Entries are prioritised by ``(observed forward-query frequency of the
+function, staleness)``: hot functions are brought back to validity
+first, because their invalid entries are the ones most likely to force
+an on-demand recomputation inside a latency-sensitive forward query;
+among equally hot functions the stalest (earliest-invalidated) entry
+wins.  Query frequencies are observed from the manager's forward-query
+stream (the per-function refinement of ``ManagerStats.forward_hits`` /
+``forward_computes``).
+
+The :data:`~repro.core.strategies.Strategy.DEFERRED` strategy feeds this
+queue: an invalidation marks the entry invalid exactly like ``LAZY`` and
+additionally schedules it here, so ``revalidate()`` can bring the
+extension back to full validity without waiting for the next backward
+query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gmr import GMR
+    from repro.core.manager import GMRManager
+
+
+class RevalidationScheduler:
+    """Priority-ordered drain of invalidated GMR entries."""
+
+    def __init__(self, manager: "GMRManager") -> None:
+        self._manager = manager
+        #: Heap of ``(-frequency, seq, fid, args)``; frequency is the
+        #: function's forward-query count at scheduling time, ``seq`` a
+        #: monotone counter so equal-frequency entries drain stalest
+        #: first (heapq is a min-heap, so smaller seq pops earlier).
+        self._heap: list[tuple[int, int, str, tuple]] = []
+        self._queued: set[tuple[str, tuple]] = set()
+        self._seq = 0
+        #: Forward queries observed per function id.
+        self.query_frequency: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def pending(self) -> int:
+        return len(self._queued)
+
+    def note_query(self, fid: str) -> None:
+        """Record one forward query of ``fid`` (frequency signal)."""
+        self.query_frequency[fid] = self.query_frequency.get(fid, 0) + 1
+
+    def schedule(self, gmr: "GMR", fid: str, args: tuple) -> bool:
+        """Queue one invalidated entry; returns False when already
+        queued (re-invalidating a still-invalid entry is a no-op)."""
+        key = (fid, args)
+        if key in self._queued:
+            return False
+        self._seq += 1
+        frequency = self.query_frequency.get(fid, 0)
+        heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
+        self._queued.add(key)
+        return True
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._queued.clear()
+
+    def revalidate(
+        self,
+        *,
+        max_entries: int | None = None,
+        time_budget: float | None = None,
+    ) -> int:
+        """Drain the queue, rematerializing under the given budgets.
+
+        ``max_entries`` bounds the number of rematerializations (the row
+        budget); ``time_budget`` is a wall-clock bound in seconds checked
+        before each entry.  With neither, the whole queue drains — the
+        full low-load sweep.  Returns the number of entries revalidated.
+
+        Entries whose row disappeared (deleted via ``forget_object``) or
+        that a forward query already recomputed are skipped for free;
+        blind rows over deleted argument objects are dropped here, like
+        in :meth:`GMRManager.revalidate`.
+        """
+        manager = self._manager
+        started = time.perf_counter()
+        drained = 0
+        while self._heap:
+            if max_entries is not None and drained >= max_entries:
+                break
+            if (
+                time_budget is not None
+                and time.perf_counter() - started >= time_budget
+            ):
+                break
+            _, _, fid, args = heapq.heappop(self._heap)
+            self._queued.discard((fid, args))
+            gmr = manager.gmr_of(fid)
+            if gmr is None:
+                continue  # the GMR is gone; nothing to revalidate
+            row = gmr.lookup(args)
+            if row is None or row.valid[gmr.column_of(fid)]:
+                continue  # row removed or already revalidated on demand
+            if not manager._args_alive(args):
+                gmr.remove_row(args)
+                manager.stats.blind_rows_removed += 1
+                continue
+            manager._rematerialize(gmr, fid, args)
+            manager.stats.scheduler_revalidations += 1
+            drained += 1
+        return drained

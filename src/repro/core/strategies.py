@@ -10,6 +10,15 @@
     :meth:`~repro.core.manager.GMRManager.revalidate` sweep, the paper's
     "load falls below a threshold" case).
 
+``DEFERRED``
+    Like ``LAZY``, the invalidation only marks the result invalid — but
+    it also hands the entry to the
+    :class:`~repro.core.scheduler.RevalidationScheduler`, the paper's
+    "system load falls below a predefined threshold" case: an idle-time
+    drain rematerializes the hottest invalid entries under a time/row
+    budget, so forward queries rarely pay the on-demand recomputation
+    that plain ``LAZY`` defers onto them.
+
 ``SNAPSHOT``
     The Adiba/Lindsay *database snapshot* discipline the paper contrasts
     itself with: updates never touch the extension at all; queries read
@@ -29,4 +38,11 @@ class Strategy(Enum):
 
     IMMEDIATE = "immediate"
     LAZY = "lazy"
+    DEFERRED = "deferred"
     SNAPSHOT = "snapshot"
+
+    @property
+    def marks_only(self) -> bool:
+        """Whether an invalidation only flips the validity flag (the
+        rematerialization itself is deferred)."""
+        return self in (Strategy.LAZY, Strategy.DEFERRED)

@@ -216,6 +216,18 @@ class ObjectBase:
 
         return TransactionScope(self.transactions)
 
+    def batch(self):
+        """``with db.batch():`` — a batched-maintenance scope.
+
+        Elementary updates inside the block apply to the object base
+        immediately, but GMR maintenance notifications are coalesced in
+        an :class:`~repro.core.batch.InvalidationQueue` and replayed at
+        block exit (or before any query issued inside the block): one
+        grouped RRR probe per distinct updated object instead of one per
+        elementary update.  See :mod:`repro.core.batch`.
+        """
+        return self.gmr_manager.batch()
+
     @property
     def materializing(self) -> bool:
         return self._materializing_depth > 0
@@ -326,8 +338,13 @@ class ObjectBase:
         obj = self.objects.get(oid)
         gmr = self._gmr
         if gmr is not None and self.level.notifies:
-            if self.level >= InstrumentationLevel.OBJ_DEP:
+            if (
+                self.level >= InstrumentationLevel.OBJ_DEP
+                and not gmr.batch_conservative
+            ):
                 # Figure 5: check ObjDepFct before bothering the manager.
+                # (With a create pending in an open batch the marking may
+                # not be materialized yet, so the check is skipped.)
                 if obj.obj_dep_fct:
                     gmr.forget_object(oid)
             else:
@@ -592,8 +609,14 @@ class ObjectBase:
             gmr.invalidate(obj.oid, schema_dep - exclude, exclude=exclude)
             return
         # OBJ_DEP and INFO_HIDING (the latter for non-suppressed updates):
-        relevant = obj.obj_dep_fct & schema_dep
-        relevant -= exclude
+        if gmr.batch_conservative:
+            # A create adaptation is pending in the open batch, so
+            # ObjDepFct markings are not up to date — notify at
+            # SchemaDepFct granularity; the flush-time RRR probe drops
+            # functions the object has no entries for.
+            relevant = schema_dep - exclude
+        else:
+            relevant = (obj.obj_dep_fct & schema_dep) - exclude
         if relevant:
             gmr.invalidate(obj.oid, relevant, exclude=exclude)
 
@@ -753,7 +776,10 @@ class ObjectBase:
 
         if post_invalidate and gmr is not None:
             invalidates = self._invalidated_fct(obj.type_name, op_name)
-            relevant = (obj.obj_dep_fct & invalidates) - compensated
+            if gmr.batch_conservative:
+                relevant = invalidates - compensated
+            else:
+                relevant = (obj.obj_dep_fct & invalidates) - compensated
             if relevant:
                 gmr.invalidate(oid, relevant, exclude=compensated)
         return result

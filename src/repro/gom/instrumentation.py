@@ -31,6 +31,17 @@ its update paths branch accordingly:
     a public operation are silent; the public operation itself performs a
     single invalidation based on its ``InvalidatedFct`` set.  Types that
     are not strictly encapsulated fall back to ``OBJ_DEP`` behaviour.
+
+Every level composes with the batched-maintenance pipeline
+(:mod:`repro.core.batch`): inside ``with db.batch():`` the notification
+*decision* is still made per the level above, but the resulting
+``invalidate``/``new_object``/``forget_object`` calls are deferred into
+the manager's queue and coalesced.  One caveat at ``OBJ_DEP`` and
+``INFO_HIDING``: while a ``create`` adaptation is pending in the open
+batch, the ``ObjDepFct`` filter is skipped (markings of objects created
+inside the batch only materialize at flush), falling back to
+``SCHEMA_DEP`` granularity until the next flush — see
+:attr:`repro.core.manager.GMRManager.batch_conservative`.
 """
 
 from __future__ import annotations

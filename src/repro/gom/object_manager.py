@@ -87,6 +87,12 @@ class ObjectManager:
         obj = self._objects.get(oid)
         return obj is not None and not obj.deleted
 
+    def exists_all(self, oids: "Iterable[Oid]") -> bool:
+        """Whether every oid denotes a live object (one liveness sweep
+        for a whole argument tuple — the batched pipeline's blind-row
+        check)."""
+        return all(self.exists(oid) for oid in oids)
+
     def type_of(self, oid: Oid) -> str:
         return self.get(oid).type_name
 

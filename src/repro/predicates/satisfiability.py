@@ -13,16 +13,24 @@ closure forces the variable to exactly that constant.
 (Rosenkrantz & Hunt show its inclusion makes the problem NP-hard) and
 raises :class:`~repro.errors.PredicateClassError`.
 
-The decision is made over a dense domain (the reals).  For discrete
-domains (ints, OIDs) this over-approximates satisfiability, which is the
-*safe* direction for the cover test of Sec. 6: a predicate may be deemed
-"possibly satisfiable" when it is not, so a restricted GMR is never
-applied to a query it does not cover.
+By default the decision is made over a dense domain (the reals).  For
+discrete domains this over-approximates satisfiability, which is the
+*safe* direction for the cover test of Sec. 6 — but it is avoidably
+imprecise: ``c < 2 ∧ a > 1 ∧ a < 2 ∧ a < c`` is satisfiable over the
+reals yet has no integer solution.  Passing ``integer_vars`` declares
+variables integer-typed; every difference constraint between two
+integer nodes (the constant-zero pseudo-node counts as integer) is then
+*tightened* to an equivalent non-strict integral bound before the
+closure — ``a < c`` becomes ``a ≤ c − 1``, ``a ≤ c + 1.5`` becomes
+``a ≤ c + 1`` — which makes the procedure exact over the integers for
+pure-integer conjunctions (difference-constraint systems with integral
+non-strict bounds always admit integral solutions).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import math
+from collections.abc import Collection, Sequence
 from typing import Any
 
 from repro.errors import PredicateClassError
@@ -80,8 +88,25 @@ def _encode_constants(conjunct: Sequence[Comparison]) -> dict[Any, float]:
     return numeric
 
 
-def is_satisfiable(conjunct: Sequence[Comparison]) -> bool:
-    """Decide satisfiability of a conjunction of comparisons."""
+def _is_integer_variable(
+    variable: Variable, integer_vars: Collection[Any]
+) -> bool:
+    """Membership accepts Variable objects or bare variable names."""
+    return variable in integer_vars or variable.name in integer_vars
+
+
+def is_satisfiable(
+    conjunct: Sequence[Comparison],
+    *,
+    integer_vars: Collection[Any] = (),
+) -> bool:
+    """Decide satisfiability of a conjunction of comparisons.
+
+    ``integer_vars`` (Variables or variable names) restricts the named
+    variables to integer values; their bounds are tightened to ``≤``
+    form with integral weights before the difference-constraint check
+    (see the module docstring).
+    """
     constants = _encode_constants(conjunct)
     variables: list[Variable] = [_ZERO]
     index: dict[Variable, int] = {_ZERO: 0}
@@ -130,6 +155,26 @@ def is_satisfiable(conjunct: Sequence[Comparison]) -> bool:
             constrain(right, left, (offset, False))
             constrain(left, right, (-offset, False))
 
+    if integer_vars:
+        # Integer-domain tightening: between two integer nodes (the zero
+        # node is integral by definition) a strict bound ``v - u < w`` is
+        # equivalent to ``v - u ≤ ⌈w⌉ − 1`` and a non-strict ``≤ w`` to
+        # ``≤ ⌊w⌋``.  With every bound integral and non-strict, the
+        # Floyd–Warshall closure is exact over the integers.
+        integral = [
+            variable is _ZERO
+            or _is_integer_variable(variable, integer_vars)
+            for variable in variables
+        ]
+        for (u, v), (weight, strict) in list(edges.items()):
+            if not (integral[u] and integral[v]):
+                continue
+            if strict:
+                weight = math.ceil(weight) - 1
+            else:
+                weight = math.floor(weight)
+            edges[(u, v)] = (float(weight), False)
+
     count = len(variables)
     dist: list[list[_Bound]] = [[_INF] * count for _ in range(count)]
     for position in range(count):
@@ -167,9 +212,14 @@ def is_satisfiable(conjunct: Sequence[Comparison]) -> bool:
     return True
 
 
-def predicate_satisfiable(predicate: Predicate) -> bool:
+def predicate_satisfiable(
+    predicate: Predicate, *, integer_vars: Collection[Any] = ()
+) -> bool:
     """Satisfiability of an arbitrary Boolean combination (via DNF)."""
-    return any(is_satisfiable(conjunct) for conjunct in to_dnf(predicate))
+    return any(
+        is_satisfiable(conjunct, integer_vars=integer_vars)
+        for conjunct in to_dnf(predicate)
+    )
 
 
 def in_decidable_class(predicate: Predicate) -> bool:

@@ -1,0 +1,134 @@
+"""ManagerStats: the batch/scheduler counters and snapshot/delta
+arithmetic under interleaved workloads."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro import InstrumentationLevel, ObjectBase, Strategy
+from repro.core.manager import ManagerStats
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+
+
+def _build(strategy=Strategy.IMMEDIATE):
+    db = ObjectBase(level=InstrumentationLevel.OBJ_DEP)
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    gmr = db.materialize([("Cuboid", "volume")], strategy=strategy)
+    return db, fixture, gmr
+
+
+def test_new_counters_exist_and_start_at_zero():
+    stats = ManagerStats()
+    for name in (
+        "batched_invalidations",
+        "rrr_probes_saved",
+        "batch_flushes",
+        "scheduler_revalidations",
+    ):
+        assert getattr(stats, name) == 0
+
+
+def test_snapshot_covers_every_field():
+    """snapshot()/delta() are built from vars(), so any newly added
+    counter participates automatically — guard that invariant."""
+    stats = ManagerStats()
+    for index, field in enumerate(fields(ManagerStats)):
+        setattr(stats, field.name, index + 1)
+    copy = stats.snapshot()
+    assert vars(copy) == vars(stats)
+    copy.invalidate_calls += 10
+    assert stats.invalidate_calls != copy.invalidate_calls  # independent
+
+
+def test_delta_subtracts_fieldwise():
+    before = ManagerStats(invalidate_calls=3, rrr_probes_saved=1)
+    after = ManagerStats(
+        invalidate_calls=10, rrr_probes_saved=5, batch_flushes=2
+    )
+    delta = after.delta(before)
+    assert delta.invalidate_calls == 7
+    assert delta.rrr_probes_saved == 4
+    assert delta.batch_flushes == 2
+    assert delta.forward_hits == 0
+
+
+def test_batch_counters_under_interleaved_workload():
+    """Interleave two 'clients' — one batching updates, one querying —
+    and check the counters decompose cleanly via snapshot/delta."""
+    db, fixture, gmr = _build()
+    manager = db.gmr_manager
+    updater_hot = fixture.cuboids[0]
+
+    total_before = manager.stats.snapshot()
+    for round_number in range(3):
+        update_before = manager.stats.snapshot()
+        with db.batch():
+            for _ in range(4):  # 4 touches of one object per round
+                updater_hot.scale(create_vertex(db, 1.01, 1.0, 1.0))
+        update_delta = manager.stats.delta(update_before)
+        assert update_delta.batch_flushes == 1
+        assert update_delta.batched_invalidations > 0
+        assert update_delta.rrr_probes_saved > 0
+        # The interleaved querying client: pure reads move only the
+        # forward counters, never the batch counters.
+        query_before = manager.stats.snapshot()
+        for cuboid in fixture.cuboids:
+            cuboid.volume()
+        query_delta = manager.stats.delta(query_before)
+        assert query_delta.forward_hits + query_delta.forward_computes == len(
+            fixture.cuboids
+        )
+        assert query_delta.batched_invalidations == 0
+        assert query_delta.rrr_probes_saved == 0
+        assert query_delta.batch_flushes == 0
+
+    total_delta = manager.stats.delta(total_before)
+    assert total_delta.batch_flushes == 3
+    # Coalescing saved at least (touches - 1) probes per distinct object
+    # per round for the repeatedly scaled cuboid.
+    assert total_delta.rrr_probes_saved >= 3
+    assert gmr.check_consistency(db) == []
+
+
+def test_probes_saved_counts_forget_folding():
+    db, fixture, _gmr = _build()
+    manager = db.gmr_manager
+    victim = fixture.cuboids[0]
+    before = manager.stats.snapshot()
+    with db.batch():
+        victim.scale(create_vertex(db, 1.5, 1.0, 1.0))  # pending inv
+        db.delete(victim)  # folds into the forget
+    delta = manager.stats.delta(before)
+    assert delta.rrr_probes_saved >= 1
+    assert delta.batch_flushes == 1
+
+
+def test_scheduler_revalidations_counter():
+    db, fixture, gmr = _build(Strategy.DEFERRED)
+    manager = db.gmr_manager
+    for cuboid in fixture.cuboids:
+        cuboid.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    before = manager.stats.snapshot()
+    drained = manager.scheduler.revalidate(max_entries=2)
+    delta = manager.stats.delta(before)
+    assert drained == 2
+    assert delta.scheduler_revalidations == 2
+    assert delta.rematerializations == 2
+    manager.scheduler.revalidate()
+    assert manager.stats.scheduler_revalidations == len(fixture.cuboids)
+    assert gmr.check_consistency(db) == []
+
+
+def test_unbatched_runs_leave_batch_counters_untouched():
+    db, fixture, _gmr = _build()
+    manager = db.gmr_manager
+    fixture.cuboids[0].scale(create_vertex(db, 1.5, 1.0, 1.0))
+    assert manager.stats.batched_invalidations == 0
+    assert manager.stats.rrr_probes_saved == 0
+    assert manager.stats.batch_flushes == 0
+    assert manager.stats.invalidate_calls > 0

@@ -1,0 +1,183 @@
+"""The revalidation scheduler (the paper's "load falls below a
+predefined threshold" rematerialization case, Sec. 4.1).
+
+``DEFERRED`` invalidations mark entries invalid exactly like ``LAZY``
+and additionally queue them on the manager's
+:class:`~repro.core.scheduler.RevalidationScheduler`; an idle-time
+``revalidate()`` drain brings the hottest entries back first under a
+row or time budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InstrumentationLevel, ObjectBase, Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+
+
+@pytest.fixture
+def deferred_db():
+    db = ObjectBase(level=InstrumentationLevel.OBJ_DEP)
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    gmr = db.materialize([("Cuboid", "volume")], strategy=Strategy.DEFERRED)
+    return db, fixture, gmr
+
+
+def _invalidate_all(db, fixture):
+    for cuboid in fixture.cuboids:
+        cuboid.scale(create_vertex(db, 1.5, 1.0, 1.0))
+
+
+def test_deferred_invalidation_queues_entries(deferred_db):
+    db, fixture, gmr = deferred_db
+    scheduler = db.gmr_manager.scheduler
+    assert scheduler.pending() == 0
+    _invalidate_all(db, fixture)
+    assert scheduler.pending() == len(fixture.cuboids)
+    fid = gmr.fids[0]
+    for cuboid in fixture.cuboids:
+        _, valid = gmr.result((cuboid.oid,), fid)
+        assert not valid
+
+
+def test_reinvalidating_a_queued_entry_does_not_duplicate(deferred_db):
+    db, fixture, _gmr = deferred_db
+    scheduler = db.gmr_manager.scheduler
+    cuboid = fixture.cuboids[0]
+    cuboid.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    cuboid.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    assert scheduler.pending() == 1
+
+
+def test_drain_restores_validity_and_counts(deferred_db):
+    db, fixture, gmr = deferred_db
+    manager = db.gmr_manager
+    _invalidate_all(db, fixture)
+    drained = manager.scheduler.revalidate()
+    assert drained == len(fixture.cuboids)
+    assert manager.stats.scheduler_revalidations == drained
+    assert manager.scheduler.pending() == 0
+    fid = gmr.fids[0]
+    for cuboid in fixture.cuboids:
+        _, valid = gmr.result((cuboid.oid,), fid)
+        assert valid
+    assert gmr.check_consistency(db) == []
+
+
+def test_row_budget_bounds_the_drain(deferred_db):
+    db, fixture, _gmr = deferred_db
+    manager = db.gmr_manager
+    _invalidate_all(db, fixture)
+    assert manager.scheduler.revalidate(max_entries=2) == 2
+    assert manager.scheduler.pending() == len(fixture.cuboids) - 2
+    assert manager.scheduler.revalidate() == len(fixture.cuboids) - 2
+
+
+def test_zero_time_budget_drains_nothing(deferred_db):
+    db, fixture, _gmr = deferred_db
+    manager = db.gmr_manager
+    _invalidate_all(db, fixture)
+    assert manager.scheduler.revalidate(time_budget=0.0) == 0
+    assert manager.scheduler.pending() == len(fixture.cuboids)
+
+
+def test_hot_functions_drain_first():
+    """Priority: entries of frequently forward-queried functions are
+    revalidated before entries of cold functions."""
+    db = ObjectBase(level=InstrumentationLevel.OBJ_DEP)
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    volume = db.materialize([("Cuboid", "volume")], strategy=Strategy.DEFERRED)
+    weight = db.materialize([("Cuboid", "weight")], strategy=Strategy.DEFERRED)
+    manager = db.gmr_manager
+    hot = fixture.cuboids[0]
+    for _ in range(5):
+        hot.volume()  # volume becomes the hot function
+    _invalidate_all(db, fixture)  # queues volume AND weight entries
+    assert manager.scheduler.pending() == 2 * len(fixture.cuboids)
+    drained = manager.scheduler.revalidate(max_entries=len(fixture.cuboids))
+    assert drained == len(fixture.cuboids)
+    volume_fid, weight_fid = volume.fids[0], weight.fids[0]
+    for cuboid in fixture.cuboids:
+        _, volume_valid = volume.result((cuboid.oid,), volume_fid)
+        _, weight_valid = weight.result((cuboid.oid,), weight_fid)
+        assert volume_valid, "hot function should drain first"
+        assert not weight_valid, "cold function should still be queued"
+
+
+def test_equal_frequency_drains_stalest_first(deferred_db):
+    db, fixture, gmr = deferred_db
+    manager = db.gmr_manager
+    first, second = fixture.cuboids[0], fixture.cuboids[1]
+    first.scale(create_vertex(db, 1.5, 1.0, 1.0))  # invalidated earlier
+    second.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    assert manager.scheduler.revalidate(max_entries=1) == 1
+    fid = gmr.fids[0]
+    _, first_valid = gmr.result((first.oid,), fid)
+    _, second_valid = gmr.result((second.oid,), fid)
+    assert first_valid and not second_valid
+
+
+def test_entries_revalidated_on_demand_are_skipped_for_free(deferred_db):
+    db, fixture, _gmr = deferred_db
+    manager = db.gmr_manager
+    cuboid = fixture.cuboids[0]
+    cuboid.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    assert manager.scheduler.pending() == 1
+    cuboid.volume()  # forward query recomputes the entry on demand
+    before = manager.stats.snapshot()
+    assert manager.scheduler.revalidate() == 0
+    delta = manager.stats.delta(before)
+    assert delta.rematerializations == 0
+    assert delta.scheduler_revalidations == 0
+    assert manager.scheduler.pending() == 0
+
+
+def test_rows_of_deleted_objects_are_dropped_not_recomputed(deferred_db):
+    db, fixture, gmr = deferred_db
+    manager = db.gmr_manager
+    cuboid = fixture.cuboids[0]
+    cuboid.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    assert manager.scheduler.pending() == 1
+    db.delete(cuboid)
+    before = manager.stats.snapshot()
+    assert manager.scheduler.revalidate() == 0
+    assert manager.stats.delta(before).rematerializations == 0
+    assert gmr.lookup((cuboid.oid,)) is None
+
+
+def test_backward_query_completes_validity_without_the_scheduler(deferred_db):
+    """DEFERRED behaves like LAZY for backward queries: validity is
+    completed eagerly, and the queued entries then drain for free."""
+    db, fixture, gmr = deferred_db
+    manager = db.gmr_manager
+    _invalidate_all(db, fixture)
+    results = manager.backward_query(gmr.fids[0])
+    assert len(results) == len(fixture.cuboids)
+    before = manager.stats.snapshot()
+    assert manager.scheduler.revalidate() == 0
+    assert manager.stats.delta(before).rematerializations == 0
+
+
+def test_clear_empties_the_queue(deferred_db):
+    db, fixture, _gmr = deferred_db
+    manager = db.gmr_manager
+    _invalidate_all(db, fixture)
+    manager.scheduler.clear()
+    assert manager.scheduler.pending() == 0
+    assert manager.scheduler.revalidate() == 0
+
+
+def test_force_invalidate_all_feeds_the_scheduler(deferred_db):
+    db, fixture, gmr = deferred_db
+    manager = db.gmr_manager
+    manager.force_invalidate_all(gmr)
+    assert manager.scheduler.pending() == len(fixture.cuboids)
+    assert manager.scheduler.revalidate() == len(fixture.cuboids)
+    assert gmr.check_consistency(db) == []

@@ -50,6 +50,59 @@ class TestType1:
         assert is_satisfiable([x > 3, x < 4])
 
 
+class TestIntegerDomains:
+    """The ``integer_vars`` tightening (strict bounds become ``≤ w−1``)."""
+
+    def test_hypothesis_falsifying_example_pinned(self):
+        # The seed's falsifying example: c < 2 ∧ a > 1 ∧ a < 2 ∧ a < c
+        # needs two distinct values inside (1, 2) — fine over the reals,
+        # impossible over the integers.
+        a, c = Variable("a"), Variable("c")
+        conjunct = [c < 2, a > 1, a < 2, a < c]
+        assert is_satisfiable(conjunct)
+        assert not is_satisfiable(conjunct, integer_vars={"a", "c"})
+
+    def test_strict_window_between_consecutive_integers(self):
+        assert is_satisfiable([x > 3, x < 4])
+        assert not is_satisfiable([x > 3, x < 4], integer_vars={"x"})
+        assert is_satisfiable([x > 3, x < 5], integer_vars={"x"})
+
+    def test_strict_chain_needs_room(self):
+        # x < y < z inside (0, 2): reals yes, integers no; (0, 4) fits.
+        chain = [x > 0, x < y, y < z, z < 2]
+        assert is_satisfiable(chain)
+        assert not is_satisfiable(chain, integer_vars={"x", "y", "z"})
+        assert is_satisfiable(
+            [x > 0, x < y, y < z, z < 4], integer_vars={"x", "y", "z"}
+        )
+
+    def test_fractional_bounds_floor_to_integers(self):
+        # x ≤ 3.5 → x ≤ 3 for integer x.
+        assert is_satisfiable([x <= 3.5, x > 3])
+        assert not is_satisfiable([x <= 3.5, x > 3], integer_vars={"x"})
+
+    def test_mixed_domains_only_tighten_integer_pairs(self):
+        # y stays real: 1 < y < 2 remains satisfiable even when x is
+        # declared integer.
+        assert is_satisfiable([y > 1, y < 2, x <= y], integer_vars={"x"})
+
+    def test_accepts_variable_objects(self):
+        assert not is_satisfiable([x > 3, x < 4], integer_vars={x})
+
+    def test_disequality_with_tightened_bounds(self):
+        # 5 ≤ x < 6 forces integer x = 5; x ≠ 5 contradicts.
+        conjunct = [x >= 5, x < 6, x.ne(5)]
+        assert is_satisfiable(conjunct)
+        assert not is_satisfiable(conjunct, integer_vars={"x"})
+
+    def test_predicate_level_passthrough(self):
+        pred = ((x > 3) & (x < 4)) | ((x > 7) & (x < 9))
+        assert predicate_satisfiable(pred, integer_vars={"x"})
+        assert not predicate_satisfiable(
+            (x > 3) & (x < 4), integer_vars={"x"}
+        )
+
+
 class TestType2:
     def test_chain(self):
         assert is_satisfiable([x < y, y < z])

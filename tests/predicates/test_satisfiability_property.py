@@ -1,8 +1,17 @@
 """Property test: the decision procedure agrees with brute force.
 
-Random conjunctions over a few variables with small integer constants are
-checked against an exhaustive search over a rational grid (step 1/2 so
-strict comparisons over the dense domain are honoured).
+Random conjunctions over a few variables with small integer constants
+are checked against exhaustive search, in both domains:
+
+* **dense** (the default, real-valued semantics) against a rational
+  grid.  All constraint boundaries are integral here, so witnessing a
+  satisfiable strict chain through up to three variables (e.g.
+  ``1 < a < b < c < 2``) needs at most three distinct interior points
+  per unit interval — a step of 1/4.  (The seed's half-step grid was
+  too coarse: ``c < 2 ∧ a > 1 ∧ a < 2 ∧ a < c`` is real-satisfiable
+  with two distinct values in ``(1, 2)``, which a half-step grid cannot
+  represent.)
+* **integer** (``integer_vars`` tightening) against the integer grid.
 """
 
 from fractions import Fraction
@@ -15,6 +24,14 @@ from repro.predicates.satisfiability import is_satisfiable
 
 _VARS = [Variable("a"), Variable("b"), Variable("c")]
 _OPS = ["<", "<=", ">", ">=", "="]
+
+_OPERATORS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+}
 
 
 @st.composite
@@ -37,21 +54,10 @@ def conjunctions(draw):
     return comparisons
 
 
-def brute_force(conjunct) -> bool:
+def brute_force(conjunct, grid) -> bool:
     variables = sorted(
         {v.name for comparison in conjunct for v in comparison.variables()}
     )
-    # Constants live in [-3, 3]; offsets in [-2, 2]; half-step grid over a
-    # padded range is exhaustive enough to witness satisfiability for this
-    # constraint family (all boundaries are multiples of 1/2).
-    grid = [Fraction(n, 2) for n in range(-16, 17)]
-    ops = {
-        "<": lambda a, b: a < b,
-        "<=": lambda a, b: a <= b,
-        ">": lambda a, b: a > b,
-        ">=": lambda a, b: a >= b,
-        "=": lambda a, b: a == b,
-    }
     for values in product(grid, repeat=len(variables)):
         binding = dict(zip(variables, values))
         ok = True
@@ -63,7 +69,7 @@ def brute_force(conjunct) -> bool:
                 right = binding[comparison.right.name] + Fraction(
                     comparison.offset
                 )
-            if not ops[comparison.op](left, right):
+            if not _OPERATORS[comparison.op](left, right):
                 ok = False
                 break
         if ok:
@@ -71,7 +77,30 @@ def brute_force(conjunct) -> bool:
     return False
 
 
+#: Constants live in [-3, 3] and offsets in [-2, 2]; a feasible system
+#: always has a solution with every variable in [-8, 8] (an anchor bound
+#: of at most 3 plus at most two offset hops of 2 across the three
+#: distinct variables; unanchored systems are translation-invariant).
+_DENSE_GRID = [Fraction(n, 4) for n in range(-32, 33)]
+_INTEGER_GRID = [Fraction(n) for n in range(-8, 9)]
+
+
 @given(conjunct=conjunctions())
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_agrees_with_brute_force(conjunct):
-    assert is_satisfiable(conjunct) == brute_force(conjunct)
+    assert is_satisfiable(conjunct) == brute_force(conjunct, _DENSE_GRID)
+
+
+@given(conjunct=conjunctions())
+@settings(max_examples=100, deadline=None)
+def test_integer_domain_agrees_with_integer_brute_force(conjunct):
+    decided = is_satisfiable(conjunct, integer_vars={"a", "b", "c"})
+    assert decided == brute_force(conjunct, _INTEGER_GRID)
+
+
+@given(conjunct=conjunctions())
+@settings(max_examples=100, deadline=None)
+def test_integer_tightening_never_widens(conjunct):
+    """Integer satisfiability implies dense satisfiability (ℤ ⊂ ℝ)."""
+    if is_satisfiable(conjunct, integer_vars={"a", "b", "c"}):
+        assert is_satisfiable(conjunct)

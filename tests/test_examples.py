@@ -1,25 +1,38 @@
-"""Smoke tests: every shipped example runs to completion."""
+"""Smoke tests: every shipped example runs to completion.
 
+Examples run in a throwaway working directory so any artifact a script
+might create (hypothesis caches, dumped databases, ...) cannot leak
+into the repository checkout, and with an absolute ``PYTHONPATH`` so a
+relative ``PYTHONPATH=src`` in the caller's environment keeps working
+from the changed cwd.
+"""
+
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-_EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
-)
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize(
     "script", _EXAMPLES, ids=[path.stem for path in _EXAMPLES]
 )
-def test_example_runs(script):
+def test_example_runs(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=180,
+        cwd=tmp_path,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "examples should print something"
