@@ -12,7 +12,7 @@ Run with::
 
 import time
 
-from repro import ObjectBase, Strategy
+from repro import ObjectBase, Strategy, verify_recovery
 from repro.domains.company import (
     add_random_project,
     build_company_schema,
@@ -91,6 +91,18 @@ def main() -> None:
     )
     print(f"department {dep0.DName} participates in "
           f"{len(projects_of_dep0)} projects")
+
+    # --- durability -------------------------------------------------------
+    # Checkpoint the whole company (rankings, matrix, stale flags), run
+    # one more promotion after the snapshot, crash-simulate, recover,
+    # and require digest equality with the live base.
+    def promote_another(live):
+        other = fixture.employees[1]
+        other_job = next(iter(other.JobHistory))
+        other_job.set_OnTime(not other_job.OnTime)
+
+    verify_recovery(db, build_company_schema, mutate=promote_another)
+    print("\ndurability: checkpoint → crash → recover matched exactly")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ Run with::
     python examples/geometry_workshop.py
 """
 
-from repro import InstrumentationLevel, ObjectBase, Strategy
+from repro import InstrumentationLevel, ObjectBase, Strategy, verify_recovery
 from repro.domains.geometry import (
     build_figure2_database,
     build_geometry_schema,
@@ -68,6 +68,17 @@ def plain_version() -> None:
     print(f"one scale triggered {counter['calls']} invalidations")
     print("volume after scale:", fixture.cuboids[0].volume())
 
+    # Checkpoint → crash → recover: scale once more after the snapshot
+    # so recovery has a WAL tail to replay, then compare bit-for-bit.
+    verify_recovery(
+        db,
+        build_geometry_schema,
+        mutate=lambda live: fixture.cuboids[1].scale(
+            create_vertex(live, 1.0, 2.0, 1.0)
+        ),
+    )
+    print("durability: checkpoint → crash → recover matched exactly")
+
 
 def info_hiding_version() -> None:
     print()
@@ -86,6 +97,17 @@ def info_hiding_version() -> None:
     counter["calls"] = 0
     fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
     print(f"one scale triggered {counter['calls']} invalidation")
+
+    # Strict public operations replay conservatively (the replayed
+    # elementary updates notify individually — see
+    # repro.gom.instrumentation), so the post-checkpoint tail mutates
+    # through plain object creation only.
+    verify_recovery(
+        db,
+        lambda fresh: build_geometry_schema(fresh, strict_cuboids=True),
+        mutate=lambda live: create_vertex(live, 9.0, 9.0, 9.0),
+    )
+    print("durability: checkpoint → crash → recover matched exactly")
 
 
 def compensating_action() -> None:
@@ -108,6 +130,16 @@ def compensating_action() -> None:
     print("total_volume after insert (compensated, no recompute):", value)
     assert valid and gmr.check_consistency(db) == []
 
+    # The compensated row is plain GMR state by now: it checkpoints and
+    # recovers like any other (the tail avoids the compensated insert —
+    # compensation registrations are code and live outside the log).
+    verify_recovery(
+        db,
+        build_geometry_schema,
+        mutate=lambda live: fixture.cuboids[0].set_Mat(fixture.gold),
+    )
+    print("durability: checkpoint → crash → recover matched exactly")
+
 
 def lazy_strategy() -> None:
     print()
@@ -122,6 +154,18 @@ def lazy_strategy() -> None:
     print("valid after scale (lazy)?", gmr.is_valid("Cuboid.volume"))
     print("access recomputes on demand:", fixture.cuboids[0].volume())
     print("valid now?", gmr.is_valid("Cuboid.volume"))
+
+    # Lazy invalidity is state too: a post-checkpoint scale leaves a
+    # stale entry, and the recovered base must be stale the same way.
+    verify_recovery(
+        db,
+        build_geometry_schema,
+        mutate=lambda live: fixture.cuboids[2].scale(
+            create_vertex(live, 1.0, 1.0, 2.0)
+        ),
+    )
+    print("durability: checkpoint → crash → recover matched exactly "
+          "(including the stale entry)")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,13 @@ Run with::
     python examples/restricted_materialization.py
 """
 
-from repro import ObjectBase, RestrictionSpec, ValueRestriction, Variable
+from repro import (
+    ObjectBase,
+    RestrictionSpec,
+    ValueRestriction,
+    Variable,
+    verify_recovery,
+)
 from repro.domains.geometry import build_figure2_database, build_geometry_schema
 from repro.predicates.cover import covers
 
@@ -38,6 +44,17 @@ def iron_only() -> None:
     print("\n→ re-forging the gold cuboid in iron ...")
     fixture.cuboids[2].set_Mat(fixture.iron)
     print(gmr.extension_table())
+
+    # Restriction predicates are code, so recovery takes them by GMR
+    # name; the post-checkpoint tail re-forges a cuboid back to gold —
+    # predicate maintenance must replay too (the entry drops out again).
+    verify_recovery(
+        db,
+        build_geometry_schema,
+        restrictions={gmr.name: gmr.restriction},
+        mutate=lambda live: fixture.cuboids[2].set_Mat(fixture.gold),
+    )
+    print("durability: checkpoint → crash → recover matched exactly")
 
 
 def cover_test() -> None:
@@ -88,6 +105,21 @@ def planets() -> None:
               f"{c1.weight_at(gravity):10.1f}")
     print(f"  weight on the Moon (1.62, not materialized): "
           f"{c1.weight_at(1.62):10.1f}")
+
+    def rebuild(fresh):
+        build_geometry_schema(fresh)
+        fresh.define_operation(
+            "Cuboid", "weight_at", ["float"], "float", weight_at
+        )
+        fresh.make_public("Cuboid", "weight_at")
+
+    verify_recovery(
+        db,
+        rebuild,
+        restrictions={gmr.name: gmr.restriction},
+        mutate=lambda live: fixture.cuboids[1].set_Mat(fixture.gold),
+    )
+    print("\ndurability: checkpoint → crash → recover matched exactly")
 
 
 if __name__ == "__main__":

@@ -38,7 +38,15 @@ from repro.core.restricted import RestrictionSpec
 from repro.predicates import Variable
 from repro.asr import AccessSupportRelation, ASRManager
 from repro.gom.transactions import TransactionError
-from repro.persistence import dump_object_base, load_object_base
+from repro.persistence import (
+    base_state,
+    checkpoint,
+    dump_object_base,
+    load_object_base,
+    recover,
+    verify_recovery,
+)
+from repro.storage.wal import WriteAheadLog
 
 __version__ = "1.0.0"
 
@@ -59,5 +67,10 @@ __all__ = [
     "TransactionError",
     "dump_object_base",
     "load_object_base",
+    "checkpoint",
+    "recover",
+    "base_state",
+    "verify_recovery",
+    "WriteAheadLog",
     "__version__",
 ]

@@ -94,6 +94,12 @@ class ForgetEvent:
 
     oid: Oid
     folded: InvalidationEvent | None = None
+    #: The deleted object's type, captured while it was still alive —
+    #: needed to enumerate admissible argument combinations at flush
+    #: when both the create and the delete fell inside the batch.
+    type_name: str | None = None
+    #: True when this delete elided a create pending in the same batch.
+    created_elided: bool = False
 
 
 class InvalidationQueue:
@@ -161,7 +167,7 @@ class InvalidationQueue:
         self._creates[oid] = event
         self._open_inv.clear()  # barrier: no coalescing across adaptations
 
-    def note_forget(self, oid: Oid) -> bool:
+    def note_forget(self, oid: Oid, type_name: str | None = None) -> bool:
         """Record a deferred ``forget_object``.
 
         A pending invalidation of the same object folds into the forget
@@ -181,7 +187,38 @@ class InvalidationQueue:
             self._events.remove(folded)
             self.coalesced += 1  # the folded event's own probe is saved
             saved = True
-        self._events.append(ForgetEvent(oid, folded))
+        if created is not None:
+            # The object's whole lifetime fell inside this batch, so no
+            # RRR entry for it can exist at flush time: every pending
+            # invalidation of it — even one stranded behind a barrier —
+            # is a replay no-op.  Fold them all into the forget so the
+            # flush can reconstruct which functions the sequential run
+            # consumed (blind-row synthesis in ``_forget_grouped``).
+            stranded = [
+                pending
+                for pending in self._events
+                if isinstance(pending, InvalidationEvent)
+                and pending.oid == oid
+            ]
+            for pending in stranded:
+                self._events.remove(pending)
+                self.coalesced += 1
+                saved = True
+                if folded is None:
+                    folded = pending
+                else:
+                    folded.absorb(
+                        None if pending.all_fids else pending.fids,
+                        frozenset(pending.all_exclude),
+                    )
+        self._events.append(
+            ForgetEvent(
+                oid,
+                folded,
+                type_name=type_name,
+                created_elided=created is not None,
+            )
+        )
         self._open_inv.clear()  # barrier, like note_create
         return saved
 
@@ -213,7 +250,10 @@ class UpdateBatch:
         self.probes_saved = 0
 
     def __enter__(self) -> "UpdateBatch":
-        self._manager._batch_depth += 1
+        manager = self._manager
+        manager._batch_depth += 1
+        if manager._batch_depth == 1:
+            manager._db._wal_log({"kind": "batch_begin"})
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -226,3 +266,6 @@ class UpdateBatch:
             queue.notifications = 0
             queue.coalesced = 0
             manager.flush_batch()
+            # Logged after the flush: the scope's updates are already on
+            # disk individually, the marker just reproduces flush timing.
+            manager._db._wal_log({"kind": "batch_end"})

@@ -397,6 +397,11 @@ class GMRManager:
         """
         if not len(self._queue):
             return 0
+        if self._batch_depth > 0:
+            # A query forced this flush while the batch is still open —
+            # log a marker so recovery reproduces the flush timing (and
+            # with it every validity flag) bit-for-bit.
+            self._db._wal_log({"kind": "batch_flush"})
         events = self._queue.drain()
         self._flushing = True
         try:
@@ -441,8 +446,26 @@ class GMRManager:
             process = fid in inv_fids
             for args in args_set:
                 if oid in args:
+                    if (
+                        process
+                        and fid != gmr.predicate_fid
+                        and gmr.strategy.marks_only
+                    ):
+                        # Sequential equivalence: the folded invalidation
+                        # ran *before* the delete and consumed this RRR
+                        # entry, so the unbatched run's forget_object never
+                        # saw it — the row stays behind as a blind invalid
+                        # row, cleaned lazily (Sec. 4.2).
+                        if gmr.mark_invalid(args, fid) and (
+                            gmr.strategy is Strategy.DEFERRED
+                        ):
+                            self.scheduler.schedule(gmr, fid, args)
+                        affected += 1
+                        continue
                     # The forget_object part: drop the deleted object's
-                    # own rows; any folded invalidation of them is moot.
+                    # own rows; any folded invalidation of them is moot
+                    # for eager strategies (rematerialization would have
+                    # re-inserted the entry for the delete to find).
                     if gmr.remove_row(args):
                         self.stats.rows_removed += 1
                     continue
@@ -466,7 +489,68 @@ class GMRManager:
                         continue
                     self._rematerialize(gmr, fid, args)
                     affected += 1
+        if event.created_elided and folded is not None and event.type_name:
+            affected += self._synthesize_blind_rows(event)
         self.stats.entries_invalidated += affected
+
+    def _synthesize_blind_rows(self, event: ForgetEvent) -> int:
+        """Reproduce the blind rows of a create→invalidate→delete run.
+
+        When all three fell inside one batch the queue elided the create,
+        so no extension adaptation ever ran and ``pop_object`` has nothing
+        to serve the folded invalidation from.  Sequentially, though, the
+        adaptation materialized the rows eagerly, the invalidation then
+        consumed their RRR entries and cleared the values (marks-only
+        strategies), and the delete — finding no entries left — walked
+        away, leaving blind invalid rows for lazy cleanup (Sec. 4.2).
+        Only fully covered GMRs survive that way: an fid the invalidation
+        skipped keeps its RRR entry, which the delete then finds and uses
+        to remove the whole row.  Restricted GMRs are skipped — their
+        predicate cannot be re-evaluated on the now-dead object, and the
+        sequential predicate trace is not reconstructible at flush.
+        """
+        oid, folded = event.oid, event.folded
+        assert folded is not None and event.type_name is not None
+        schema = self._db.schema
+        affected = 0
+        for gmr in self._gmrs.values():
+            if (
+                not gmr.complete
+                or not gmr.strategy.marks_only
+                or gmr.restriction is not None
+            ):
+                continue
+            fids = set(gmr.fids)
+            if folded.all_fids:
+                # Explicitly named fids stay covered even when a merged
+                # compensating exclusion skipped them in the naive pass.
+                covered = not (fids & (folded.all_exclude - folded.fids))
+            else:
+                covered = fids <= folded.fids
+            if not covered:
+                continue
+            positions = [
+                index
+                for index, arg_type in enumerate(gmr.arg_types)
+                if not is_atomic_type(arg_type)
+                and schema.is_subtype(event.type_name, arg_type)
+            ]
+            combos: set[tuple] = set()
+            for position in positions:
+                combos.update(
+                    product(*self._domains(gmr, fixed={position: oid}))
+                )
+            for args in combos:
+                if gmr.lookup(args) is None:
+                    self.stats.rows_created += 1
+                    gmr.ensure_row(args)
+                for fid in gmr.fids:
+                    if gmr.mark_invalid(args, fid) and (
+                        gmr.strategy is Strategy.DEFERRED
+                    ):
+                        self.scheduler.schedule(gmr, fid, args)
+                    affected += 1
+        return affected
 
     # ------------------------------------------------------------------
     # Invalidation (Sec. 4.1)
@@ -601,7 +685,14 @@ class GMRManager:
         was an argument of; other references become blind and are cleaned
         lazily (Sec. 4.2)."""
         if self.batching:
-            if self._queue.note_forget(oid):
+            # Captured while the object is still alive: the flush may
+            # need its type to enumerate argument combinations.
+            type_name = (
+                self._db.objects.type_of(oid)
+                if self._db.objects.exists(oid)
+                else None
+            )
+            if self._queue.note_forget(oid, type_name):
                 self.stats.rrr_probes_saved += 1
             self.stats.batched_invalidations += 1
             return

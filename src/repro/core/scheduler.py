@@ -76,6 +76,34 @@ class RevalidationScheduler:
         self._heap.clear()
         self._queued.clear()
 
+    # -- persistence -----------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """A portable snapshot of the queue (used by checkpointing).
+
+        Argument tuples may contain OIDs; the caller encodes/decodes the
+        values (the scheduler stays oblivious to the wire format).
+        """
+        return {
+            "heap": [
+                [priority, seq, fid, list(args)]
+                for priority, seq, fid, args in self._heap
+            ],
+            "seq": self._seq,
+            "frequency": dict(self.query_frequency),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` snapshot (replaces the queue)."""
+        self._heap = [
+            (priority, seq, fid, tuple(args))
+            for priority, seq, fid, args in state.get("heap", [])
+        ]
+        heapq.heapify(self._heap)
+        self._queued = {(fid, args) for _, _, fid, args in self._heap}
+        self._seq = state.get("seq", 0)
+        self.query_frequency = dict(state.get("frequency", {}))
+
     def revalidate(
         self,
         *,

@@ -41,6 +41,7 @@ from repro.gom.types import (
 )
 from repro.storage.btree import BPlusTree
 from repro.storage.pages import BufferManager, CostModel, PageStore
+from repro.storage.wal import WriteAheadLog, encode_value as _wal_encode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.function_registry import FunctionInfo, FunctionRegistry
@@ -93,6 +94,8 @@ class ObjectBase:
         #: subsystems that maintain derived structures outside the GMR
         #: manager (e.g. Access Support Relations).
         self._update_listeners: list = []
+        self._wal: WriteAheadLog | None = None
+        self._wal_suppress = 0
 
     # ------------------------------------------------------------------
     # Schema definition
@@ -228,6 +231,63 @@ class ObjectBase:
         """
         return self.gmr_manager.batch()
 
+    # ------------------------------------------------------------------
+    # Durability (write-ahead logging)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal: WriteAheadLog) -> None:
+        """Attach a write-ahead log: every elementary update is appended
+        to it *before* it is applied (see :mod:`repro.storage.wal`)."""
+        self._wal = wal
+
+    def detach_wal(self) -> WriteAheadLog | None:
+        wal, self._wal = self._wal, None
+        return wal
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        return self._wal
+
+    @contextmanager
+    def wal_replay_scope(self) -> Iterator[None]:
+        """Suppress logging while recovery replays already-logged updates
+        through the ordinary update paths."""
+        self._wal_suppress += 1
+        try:
+            yield
+        finally:
+            self._wal_suppress -= 1
+
+    def _wal_log(self, record: dict) -> None:
+        wal = self._wal
+        if wal is not None and not self._wal_suppress:
+            wal.append(record)
+
+    def replay_create(
+        self,
+        oid: Oid,
+        type_name: str,
+        *,
+        data: Mapping[str, Any] | None = None,
+        elements: Iterable[Any] | None = None,
+    ) -> Handle:
+        """Re-execute a logged ``create`` under its original OID.
+
+        Runs the full elementary-create path (indexes, GMR extension
+        adaptation, listeners) so recovery maintains derived structures
+        exactly like the live run did.
+        """
+        obj = self.objects.restore(
+            oid,
+            type_name,
+            data=dict(data) if data is not None else None,
+            elements=list(elements) if elements is not None else None,
+        )
+        self.buffer.touch(obj.placement.page_id, write=True)
+        self._index_new_object(obj)
+        self._notify_create(obj)
+        return Handle(self, obj.oid)
+
     @property
     def materializing(self) -> bool:
         return self._materializing_depth > 0
@@ -301,6 +361,15 @@ class ObjectBase:
         if attributes:
             unknown = ", ".join(sorted(attributes))
             raise UnknownAttributeError(f"{type_name} has no attribute(s) {unknown}")
+        if self._wal is not None and not self._wal_suppress:
+            self._wal_log(
+                {
+                    "kind": "create",
+                    "oid": self.objects.peek_next_oid().value,
+                    "type": type_name,
+                    "data": {a: _wal_encode(v) for a, v in data.items()},
+                }
+            )
         obj = self.objects.create(type_name, data=data)
         self.buffer.touch(obj.placement.page_id, write=True)
         self._index_new_object(obj)
@@ -325,6 +394,15 @@ class ObjectBase:
             if definition.is_set() and raw in stored:
                 continue
             stored.append(raw)
+        if self._wal is not None and not self._wal_suppress:
+            self._wal_log(
+                {
+                    "kind": "create",
+                    "oid": self.objects.peek_next_oid().value,
+                    "type": type_name,
+                    "elements": [_wal_encode(e) for e in stored],
+                }
+            )
         obj = self.objects.create(type_name, elements=stored)
         self.buffer.touch(obj.placement.page_id, write=True)
         self._notify_create(obj)
@@ -336,6 +414,7 @@ class ObjectBase:
         if hasattr(self, "_transactions"):
             self._transactions.check_delete_allowed(oid)
         obj = self.objects.get(oid)
+        self._wal_log({"kind": "delete", "oid": oid.value})
         gmr = self._gmr
         if gmr is not None and self.level.notifies:
             if (
@@ -474,6 +553,15 @@ class ObjectBase:
         _, _, decl_type, attr_type, _ = plan
         raw = unwrap(value)
         self.schema.check_value(attr_type, raw, type_of_oid=self.objects.type_of)
+        if self._wal is not None and not self._wal_suppress:
+            self._wal_log(
+                {
+                    "kind": "set",
+                    "oid": oid.value,
+                    "attr": attr,
+                    "value": _wal_encode(raw),
+                }
+            )
         gmr = self._gmr
         exclude: frozenset[str] = frozenset()
         if gmr is not None and self.level.notifies and not self._suppress_depth:
@@ -517,6 +605,11 @@ class ObjectBase:
         )
         if definition.is_set() and raw in obj.elements:
             return
+        if self._wal is not None and not self._wal_suppress:
+            record = {"kind": "insert", "oid": oid.value, "value": _wal_encode(raw)}
+            if position is not None:
+                record["pos"] = position
+            self._wal_log(record)
         gmr = self._gmr
         exclude: frozenset[str] = frozenset()
         if gmr is not None and self.level.notifies and not self._suppress_depth:
@@ -546,6 +639,10 @@ class ObjectBase:
         raw = unwrap(element)
         if raw not in obj.elements:
             return
+        if self._wal is not None and not self._wal_suppress:
+            self._wal_log(
+                {"kind": "remove", "oid": oid.value, "value": _wal_encode(raw)}
+            )
         gmr = self._gmr
         exclude: frozenset[str] = frozenset()
         if gmr is not None and self.level.notifies and not self._suppress_depth:

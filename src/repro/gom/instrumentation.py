@@ -42,6 +42,19 @@ batch, the ``ObjDepFct`` filter is skipped (markings of objects created
 inside the batch only materialize at flush), falling back to
 ``SCHEMA_DEP`` granularity until the next flush — see
 :attr:`repro.core.manager.GMRManager.batch_conservative`.
+
+Write-ahead logging (:mod:`repro.storage.wal`) sits *below* every level:
+the elementary update record is appended before the update applies, no
+matter which level (if any) ends up notifying the GMR manager.  Recovery
+replays those records through these same instrumented paths at the
+restored base's own level, so the maintenance performed during replay is
+the level's ordinary per-update behaviour.  At ``INFO_HIDING`` (and for
+compensated operations) that replay is deliberately more conservative
+than the live run — the enclosing public operation no longer exists at
+replay time, so suppressed elementary updates notify individually — which
+can invalidate entries the live run kept valid, but never the reverse:
+the recovered base stays consistent (Def. 3.2) and rematerializes those
+entries on first access.
 """
 
 from __future__ import annotations

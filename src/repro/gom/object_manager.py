@@ -33,6 +33,24 @@ class ObjectManager:
     def __len__(self) -> int:
         return len(self._objects)
 
+    def peek_next_oid(self) -> Oid:
+        """The OID the next ``create`` will receive (without consuming it).
+
+        Write-ahead logging needs it: the ``create`` record is written
+        *before* the object exists, yet must name the OID deterministically.
+        """
+        return Oid(self._oids._next)
+
+    def advance_oid_floor(self, next_oid: int) -> None:
+        """Raise the allocator so no future OID falls below ``next_oid``.
+
+        Persistence load uses it: a dumped base may have burned OIDs on
+        since-deleted objects, and a reload must not re-issue them — a
+        replayed log (or a parallel live process) names those OIDs.
+        """
+        if next_oid > self._oids._next:
+            self._oids._next = next_oid
+
     # -- lifecycle -------------------------------------------------------------
 
     def create(

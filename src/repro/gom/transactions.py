@@ -124,6 +124,7 @@ class TransactionManager:
         transaction = Transaction(self._db)
         transaction.active = True
         self._stack.append(transaction)
+        self._db._wal_log({"kind": "txn_begin"})
         return transaction
 
     def commit(self, transaction: Transaction) -> None:
@@ -131,6 +132,7 @@ class TransactionManager:
         self._stack.pop()
         transaction.commit_into(self._stack[-1] if self._stack else None)
         transaction.active = False
+        self._db._wal_log({"kind": "txn_commit"})
 
     def rollback(self, transaction: Transaction) -> None:
         self._expect_top(transaction)
@@ -141,6 +143,10 @@ class TransactionManager:
         finally:
             self._rolling_back = False
         transaction.active = False
+        # The abort marker follows the logged inverse updates: a crash
+        # mid-rollback leaves the scope unterminated on disk and recovery
+        # discards the whole suffix — which is exactly the abort's intent.
+        self._db._wal_log({"kind": "txn_abort"})
 
     def _expect_top(self, transaction: Transaction) -> None:
         if not self._stack or self._stack[-1] is not transaction:

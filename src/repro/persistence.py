@@ -18,17 +18,34 @@ GMR entries whose results are not JSON-representable (complex Python
 values such as the company example's matrix lines) are persisted as
 *invalid* entries: they rematerialize on first access after loading —
 the lazy strategy's behaviour, applied to a cold start.
+
+On top of the snapshot sits crash consistency: :func:`checkpoint`
+atomically dumps the base and truncates its attached write-ahead log
+(:mod:`repro.storage.wal`), and :func:`recover` loads a checkpoint and
+replays the log's committed prefix through the ordinary instrumented
+update paths, rebuilding GMR extensions, validity flags and the RRR as
+a side effect.  :func:`base_state` and :func:`verify_recovery` support
+differential durability testing.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.restricted import RestrictionSpec
 from repro.core.strategies import Strategy
 from repro.errors import ReproError
 from repro.gom.oid import Oid
+from repro.storage.wal import (
+    WriteAheadLog,
+    committed_prefix,
+    read_records,
+)
+from repro.storage.wal import decode_value as _decode_value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gom.database import ObjectBase
@@ -51,12 +68,6 @@ def _encode_value(value: Any) -> Any:
     raise PersistenceError(f"value {value!r} is not persistable")
 
 
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and set(value) == {"$oid"}:
-        return Oid(value["$oid"])
-    return value
-
-
 def _try_encode(value: Any) -> tuple[bool, Any]:
     try:
         return True, _encode_value(value)
@@ -75,6 +86,19 @@ def dump_object_base(db: "ObjectBase", path: str) -> None:
 
 
 def to_document(db: "ObjectBase") -> dict:
+    # In-flight state cannot round-trip: an open batch holds deferred
+    # maintenance events (closures over live queue objects) and an open
+    # transaction holds an undo log — both would be silently dropped, so
+    # both are rejected up front.
+    if db.has_gmr_manager and db.gmr_manager._batch_depth > 0:
+        raise PersistenceError(
+            "cannot dump while a batch scope is open: pending maintenance "
+            "events are not persistable — exit the batch (flush) first"
+        )
+    if hasattr(db, "_transactions") and db._transactions.in_transaction:
+        raise PersistenceError(
+            "cannot dump inside an open transaction: commit or abort first"
+        )
     objects = []
     for obj in db.objects.iter_objects():
         record: dict[str, Any] = {
@@ -147,13 +171,26 @@ def to_document(db: "ObjectBase") -> dict:
                 }
             )
 
-    return {
+    document = {
         "format": FORMAT_VERSION,
+        # The allocator high-water mark, not derivable from the live
+        # objects: deleted objects burned OIDs that must stay burned.
+        "next_oid": db.objects.peek_next_oid().value,
         "objects": objects,
         "attr_indexes": indexes,
         "gmrs": gmrs,
         "rrr": rrr_triples,
     }
+    if db.has_gmr_manager:
+        manager = db.gmr_manager
+        document["stats"] = dict(vars(manager.stats))
+        scheduler = manager.scheduler.dump_state()
+        scheduler["heap"] = [
+            [priority, seq, fid, [_encode_value(arg) for arg in args]]
+            for priority, seq, fid, args in scheduler["heap"]
+        ]
+        document["scheduler"] = scheduler
+    return document
 
 
 # -- loading ---------------------------------------------------------------------
@@ -202,11 +239,18 @@ def from_document(
         db.objects.restore(
             Oid(record["oid"]), record["type"], data=data, elements=elements
         )
+    # Older documents lack the field; restore() already advanced past
+    # every surviving OID, this additionally re-burns deleted ones.
+    db.objects.advance_oid_floor(document.get("next_oid", 0))
 
     for index in document["attr_indexes"]:
         db.create_attr_index(index["type"], index["attr"])
 
-    if not document["gmrs"]:
+    if not (
+        document["gmrs"]
+        or document.get("stats")
+        or document.get("scheduler")
+    ):
         return
     manager = db.gmr_manager
     for entry in document["gmrs"]:
@@ -240,3 +284,334 @@ def from_document(
             triple["fid"],
             tuple(_decode_value(arg) for arg in triple["args"]),
         )
+
+    stats = document.get("stats")
+    if stats:
+        for name, value in stats.items():
+            if hasattr(manager.stats, name):
+                setattr(manager.stats, name, value)
+    scheduler = document.get("scheduler")
+    if scheduler:
+        manager.scheduler.restore_state(
+            {
+                "heap": [
+                    [
+                        priority,
+                        seq,
+                        fid,
+                        [_decode_value(arg) for arg in args],
+                    ]
+                    for priority, seq, fid, args in scheduler.get("heap", [])
+                ],
+                "seq": scheduler.get("seq", 0),
+                "frequency": scheduler.get("frequency", {}),
+            }
+        )
+
+
+# -- durability: checkpoint + WAL recovery ---------------------------------------
+
+
+def checkpoint(db: "ObjectBase", path: str) -> None:
+    """Atomically snapshot the base to ``path`` and truncate its WAL.
+
+    The snapshot is written to a temporary file and renamed into place
+    (after an fsync), so a crash during checkpointing leaves the previous
+    checkpoint intact; only once the new one is durable is the attached
+    write-ahead log truncated.  Scheduler queue and ``ManagerStats`` are
+    part of the snapshot.  Raises :class:`PersistenceError` while a batch
+    scope or a transaction is open (those are the atomicity boundaries).
+    """
+    document = to_document(db)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    if db.wal is not None:
+        db.wal.truncate()
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` found and did."""
+
+    records_scanned: int = 0
+    records_replayed: int = 0
+    #: Trailing records inside a transaction that never terminated —
+    #: the uncommitted suffix a crash left behind, discarded.
+    records_discarded: int = 0
+    #: Batch scopes the crash left open; recovery closes (flushes) them.
+    batches_closed: int = 0
+
+
+def recover(
+    db: "ObjectBase",
+    checkpoint_path: str,
+    wal_path: str | None = None,
+    *,
+    restrictions: dict[str, RestrictionSpec] | None = None,
+) -> RecoveryReport:
+    """Load the checkpoint, then replay the WAL tail into ``db``.
+
+    ``db`` must be empty with its schema already rebuilt (exactly like
+    :func:`load_object_base`).  The committed prefix of the log — torn
+    final frames and unterminated transaction suffixes dropped — is
+    replayed through the ordinary instrumented update paths, so GMR
+    extensions, validity flags, the RRR and ``ObjDepFct`` markings
+    self-maintain during replay; batch markers reproduce the original
+    flush timing.  The WAL is *not* attached to ``db``; callers that want
+    to continue logging attach one afterwards.
+
+    Recovery *consumes* the log: it closes scopes the crash left open
+    and drops the uncommitted suffix, so the replayed log's tail no
+    longer means what it says.  Resume service behind a fresh
+    :func:`checkpoint` (which truncates the newly attached WAL) — never
+    append to the log that was just replayed.
+    """
+    load_object_base(db, checkpoint_path, restrictions=restrictions)
+    if wal_path is None:
+        return RecoveryReport()
+    records = read_records(wal_path)
+    durable, discarded = committed_prefix(records)
+    replayed, closed = _replay(db, durable)
+    return RecoveryReport(
+        records_scanned=len(records),
+        records_replayed=replayed,
+        records_discarded=discarded,
+        batches_closed=closed,
+    )
+
+
+def _replay(db: "ObjectBase", records: list) -> tuple[int, int]:
+    """Re-execute committed WAL records; returns (replayed, batches closed)."""
+    replayed = 0
+    batch_stack: list = []
+    closed = 0
+    with db.wal_replay_scope():
+        try:
+            for record in records:
+                kind = record["kind"]
+                if kind == "set":
+                    db.set_attr(
+                        Oid(record["oid"]),
+                        record["attr"],
+                        _decode_value(record["value"]),
+                    )
+                elif kind == "insert":
+                    db.collection_insert(
+                        Oid(record["oid"]),
+                        _decode_value(record["value"]),
+                        position=record.get("pos"),
+                    )
+                elif kind == "remove":
+                    db.collection_remove(
+                        Oid(record["oid"]), _decode_value(record["value"])
+                    )
+                elif kind == "create":
+                    data = record.get("data")
+                    elements = record.get("elements")
+                    db.replay_create(
+                        Oid(record["oid"]),
+                        record["type"],
+                        data=(
+                            {a: _decode_value(v) for a, v in data.items()}
+                            if data is not None
+                            else None
+                        ),
+                        elements=(
+                            [_decode_value(e) for e in elements]
+                            if elements is not None
+                            else None
+                        ),
+                    )
+                elif kind == "delete":
+                    db.delete(Oid(record["oid"]))
+                elif kind == "batch_begin":
+                    scope = db.batch()
+                    scope.__enter__()
+                    batch_stack.append(scope)
+                elif kind == "batch_flush":
+                    db.gmr_manager.flush_batch()
+                elif kind == "batch_end":
+                    if batch_stack:
+                        batch_stack.pop().__exit__(None, None, None)
+                elif kind in ("txn_begin", "txn_commit", "txn_abort"):
+                    # Atomicity was already resolved by committed_prefix;
+                    # an aborted scope's inverse updates replay and net out.
+                    pass
+                else:
+                    raise PersistenceError(
+                        f"unknown WAL record kind {kind!r}"
+                    )
+                replayed += 1
+        finally:
+            # The crash left these batch scopes open: close them, which
+            # flushes their pending maintenance (exactly what the live
+            # process would have done at scope exit).
+            closed = len(batch_stack)
+            while batch_stack:
+                batch_stack.pop().__exit__(None, None, None)
+    return replayed, closed
+
+
+# -- differential state digest ---------------------------------------------------
+
+
+def base_state(db: "ObjectBase") -> dict:
+    """A canonical digest of everything durability must preserve.
+
+    Two object bases with equal digests agree on the object graph, every
+    GMR's extension (arguments, results, validity flags), the RRR, the
+    ``ObjDepFct`` markings, the scheduler's pending-revalidation queue
+    and the manager counters.  Results that are not JSON-representable
+    project to *invalid* — the same projection the dump applies — so a
+    digest compares a base with its own persisted round-trip cleanly.
+    """
+    state: dict[str, Any] = {
+        "objects": [
+            {
+                "oid": obj.oid.value,
+                "type": obj.type_name,
+                "data": (
+                    {a: _encode_value(v) for a, v in obj.data.items()}
+                    if obj.data is not None
+                    else None
+                ),
+                "elements": (
+                    [_encode_value(e) for e in obj.elements]
+                    if obj.elements is not None
+                    else None
+                ),
+            }
+            for obj in sorted(
+                db.objects.iter_objects(), key=lambda o: o.oid.value
+            )
+        ]
+    }
+    if not db.has_gmr_manager:
+        state.update(gmrs={}, rrr=[], obj_dep={}, scheduler=None, stats=None)
+        return state
+    manager = db.gmr_manager
+    gmrs: dict[str, list] = {}
+    for gmr in manager.gmrs():
+        rows = []
+        for row in gmr.rows():
+            valid = []
+            results = []
+            for value, flag in zip(row.results, row.valid):
+                ok, encoded = _try_encode(value)
+                usable = bool(flag and ok)
+                valid.append(usable)
+                results.append(encoded if usable else None)
+            rows.append(
+                (
+                    tuple(_encode_value(arg) for arg in row.args),
+                    tuple(valid),
+                    tuple(results),
+                )
+            )
+        rows.sort(key=repr)
+        gmrs[gmr.name] = rows
+    state["gmrs"] = gmrs
+    state["rrr"] = sorted(
+        (
+            (oid.value, fid, tuple(_encode_value(arg) for arg in args))
+            for oid, fid, args in manager.rrr.triples()
+        ),
+        key=repr,
+    )
+    state["obj_dep"] = {
+        obj.oid.value: tuple(sorted(obj.obj_dep_fct))
+        for obj in db.objects.iter_objects()
+        if obj.obj_dep_fct
+    }
+    scheduler = manager.scheduler.dump_state()
+    state["scheduler"] = {
+        "pending": sorted(
+            (
+                (
+                    priority,
+                    seq,
+                    fid,
+                    tuple(_encode_value(arg) for arg in args),
+                )
+                for priority, seq, fid, args in scheduler["heap"]
+            ),
+            key=repr,
+        ),
+        "frequency": scheduler["frequency"],
+    }
+    state["stats"] = dict(vars(manager.stats))
+    return state
+
+
+def verify_recovery(
+    db: "ObjectBase",
+    rebuild: "Callable[[ObjectBase], Any]",
+    *,
+    restrictions: dict[str, RestrictionSpec] | None = None,
+    directory: str | None = None,
+    mutate: "Callable[[ObjectBase], Any] | None" = None,
+) -> "ObjectBase":
+    """Checkpoint ``db``, crash-simulate, recover, and assert equivalence.
+
+    The full durability cycle as a one-call check: attach a WAL (if none
+    is attached), ``checkpoint()``, optionally run ``mutate(db)`` so the
+    log has a tail to replay, then recover checkpoint + WAL into a fresh
+    base whose schema ``rebuild`` re-creates, and compare
+    :func:`base_state` digests.  Raises :class:`PersistenceError` on any
+    divergence; returns the recovered base.  ``mutate`` must stick to
+    replay-faithful updates (no queries, no strictly-encapsulated public
+    operations — see :mod:`repro.gom.instrumentation`).
+    """
+    owns_directory = directory is None
+    if owns_directory:
+        directory = tempfile.mkdtemp(prefix="repro-durability-")
+    ckpt_path = os.path.join(directory, "checkpoint.json")
+    attached = None
+    if db.wal is None:
+        attached = WriteAheadLog(os.path.join(directory, "wal.log"))
+        db.attach_wal(attached)
+    wal_path = db.wal.path
+    if wal_path is None:
+        raise PersistenceError(
+            "verify_recovery needs a path-backed WAL to re-read"
+        )
+    try:
+        checkpoint(db, ckpt_path)
+        if mutate is not None:
+            mutate(db)
+        fresh = type(db)(
+            enforce_encapsulation=db.enforce_encapsulation, level=db.level
+        )
+        rebuild(fresh)
+        recover(fresh, ckpt_path, wal_path, restrictions=restrictions)
+        live = base_state(db)
+        recovered = base_state(fresh)
+        if live != recovered:
+            diverging = [
+                key for key in live if live[key] != recovered.get(key)
+            ]
+            raise PersistenceError(
+                "recovered base diverges from the live one in: "
+                + ", ".join(diverging)
+            )
+        return fresh
+    finally:
+        if attached is not None:
+            db.detach_wal()
+            attached.close()
+        if owns_directory:
+            import shutil
+
+            shutil.rmtree(directory, ignore_errors=True)

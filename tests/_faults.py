@@ -1,0 +1,214 @@
+"""Fault injection for the durability tests.
+
+Deliberately *independent* of :mod:`repro.storage.wal`: the frame
+parser, the crash-point enumerator and the committed-prefix scanner here
+are second implementations written straight from the log format's
+specification, so the recovery tests are differential — a bug shared by
+the production reader and the test oracle would have to be introduced
+twice.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+from repro.gom.oid import Oid
+
+_HEADER = struct.Struct(">II")
+
+
+class SimulatedCrash(BaseException):
+    """The process died (killed at a byte budget).
+
+    Derives from :class:`BaseException` like ``KeyboardInterrupt``: a
+    crash is not an application error, and nothing in the library should
+    be able to swallow it with ``except Exception``.
+    """
+
+
+class CrashingFile:
+    """A binary file wrapper that dies after ``budget`` durable bytes.
+
+    Writes pass through until the budget is exhausted; the write that
+    crosses it persists only the bytes up to the budget (a torn write)
+    and raises :class:`SimulatedCrash`.  After the crash the file is
+    dead — every further operation raises — so exactly ``budget`` bytes
+    ever reach the disk, no matter how the stack unwinds.
+    """
+
+    def __init__(self, fileobj, budget: int) -> None:
+        self._file = fileobj
+        self._remaining = budget
+        self.dead = False
+
+    def _check(self) -> None:
+        if self.dead:
+            raise SimulatedCrash("write after crash")
+
+    def write(self, data: bytes) -> int:
+        self._check()
+        if len(data) > self._remaining:
+            self._file.write(data[: self._remaining])
+            self._file.flush()
+            self._remaining = 0
+            self.dead = True
+            raise SimulatedCrash("byte budget exhausted")
+        self._file.write(data)
+        self._remaining -= len(data)
+        return len(data)
+
+    def flush(self) -> None:
+        self._check()
+        self._file.flush()
+
+    def seek(self, *args) -> int:
+        self._check()
+        return self._file.seek(*args)
+
+    def truncate(self, *args) -> int:
+        self._check()
+        return self._file.truncate(*args)
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+# -- independent log readers ------------------------------------------------------
+
+
+def frame_starts(data: bytes) -> list[int]:
+    """Byte offset of every intact frame, plus the end-of-log offset."""
+    offsets = [0]
+    position = 0
+    while position + _HEADER.size <= len(data):
+        length, _ = _HEADER.unpack_from(data, position)
+        end = position + _HEADER.size + length
+        if end > len(data):
+            break
+        position = end
+        offsets.append(position)
+    return offsets
+
+
+def parse_records(data: bytes) -> list[dict]:
+    """Decode every intact frame; stop silently at a torn/corrupt tail."""
+    records = []
+    position = 0
+    while position + _HEADER.size <= len(data):
+        length, checksum = _HEADER.unpack_from(data, position)
+        end = position + _HEADER.size + length
+        if end > len(data):
+            break
+        payload = data[position + _HEADER.size : end]
+        if zlib.crc32(payload) != checksum:
+            break
+        try:
+            records.append(json.loads(payload.decode("utf-8")))
+        except ValueError:
+            break
+        position = end
+    return records
+
+
+def crash_points(data: bytes) -> list[int]:
+    """Every frame boundary plus mid-frame torn-write offsets.
+
+    For each frame: the boundary before it (the crash hit between
+    appends), a one-byte torn header, the header/payload seam, and a
+    mid-payload tear.  The full length is excluded — that is the clean
+    run, covered separately.
+    """
+    points: set[int] = set()
+    starts = frame_starts(data)
+    for start, end in zip(starts, starts[1:]):
+        points.add(start)
+        points.add(start + 1)
+        points.add(start + _HEADER.size)
+        points.add(start + (end - start) // 2)
+    return sorted(points)
+
+
+def committed_records(records: list[dict]) -> list[dict]:
+    """The durable prefix: drop a trailing unterminated transaction.
+
+    Aborted transactions stay — their logged inverse updates make the
+    scope a net no-op under replay.
+    """
+    durable: list[dict] = []
+    buffered: list[dict] = []
+    depth = 0
+    for record in records:
+        kind = record["kind"]
+        if kind == "txn_begin":
+            depth += 1
+        if depth:
+            buffered.append(record)
+        else:
+            durable.append(record)
+        if kind in ("txn_commit", "txn_abort") and depth:
+            depth -= 1
+            if depth == 0:
+                durable.extend(buffered)
+                buffered.clear()
+    return durable
+
+
+def _decode(value):
+    if isinstance(value, dict) and set(value) == {"$oid"}:
+        return Oid(value["$oid"])
+    return value
+
+
+def apply_records(db, records: list[dict]) -> None:
+    """Apply committed records to a live base through the public update
+    API — the reference side of the differential harness."""
+    batch_scopes = []
+    for record in records:
+        kind = record["kind"]
+        if kind == "set":
+            db.set_attr(Oid(record["oid"]), record["attr"], _decode(record["value"]))
+        elif kind == "insert":
+            db.collection_insert(
+                Oid(record["oid"]),
+                _decode(record["value"]),
+                position=record.get("pos"),
+            )
+        elif kind == "remove":
+            db.collection_remove(Oid(record["oid"]), _decode(record["value"]))
+        elif kind == "create":
+            data = record.get("data")
+            elements = record.get("elements")
+            db.replay_create(
+                Oid(record["oid"]),
+                record["type"],
+                data=(
+                    {a: _decode(v) for a, v in data.items()}
+                    if data is not None
+                    else None
+                ),
+                elements=(
+                    [_decode(e) for e in elements]
+                    if elements is not None
+                    else None
+                ),
+            )
+        elif kind == "delete":
+            db.delete(Oid(record["oid"]))
+        elif kind == "batch_begin":
+            scope = db.batch()
+            scope.__enter__()
+            batch_scopes.append(scope)
+        elif kind == "batch_flush":
+            db.gmr_manager.flush_batch()
+        elif kind == "batch_end":
+            if batch_scopes:
+                batch_scopes.pop().__exit__(None, None, None)
+        elif kind not in ("txn_begin", "txn_commit", "txn_abort"):
+            raise AssertionError(f"unexpected record kind {kind!r}")
+    while batch_scopes:
+        batch_scopes.pop().__exit__(None, None, None)

@@ -347,6 +347,56 @@ def test_create_then_delete_inside_one_batch_cancels_out():
     assert harness.gmr.check_consistency(harness.db) == []
 
 
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.name)
+def test_invalidate_then_delete_in_one_batch(level, strategy):
+    """Update an object, then delete it, inside a single batch.
+
+    Found by the stateful machine: a lazy invalidation consumes the RRR
+    entry, so the unbatched run's forget_object never finds the row and
+    leaves it behind as a blind invalid row (Sec. 4.2) — the grouped
+    flush must reproduce that, not eagerly remove the row."""
+    plain = _Harness(level, strategy)
+    batched = _Harness(level, strategy)
+    script = [("set_mat", 0, 0.0), ("delete", 0, 0.0)]
+    for op in script:
+        plain.apply(op)
+    with batched.db.batch():
+        for op in script:
+            batched.apply(op)
+    assert batched.state() == plain.state()
+    assert batched.check_consistency() == []
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.name)
+def test_create_update_delete_in_one_batch(level, strategy):
+    """Create an object, update it, delete another, then delete it —
+    all inside a single batch.
+
+    Found by the stateful machine: the queue elides the create+delete
+    pair, but sequentially the adaptation materialized the row, the
+    lazy invalidation consumed its RRR entries, and the delete walked
+    away — leaving a blind invalid row the flush must synthesize.  The
+    unrelated delete in between strands the invalidation behind a
+    coalescing barrier, so the fold must reach across it."""
+    plain = _Harness(level, strategy)
+    batched = _Harness(level, strategy)
+    script = [
+        ("create", 0, 1.0),
+        ("set_mat", 3, 0.0),
+        ("delete", 0, 0.0),
+        ("delete", 2, 0.0),
+    ]
+    for op in script:
+        plain.apply(op)
+    with batched.db.batch():
+        for op in script:
+            batched.apply(op)
+    assert batched.state() == plain.state()
+    assert batched.check_consistency() == []
+
+
 class BatchEquivalenceMachine(RuleBasedStateMachine):
     """Mirror every operation into a batched and an unbatched base.
 

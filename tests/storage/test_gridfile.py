@@ -111,3 +111,94 @@ class TestBufferCharging:
         buffer.reset_stats()
         list(grid.query([None, None]))
         assert partial < buffer.stats.logical_reads
+
+
+class TestSplitPaths:
+    """Direct coverage of the region/grid split machinery."""
+
+    def test_region_split_runs_after_grid_refinement(self):
+        # Capacity 2 with collinear-ish points forces a grid split whose
+        # remap leaves a two-cell bucket, which then region-splits.
+        grid = GridFile(2, bucket_capacity=2)
+        points = [(float(i), float(i % 3)) for i in range(12)]
+        for index, point in enumerate(points):
+            grid.insert(point, index)
+        assert len(grid) == 12
+        buckets = {id(bucket) for bucket in grid._directory.values()}
+        assert len(buckets) > 1, "splits must have created new buckets"
+        for index, point in enumerate(points):
+            assert index in grid.search(point)
+
+    def test_directory_remap_preserves_every_entry(self):
+        grid = GridFile(3, bucket_capacity=3)
+        points = [
+            (float(x), float(y), float(z))
+            for x in range(3)
+            for y in range(3)
+            for z in range(2)
+        ]
+        for point in points:
+            grid.insert(point, point)
+        # Every cell in the remapped directory agrees with its bucket.
+        for cell, bucket in grid._directory.items():
+            assert cell in bucket.cells
+        recovered = sorted(point for point, _ in grid.items())
+        assert recovered == sorted(points)
+
+    def test_split_uses_numeric_midpoints_when_values_sit_on_scales(self):
+        grid = GridFile(1, bucket_capacity=2)
+        # 0.0 and 1.0 become scale boundaries; further inserts of the
+        # same two values can only be separated by the 0.5 midpoint.
+        for index in range(8):
+            grid.insert((float(index % 2),), index)
+        assert len(grid) == 8
+        assert len(grid.search((0.0,))) == 4
+        assert len(grid.search((1.0,))) == 4
+        assert any(0.0 < s < 1.0 for s in grid.scales[0]), (
+            "expected a midpoint boundary between the duplicate clusters"
+        )
+
+    def test_string_scales_split(self):
+        grid = GridFile(1, bucket_capacity=2)
+        for name in ["iron", "gold", "copper", "zinc", "tin", "lead"]:
+            grid.insert((name,), name)
+        assert len(grid.scales[0]) >= 1
+        for name in ["iron", "gold", "copper", "zinc", "tin", "lead"]:
+            assert grid.search((name,)) == [name]
+
+    def test_remove_after_heavy_splitting(self):
+        grid = GridFile(2, bucket_capacity=2)
+        points = [(float(x), float(y)) for x in range(5) for y in range(5)]
+        for point in points:
+            grid.insert(point, point)
+        for point in points[::2]:
+            assert grid.remove(point, point)
+        assert len(grid) == len(points) - len(points[::2])
+        for point in points[::2]:
+            assert grid.search(point) == []
+        for point in points[1::2]:
+            assert grid.search(point) == [point]
+
+    def test_query_matches_brute_force_after_splits(self):
+        grid = GridFile(2, bucket_capacity=3)
+        points = [((i * 7) % 11 + 0.5, (i * 3) % 5 + 0.25) for i in range(40)]
+        for index, point in enumerate(points):
+            grid.insert(point, index)
+        conditions = [(2.0, 8.0), None]
+        expected = sorted(
+            index
+            for index, point in enumerate(points)
+            if 2.0 <= point[0] <= 8.0
+        )
+        got = sorted(value for _, value in grid.query(conditions))
+        assert got == expected
+
+    def test_duplicate_overflow_then_separable_insert_splits(self):
+        grid = GridFile(2, bucket_capacity=2)
+        for index in range(5):
+            grid.insert((1.0, 1.0), index)  # overflow bucket, no split
+        scales_before = [list(s) for s in grid.scales]
+        grid.insert((9.0, 9.0), "far")  # now separable: split happens
+        assert grid.search((9.0, 9.0)) == ["far"]
+        assert len(grid.search((1.0, 1.0))) == 5
+        assert [list(s) for s in grid.scales] != scales_before

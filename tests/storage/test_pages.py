@@ -177,3 +177,64 @@ class TestCostModel:
         buffer.touch(1, write=True)
         buffer.touch(2)
         assert model.cost(buffer.stats) == pytest.approx(2.0 + 1.0)
+
+
+class TestEvictionPaths:
+    """Direct coverage of the eviction/writeback state machine."""
+
+    def test_strict_lru_victim_order(self):
+        buffer = BufferManager(capacity=3)
+        for page in (1, 2, 3):
+            buffer.touch(page)
+        buffer.touch(1)  # order now 2, 3, 1
+        buffer.touch(4)  # evicts 2
+        assert not buffer.touch(2)  # miss: 2 was the victim, evicts 3
+        assert not buffer.touch(3)  # miss: 3 went next
+        assert buffer.touch(2)      # 2 is resident again
+
+    def test_resident_count_never_exceeds_capacity(self):
+        buffer = BufferManager(capacity=4)
+        for page in range(50):
+            buffer.touch(page, write=(page % 3 == 0))
+        assert buffer.resident_count == 4
+        assert buffer.stats.misses == 50
+
+    def test_flush_clears_dirtiness(self):
+        buffer = BufferManager(capacity=2)
+        buffer.touch(1, write=True)
+        buffer.touch(2, write=True)
+        assert buffer.flush() == 2
+        assert buffer.flush() == 0  # nothing left dirty
+        buffer.touch(3)  # evicts 1 — already written back, no new writeback
+        assert buffer.stats.writebacks == 2
+
+    def test_evict_all_is_writeback_free(self):
+        buffer = BufferManager(capacity=3)
+        buffer.touch(1, write=True)
+        buffer.touch(2)
+        buffer.evict_all()
+        assert buffer.resident_count == 0
+        assert buffer.stats.writebacks == 0
+        # The dropped dirty page does not haunt later evictions either.
+        for page in (3, 4, 5, 6):
+            buffer.touch(page)
+        assert buffer.stats.writebacks == 0
+
+    def test_redirtied_page_writes_back_once_per_eviction(self):
+        buffer = BufferManager(capacity=1)
+        buffer.touch(1, write=True)
+        buffer.touch(2)  # evicts dirty 1 → writeback
+        buffer.touch(1, write=True)  # re-load and re-dirty
+        buffer.touch(3)  # evicts dirty 1 again → second writeback
+        assert buffer.stats.writebacks == 2
+
+    def test_eviction_interacts_with_cost_model(self):
+        buffer = BufferManager(capacity=1)
+        model = CostModel()
+        buffer.touch(1, write=True)
+        buffer.touch(2)
+        expensive = model.cost(buffer.stats)
+        clean = BufferManager(capacity=2)
+        clean.touch(1)
+        clean.touch(2)
+        assert expensive > model.cost(clean.stats)

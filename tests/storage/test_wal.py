@@ -1,0 +1,148 @@
+"""Unit tests for the WAL frame codec and committed-prefix scan."""
+
+import struct
+
+import pytest
+
+from repro.gom.oid import Oid
+from repro.storage.wal import (
+    WalError,
+    WriteAheadLog,
+    committed_prefix,
+    decode_value,
+    encode_frame,
+    encode_value,
+    iter_frames,
+    read_records,
+)
+
+
+class TestValueCodec:
+    def test_oid_round_trip(self):
+        assert decode_value(encode_value(Oid(7))) == Oid(7)
+
+    def test_atomics_pass_through(self):
+        for value in (1, 2.5, "x", True, None):
+            assert decode_value(encode_value(value)) == value
+
+    def test_unrepresentable_value_rejected(self):
+        with pytest.raises(WalError):
+            encode_value(object())
+
+
+class TestFrames:
+    def test_round_trip(self):
+        records = [
+            {"kind": "set", "oid": 1, "attr": "X", "value": 2.0},
+            {"kind": "create", "oid": 9, "type": "Point", "data": {}},
+        ]
+        data = b"".join(encode_frame(r) for r in records)
+        assert [r for _, r in iter_frames(data)] == records
+
+    def test_torn_header_stops_scan(self):
+        data = encode_frame({"kind": "txn_begin"})
+        assert [r for _, r in iter_frames(data + b"\x00\x00")] == [
+            {"kind": "txn_begin"}
+        ]
+
+    def test_torn_payload_stops_scan(self):
+        good = encode_frame({"kind": "txn_begin"})
+        torn = encode_frame({"kind": "set", "oid": 1, "attr": "X", "value": 1.0})
+        data = good + torn[:-3]
+        assert [r for _, r in iter_frames(data)] == [{"kind": "txn_begin"}]
+
+    def test_corrupt_checksum_stops_scan(self):
+        good = encode_frame({"kind": "txn_begin"})
+        bad = bytearray(encode_frame({"kind": "txn_commit"}))
+        bad[-1] ^= 0xFF  # flip a payload byte: CRC no longer matches
+        data = good + bytes(bad) + good
+        # The scan must stop at the corrupt frame, not resynchronize.
+        assert [r for _, r in iter_frames(data)] == [{"kind": "txn_begin"}]
+
+    def test_absurd_length_treated_as_corruption(self):
+        data = struct.pack(">II", 1 << 30, 0) + b"xx"
+        assert list(iter_frames(data)) == []
+
+    def test_offsets_are_frame_starts(self):
+        first = encode_frame({"kind": "txn_begin"})
+        second = encode_frame({"kind": "txn_commit"})
+        offsets = [offset for offset, _ in iter_frames(first + second)]
+        assert offsets == [0, len(first)]
+
+
+class TestCommittedPrefix:
+    def test_plain_records_are_durable(self):
+        records = [{"kind": "set", "oid": 1, "attr": "X", "value": 1.0}]
+        assert committed_prefix(records) == (records, 0)
+
+    def test_unterminated_transaction_discarded(self):
+        records = [
+            {"kind": "set", "oid": 1, "attr": "X", "value": 1.0},
+            {"kind": "txn_begin"},
+            {"kind": "set", "oid": 1, "attr": "Y", "value": 2.0},
+        ]
+        durable, discarded = committed_prefix(records)
+        assert durable == records[:1]
+        assert discarded == 2
+
+    def test_nested_transaction_commits_at_outermost(self):
+        records = [
+            {"kind": "txn_begin"},
+            {"kind": "txn_begin"},
+            {"kind": "set", "oid": 1, "attr": "X", "value": 1.0},
+            {"kind": "txn_commit"},
+            {"kind": "set", "oid": 1, "attr": "Y", "value": 2.0},
+        ]
+        durable, discarded = committed_prefix(records)
+        assert durable == []
+        assert discarded == 5
+        durable, discarded = committed_prefix(
+            records + [{"kind": "txn_commit"}]
+        )
+        assert len(durable) == 6
+        assert discarded == 0
+
+    def test_aborted_transaction_stays_in_stream(self):
+        records = [
+            {"kind": "txn_begin"},
+            {"kind": "set", "oid": 1, "attr": "X", "value": 9.0},
+            {"kind": "set", "oid": 1, "attr": "X", "value": 1.0},  # inverse
+            {"kind": "txn_abort"},
+        ]
+        durable, discarded = committed_prefix(records)
+        assert durable == records
+        assert discarded == 0
+
+
+class TestWriteAheadLog:
+    def test_append_and_truncate(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append({"kind": "txn_begin"})
+        log.append({"kind": "txn_commit"})
+        assert len(read_records(path)) == 2
+        log.truncate()
+        assert read_records(path) == []
+        log.append({"kind": "batch_begin"})
+        assert read_records(path) == [{"kind": "batch_begin"}]
+        log.close()
+
+    def test_reopen_appends(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        first = WriteAheadLog(path)
+        first.append({"kind": "txn_begin"})
+        first.close()
+        second = WriteAheadLog(path)
+        second.append({"kind": "txn_commit"})
+        second.close()
+        assert [r["kind"] for r in read_records(path)] == [
+            "txn_begin",
+            "txn_commit",
+        ]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_records(str(tmp_path / "absent.log")) == []
+
+    def test_needs_path_or_fileobj(self):
+        with pytest.raises(WalError):
+            WriteAheadLog()

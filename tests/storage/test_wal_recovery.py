@@ -1,0 +1,286 @@
+"""Fault-injection recovery matrix: crash at every WAL offset, recover,
+compare against a committed-prefix reference — across strategies.
+
+The harness mirrors ``tests/core/test_batch_equivalence.py``'s
+differential pattern, applied to durability:
+
+1. one *clean* run executes a deterministic update script against a
+   WAL-attached base and keeps the full log bytes;
+2. every crash offset (each frame boundary plus mid-frame torn writes,
+   enumerated by the independent parser in ``tests/_faults.py``) is
+   simulated by re-running the same script against a fresh base whose
+   WAL dies at that byte budget;
+3. ``recover()`` rebuilds a base from checkpoint + torn log, and a
+   *reference* base applies the independently-computed committed prefix
+   live through the public API;
+4. the two must agree on the :func:`repro.persistence.base_state`
+   digest — objects, GMR extensions, validity flags, RRR, ObjDepFct,
+   scheduler queue and manager counters.
+
+EAGER (= ``Strategy.IMMEDIATE``), LAZY and DEFERRED all go through the
+full matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObjectBase, Strategy, WriteAheadLog, base_state, recover
+from repro.persistence import checkpoint, load_object_base
+from repro.storage import wal as wal_module
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+
+from tests._faults import (
+    CrashingFile,
+    SimulatedCrash,
+    apply_records,
+    committed_records,
+    crash_points,
+    parse_records,
+)
+
+STRATEGIES = [Strategy.IMMEDIATE, Strategy.LAZY, Strategy.DEFERRED]
+
+
+def _point_schema(db: ObjectBase) -> None:
+    db.define_tuple_type(
+        "Point", {"X": "float", "Y": "float", "Label": "string"}
+    )
+    db.define_operation(
+        "Point",
+        "norm",
+        [],
+        "float",
+        lambda self: (self.X * self.X + self.Y * self.Y) ** 0.5,
+    )
+    db.define_operation(
+        "Point",
+        "manhattan",
+        [],
+        "float",
+        lambda self: abs(self.X) + abs(self.Y),
+    )
+    db.define_set_type("Cluster", "Point")
+
+
+def _build_point_base(strategy: Strategy) -> ObjectBase:
+    db = ObjectBase()
+    _point_schema(db)
+    points = [
+        db.new("Point", X=float(i + 1), Y=float((i * 3) % 5), Label=f"p{i}")
+        for i in range(4)
+    ]
+    db.new_collection("Cluster", points[:3])
+    db.materialize(
+        [("Point", "norm"), ("Point", "manhattan")], strategy=strategy
+    )
+    return db
+
+
+def _script(db: ObjectBase) -> None:
+    """Deterministic update script covering every WAL record kind."""
+    points = db.extension("Point")
+    cluster = db.extension("Cluster")[0]
+    p0, p1, p2, p3 = points[:4]
+    p0.set_X(9.0)
+    p1.set_Label("renamed")
+    fresh = db.new("Point", X=5.0, Y=12.0, Label="q")
+    cluster.insert(fresh)
+    with db.batch():
+        p1.set_Y(3.0)
+        p2.set_X(7.0)
+        # A query inside the open batch forces a mid-batch flush, which
+        # the WAL records as a batch_flush marker.
+        assert p2.norm() >= 0.0
+        p2.set_Y(2.0)
+    with db.transaction():
+        p3.set_X(2.5)
+        cluster.remove(p0)
+    with db.transaction() as txn:
+        p3.set_Y(8.0)
+        cluster.remove(p1)  # rollback re-inserts with an explicit position
+        txn.abort()
+    doomed = db.new("Point", X=0.5, Y=0.5, Label="tmp")
+    doomed.set_X(1.5)
+    db.delete(doomed)
+    p0.set_Y(4.0)
+
+
+def _assert_same_state(recovered: ObjectBase, reference: ObjectBase, context: str):
+    left = base_state(recovered)
+    right = base_state(reference)
+    for key in left:
+        assert left[key] == right[key], (
+            f"{context}: recovered base diverges from the committed-prefix "
+            f"reference in {key!r}:\n{left[key]!r}\n!=\n{right[key]!r}"
+        )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+def test_crash_matrix(strategy, tmp_path):
+    ckpt = str(tmp_path / "checkpoint.json")
+
+    # Clean run: capture the full WAL byte stream.
+    clean_log = str(tmp_path / "clean.log")
+    clean = _build_point_base(strategy)
+    clean.attach_wal(WriteAheadLog(clean_log))
+    checkpoint(clean, ckpt)
+    _script(clean)
+    with open(clean_log, "rb") as handle:
+        full = handle.read()
+    assert full, "the script must produce WAL traffic"
+
+    offsets = crash_points(full)
+    assert len(offsets) >= 40, "expected a dense crash matrix"
+    crash_log = str(tmp_path / "crash.log")
+
+    for offset in offsets:
+        victim = _build_point_base(strategy)
+        raw = open(crash_log, "wb")
+        victim.attach_wal(
+            WriteAheadLog(path=crash_log, fileobj=CrashingFile(raw, offset))
+        )
+        crashed = False
+        try:
+            _script(victim)
+        except SimulatedCrash:
+            crashed = True
+        finally:
+            raw.close()
+        assert crashed, f"offset {offset} should kill the run mid-script"
+
+        with open(crash_log, "rb") as handle:
+            durable = handle.read()
+        # The simulated disk holds exactly the byte prefix of the clean
+        # run's log: deterministic scripts make the streams identical.
+        assert durable == full[:offset], f"offset {offset}: torn tail differs"
+
+        recovered = ObjectBase()
+        _point_schema(recovered)
+        report = recover(recovered, ckpt, crash_log)
+        assert report.records_replayed <= report.records_scanned
+
+        reference = ObjectBase()
+        _point_schema(reference)
+        load_object_base(reference, ckpt)
+        apply_records(reference, committed_records(parse_records(durable)))
+
+        _assert_same_state(
+            recovered, reference, f"{strategy.name} @ offset {offset}"
+        )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+def test_reader_agrees_with_independent_parser(strategy, tmp_path):
+    """The production log reader and the test-local parser must decode
+    the identical record list from the identical bytes."""
+    log_path = str(tmp_path / "wal.log")
+    db = _build_point_base(strategy)
+    db.attach_wal(WriteAheadLog(log_path))
+    _script(db)
+    production = wal_module.read_records(log_path)
+    with open(log_path, "rb") as handle:
+        independent = parse_records(handle.read())
+    assert production == independent
+    durable, _ = wal_module.committed_prefix(production)
+    assert durable == committed_records(independent)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+def test_geometry_checkpoint_crash_recover(strategy, tmp_path):
+    """Full checkpoint→crash→recover on the paper's Figure 2 base:
+    validity flags and RRR must survive bit-for-bit."""
+    db = ObjectBase()
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    db.materialize(
+        [("Cuboid", "volume"), ("Cuboid", "weight")], strategy=strategy
+    )
+    ckpt = str(tmp_path / "geo.json")
+    log_path = str(tmp_path / "geo.log")
+    db.attach_wal(WriteAheadLog(log_path))
+    checkpoint(db, ckpt)
+
+    c0, c1, _ = fixture.cuboids
+    c0.scale(create_vertex(db, 1.5, 1.0, 1.0))
+    c1.set_Mat(fixture.gold)
+    with db.transaction() as txn:
+        c1.scale(create_vertex(db, 3.0, 1.0, 1.0))
+        txn.abort()
+
+    with open(log_path, "rb") as handle:
+        full = handle.read()
+
+    # Recover the full log and two torn variants: a frame boundary in
+    # the middle of the scale's elementary updates and a mid-frame tear.
+    boundaries = crash_points(full)
+    probe_offsets = [len(full), boundaries[len(boundaries) // 2], boundaries[3] + 5]
+    for offset in probe_offsets:
+        torn = str(tmp_path / f"geo-{offset}.log")
+        with open(torn, "wb") as handle:
+            handle.write(full[:offset])
+
+        recovered = ObjectBase()
+        build_geometry_schema(recovered)
+        recover(recovered, ckpt, torn)
+
+        reference = ObjectBase()
+        build_geometry_schema(reference)
+        load_object_base(reference, ckpt)
+        apply_records(
+            reference, committed_records(parse_records(full[:offset]))
+        )
+
+        # The headline acceptance: GMR validity flags and RRR contents
+        # bit-for-bit (base_state compares both exactly).
+        _assert_same_state(
+            recovered, reference, f"geometry {strategy.name} @ {offset}"
+        )
+        assert sorted(
+            recovered.gmr_manager.rrr.triples()
+        ) == sorted(reference.gmr_manager.rrr.triples())
+
+
+def test_recovery_discards_unterminated_transaction(tmp_path):
+    db = _build_point_base(Strategy.IMMEDIATE)
+    ckpt = str(tmp_path / "ck.json")
+    log_path = str(tmp_path / "wal.log")
+    db.attach_wal(WriteAheadLog(log_path))
+    checkpoint(db, ckpt)
+    p0 = db.extension("Point")[0]
+    p0.set_X(42.0)
+    # Simulate a crash mid-transaction: log records but never terminate.
+    db.transactions.begin()
+    p0.set_Y(99.0)
+
+    recovered = ObjectBase()
+    _point_schema(recovered)
+    report = recover(recovered, ckpt, log_path)
+    assert report.records_discarded == 2  # txn_begin + the set
+    assert recovered.extension("Point")[0].X == 42.0
+    assert recovered.extension("Point")[0].Y != 99.0
+
+
+def test_recovery_closes_open_batch(tmp_path):
+    db = _build_point_base(Strategy.LAZY)
+    ckpt = str(tmp_path / "ck.json")
+    log_path = str(tmp_path / "wal.log")
+    db.attach_wal(WriteAheadLog(log_path))
+    checkpoint(db, ckpt)
+    scope = db.batch()
+    scope.__enter__()
+    points = db.extension("Point")
+    points[0].set_X(11.0)
+    points[1].set_Y(13.0)
+    # Crash here: batch_begin + two sets are on disk, no batch_end.
+
+    recovered = ObjectBase()
+    _point_schema(recovered)
+    report = recover(recovered, ckpt, log_path)
+    assert report.batches_closed == 1
+    assert recovered.gmr_manager._batch_depth == 0
+    assert recovered.extension("Point")[0].X == 11.0

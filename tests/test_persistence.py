@@ -183,3 +183,128 @@ class TestEdgeCases:
         )
         assert len(gmr) == 3
         assert gmr.is_complete(reloaded)
+
+
+class TestInFlightStateRejected:
+    """The round-trip gap: in-flight batch/transaction state used to be
+    silently dropped on dump; now the dump refuses outright."""
+
+    def test_dump_rejects_open_batch(self, tmp_path, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        scope = db.batch()
+        scope.__enter__()
+        try:
+            fixture.cuboids[0].set_Value(9.99)
+            with pytest.raises(PersistenceError, match="batch"):
+                to_document(db)
+        finally:
+            scope.__exit__(None, None, None)
+        to_document(db)  # fine once flushed
+
+    def test_dump_rejects_open_transaction(self, geometry_db):
+        db, fixture = geometry_db
+        with db.transaction():
+            fixture.cuboids[0].set_Value(1.0)
+            with pytest.raises(PersistenceError, match="transaction"):
+                to_document(db)
+        to_document(db)  # fine once committed
+
+
+class TestSchedulerAndStatsRoundTrip:
+    def _deferred_db(self):
+        db = fresh_db()
+        fixture = build_figure2_database(db)
+        db.materialize(
+            [("Cuboid", "volume"), ("Cuboid", "weight")],
+            strategy=Strategy.DEFERRED,
+        )
+        return db, fixture
+
+    def test_pending_revalidations_survive(self, tmp_path):
+        db, fixture = self._deferred_db()
+        fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+        pending = db.gmr_manager.scheduler.pending()
+        assert pending > 0
+        path = tmp_path / "deferred.json"
+        dump_object_base(db, str(path))
+
+        reloaded = fresh_db()
+        load_object_base(reloaded, str(path))
+        scheduler = reloaded.gmr_manager.scheduler
+        assert scheduler.pending() == pending
+        assert scheduler.dump_state() == db.gmr_manager.scheduler.dump_state()
+        # The restored queue is drainable: the sweep revalidates every
+        # pending entry against the restored base.
+        drained = scheduler.revalidate()
+        assert drained > 0
+        gmr = reloaded.gmr_manager.gmr("<<volume, weight>>")
+        assert all(all(row.valid) for row in gmr.rows())
+
+    def test_query_frequencies_survive(self, tmp_path):
+        db, fixture = self._deferred_db()
+        for _ in range(3):
+            fixture.cuboids[0].volume()
+        path = tmp_path / "freq.json"
+        dump_object_base(db, str(path))
+        reloaded = fresh_db()
+        load_object_base(reloaded, str(path))
+        assert (
+            reloaded.gmr_manager.scheduler.query_frequency
+            == db.gmr_manager.scheduler.query_frequency
+        )
+
+    def test_manager_stats_survive(self, tmp_path):
+        db, fixture = self._deferred_db()
+        fixture.cuboids[1].set_Mat(fixture.gold)
+        fixture.cuboids[1].weight()
+        before = vars(db.gmr_manager.stats)
+        path = tmp_path / "stats.json"
+        dump_object_base(db, str(path))
+        reloaded = fresh_db()
+        load_object_base(reloaded, str(path))
+        assert vars(reloaded.gmr_manager.stats) == before
+
+    def test_old_documents_without_scheduler_still_load(self, tmp_path, geometry_db):
+        db, fixture = geometry_db
+        db.materialize([("Cuboid", "volume")])
+        document = to_document(db)
+        document.pop("stats")
+        document.pop("scheduler")
+        reloaded = fresh_db()
+        from_document(reloaded, document)
+        assert len(reloaded.extension("Cuboid")) == 3
+
+
+class TestOidAllocatorRoundTrip:
+    """OIDs burned by deleted objects must stay burned after a reload.
+
+    Found by the durability state machine: a live process and a
+    checkpoint-reloaded one diverged on the OID of the next created
+    object whenever the highest allocated OID belonged to a deleted
+    object (restore() can only advance past *surviving* OIDs)."""
+
+    def test_deleted_high_oid_not_reissued(self, tmp_path, geometry_db):
+        db, fixture = geometry_db
+        doomed = db.new("Material", Name="scrap", SpecWeight=0.1)
+        burned = doomed.oid
+        db.delete(burned)
+        path = tmp_path / "oids.json"
+        dump_object_base(db, str(path))
+        reloaded = fresh_db()
+        load_object_base(reloaded, str(path))
+        assert reloaded.objects.peek_next_oid() == db.objects.peek_next_oid()
+        replacement = reloaded.new("Material", Name="new", SpecWeight=0.2)
+        assert replacement.oid != burned
+
+    def test_old_documents_without_next_oid_still_load(self, geometry_db):
+        db, fixture = geometry_db
+        document = to_document(db)
+        document.pop("next_oid")
+        reloaded = fresh_db()
+        from_document(reloaded, document)
+        # Without the field the allocator still clears every live OID.
+        assert (
+            reloaded.objects.peek_next_oid().value
+            >= max(h.oid.value for h in reloaded.extension("Vertex"))
+        )
