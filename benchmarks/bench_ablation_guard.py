@@ -1,0 +1,96 @@
+"""Ablation: execution-guard overhead on the success path.
+
+The fault-tolerance pipeline (guard → ERROR state → retry → breaker)
+must be paid for only when a function actually misbehaves.  This
+ablation runs the Figure 7 workload (Qmix = {0.5 Qbw, 0.5 Qfw},
+Umix = {0.5 I, 0.5 S}) twice over the same ``CuboidApplication`` —
+once with ``FaultPolicy.enabled = False`` (the seed's raw call path)
+and once with the guard armed — and asserts
+
+* the guarded run never trips (no failures, no timeouts, no retries,
+  no breaker transitions: geometry bodies are healthy),
+* both runs end in the *identical* GMR extension, and
+* the guarded run's wall clock stays within noise of the raw run
+  (generous bound: the guard adds one clock read and one ``try`` per
+  body call, not a second evaluation).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.cuboid import CuboidApplication, CuboidConfig
+from repro.bench.runner import WITH_GMR
+from repro.bench.workload import OperationMix
+from repro.util.rng import DeterministicRng
+
+_FIG7_MIX = dict(
+    queries=[(0.5, "Qbw"), (0.5, "Qfw")],
+    updates=[(0.5, "I"), (0.5, "S")],
+)
+
+
+def _run_fig7(*, guarded: bool, operations: int = 60, cuboids: int = 80):
+    """One Figure 7 point; returns (application, stats delta, seconds)."""
+    application = CuboidApplication(
+        WITH_GMR, CuboidConfig(cuboids=cuboids, seed=7)
+    )
+    manager = application.db.gmr_manager
+    manager.fault_policy.enabled = guarded
+    mix = OperationMix(
+        update_probability=0.9, operations=operations, **_FIG7_MIX
+    )
+    before = manager.stats.snapshot()
+    start = time.perf_counter()
+    application.run_mix(mix, DeterministicRng(11))
+    elapsed = time.perf_counter() - start
+    return application, manager.stats.delta(before), elapsed
+
+
+def _gmr_state(application):
+    return sorted(
+        (row.args[0].value, tuple(row.valid), tuple(row.results))
+        for row in application.gmr.rows()
+    )
+
+
+def test_smoke_guard_is_free_on_the_success_path(benchmark):
+    raw, raw_delta, raw_seconds = _run_fig7(guarded=False)
+    guarded, guarded_delta, guarded_seconds = benchmark.pedantic(
+        lambda: _run_fig7(guarded=True), rounds=1, iterations=1
+    )
+    # A healthy workload exercises none of the fault machinery.
+    for counter in (
+        "guard_failures",
+        "guard_timeouts",
+        "retries_scheduled",
+        "retries_exhausted",
+        "breaker_opens",
+        "degraded_forward_calls",
+    ):
+        assert getattr(guarded_delta, counter) == 0, counter
+    # The guard must not perturb the materialized extension...
+    assert _gmr_state(guarded) == _gmr_state(raw)
+    assert not guarded.db.gmr_manager.breaker.quarantined_fids()
+    # ...and its per-call cost (a monotonic read plus a try frame) must
+    # drown in workload noise.  3x + 50ms is deliberately loose: this is
+    # a smoke bound against pathological overhead (e.g. accidentally
+    # re-evaluating bodies), not a microbenchmark.
+    assert guarded_seconds < raw_seconds * 3 + 0.05
+
+
+def test_smoke_guard_overhead_scales_linearly(benchmark):
+    def sweep():
+        seconds = []
+        for operations in (20, 60):
+            _, delta, elapsed = _run_fig7(
+                guarded=True, operations=operations
+            )
+            assert delta.guard_failures == 0
+            seconds.append(elapsed)
+        return seconds
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Tripling the operation count must not blow up superlinearly; the
+    # slack absorbs scheduler warm-up and timer jitter on tiny runs.
+    assert large < small * 20 + 0.1

@@ -29,10 +29,17 @@ that regenerates every figure of the evaluation section.
 from repro.gom import Handle, InstrumentationLevel, ObjectBase, Oid
 from repro.core import (
     GMR,
+    BreakerState,
+    FaultPolicy,
     GMRManager,
     RangeRestriction,
     Strategy,
     ValueRestriction,
+)
+from repro.errors import (
+    FunctionExecutionError,
+    FunctionQuarantinedError,
+    FunctionTimeoutError,
 )
 from repro.core.restricted import RestrictionSpec
 from repro.predicates import Variable
@@ -58,6 +65,11 @@ __all__ = [
     "GMR",
     "GMRManager",
     "Strategy",
+    "FaultPolicy",
+    "BreakerState",
+    "FunctionExecutionError",
+    "FunctionTimeoutError",
+    "FunctionQuarantinedError",
     "RestrictionSpec",
     "ValueRestriction",
     "RangeRestriction",

@@ -13,13 +13,19 @@
 * :mod:`repro.core.restricted` — restricted GMRs (Sec. 6).
 """
 
+from repro.core.breaker import BreakerState, CircuitBreaker
 from repro.core.function_registry import FunctionInfo, FunctionRegistry
 from repro.core.gmr import GMR
+from repro.core.guard import ExecutionGuard, FaultPolicy
 from repro.core.manager import GMRManager
 from repro.core.strategies import Strategy
 from repro.core.restricted import Restriction, ValueRestriction, RangeRestriction
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ExecutionGuard",
+    "FaultPolicy",
     "FunctionInfo",
     "FunctionRegistry",
     "GMR",

@@ -1,0 +1,236 @@
+"""Per-function circuit breaker (quarantine of failing user code).
+
+After ``FaultPolicy.failure_threshold`` *consecutive* guard failures a
+function id is quarantined: its GMR demotes to pass-through — forward
+queries answer by direct evaluation (correct by Sec. 3.2 transparency),
+updates become mark-only — and no further body invocations happen on
+the maintenance path.  Once ``FaultPolicy.cooldown`` has elapsed, the
+next execution request becomes the *probe* that half-opens the breaker:
+probe success closes it (normal maintenance resumes), probe failure
+re-opens it and restarts the cooldown.
+
+The breaker is keyed by function id, which includes the pseudo function
+ids of restriction predicates — a crashing predicate quarantines
+exactly like a crashing function.
+
+State transitions (single-threaded, resolved synchronously)::
+
+    CLOSED --K consecutive failures--> OPEN
+    OPEN   --cooldown elapsed, acquire()--> HALF_OPEN (the probe runs)
+    HALF_OPEN --success--> CLOSED        --failure--> OPEN (new cooldown)
+
+Breaker state is part of the durability contract: it round-trips
+through checkpoint/recover (cooldowns as *remaining* durations, since
+monotonic clocks do not survive a process), so a crash cannot resurrect
+a quarantined function as healthy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.core.guard import FaultPolicy
+
+
+class BreakerState(Enum):
+    """Where one function's breaker is in its lifecycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class BreakerDecision:
+    """Outcome of :meth:`CircuitBreaker.acquire`."""
+
+    allowed: bool
+    #: The call (if allowed) is the half-open probe of an open breaker.
+    probe: bool = False
+
+
+@dataclass
+class _Entry:
+    consecutive_failures: int = 0
+    state: BreakerState = BreakerState.CLOSED
+    #: Clock reading when the breaker (re-)opened.
+    opened_at: float = 0.0
+    #: Lifetime counters (observability; not part of the state machine).
+    total_failures: int = 0
+    times_opened: int = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over function ids."""
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self._entries: dict[str, _Entry] = {}
+
+    def _entry(self, fid: str) -> _Entry:
+        entry = self._entries.get(fid)
+        if entry is None:
+            entry = self._entries[fid] = _Entry()
+        return entry
+
+    # -- queries ---------------------------------------------------------------
+
+    def state(self, fid: str) -> BreakerState:
+        entry = self._entries.get(fid)
+        return entry.state if entry is not None else BreakerState.CLOSED
+
+    def quarantined(self, fid: str) -> bool:
+        """Whether ``fid`` is currently quarantined (breaker not closed)."""
+        return self.state(fid) is not BreakerState.CLOSED
+
+    def probe_eligible(self, fid: str) -> bool:
+        """An open breaker whose cooldown has elapsed: the next acquire
+        becomes the half-open probe."""
+        entry = self._entries.get(fid)
+        if entry is None or entry.state is not BreakerState.OPEN:
+            return False
+        return self.clock() - entry.opened_at >= self.policy.cooldown
+
+    def seconds_until_probe(self, fid: str) -> float:
+        """Remaining cooldown (0.0 when closed or already eligible)."""
+        entry = self._entries.get(fid)
+        if entry is None or entry.state is not BreakerState.OPEN:
+            return 0.0
+        remaining = self.policy.cooldown - (self.clock() - entry.opened_at)
+        return max(0.0, remaining)
+
+    def quarantined_fids(self) -> list[str]:
+        return sorted(
+            fid
+            for fid, entry in self._entries.items()
+            if entry.state is not BreakerState.CLOSED
+        )
+
+    def failures(self, fid: str) -> int:
+        entry = self._entries.get(fid)
+        return entry.consecutive_failures if entry is not None else 0
+
+    # -- the state machine -----------------------------------------------------
+
+    def acquire(self, fid: str) -> BreakerDecision:
+        """Ask to execute ``fid``'s body once.
+
+        ``CLOSED`` allows; ``OPEN`` past its cooldown transitions to
+        ``HALF_OPEN`` and allows the probe; otherwise execution is
+        denied.  The caller must resolve an allowed call by invoking
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        entry = self._entries.get(fid)
+        if entry is None or entry.state is BreakerState.CLOSED:
+            return BreakerDecision(allowed=True)
+        if entry.state is BreakerState.OPEN:
+            if self.clock() - entry.opened_at >= self.policy.cooldown:
+                entry.state = BreakerState.HALF_OPEN
+                return BreakerDecision(allowed=True, probe=True)
+            return BreakerDecision(allowed=False)
+        # HALF_OPEN: a probe is already in flight (or was interrupted by
+        # a BaseException mid-call); allow it to resolve.
+        return BreakerDecision(allowed=True, probe=True)
+
+    def record_success(self, fid: str) -> bool:
+        """Note a successful execution; returns True if this closed an
+        open (half-open) breaker."""
+        entry = self._entries.get(fid)
+        if entry is None:
+            return False
+        closed = entry.state is not BreakerState.CLOSED
+        entry.state = BreakerState.CLOSED
+        entry.consecutive_failures = 0
+        return closed
+
+    def record_failure(self, fid: str) -> bool:
+        """Note a failed execution; returns True if this *opened* the
+        breaker (threshold reached, or a half-open probe failed)."""
+        entry = self._entry(fid)
+        entry.consecutive_failures += 1
+        entry.total_failures += 1
+        if entry.state is BreakerState.HALF_OPEN:
+            entry.state = BreakerState.OPEN
+            entry.opened_at = self.clock()
+            entry.times_opened += 1
+            return True
+        if (
+            entry.state is BreakerState.CLOSED
+            and entry.consecutive_failures >= self.policy.failure_threshold
+        ):
+            entry.state = BreakerState.OPEN
+            entry.opened_at = self.clock()
+            entry.times_opened += 1
+            return True
+        return False
+
+    # -- manual controls -------------------------------------------------------
+
+    def trip(self, fid: str) -> None:
+        """Quarantine ``fid`` immediately (operator override)."""
+        entry = self._entry(fid)
+        entry.state = BreakerState.OPEN
+        entry.opened_at = self.clock()
+        entry.times_opened += 1
+
+    def reset(self, fid: str) -> None:
+        """Close ``fid``'s breaker and forget its failure streak."""
+        entry = self._entries.get(fid)
+        if entry is not None:
+            entry.state = BreakerState.CLOSED
+            entry.consecutive_failures = 0
+
+    # -- persistence -----------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """A portable snapshot (cooldowns as *remaining* durations)."""
+        now = self.clock()
+        fids = {}
+        for fid, entry in self._entries.items():
+            if (
+                entry.state is BreakerState.CLOSED
+                and entry.consecutive_failures == 0
+                and entry.total_failures == 0
+            ):
+                continue  # indistinguishable from an absent entry
+            state = entry.state
+            if state is BreakerState.HALF_OPEN:
+                # A probe cannot be in flight at a checkpoint boundary;
+                # an interrupted one is conservatively re-opened.
+                state = BreakerState.OPEN
+            record = {
+                "state": state.value,
+                "consecutive_failures": entry.consecutive_failures,
+                "total_failures": entry.total_failures,
+                "times_opened": entry.times_opened,
+            }
+            if state is BreakerState.OPEN:
+                record["cooldown_remaining"] = max(
+                    0.0, self.policy.cooldown - (now - entry.opened_at)
+                )
+            fids[fid] = record
+        return {"fids": fids}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` snapshot (replaces all entries)."""
+        now = self.clock()
+        self._entries = {}
+        for fid, record in state.get("fids", {}).items():
+            entry = _Entry(
+                consecutive_failures=record.get("consecutive_failures", 0),
+                state=BreakerState(record.get("state", "closed")),
+                total_failures=record.get("total_failures", 0),
+                times_opened=record.get("times_opened", 0),
+            )
+            if entry.state is BreakerState.OPEN:
+                remaining = float(record.get("cooldown_remaining", 0.0))
+                entry.opened_at = now - (self.policy.cooldown - remaining)
+            self._entries[fid] = entry

@@ -194,6 +194,10 @@ class GMR:
     def mark_invalid(self, args: tuple, fid: str) -> bool:
         return self.store.mark_invalid(args, self.column_of(fid))
 
+    def mark_error(self, args: tuple, fid: str) -> bool:
+        """Demote one entry to the ERROR validity state (guard failure)."""
+        return self.store.mark_error(args, self.column_of(fid))
+
     def result(self, args: tuple, fid: str) -> tuple[Any, bool]:
         """``(value, valid)`` for one entry; raises if the row is absent."""
         row = self.store.get(args)
@@ -202,8 +206,25 @@ class GMR:
         column = self.column_of(fid)
         return row.results[column], row.valid[column]
 
+    def entry_state(self, args: tuple, fid: str) -> str:
+        """``"valid"`` / ``"invalid"`` / ``"error"`` / ``"missing"``."""
+        row = self.store.get(args)
+        if row is None:
+            return "missing"
+        column = self.column_of(fid)
+        if row.valid[column]:
+            return "valid"
+        return "error" if row.error[column] else "invalid"
+
     def invalid_args(self, fid: str) -> set[tuple]:
         return self.store.invalid_args(self.column_of(fid))
+
+    def error_args(self, fid: str) -> set[tuple]:
+        """Argument combinations currently in the ERROR state for ``fid``."""
+        return self.store.error_args(self.column_of(fid))
+
+    def has_errors(self, fid: str) -> bool:
+        return self.store.has_errors(self.column_of(fid))
 
     def backward(
         self,
@@ -352,7 +373,10 @@ class GMR:
             cells: list[object] = list(row.args)
             for column in range(len(self.functions)):
                 cells.append(row.results[column])
-                cells.append(row.valid[column])
+                if row.error[column]:
+                    cells.append("E")
+                else:
+                    cells.append(row.valid[column])
             rows.append(cells)
         return format_table(headers, rows, title=self.name)
 

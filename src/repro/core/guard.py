@@ -1,0 +1,123 @@
+"""Execution guard for user-supplied function bodies.
+
+The paper's whole contract is that materialization is *transparent*: a
+forward query may always be answered by directly evaluating the
+side-effect-free function (Sec. 3.2).  That makes degraded-mode
+operation semantically safe by construction — so nothing a user
+function does (raise, stall) may be allowed to unwind the manager's
+maintenance loops and leave the GMR inconsistent (Def. 3.2).
+
+:class:`ExecutionGuard` is the conversion layer: it times every body
+invocation and turns exceptions and wall-clock budget overruns into
+:class:`~repro.errors.FunctionExecutionError` values the manager
+handles deterministically (ERROR validity state, bounded retry,
+circuit breaker) instead of letting them propagate mid-loop.
+
+:class:`FaultPolicy` collects the knobs of the whole fault-tolerance
+pipeline — guard budget, retry/backoff schedule, breaker thresholds —
+in one place; it is plain configuration and is intentionally *not*
+persisted (like restriction predicates, it is code-level state the
+application re-supplies).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import FunctionExecutionError, FunctionTimeoutError
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class FaultPolicy:
+    """Configuration of the fault-tolerant rematerialization pipeline."""
+
+    #: Master switch.  ``False`` restores the unguarded seed behaviour
+    #: (user-code exceptions unwind the caller) — used by the guard
+    #:-overhead ablation benchmark and as an escape hatch.
+    enabled: bool = True
+    #: Wall-clock budget (seconds) for one function-body invocation;
+    #: ``None`` disables stall detection.  Detection is post-hoc — the
+    #: body is not preempted, but an overrunning call is treated exactly
+    #: like a raising one (result discarded, entry demoted to ERROR).
+    call_budget: float | None = None
+    #: Per-entry retry cap: after this many failed rematerialization
+    #: attempts the entry stays in the ERROR state until an explicit
+    #: query or sweep touches it again.
+    max_attempts: int = 5
+    #: First retry delay (seconds); doubles per attempt.
+    base_delay: float = 0.05
+    #: Ceiling of the exponential backoff.
+    max_delay: float = 5.0
+    #: Jitter fraction: the delay is scaled by a factor drawn uniformly
+    #: from ``[1 - jitter, 1 + jitter]`` so synchronized failures do not
+    #: retry in lockstep.
+    jitter: float = 0.1
+    #: Seed of the jitter RNG (:class:`~repro.util.rng.DeterministicRng`)
+    #: — retries are reproducible under a fixed seed.
+    retry_seed: int = 0
+    #: Circuit breaker: consecutive failures of one function before it
+    #: is quarantined.
+    failure_threshold: int = 3
+    #: Seconds a quarantined function stays closed to execution before a
+    #: probe may half-open the breaker.
+    cooldown: float = 30.0
+
+
+def backoff_delay(policy: FaultPolicy, attempt: int) -> float:
+    """The un-jittered delay before retry number ``attempt`` (1-based)."""
+    if attempt < 1:
+        raise ValueError("attempt numbers are 1-based")
+    return min(policy.max_delay, policy.base_delay * (2.0 ** (attempt - 1)))
+
+
+def jittered_delay(
+    policy: FaultPolicy, attempt: int, rng: DeterministicRng
+) -> float:
+    """The actual scheduling delay: exponential backoff with jitter.
+
+    Guaranteed to lie within ``backoff_delay(...) * [1 - j, 1 + j]``.
+    """
+    base = backoff_delay(policy, attempt)
+    if policy.jitter <= 0:
+        return base
+    return base * rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter)
+
+
+class ExecutionGuard:
+    """Times one body invocation and converts failures into values.
+
+    The guard deliberately knows nothing about GMRs, breakers or
+    schedulers — it is the narrow waist that turns arbitrary user-code
+    behaviour into a ``(value, failure)`` pair.  ``BaseException``
+    (``KeyboardInterrupt``, the test harness's ``SimulatedCrash``)
+    passes through untouched: a dying process is not a function fault.
+    """
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+
+    def timed(
+        self, fid: str, args: tuple, thunk: Callable[[], Any]
+    ) -> tuple[Any, FunctionExecutionError | None]:
+        """Run ``thunk``; return ``(value, None)`` or ``(None, failure)``."""
+        started = self.clock()
+        try:
+            value = thunk()
+        except Exception as exc:
+            return None, FunctionExecutionError(fid, args, cause=exc)
+        budget = self.policy.call_budget
+        if budget is not None:
+            elapsed = self.clock() - started
+            if elapsed > budget:
+                return None, FunctionTimeoutError(
+                    fid, args, elapsed=elapsed, budget=budget
+                )
+        return value, None

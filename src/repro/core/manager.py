@@ -20,6 +20,7 @@ compensating actions, and implements the paper's maintenance algorithms:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import product
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
@@ -31,18 +32,28 @@ from repro.core.batch import (
     InvalidationQueue,
     UpdateBatch,
 )
+from repro.core.breaker import CircuitBreaker
 from repro.core.compensation import CompensatingAction, CompensationTable
 from repro.core.dependencies import DependencyIndex
 from repro.core.function_registry import FunctionInfo, function_id
 from repro.core.gmr import GMR
+from repro.core.guard import ExecutionGuard, FaultPolicy
 from repro.core.restricted import RestrictionSpec, validate_atomic_restrictions
 from repro.core.rrr import ReverseReferenceRelation
 from repro.core.scheduler import RevalidationScheduler
 from repro.core.strategies import Strategy
-from repro.errors import CompensationError, GMRDefinitionError
+from repro.errors import (
+    CompensationError,
+    FunctionExecutionError,
+    FunctionQuarantinedError,
+    FunctionTimeoutError,
+    GMRDefinitionError,
+    SchemaError,
+)
 from repro.gom.oid import Oid
 from repro.gom.types import is_atomic_type
 from repro.predicates.ast import all_variables
+from repro.storage.gmr_store import in_range
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gom.database import ObjectBase
@@ -81,6 +92,26 @@ class ManagerStats:
     batch_flushes: int = 0
     #: Entries rematerialized by the revalidation scheduler's drain.
     scheduler_revalidations: int = 0
+    #: Rematerializations that failed under the execution guard (raised
+    #: or overran the call budget) and demoted entries to ERROR.
+    guard_failures: int = 0
+    #: The subset of ``guard_failures`` that were budget overruns.
+    guard_timeouts: int = 0
+    #: Bounded retries handed to the scheduler's backoff queue.
+    retries_scheduled: int = 0
+    #: Entries abandoned after ``FaultPolicy.max_attempts`` failures.
+    retries_exhausted: int = 0
+    #: Entries healed by a scheduled retry after at least one failure.
+    retry_successes: int = 0
+    #: Circuit-breaker openings (threshold reached or probe failed).
+    breaker_opens: int = 0
+    #: Breakers closed by a successful half-open probe.
+    breaker_closes: int = 0
+    #: Half-open probes admitted by an open breaker past its cooldown.
+    breaker_half_opens: int = 0
+    #: Forward queries answered by direct evaluation because the
+    #: function was quarantined (Sec. 3.2 pass-through).
+    degraded_forward_calls: int = 0
 
     def snapshot(self) -> "ManagerStats":
         return ManagerStats(**vars(self))
@@ -106,6 +137,15 @@ class GMRManager:
         self._rrr = ReverseReferenceRelation(db.page_store, db.buffer)
         self._ca = CompensationTable()
         self.stats = ManagerStats()
+        #: Fault-tolerance configuration (guard, retry, breaker knobs).
+        #: Plain code-level state, not persisted — like restriction
+        #: predicates, the application re-supplies it after recovery.
+        self.fault_policy = FaultPolicy()
+        #: Injectable time source: guard budgets, backoff deadlines and
+        #: breaker cooldowns all read this one clock (tests swap it).
+        self.clock: Callable[[], float] = time.monotonic
+        self.guard = ExecutionGuard(self.fault_policy, clock=self._now)
+        self.breaker = CircuitBreaker(self.fault_policy, clock=self._now)
         self.scheduler = RevalidationScheduler(self)
         self._queue = InvalidationQueue()
         self._batch_depth = 0
@@ -116,6 +156,9 @@ class GMRManager:
         #: them instead and removes only entries still marked at the next
         #: invalidation (the paper's proposed alternative).
         self.rrr_policy = "remove"
+
+    def _now(self) -> float:
+        return self.clock()
 
     # ------------------------------------------------------------------
     # GMR creation
@@ -218,7 +261,7 @@ class GMRManager:
                     return None
                 try:
                     declaring = schema.attribute_declaring_type(current, attribute)
-                except Exception:
+                except SchemaError:
                     return None
                 pairs.add((declaring, attribute))
                 current = schema.attribute(current, attribute).type_name
@@ -283,12 +326,17 @@ class GMRManager:
     def _admit(self, gmr: GMR, args: tuple) -> bool:
         """Evaluate the restriction for ``args`` and materialize the row."""
         if gmr.restriction is not None:
-            if not self._evaluate_predicate(gmr, args):
+            try:
+                if not self._evaluate_predicate(gmr, args):
+                    return False
+            except (FunctionExecutionError, FunctionQuarantinedError):
+                # Membership undecidable right now: do not admit; the
+                # retry queue re-runs the predicate and admits later.
                 return False
         self.stats.rows_created += 1
         gmr.ensure_row(args)
         for fid in gmr.fids:
-            self._rematerialize(gmr, fid, args)
+            self._remat_or_degrade(gmr, fid, args)
         return True
 
     def _evaluate_predicate(self, gmr: GMR, args: tuple) -> bool:
@@ -296,15 +344,51 @@ class GMRManager:
 
         The accessed objects get RRR entries under the GMR's predicate
         pseudo-function so later updates re-trigger the evaluation
-        (Sec. 6.1).
+        (Sec. 6.1).  Predicates execute under the same guard/breaker
+        regime as function bodies (keyed by the predicate pseudo-fid):
+        a raising or stalling predicate raises
+        :class:`FunctionExecutionError` after a bounded retry has been
+        scheduled, a quarantined one raises
+        :class:`FunctionQuarantinedError` without running.
         """
         spec = gmr.restriction
         assert spec is not None
-        self.stats.predicate_evaluations += 1
         db = self._db
+        policy = self.fault_policy
+        if not policy.enabled:
+            self.stats.predicate_evaluations += 1
+            with db.materialization_scope():
+                with db.trace() as tracer:
+                    allowed = spec.allows(db, args)
+            if gmr.strategy is not Strategy.SNAPSHOT:
+                accessed = set(tracer.objects)
+                accessed.update(arg for arg in args if isinstance(arg, Oid))
+                for oid in accessed:
+                    self._rrr_insert(oid, gmr.predicate_fid, args)
+            return allowed
+        pfid = gmr.predicate_fid
+        decision = self.breaker.acquire(pfid)
+        if not decision.allowed:
+            raise FunctionQuarantinedError(pfid)
+        if decision.probe:
+            self.stats.breaker_half_opens += 1
+        self.stats.predicate_evaluations += 1
         with db.materialization_scope():
             with db.trace() as tracer:
-                allowed = spec.allows(db, args)
+                allowed, failure = self.guard.timed(
+                    pfid, args, lambda: spec.allows(db, args)
+                )
+        if failure is not None:
+            self.stats.guard_failures += 1
+            if isinstance(failure, FunctionTimeoutError):
+                self.stats.guard_timeouts += 1
+            if self.breaker.record_failure(pfid):
+                self.stats.breaker_opens += 1
+            if self.scheduler.schedule_retry(gmr, pfid, args):
+                self.stats.retries_scheduled += 1
+            raise failure
+        if self.breaker.record_success(pfid):
+            self.stats.breaker_closes += 1
         if gmr.strategy is not Strategy.SNAPSHOT:
             accessed = set(tracer.objects)
             accessed.update(arg for arg in args if isinstance(arg, Oid))
@@ -313,20 +397,48 @@ class GMRManager:
         return allowed
 
     def _rematerialize(self, gmr: GMR, fid: str, args: tuple) -> Any:
-        """Recompute ``f(args)``, store it and refresh the RRR (Sec. 4.1)."""
+        """Recompute ``f(args)``, store it and refresh the RRR (Sec. 4.1).
+
+        With the fault policy enabled the body runs under the execution
+        guard: an exception or call-budget overrun demotes the entry to
+        the ERROR state, charges the circuit breaker, schedules a
+        bounded backed-off retry, and then raises
+        :class:`FunctionExecutionError` — callers on maintenance paths
+        catch it (see :meth:`_remat_or_degrade`), forward queries let it
+        surface.  While the breaker is open (and not yet probe-eligible)
+        the body is not run at all: :class:`FunctionQuarantinedError`.
+        """
         info = gmr.function(fid)
-        self.stats.rematerializations += 1
         db = self._db
-        try:
+        policy = self.fault_policy
+        if not policy.enabled:
+            self.stats.rematerializations += 1
+            try:
+                with db.trace() as tracer:
+                    value = db.call_function(info, args)
+            except Exception:
+                # A failing function body must never leave a stale value
+                # flagged valid (Def. 3.2): invalidate the entry and let
+                # the error surface to the updater/querier.
+                if gmr.lookup(args) is not None:
+                    gmr.mark_invalid(args, fid)
+                raise
+        else:
+            decision = self.breaker.acquire(fid)
+            if not decision.allowed:
+                raise FunctionQuarantinedError(fid)
+            if decision.probe:
+                self.stats.breaker_half_opens += 1
+            self.stats.rematerializations += 1
             with db.trace() as tracer:
-                value = db.call_function(info, args)
-        except Exception:
-            # A failing function body must never leave a stale value
-            # flagged valid (Def. 3.2): invalidate the entry and let the
-            # error surface to the updater/querier.
-            if gmr.lookup(args) is not None:
-                gmr.mark_invalid(args, fid)
-            raise
+                value, failure = self.guard.timed(
+                    fid, args, lambda: db.call_function(info, args)
+                )
+            if failure is not None:
+                self._record_failure(gmr, fid, args, failure)
+                raise failure
+            if self.breaker.record_success(fid):
+                self.stats.breaker_closes += 1
         gmr.set_result(args, fid, value)
         if gmr.strategy is not Strategy.SNAPSHOT:
             accessed = set(tracer.objects)
@@ -334,6 +446,80 @@ class GMRManager:
             for oid in accessed:
                 self._rrr_insert(oid, fid, args)
         return value
+
+    def _record_failure(
+        self,
+        gmr: GMR,
+        fid: str,
+        args: tuple,
+        failure: FunctionExecutionError,
+    ) -> None:
+        """Bookkeeping for one guard failure: ERROR state, breaker,
+        bounded retry.  Runs before the failure propagates, so the GMR
+        is consistent (Def. 3.2 — no stale-valid row) no matter how the
+        caller handles the exception."""
+        self.stats.guard_failures += 1
+        if isinstance(failure, FunctionTimeoutError):
+            self.stats.guard_timeouts += 1
+        if gmr.lookup(args) is None:
+            # Materializing a brand-new combination failed: create the
+            # row anyway so the ERROR is observable and retries have a
+            # target (all entries start invalid).
+            self.stats.rows_created += 1
+            gmr.ensure_row(args)
+        gmr.mark_error(args, fid)
+        if self.breaker.record_failure(fid):
+            self.stats.breaker_opens += 1
+        if self.scheduler.schedule_retry(gmr, fid, args):
+            self.stats.retries_scheduled += 1
+
+    def _remat_or_degrade(self, gmr: GMR, fid: str, args: tuple) -> bool:
+        """Rematerialize on a *maintenance* path; never let user-code
+        failures unwind the caller's loop.
+
+        Quarantined functions degrade to mark-and-schedule (the entry
+        heals once the breaker closes); guard failures have already been
+        recorded by :meth:`_rematerialize`.  Returns True on success.
+        """
+        policy = self.fault_policy
+        if (
+            policy.enabled
+            and self.breaker.quarantined(fid)
+            and not self.breaker.probe_eligible(fid)
+        ):
+            gmr.mark_invalid(args, fid)
+            self.scheduler.schedule(gmr, fid, args)
+            return False
+        try:
+            self._rematerialize(gmr, fid, args)
+        except (FunctionExecutionError, FunctionQuarantinedError):
+            return False
+        return True
+
+    def _predicate_update_safe(self, gmr: GMR, args: tuple) -> bool:
+        """Run :meth:`_predicate_update` on a maintenance path; a
+        failing or quarantined predicate must not unwind the loop.
+        Returns True when the update ran to completion."""
+        try:
+            self._predicate_update(gmr, args)
+        except (FunctionExecutionError, FunctionQuarantinedError):
+            return False
+        return True
+
+    def _degraded_value(self, gmr: GMR, fid: str, args: tuple) -> Any:
+        """Answer a forward query by direct evaluation (Sec. 3.2).
+
+        The pass-through read path of a quarantined function: no trace,
+        no RRR refresh, no GMR write, no breaker bookkeeping — the
+        stored (ERROR) entry is left for the probe/retry machinery.
+        """
+        info = gmr.function(fid)
+        db = self._db
+        try:
+            with db.materialization_scope():
+                return db.call_function(info, args)
+        except Exception as exc:
+            raise FunctionExecutionError(fid, args, cause=exc) from exc
 
     # -- RRR/ObjDepFct lockstep maintenance (Sec. 5.2) ---------------------------
 
@@ -472,7 +658,7 @@ class GMRManager:
                 if not process:
                     continue  # entry dropped; the row becomes blind
                 if fid == gmr.predicate_fid:
-                    self._predicate_update(gmr, args)
+                    self._predicate_update_safe(gmr, args)
                     affected += 1
                 elif gmr.strategy.marks_only:
                     if gmr.mark_invalid(args, fid) and (
@@ -487,7 +673,7 @@ class GMRManager:
                         gmr.remove_row(args)
                         self.stats.blind_rows_removed += 1
                         continue
-                    self._rematerialize(gmr, fid, args)
+                    self._remat_or_degrade(gmr, fid, args)
                     affected += 1
         if event.created_elided and folded is not None and event.type_name:
             affected += self._synthesize_blind_rows(event)
@@ -602,7 +788,7 @@ class GMRManager:
                 continue
             if fid == gmr.predicate_fid:
                 for args in args_set:
-                    self._predicate_update(gmr, args)
+                    self._predicate_update_safe(gmr, args)
                     affected += 1
                 continue
             if gmr.strategy.marks_only:
@@ -622,7 +808,11 @@ class GMRManager:
                         gmr.remove_row(args)  # blind row: argument deleted
                         self.stats.blind_rows_removed += 1
                         continue
-                    self._rematerialize(gmr, fid, args)
+                    # A failure inside one entry must not abandon the
+                    # rest of the popped args_set/fid loop: the entry
+                    # degrades to ERROR (retry scheduled) and the sweep
+                    # continues — invalidate() never unwinds mid-loop.
+                    self._remat_or_degrade(gmr, fid, args)
                     affected += 1
         self.stats.entries_invalidated += affected
         return affected
@@ -645,7 +835,7 @@ class GMRManager:
             if row is None:
                 gmr.ensure_row(args)
                 for fid in gmr.fids:
-                    self._rematerialize(gmr, fid, args)
+                    self._remat_or_degrade(gmr, fid, args)
         else:
             if row is not None:
                 gmr.remove_row(args)
@@ -840,6 +1030,13 @@ class GMRManager:
         outside a restriction — then the "normal" function answers).
         A query inside an open batch forces a flush first: the answer
         must reflect every elementary update already applied.
+
+        While ``fid`` is quarantined (open breaker, cooldown running)
+        the query degrades to direct evaluation — correct by Sec. 3.2
+        transparency and byte-identical to the unmaterialized answer;
+        the GMR is left untouched for the probe/retry machinery.  Once
+        the cooldown elapses the recomputation below doubles as the
+        half-open probe.
         """
         if self.batching:
             self.flush_batch()
@@ -847,6 +1044,13 @@ class GMRManager:
         gmr = self._gmr_of_fid.get(fid)
         if gmr is None:
             raise GMRDefinitionError(f"{fid} is not materialized")
+        if (
+            self.fault_policy.enabled
+            and self.breaker.quarantined(fid)
+            and not self.breaker.probe_eligible(fid)
+        ):
+            self.stats.degraded_forward_calls += 1
+            return self._degraded_value(gmr, fid, args)
         column = gmr.column_of(fid)
         row = gmr.lookup(args)
         if row is not None and row.valid[column]:
@@ -858,7 +1062,14 @@ class GMRManager:
             # function; the snapshot extension stays fixed.
             return self._db.call_function(gmr.function(fid), args)
         if row is None and gmr.is_restricted:
-            if not self._evaluate_predicate(gmr, args):
+            try:
+                admitted = self._evaluate_predicate(gmr, args)
+            except (FunctionExecutionError, FunctionQuarantinedError):
+                # Membership undecidable (predicate failing or
+                # quarantined): answer pass-through, admit later.
+                self.stats.degraded_forward_calls += 1
+                return self._degraded_value(gmr, fid, args)
+            if not admitted:
                 # Outside the restriction: compute with the normal function.
                 return self._db.call_function(gmr.function(fid), args)
         return self._rematerialize(gmr, fid, args)
@@ -888,7 +1099,12 @@ class GMRManager:
                     self.scheduler.schedule(gmr, fid, args)
 
     def revalidate(self, gmr: GMR, fid: str | None = None) -> int:
-        """Rematerialize every invalid entry (the paper's low-load sweep)."""
+        """Rematerialize every invalid entry (the paper's low-load sweep).
+
+        Returns the number of entries actually revalidated; entries
+        whose function fails or is quarantined stay invalid/ERROR (a
+        bounded retry is scheduled) instead of aborting the sweep.
+        """
         count = 0
         fids = [fid] if fid is not None else gmr.fids
         for function_fid in fids:
@@ -902,8 +1118,8 @@ class GMRManager:
                     gmr.remove_row(args)
                     self.stats.blind_rows_removed += 1
                     continue
-                self._rematerialize(gmr, function_fid, args)
-                count += 1
+                if self._remat_or_degrade(gmr, function_fid, args):
+                    count += 1
         return count
 
     def vacuum(self, gmr: GMR | None = None) -> int:
@@ -921,6 +1137,30 @@ class GMRManager:
                     removed += 1
         self.stats.blind_rows_removed += removed
         return removed
+
+    def verify_lockstep(self) -> list[str]:
+        """Check the RRR ↔ ObjDepFct lockstep invariant (Sec. 5.2).
+
+        Every live object's ``ObjDepFct`` markings must equal the set of
+        function ids the RRR holds entries for under that object —
+        that equality is what lets updates of unmarked objects skip the
+        RRR probe.  Returns human-readable violations (empty = healthy);
+        a test/debug helper like :meth:`GMR.check_consistency`.
+        """
+        from_rrr: dict[Oid, set[str]] = {}
+        for oid, fid, _args in self._rrr.triples():
+            from_rrr.setdefault(oid, set()).add(fid)
+        objects = self._db.objects
+        violations: list[str] = []
+        for oid in objects.oids():
+            expected = from_rrr.get(oid, set())
+            marked = set(objects.get(oid).obj_dep_fct)
+            if marked != expected:
+                violations.append(
+                    f"{oid}: ObjDepFct {sorted(marked)} != "
+                    f"RRR functions {sorted(expected)}"
+                )
+        return violations
 
     def refresh_snapshot(self, gmr: GMR) -> int:
         """Recompute a snapshot GMR against the current object base.
@@ -953,16 +1193,41 @@ class GMRManager:
         invalid entries are rematerialized first (this is why lazy and
         immediate strategies cost the same for backward-query-only mixes,
         Fig. 13).
+
+        Entries the guarded sweep cannot heal (persistent ERROR,
+        quarantined function) are completed by direct evaluation —
+        completeness admits no gaps.  A function that cannot be
+        evaluated at all fails the query loudly with
+        :class:`FunctionExecutionError` rather than silently dropping
+        rows from the answer.
         """
         if self.batching:
             self.flush_batch()
         gmr = self._gmr_of_fid.get(fid)
         if gmr is None:
             raise GMRDefinitionError(f"{fid} is not materialized")
+        degraded: list[tuple[Any, tuple]] = []
         if gmr.strategy is not Strategy.SNAPSHOT:
             self.revalidate(gmr, fid)
-        return list(
+            for args in sorted(gmr.invalid_args(fid), key=repr):
+                if gmr.lookup(args) is None or not self._args_alive(args):
+                    continue
+                value = self._degraded_value(gmr, fid, args)
+                self.stats.degraded_forward_calls += 1
+                if in_range(
+                    value,
+                    low,
+                    high,
+                    include_low=include_low,
+                    include_high=include_high,
+                ):
+                    degraded.append((value, args))
+        results = list(
             gmr.backward(
                 fid, low, high, include_low=include_low, include_high=include_high
             )
         )
+        if degraded:
+            results.extend(degraded)
+            results.sort(key=lambda pair: pair[0])
+        return results

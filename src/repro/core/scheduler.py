@@ -22,6 +22,15 @@ queue: an invalidation marks the entry invalid exactly like ``LAZY`` and
 additionally schedules it here, so ``revalidate()`` can bring the
 extension back to full validity without waiting for the next backward
 query.
+
+The scheduler is also the *retry engine* of the fault-tolerance
+pipeline: entries whose rematerialization failed under the execution
+guard re-enter through :meth:`schedule_retry` with a bounded attempt
+count and an exponentially backed-off, jittered eligibility deadline
+(:func:`~repro.core.guard.jittered_delay`).  Delayed entries sit in a
+second, deadline-ordered heap and promote into the main priority queue
+once ripe; entries of a quarantined function are parked until the
+circuit breaker's probe window opens.
 """
 
 from __future__ import annotations
@@ -29,6 +38,10 @@ from __future__ import annotations
 import heapq
 import time
 from typing import TYPE_CHECKING
+
+from repro.errors import FunctionExecutionError, FunctionQuarantinedError
+from repro.core.guard import jittered_delay
+from repro.util.rng import DeterministicRng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.gmr import GMR
@@ -45,8 +58,15 @@ class RevalidationScheduler:
         #: monotone counter so equal-frequency entries drain stalest
         #: first (heapq is a min-heap, so smaller seq pops earlier).
         self._heap: list[tuple[int, int, str, tuple]] = []
+        #: Heap of ``(eligible_at, seq, fid, args)`` — retry entries
+        #: waiting out their backoff delay (manager clock readings).
+        self._delayed: list[tuple[float, int, str, tuple]] = []
         self._queued: set[tuple[str, tuple]] = set()
         self._seq = 0
+        #: Failed-rematerialization attempt counts per ``(fid, args)``;
+        #: cleared on success or when the entry becomes moot.
+        self._attempts: dict[tuple[str, tuple], int] = {}
+        self._rng: DeterministicRng | None = None
         #: Forward queries observed per function id.
         self.query_frequency: dict[str, int] = {}
 
@@ -55,6 +75,12 @@ class RevalidationScheduler:
 
     def pending(self) -> int:
         return len(self._queued)
+
+    @property
+    def _retry_rng(self) -> DeterministicRng:
+        if self._rng is None:
+            self._rng = DeterministicRng(self._manager.fault_policy.retry_seed)
+        return self._rng
 
     def note_query(self, fid: str) -> None:
         """Record one forward query of ``fid`` (frequency signal)."""
@@ -72,9 +98,65 @@ class RevalidationScheduler:
         self._queued.add(key)
         return True
 
+    # -- retry/backoff -----------------------------------------------------------
+
+    def attempts(self, fid: str, args: tuple) -> int:
+        """Failed-attempt count currently charged to ``(fid, args)``."""
+        return self._attempts.get((fid, args), 0)
+
+    def delayed_entries(self) -> list[tuple[float, str, tuple]]:
+        """``(eligible_at, fid, args)`` of entries still backing off."""
+        return sorted(
+            (eligible_at, fid, args)
+            for eligible_at, _, fid, args in self._delayed
+        )
+
+    def schedule_retry(self, gmr: "GMR", fid: str, args: tuple) -> bool:
+        """Queue a *failed* entry for a backed-off retry.
+
+        Charges one attempt; once ``FaultPolicy.max_attempts`` failed
+        attempts accumulate the entry is abandoned (it stays in the
+        ERROR state until a query or sweep touches it again) and False
+        is returned.  Already-queued entries are left alone — the
+        in-flight schedule subsumes the new request.
+        """
+        key = (fid, args)
+        if key in self._queued:
+            return False
+        policy = self._manager.fault_policy
+        attempt = self._attempts.get(key, 0) + 1
+        if attempt > policy.max_attempts:
+            self._attempts.pop(key, None)
+            self._manager.stats.retries_exhausted += 1
+            return False
+        self._attempts[key] = attempt
+        self._push_delayed(fid, args, jittered_delay(policy, attempt, self._retry_rng))
+        return True
+
+    def _push_delayed(self, fid: str, args: tuple, delay: float) -> None:
+        self._seq += 1
+        eligible_at = self._manager._now() + delay
+        heapq.heappush(self._delayed, (eligible_at, self._seq, fid, args))
+        self._queued.add((fid, args))
+
+    def _promote_due(self) -> None:
+        """Move ripe delayed entries into the main priority queue."""
+        now = self._manager._now()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, fid, args = heapq.heappop(self._delayed)
+            self._seq += 1
+            frequency = self.query_frequency.get(fid, 0)
+            heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
+
+    def _note_retry_success(self, key: tuple[str, tuple]) -> None:
+        if self._attempts.pop(key, 0) > 0:
+            self._manager.stats.retry_successes += 1
+
     def clear(self) -> None:
         self._heap.clear()
+        self._delayed.clear()
         self._queued.clear()
+        self._attempts.clear()
 
     # -- persistence -----------------------------------------------------------
 
@@ -83,11 +165,22 @@ class RevalidationScheduler:
 
         Argument tuples may contain OIDs; the caller encodes/decodes the
         values (the scheduler stays oblivious to the wire format).
+        Backoff deadlines are dumped as *remaining* delays, since
+        monotonic clock readings do not survive a process.
         """
+        now = self._manager._now()
         return {
             "heap": [
                 [priority, seq, fid, list(args)]
                 for priority, seq, fid, args in self._heap
+            ],
+            "delayed": [
+                [max(0.0, eligible_at - now), seq, fid, list(args)]
+                for eligible_at, seq, fid, args in self._delayed
+            ],
+            "attempts": [
+                [fid, list(args), count]
+                for (fid, args), count in self._attempts.items()
             ],
             "seq": self._seq,
             "frequency": dict(self.query_frequency),
@@ -95,12 +188,23 @@ class RevalidationScheduler:
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`dump_state` snapshot (replaces the queue)."""
+        now = self._manager._now()
         self._heap = [
             (priority, seq, fid, tuple(args))
             for priority, seq, fid, args in state.get("heap", [])
         ]
         heapq.heapify(self._heap)
+        self._delayed = [
+            (now + float(remaining), seq, fid, tuple(args))
+            for remaining, seq, fid, args in state.get("delayed", [])
+        ]
+        heapq.heapify(self._delayed)
         self._queued = {(fid, args) for _, _, fid, args in self._heap}
+        self._queued.update((fid, args) for _, _, fid, args in self._delayed)
+        self._attempts = {
+            (fid, tuple(args)): int(count)
+            for fid, args, count in state.get("attempts", [])
+        }
         self._seq = state.get("seq", 0)
         self.query_frequency = dict(state.get("frequency", {}))
 
@@ -114,15 +218,22 @@ class RevalidationScheduler:
 
         ``max_entries`` bounds the number of rematerializations (the row
         budget); ``time_budget`` is a wall-clock bound in seconds checked
-        before each entry.  With neither, the whole queue drains — the
-        full low-load sweep.  Returns the number of entries revalidated.
+        before each entry.  With neither, the whole *ripe* queue drains —
+        the full low-load sweep.  Returns the number of entries
+        revalidated.
 
         Entries whose row disappeared (deleted via ``forget_object``) or
         that a forward query already recomputed are skipped for free;
         blind rows over deleted argument objects are dropped here, like
-        in :meth:`GMRManager.revalidate`.
+        in :meth:`GMRManager.revalidate`.  Entries that fail again under
+        the execution guard re-enter through :meth:`schedule_retry`
+        (bounded); entries of a quarantined function are parked until
+        the breaker's probe window.  Delayed entries pushed during this
+        drain are not promoted within the same call, so one sweep
+        terminates even under persistent failures.
         """
         manager = self._manager
+        self._promote_due()
         started = time.perf_counter()
         drained = 0
         while self._heap:
@@ -134,18 +245,68 @@ class RevalidationScheduler:
             ):
                 break
             _, _, fid, args = heapq.heappop(self._heap)
-            self._queued.discard((fid, args))
+            key = (fid, args)
+            self._queued.discard(key)
             gmr = manager.gmr_of(fid)
             if gmr is None:
+                self._attempts.pop(key, None)
                 continue  # the GMR is gone; nothing to revalidate
+            if fid == gmr.predicate_fid:
+                policy = manager.fault_policy
+                if (
+                    policy.enabled
+                    and manager.breaker.quarantined(fid)
+                    and not manager.breaker.probe_eligible(fid)
+                ):
+                    self._push_delayed(
+                        fid,
+                        args,
+                        max(
+                            manager.breaker.seconds_until_probe(fid),
+                            policy.base_delay,
+                        ),
+                    )
+                    continue
+                if manager._predicate_update_safe(gmr, args):
+                    self._note_retry_success(key)
+                    manager.stats.scheduler_revalidations += 1
+                    drained += 1
+                continue
             row = gmr.lookup(args)
             if row is None or row.valid[gmr.column_of(fid)]:
+                self._attempts.pop(key, None)
                 continue  # row removed or already revalidated on demand
             if not manager._args_alive(args):
                 gmr.remove_row(args)
                 manager.stats.blind_rows_removed += 1
+                self._attempts.pop(key, None)
                 continue
-            manager._rematerialize(gmr, fid, args)
+            policy = manager.fault_policy
+            if (
+                policy.enabled
+                and manager.breaker.quarantined(fid)
+                and not manager.breaker.probe_eligible(fid)
+            ):
+                # Park until the probe window; no attempt is charged —
+                # quarantine is the breaker's delay, not the entry's.
+                self._push_delayed(
+                    fid,
+                    args,
+                    max(manager.breaker.seconds_until_probe(fid), policy.base_delay),
+                )
+                continue
+            try:
+                manager._rematerialize(gmr, fid, args)
+            except FunctionQuarantinedError:
+                self._push_delayed(
+                    fid,
+                    args,
+                    max(manager.breaker.seconds_until_probe(fid), policy.base_delay),
+                )
+                continue
+            except FunctionExecutionError:
+                continue  # _record_failure already scheduled the retry
+            self._note_retry_success(key)
             manager.stats.scheduler_revalidations += 1
             drained += 1
         return drained

@@ -91,6 +91,70 @@ class AtomicArgumentError(MaterializationError):
     value or range restriction (Sec. 6.2)."""
 
 
+class FunctionExecutionError(MaterializationError):
+    """A materialized function's body failed under the execution guard.
+
+    Wraps the user-code exception (``cause``) or a wall-clock budget
+    overrun raised while (re-)materializing ``fid(args)``.  The failing
+    entry has been demoted to the ERROR validity state and a bounded
+    retry has been scheduled before this error surfaces — maintenance
+    loops catch it and continue; forward queries propagate it.
+    """
+
+    def __init__(
+        self,
+        fid: str,
+        args: tuple = (),
+        *,
+        cause: "BaseException | None" = None,
+        message: str = "",
+    ) -> None:
+        detail = message or (
+            f"{fid}{args!r} failed: {cause!r}" if cause is not None
+            else f"{fid}{args!r} failed"
+        )
+        super().__init__(detail)
+        self.fid = fid
+        self.args_tuple = args
+        self.cause = cause
+
+
+class FunctionTimeoutError(FunctionExecutionError):
+    """A function body overran the guard's wall-clock budget.
+
+    The computed value (if any) is discarded: a function that stalls is
+    treated exactly like one that raises, so a wedged body cannot hold
+    the maintenance loop hostage.
+    """
+
+    def __init__(
+        self, fid: str, args: tuple, *, elapsed: float, budget: float
+    ) -> None:
+        super().__init__(
+            fid,
+            args,
+            message=(
+                f"{fid}{args!r} overran its call budget: "
+                f"{elapsed:.4f}s > {budget:.4f}s"
+            ),
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class FunctionQuarantinedError(MaterializationError):
+    """Execution of a function was denied by its open circuit breaker.
+
+    Raised instead of running the body while the function is
+    quarantined; readers degrade to direct evaluation (Sec. 3.2
+    transparency), maintenance paths degrade to mark-and-schedule.
+    """
+
+    def __init__(self, fid: str) -> None:
+        super().__init__(f"{fid} is quarantined (circuit breaker open)")
+        self.fid = fid
+
+
 # ---------------------------------------------------------------------------
 # Static analysis (Appendix) errors
 # ---------------------------------------------------------------------------

@@ -139,13 +139,14 @@ def to_document(db: "ObjectBase") -> dict:
                         # let the first access rematerialize.
                         results.append(None)
                         valid.append(False)
-                rows.append(
-                    {
-                        "args": [_encode_value(arg) for arg in row.args],
-                        "results": results,
-                        "valid": valid,
-                    }
-                )
+                record = {
+                    "args": [_encode_value(arg) for arg in row.args],
+                    "results": results,
+                    "valid": valid,
+                }
+                if any(row.error):
+                    record["error"] = list(row.error)
+                rows.append(record)
             gmrs.append(
                 {
                     "name": gmr.name,
@@ -189,7 +190,20 @@ def to_document(db: "ObjectBase") -> dict:
             [priority, seq, fid, [_encode_value(arg) for arg in args]]
             for priority, seq, fid, args in scheduler["heap"]
         ]
+        scheduler["delayed"] = [
+            [remaining, seq, fid, [_encode_value(arg) for arg in args]]
+            for remaining, seq, fid, args in scheduler["delayed"]
+        ]
+        scheduler["attempts"] = [
+            [fid, [_encode_value(arg) for arg in args], count]
+            for fid, args, count in scheduler["attempts"]
+        ]
         document["scheduler"] = scheduler
+        # A crash must not resurrect a quarantined function as healthy:
+        # breaker state (cooldowns as remaining durations) is part of
+        # the snapshot.  The FaultPolicy itself is code-level
+        # configuration and is not persisted.
+        document["breaker"] = manager.breaker.dump_state()
     return document
 
 
@@ -277,6 +291,9 @@ def from_document(
             for fid, value, flag in zip(gmr.fids, row["results"], row["valid"]):
                 if flag:
                     gmr.set_result(args, fid, _decode_value(value))
+            for fid, errored in zip(gmr.fids, row.get("error", [])):
+                if errored:
+                    gmr.mark_error(args, fid)
 
     for triple in document["rrr"]:
         manager._rrr_insert(
@@ -303,10 +320,28 @@ def from_document(
                     ]
                     for priority, seq, fid, args in scheduler.get("heap", [])
                 ],
+                "delayed": [
+                    [
+                        remaining,
+                        seq,
+                        fid,
+                        [_decode_value(arg) for arg in args],
+                    ]
+                    for remaining, seq, fid, args in scheduler.get(
+                        "delayed", []
+                    )
+                ],
+                "attempts": [
+                    [fid, [_decode_value(arg) for arg in args], count]
+                    for fid, args, count in scheduler.get("attempts", [])
+                ],
                 "seq": scheduler.get("seq", 0),
                 "frequency": scheduler.get("frequency", {}),
             }
         )
+    breaker = document.get("breaker")
+    if breaker:
+        manager.breaker.restore_state(breaker)
 
 
 # -- durability: checkpoint + WAL recovery ---------------------------------------
@@ -518,6 +553,7 @@ def base_state(db: "ObjectBase") -> dict:
                     tuple(_encode_value(arg) for arg in row.args),
                     tuple(valid),
                     tuple(results),
+                    tuple(row.error),
                 )
             )
         rows.sort(key=repr)
@@ -549,7 +585,35 @@ def base_state(db: "ObjectBase") -> dict:
             ),
             key=repr,
         ),
+        # Backoff deadlines are clock readings and differ across a
+        # restart by construction; the digest compares *which* entries
+        # are waiting, not when they become ripe.
+        "delayed": sorted(
+            (
+                (seq, fid, tuple(_encode_value(arg) for arg in args))
+                for _remaining, seq, fid, args in scheduler["delayed"]
+            ),
+            key=repr,
+        ),
+        "attempts": sorted(
+            (
+                (fid, tuple(_encode_value(arg) for arg in args), count)
+                for fid, args, count in scheduler["attempts"]
+            ),
+            key=repr,
+        ),
         "frequency": scheduler["frequency"],
+    }
+    # Same projection for the breaker: remaining cooldown is
+    # time-dependent, everything else must survive a crash exactly.
+    breaker = manager.breaker.dump_state()
+    state["breaker"] = {
+        fid: {
+            key: value
+            for key, value in record.items()
+            if key != "cooldown_remaining"
+        }
+        for fid, record in breaker["fids"].items()
     }
     state["stats"] = dict(vars(manager.stats))
     return state

@@ -37,20 +37,28 @@ def _is_scalar(value: Any) -> bool:
 
 
 class GMRRow:
-    """One GMR tuple: arguments, per-function results and validity bits."""
+    """One GMR tuple: arguments, per-function results and validity bits.
 
-    __slots__ = ("args", "results", "valid", "placement")
+    ``error`` refines invalidity: an entry whose *last rematerialization
+    attempt failed* under the execution guard carries ``valid=False,
+    error=True`` — the ERROR validity state.  Error entries never
+    participate in retrieval (they are invalid) and the flag clears on
+    the next successful :meth:`GMRStore.set_result`.
+    """
+
+    __slots__ = ("args", "results", "valid", "error", "placement")
 
     def __init__(self, args: tuple, fct_count: int, placement: Placement) -> None:
         self.args = args
         self.results: list[Any] = [None] * fct_count
         self.valid: list[bool] = [False] * fct_count
+        self.error: list[bool] = [False] * fct_count
         self.placement = placement
 
     def __repr__(self) -> str:
         cells = ", ".join(
-            f"{result!r}/{'T' if flag else 'F'}"
-            for result, flag in zip(self.results, self.valid)
+            f"{result!r}/{'E' if err else ('T' if flag else 'F')}"
+            for result, flag, err in zip(self.results, self.valid, self.error)
         )
         return f"GMRRow({self.args!r}: {cells})"
 
@@ -88,6 +96,7 @@ class GMRStore:
         self._buffer = buffer
         self._rows: dict[tuple, GMRRow] = {}
         self._invalid: list[set[tuple]] = [set() for _ in range(fct_count)]
+        self._errors: list[set[tuple]] = [set() for _ in range(fct_count)]
         if storage == "auto":
             storage = (
                 "mds" if arg_count + fct_count <= MDS_DIMENSION_LIMIT else "columns"
@@ -196,6 +205,7 @@ class GMRStore:
                 if self.storage == "mds" and had_all:
                     break
             self._invalid[fct_index].discard(args)
+            self._errors[fct_index].discard(args)
         if self._pages is not None and row.placement.page_id >= 0:
             self._pages.remove(row.placement)
         return True
@@ -217,6 +227,9 @@ class GMRStore:
         row.results[fct_index] = value
         row.valid[fct_index] = True
         self._invalid[fct_index].discard(args)
+        if row.error[fct_index]:
+            row.error[fct_index] = False
+            self._errors[fct_index].discard(args)
         self._index_insert(row, fct_index)
         self._touch_row(row, write=True)
         return row
@@ -233,11 +246,43 @@ class GMRStore:
         self._touch_row(row, write=True)
         return True
 
+    def mark_error(self, args: tuple, fct_index: int) -> bool:
+        """Demote the entry to the ERROR validity state.
+
+        ERROR is invalid-plus-diagnosis: the validity bit drops (so the
+        entry leaves every access path, exactly like
+        :meth:`mark_invalid`) and the error flag records that the last
+        rematerialization attempt *failed* rather than merely being
+        deferred.  Returns True when anything changed.
+        """
+        row = self._rows.get(args)
+        if row is None:
+            return False
+        changed = False
+        if row.valid[fct_index]:
+            had_all = all(row.valid)
+            self._index_remove(row, fct_index, had_all=had_all)
+            row.valid[fct_index] = False
+            self._invalid[fct_index].add(args)
+            changed = True
+        if not row.error[fct_index]:
+            row.error[fct_index] = True
+            self._errors[fct_index].add(args)
+            changed = True
+        self._touch_row(row, write=True)
+        return changed
+
     def invalid_args(self, fct_index: int) -> set[tuple]:
         return set(self._invalid[fct_index])
 
     def has_invalid(self, fct_index: int) -> bool:
         return bool(self._invalid[fct_index])
+
+    def error_args(self, fct_index: int) -> set[tuple]:
+        return set(self._errors[fct_index])
+
+    def has_errors(self, fct_index: int) -> bool:
+        return bool(self._errors[fct_index])
 
     # -- retrieval -----------------------------------------------------------------
 
@@ -316,3 +361,8 @@ def _in_range(
     if high is not None and (value > high or (not include_high and value == high)):
         return False
     return True
+
+
+#: Public alias: scalar range membership (the manager's degraded
+#: backward completion filters directly-evaluated results with it).
+in_range = _in_range

@@ -1,4 +1,4 @@
-"""Fault injection for the durability tests.
+"""Fault injection for the durability and fault-tolerance tests.
 
 Deliberately *independent* of :mod:`repro.storage.wal`: the frame
 parser, the crash-point enumerator and the committed-prefix scanner here
@@ -6,12 +6,19 @@ are second implementations written straight from the log format's
 specification, so the recovery tests are differential — a bug shared by
 the production reader and the test oracle would have to be introduced
 twice.
+
+Beyond storage crashes, :class:`FlakyFunction` injects *user-code*
+faults (raises and stalls at chosen call indices) into materialized
+operation bodies, and :func:`check_consistency` is the invariant oracle
+the function-fault matrix asserts after every injected fault.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import struct
+import time
 import zlib
 
 from repro.gom.oid import Oid
@@ -162,6 +169,102 @@ def _decode(value):
     if isinstance(value, dict) and set(value) == {"$oid"}:
         return Oid(value["$oid"])
     return value
+
+
+# -- user-function fault injection -------------------------------------------------
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure a :class:`FlakyFunction` raises."""
+
+
+class FlakyFunction:
+    """Make a materialized operation's body raise or stall on demand.
+
+    Patches ``OperationDef.body`` of ``type_name.op_name`` (bodies are
+    resolved at call time, so the patch takes effect immediately) —
+    install it *after* ``materialize()`` so the RelAttr static analysis
+    saw the real body.  Calls are counted from 0; a call whose index is
+    in ``fail_at`` raises :class:`InjectedFault`, one in ``stall_at``
+    sleeps ``stall_seconds`` and then computes normally (tripping a
+    guard ``call_budget`` smaller than the stall).  All other calls run
+    the original body untouched.
+    """
+
+    def __init__(
+        self,
+        db,
+        type_name: str,
+        op_name: str,
+        *,
+        fail_at=(),
+        stall_at=(),
+        stall_seconds: float = 0.05,
+    ) -> None:
+        self.fail_at = set(fail_at)
+        self.stall_at = set(stall_at)
+        self.stall_seconds = stall_seconds
+        self.calls = 0
+        self._paused = 0
+        _, self._operation = db.schema.resolve_operation(type_name, op_name)
+        self._original = self._operation.body
+        self._operation.body = self._body
+
+    def _body(self, *args, **kwargs):
+        if self._paused:
+            return self._original(*args, **kwargs)
+        index = self.calls
+        self.calls += 1
+        if index in self.fail_at:
+            raise InjectedFault(f"injected failure at call {index}")
+        if index in self.stall_at:
+            time.sleep(self.stall_seconds)
+        return self._original(*args, **kwargs)
+
+    @contextlib.contextmanager
+    def pause(self):
+        """Temporarily run the pristine body (no counting, no faults) —
+        used by the consistency oracle so its recomputations do not
+        consume injection indices."""
+        self._paused += 1
+        try:
+            yield
+        finally:
+            self._paused -= 1
+
+    def restore(self) -> None:
+        """Put the original body back permanently."""
+        self._operation.body = self._original
+
+
+def check_consistency(db, *, injectors=()) -> list[str]:
+    """The Def. 3.2 / Sec. 5.2 oracle: recompute-and-compare every GMR
+    plus the RRR ↔ ObjDepFct lockstep; returns violations (empty =
+    healthy).  Any ``injectors`` are paused while the oracle recomputes,
+    so its own function calls never trigger (or consume) faults.
+    Error-flagged entries must be invalid by construction — a stale
+    *valid* row after a fault is exactly the bug class this hunts.
+    """
+    violations: list[str] = []
+    with contextlib.ExitStack() as stack:
+        for injector in injectors:
+            stack.enter_context(injector.pause())
+        from repro.core.strategies import Strategy
+
+        manager = db.gmr_manager
+        for gmr in manager.gmrs():
+            if gmr.strategy is Strategy.SNAPSHOT:
+                continue  # snapshots are stale by design
+            violations.extend(gmr.check_consistency(db))
+            for fid in gmr.fids:
+                for args in gmr.error_args(fid):
+                    if gmr.entry_state(args, fid) != "error":
+                        violations.append(
+                            f"{gmr.name}{args!r}.{fid}: error flag on a "
+                            f"{gmr.entry_state(args, fid)} entry"
+                        )
+        violations.extend(manager.verify_lockstep())
+    return violations
 
 
 def apply_records(db, records: list[dict]) -> None:

@@ -1,0 +1,276 @@
+"""Unit tests for the fault-tolerance building blocks.
+
+Covers the error taxonomy (FunctionExecutionError / FunctionTimeoutError
+/ FunctionQuarantinedError), the exponential-backoff schedule math
+(deadlines, attempt caps, jitter bounds under a seeded RNG), the
+execution guard's conversion contract, and the circuit breaker's
+open → half-open → close transitions including persistence.
+"""
+
+import pytest
+
+from repro.core.breaker import BreakerState, CircuitBreaker
+from repro.core.guard import (
+    ExecutionGuard,
+    FaultPolicy,
+    backoff_delay,
+    jittered_delay,
+)
+from repro.errors import (
+    FunctionExecutionError,
+    FunctionQuarantinedError,
+    FunctionTimeoutError,
+    MaterializationError,
+)
+from repro.util.rng import DeterministicRng
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestErrorTaxonomy:
+    def test_execution_error_wraps_cause(self):
+        cause = ValueError("boom")
+        error = FunctionExecutionError("T.f", (1,), cause=cause)
+        assert error.fid == "T.f"
+        assert error.args_tuple == (1,)
+        assert error.cause is cause
+        assert isinstance(error, MaterializationError)
+        assert "T.f" in str(error)
+        assert "boom" in str(error)
+
+    def test_timeout_is_an_execution_error(self):
+        error = FunctionTimeoutError("T.f", (), elapsed=0.2, budget=0.1)
+        assert isinstance(error, FunctionExecutionError)
+        assert error.elapsed == 0.2
+        assert error.budget == 0.1
+        assert "budget" in str(error)
+
+    def test_quarantined_error(self):
+        error = FunctionQuarantinedError("T.f")
+        assert error.fid == "T.f"
+        assert isinstance(error, MaterializationError)
+        assert "quarantined" in str(error)
+        # Quarantine denial is not an execution failure: callers that
+        # retry on FunctionExecutionError must not catch it by accident.
+        assert not isinstance(error, FunctionExecutionError)
+
+
+class TestBackoffMath:
+    def test_exponential_doubling_capped(self):
+        policy = FaultPolicy(base_delay=0.05, max_delay=1.0)
+        delays = [backoff_delay(policy, attempt) for attempt in range(1, 8)]
+        assert delays[:5] == pytest.approx([0.05, 0.1, 0.2, 0.4, 0.8])
+        assert delays[5] == 1.0
+        assert delays[6] == 1.0  # capped, not doubling forever
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(FaultPolicy(), 0)
+
+    def test_jitter_bounds_under_seeded_rng(self):
+        policy = FaultPolicy(base_delay=0.1, max_delay=10.0, jitter=0.25)
+        rng = DeterministicRng(42)
+        for attempt in range(1, 8):
+            base = backoff_delay(policy, attempt)
+            for _ in range(50):
+                delay = jittered_delay(policy, attempt, rng)
+                assert base * 0.75 <= delay <= base * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        policy = FaultPolicy(jitter=0.0)
+        rng = DeterministicRng(0)
+        assert jittered_delay(policy, 3, rng) == backoff_delay(policy, 3)
+
+    def test_seeded_schedule_is_reproducible(self):
+        policy = FaultPolicy(jitter=0.1)
+        first = [
+            jittered_delay(policy, attempt, rng)
+            for rng in [DeterministicRng(7)]
+            for attempt in range(1, 6)
+        ]
+        second = [
+            jittered_delay(policy, attempt, rng)
+            for rng in [DeterministicRng(7)]
+            for attempt in range(1, 6)
+        ]
+        assert first == second
+
+
+class TestExecutionGuard:
+    def test_success_passes_value_through(self):
+        guard = ExecutionGuard(FaultPolicy())
+        value, failure = guard.timed("f", (), lambda: 42)
+        assert value == 42
+        assert failure is None
+
+    def test_exception_converted_to_failure_value(self):
+        guard = ExecutionGuard(FaultPolicy())
+        value, failure = guard.timed("f", (1,), lambda: 1 / 0)
+        assert value is None
+        assert isinstance(failure, FunctionExecutionError)
+        assert isinstance(failure.cause, ZeroDivisionError)
+        assert failure.args_tuple == (1,)
+
+    def test_budget_overrun_detected_post_hoc(self):
+        clock = FakeClock()
+        guard = ExecutionGuard(FaultPolicy(call_budget=0.1), clock=clock)
+
+        def slow():
+            clock.advance(0.5)
+            return "late result"
+
+        value, failure = guard.timed("f", (), slow)
+        # The overrunning call's value is discarded entirely.
+        assert value is None
+        assert isinstance(failure, FunctionTimeoutError)
+        assert failure.elapsed == pytest.approx(0.5)
+        assert failure.budget == 0.1
+
+    def test_within_budget_is_fine(self):
+        clock = FakeClock()
+        guard = ExecutionGuard(FaultPolicy(call_budget=1.0), clock=clock)
+
+        def quick():
+            clock.advance(0.2)
+            return "ok"
+
+        value, failure = guard.timed("f", (), quick)
+        assert value == "ok"
+        assert failure is None
+
+    def test_base_exception_passes_through(self):
+        guard = ExecutionGuard(FaultPolicy())
+
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            guard.timed("f", (), interrupted)
+
+
+class TestBreakerTransitions:
+    def make(self, **overrides) -> tuple[CircuitBreaker, FakeClock]:
+        clock = FakeClock()
+        policy = FaultPolicy(failure_threshold=3, cooldown=10.0, **overrides)
+        return CircuitBreaker(policy, clock=clock), clock
+
+    def test_closed_allows(self):
+        breaker, _ = self.make()
+        decision = breaker.acquire("f")
+        assert decision.allowed
+        assert not decision.probe
+        assert breaker.state("f") is BreakerState.CLOSED
+        assert not breaker.quarantined("f")
+
+    def test_opens_after_consecutive_threshold(self):
+        breaker, _ = self.make()
+        assert not breaker.record_failure("f")
+        assert not breaker.record_failure("f")
+        assert breaker.record_failure("f")  # third in a row opens
+        assert breaker.state("f") is BreakerState.OPEN
+        assert breaker.quarantined("f")
+        assert not breaker.acquire("f").allowed
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure("f")
+        breaker.record_failure("f")
+        breaker.record_success("f")
+        assert breaker.failures("f") == 0
+        assert not breaker.record_failure("f")  # streak restarted
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("f")
+        assert not breaker.probe_eligible("f")
+        clock.advance(10.0)
+        assert breaker.probe_eligible("f")
+        decision = breaker.acquire("f")
+        assert decision.allowed and decision.probe
+        assert breaker.state("f") is BreakerState.HALF_OPEN
+        assert breaker.record_success("f")  # True: this closed it
+        assert breaker.state("f") is BreakerState.CLOSED
+        assert not breaker.quarantined("f")
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("f")
+        clock.advance(10.0)
+        assert breaker.acquire("f").probe
+        assert breaker.record_failure("f")  # True: re-opened
+        assert breaker.state("f") is BreakerState.OPEN
+        # The cooldown restarted from the probe failure.
+        assert breaker.seconds_until_probe("f") == pytest.approx(10.0)
+
+    def test_seconds_until_probe_counts_down(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("f")
+        clock.advance(4.0)
+        assert breaker.seconds_until_probe("f") == pytest.approx(6.0)
+        clock.advance(6.0)
+        assert breaker.seconds_until_probe("f") == 0.0
+
+    def test_per_fid_isolation(self):
+        breaker, _ = self.make()
+        for _ in range(3):
+            breaker.record_failure("f")
+        assert breaker.quarantined("f")
+        assert not breaker.quarantined("g")
+        assert breaker.acquire("g").allowed
+        assert breaker.quarantined_fids() == ["f"]
+
+    def test_trip_and_reset(self):
+        breaker, _ = self.make()
+        breaker.trip("f")
+        assert breaker.state("f") is BreakerState.OPEN
+        breaker.reset("f")
+        assert breaker.state("f") is BreakerState.CLOSED
+        assert breaker.failures("f") == 0
+
+    def test_dump_restore_carries_remaining_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("f")
+        clock.advance(4.0)
+        state = breaker.dump_state()
+        assert state["fids"]["f"]["state"] == "open"
+        assert state["fids"]["f"]["cooldown_remaining"] == pytest.approx(6.0)
+
+        restored_clock = FakeClock()
+        restored = CircuitBreaker(breaker.policy, clock=restored_clock)
+        restored.restore_state(state)
+        assert restored.quarantined("f")
+        assert restored.seconds_until_probe("f") == pytest.approx(6.0)
+        restored_clock.advance(6.0)
+        assert restored.probe_eligible("f")
+
+    def test_half_open_dumps_as_open(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure("f")
+        clock.advance(10.0)
+        breaker.acquire("f")  # half-opens
+        state = breaker.dump_state()
+        # An in-flight probe cannot survive a checkpoint: re-opened.
+        assert state["fids"]["f"]["state"] == "open"
+
+    def test_pristine_entries_are_not_dumped(self):
+        breaker, _ = self.make()
+        breaker.acquire("f")
+        breaker.record_failure("g")
+        breaker.record_success("g")  # streak cleared, history kept
+        state = breaker.dump_state()
+        assert "f" not in state["fids"]
+        assert state["fids"]["g"]["total_failures"] == 1

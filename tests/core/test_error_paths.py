@@ -5,6 +5,7 @@ import pytest
 from repro import ObjectBase, Strategy
 from repro.errors import (
     EncapsulationError,
+    FunctionExecutionError,
     GMRDefinitionError,
     ReproError,
     TypeCheckError,
@@ -12,18 +13,25 @@ from repro.errors import (
 
 
 class TestFailingFunctionBodies:
-    def test_population_failure_propagates(self, db):
+    def test_population_failure_degrades_to_error(self, db):
         db.define_tuple_type("T", {"A": "float"})
 
         def bad(self):
             raise ValueError("domain error")
 
         db.define_operation("T", "bad", [], "float", bad)
-        db.new("T", A=1.0)
-        with pytest.raises(ValueError):
-            db.materialize([("T", "bad")])
+        obj = db.new("T", A=1.0)
+        # Population runs under the execution guard: the failing entry
+        # lands in the ERROR state instead of unwinding materialize().
+        gmr = db.materialize([("T", "bad")])
+        assert gmr.entry_state((obj.oid,), "T.bad") == "error"
+        assert db.gmr_manager.stats.guard_failures >= 1
+        # Accessing it surfaces the failure, wrapping the user error.
+        with pytest.raises(FunctionExecutionError) as excinfo:
+            obj.bad()
+        assert isinstance(excinfo.value.cause, ValueError)
 
-    def test_partial_failure_leaves_rows_invalid(self, db):
+    def test_partial_failure_leaves_other_rows_valid(self, db):
         db.define_tuple_type("T", {"A": "float"})
 
         def picky(self):
@@ -33,14 +41,15 @@ class TestFailingFunctionBodies:
 
         db.define_operation("T", "picky", [], "float", picky)
         good = db.new("T", A=1.0)
-        db.new("T", A=-1.0)
-        with pytest.raises(ValueError):
-            db.materialize([("T", "picky")])
-        # The GMR exists; the failed entry is invalid, not wrong.
-        gmr = db.gmr_manager.gmrs()[0]
+        bad = db.new("T", A=-1.0)
+        gmr = db.materialize([("T", "picky")])
+        # The failed entry is ERROR, not wrong; the good one is served.
+        assert gmr.entry_state((good.oid,), "T.picky") == "valid"
+        assert gmr.entry_state((bad.oid,), "T.picky") == "error"
+        assert good.picky() == 2.0
         assert gmr.check_consistency(db) == []
 
-    def test_update_time_failure_propagates(self, db):
+    def test_update_time_failure_does_not_unwind_update(self, db):
         db.define_tuple_type("T", {"A": "float"})
 
         def touchy(self):
@@ -51,12 +60,17 @@ class TestFailingFunctionBodies:
         db.define_operation("T", "touchy", [], "float", touchy)
         obj = db.new("T", A=1.0)
         gmr = db.materialize([("T", "touchy")])
-        with pytest.raises(ValueError):
-            obj.set_A(1000.0)  # immediate rematerialization fails
-        # The attribute write itself persisted; the entry stayed invalid.
+        # The immediate rematerialization fails, but the update itself
+        # completes: the entry degrades to ERROR and a retry is queued.
+        obj.set_A(1000.0)
         raw = db.objects.get(obj.oid)
         assert raw.data["A"] == 1000.0
+        assert gmr.entry_state((obj.oid,), "T.touchy") == "error"
         assert gmr.check_consistency(db) == []
+        # A later successful update heals the entry.
+        obj.set_A(2.0)
+        assert obj.touchy() == 2.0
+        assert gmr.entry_state((obj.oid,), "T.touchy") == "valid"
 
     def test_lazy_failure_surfaces_on_access(self, db):
         db.define_tuple_type("T", {"A": "float"})
@@ -70,8 +84,9 @@ class TestFailingFunctionBodies:
         obj = db.new("T", A=1.0)
         db.materialize([("T", "touchy")], strategy=Strategy.LAZY)
         obj.set_A(1000.0)  # no failure yet: lazily invalidated
-        with pytest.raises(ValueError):
+        with pytest.raises(FunctionExecutionError) as excinfo:
             obj.touchy()
+        assert isinstance(excinfo.value.cause, ValueError)
 
 
 class TestDefinitionErrors:

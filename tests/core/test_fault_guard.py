@@ -1,0 +1,275 @@
+"""Manager-level execution-guard tests.
+
+The tentpole's contract: nothing a user function does (raise, stall)
+may unwind a maintenance loop or leave the GMR inconsistent.  Failing
+entries land in the ERROR validity state, bounded backed-off retries
+heal them, and the rest of the invalidation wave always completes —
+including the regression for the pre-guard bug where one failing entry
+abandoned the remaining popped RRR entries of an IMMEDIATE wave.
+"""
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.core.breaker import BreakerState
+from repro.errors import FunctionExecutionError, FunctionTimeoutError
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_robot,
+    create_vertex,
+)
+
+from tests._faults import FlakyFunction, InjectedFault, check_consistency
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_double_db() -> ObjectBase:
+    db = ObjectBase()
+    db.define_tuple_type("T", {"A": "float"})
+    db.define_operation("T", "double", [], "float", lambda self: self.A * 2)
+    return db
+
+
+def use_fake_clock(db) -> FakeClock:
+    clock = FakeClock()
+    db.gmr_manager.clock = clock
+    return clock
+
+
+class TestImmediateWaveRegression:
+    def test_one_failure_does_not_abandon_the_wave(self):
+        """Regression: an exception from one ``_rematerialize`` inside
+        ``invalidate()``'s per-fid loop used to unwind the whole wave,
+        losing the remaining popped RRR entries — those entries stayed
+        *valid* with stale results (a Def. 3.2 violation) and their RRR
+        rows were gone, so later updates never found them again."""
+        db = ObjectBase()
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        robot = create_robot(db, "R1", (10.0, 10.0, 10.0))
+        gmr = db.materialize(
+            [("Cuboid", "distance")], strategy=Strategy.IMMEDIATE
+        )
+        assert len(gmr) == 3  # 3 cuboids x 1 robot
+        clock = use_fake_clock(db)
+        manager = db.gmr_manager
+
+        # Populate made 3 calls with the pristine body; the flaky body
+        # fails exactly the first rematerialization of the update wave.
+        flaky = FlakyFunction(db, "Cuboid", "distance", fail_at={0})
+        before = manager.stats.snapshot()
+        # All 3 rows reference the robot's Pos vertex: one update pops
+        # one fid with an args_set of 3.
+        robot.Pos.set_X(0.0)
+        delta = manager.stats.delta(before)
+
+        fid = "Cuboid.distance"
+        states = [
+            gmr.entry_state((cuboid.oid, robot.oid), fid)
+            for cuboid in fixture.cuboids
+        ]
+        # The wave completed: exactly the injected entry is ERROR, the
+        # other two were rematerialized against the new position.
+        assert sorted(states) == ["error", "valid", "valid"]
+        assert delta.guard_failures == 1
+        assert delta.retries_scheduled == 1
+        assert delta.entries_invalidated == 3
+        # No stale-valid rows, RRR and ObjDepFct in lockstep.
+        assert check_consistency(db, injectors=[flaky]) == []
+
+        # The scheduled retry heals the entry once its backoff elapses.
+        clock.advance(1.0)
+        drained = manager.scheduler.revalidate()
+        assert drained == 1
+        assert manager.stats.retry_successes == 1
+        assert all(
+            gmr.entry_state((cuboid.oid, robot.oid), fid) == "valid"
+            for cuboid in fixture.cuboids
+        )
+        assert check_consistency(db, injectors=[flaky]) == []
+
+    def test_updates_never_raise_through_the_guard(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        gmr = db.materialize([("T", "double")], strategy=Strategy.IMMEDIATE)
+        flaky = FlakyFunction(db, "T", "double", fail_at=set(range(100)))
+        # Every rematerialization fails, yet the updates all succeed.
+        for value in (2.0, 3.0, 4.0):
+            obj.set_A(value)
+        assert db.objects.get(obj.oid).data["A"] == 4.0
+        assert gmr.entry_state((obj.oid,), "T.double") == "error"
+        assert check_consistency(db, injectors=[flaky]) == []
+
+
+class TestErrorState:
+    def test_error_entry_heals_on_successful_recompute(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        gmr = db.materialize([("T", "double")], strategy=Strategy.LAZY)
+        flaky = FlakyFunction(db, "T", "double", fail_at={0})
+        obj.set_A(5.0)
+        with pytest.raises(FunctionExecutionError) as excinfo:
+            obj.double()
+        assert isinstance(excinfo.value.cause, InjectedFault)
+        assert gmr.entry_state((obj.oid,), "T.double") == "error"
+        assert gmr.error_args("T.double") == {(obj.oid,)}
+        assert gmr.has_errors("T.double")
+        # Second attempt (index 1) is healthy: the flag clears.
+        assert obj.double() == 10.0
+        assert gmr.entry_state((obj.oid,), "T.double") == "valid"
+        assert not gmr.has_errors("T.double")
+
+    def test_error_rendered_in_extension_table(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        gmr = db.materialize([("T", "double")], strategy=Strategy.LAZY)
+        FlakyFunction(db, "T", "double", fail_at={0})
+        obj.set_A(5.0)
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+        assert "E" in gmr.extension_table()
+
+    def test_failed_first_materialization_creates_error_row(self):
+        """A brand-new combination whose very first computation fails
+        still gets a row — the ERROR must be observable and the retry
+        must have a target."""
+        db = make_double_db()
+        db.materialize([("T", "double")], strategy=Strategy.IMMEDIATE)
+        FlakyFunction(db, "T", "double", fail_at={0})
+        obj = db.new("T", A=1.0)  # extension adaptation fails
+        gmr = db.gmr_manager.gmrs()[0]
+        assert gmr.entry_state((obj.oid,), "T.double") == "error"
+
+    def test_stall_detected_against_call_budget(self):
+        db = make_double_db()
+        obj = db.new("T", A=3.0)
+        gmr = db.materialize([("T", "double")], strategy=Strategy.LAZY)
+        manager = db.gmr_manager
+        manager.fault_policy.call_budget = 0.01
+        flaky = FlakyFunction(
+            db, "T", "double", stall_at={0}, stall_seconds=0.05
+        )
+        obj.set_A(4.0)
+        with pytest.raises(FunctionTimeoutError):
+            obj.double()
+        assert manager.stats.guard_timeouts == 1
+        # The stalling call's (correct) value was discarded: ERROR.
+        assert gmr.entry_state((obj.oid,), "T.double") == "error"
+        assert check_consistency(db, injectors=[flaky]) == []
+        assert obj.double() == 8.0  # next call is fast again
+
+
+class TestRetryBackoff:
+    def test_backoff_deadline_and_attempt_accounting(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        db.materialize([("T", "double")], strategy=Strategy.LAZY)
+        manager = db.gmr_manager
+        clock = use_fake_clock(db)
+        policy = manager.fault_policy
+        policy.failure_threshold = 1000  # keep the breaker out of this
+        # Index 0 is the forward query, 1 the first retry; the second
+        # retry (index 2) succeeds.
+        flaky = FlakyFunction(db, "T", "double", fail_at={0, 1})
+        key = ("T.double", (obj.oid,))
+
+        obj.set_A(5.0)
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+        assert manager.scheduler.attempts(*key) == 1
+        delayed = manager.scheduler.delayed_entries()
+        assert len(delayed) == 1
+        eligible_at, fid, args = delayed[0]
+        assert (fid, args) == key
+        low = policy.base_delay * (1 - policy.jitter)
+        high = policy.base_delay * (1 + policy.jitter)
+        assert low <= eligible_at - clock.now <= high
+
+        # Not ripe yet: the drain promotes nothing.
+        assert manager.scheduler.revalidate() == 0
+        # Ripe, but the retry fails again: attempt 2, doubled delay.
+        clock.advance(high + 0.001)
+        assert manager.scheduler.revalidate() == 0
+        assert manager.scheduler.attempts(*key) == 2
+        (eligible_at, _, _), = manager.scheduler.delayed_entries()
+        base2 = policy.base_delay * 2
+        assert base2 * (1 - policy.jitter) <= eligible_at - clock.now
+        assert eligible_at - clock.now <= base2 * (1 + policy.jitter)
+
+        # Third attempt succeeds (fail indices exhausted) and clears
+        # the attempt counter.
+        clock.advance(base2 * 2)
+        assert manager.scheduler.revalidate() == 1
+        assert manager.scheduler.attempts(*key) == 0
+        assert manager.stats.retry_successes == 1
+        assert obj.double() == 10.0
+
+    def test_retries_exhausted_after_max_attempts(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        gmr = db.materialize([("T", "double")], strategy=Strategy.LAZY)
+        manager = db.gmr_manager
+        clock = use_fake_clock(db)
+        policy = manager.fault_policy
+        policy.max_attempts = 3
+        policy.failure_threshold = 1000
+        FlakyFunction(db, "T", "double", fail_at=set(range(1000)))
+
+        obj.set_A(5.0)
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+        for _ in range(policy.max_attempts + 2):
+            clock.advance(policy.max_delay * 2)
+            manager.scheduler.revalidate()
+        assert manager.stats.retries_exhausted == 1
+        # The queue gave up: nothing pending, the entry stays ERROR.
+        assert manager.scheduler.pending() == 0
+        assert gmr.entry_state((obj.oid,), "T.double") == "error"
+
+    def test_retry_state_round_trips_through_scheduler_dump(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        db.materialize([("T", "double")], strategy=Strategy.LAZY)
+        manager = db.gmr_manager
+        use_fake_clock(db)
+        manager.fault_policy.failure_threshold = 1000
+        FlakyFunction(db, "T", "double", fail_at={0, 1})
+        obj.set_A(5.0)
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+        state = manager.scheduler.dump_state()
+        assert state["attempts"] == [["T.double", [obj.oid], 1]]
+        assert len(state["delayed"]) == 1
+
+        manager.scheduler.clear()
+        assert manager.scheduler.pending() == 0
+        manager.scheduler.restore_state(state)
+        assert manager.scheduler.attempts("T.double", (obj.oid,)) == 1
+        assert manager.scheduler.pending() == 1
+
+
+class TestDisabledPolicy:
+    def test_disabled_policy_restores_seed_behaviour(self):
+        db = make_double_db()
+        obj = db.new("T", A=1.0)
+        gmr = db.materialize([("T", "double")], strategy=Strategy.IMMEDIATE)
+        db.gmr_manager.fault_policy.enabled = False
+        FlakyFunction(db, "T", "double", fail_at={0})
+        # Ungated: the user-code error unwinds the update, the entry is
+        # plain-invalid (no ERROR diagnosis, no retry scheduled).
+        with pytest.raises(InjectedFault):
+            obj.set_A(5.0)
+        assert gmr.entry_state((obj.oid,), "T.double") == "invalid"
+        assert db.gmr_manager.stats.guard_failures == 0
+        assert db.gmr_manager.scheduler.pending() == 0

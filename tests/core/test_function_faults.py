@@ -1,0 +1,266 @@
+"""The function-fault matrix, quarantine transparency, and recovery.
+
+Acceptance tests of the fault-tolerance pipeline:
+
+* a parametrized matrix injecting a raise or a stall at every call
+  index of a fixed workload, across IMMEDIATE / LAZY / DEFERRED — after
+  every fault the Def. 3.2 / Sec. 5.2 oracle must hold;
+* Sec. 3.2 transparency under quarantine: while the breaker is open a
+  forward query answers by direct evaluation, byte-identical to the
+  unmaterialized function — including on a base recovered from a
+  checkpoint taken while quarantined;
+* breaker / ERROR / retry state round-tripping through
+  checkpoint → crash → recover.
+"""
+
+import time
+
+import pytest
+
+from repro import ObjectBase, Strategy, checkpoint, recover, verify_recovery
+from repro.core.breaker import BreakerState
+from repro.errors import FunctionExecutionError
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    create_vertex,
+)
+
+from tests._faults import FlakyFunction, check_consistency
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def build_double_schema(db) -> None:
+    db.define_tuple_type("T", {"A": "float"})
+    db.define_operation("T", "double", [], "float", lambda self: self.A * 2)
+
+
+# -- the fault matrix --------------------------------------------------------------
+
+STRATEGIES = [Strategy.IMMEDIATE, Strategy.LAZY, Strategy.DEFERRED]
+#: Call indices 0..7 cover every body invocation the workload makes on
+#: any strategy (the longest trace is IMMEDIATE's; larger indices mean
+#: the fault never fires, which the harness tolerates as a clean run).
+CALL_INDICES = range(8)
+
+
+def run_workload(db, fixture, manager) -> None:
+    """A fixed mix of updates, forward queries, backward queries and a
+    scheduler drain.  Updates must never raise; queries may surface
+    ``FunctionExecutionError`` for an entry that is genuinely broken."""
+    fid = "Cuboid.volume"
+    fixture.cuboids[0].scale(create_vertex(db, 2.0, 1.0, 1.0))
+    for cuboid in fixture.cuboids[:2]:
+        try:
+            cuboid.volume()
+        except FunctionExecutionError:
+            pass
+    fixture.cuboids[1].scale(create_vertex(db, 1.0, 3.0, 1.0))
+    try:
+        manager.backward_query(fid)
+    except FunctionExecutionError:
+        pass
+    time.sleep(0.06)  # let backoff deadlines ripen (real clock)
+    manager.scheduler.revalidate()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+@pytest.mark.parametrize("kind", ["raise", "stall"])
+@pytest.mark.parametrize("index", CALL_INDICES)
+def test_fault_matrix_preserves_consistency(strategy, kind, index):
+    db = ObjectBase()
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    manager_gmr = db.materialize([("Cuboid", "volume")], strategy=strategy)
+    manager = db.gmr_manager
+    policy = manager.fault_policy
+    policy.base_delay = 0.01
+    policy.max_delay = 0.02
+    if kind == "stall":
+        policy.call_budget = 0.01
+        flaky = FlakyFunction(
+            db, "Cuboid", "volume", stall_at={index}, stall_seconds=0.03
+        )
+    else:
+        flaky = FlakyFunction(db, "Cuboid", "volume", fail_at={index})
+
+    run_workload(db, fixture, manager)
+    assert check_consistency(db, injectors=[flaky]) == []
+
+    # Drain what is left with the pristine body: everything heals.
+    flaky.restore()
+    time.sleep(0.06)
+    manager.scheduler.revalidate()
+    assert check_consistency(db) == []
+    del manager_gmr
+
+
+# -- quarantine transparency (Sec. 3.2) --------------------------------------------
+
+
+def test_quarantined_forward_queries_equal_direct_evaluation():
+    db = ObjectBase()
+    build_double_schema(db)
+    obj = db.new("T", A=5.0)
+    gmr = db.materialize([("T", "double")], strategy=Strategy.LAZY)
+    manager = db.gmr_manager
+    clock = FakeClock()
+    manager.clock = clock
+    policy = manager.fault_policy
+    policy.failure_threshold = 3
+    policy.cooldown = 30.0
+    fid = "T.double"
+
+    # Three consecutive failures open the breaker.
+    flaky = FlakyFunction(db, "T", "double", fail_at={0, 1, 2})
+    obj.set_A(6.0)
+    for _ in range(3):
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+    assert manager.breaker.state(fid) is BreakerState.OPEN
+    assert manager.stats.breaker_opens == 1
+    assert gmr.entry_state((obj.oid,), fid) == "error"
+
+    # While open, queries degrade to direct evaluation (the body is
+    # healthy again — the fail indices are consumed) and the GMR row
+    # stays untouched.
+    before = manager.stats.degraded_forward_calls
+    assert obj.double() == 12.0
+    info = gmr.function(fid)
+    assert obj.double() == db.call_function(info, (obj.oid,))
+    assert manager.stats.degraded_forward_calls == before + 2
+    assert gmr.entry_state((obj.oid,), fid) == "error"
+    # Updates while quarantined are mark-only: no body invocation.
+    calls = flaky.calls
+    obj.set_A(7.0)
+    assert flaky.calls == calls
+    assert obj.double() == 14.0  # degraded read tracks the update
+
+    # After the cooldown the next query doubles as the half-open probe;
+    # its success closes the breaker and re-validates the entry.
+    clock.advance(policy.cooldown)
+    assert obj.double() == 14.0
+    assert manager.breaker.state(fid) is BreakerState.CLOSED
+    assert manager.stats.breaker_closes == 1
+    assert gmr.entry_state((obj.oid,), fid) == "valid"
+    assert check_consistency(db, injectors=[flaky]) == []
+
+
+def test_failed_probe_reopens_and_queries_stay_degraded():
+    db = ObjectBase()
+    build_double_schema(db)
+    obj = db.new("T", A=5.0)
+    db.materialize([("T", "double")], strategy=Strategy.LAZY)
+    manager = db.gmr_manager
+    clock = FakeClock()
+    manager.clock = clock
+    policy = manager.fault_policy
+    policy.failure_threshold = 2
+    policy.cooldown = 10.0
+    FlakyFunction(db, "T", "double", fail_at={0, 1, 2})
+
+    obj.set_A(6.0)
+    for _ in range(2):
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+    clock.advance(policy.cooldown)
+    # The probe (fail index 2) fails: breaker re-opens with a fresh
+    # cooldown, and the very next query degrades again.
+    with pytest.raises(FunctionExecutionError):
+        obj.double()
+    assert manager.breaker.state("T.double") is BreakerState.OPEN
+    assert obj.double() == 12.0  # degraded, healthy body
+    assert manager.stats.degraded_forward_calls == 1
+
+
+# -- durability of the fault-tolerance state ---------------------------------------
+
+
+def test_breaker_and_error_state_survive_checkpoint_recover(tmp_path):
+    db = ObjectBase()
+    build_double_schema(db)
+    obj = db.new("T", A=5.0)
+    db.materialize([("T", "double")], strategy=Strategy.LAZY)
+    manager = db.gmr_manager
+    clock = FakeClock()
+    manager.clock = clock
+    policy = manager.fault_policy
+    policy.failure_threshold = 3
+    policy.cooldown = 30.0
+    fid = "T.double"
+
+    FlakyFunction(db, "T", "double", fail_at=set(range(10)))
+    obj.set_A(6.0)
+    for _ in range(3):
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+    assert manager.breaker.quarantined(fid)
+
+    path = str(tmp_path / "checkpoint.json")
+    checkpoint(db, path)
+
+    fresh = ObjectBase()
+    build_double_schema(fresh)  # pristine body: no injection installed
+    recover(fresh, path)
+    recovered = fresh.gmr_manager
+    # The crash did not resurrect the function as healthy.
+    assert recovered.breaker.state(fid) is BreakerState.OPEN
+    assert not recovered.breaker.probe_eligible(fid)
+    gmr = recovered.gmrs()[0]
+    assert gmr.entry_state((obj.oid,), fid) == "error"
+    assert recovered.scheduler.attempts(fid, (obj.oid,)) == 1
+    assert recovered.scheduler.pending() == 1
+    assert recovered.stats.guard_failures == manager.stats.guard_failures
+
+    # Forward queries on the recovered base degrade to direct
+    # evaluation, byte-identical to the unmaterialized answer.
+    handle = fresh.handle(obj.oid)
+    before = recovered.stats.degraded_forward_calls
+    assert handle.double() == 12.0
+    assert handle.double() == fresh.call_function(
+        gmr.function(fid), (obj.oid,)
+    )
+    assert recovered.stats.degraded_forward_calls == before + 2
+    assert gmr.entry_state((obj.oid,), fid) == "error"
+
+
+def test_fault_state_round_trips_differentially():
+    """``verify_recovery``: the full checkpoint → WAL-tail → recover
+    cycle reproduces breaker, ERROR flags, retry attempts and stats
+    bit-for-bit (modulo clock-dependent deadlines, which the digest
+    excludes by construction)."""
+    db = ObjectBase()
+    build_double_schema(db)
+    obj = db.new("T", A=5.0)
+    db.materialize([("T", "double")], strategy=Strategy.LAZY)
+    manager = db.gmr_manager
+    policy = manager.fault_policy
+    policy.failure_threshold = 2
+    flaky = FlakyFunction(db, "T", "double", fail_at=set(range(10)))
+    obj.set_A(6.0)
+    for _ in range(2):
+        with pytest.raises(FunctionExecutionError):
+            obj.double()
+    assert manager.breaker.quarantined("T.double")
+
+    def rebuild(fresh):
+        build_double_schema(fresh)
+        fresh.gmr_manager.fault_policy.failure_threshold = 2
+
+    recovered = verify_recovery(
+        db,
+        rebuild,
+        mutate=lambda base: base.set_attr(obj.oid, "A", 7.0),
+    )
+    assert recovered.gmr_manager.breaker.quarantined("T.double")
+    flaky.restore()
