@@ -1,0 +1,108 @@
+"""Ablation: observability overhead on the Figure 7 workload.
+
+The tentpole's contract is *zero overhead when disabled*: every trace
+site guards on ``tracer.enabled`` and every metrics site on the
+manager's ``_obs_on`` flag / pre-bound ``NULL_METRIC``, so a run with
+observability off must match the pre-observability baseline.  This
+ablation runs the Figure 7 cuboid mix three ways over identical seeds —
+tracing ON (ring sink), the default (metrics ON, tracing OFF), and
+everything OFF — and asserts
+
+* all three runs end in the identical GMR extension (observability
+  never perturbs maintenance),
+* the disabled runs record no trace events at all,
+* the default configuration stays within 5% (plus a fixed jitter
+  allowance) of the everything-off baseline, and
+* even full tracing stays within a loose smoke bound (it buffers one
+  small record per maintenance step, it does not re-evaluate anything).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.cuboid import CuboidApplication, CuboidConfig
+from repro.bench.runner import WITH_GMR
+from repro.bench.workload import OperationMix
+from repro.observe.config import MaterializationConfig, ObserveConfig
+from repro.util.rng import DeterministicRng
+
+_FIG7_MIX = dict(
+    queries=[(0.5, "Qbw"), (0.5, "Qfw")],
+    updates=[(0.5, "I"), (0.5, "S")],
+)
+
+
+def _run_fig7(observe: ObserveConfig, *, operations: int = 60, cuboids: int = 80):
+    """One Figure 7 point under the given observe settings; returns
+    (application, seconds)."""
+    application = CuboidApplication(
+        WITH_GMR,
+        CuboidConfig(
+            cuboids=cuboids,
+            seed=7,
+            materialization=MaterializationConfig(observe=observe),
+        ),
+    )
+    mix = OperationMix(
+        update_probability=0.9, operations=operations, **_FIG7_MIX
+    )
+    start = time.perf_counter()
+    application.run_mix(mix, DeterministicRng(11))
+    elapsed = time.perf_counter() - start
+    return application, elapsed
+
+
+def _best_of(runs: int, observe: ObserveConfig):
+    application, best = _run_fig7(observe)
+    for _ in range(runs - 1):
+        application, elapsed = _run_fig7(observe)
+        best = min(best, elapsed)
+    return application, best
+
+
+def _gmr_state(application):
+    return sorted(
+        (row.args[0].value, tuple(row.valid), tuple(row.results))
+        for row in application.gmr.rows()
+    )
+
+
+def test_smoke_observe_disabled_is_free(benchmark):
+    off, off_seconds = _best_of(3, ObserveConfig(trace=False, metrics=False))
+    default, default_seconds = benchmark.pedantic(
+        lambda: _best_of(3, ObserveConfig()), rounds=1, iterations=1
+    )
+
+    # Observability must not perturb the materialized extension.
+    assert _gmr_state(default) == _gmr_state(off)
+    # Nothing traced in either run: no sinks, no events.
+    assert off.db.observe.events() == []
+    assert default.db.observe.events() == []
+    assert default.db.observe.tracer.sinks == []
+    # The default path (metrics on, tracing off) pays pre-bound counter
+    # increments and tally updates — within 5% of the everything-off
+    # baseline, plus a fixed allowance for timer jitter on short runs.
+    assert default_seconds <= off_seconds * 1.05 + 0.05
+
+
+def test_smoke_observe_tracing_is_bounded(benchmark):
+    off, off_seconds = _best_of(3, ObserveConfig(trace=False, metrics=False))
+    traced, traced_seconds = benchmark.pedantic(
+        lambda: _best_of(
+            3, ObserveConfig(trace=True, metrics=True, ring_buffer=1024)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert _gmr_state(traced) == _gmr_state(off)
+    # The traced run really recorded the maintenance chain...
+    events = traced.db.observe.events()
+    assert len(events) > 0
+    names = {event.name for event in events}
+    assert "invalidate.wave" in names
+    assert "update" in names
+    # ...at a cost bounded by buffering one record per step: a loose
+    # smoke bound against pathological overhead, not a microbenchmark.
+    assert traced_seconds <= off_seconds * 3 + 0.1

@@ -31,10 +31,19 @@ from repro.core import (
     GMR,
     BreakerState,
     FaultPolicy,
+    FlushReport,
     GMRManager,
     RangeRestriction,
     Strategy,
     ValueRestriction,
+)
+from repro.observe import (
+    ExplainReport,
+    MaterializationConfig,
+    MetricsRegistry,
+    ObserveConfig,
+    Trace,
+    Tracer,
 )
 from repro.errors import (
     FunctionExecutionError,
@@ -46,6 +55,8 @@ from repro.predicates import Variable
 from repro.asr import AccessSupportRelation, ASRManager
 from repro.gom.transactions import TransactionError
 from repro.persistence import (
+    CheckpointReport,
+    RecoveryReport,
     base_state,
     checkpoint,
     dump_object_base,
@@ -77,6 +88,15 @@ __all__ = [
     "AccessSupportRelation",
     "ASRManager",
     "TransactionError",
+    "MaterializationConfig",
+    "ObserveConfig",
+    "Trace",
+    "Tracer",
+    "MetricsRegistry",
+    "ExplainReport",
+    "FlushReport",
+    "CheckpointReport",
+    "RecoveryReport",
     "dump_object_base",
     "load_object_base",
     "checkpoint",

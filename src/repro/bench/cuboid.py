@@ -11,7 +11,9 @@ a random cuboid), ``I`` (create one with random dimensions), and ``S`` /
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.bench.runner import (
     FigureResult,
@@ -36,6 +38,9 @@ from repro.gom.database import ObjectBase
 from repro.gomql import run_statement
 from repro.util.rng import DeterministicRng
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observe.config import MaterializationConfig
+
 PAPER_CUBOIDS = 8000
 #: Scaled-down default so a full figure run stays in the seconds range.
 DEFAULT_CUBOIDS = 500
@@ -53,6 +58,10 @@ class CuboidConfig:
     #: to compensate for the small database volume"); the quick-scale
     #: default preserves that DB:buffer ratio.
     buffer_pages: int = 32
+    #: Optional unified configuration (fault policy, observability, ...)
+    #: for the object base; the program version's instrumentation level
+    #: always wins over ``materialization.level``.
+    materialization: "MaterializationConfig | None" = None
 
 
 class CuboidApplication:
@@ -61,9 +70,17 @@ class CuboidApplication:
     def __init__(self, version: ProgramVersion, config: CuboidConfig) -> None:
         self.version = version
         self.config = config
-        self.db = ObjectBase(
-            level=version.level, buffer_pages=config.buffer_pages
-        )
+        if config.materialization is not None:
+            base_config = dataclasses.replace(
+                config.materialization, level=version.level
+            )
+            self.db = ObjectBase(
+                config=base_config, buffer_pages=config.buffer_pages
+            )
+        else:
+            self.db = ObjectBase(
+                level=version.level, buffer_pages=config.buffer_pages
+            )
         build_geometry_schema(self.db, strict_cuboids=version.strict)
         data_rng = DeterministicRng(config.seed)
         self.materials = [

@@ -13,6 +13,7 @@
 * :mod:`repro.core.restricted` — restricted GMRs (Sec. 6).
 """
 
+from repro.core.batch import FlushReport
 from repro.core.breaker import BreakerState, CircuitBreaker
 from repro.core.function_registry import FunctionInfo, FunctionRegistry
 from repro.core.gmr import GMR
@@ -26,6 +27,7 @@ __all__ = [
     "CircuitBreaker",
     "ExecutionGuard",
     "FaultPolicy",
+    "FlushReport",
     "FunctionInfo",
     "FunctionRegistry",
     "GMR",

@@ -45,6 +45,45 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manager import GMRManager
 
 
+@dataclass(frozen=True, eq=False)
+class FlushReport:
+    """What :meth:`GMRManager.flush_batch` returns.
+
+    Compatible with the legacy bare-int return (the number of events
+    replayed): ``int(report)``, ``report == 3`` and truthiness behave
+    exactly as before, plus the replay is broken down by event kind.
+    """
+
+    events: int
+    invalidations: int = 0
+    creates: int = 0
+    forgets: int = 0
+
+    def __int__(self) -> int:
+        return self.events
+
+    def __index__(self) -> int:
+        return self.events
+
+    def __bool__(self) -> bool:
+        return self.events > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FlushReport):
+            return (
+                self.events,
+                self.invalidations,
+                self.creates,
+                self.forgets,
+            ) == (other.events, other.invalidations, other.creates, other.forgets)
+        if isinstance(other, int):
+            return self.events == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.events, self.invalidations, self.creates, self.forgets))
+
+
 @dataclass
 class InvalidationEvent:
     """One pending (coalesced) ``invalidate`` notification."""

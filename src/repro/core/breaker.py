@@ -74,6 +74,17 @@ class CircuitBreaker:
         self.policy = policy
         self.clock = clock
         self._entries: dict[str, _Entry] = {}
+        #: Optional hook ``on_transition(fid, old_state, new_state)`` —
+        #: the manager wires this to the trace layer / metrics registry.
+        self.on_transition: (
+            Callable[[str, BreakerState, BreakerState], None] | None
+        ) = None
+
+    def _transitioned(
+        self, fid: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        if self.on_transition is not None and old is not new:
+            self.on_transition(fid, old, new)
 
     def _entry(self, fid: str) -> _Entry:
         entry = self._entries.get(fid)
@@ -134,6 +145,7 @@ class CircuitBreaker:
         if entry.state is BreakerState.OPEN:
             if self.clock() - entry.opened_at >= self.policy.cooldown:
                 entry.state = BreakerState.HALF_OPEN
+                self._transitioned(fid, BreakerState.OPEN, BreakerState.HALF_OPEN)
                 return BreakerDecision(allowed=True, probe=True)
             return BreakerDecision(allowed=False)
         # HALF_OPEN: a probe is already in flight (or was interrupted by
@@ -146,9 +158,11 @@ class CircuitBreaker:
         entry = self._entries.get(fid)
         if entry is None:
             return False
-        closed = entry.state is not BreakerState.CLOSED
+        old = entry.state
+        closed = old is not BreakerState.CLOSED
         entry.state = BreakerState.CLOSED
         entry.consecutive_failures = 0
+        self._transitioned(fid, old, BreakerState.CLOSED)
         return closed
 
     def record_failure(self, fid: str) -> bool:
@@ -161,6 +175,7 @@ class CircuitBreaker:
             entry.state = BreakerState.OPEN
             entry.opened_at = self.clock()
             entry.times_opened += 1
+            self._transitioned(fid, BreakerState.HALF_OPEN, BreakerState.OPEN)
             return True
         if (
             entry.state is BreakerState.CLOSED
@@ -169,6 +184,7 @@ class CircuitBreaker:
             entry.state = BreakerState.OPEN
             entry.opened_at = self.clock()
             entry.times_opened += 1
+            self._transitioned(fid, BreakerState.CLOSED, BreakerState.OPEN)
             return True
         return False
 
@@ -177,16 +193,20 @@ class CircuitBreaker:
     def trip(self, fid: str) -> None:
         """Quarantine ``fid`` immediately (operator override)."""
         entry = self._entry(fid)
+        old = entry.state
         entry.state = BreakerState.OPEN
         entry.opened_at = self.clock()
         entry.times_opened += 1
+        self._transitioned(fid, old, BreakerState.OPEN)
 
     def reset(self, fid: str) -> None:
         """Close ``fid``'s breaker and forget its failure streak."""
         entry = self._entries.get(fid)
         if entry is not None:
+            old = entry.state
             entry.state = BreakerState.CLOSED
             entry.consecutive_failures = 0
+            self._transitioned(fid, old, BreakerState.CLOSED)
 
     # -- persistence -----------------------------------------------------------
 

@@ -110,6 +110,17 @@ class GMR:
         #: Pseudo-function id under which the restriction predicate's
         #: dependencies are tracked in the RRR (Sec. 6.1).
         self.predicate_fid = f"__pred__:{self.name}"
+        #: Back-reference set by :meth:`GMRManager.materialize` — lets
+        #: ``gmr.explain()`` reach the manager's observability state.
+        self._manager = None
+
+    def explain(self):
+        """This GMR's EXPLAIN section (see :meth:`GMRManager.explain`)."""
+        if self._manager is None:
+            raise GMRDefinitionError(
+                f"{self.name} is not attached to a GMR manager"
+            )
+        return self._manager.explain(self)
 
     # -- structure ----------------------------------------------------------------
 

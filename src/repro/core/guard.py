@@ -103,21 +103,33 @@ class ExecutionGuard:
     ) -> None:
         self.policy = policy
         self.clock = clock
+        #: Optional timing hook ``observer(fid, elapsed, failed)`` —
+        #: the manager wires this to the remat-latency histogram.  When
+        #: unset and no budget is configured, the post-call clock read
+        #: is skipped entirely.
+        self.observer: Callable[[str, float, bool], None] | None = None
 
     def timed(
         self, fid: str, args: tuple, thunk: Callable[[], Any]
     ) -> tuple[Any, FunctionExecutionError | None]:
         """Run ``thunk``; return ``(value, None)`` or ``(None, failure)``."""
+        observer = self.observer
         started = self.clock()
         try:
             value = thunk()
         except Exception as exc:
+            if observer is not None:
+                observer(fid, self.clock() - started, True)
             return None, FunctionExecutionError(fid, args, cause=exc)
         budget = self.policy.call_budget
-        if budget is not None:
+        if budget is not None or observer is not None:
             elapsed = self.clock() - started
-            if elapsed > budget:
+            if budget is not None and elapsed > budget:
+                if observer is not None:
+                    observer(fid, elapsed, True)
                 return None, FunctionTimeoutError(
                     fid, args, elapsed=elapsed, budget=budget
                 )
+            if observer is not None:
+                observer(fid, elapsed, False)
         return value, None

@@ -21,12 +21,14 @@ compensating actions, and implements the paper's maintenance algorithms:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields as dataclass_fields
 from itertools import product
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.core.batch import (
     CreateEvent,
+    FlushReport,
     ForgetEvent,
     InvalidationEvent,
     InvalidationQueue,
@@ -52,6 +54,20 @@ from repro.errors import (
 )
 from repro.gom.oid import Oid
 from repro.gom.types import is_atomic_type
+from repro.observe.explain import (
+    FORGET_KEY,
+    ExplainReport,
+    WaveExplain,
+    build_explain,
+    new_tally,
+)
+from repro.observe.metrics import (
+    PROBE_FANOUT_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
+    REMAT_LATENCY_BUCKETS,
+    WAVE_WIDTH_BUCKETS,
+    install_stats_views,
+)
 from repro.predicates.ast import all_variables
 from repro.storage.gmr_store import in_range
 
@@ -114,13 +130,25 @@ class ManagerStats:
     degraded_forward_calls: int = 0
 
     def snapshot(self) -> "ManagerStats":
-        return ManagerStats(**vars(self))
+        cls = type(self)
+        return cls(
+            **{
+                spec.name: getattr(self, spec.name)
+                for spec in dataclass_fields(self)
+            }
+        )
 
     def delta(self, earlier: "ManagerStats") -> "ManagerStats":
-        return ManagerStats(
+        # Field-introspective on purpose: a counter added after
+        # ``earlier`` was created (schema evolution across checkpoints,
+        # subclassed stats) must not silently drop out of the delta —
+        # missing fields on ``earlier`` count from zero.
+        cls = type(self)
+        return cls(
             **{
-                name: value - getattr(earlier, name)
-                for name, value in vars(self).items()
+                spec.name: getattr(self, spec.name)
+                - getattr(earlier, spec.name, 0)
+                for spec in dataclass_fields(self)
             }
         )
 
@@ -137,10 +165,6 @@ class GMRManager:
         self._rrr = ReverseReferenceRelation(db.page_store, db.buffer)
         self._ca = CompensationTable()
         self.stats = ManagerStats()
-        #: Fault-tolerance configuration (guard, retry, breaker knobs).
-        #: Plain code-level state, not persisted — like restriction
-        #: predicates, the application re-supplies it after recovery.
-        self.fault_policy = FaultPolicy()
         #: Injectable time source: guard budgets, backoff deadlines and
         #: breaker cooldowns all read this one clock (tests swap it).
         self.clock: Callable[[], float] = time.monotonic
@@ -157,8 +181,120 @@ class GMRManager:
         #: invalidation (the paper's proposed alternative).
         self.rrr_policy = "remove"
 
+        # -- observability wiring (see repro.observe) ------------------
+        observe = db.observe
+        self.tracer = observe.tracer
+        self.metrics = observe.metrics
+        #: Fast-path gate: False (metrics disabled) skips all tallies,
+        #: wave records and row notes — the pre-observability baseline.
+        self._obs_on = observe.metrics.enabled
+        #: Per-fid maintenance tallies feeding :meth:`explain`.  They are
+        #: incremented by the same helpers as the registry counters, so
+        #: the EXPLAIN totals equal the counters by construction.
+        self.fid_tallies: dict[str, dict[str, int]] = {}
+        #: The last invalidation wave processed (``None`` until one ran).
+        self.last_wave: WaveExplain | None = None
+        #: ``(fid, args) -> why`` — the last maintenance action per GMR
+        #: entry, rendered by :meth:`explain`.
+        self._row_notes: dict[tuple[str, tuple], str] = {}
+        registry = observe.metrics
+        self._m_probes = registry.counter("rrr.probes")
+        self._m_probe_entries = registry.counter("rrr.probe_entries")
+        self._m_probe_fanout = registry.histogram(
+            "rrr.probe_fanout", PROBE_FANOUT_BUCKETS
+        )
+        self._m_waves = registry.counter("wave.count")
+        self._m_wave_width = registry.histogram(
+            "wave.width", WAVE_WIDTH_BUCKETS
+        )
+        self._m_remats = registry.counter("remat.count")
+        self._m_remat_latency = registry.histogram(
+            "remat.latency", REMAT_LATENCY_BUCKETS
+        )
+        self._m_compensations = registry.counter("compensation.count")
+        self._m_guard_failures = registry.counter("guard.failures")
+        self._m_breaker_transitions = registry.counter("breaker.transitions")
+        self._m_queue_depth = registry.gauge("scheduler.queue_depth")
+        self._m_queue_depth_hist = registry.histogram(
+            "scheduler.queue_depth_hist", QUEUE_DEPTH_BUCKETS
+        )
+        install_stats_views(registry, self.stats)
+        if self._obs_on:
+            self.guard.observer = self._on_guard_timing
+        self.breaker.on_transition = self._on_breaker_transition
+
     def _now(self) -> float:
         return self.clock()
+
+    # ------------------------------------------------------------------
+    # Observability (tracing, metrics, EXPLAIN)
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_policy(self) -> FaultPolicy:
+        """Fault-tolerance knobs; owned by ``db.config.fault_policy``
+        (mutate the policy in place, or pass one to
+        :class:`~repro.observe.config.MaterializationConfig`)."""
+        return self._db.config.fault_policy
+
+    @fault_policy.setter
+    def fault_policy(self, policy: FaultPolicy) -> None:
+        warnings.warn(
+            "assigning manager.fault_policy is deprecated; pass "
+            "MaterializationConfig(fault_policy=...) to ObjectBase or "
+            "mutate db.config.fault_policy in place",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._db.config.fault_policy = policy
+        self.guard.policy = policy
+        self.breaker.policy = policy
+
+    def _tally(self, fid: str) -> dict[str, int]:
+        tally = self.fid_tallies.get(fid)
+        if tally is None:
+            tally = self.fid_tallies[fid] = new_tally()
+        return tally
+
+    def _obs_probe(self, fid: str, fanout: int) -> None:
+        """Account one RRR probe for ``fid`` that popped/marked
+        ``fanout`` entries.  The single funnel for probe accounting:
+        registry counters and the EXPLAIN tally move together here."""
+        if not self._obs_on:
+            return
+        self._m_probes.inc()
+        self._m_probe_entries.inc(fanout)
+        self._m_probe_fanout.observe(fanout)
+        tally = self._tally(fid)
+        tally["probes"] += 1
+        tally["probe_entries"] += fanout
+
+    def _obs_remat(self, fid: str) -> None:
+        """Account one rematerialization (attempted body execution)."""
+        if not self._obs_on:
+            return
+        self._m_remats.inc()
+        self._tally(fid)["rematerializations"] += 1
+
+    def _note(self, fid: str, args: tuple, why: str) -> None:
+        if self._obs_on:
+            self._row_notes[(fid, args)] = why
+
+    def _on_guard_timing(self, fid: str, elapsed: float, failed: bool) -> None:
+        self._m_remat_latency.observe(elapsed)
+
+    def _on_breaker_transition(self, fid: str, old: Any, new: Any) -> None:
+        self._m_breaker_transitions.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "breaker.transition", fid=fid, old=old.value, new=new.value
+            )
+
+    def explain(self, gmr: GMR | None = None) -> ExplainReport:
+        """The EXPLAIN report: per-fid row validity with reasons, the
+        last invalidation wave, per-strategy cost tallies.  ``gmr``
+        narrows the report to one GMR (``gmr.explain()`` sugar)."""
+        return build_explain(self, gmr)
 
     # ------------------------------------------------------------------
     # GMR creation
@@ -169,7 +305,7 @@ class GMRManager:
         functions: Sequence[Any],
         *,
         complete: bool = True,
-        strategy: Strategy = Strategy.IMMEDIATE,
+        strategy: Strategy | None = None,
         restriction: RestrictionSpec | None = None,
         storage: str = "auto",
         name: str | None = None,
@@ -183,8 +319,11 @@ class GMRManager:
         ids of already registered functions, or :class:`FunctionInfo`
         objects.  ``complete=False`` creates an incrementally set up GMR
         (a result cache, Sec. 3.2); ``capacity`` bounds such a cache with
-        LRU replacement.
+        LRU replacement.  ``strategy=None`` uses the object base's
+        configured default (``db.config.strategy``).
         """
+        if strategy is None:
+            strategy = self._db.config.strategy
         infos = [self._resolve_function(spec) for spec in functions]
         for info in infos:
             if info.fid in self._gmr_of_fid:
@@ -207,6 +346,7 @@ class GMRManager:
         if gmr.name in self._gmrs:
             raise GMRDefinitionError(f"a GMR named {gmr.name} already exists")
         validate_atomic_restrictions(gmr.arg_types, restriction)
+        gmr._manager = self
 
         self._gmrs[gmr.name] = gmr
         for info in infos:
@@ -380,6 +520,9 @@ class GMRManager:
                 )
         if failure is not None:
             self.stats.guard_failures += 1
+            if self._obs_on:
+                self._m_guard_failures.inc()
+                self._tally(pfid)["errors"] += 1
             if isinstance(failure, FunctionTimeoutError):
                 self.stats.guard_timeouts += 1
             if self.breaker.record_failure(pfid):
@@ -397,6 +540,14 @@ class GMRManager:
         return allowed
 
     def _rematerialize(self, gmr: GMR, fid: str, args: tuple) -> Any:
+        """Recompute ``f(args)`` under a ``remat`` span when tracing."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._rematerialize_impl(gmr, fid, args)
+        with tracer.span("remat", fid=fid):
+            return self._rematerialize_impl(gmr, fid, args)
+
+    def _rematerialize_impl(self, gmr: GMR, fid: str, args: tuple) -> Any:
         """Recompute ``f(args)``, store it and refresh the RRR (Sec. 4.1).
 
         With the fault policy enabled the body runs under the execution
@@ -413,6 +564,7 @@ class GMRManager:
         policy = self.fault_policy
         if not policy.enabled:
             self.stats.rematerializations += 1
+            self._obs_remat(fid)
             try:
                 with db.trace() as tracer:
                     value = db.call_function(info, args)
@@ -422,6 +574,7 @@ class GMRManager:
                 # the error surface to the updater/querier.
                 if gmr.lookup(args) is not None:
                     gmr.mark_invalid(args, fid)
+                    self._note(fid, args, "invalidated (body raised, unguarded)")
                 raise
         else:
             decision = self.breaker.acquire(fid)
@@ -430,6 +583,7 @@ class GMRManager:
             if decision.probe:
                 self.stats.breaker_half_opens += 1
             self.stats.rematerializations += 1
+            self._obs_remat(fid)
             with db.trace() as tracer:
                 value, failure = self.guard.timed(
                     fid, args, lambda: db.call_function(info, args)
@@ -440,6 +594,7 @@ class GMRManager:
             if self.breaker.record_success(fid):
                 self.stats.breaker_closes += 1
         gmr.set_result(args, fid, value)
+        self._note(fid, args, "rematerialized")
         if gmr.strategy is not Strategy.SNAPSHOT:
             accessed = set(tracer.objects)
             accessed.update(arg for arg in args if isinstance(arg, Oid))
@@ -459,6 +614,15 @@ class GMRManager:
         is consistent (Def. 3.2 — no stale-valid row) no matter how the
         caller handles the exception."""
         self.stats.guard_failures += 1
+        if self._obs_on:
+            self._m_guard_failures.inc()
+            self._tally(fid)["errors"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "guard.failure",
+                fid=fid,
+                timeout=isinstance(failure, FunctionTimeoutError),
+            )
         if isinstance(failure, FunctionTimeoutError):
             self.stats.guard_timeouts += 1
         if gmr.lookup(args) is None:
@@ -468,6 +632,13 @@ class GMRManager:
             self.stats.rows_created += 1
             gmr.ensure_row(args)
         gmr.mark_error(args, fid)
+        self._note(
+            fid,
+            args,
+            "error (call budget overrun)"
+            if isinstance(failure, FunctionTimeoutError)
+            else "error (body raised under guard)",
+        )
         if self.breaker.record_failure(fid):
             self.stats.breaker_opens += 1
         if self.scheduler.schedule_retry(gmr, fid, args):
@@ -488,6 +659,7 @@ class GMRManager:
             and not self.breaker.probe_eligible(fid)
         ):
             gmr.mark_invalid(args, fid)
+            self._note(fid, args, "invalidated (function quarantined)")
             self.scheduler.schedule(gmr, fid, args)
             return False
         try:
@@ -554,16 +726,37 @@ class GMRManager:
 
     @property
     def batching(self) -> bool:
-        """Whether notifications are currently deferred into the queue."""
-        return self._batch_depth > 0 and not self._flushing
+        """Whether notifications are currently deferred into the queue.
+
+        ``db.config.batching = False`` turns every batch scope into a
+        pass-through (notifications process eagerly).
+        """
+        return (
+            self._batch_depth > 0
+            and not self._flushing
+            and self._db.config.batching
+        )
+
+    @batching.setter
+    def batching(self, value: bool) -> None:
+        warnings.warn(
+            "assigning manager.batching is deprecated; set "
+            "MaterializationConfig.batching (db.config.batching) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._db.config.batching = bool(value)
 
     @property
     def batch_conservative(self) -> bool:
         """Whether batch-mode notifications must skip the ObjDepFct
-        filter (a create adaptation is pending, so markings of in-batch
-        objects are not materialized yet — see
-        :attr:`InvalidationQueue.has_creates`)."""
-        return self.batching and self._queue.has_creates
+        filter — either because a create adaptation is pending (markings
+        of in-batch objects are not materialized yet, see
+        :attr:`InvalidationQueue.has_creates`) or because
+        ``db.config.batch_conservative`` forces it."""
+        return self.batching and (
+            self._queue.has_creates or self._db.config.batch_conservative
+        )
 
     def batch(self) -> UpdateBatch:
         """Open a batched-maintenance scope (see :mod:`repro.core.batch`).
@@ -572,43 +765,61 @@ class GMRManager:
         """
         return UpdateBatch(self)
 
-    def flush_batch(self) -> int:
+    def flush_batch(self) -> FlushReport:
         """Replay all deferred maintenance events in order.
 
         Called at batch exit and — to preserve query correctness —
         before any forward or backward query while a batch is open.
         Each invalidation event performs one grouped RRR probe for its
         object, however many elementary updates coalesced into it.
-        Returns the number of events processed.
+        Returns a :class:`~repro.core.batch.FlushReport` (int-compatible
+        with the former bare event count).
         """
         if not len(self._queue):
-            return 0
+            return FlushReport(0)
         if self._batch_depth > 0:
             # A query forced this flush while the batch is still open —
             # log a marker so recovery reproduces the flush timing (and
             # with it every validity flag) bit-for-bit.
             self._db._wal_log({"kind": "batch_flush"})
         events = self._queue.drain()
+        tracer = self.tracer
+        span = (
+            tracer.begin("batch.flush", events=len(events))
+            if tracer.enabled
+            else None
+        )
+        invalidations = creates = forgets = 0
         self._flushing = True
         try:
             for event in events:
                 if isinstance(event, InvalidationEvent):
+                    invalidations += 1
                     relevant = set(event.fids)
                     if event.all_fids:
                         relevant |= (
                             self._rrr.fids_of(event.oid) - event.all_exclude
                         )
-                    self.invalidate(event.oid, relevant)
+                    self.invalidate(event.oid, relevant, via="batch")
                 elif isinstance(event, CreateEvent):
+                    creates += 1
                     if self._db.objects.exists(event.oid):
                         self.new_object(event.oid, event.type_name)
                 else:
                     assert isinstance(event, ForgetEvent)
+                    forgets += 1
                     self._forget_grouped(event)
         finally:
             self._flushing = False
+            if span is not None:
+                tracer.end(span)
         self.stats.batch_flushes += 1
-        return len(events)
+        return FlushReport(
+            events=len(events),
+            invalidations=invalidations,
+            creates=creates,
+            forgets=forgets,
+        )
 
     def _forget_grouped(self, event: ForgetEvent) -> None:
         """Process a deferred deletion, serving a folded-in invalidation
@@ -617,6 +828,9 @@ class GMRManager:
         folded = event.folded
         inv_fids: set[str] = set()
         by_fct = self._rrr.pop_object(oid)
+        self._obs_probe(
+            FORGET_KEY, sum(len(args_set) for args_set in by_fct.values())
+        )
         if folded is not None:
             inv_fids = set(folded.fids)
             if folded.all_fids:
@@ -748,6 +962,7 @@ class GMRManager:
         fcts: Iterable[str] | None = None,
         *,
         exclude: frozenset[str] = frozenset(),
+        via: str = "direct",
     ) -> int:
         """Handle an update of ``oid``; returns the number of affected
         entries.  ``fcts=None`` is the naive variant (Figure 4): the RRR
@@ -756,12 +971,21 @@ class GMRManager:
         While a batch is open the notification is deferred into the
         queue (coalescing with pending notifications for ``oid``) and 0
         is returned; the work happens at the next flush.
+
+        ``via`` labels the notification path that delivered this wave
+        for the trace/EXPLAIN layer (``"naive"``, ``"schema_dep"``,
+        ``"obj_dep"``, ``"invalidated_fct"``, ``"batch"``, ...); it does
+        not affect maintenance semantics.
         """
         if self.batching:
             merged = self._queue.note_invalidate(oid, fcts, exclude)
             self.stats.batched_invalidations += 1
             if merged:
                 self.stats.rrr_probes_saved += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "invalidate.deferred", oid=str(oid), merged=merged, via=via
+                )
             return 0
         self.stats.invalidate_calls += 1
         if fcts is None:
@@ -770,50 +994,84 @@ class GMRManager:
             relevant = set(fcts)
         if exclude:
             relevant -= exclude
+        tracer = self.tracer
+        span = (
+            tracer.begin(
+                "invalidate.wave",
+                oid=str(oid),
+                via=via,
+                fids=sorted(relevant),
+                exclude=sorted(exclude),
+            )
+            if tracer.enabled
+            else None
+        )
         affected = 0
-        for fid in relevant:
-            if self.rrr_policy == "second_chance":
-                # Step 1, second-chance variant: drop stale leftovers from
-                # the previous round, mark the fresh entries and process
-                # exactly those.
-                self._rrr.pop_marked(oid, fid)
-                args_set = self._rrr.mark_all(oid, fid)
-                self._sync_obj_dep(oid)
-            else:
-                args_set = self._rrr_pop_args(oid, fid)
-            if not args_set:
-                continue
-            gmr = self._gmr_of_fid.get(fid)
-            if gmr is None:
-                continue
-            if fid == gmr.predicate_fid:
-                for args in args_set:
-                    self._predicate_update_safe(gmr, args)
-                    affected += 1
-                continue
-            if gmr.strategy.marks_only:
-                for args in args_set:
-                    # A missing row is a blind reference (Sec. 4.2): the
-                    # popped entry was the stale leftover; nothing to do.
-                    if gmr.mark_invalid(args, fid) and (
-                        gmr.strategy is Strategy.DEFERRED
-                    ):
-                        self.scheduler.schedule(gmr, fid, args)
-                    affected += 1
-            else:
-                for args in args_set:
-                    if gmr.lookup(args) is None:
-                        continue  # blind reference, lazily cleaned
-                    if not self._args_alive(args):
-                        gmr.remove_row(args)  # blind row: argument deleted
-                        self.stats.blind_rows_removed += 1
-                        continue
-                    # A failure inside one entry must not abandon the
-                    # rest of the popped args_set/fid loop: the entry
-                    # degrades to ERROR (retry scheduled) and the sweep
-                    # continues — invalidate() never unwinds mid-loop.
-                    self._remat_or_degrade(gmr, fid, args)
-                    affected += 1
+        probes = 0
+        try:
+            for fid in relevant:
+                if self.rrr_policy == "second_chance":
+                    # Step 1, second-chance variant: drop stale leftovers
+                    # from the previous round, mark the fresh entries and
+                    # process exactly those.
+                    self._rrr.pop_marked(oid, fid)
+                    args_set = self._rrr.mark_all(oid, fid)
+                    self._sync_obj_dep(oid)
+                else:
+                    args_set = self._rrr_pop_args(oid, fid)
+                probes += 1
+                self._obs_probe(fid, len(args_set))
+                if not args_set:
+                    continue
+                gmr = self._gmr_of_fid.get(fid)
+                if gmr is None:
+                    continue
+                before = affected
+                if fid == gmr.predicate_fid:
+                    for args in args_set:
+                        self._predicate_update_safe(gmr, args)
+                        affected += 1
+                elif gmr.strategy.marks_only:
+                    for args in args_set:
+                        # A missing row is a blind reference (Sec. 4.2):
+                        # the popped entry was the stale leftover; nothing
+                        # to do.
+                        if gmr.mark_invalid(args, fid) and (
+                            gmr.strategy is Strategy.DEFERRED
+                        ):
+                            self.scheduler.schedule(gmr, fid, args)
+                        self._note(fid, args, f"invalidated via={via}")
+                        affected += 1
+                else:
+                    for args in args_set:
+                        if gmr.lookup(args) is None:
+                            continue  # blind reference, lazily cleaned
+                        if not self._args_alive(args):
+                            gmr.remove_row(args)  # blind row: arg deleted
+                            self.stats.blind_rows_removed += 1
+                            continue
+                        # A failure inside one entry must not abandon the
+                        # rest of the popped args_set/fid loop: the entry
+                        # degrades to ERROR (retry scheduled) and the sweep
+                        # continues — invalidate() never unwinds mid-loop.
+                        self._remat_or_degrade(gmr, fid, args)
+                        affected += 1
+                if self._obs_on and affected > before:
+                    self._tally(fid)["invalidations"] += affected - before
+        finally:
+            if span is not None:
+                tracer.end(span, width=affected, probes=probes)
+        if self._obs_on:
+            self._m_waves.inc()
+            self._m_wave_width.observe(affected)
+            self.last_wave = WaveExplain(
+                oid=oid,
+                via=via,
+                fids=tuple(sorted(relevant)),
+                exclude=tuple(sorted(exclude)),
+                width=affected,
+                probes=probes,
+            )
         self.stats.entries_invalidated += affected
         return affected
 
@@ -887,6 +1145,11 @@ class GMRManager:
             self.stats.batched_invalidations += 1
             return
         by_fct = self._rrr.pop_object(oid)
+        self._obs_probe(
+            FORGET_KEY, sum(len(args_set) for args_set in by_fct.values())
+        )
+        if self.tracer.enabled:
+            self.tracer.event("forget", oid=str(oid), fids=sorted(by_fct))
         if self._db.objects.exists(oid):
             self._db.objects.get(oid).obj_dep_fct.clear()
         for fid, args_set in by_fct.items():
@@ -1004,6 +1267,19 @@ class GMRManager:
                     with db.trace() as tracer:
                         new_value = entry.action(receiver, *wrapped, old)
                 self.stats.compensations += 1
+                if self._obs_on:
+                    self._m_compensations.inc()
+                    self._tally(fid)["compensations"] += 1
+                    self._row_notes[(fid, args)] = (
+                        f"compensated ({entry.name or update_op})"
+                    )
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "compensation",
+                        fid=fid,
+                        oid=str(oid),
+                        action=entry.name or update_op,
+                    )
                 gmr.set_result(args, fid, new_value)
                 accessed = set(tracer.objects)
                 accessed.update(arg for arg in args if isinstance(arg, Oid))

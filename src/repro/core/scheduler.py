@@ -76,6 +76,17 @@ class RevalidationScheduler:
     def pending(self) -> int:
         return len(self._queued)
 
+    def pending_for(self, fid: str) -> int:
+        """Queued entries (ready or backing off) of one function id."""
+        return sum(1 for queued_fid, _ in self._queued if queued_fid == fid)
+
+    def _observe_depth(self) -> None:
+        manager = self._manager
+        if manager._obs_on:
+            depth = len(self._queued)
+            manager._m_queue_depth.set(depth)
+            manager._m_queue_depth_hist.observe(depth)
+
     @property
     def _retry_rng(self) -> DeterministicRng:
         if self._rng is None:
@@ -96,6 +107,7 @@ class RevalidationScheduler:
         frequency = self.query_frequency.get(fid, 0)
         heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
         self._queued.add(key)
+        self._observe_depth()
         return True
 
     # -- retry/backoff -----------------------------------------------------------
@@ -123,14 +135,24 @@ class RevalidationScheduler:
         key = (fid, args)
         if key in self._queued:
             return False
-        policy = self._manager.fault_policy
+        manager = self._manager
+        policy = manager.fault_policy
         attempt = self._attempts.get(key, 0) + 1
         if attempt > policy.max_attempts:
             self._attempts.pop(key, None)
-            self._manager.stats.retries_exhausted += 1
+            manager.stats.retries_exhausted += 1
+            if manager.tracer.enabled:
+                manager.tracer.event(
+                    "retry.exhausted", fid=fid, attempts=policy.max_attempts
+                )
             return False
         self._attempts[key] = attempt
-        self._push_delayed(fid, args, jittered_delay(policy, attempt, self._retry_rng))
+        delay = jittered_delay(policy, attempt, self._retry_rng)
+        self._push_delayed(fid, args, delay)
+        if manager.tracer.enabled:
+            manager.tracer.event(
+                "retry.scheduled", fid=fid, attempt=attempt, delay=delay
+            )
         return True
 
     def _push_delayed(self, fid: str, args: tuple, delay: float) -> None:
@@ -138,6 +160,7 @@ class RevalidationScheduler:
         eligible_at = self._manager._now() + delay
         heapq.heappush(self._delayed, (eligible_at, self._seq, fid, args))
         self._queued.add((fid, args))
+        self._observe_depth()
 
     def _promote_due(self) -> None:
         """Move ripe delayed entries into the main priority queue."""
@@ -232,6 +255,25 @@ class RevalidationScheduler:
         drain are not promoted within the same call, so one sweep
         terminates even under persistent failures.
         """
+        manager = self._manager
+        tracer = manager.tracer
+        span = (
+            tracer.begin("scheduler.drain", pending=len(self._queued))
+            if tracer.enabled
+            else None
+        )
+        drained = 0
+        try:
+            drained = self._drain(max_entries, time_budget)
+        finally:
+            self._observe_depth()
+            if span is not None:
+                tracer.end(span, drained=drained)
+        return drained
+
+    def _drain(
+        self, max_entries: int | None, time_budget: float | None
+    ) -> int:
         manager = self._manager
         self._promote_due()
         started = time.perf_counter()

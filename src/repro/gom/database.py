@@ -13,6 +13,8 @@ and 5 (and the information-hiding variant of Sec. 5.3) would.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
@@ -46,6 +48,7 @@ from repro.storage.wal import WriteAheadLog, encode_value as _wal_encode
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.function_registry import FunctionInfo, FunctionRegistry
     from repro.core.manager import GMRManager
+    from repro.observe.config import MaterializationConfig
 
 _ATOMIC_DEFAULTS: dict[str, Any] = {
     "float": 0.0,
@@ -66,8 +69,32 @@ class ObjectBase:
         buffer_pages: int | None = None,
         page_size: int = 4096,
         enforce_encapsulation: bool = True,
-        level: InstrumentationLevel = InstrumentationLevel.OBJ_DEP,
+        level: InstrumentationLevel | None = None,
+        config: "MaterializationConfig | None" = None,
     ) -> None:
+        # Imported lazily: repro.observe.config itself imports from
+        # repro.core and repro.gom, so a module-level import here would
+        # close a cycle when repro.core is the import entry point.
+        from repro.observe.config import MaterializationConfig, Observability
+
+        if config is None:
+            config = MaterializationConfig()
+            if level is not None:
+                config = dataclasses.replace(config, level=level)
+        elif level is not None:
+            warnings.warn(
+                "passing both level= and config= to ObjectBase is "
+                "deprecated; set MaterializationConfig(level=...) only",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = dataclasses.replace(config, level=level)
+        #: The unified configuration surface (strategy, batching, fault
+        #: policy, observability) — see :mod:`repro.observe.config`.
+        self.config = config
+        #: Observability facade: ``db.observe.tracer`` and
+        #: ``db.observe.metrics`` (see :mod:`repro.observe`).
+        self.observe = Observability(config.observe)
         self.schema = Schema()
         self.page_store = PageStore(page_size=page_size)
         if buffer_pages is None:
@@ -77,7 +104,6 @@ class ObjectBase:
         self.cost_model = CostModel()
         self.objects = ObjectManager(self.schema, self.page_store)
         self.enforce_encapsulation = enforce_encapsulation
-        self.level = level
 
         self._gmr: "GMRManager | None" = None
         self._functions: "FunctionRegistry | None" = None
@@ -96,6 +122,15 @@ class ObjectBase:
         self._update_listeners: list = []
         self._wal: WriteAheadLog | None = None
         self._wal_suppress = 0
+
+    @property
+    def level(self) -> InstrumentationLevel:
+        """The active instrumentation level (``config.level``)."""
+        return self.config.level
+
+    @level.setter
+    def level(self, value: InstrumentationLevel) -> None:
+        self.config.level = value
 
     # ------------------------------------------------------------------
     # Schema definition
@@ -239,9 +274,26 @@ class ObjectBase:
         """Attach a write-ahead log: every elementary update is appended
         to it *before* it is applied (see :mod:`repro.storage.wal`)."""
         self._wal = wal
+        observe = self.observe
+        if observe.metrics.enabled or observe.tracer.enabled:
+            appends = observe.metrics.counter("wal.appends")
+            nbytes_total = observe.metrics.counter("wal.bytes")
+            tracer = observe.tracer
+
+            def _on_append(record: dict, nbytes: int) -> None:
+                appends.inc()
+                nbytes_total.inc(nbytes)
+                if tracer.enabled:
+                    tracer.event(
+                        "wal.append", kind=record.get("kind"), bytes=nbytes
+                    )
+
+            wal.on_append = _on_append
 
     def detach_wal(self) -> WriteAheadLog | None:
         wal, self._wal = self._wal, None
+        if wal is not None:
+            wal.on_append = None
         return wal
 
     @property
@@ -684,6 +736,22 @@ class ObjectBase:
         attr: str,
         exclude: frozenset[str],
     ) -> None:
+        tracer = self.observe.tracer
+        if not tracer.enabled:
+            self._notify_update_impl(obj, decl_type, attr, exclude)
+            return
+        with tracer.span(
+            "update", oid=str(obj.oid), type=decl_type, attr=attr
+        ):
+            self._notify_update_impl(obj, decl_type, attr, exclude)
+
+    def _notify_update_impl(
+        self,
+        obj: StoredObject,
+        decl_type: str,
+        attr: str,
+        exclude: frozenset[str],
+    ) -> None:
         """The schema-rewrite notification branch (Figures 4 and 5)."""
         gmr = self._gmr
         level = self.level
@@ -697,13 +765,15 @@ class ObjectBase:
             return
         if level is InstrumentationLevel.NAIVE:
             # Figure 4: notify unconditionally; manager does the RRR lookup.
-            gmr.invalidate(obj.oid, None, exclude=exclude)
+            gmr.invalidate(obj.oid, None, exclude=exclude, via="naive")
             return
         schema_dep = gmr.schema_dep_fct(decl_type, attr)
         if not schema_dep:
             return
         if level is InstrumentationLevel.SCHEMA_DEP:
-            gmr.invalidate(obj.oid, schema_dep - exclude, exclude=exclude)
+            gmr.invalidate(
+                obj.oid, schema_dep - exclude, exclude=exclude, via="schema_dep"
+            )
             return
         # OBJ_DEP and INFO_HIDING (the latter for non-suppressed updates):
         if gmr.batch_conservative:
@@ -712,10 +782,12 @@ class ObjectBase:
             # SchemaDepFct granularity; the flush-time RRR probe drops
             # functions the object has no entries for.
             relevant = schema_dep - exclude
+            via = "batch_fallback"
         else:
             relevant = (obj.obj_dep_fct & schema_dep) - exclude
+            via = "obj_dep"
         if relevant:
-            gmr.invalidate(obj.oid, relevant, exclude=exclude)
+            gmr.invalidate(obj.oid, relevant, exclude=exclude, via=via)
 
     def _notify_create(self, obj: StoredObject) -> None:
         gmr = self._gmr
@@ -878,7 +950,9 @@ class ObjectBase:
             else:
                 relevant = (obj.obj_dep_fct & invalidates) - compensated
             if relevant:
-                gmr.invalidate(oid, relevant, exclude=compensated)
+                gmr.invalidate(
+                    oid, relevant, exclude=compensated, via="invalidated_fct"
+                )
         return result
 
     def _invalidated_fct(self, type_name: str, op_name: str) -> frozenset[str]:
@@ -962,9 +1036,20 @@ class ObjectBase:
 
         return run_statement(self, text)
 
-    def explain(self, text: str, params: dict | None = None):
-        """Explain — without executing — how a query would be evaluated
-        (GMR backward plan, attribute index, or extension scan)."""
+    def explain(self, text: str | None = None, params: dict | None = None):
+        """Explain a GOMql query, or — called without arguments — the
+        materialization state.
+
+        With ``text``, explains (without executing) how the statement
+        would be evaluated (GMR backward plan, attribute index, or
+        extension scan).  Without arguments, returns the
+        :class:`~repro.observe.explain.ExplainReport` over every GMR:
+        per-row validity with the reason recorded on the last
+        invalidation wave, per-function probe/rematerialization tallies,
+        and per-strategy cost totals.
+        """
+        if text is None:
+            return self.gmr_manager.explain()
         from repro.gomql import explain_statement
 
         return explain_statement(self, text, params)

@@ -1,0 +1,78 @@
+"""Observability: structured tracing, metrics, and EXPLAIN reports.
+
+Everything user-facing lives behind two objects:
+
+* :class:`MaterializationConfig` — the unified keyword-only
+  configuration surface accepted by ``ObjectBase(config=...)``, whose
+  :class:`ObserveConfig` corner controls this package;
+* ``db.observe`` — the per-base :class:`Observability` facade owning
+  the :class:`Tracer` and :class:`MetricsRegistry`.
+
+``db.explain()`` / ``gmr.explain()`` return :class:`ExplainReport`.
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and field
+reference.
+"""
+
+from repro.observe.config import (
+    MaterializationConfig,
+    Observability,
+    ObserveConfig,
+)
+from repro.observe.explain import (
+    ExplainReport,
+    ExplainRow,
+    FidExplain,
+    WaveExplain,
+    build_explain,
+)
+from repro.observe.metrics import (
+    NULL_METRIC,
+    PROBE_FANOUT_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
+    REMAT_LATENCY_BUCKETS,
+    WAVE_WIDTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ViewMetric,
+    install_stats_views,
+)
+from repro.observe.trace import (
+    CallbackSink,
+    JsonlSink,
+    RingBufferSink,
+    Span,
+    Trace,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "CallbackSink",
+    "Counter",
+    "ExplainReport",
+    "ExplainRow",
+    "FidExplain",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MaterializationConfig",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "Observability",
+    "ObserveConfig",
+    "PROBE_FANOUT_BUCKETS",
+    "QUEUE_DEPTH_BUCKETS",
+    "REMAT_LATENCY_BUCKETS",
+    "RingBufferSink",
+    "Span",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "ViewMetric",
+    "WAVE_WIDTH_BUCKETS",
+    "WaveExplain",
+    "build_explain",
+    "install_stats_views",
+]

@@ -1,0 +1,238 @@
+"""EXPLAIN reports for materialization maintenance.
+
+``db.explain()`` / ``gmr.explain()`` render, per function id, why each
+GMR row is VALID / INVALID / ERROR right now, which notification path
+(RelAttr/SchemaDepFct shortcut, ObjDepFct filter, ``InvalidatedFct``
+declaration, compensating action, batch fallback) fired — or was
+bypassed — on the last invalidation wave, and the per-fid / per-strategy
+maintenance cost tallies (RRR probes, popped entries,
+rematerializations, compensations, guard errors).
+
+The tallies come from :attr:`GMRManager.fid_tallies`, which the manager
+increments in the *same* helper that increments the registry's native
+counters — so ``report.totals`` equals the registry's ``rrr.probes`` /
+``remat.count`` by construction (the acceptance cross-check in
+``tests/observe/test_observe_explain.py`` asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gmr import GMR
+    from repro.core.manager import GMRManager
+
+#: Tally key for RRR probes not attributable to one fid (the wholesale
+#: ``pop_object`` probe of a deletion serves every fid at once).
+FORGET_KEY = "__forget__"
+
+TALLY_FIELDS = (
+    "probes",
+    "probe_entries",
+    "rematerializations",
+    "compensations",
+    "errors",
+    "invalidations",
+)
+
+
+def new_tally() -> dict[str, int]:
+    return {name: 0 for name in TALLY_FIELDS}
+
+
+@dataclass(frozen=True)
+class ExplainRow:
+    """One GMR entry of one fid."""
+
+    args: tuple
+    state: str  # "valid" | "invalid" | "error"
+    #: The last maintenance action that touched this entry (empty when
+    #: nothing has since population / accounting is disabled).
+    note: str
+
+
+@dataclass(frozen=True)
+class FidExplain:
+    """One function id's section of the report."""
+
+    fid: str
+    gmr_name: str
+    strategy: str
+    valid: int
+    invalid: int
+    error: int
+    rows: tuple[ExplainRow, ...]
+    tally: dict = field(default_factory=new_tally)
+    breaker: str = "closed"
+    quarantined: bool = False
+    pending_retries: int = 0
+
+
+@dataclass(frozen=True)
+class WaveExplain:
+    """The last invalidation wave the manager processed."""
+
+    oid: Any
+    #: Which notification path delivered it: ``naive`` (Figure 4, no
+    #: shortcut), ``schema_dep`` (RelAttr shortcut), ``obj_dep`` (the
+    #: ObjDepFct filter fired), ``batch_fallback`` (ObjDepFct bypassed —
+    #: a create adaptation was pending), ``invalidated_fct`` (Def. 5.3),
+    #: ``batch`` (flush replay of a coalesced event), ``forget``
+    #: (deletion's wholesale probe), ``direct`` (API call).
+    via: str
+    fids: tuple[str, ...]
+    #: Function ids a compensating action excluded from the wave
+    #: (the Sec. 5.4 shortcut: compensated, hence not invalidated).
+    exclude: tuple[str, ...]
+    width: int
+    probes: int
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """What :meth:`GMRManager.explain` returns."""
+
+    fids: tuple[FidExplain, ...]
+    totals: dict
+    per_strategy: dict
+    last_wave: WaveExplain | None
+    #: Tally keys not owned by a live GMR fid (``__forget__``, fids of
+    #: dropped GMRs) — included so ``totals`` stays exhaustive.
+    other_tallies: dict = field(default_factory=dict)
+
+    def fid(self, fid: str) -> FidExplain:
+        for section in self.fids:
+            if section.fid == fid:
+                return section
+        raise KeyError(fid)
+
+    def render(self, *, max_rows: int = 20) -> str:
+        lines = ["EXPLAIN materialization"]
+        totals = " ".join(f"{k}={v}" for k, v in self.totals.items())
+        lines.append(f"totals: {totals}")
+        if self.last_wave is not None:
+            wave = self.last_wave
+            lines.append(
+                f"last wave: oid={wave.oid} via={wave.via} "
+                f"fids={list(wave.fids)} exclude={list(wave.exclude)} "
+                f"width={wave.width} probes={wave.probes}"
+            )
+        for strategy, tally in sorted(self.per_strategy.items()):
+            parts = " ".join(f"{k}={v}" for k, v in tally.items() if v)
+            lines.append(f"strategy {strategy}: {parts or '(idle)'}")
+        for section in self.fids:
+            tally = " ".join(
+                f"{k}={v}" for k, v in section.tally.items() if v
+            )
+            lines.append(
+                f"{section.gmr_name} [{section.strategy}] {section.fid}: "
+                f"{section.valid} valid / {section.invalid} invalid / "
+                f"{section.error} error; breaker={section.breaker}"
+                + (" QUARANTINED" if section.quarantined else "")
+                + (
+                    f"; retries_pending={section.pending_retries}"
+                    if section.pending_retries
+                    else ""
+                )
+                + (f"; {tally}" if tally else "")
+            )
+            for row in section.rows[:max_rows]:
+                note = f"  {row.note}" if row.note else ""
+                lines.append(
+                    f"  {row.args!r} {row.state.upper()}{note}"
+                )
+            hidden = len(section.rows) - max_rows
+            if hidden > 0:
+                lines.append(f"  ... {hidden} more rows")
+        if self.other_tallies:
+            for key, tally in sorted(self.other_tallies.items()):
+                parts = " ".join(f"{k}={v}" for k, v in tally.items() if v)
+                lines.append(f"(maintenance) {key}: {parts or '(idle)'}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _sum_into(total: dict, tally: dict) -> None:
+    for key, value in tally.items():
+        total[key] = total.get(key, 0) + value
+
+
+def build_explain(
+    manager: "GMRManager", gmr: "GMR | None" = None
+) -> ExplainReport:
+    """Assemble the report for one GMR or the whole manager."""
+    targets = [gmr] if gmr is not None else manager.gmrs()
+    sections: list[FidExplain] = []
+    per_strategy: dict[str, dict] = {}
+    covered: set[str] = set()
+    scheduler = manager.scheduler
+    breaker = manager.breaker
+    for target in targets:
+        strategy = target.strategy.value
+        strategy_tally = per_strategy.setdefault(strategy, new_tally())
+        section_fids = list(target.fids)
+        if target.restriction is not None:
+            section_fids.append(target.predicate_fid)
+        for fid in section_fids:
+            covered.add(fid)
+            tally = dict(manager.fid_tallies.get(fid, new_tally()))
+            _sum_into(strategy_tally, tally)
+            is_predicate = fid == target.predicate_fid
+            rows: list[ExplainRow] = []
+            valid = invalid = error = 0
+            if not is_predicate:
+                for args in sorted(target.args(), key=repr):
+                    state = target.entry_state(args, fid)
+                    if state == "valid":
+                        valid += 1
+                    elif state == "error":
+                        error += 1
+                    else:
+                        invalid += 1
+                    rows.append(
+                        ExplainRow(
+                            args=args,
+                            state=state,
+                            note=manager._row_notes.get((fid, args), ""),
+                        )
+                    )
+            sections.append(
+                FidExplain(
+                    fid=fid,
+                    gmr_name=target.name,
+                    strategy=strategy,
+                    valid=valid,
+                    invalid=invalid,
+                    error=error,
+                    rows=tuple(rows),
+                    tally=tally,
+                    breaker=breaker.state(fid).value,
+                    quarantined=breaker.quarantined(fid),
+                    pending_retries=scheduler.pending_for(fid),
+                )
+            )
+    totals = new_tally()
+    other: dict[str, dict] = {}
+    if gmr is None:
+        # Whole-manager report: totals must account for *every* tally the
+        # metrics registry counted, including probes not attributable to
+        # a live GMR fid.
+        for key, tally in manager.fid_tallies.items():
+            _sum_into(totals, tally)
+            if key not in covered:
+                other[key] = dict(tally)
+    else:
+        for section in sections:
+            _sum_into(totals, section.tally)
+    wave = manager.last_wave
+    return ExplainReport(
+        fids=tuple(sections),
+        totals=totals,
+        per_strategy=per_strategy,
+        last_wave=wave,
+        other_tallies=other,
+    )

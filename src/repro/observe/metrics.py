@@ -1,0 +1,274 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+This subsumes the ad-hoc :class:`~repro.core.manager.ManagerStats`
+counters: every ``ManagerStats`` field is mirrored into the registry as
+a *view* metric named ``manager.<field>`` (see
+:func:`install_stats_views`), so one ``registry.as_dict()`` call renders
+the whole maintenance cost picture — the quantities behind Figs. 7–15 —
+without the caller knowing which subsystem owns which counter.
+``ManagerStats`` itself stays as the compatibility shim; new metrics are
+native registry objects.
+
+Native metrics are plain Python objects bound once (the manager resolves
+``registry.counter("rrr.probes")`` at construction and keeps the object
+as an attribute), so the hot-path cost of an increment is one attribute
+read plus one integer add.  With ``MetricsRegistry(enabled=False)``
+every factory returns the shared :data:`NULL_METRIC`, whose methods do
+nothing — the call sites stay unconditional and disabled mode degrades
+to a no-op method call.
+
+Histogram buckets are fixed at registration (Prometheus-style ``le``
+upper bounds plus an implicit ``+Inf`` overflow bucket); the standard
+bucket ladders for the quantities the issue calls out — invalidation
+wave width, RRR probe fan-out, rematerialization latency, scheduler
+queue depth — are module constants.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable
+
+#: Entries affected by one invalidation wave.
+WAVE_WIDTH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: RRR entries popped by one probe (0 = the probe found nothing).
+PROBE_FANOUT_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+#: Seconds one rematerialization (guarded body call) took.
+REMAT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+#: Revalidation-scheduler queue depth observed at scheduling time.
+QUEUE_DEPTH_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class NullMetric:
+    """The do-nothing metric a disabled registry hands out."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+    count = 0
+    total = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = NullMetric()
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (``le`` upper bounds + ``+Inf`` overflow).
+
+    ``counts[i]`` counts observations ``v <= buckets[i]`` exclusive of
+    lower buckets; ``counts[-1]`` is the overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]) -> None:
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def value(self) -> int:
+        """Observation count — lets ``as_dict`` treat metrics uniformly."""
+        return self.count
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class ViewMetric:
+    """A read-only metric whose value is computed on access.
+
+    The ``ManagerStats`` compatibility shim: each stats field becomes a
+    view reading the live dataclass, so legacy counters and native
+    registry metrics render through one interface.
+    """
+
+    __slots__ = ("name", "_getter")
+
+    def __init__(self, name: str, getter: Callable[[], Any]) -> None:
+        self.name = name
+        self._getter = getter
+
+    @property
+    def value(self) -> Any:
+        return self._getter()
+
+
+class MetricsRegistry:
+    """Name-keyed registry of counters, gauges, histograms and views.
+
+    Factories are get-or-create: asking twice for the same name returns
+    the same object (so independently instrumented modules share a
+    metric by naming convention).  A disabled registry hands out
+    :data:`NULL_METRIC` from every factory and reports no names.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Any] = {}
+        self._views: dict[str, ViewMetric] = {}
+
+    # -- factories -------------------------------------------------------------
+
+    def _get_or_create(self, name: str, factory: Callable[[], Any], kind: type):
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} is already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...]
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets), Histogram
+        )
+
+    def view(self, name: str, getter: Callable[[], Any]) -> ViewMetric:
+        """Register (or replace) a computed read-only metric."""
+        metric = ViewMetric(name, getter)
+        if self.enabled:
+            self._views[name] = metric
+        return metric
+
+    # -- reading ---------------------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._views.get(name)
+        return metric
+
+    def names(self) -> list[str]:
+        return sorted(set(self._metrics) | set(self._views))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Every metric's current value (histograms as snapshots)."""
+        out: dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        for name, metric in self._views.items():
+            out[name] = metric.value
+        return out
+
+    # -- persistence -----------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Portable snapshot of the *native* metrics (views are derived
+        from ``ManagerStats``, which persists separately)."""
+        state: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                state["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                state["gauges"][name] = metric.value
+            elif isinstance(metric, Histogram):
+                state["histograms"][name] = metric.snapshot()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` snapshot.
+
+        Mutates existing metric objects *in place* (subsystems hold
+        direct references to them) and creates any that are not bound
+        yet.
+        """
+        if not self.enabled:
+            return
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value = int(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).value = value
+        for name, snapshot in state.get("histograms", {}).items():
+            histogram = self.histogram(
+                name, tuple(snapshot.get("buckets", (1,)))
+            )
+            counts = [int(c) for c in snapshot.get("counts", [])]
+            if len(counts) == len(histogram.counts):
+                histogram.counts = counts
+            histogram.count = int(snapshot.get("count", 0))
+            histogram.total = float(snapshot.get("sum", 0.0))
+
+
+def install_stats_views(registry: MetricsRegistry, stats: Any) -> None:
+    """Mirror every field of a stats dataclass as ``manager.<field>``.
+
+    Field-introspective on purpose (``dataclasses.fields``): a counter
+    added to :class:`~repro.core.manager.ManagerStats` later shows up in
+    the registry automatically, the same property the fixed
+    ``ManagerStats.delta`` relies on.
+    """
+    for field in dataclass_fields(stats):
+        registry.view(
+            f"manager.{field.name}",
+            lambda _stats=stats, _name=field.name: getattr(_stats, _name),
+        )

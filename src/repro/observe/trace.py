@@ -1,0 +1,312 @@
+"""Structured tracing: typed span/event records with pluggable sinks.
+
+The paper's evaluation (Secs. 4–7, Figs. 7–15) is an accounting of
+maintenance steps — updates, RRR probes, invalidation waves,
+rematerializations, compensations.  This module records that causal
+chain as it happens: every instrumented site emits a :class:`TraceEvent`
+(a point event, or the start/end pair of a span), spans nest via an
+explicit parent id, and registered sinks receive each record as it is
+emitted.
+
+The hot-path contract is *zero overhead when disabled*: every call site
+in the manager/database guards on ``tracer.enabled`` (a plain attribute
+read) before building any event, and the tracer's own methods bail out
+first thing, so an untraced run pays one attribute check per site and
+nothing else.
+
+Sinks:
+
+* :class:`RingBufferSink` — the last N events in memory (the default
+  when tracing is enabled without an explicit sink);
+* :class:`JsonlSink` — one JSON object per line, with size-based
+  rotation (``file``, ``file.1`` … ``file.<max_files>``);
+* :class:`CallbackSink` — hand each event to a callable (test hooks,
+  bridges into external collectors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class TraceEvent:
+    """One emitted trace record.
+
+    ``kind`` is ``"event"`` for point events, ``"span_start"`` /
+    ``"span_end"`` for the two edges of a span.  ``span`` is the id of
+    the span the record belongs to (its own id for span edges, the
+    enclosing span's for point events; 0 = top level), ``parent`` the
+    enclosing span's id for span starts.
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    name: str
+    span: int = 0
+    parent: int = 0
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        record: dict[str, Any] = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "name": self.name,
+            "span": self.span,
+            "parent": self.parent,
+        }
+        if self.fields:
+            record["fields"] = self.fields
+        return record
+
+
+class Span:
+    """A handle for one open span (returned by :meth:`Tracer.begin`)."""
+
+    __slots__ = ("name", "id", "parent", "started")
+
+    def __init__(self, name: str, id: int, parent: int, started: float) -> None:
+        self.name = name
+        self.id = id
+        self.parent = parent
+        self.started = started
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.id}, parent={self.parent})"
+
+
+#: Returned by ``begin()`` while tracing is disabled, so call sites that
+#: do not guard (cold paths) still compose.
+_NULL_SPAN = Span("<disabled>", 0, 0, 0.0)
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        #: Total events ever emitted into this sink (dropped included).
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            # Amortized: shed half the buffer at once instead of one
+            # list.pop(0) per event.
+            del self._events[: len(self._events) - self.capacity]
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink:
+    """Append events as JSON lines, rotating at ``max_bytes``.
+
+    Rotation shifts ``path`` → ``path.1`` → … → ``path.<max_files>``;
+    the oldest file is dropped.  ``max_bytes=None`` never rotates.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_bytes: int | None = None,
+        max_files: int = 3,
+    ) -> None:
+        if max_files < 1:
+            raise ValueError("max_files must be positive")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.rotations = 0
+        self._file = open(path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+
+    def emit(self, event: TraceEvent) -> None:
+        line = json.dumps(event.as_dict(), separators=(",", ":")) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._size > 0
+            and self._size + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._file.write(line)
+        self._size += len(line)
+
+    def _rotate(self) -> None:
+        self._file.close()
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.unlink(oldest)
+        for index in range(self.max_files - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class CallbackSink:
+    """Hand every event to ``fn(event)``."""
+
+    def __init__(self, fn: Callable[[TraceEvent], Any]) -> None:
+        self.fn = fn
+
+    def emit(self, event: TraceEvent) -> None:
+        self.fn(event)
+
+
+class Tracer:
+    """The span/event emitter one :class:`~repro.gom.database.ObjectBase`
+    owns (via its :class:`~repro.observe.config.Observability` facade).
+
+    ``enabled`` is a plain attribute: instrumented call sites read it
+    before constructing any record, which is the whole disabled-mode
+    cost.  Spans nest through an internal stack — ``begin()`` inside an
+    open span records that span as its parent, point events carry the
+    innermost open span's id.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self._sinks: list[Any] = []
+        self._seq = 0
+        self._next_span = 0
+        self._stack: list[Span] = []
+
+    # -- sinks -----------------------------------------------------------------
+
+    @property
+    def sinks(self) -> list:
+        return list(self._sinks)
+
+    def add_sink(self, sink: Any) -> Any:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        self._sinks.remove(sink)
+
+    # -- emission --------------------------------------------------------------
+
+    def _emit(self, kind: str, name: str, span: int, parent: int, fields: dict) -> None:
+        self._seq += 1
+        event = TraceEvent(
+            seq=self._seq,
+            ts=self.clock(),
+            kind=kind,
+            name=name,
+            span=span,
+            parent=parent,
+            fields=fields,
+        )
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a point event under the innermost open span."""
+        if not self.enabled:
+            return
+        current = self._stack[-1].id if self._stack else 0
+        self._emit("event", name, current, current, fields)
+
+    def begin(self, name: str, **fields: Any) -> Span:
+        """Open a span; returns the handle :meth:`end` closes."""
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self._stack[-1].id if self._stack else 0
+        self._next_span += 1
+        span = Span(name, self._next_span, parent, self.clock())
+        self._stack.append(span)
+        self._emit("span_start", name, span.id, parent, fields)
+        return span
+
+    def end(self, span: Span, **fields: Any) -> None:
+        """Close ``span`` (and any spans left open inside it)."""
+        if span is _NULL_SPAN or not self.enabled:
+            return
+        # Robust unwinding: an exception may have skipped inner end()s.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        fields = dict(fields)
+        fields["duration"] = self.clock() - span.started
+        self._emit("span_end", span.name, span.id, span.parent, fields)
+
+    def span(self, name: str, **fields: Any):
+        """``with tracer.span("name"):`` — begin/end as a context."""
+        return _SpanContext(self, name, fields)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self, marker: str | None = None, **fields: Any) -> None:
+        """Reset the monotonic counters (seq, span ids, open stack).
+
+        Used by recovery: the restored process starts a fresh trace
+        timeline, and ``marker`` (e.g. ``"recovery"``) is emitted as the
+        first event of the new timeline so consumers can see the seam.
+        """
+        self._seq = 0
+        self._next_span = 0
+        self._stack.clear()
+        if marker is not None and self.enabled:
+            self._emit("event", marker, 0, 0, fields)
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_fields", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, fields: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self._span = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.begin(self._name, **self._fields)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        if exc_type is None:
+            self._tracer.end(self._span)
+        else:
+            self._tracer.end(self._span, error=exc_type.__name__)
+
+
+#: Public alias — the name the top-level API re-exports.
+Trace = Tracer

@@ -204,6 +204,17 @@ def to_document(db: "ObjectBase") -> dict:
         # the snapshot.  The FaultPolicy itself is code-level
         # configuration and is not persisted.
         document["breaker"] = manager.breaker.dump_state()
+        # Monotonic observability state (metric counters/histograms and
+        # the per-function explain tallies) survives the checkpoint so a
+        # recovered base keeps counting where the crashed one stopped.
+        # Trace buffers and last-wave detail are ephemeral by design.
+        document["observe"] = {
+            "metrics": manager.metrics.dump_state(),
+            "tallies": {
+                fid: dict(tally)
+                for fid, tally in manager.fid_tallies.items()
+            },
+        }
     return document
 
 
@@ -264,6 +275,7 @@ def from_document(
         document["gmrs"]
         or document.get("stats")
         or document.get("scheduler")
+        or document.get("observe")
     ):
         return
     manager = db.gmr_manager
@@ -342,12 +354,30 @@ def from_document(
     breaker = document.get("breaker")
     if breaker:
         manager.breaker.restore_state(breaker)
+    observe = document.get("observe")
+    if observe:
+        manager.metrics.restore_state(observe.get("metrics", {}))
+        for fid, tally in observe.get("tallies", {}).items():
+            manager._tally(fid).update(tally)
 
 
 # -- durability: checkpoint + WAL recovery ---------------------------------------
 
 
-def checkpoint(db: "ObjectBase", path: str) -> None:
+@dataclass(frozen=True)
+class CheckpointReport:
+    """What :func:`checkpoint` wrote."""
+
+    path: str
+    #: Objects in the snapshot.
+    objects: int = 0
+    #: Materialized GMR rows in the snapshot (across all GMRs).
+    gmr_rows: int = 0
+    #: Whether an attached WAL was truncated behind the snapshot.
+    wal_truncated: bool = False
+
+
+def checkpoint(db: "ObjectBase", path: str) -> CheckpointReport:
     """Atomically snapshot the base to ``path`` and truncate its WAL.
 
     The snapshot is written to a temporary file and renamed into place
@@ -356,27 +386,45 @@ def checkpoint(db: "ObjectBase", path: str) -> None:
     write-ahead log truncated.  Scheduler queue and ``ManagerStats`` are
     part of the snapshot.  Raises :class:`PersistenceError` while a batch
     scope or a transaction is open (those are the atomicity boundaries).
+    Returns a :class:`CheckpointReport`.
     """
-    document = to_document(db)
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(
-        prefix=os.path.basename(path) + ".", dir=directory
-    )
+    tracer = getattr(db, "observe", None)
+    tracer = tracer.tracer if tracer is not None else None
+    span = None
+    if tracer is not None and tracer.enabled:
+        span = tracer.begin("checkpoint", path=path)
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
-    if db.wal is not None:
-        db.wal.truncate()
+        document = to_document(db)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        truncated = db.wal is not None
+        if db.wal is not None:
+            db.wal.truncate()
+        report = CheckpointReport(
+            path=path,
+            objects=len(document["objects"]),
+            gmr_rows=sum(len(entry["rows"]) for entry in document["gmrs"]),
+            wal_truncated=truncated,
+        )
+    finally:
+        if span is not None:
+            tracer.end(span)
+    return report
 
 
-@dataclass
+@dataclass(frozen=True)
 class RecoveryReport:
     """What :func:`recover` found and did."""
 
@@ -415,16 +463,25 @@ def recover(
     """
     load_object_base(db, checkpoint_path, restrictions=restrictions)
     if wal_path is None:
-        return RecoveryReport()
-    records = read_records(wal_path)
-    durable, discarded = committed_prefix(records)
-    replayed, closed = _replay(db, durable)
-    return RecoveryReport(
-        records_scanned=len(records),
-        records_replayed=replayed,
-        records_discarded=discarded,
-        batches_closed=closed,
+        report = RecoveryReport()
+    else:
+        records = read_records(wal_path)
+        durable, discarded = committed_prefix(records)
+        replayed, closed = _replay(db, durable)
+        report = RecoveryReport(
+            records_scanned=len(records),
+            records_replayed=replayed,
+            records_discarded=discarded,
+            batches_closed=closed,
+        )
+    # Span ids and sequence numbers restart after a crash; the marker
+    # event makes the discontinuity explicit in any attached sink.
+    db.observe.tracer.reset(
+        marker="recovery",
+        checkpoint=checkpoint_path,
+        records_replayed=report.records_replayed,
     )
+    return report
 
 
 def _replay(db: "ObjectBase", records: list) -> tuple[int, int]:

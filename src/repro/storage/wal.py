@@ -51,7 +51,7 @@ import json
 import os
 import struct
 import zlib
-from typing import Any, BinaryIO, Iterator
+from typing import Any, BinaryIO, Callable, Iterator
 
 from repro.errors import ReproError
 from repro.gom.oid import Oid
@@ -196,13 +196,20 @@ class WriteAheadLog:
         self.path = path
         self._file = fileobj
         self._fsync = fsync
+        #: Optional hook ``on_append(record, nbytes)`` fired after each
+        #: durable append — the object base wires it to the observability
+        #: layer (``wal.appends`` / ``wal.bytes`` counters, trace events).
+        self.on_append: Callable[[dict, int], None] | None = None
 
     def append(self, record: dict) -> None:
         """Log one record durably (write + flush before it is applied)."""
-        self._file.write(encode_frame(record))
+        frame = encode_frame(record)
+        self._file.write(frame)
         self._file.flush()
         if self._fsync:
             os.fsync(self._file.fileno())
+        if self.on_append is not None:
+            self.on_append(record, len(frame))
 
     def truncate(self) -> None:
         """Discard the whole log (checkpoint has absorbed it)."""

@@ -1,0 +1,84 @@
+"""Trace-equivalence: observability must not perturb maintenance.
+
+The Figure 7 cuboid workload runs twice per strategy over identical
+seeds — once with tracing ON (ring sink) and metrics ON, once with
+everything OFF — and the two runs must end in the *identical* GMR
+extension and RRR, and satisfy the Def. 3.2 consistency oracle.  An
+observability layer that changed a validity flag, reordered a wave or
+consumed an RNG draw would show up here immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.cuboid import CuboidApplication, CuboidConfig
+from repro.bench.runner import ProgramVersion
+from repro.bench.workload import OperationMix
+from repro.core.strategies import Strategy
+from repro.observe.config import MaterializationConfig, ObserveConfig
+from repro.util.rng import DeterministicRng
+
+from tests._faults import check_consistency
+
+_MIX = dict(
+    update_probability=0.8,
+    operations=50,
+    queries=[(0.5, "Qbw"), (0.5, "Qfw")],
+    updates=[(0.4, "I"), (0.3, "S"), (0.3, "D")],
+)
+
+
+def _run(strategy: Strategy, observe: ObserveConfig | None):
+    version = ProgramVersion(
+        "Equivalence",
+        strategy=strategy,
+        pre_invalidate=strategy.marks_only,
+    )
+    config = CuboidConfig(cuboids=40, seed=7)
+    if observe is not None:
+        config = dataclasses.replace(
+            config,
+            materialization=MaterializationConfig(observe=observe),
+        )
+    application = CuboidApplication(version, config)
+    application.run_mix(OperationMix(**_MIX), DeterministicRng(11))
+    return application
+
+
+def _gmr_state(application):
+    return sorted(
+        (row.args[0].value, tuple(row.valid), tuple(row.error), tuple(row.results))
+        for row in application.gmr.rows()
+    )
+
+
+def _rrr_state(application):
+    return sorted(
+        (oid.value, fid, tuple(a.value for a in args))
+        for oid, fid, args in application.db.gmr_manager.rrr.triples()
+    )
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+def test_traced_and_untraced_runs_are_identical(strategy):
+    traced = _run(
+        strategy,
+        ObserveConfig(trace=True, metrics=True, ring_buffer=256),
+    )
+    untraced = _run(
+        strategy, ObserveConfig(trace=False, metrics=False)
+    )
+
+    assert _gmr_state(traced) == _gmr_state(untraced)
+    assert _rrr_state(traced) == _rrr_state(untraced)
+    assert check_consistency(traced.db) == []
+    assert check_consistency(untraced.db) == []
+
+    # The traced run actually traced...
+    assert len(traced.db.observe.events()) > 0
+    # ...and the untraced run has no sink and no recorded events.
+    assert untraced.db.observe.events() == []
+    assert untraced.db.observe.tracer.sinks == []

@@ -1,0 +1,184 @@
+"""EXPLAIN report tests, including the probe-accounting cross-check.
+
+The acceptance criterion of the observability layer: ``db.explain()``
+must account for every RRR probe and every rematerialization the metrics
+registry counted.  Both are incremented by the *same* manager helper, so
+the cross-check here pins the single-funnel property on a real workload
+(the Figure 7 cuboid mix with inserts, scales and deletes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.bench.cuboid import CuboidApplication, CuboidConfig
+from repro.bench.runner import WITH_GMR
+from repro.bench.workload import OperationMix
+from repro.observe.config import MaterializationConfig, ObserveConfig
+from repro.observe.explain import FORGET_KEY, ExplainReport
+from repro.util.rng import DeterministicRng
+
+from tests._faults import FlakyFunction, check_consistency
+
+
+def make_point_db(**config_kwargs) -> ObjectBase:
+    db = ObjectBase(**config_kwargs)
+    db.define_tuple_type("Point", {"X": "float", "Y": "float"})
+    db.define_operation(
+        "Point", "norm", [], "float",
+        lambda self: (self.X * self.X + self.Y * self.Y) ** 0.5,
+    )
+    return db
+
+
+class TestRowStates:
+    def test_valid_rows_carry_the_rematerialization_note(self):
+        db = make_point_db()
+        p = db.new("Point", X=3.0, Y=4.0)
+        db.new("Point", X=1.0, Y=0.0)
+        gmr = db.materialize([("Point", "norm")], strategy=Strategy.IMMEDIATE)
+        p.set_X(6.0)
+
+        report = db.explain()
+        section = report.fid("Point.norm")
+        assert section.valid == 2
+        assert section.invalid == 0
+        states = {row.args: (row.state, row.note) for row in section.rows}
+        assert states[(p.oid,)] == ("valid", "rematerialized")
+
+    def test_lazy_invalidation_records_the_notification_path(self):
+        db = make_point_db()
+        p = db.new("Point", X=3.0, Y=4.0)
+        db.materialize([("Point", "norm")], strategy=Strategy.LAZY)
+        p.set_X(6.0)
+
+        section = db.explain().fid("Point.norm")
+        assert section.invalid == 1
+        (row,) = [r for r in section.rows if r.args == (p.oid,)]
+        assert row.state == "invalid"
+        assert row.note == "invalidated via=obj_dep"
+
+    def test_error_rows_name_the_guard_failure(self):
+        db = make_point_db()
+        p = db.new("Point", X=3.0, Y=4.0)
+        db.materialize([("Point", "norm")], strategy=Strategy.IMMEDIATE)
+        flaky = FlakyFunction(db, "Point", "norm", fail_at={0})
+        p.set_X(6.0)  # the rematerialization raises -> ERROR state
+        flaky.restore()
+
+        report = db.explain()
+        section = report.fid("Point.norm")
+        assert section.error == 1
+        (row,) = [r for r in section.rows if r.args == (p.oid,)]
+        assert row.state == "error"
+        assert row.note == "error (body raised under guard)"
+        assert section.tally["errors"] == 1
+        assert report.totals["errors"] == 1
+        assert "ERROR" in report.render()
+
+    def test_quarantined_fid_is_flagged(self):
+        db = make_point_db()
+        db.new("Point", X=3.0, Y=4.0)
+        db.materialize([("Point", "norm")])
+        db.gmr_manager.breaker.trip("Point.norm")
+
+        section = db.explain().fid("Point.norm")
+        assert section.quarantined
+        assert section.breaker == "open"
+        assert "QUARANTINED" in db.explain().render()
+
+    def test_gmr_explain_scopes_to_that_gmr(self):
+        db = make_point_db()
+        db.define_operation(
+            "Point", "sum", [], "float", lambda self: self.X + self.Y
+        )
+        db.new("Point", X=3.0, Y=4.0)
+        norm_gmr = db.materialize([("Point", "norm")])
+        db.materialize([("Point", "sum")])
+
+        report = norm_gmr.explain()
+        assert isinstance(report, ExplainReport)
+        assert [section.fid for section in report.fids] == ["Point.norm"]
+        with pytest.raises(KeyError):
+            report.fid("Point.sum")
+
+
+class TestDisabledAccounting:
+    def test_metrics_off_yields_empty_tallies_and_notes(self):
+        db = make_point_db(
+            config=MaterializationConfig(
+                observe=ObserveConfig(metrics=False)
+            )
+        )
+        p = db.new("Point", X=3.0, Y=4.0)
+        db.materialize([("Point", "norm")])
+        p.set_X(6.0)
+
+        report = db.explain()
+        assert all(value == 0 for value in report.totals.values())
+        section = report.fid("Point.norm")
+        assert all(row.note == "" for row in section.rows)
+        # Validity states still render — only the accounting is off.
+        assert section.valid == 1
+
+
+class TestCuboidCrossCheck:
+    def test_explain_accounts_for_every_probe_and_remat(self):
+        """Acceptance: explain() totals == metrics registry counters on
+        the Figure 7 cuboid workload (with deletes in the mix)."""
+        application = CuboidApplication(
+            WITH_GMR, CuboidConfig(cuboids=60, seed=7)
+        )
+        db = application.db
+        mix = OperationMix(
+            update_probability=0.8,
+            operations=120,
+            queries=[(0.5, "Qbw"), (0.5, "Qfw")],
+            updates=[(0.4, "I"), (0.3, "S"), (0.3, "D")],
+        )
+        application.run_mix(mix, DeterministicRng(11))
+
+        report = db.explain()
+        registry = db.observe.metrics
+        assert report.totals["probes"] == registry.get("rrr.probes").value
+        assert (
+            report.totals["probe_entries"]
+            == registry.get("rrr.probe_entries").value
+        )
+        assert (
+            report.totals["rematerializations"]
+            == registry.get("remat.count").value
+        )
+        assert (
+            report.totals["compensations"]
+            == registry.get("compensation.count").value
+        )
+        # The workload deleted cuboids: the wholesale pop_object probes
+        # are accounted under the pseudo key, not lost.
+        assert FORGET_KEY in report.other_tallies
+        assert report.other_tallies[FORGET_KEY]["probes"] > 0
+        # Wave bookkeeping matches the registry's native histogram.
+        assert (
+            registry.get("wave.count").value
+            == registry.get("wave.width").count
+        )
+        assert report.last_wave is not None
+        assert check_consistency(db) == []
+
+    def test_per_strategy_tallies_cover_the_gmr_fids(self):
+        application = CuboidApplication(
+            WITH_GMR, CuboidConfig(cuboids=30, seed=7)
+        )
+        mix = OperationMix(
+            update_probability=0.9,
+            operations=40,
+            queries=[(1.0, "Qfw")],
+            updates=[(1.0, "S")],
+        )
+        application.run_mix(mix, DeterministicRng(5))
+        report = application.db.explain()
+        strategy_tally = report.per_strategy["immediate"]
+        section = report.fid("Cuboid.volume")
+        for key, value in section.tally.items():
+            assert strategy_tally[key] >= value

@@ -1,0 +1,55 @@
+"""The single-funnel rule: all diagnostics flow through repro.observe.
+
+No module under ``src/repro`` outside ``observe/`` may ``print(`` or use
+the stdlib ``logging`` machinery — every diagnostic goes through the
+trace layer or the metrics registry, so one configuration point governs
+all output.  The CLI entry point (``bench/__main__.py``) is the one
+sanctioned exception: its job *is* printing reports to the terminal.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+ALLOWED = {
+    # The benchmark CLI prints figure reports by design.
+    SRC / "bench" / "__main__.py",
+}
+
+_PRINT = re.compile(r"(?<![\w.])print\s*\(")
+_LOGGING = re.compile(r"^\s*(import logging|from logging import)", re.M)
+
+
+def _strip_strings_and_comments(source: str) -> str:
+    """Drop docstrings/comments so prose mentioning print() passes."""
+    import io
+    import tokenize
+
+    out = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type in (tokenize.STRING, tokenize.COMMENT):
+            continue
+        out.append(token.string)
+    return " ".join(out)
+
+
+def test_no_print_or_logging_outside_the_observe_package():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED or "observe" in path.parts:
+            continue
+        code = _strip_strings_and_comments(path.read_text(encoding="utf-8"))
+        if _PRINT.search(code) or _LOGGING.search(code):
+            offenders.append(str(path.relative_to(SRC)))
+    assert offenders == [], (
+        "diagnostics must flow through repro.observe; "
+        f"found print()/logging in: {offenders}"
+    )
+
+
+def test_the_observe_package_exists_where_the_rule_points():
+    assert (SRC / "observe" / "__init__.py").exists()

@@ -1,0 +1,120 @@
+"""Unit tests for the metrics registry and the ManagerStats shim."""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+
+import pytest
+
+from repro.core.manager import ManagerStats
+from repro.observe.metrics import (
+    NULL_METRIC,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    install_stats_views,
+)
+
+
+class TestHistogram:
+    def test_bucketing_uses_le_upper_bounds(self):
+        histogram = Histogram("h", (1, 2, 4))
+        for value in (0.5, 1, 1.5, 2, 3, 4, 100):
+            histogram.observe(value)
+        # v <= 1 | v <= 2 | v <= 4 | +Inf
+        assert histogram.counts == [2, 2, 2, 1]
+        assert histogram.count == 7
+        assert histogram.total == pytest.approx(0.5 + 1 + 1.5 + 2 + 3 + 4 + 100)
+
+    def test_boundary_value_lands_in_its_own_bucket(self):
+        histogram = Histogram("h", (10,))
+        histogram.observe(10)
+        assert histogram.counts == [1, 0]
+
+    def test_snapshot_is_detached(self):
+        histogram = Histogram("h", (1, 2))
+        histogram.observe(1)
+        snapshot = histogram.snapshot()
+        histogram.observe(1)
+        assert snapshot["counts"] == [1, 0, 0]
+        assert snapshot["count"] == 1
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (2, 1))
+
+
+class TestRegistry:
+    def test_factories_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h", (1, 2)) is registry.histogram("h", (1, 2))
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_disabled_registry_hands_out_the_null_metric(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("a")
+        assert counter is NULL_METRIC
+        counter.inc()  # must be a harmless no-op
+        registry.gauge("b").set(3.0)
+        registry.histogram("c", (1,)).observe(2.0)
+        assert registry.names() == []
+        assert registry.as_dict() == {}
+
+    def test_dump_and_restore_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(5)
+        source.gauge("g").set(2.5)
+        histogram = source.histogram("h", (1, 2))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+
+        target = MetricsRegistry()
+        bound = target.counter("c")  # pre-bound reference, like the manager
+        target.restore_state(source.dump_state())
+        assert bound.value == 5  # restored in place, not replaced
+        assert target.gauge("g").value == 2.5
+        restored = target.get("h")
+        assert restored.counts == [1, 0, 1]
+        assert restored.total == pytest.approx(5.5)
+
+    def test_restore_is_a_no_op_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.restore_state({"counters": {"c": 9}})
+        assert registry.names() == []
+
+
+class TestStatsShim:
+    def test_every_stats_field_becomes_a_view(self):
+        registry = MetricsRegistry()
+        stats = ManagerStats()
+        install_stats_views(registry, stats)
+        stats.invalidate_calls = 11
+        assert registry.get("manager.invalidate_calls").value == 11
+        expected = {
+            f"manager.{spec.name}" for spec in dataclass_fields(stats)
+        }
+        assert expected <= set(registry.names())
+
+    def test_delta_is_field_introspective(self):
+        """Regression: delta() must cover every field automatically."""
+        stats = ManagerStats()
+        earlier = stats.snapshot()
+        for index, spec in enumerate(dataclass_fields(stats), start=1):
+            setattr(stats, spec.name, getattr(stats, spec.name) + index)
+        delta = stats.delta(earlier)
+        for index, spec in enumerate(dataclass_fields(stats), start=1):
+            assert getattr(delta, spec.name) == index, spec.name
+
+    def test_snapshot_is_independent(self):
+        stats = ManagerStats()
+        snap = stats.snapshot()
+        stats.invalidate_calls += 3
+        assert snap.invalidate_calls == 0

@@ -1,0 +1,163 @@
+"""Unit tests for the trace layer: sinks, nesting, rotation, reset."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.observe.trace import (
+    CallbackSink,
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+)
+
+
+def _tracer_with_ring(capacity: int = 64):
+    tracer = Tracer(enabled=True)
+    ring = tracer.add_sink(RingBufferSink(capacity))
+    return tracer, ring
+
+
+class TestSpans:
+    def test_spans_nest_through_the_parent_id(self):
+        tracer, ring = _tracer_with_ring()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.event("point", answer=42)
+        tracer.end(inner)
+        tracer.end(outer, width=3)
+
+        starts = {e.name: e for e in ring if e.kind == "span_start"}
+        assert starts["outer"].parent == 0
+        assert starts["inner"].parent == starts["outer"].span
+
+        point = next(e for e in ring if e.kind == "event")
+        assert point.span == starts["inner"].span
+        assert point.fields == {"answer": 42}
+
+        ends = {e.name: e for e in ring if e.kind == "span_end"}
+        assert ends["outer"].fields["width"] == 3
+        assert ends["outer"].fields["duration"] >= 0.0
+
+    def test_sequence_numbers_are_monotonic(self):
+        tracer, ring = _tracer_with_ring()
+        for index in range(5):
+            tracer.event("tick", index=index)
+        seqs = [event.seq for event in ring]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_span_context_records_the_exception(self):
+        tracer, ring = _tracer_with_ring()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        end = next(e for e in ring if e.kind == "span_end")
+        assert end.fields["error"] == "ValueError"
+
+    def test_end_unwinds_spans_an_exception_left_open(self):
+        tracer, ring = _tracer_with_ring()
+        outer = tracer.begin("outer")
+        tracer.begin("inner-left-open")
+        tracer.end(outer)  # must pop the stranded inner span too
+        assert tracer._stack == []
+        follow = tracer.begin("follow")
+        assert follow.parent == 0
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = Tracer(enabled=False)
+        ring = tracer.add_sink(RingBufferSink(8))
+        span = tracer.begin("never")
+        tracer.event("never")
+        tracer.end(span)
+        assert len(ring) == 0
+
+
+class TestRingBufferSink:
+    def test_sheds_oldest_events_beyond_capacity(self):
+        tracer, ring = _tracer_with_ring(capacity=4)
+        for index in range(10):
+            tracer.event("tick", index=index)
+        assert ring.emitted == 10
+        assert len(ring) <= 4
+        kept = [event.fields["index"] for event in ring]
+        assert kept == sorted(kept)
+        assert kept[-1] == 9  # newest survives
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True)
+        sink = tracer.add_sink(JsonlSink(path))
+        tracer.event("alpha", n=1)
+        tracer.event("beta", n=2)
+        sink.close()
+        records = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert [record["name"] for record in records] == ["alpha", "beta"]
+        assert records[0]["fields"] == {"n": 1}
+
+    def test_rotation_shifts_and_caps_the_file_set(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True)
+        sink = tracer.add_sink(
+            JsonlSink(path, max_bytes=200, max_files=2)
+        )
+        for index in range(100):
+            tracer.event("tick", index=index)
+        sink.close()
+        assert sink.rotations > 2
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        assert os.path.exists(path + ".2")
+        # max_files caps the set: nothing rotates past .2.
+        assert not os.path.exists(path + ".3")
+        # Every surviving file parses line by line.
+        for name in (path, path + ".1", path + ".2"):
+            for line in open(name, encoding="utf-8"):
+                json.loads(line)
+
+
+class TestCallbackSink:
+    def test_hands_every_event_to_the_callable(self):
+        seen = []
+        tracer = Tracer(enabled=True)
+        tracer.add_sink(CallbackSink(seen.append))
+        tracer.event("one")
+        with tracer.span("two"):
+            pass
+        assert [event.name for event in seen] == ["one", "two", "two"]
+
+
+class TestReset:
+    def test_reset_restarts_counters_and_emits_the_marker(self):
+        tracer, ring = _tracer_with_ring()
+        with tracer.span("before"):
+            tracer.event("old")
+        tracer.reset(marker="recovery", records_replayed=7)
+        events = ring.events()
+        marker = events[-1]
+        assert marker.name == "recovery"
+        assert marker.seq == 1  # a fresh timeline
+        assert marker.fields["records_replayed"] == 7
+        follow = tracer.begin("after")
+        assert follow.id == 1
+        assert follow.parent == 0
+
+    def test_reset_without_marker_is_silent(self):
+        tracer, ring = _tracer_with_ring()
+        tracer.event("old")
+        before = len(ring)
+        tracer.reset()
+        assert len(ring) == before
