@@ -1,0 +1,166 @@
+"""Concurrency scaling: reader throughput and the ``workers=0`` bill.
+
+Two contracts from the concurrency PR:
+
+* **``workers=0`` is free.**  The single-threaded configuration must
+  keep the pre-concurrency code paths bit-for-bit: the update lock is a
+  shared ``nullcontext``, no striped entry locks are armed, no pool
+  exists, and the scheduler has no ready hook.  That is asserted
+  structurally (the trace-equivalence suite asserts behaviour); the
+  Figure 7 mix here additionally bounds the *converged state*: a
+  ``workers=1`` run must end in the identical GMR extension after
+  quiesce, and its wall-clock must stay within a loose smoke bound of
+  the single-threaded run (the GIL serializes compute, so background
+  draining must not cost multiples).
+
+* **Readers do not collapse under threads.**  Forward queries on a
+  fully valid GMR take only a striped read lock.  Under CPython's GIL
+  they cannot speed up, but adding reader threads must not fall off a
+  cliff either — aggregate throughput at 8 threads is bounded below
+  against the single-thread figure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+
+from repro.bench.cuboid import CuboidApplication, CuboidConfig
+from repro.bench.runner import ProgramVersion
+from repro.bench.workload import OperationMix
+from repro.core.strategies import Strategy
+from repro.observe.config import MaterializationConfig
+from repro.util.rng import DeterministicRng
+
+DEFERRED_VERSION = ProgramVersion("Deferred", strategy=Strategy.DEFERRED)
+
+_FIG7_MIX = dict(
+    queries=[(0.5, "Qbw"), (0.5, "Qfw")],
+    updates=[(0.5, "I"), (0.5, "S")],
+)
+
+
+def _run_fig7(workers: int, *, operations: int = 60, cuboids: int = 80):
+    application = CuboidApplication(
+        DEFERRED_VERSION,
+        CuboidConfig(
+            cuboids=cuboids,
+            seed=7,
+            materialization=MaterializationConfig(
+                strategy=Strategy.DEFERRED, workers=workers
+            ),
+        ),
+    )
+    mix = OperationMix(
+        update_probability=0.9, operations=operations, **_FIG7_MIX
+    )
+    start = time.perf_counter()
+    application.run_mix(mix, DeterministicRng(11))
+    elapsed = time.perf_counter() - start
+    # Converge: drain everything still queued, on either path.
+    assert application.db.quiesce(timeout=60.0)
+    return application, elapsed
+
+
+def _best_of(runs: int, workers: int):
+    best = None
+    application = None
+    for _ in range(runs):
+        if application is not None:
+            application.db.close()
+        application, elapsed = _run_fig7(workers)
+        best = elapsed if best is None else min(best, elapsed)
+    return application, best
+
+
+def _gmr_state(application):
+    return sorted(
+        (row.args[0].value, tuple(row.valid), tuple(row.results))
+        for row in application.gmr.rows()
+    )
+
+
+def test_smoke_workers_zero_is_structurally_free():
+    application, _ = _run_fig7(0, operations=10, cuboids=20)
+    db = application.db
+    assert isinstance(db._update_lock, nullcontext)
+    assert db.worker_pool is None
+    assert db.gmr_manager.scheduler.on_ready is None
+    assert application.gmr.store.locks is None
+    assert db.gmr_manager._entry_locks is None
+
+
+def test_smoke_workers_zero_overhead(benchmark):
+    single, single_seconds = _best_of(3, 0)
+    pooled, pooled_seconds = benchmark.pedantic(
+        lambda: _best_of(3, 1), rounds=1, iterations=1
+    )
+    try:
+        # Background draining must not be observable in the converged
+        # extension: values, validity bits and row set all identical.
+        assert _gmr_state(pooled) == _gmr_state(single)
+        # Loose smoke bound, not a microbenchmark: locking and handoff
+        # may cost, but not multiples of the single-threaded run.
+        assert pooled_seconds <= single_seconds * 3.0 + 0.5
+    finally:
+        pooled.db.close()
+        single.db.close()
+
+
+QUERIES_TOTAL = 800
+
+
+def _reader_throughput(application, threads: int) -> float:
+    cuboids = list(application.cuboids)
+    per_thread = QUERIES_TOTAL // threads
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def reader(seed: int) -> None:
+        rng = DeterministicRng(seed)
+        try:
+            barrier.wait()
+            for _ in range(per_thread):
+                volume = rng.choice(cuboids).volume()
+                assert volume is not None
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=reader, args=(40 + index,))
+        for index in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for worker in workers:
+        worker.join(60.0)
+    elapsed = time.perf_counter() - start
+    assert errors == []
+    assert all(not worker.is_alive() for worker in workers)
+    return (per_thread * threads) / elapsed
+
+
+def test_smoke_reader_scaling(benchmark):
+    application, _ = _run_fig7(1, operations=30, cuboids=40)
+    try:
+        assert application.db.quiesce(timeout=60.0)
+        throughput = {}
+        for threads in (1, 2, 4, 8):
+            throughput[threads] = _reader_throughput(application, threads)
+        benchmark.pedantic(
+            lambda: _reader_throughput(application, 4), rounds=1, iterations=1
+        )
+        # CPython's GIL forbids speedup; the contract is *no collapse*:
+        # the entry read locks are uncontended on a valid extension, so
+        # threaded aggregate throughput stays within a small factor of
+        # the single-threaded figure.
+        for threads in (2, 4, 8):
+            assert throughput[threads] >= throughput[1] * 0.2, (
+                f"reader throughput collapsed at {threads} threads: "
+                f"{throughput}"
+            )
+    finally:
+        application.db.close()

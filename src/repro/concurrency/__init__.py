@@ -1,0 +1,29 @@
+"""Concurrency primitives for a thread-safe object base (Sec. 4.1).
+
+The paper decouples rematerialization from the triggering update by
+running it in separate low-priority transactions and by locking the
+*GMR entry* rather than the objects it derives from.  This package
+supplies the reproduction's equivalents:
+
+``RWLock`` / ``StripedRWLock``
+    A writer-preference reader-writer lock and a striped table of them
+    keyed by GMR-entry argument tuples — the "lock the GMR entry, not
+    the objects" layer.  Readers of a valid entry never block behind a
+    rematerialization of a *different* entry.
+
+``RevalidationWorkerPool``
+    Background daemon threads that drain the DEFERRED
+    ``RevalidationScheduler`` off the caller's thread, so updates
+    return after marking and queueing while freshness is restored
+    concurrently.
+
+Everything here is inert unless ``MaterializationConfig(workers=N)``
+with ``N > 0`` is passed to ``ObjectBase``; ``workers=0`` (the
+default) keeps the single-threaded code paths bit-for-bit unchanged.
+See ``docs/CONCURRENCY.md`` for the locking hierarchy.
+"""
+
+from repro.concurrency.locks import RWLock, StripedRWLock
+from repro.concurrency.pool import RevalidationWorkerPool
+
+__all__ = ["RWLock", "StripedRWLock", "RevalidationWorkerPool"]

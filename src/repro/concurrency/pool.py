@@ -1,0 +1,158 @@
+"""Background draining of the DEFERRED revalidation queue.
+
+The paper runs rematerialization in separate low-priority transactions
+(Sec. 4.1) so an update returns after *marking* stale entries and the
+freshness work proceeds off the critical path.  The single-threaded
+reproduction approximates that with the DEFERRED strategy — queue on
+invalidate, drain on demand — but the drain still runs on the caller's
+thread.  :class:`RevalidationWorkerPool` finishes the decoupling: N
+daemon threads wait on the scheduler's ready signal and drain it in
+small batches under the object base's update lock, so foreground
+readers (which only take GMR-entry read locks) keep flowing while
+maintenance catches up.
+
+Shutdown/consistency protocol: :meth:`quiesce` wakes the workers and
+blocks until the queue is empty and no drain is in flight — the point
+at which the Def. 3.2 oracle and checkpointing are meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.manager import GMRManager
+
+
+class RevalidationWorkerPool:
+    """Daemon threads that drain a manager's revalidation scheduler.
+
+    Workers sleep on a condition variable; ``notify()`` (wired to the
+    scheduler's ``on_ready`` hook) wakes them when an entry is queued,
+    and a short timed wait re-checks for delayed retries becoming due.
+    Each drain claims the object base's update lock, so a batch of
+    rematerializations is serialized against foreground updates exactly
+    like a synchronous ``revalidate()`` call — only the *thread* doing
+    the work changes.
+    """
+
+    def __init__(
+        self,
+        manager: "GMRManager",
+        workers: int,
+        *,
+        batch: int = 8,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("RevalidationWorkerPool needs workers >= 1")
+        self._manager = manager
+        self._scheduler = manager.scheduler
+        self._db_lock = manager._maint_lock
+        self.workers = workers
+        self._batch = batch
+        self._poll_interval = poll_interval
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._active = 0
+        self._threads: list[threading.Thread] = []
+        registry = manager.metrics
+        self._g_workers = registry.gauge("pool.workers")
+        self._g_active = registry.gauge("pool.active")
+        self._c_drained = registry.counter("pool.drained")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stopping = False
+        self._scheduler.on_ready = self.notify
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run,
+                name=f"repro-reval-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        self._g_workers.set(self.workers)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the workers to exit and join them."""
+        if self._scheduler.on_ready is self.notify:
+            self._scheduler.on_ready = None
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+        self._g_workers.set(0)
+
+    def notify(self) -> None:
+        """Wake the workers (scheduler ``on_ready`` hook)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- the worker loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        scheduler = self._scheduler
+        while True:
+            with self._cond:
+                while not self._stopping and scheduler.ready_pending() == 0:
+                    self._cond.wait(self._poll_interval)
+                if self._stopping:
+                    return
+                self._active += 1
+            try:
+                self._g_active.set(self._active)
+                with self._db_lock:
+                    drained = scheduler.revalidate(max_entries=self._batch)
+                if drained:
+                    self._c_drained.inc(drained)
+            finally:
+                with self._cond:
+                    self._active -= 1
+                    # A quiescer may be waiting on "queue empty and no
+                    # drain in flight"; let it re-check.
+                    self._cond.notify_all()
+                self._g_active.set(self._active)
+
+    # -- synchronization -------------------------------------------------------
+
+    def idle(self) -> bool:
+        """True when nothing is queued, due, or being drained."""
+        with self._cond:
+            return self._active == 0 and self._scheduler.ready_pending() == 0
+
+    def quiesce(self, timeout: float = 30.0) -> bool:
+        """Block until the queue has fully drained (or ``timeout``).
+
+        Returns True on convergence.  Entries parked in the delayed
+        retry heap (backoff not yet elapsed) do not count as pending —
+        quiescence means "nothing runnable now", matching what a
+        synchronous ``scheduler.revalidate()`` would have processed.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._cond.notify_all()
+        while True:
+            if self.idle():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            with self._cond:
+                self._cond.notify_all()
+                self._cond.wait(0.005)
+
+    def __enter__(self) -> "RevalidationWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

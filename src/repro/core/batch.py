@@ -279,6 +279,15 @@ class UpdateBatch:
     flush also runs when the body raises — the elementary updates have
     already been applied physically, so the materializations must be
     brought back in sync regardless.
+
+    Under ``workers > 0`` a batch scope holds the object base's update
+    lock for its whole extent: the queue's coalescing maps are not
+    thread-safe, and a worker-pool drain landing between two batched
+    updates would observe GMR entries that are already stale-on-disk
+    but not yet marked.  The lock is re-entrant, so the elementary
+    updates inside the scope (which take it per-call) nest cleanly; in
+    single-threaded mode the "lock" is a ``nullcontext`` and the scope
+    is bit-for-bit the old behaviour.
     """
 
     def __init__(self, manager: "GMRManager") -> None:
@@ -290,6 +299,7 @@ class UpdateBatch:
 
     def __enter__(self) -> "UpdateBatch":
         manager = self._manager
+        manager._maint_lock.__enter__()
         manager._batch_depth += 1
         if manager._batch_depth == 1:
             manager._db._wal_log({"kind": "batch_begin"})
@@ -297,14 +307,18 @@ class UpdateBatch:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         manager = self._manager
-        manager._batch_depth -= 1
-        if manager._batch_depth == 0:
-            queue = manager._queue
-            self.notifications = queue.notifications
-            self.probes_saved = queue.coalesced
-            queue.notifications = 0
-            queue.coalesced = 0
-            manager.flush_batch()
-            # Logged after the flush: the scope's updates are already on
-            # disk individually, the marker just reproduces flush timing.
-            manager._db._wal_log({"kind": "batch_end"})
+        try:
+            manager._batch_depth -= 1
+            if manager._batch_depth == 0:
+                queue = manager._queue
+                self.notifications = queue.notifications
+                self.probes_saved = queue.coalesced
+                queue.notifications = 0
+                queue.coalesced = 0
+                manager.flush_batch()
+                # Logged after the flush: the scope's updates are already
+                # on disk individually, the marker just reproduces flush
+                # timing.
+                manager._db._wal_log({"kind": "batch_end"})
+        finally:
+            manager._maint_lock.__exit__(None, None, None)

@@ -13,7 +13,9 @@ The breaker is keyed by function id, which includes the pseudo function
 ids of restriction predicates — a crashing predicate quarantines
 exactly like a crashing function.
 
-State transitions (single-threaded, resolved synchronously)::
+State transitions (serialized by an internal lock; with a worker pool
+the probe of one thread and the failure record of another cannot race
+the same entry)::
 
     CLOSED --K consecutive failures--> OPEN
     OPEN   --cooldown elapsed, acquire()--> HALF_OPEN (the probe runs)
@@ -27,6 +29,7 @@ a quarantined function as healthy.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
@@ -74,6 +77,10 @@ class CircuitBreaker:
         self.policy = policy
         self.clock = clock
         self._entries: dict[str, _Entry] = {}
+        #: Serializes state transitions.  Reentrant because the
+        #: ``on_transition`` hook (tracing/metrics) fires inside the
+        #: critical section and must be free to query breaker state.
+        self._lock = threading.RLock()
         #: Optional hook ``on_transition(fid, old_state, new_state)`` —
         #: the manager wires this to the trace layer / metrics registry.
         self.on_transition: (
@@ -139,79 +146,92 @@ class CircuitBreaker:
         denied.  The caller must resolve an allowed call by invoking
         :meth:`record_success` or :meth:`record_failure`.
         """
-        entry = self._entries.get(fid)
-        if entry is None or entry.state is BreakerState.CLOSED:
-            return BreakerDecision(allowed=True)
-        if entry.state is BreakerState.OPEN:
-            if self.clock() - entry.opened_at >= self.policy.cooldown:
-                entry.state = BreakerState.HALF_OPEN
-                self._transitioned(fid, BreakerState.OPEN, BreakerState.HALF_OPEN)
-                return BreakerDecision(allowed=True, probe=True)
-            return BreakerDecision(allowed=False)
-        # HALF_OPEN: a probe is already in flight (or was interrupted by
-        # a BaseException mid-call); allow it to resolve.
-        return BreakerDecision(allowed=True, probe=True)
+        with self._lock:
+            entry = self._entries.get(fid)
+            if entry is None or entry.state is BreakerState.CLOSED:
+                return BreakerDecision(allowed=True)
+            if entry.state is BreakerState.OPEN:
+                if self.clock() - entry.opened_at >= self.policy.cooldown:
+                    entry.state = BreakerState.HALF_OPEN
+                    self._transitioned(
+                        fid, BreakerState.OPEN, BreakerState.HALF_OPEN
+                    )
+                    return BreakerDecision(allowed=True, probe=True)
+                return BreakerDecision(allowed=False)
+            # HALF_OPEN: a probe is already in flight (or was interrupted
+            # by a BaseException mid-call); allow it to resolve.
+            return BreakerDecision(allowed=True, probe=True)
 
     def record_success(self, fid: str) -> bool:
         """Note a successful execution; returns True if this closed an
         open (half-open) breaker."""
-        entry = self._entries.get(fid)
-        if entry is None:
-            return False
-        old = entry.state
-        closed = old is not BreakerState.CLOSED
-        entry.state = BreakerState.CLOSED
-        entry.consecutive_failures = 0
-        self._transitioned(fid, old, BreakerState.CLOSED)
-        return closed
+        with self._lock:
+            entry = self._entries.get(fid)
+            if entry is None:
+                return False
+            old = entry.state
+            closed = old is not BreakerState.CLOSED
+            entry.state = BreakerState.CLOSED
+            entry.consecutive_failures = 0
+            self._transitioned(fid, old, BreakerState.CLOSED)
+            return closed
 
     def record_failure(self, fid: str) -> bool:
         """Note a failed execution; returns True if this *opened* the
         breaker (threshold reached, or a half-open probe failed)."""
-        entry = self._entry(fid)
-        entry.consecutive_failures += 1
-        entry.total_failures += 1
-        if entry.state is BreakerState.HALF_OPEN:
-            entry.state = BreakerState.OPEN
-            entry.opened_at = self.clock()
-            entry.times_opened += 1
-            self._transitioned(fid, BreakerState.HALF_OPEN, BreakerState.OPEN)
-            return True
-        if (
-            entry.state is BreakerState.CLOSED
-            and entry.consecutive_failures >= self.policy.failure_threshold
-        ):
-            entry.state = BreakerState.OPEN
-            entry.opened_at = self.clock()
-            entry.times_opened += 1
-            self._transitioned(fid, BreakerState.CLOSED, BreakerState.OPEN)
-            return True
-        return False
+        with self._lock:
+            entry = self._entry(fid)
+            entry.consecutive_failures += 1
+            entry.total_failures += 1
+            if entry.state is BreakerState.HALF_OPEN:
+                entry.state = BreakerState.OPEN
+                entry.opened_at = self.clock()
+                entry.times_opened += 1
+                self._transitioned(
+                    fid, BreakerState.HALF_OPEN, BreakerState.OPEN
+                )
+                return True
+            if (
+                entry.state is BreakerState.CLOSED
+                and entry.consecutive_failures >= self.policy.failure_threshold
+            ):
+                entry.state = BreakerState.OPEN
+                entry.opened_at = self.clock()
+                entry.times_opened += 1
+                self._transitioned(fid, BreakerState.CLOSED, BreakerState.OPEN)
+                return True
+            return False
 
     # -- manual controls -------------------------------------------------------
 
     def trip(self, fid: str) -> None:
         """Quarantine ``fid`` immediately (operator override)."""
-        entry = self._entry(fid)
-        old = entry.state
-        entry.state = BreakerState.OPEN
-        entry.opened_at = self.clock()
-        entry.times_opened += 1
-        self._transitioned(fid, old, BreakerState.OPEN)
+        with self._lock:
+            entry = self._entry(fid)
+            old = entry.state
+            entry.state = BreakerState.OPEN
+            entry.opened_at = self.clock()
+            entry.times_opened += 1
+            self._transitioned(fid, old, BreakerState.OPEN)
 
     def reset(self, fid: str) -> None:
         """Close ``fid``'s breaker and forget its failure streak."""
-        entry = self._entries.get(fid)
-        if entry is not None:
-            old = entry.state
-            entry.state = BreakerState.CLOSED
-            entry.consecutive_failures = 0
-            self._transitioned(fid, old, BreakerState.CLOSED)
+        with self._lock:
+            entry = self._entries.get(fid)
+            if entry is not None:
+                old = entry.state
+                entry.state = BreakerState.CLOSED
+                entry.consecutive_failures = 0
+                self._transitioned(fid, old, BreakerState.CLOSED)
 
     # -- persistence -----------------------------------------------------------
 
     def dump_state(self) -> dict:
         """A portable snapshot (cooldowns as *remaining* durations)."""
+        with self._lock:
+            return self._dump_state_locked()
+
+    def _dump_state_locked(self) -> dict:
         now = self.clock()
         fids = {}
         for fid, entry in self._entries.items():
@@ -241,16 +261,17 @@ class CircuitBreaker:
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`dump_state` snapshot (replaces all entries)."""
-        now = self.clock()
-        self._entries = {}
-        for fid, record in state.get("fids", {}).items():
-            entry = _Entry(
-                consecutive_failures=record.get("consecutive_failures", 0),
-                state=BreakerState(record.get("state", "closed")),
-                total_failures=record.get("total_failures", 0),
-                times_opened=record.get("times_opened", 0),
-            )
-            if entry.state is BreakerState.OPEN:
-                remaining = float(record.get("cooldown_remaining", 0.0))
-                entry.opened_at = now - (self.policy.cooldown - remaining)
-            self._entries[fid] = entry
+        with self._lock:
+            now = self.clock()
+            self._entries = {}
+            for fid, record in state.get("fids", {}).items():
+                entry = _Entry(
+                    consecutive_failures=record.get("consecutive_failures", 0),
+                    state=BreakerState(record.get("state", "closed")),
+                    total_failures=record.get("total_failures", 0),
+                    times_opened=record.get("times_opened", 0),
+                )
+                if entry.state is BreakerState.OPEN:
+                    remaining = float(record.get("cooldown_remaining", 0.0))
+                    entry.opened_at = now - (self.policy.cooldown - remaining)
+                self._entries[fid] = entry

@@ -94,6 +94,11 @@ class ExecutionGuard:
     behaviour into a ``(value, failure)`` pair.  ``BaseException``
     (``KeyboardInterrupt``, the test harness's ``SimulatedCrash``)
     passes through untouched: a dying process is not a function fault.
+
+    Thread-safety: the guard keeps no per-call state — ``timed`` works
+    entirely with locals — so one instance may be shared by the worker
+    pool and foreground threads without locking.  The ``observer`` hook
+    must itself be thread-safe (the manager wires a locked histogram).
     """
 
     def __init__(

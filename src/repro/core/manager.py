@@ -181,6 +181,24 @@ class GMRManager:
         #: invalidation (the paper's proposed alternative).
         self.rrr_policy = "remove"
 
+        # -- concurrency wiring (see repro.concurrency) ----------------
+        #: True when the object base runs a revalidation worker pool
+        #: (``config.workers > 0``); gates the multi-threaded code
+        #: paths so ``workers=0`` keeps today's sequence bit-for-bit.
+        self._mt = db.config.workers > 0
+        #: The object base's update lock — the *same* object as
+        #: ``db._update_lock`` (an RLock in MT mode, a shared
+        #: ``nullcontext`` otherwise), so maintenance entered from a
+        #: locked update path nests reentrantly.
+        self._maint_lock = db._update_lock
+        #: Striped per-entry lock table shared by every GMR store
+        #: (attached in :meth:`materialize`); ``None`` single-threaded.
+        self._entry_locks = None
+        if self._mt:
+            from repro.concurrency.locks import StripedRWLock
+
+            self._entry_locks = StripedRWLock(64)
+
         # -- observability wiring (see repro.observe) ------------------
         observe = db.observe
         self.tracer = observe.tracer
@@ -347,6 +365,10 @@ class GMRManager:
             raise GMRDefinitionError(f"a GMR named {gmr.name} already exists")
         validate_atomic_restrictions(gmr.arg_types, restriction)
         gmr._manager = self
+        if self._entry_locks is not None:
+            # Arm the per-entry lock layer (Sec. 4.1: lock the GMR
+            # entry, not the objects); shared table across all GMRs.
+            gmr.store.locks = self._entry_locks
 
         self._gmrs[gmr.name] = gmr
         for info in infos:
@@ -775,6 +797,10 @@ class GMRManager:
         Returns a :class:`~repro.core.batch.FlushReport` (int-compatible
         with the former bare event count).
         """
+        with self._maint_lock:
+            return self._flush_batch_impl()
+
+    def _flush_batch_impl(self) -> FlushReport:
         if not len(self._queue):
             return FlushReport(0)
         if self._batch_depth > 0:
@@ -1313,10 +1339,61 @@ class GMRManager:
         the GMR is left untouched for the probe/retry machinery.  Once
         the cooldown elapses the recomputation below doubles as the
         half-open probe.
+
+        With a worker pool (``workers > 0``) the query first tries the
+        consistent-read fast path: a valid entry is served under only
+        its *entry read lock*, so a reader never blocks behind an
+        in-flight rematerialization of a different entry.  Misses fall
+        through to the ordinary path under the object base's update
+        lock.  ``workers=0`` takes the original single-threaded
+        sequence unchanged.
         """
+        if self._mt:
+            return self._retrieve_forward_mt(fid, args)
         if self.batching:
             self.flush_batch()
         self.scheduler.note_query(fid)
+        return self._retrieve_forward_impl(fid, args)
+
+    def _retrieve_forward_mt(self, fid: str, args: tuple) -> Any:
+        """Multi-threaded forward query (see :meth:`retrieve_forward`).
+
+        The fast path is skipped for capacity-bounded GMRs (an LRU
+        cache mutates its recency order on lookup, which needs the
+        update lock) and while a batch scope is open (the answer must
+        reflect the pending flush).  Quarantined functions also take
+        the slow path so their degraded direct evaluation runs under
+        the update lock, never against concurrently mutating objects.
+        """
+        self.scheduler.note_query(fid)
+        gmr = self._gmr_of_fid.get(fid)
+        if gmr is not None and gmr.capacity is None and not self.batching:
+            policy = self.fault_policy
+            if not (
+                policy.enabled
+                and self.breaker.quarantined(fid)
+                and not self.breaker.probe_eligible(fid)
+            ):
+                store = gmr.store
+                column = gmr.column_of(fid)
+                locks = store.locks
+                if locks is not None:
+                    with locks.read(args):
+                        row = store.get(args)
+                        if row is not None and row.valid[column]:
+                            self.stats.forward_hits += 1
+                            return row.results[column]
+                else:  # pragma: no cover - locks always armed in MT mode
+                    row = store.get(args)
+                    if row is not None and row.valid[column]:
+                        self.stats.forward_hits += 1
+                        return row.results[column]
+        with self._maint_lock:
+            if self.batching:
+                self.flush_batch()
+            return self._retrieve_forward_impl(fid, args)
+
+    def _retrieve_forward_impl(self, fid: str, args: tuple) -> Any:
         gmr = self._gmr_of_fid.get(fid)
         if gmr is None:
             raise GMRDefinitionError(f"{fid} is not materialized")
@@ -1381,22 +1458,23 @@ class GMRManager:
         whose function fails or is quarantined stay invalid/ERROR (a
         bounded retry is scheduled) instead of aborting the sweep.
         """
-        count = 0
-        fids = [fid] if fid is not None else gmr.fids
-        for function_fid in fids:
-            for args in list(gmr.invalid_args(function_fid)):
-                if gmr.lookup(args) is None:
-                    continue
-                if not self._args_alive(args):
-                    # A blind row: its argument object was deleted after
-                    # the entry had been lazily invalidated (Sec. 4.2's
-                    # lazy maintenance) — detected and dropped here.
-                    gmr.remove_row(args)
-                    self.stats.blind_rows_removed += 1
-                    continue
-                if self._remat_or_degrade(gmr, function_fid, args):
-                    count += 1
-        return count
+        with self._maint_lock:
+            count = 0
+            fids = [fid] if fid is not None else gmr.fids
+            for function_fid in fids:
+                for args in list(gmr.invalid_args(function_fid)):
+                    if gmr.lookup(args) is None:
+                        continue
+                    if not self._args_alive(args):
+                        # A blind row: its argument object was deleted
+                        # after the entry had been lazily invalidated
+                        # (Sec. 4.2's lazy maintenance) — dropped here.
+                        gmr.remove_row(args)
+                        self.stats.blind_rows_removed += 1
+                        continue
+                    if self._remat_or_degrade(gmr, function_fid, args):
+                        count += 1
+            return count
 
     def vacuum(self, gmr: GMR | None = None) -> int:
         """Remove blind rows (rows over deleted argument objects).
@@ -1476,7 +1554,29 @@ class GMRManager:
         evaluated at all fails the query loudly with
         :class:`FunctionExecutionError` rather than silently dropping
         rows from the answer.
+
+        Backward queries always run under the object base's update
+        lock (a no-op single-threaded): the revalidating sweep and the
+        range scan must see one consistent extension.
         """
+        with self._maint_lock:
+            return self._backward_query_impl(
+                fid,
+                low,
+                high,
+                include_low=include_low,
+                include_high=include_high,
+            )
+
+    def _backward_query_impl(
+        self,
+        fid: str,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[tuple[Any, tuple]]:
         if self.batching:
             self.flush_batch()
         gmr = self._gmr_of_fid.get(fid)

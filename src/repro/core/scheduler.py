@@ -31,13 +31,27 @@ count and an exponentially backed-off, jittered eligibility deadline
 second, deadline-ordered heap and promote into the main priority queue
 once ripe; entries of a quarantined function are parked until the
 circuit breaker's probe window opens.
+
+Thread safety: all queue state (``_heap``, ``_delayed``, ``_queued``,
+``_attempts``, ``_seq``) is guarded by one internal reentrant lock, so
+``schedule``/``schedule_retry`` racing a concurrent drain can neither
+pop an entry on one thread while ``_queued`` is mutated on another nor
+double-queue a key.  :meth:`_drain` claims each entry *atomically* (pop
+plus ``_queued`` discard in one critical section) and then processes it
+outside the lock — the lock is never held across a rematerialization or
+any other user code.  The :attr:`on_ready` hook (a worker pool's wakeup)
+is likewise always fired outside the lock, which keeps the locking
+hierarchy acyclic (see ``docs/CONCURRENCY.md``).  ``query_frequency``
+updates are deliberately unlocked: the counter is a prioritisation
+heuristic and a lost increment under a race is harmless.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import FunctionExecutionError, FunctionQuarantinedError
 from repro.core.guard import jittered_delay
@@ -69,6 +83,12 @@ class RevalidationScheduler:
         self._rng: DeterministicRng | None = None
         #: Forward queries observed per function id.
         self.query_frequency: dict[str, int] = {}
+        #: Guards every structural queue mutation; reentrant so the
+        #: retry path (``schedule_retry`` -> ``_push_delayed``) nests.
+        self._lock = threading.RLock()
+        #: Fired (outside the lock) whenever new work becomes runnable;
+        #: the revalidation worker pool wires its wakeup here.
+        self.on_ready: Callable[[], None] | None = None
 
     def __len__(self) -> int:
         return len(self._queued)
@@ -78,7 +98,17 @@ class RevalidationScheduler:
 
     def pending_for(self, fid: str) -> int:
         """Queued entries (ready or backing off) of one function id."""
-        return sum(1 for queued_fid, _ in self._queued if queued_fid == fid)
+        with self._lock:
+            return sum(
+                1 for queued_fid, _ in self._queued if queued_fid == fid
+            )
+
+    def ready_pending(self) -> int:
+        """Entries runnable *now*: ripe delayed retries are promoted and
+        the main heap's length returned.  The worker pool polls this."""
+        with self._lock:
+            self._promote_due()
+            return len(self._heap)
 
     def _observe_depth(self) -> None:
         manager = self._manager
@@ -86,6 +116,11 @@ class RevalidationScheduler:
             depth = len(self._queued)
             manager._m_queue_depth.set(depth)
             manager._m_queue_depth_hist.observe(depth)
+
+    def _notify_ready(self) -> None:
+        hook = self.on_ready
+        if hook is not None:
+            hook()
 
     @property
     def _retry_rng(self) -> DeterministicRng:
@@ -101,13 +136,15 @@ class RevalidationScheduler:
         """Queue one invalidated entry; returns False when already
         queued (re-invalidating a still-invalid entry is a no-op)."""
         key = (fid, args)
-        if key in self._queued:
-            return False
-        self._seq += 1
-        frequency = self.query_frequency.get(fid, 0)
-        heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
-        self._queued.add(key)
+        with self._lock:
+            if key in self._queued:
+                return False
+            self._seq += 1
+            frequency = self.query_frequency.get(fid, 0)
+            heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
+            self._queued.add(key)
         self._observe_depth()
+        self._notify_ready()
         return True
 
     # -- retry/backoff -----------------------------------------------------------
@@ -118,10 +155,11 @@ class RevalidationScheduler:
 
     def delayed_entries(self) -> list[tuple[float, str, tuple]]:
         """``(eligible_at, fid, args)`` of entries still backing off."""
-        return sorted(
-            (eligible_at, fid, args)
-            for eligible_at, _, fid, args in self._delayed
-        )
+        with self._lock:
+            return sorted(
+                (eligible_at, fid, args)
+                for eligible_at, _, fid, args in self._delayed
+            )
 
     def schedule_retry(self, gmr: "GMR", fid: str, args: tuple) -> bool:
         """Queue a *failed* entry for a backed-off retry.
@@ -133,53 +171,70 @@ class RevalidationScheduler:
         in-flight schedule subsumes the new request.
         """
         key = (fid, args)
-        if key in self._queued:
-            return False
         manager = self._manager
         policy = manager.fault_policy
-        attempt = self._attempts.get(key, 0) + 1
-        if attempt > policy.max_attempts:
-            self._attempts.pop(key, None)
-            manager.stats.retries_exhausted += 1
+        with self._lock:
+            if key in self._queued:
+                return False
+            attempt = self._attempts.get(key, 0) + 1
+            if attempt > policy.max_attempts:
+                self._attempts.pop(key, None)
+                manager.stats.retries_exhausted += 1
+                exhausted = True
+            else:
+                self._attempts[key] = attempt
+                delay = jittered_delay(policy, attempt, self._retry_rng)
+                self._push_delayed(fid, args, delay)
+                exhausted = False
+        if exhausted:
             if manager.tracer.enabled:
                 manager.tracer.event(
                     "retry.exhausted", fid=fid, attempts=policy.max_attempts
                 )
             return False
-        self._attempts[key] = attempt
-        delay = jittered_delay(policy, attempt, self._retry_rng)
-        self._push_delayed(fid, args, delay)
         if manager.tracer.enabled:
             manager.tracer.event(
                 "retry.scheduled", fid=fid, attempt=attempt, delay=delay
             )
+        self._notify_ready()
         return True
 
     def _push_delayed(self, fid: str, args: tuple, delay: float) -> None:
-        self._seq += 1
-        eligible_at = self._manager._now() + delay
-        heapq.heappush(self._delayed, (eligible_at, self._seq, fid, args))
-        self._queued.add((fid, args))
+        with self._lock:
+            self._seq += 1
+            eligible_at = self._manager._now() + delay
+            heapq.heappush(self._delayed, (eligible_at, self._seq, fid, args))
+            self._queued.add((fid, args))
         self._observe_depth()
 
     def _promote_due(self) -> None:
         """Move ripe delayed entries into the main priority queue."""
-        now = self._manager._now()
-        while self._delayed and self._delayed[0][0] <= now:
-            _, _, fid, args = heapq.heappop(self._delayed)
-            self._seq += 1
-            frequency = self.query_frequency.get(fid, 0)
-            heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
+        with self._lock:
+            now = self._manager._now()
+            while self._delayed and self._delayed[0][0] <= now:
+                _, _, fid, args = heapq.heappop(self._delayed)
+                self._seq += 1
+                frequency = self.query_frequency.get(fid, 0)
+                heapq.heappush(
+                    self._heap, (-frequency, self._seq, fid, args)
+                )
 
     def _note_retry_success(self, key: tuple[str, tuple]) -> None:
-        if self._attempts.pop(key, 0) > 0:
+        with self._lock:
+            had_attempts = self._attempts.pop(key, 0) > 0
+        if had_attempts:
             self._manager.stats.retry_successes += 1
 
+    def _drop_attempts(self, key: tuple[str, tuple]) -> None:
+        with self._lock:
+            self._attempts.pop(key, None)
+
     def clear(self) -> None:
-        self._heap.clear()
-        self._delayed.clear()
-        self._queued.clear()
-        self._attempts.clear()
+        with self._lock:
+            self._heap.clear()
+            self._delayed.clear()
+            self._queued.clear()
+            self._attempts.clear()
 
     # -- persistence -----------------------------------------------------------
 
@@ -191,45 +246,50 @@ class RevalidationScheduler:
         Backoff deadlines are dumped as *remaining* delays, since
         monotonic clock readings do not survive a process.
         """
-        now = self._manager._now()
-        return {
-            "heap": [
-                [priority, seq, fid, list(args)]
-                for priority, seq, fid, args in self._heap
-            ],
-            "delayed": [
-                [max(0.0, eligible_at - now), seq, fid, list(args)]
-                for eligible_at, seq, fid, args in self._delayed
-            ],
-            "attempts": [
-                [fid, list(args), count]
-                for (fid, args), count in self._attempts.items()
-            ],
-            "seq": self._seq,
-            "frequency": dict(self.query_frequency),
-        }
+        with self._lock:
+            now = self._manager._now()
+            return {
+                "heap": [
+                    [priority, seq, fid, list(args)]
+                    for priority, seq, fid, args in self._heap
+                ],
+                "delayed": [
+                    [max(0.0, eligible_at - now), seq, fid, list(args)]
+                    for eligible_at, seq, fid, args in self._delayed
+                ],
+                "attempts": [
+                    [fid, list(args), count]
+                    for (fid, args), count in self._attempts.items()
+                ],
+                "seq": self._seq,
+                "frequency": dict(self.query_frequency),
+            }
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`dump_state` snapshot (replaces the queue)."""
-        now = self._manager._now()
-        self._heap = [
-            (priority, seq, fid, tuple(args))
-            for priority, seq, fid, args in state.get("heap", [])
-        ]
-        heapq.heapify(self._heap)
-        self._delayed = [
-            (now + float(remaining), seq, fid, tuple(args))
-            for remaining, seq, fid, args in state.get("delayed", [])
-        ]
-        heapq.heapify(self._delayed)
-        self._queued = {(fid, args) for _, _, fid, args in self._heap}
-        self._queued.update((fid, args) for _, _, fid, args in self._delayed)
-        self._attempts = {
-            (fid, tuple(args)): int(count)
-            for fid, args, count in state.get("attempts", [])
-        }
-        self._seq = state.get("seq", 0)
-        self.query_frequency = dict(state.get("frequency", {}))
+        with self._lock:
+            now = self._manager._now()
+            self._heap = [
+                (priority, seq, fid, tuple(args))
+                for priority, seq, fid, args in state.get("heap", [])
+            ]
+            heapq.heapify(self._heap)
+            self._delayed = [
+                (now + float(remaining), seq, fid, tuple(args))
+                for remaining, seq, fid, args in state.get("delayed", [])
+            ]
+            heapq.heapify(self._delayed)
+            self._queued = {(fid, args) for _, _, fid, args in self._heap}
+            self._queued.update(
+                (fid, args) for _, _, fid, args in self._delayed
+            )
+            self._attempts = {
+                (fid, tuple(args)): int(count)
+                for fid, args, count in state.get("attempts", [])
+            }
+            self._seq = state.get("seq", 0)
+            self.query_frequency = dict(state.get("frequency", {}))
+        self._notify_ready()
 
     def revalidate(
         self,
@@ -271,6 +331,22 @@ class RevalidationScheduler:
                 tracer.end(span, drained=drained)
         return drained
 
+    def _claim_next(self) -> tuple[str, tuple] | None:
+        """Atomically pop the hottest ready entry and unmark it queued.
+
+        The pop and the ``_queued`` discard happen in one critical
+        section, so a concurrent ``schedule`` of the same ``(fid,
+        args)`` either sees the entry still queued (and no-ops) or sees
+        it fully claimed (and re-queues it for a later sweep) — never a
+        half-claimed state that double-queues or loses the key.
+        """
+        with self._lock:
+            if not self._heap:
+                return None
+            _, _, fid, args = heapq.heappop(self._heap)
+            self._queued.discard((fid, args))
+            return fid, args
+
     def _drain(
         self, max_entries: int | None, time_budget: float | None
     ) -> int:
@@ -278,7 +354,7 @@ class RevalidationScheduler:
         self._promote_due()
         started = time.perf_counter()
         drained = 0
-        while self._heap:
+        while True:
             if max_entries is not None and drained >= max_entries:
                 break
             if (
@@ -286,12 +362,14 @@ class RevalidationScheduler:
                 and time.perf_counter() - started >= time_budget
             ):
                 break
-            _, _, fid, args = heapq.heappop(self._heap)
+            claimed = self._claim_next()
+            if claimed is None:
+                break
+            fid, args = claimed
             key = (fid, args)
-            self._queued.discard(key)
             gmr = manager.gmr_of(fid)
             if gmr is None:
-                self._attempts.pop(key, None)
+                self._drop_attempts(key)
                 continue  # the GMR is gone; nothing to revalidate
             if fid == gmr.predicate_fid:
                 policy = manager.fault_policy
@@ -316,12 +394,12 @@ class RevalidationScheduler:
                 continue
             row = gmr.lookup(args)
             if row is None or row.valid[gmr.column_of(fid)]:
-                self._attempts.pop(key, None)
+                self._drop_attempts(key)
                 continue  # row removed or already revalidated on demand
             if not manager._args_alive(args):
                 gmr.remove_row(args)
                 manager.stats.blind_rows_removed += 1
-                self._attempts.pop(key, None)
+                self._drop_attempts(key)
                 continue
             policy = manager.fault_policy
             if (

@@ -12,6 +12,17 @@ class ReproError(Exception):
     """Base class of all errors raised by this library."""
 
 
+class InternalError(ReproError):
+    """An internal invariant was violated — a library bug, not a usage
+    error.
+
+    Replaces production ``assert`` statements on hot paths: unlike an
+    assert it survives ``python -O`` (asserts are stripped under
+    optimization, silently disabling the check) and it carries a
+    message users can report.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Object model (GOM) errors
 # ---------------------------------------------------------------------------

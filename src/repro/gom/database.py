@@ -14,12 +14,14 @@ and 5 (and the information-hiding variant of Sec. 5.3) would.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import warnings
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import (
     EncapsulationError,
+    InternalError,
     NotSetStructuredError,
     SchemaError,
     TypeCheckError,
@@ -92,6 +94,16 @@ class ObjectBase:
         #: The unified configuration surface (strategy, batching, fault
         #: policy, observability) — see :mod:`repro.observe.config`.
         self.config = config
+        #: The object base's update lock: every elementary update (and
+        #: any maintenance entered from one) runs under it when a
+        #: revalidation worker pool is configured.  With ``workers=0``
+        #: it is a shared no-op context, so the single-threaded paths
+        #: stay bit-for-bit unchanged.  Reentrant: update paths nest
+        #: (``invoke`` → ``set_attr`` → invalidation → compensation).
+        if config.workers > 0:
+            self._update_lock: Any = threading.RLock()
+        else:
+            self._update_lock = nullcontext()
         #: Observability facade: ``db.observe.tracer`` and
         #: ``db.observe.metrics`` (see :mod:`repro.observe`).
         self.observe = Observability(config.observe)
@@ -120,8 +132,21 @@ class ObjectBase:
         #: subsystems that maintain derived structures outside the GMR
         #: manager (e.g. Access Support Relations).
         self._update_listeners: list = []
+        #: Guards listener (un)registration; see
+        #: :meth:`register_update_listener` for the snapshot semantics.
+        self._listener_lock = threading.Lock()
         self._wal: WriteAheadLog | None = None
         self._wal_suppress = 0
+        #: The background revalidation pool (``config.workers > 0``);
+        #: ``None`` single-threaded.  See :mod:`repro.concurrency`.
+        self.worker_pool = None
+        if config.workers > 0:
+            from repro.concurrency.pool import RevalidationWorkerPool
+
+            self.worker_pool = RevalidationWorkerPool(
+                self.gmr_manager, config.workers
+            )
+            self.worker_pool.start()
 
     @property
     def level(self) -> InstrumentationLevel:
@@ -253,6 +278,33 @@ class ObjectBase:
         from repro.gom.transactions import TransactionScope
 
         return TransactionScope(self.transactions)
+
+    def quiesce(self, timeout: float = 30.0) -> bool:
+        """Drain every runnable deferred revalidation and settle.
+
+        With a worker pool (``workers > 0``) this wakes the workers and
+        blocks until the scheduler's ready queue is empty and no drain
+        is in flight; with ``workers=0`` it drains the scheduler
+        synchronously on the calling thread.  Either way, afterwards
+        the GMR extensions are exactly what a single-threaded
+        ``scheduler.revalidate()`` sweep would have produced — the
+        state the Def. 3.2 consistency oracle and checkpointing expect.
+        Returns False if the pool failed to settle within ``timeout``
+        seconds.
+        """
+        if self.worker_pool is not None:
+            return self.worker_pool.quiesce(timeout)
+        if self._gmr is not None:
+            self._gmr.scheduler.revalidate()
+        return True
+
+    def close(self) -> None:
+        """Stop the worker pool (if any) and detach the WAL."""
+        if self.worker_pool is not None:
+            self.worker_pool.stop()
+        wal = self.detach_wal()
+        if wal is not None:
+            wal.close()
 
     def batch(self):
         """``with db.batch():`` — a batched-maintenance scope.
@@ -391,6 +443,10 @@ class ObjectBase:
 
     def new(self, type_name: str, **attributes: Any) -> Handle:
         """Create a tuple-structured object (the elementary ``create``)."""
+        with self._update_lock:
+            return self._new_impl(type_name, attributes)
+
+    def _new_impl(self, type_name: str, attributes: dict) -> Handle:
         definition = self.schema.type(type_name)
         if definition.kind is not TypeKind.TUPLE:
             raise SchemaError(
@@ -432,11 +488,22 @@ class ObjectBase:
         self, type_name: str, elements: Iterable[Any] = ()
     ) -> Handle:
         """Create a set- or list-structured object."""
+        with self._update_lock:
+            return self._new_collection_impl(type_name, elements)
+
+    def _new_collection_impl(
+        self, type_name: str, elements: Iterable[Any]
+    ) -> Handle:
         definition = self.schema.type(type_name)
         if not definition.is_collection():
             raise SchemaError(f"{type_name} is not set/list-structured")
         element_type = definition.element_type
-        assert element_type is not None
+        if element_type is None:
+            # A collection definition always carries its element type;
+            # reaching this means the schema object was corrupted.
+            raise SchemaError(
+                f"collection type {type_name} declares no element type"
+            )
         stored: list[Any] = []
         for element in elements:
             raw = unwrap(element)
@@ -462,6 +529,10 @@ class ObjectBase:
 
     def delete(self, target: Handle | Oid) -> None:
         """Delete an object (the elementary ``delete``, Figure 4/5)."""
+        with self._update_lock:
+            self._delete_impl(target)
+
+    def _delete_impl(self, target: Handle | Oid) -> None:
         oid = unwrap(target)
         if hasattr(self, "_transactions"):
             self._transactions.check_delete_allowed(oid)
@@ -598,6 +669,10 @@ class ObjectBase:
 
     def set_attr(self, oid: Oid, attr: str, value: Any) -> None:
         """The elementary ``t.set_A`` update operation."""
+        with self._update_lock:
+            self._set_attr_impl(oid, attr, value)
+
+    def _set_attr_impl(self, oid: Oid, attr: str, value: Any) -> None:
         obj = self.objects.get(oid)
         plan = self._plan(obj.type_name, attr)
         if plan[0] != "attr":
@@ -641,6 +716,12 @@ class ObjectBase:
         ``position`` inserts at a specific index (used by transaction
         rollback to restore list order); the default appends.
         """
+        with self._update_lock:
+            self._collection_insert_impl(target, element, position=position)
+
+    def _collection_insert_impl(
+        self, target: Handle | Oid, element: Any, *, position: int | None
+    ) -> None:
         oid = unwrap(target)
         obj = self.objects.get(oid)
         definition = self.schema.type(obj.type_name)
@@ -651,7 +732,10 @@ class ObjectBase:
                 return
             raise NotSetStructuredError(f"{obj.type_name} is not set/list-structured")
         raw = unwrap(element)
-        assert definition.element_type is not None
+        if definition.element_type is None:
+            raise SchemaError(
+                f"collection type {obj.type_name} declares no element type"
+            )
         self.schema.check_value(
             definition.element_type, raw, type_of_oid=self.objects.type_of
         )
@@ -680,6 +764,12 @@ class ObjectBase:
 
     def collection_remove(self, target: Handle | Oid, element: Any) -> None:
         """The elementary ``remove`` update on a set/list object."""
+        with self._update_lock:
+            self._collection_remove_impl(target, element)
+
+    def _collection_remove_impl(
+        self, target: Handle | Oid, element: Any
+    ) -> None:
         oid = unwrap(target)
         obj = self.objects.get(oid)
         definition = self.schema.type(obj.type_name)
@@ -720,7 +810,12 @@ class ObjectBase:
     ) -> frozenset[str]:
         """Run compensating actions; returns the compensated function ids."""
         gmr = self._gmr
-        assert gmr is not None
+        if gmr is None:
+            raise InternalError(
+                "compensation requested without a GMR manager; update "
+                "paths must only consult compensations once "
+                "materialization is enabled"
+            )
         if not gmr.has_compensation(decl_type, update_name):
             return frozenset()
         relevant = gmr.compensated_fct(decl_type, update_name) & obj.obj_dep_fct
@@ -800,16 +895,38 @@ class ObjectBase:
     # ------------------------------------------------------------------
 
     def register_update_listener(self, listener) -> None:
-        """Register a callable invoked after every elementary update."""
-        self._update_listeners.append(listener)
+        """Register a callable invoked after every elementary update.
+
+        Thread-safe via copy-on-write: (un)registration builds a *new*
+        list under ``_listener_lock`` and swaps it in atomically, so a
+        concurrent :meth:`_fire_listeners` iterates its own immutable
+        snapshot.  Consequence (documented, not a bug): a listener
+        unregistered while a dispatch is in flight may still receive
+        that one event; a listener registered mid-dispatch sees only
+        subsequent events.
+        """
+        with self._listener_lock:
+            self._update_listeners = self._update_listeners + [listener]
 
     def unregister_update_listener(self, listener) -> None:
-        self._update_listeners.remove(listener)
+        with self._listener_lock:
+            remaining = list(self._update_listeners)
+            remaining.remove(listener)
+            self._update_listeners = remaining
 
     def _fire_listeners(self, kind, oid, type_name, attr, old, new) -> None:
-        if not self._update_listeners:
+        # Dispatch runs outside any listener lock on purpose: listeners
+        # may re-enter the object base (derived-structure maintenance)
+        # or (un)register listeners.  The attribute read is one atomic
+        # reference load and the list is never mutated in place
+        # (copy-on-write above), so iterating the snapshot is safe even
+        # while another thread re-registers.  In MT mode updates hold
+        # the object base's update lock, so listeners observe updates
+        # serialized exactly like the single-threaded dispatch.
+        listeners = self._update_listeners
+        if not listeners:
             return
-        for listener in list(self._update_listeners):
+        for listener in listeners:
             listener(kind, oid, type_name, attr, old, new)
 
     # ------------------------------------------------------------------
@@ -888,6 +1005,8 @@ class ObjectBase:
         gmr = self._gmr
         # Materialized fast path: outside a materialization, invocation of
         # a materialized function becomes a forward query on its GMR.
+        # Deliberately *not* under the update lock — the MT consistent
+        # read path must stay free to proceed during a pool drain.
         if (
             gmr is not None
             and not self._materializing_depth
@@ -895,6 +1014,25 @@ class ObjectBase:
         ):
             return gmr.retrieve_forward_op(decl_type, op_name, (oid,) + raw_args)
 
+        # The remainder may mutate the object base (compensation, the
+        # body's elementary updates, the post-operation invalidation);
+        # in MT mode it runs atomically under the update lock so one
+        # operation's effects never interleave with another thread's.
+        with self._update_lock:
+            return self._invoke_body(
+                obj, oid, op_name, decl_type, operation, raw_args
+            )
+
+    def _invoke_body(
+        self,
+        obj: StoredObject,
+        oid: Oid,
+        op_name: str,
+        decl_type: str,
+        operation: OperationDef,
+        raw_args: tuple,
+    ) -> Any:
+        gmr = self._gmr
         # Compensating actions on declared operations run before the body.
         compensated: frozenset[str] = frozenset()
         if (

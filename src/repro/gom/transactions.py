@@ -94,6 +94,12 @@ class TransactionManager:
     def __init__(self, db: "ObjectBase") -> None:
         self._db = db
         self._stack: list[Transaction] = []
+        #: Suppresses undo-recording while inverse updates are replayed.
+        #: A plain (unlocked) flag: rollback runs under the object base's
+        #: update lock, and the listener that reads it fires from update
+        #: paths holding the same lock — so the flag is only ever read by
+        #: the thread that set it.  Single-threaded mode trivially
+        #: satisfies the same invariant.
         self._rolling_back = False
         db.register_update_listener(self._on_update)
 
@@ -174,11 +180,13 @@ class TransactionScope:
 
     @property
     def update_count(self) -> int:
-        assert self._transaction is not None
+        if self._transaction is None:
+            raise TransactionError("transaction scope has not been entered")
         return self._transaction.size
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        assert self._transaction is not None
+        if self._transaction is None:
+            raise TransactionError("transaction scope has not been entered")
         if exc_type is not None or self._abort_requested:
             self._manager.rollback(self._transaction)
             return False  # propagate any exception

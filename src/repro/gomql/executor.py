@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import ExecutionError, QueryError
+from repro.errors import ExecutionError, InternalError, QueryError
 from repro.gom.handles import Handle, unwrap
 from repro.gom.oid import Oid
 from repro.gomql.ast import (
@@ -191,7 +191,11 @@ def _execute_query(db, query: Query, env: dict[str, Any]) -> Any:
                 return
             if aggregates:
                 for slot, projection in enumerate(query.projections):
-                    assert isinstance(projection, QAgg)
+                    if not isinstance(projection, QAgg):
+                        raise InternalError(
+                            "mixed aggregate and plain projections "
+                            "survived validation"
+                        )
                     agg_values[slot].append(eval_expr(projection.arg, env))
             else:
                 rows.append(
@@ -302,7 +306,8 @@ def _execute_materialize(db, stmt: MaterializeStmt, env: dict[str, Any]):
             )
         functions.append((var_types[this_receiver], target.name))
 
-    assert receiver is not None and arg_vars is not None
+    if receiver is None or arg_vars is None:
+        raise QueryError("materialize statement names no target functions")
     var_names = (receiver,) + arg_vars
     restriction = None
     if stmt.where is not None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.errors import InternalError
 from repro.gomql.ast import MaterializeStmt, Query
 from repro.gomql.executor import eval_expr
 from repro.gomql.parser import parse_statement
@@ -69,7 +70,10 @@ def explain_statement(
                 ),
             ),
         )
-    assert isinstance(stmt, Query)
+    if not isinstance(stmt, Query):
+        raise InternalError(
+            f"unexplainable statement kind {type(stmt).__name__}"
+        )
     paths: list[AccessPath] = []
     for index, decl in enumerate(stmt.ranges):
         if not db.schema.has_type(decl.type_name):

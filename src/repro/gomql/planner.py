@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.errors import InternalError
 from repro.gom.handles import Handle, unwrap
 from repro.gom.oid import Oid
 from repro.gomql.ast import (
@@ -241,7 +242,8 @@ def _restricted_applicable(
 ) -> bool:
     """The cover test: restriction (instantiated) must cover σ'."""
     spec = gmr.restriction
-    assert spec is not None
+    if spec is None:
+        raise InternalError("cover test reached for an unrestricted GMR")
     if spec.predicate is None:
         # Atomic-only restrictions cannot be checked against the selection
         # without argument values; be conservative.
@@ -265,7 +267,10 @@ def _instantiate_restriction(
     executor falls back to a scan, which is always correct).
     """
     spec = gmr.restriction
-    assert spec is not None and spec.predicate is not None
+    if spec is None or spec.predicate is None:
+        raise InternalError(
+            "restriction instantiation reached without a predicate"
+        )
     names = spec.var_names
     if not names:
         return None

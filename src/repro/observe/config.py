@@ -57,6 +57,11 @@ class ObserveConfig:
     jsonl_max_files: int = 3
     #: Hand every event to this callable (a :class:`CallbackSink`).
     callback: Callable[[TraceEvent], Any] | None = None
+    #: Stamp every trace event with the emitting thread's id
+    #: (``fields["thread"]``) — useful with ``workers > 0`` to separate
+    #: pool-drain spans from foreground ones.  Off by default so
+    #: single-threaded traces stay byte-identical to earlier releases.
+    thread_ids: bool = False
 
 
 @dataclass(kw_only=True)
@@ -84,6 +89,20 @@ class MaterializationConfig:
     fault_policy: FaultPolicy = field(default_factory=FaultPolicy)
     #: Observability settings (tracing, metrics, sinks).
     observe: ObserveConfig = field(default_factory=ObserveConfig)
+    #: Background revalidation workers (Sec. 4.1's decoupled
+    #: low-priority rematerialization).  ``0`` (the default) keeps the
+    #: object base single-threaded with today's synchronous code paths
+    #: bit-for-bit; ``N > 0`` starts a
+    #: :class:`~repro.concurrency.pool.RevalidationWorkerPool` of N
+    #: daemon threads that drains the DEFERRED scheduler off-thread,
+    #: and arms the striped GMR-entry lock layer plus the object base's
+    #: update lock so concurrent readers/writers are safe.  See
+    #: ``docs/CONCURRENCY.md``.
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
 
 
 class Observability:
@@ -103,6 +122,7 @@ class Observability:
     ) -> None:
         self.config = config = config or ObserveConfig()
         self.tracer = Tracer(enabled=config.trace, clock=clock)
+        self.tracer.thread_ids = config.thread_ids
         self.metrics = MetricsRegistry(enabled=config.metrics)
         self.ring: RingBufferSink | None = None
         if config.ring_buffer is not None:

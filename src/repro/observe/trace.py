@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -192,6 +193,17 @@ class Tracer:
     cost.  Spans nest through an internal stack — ``begin()`` inside an
     open span records that span as its parent, point events carry the
     innermost open span's id.
+
+    Thread safety: the span stack is *thread-local* (each thread nests
+    its own spans — a worker-pool rematerialization span never becomes
+    the parent of a foreground query's events), while the ``seq`` /
+    span-id counters and sink emission are serialized by an internal
+    lock so interleaved emitters still produce unique, monotone
+    sequence numbers and sinks never see torn writes.  The lock is only
+    ever taken when tracing is enabled, preserving the zero-overhead
+    contract.  Set ``thread_ids=True`` (via
+    ``ObserveConfig(thread_ids=True)``) to stamp every event with the
+    emitting thread's id.
     """
 
     def __init__(
@@ -202,10 +214,23 @@ class Tracer:
     ) -> None:
         self.enabled = enabled
         self.clock = clock
+        #: When True, every event's ``fields`` carries ``thread``
+        #: (the emitting thread's ident) — wired from
+        #: :class:`~repro.observe.config.ObserveConfig`.
+        self.thread_ids = False
         self._sinks: list[Any] = []
         self._seq = 0
         self._next_span = 0
-        self._stack: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack (thread-local)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- sinks -----------------------------------------------------------------
 
@@ -223,18 +248,21 @@ class Tracer:
     # -- emission --------------------------------------------------------------
 
     def _emit(self, kind: str, name: str, span: int, parent: int, fields: dict) -> None:
-        self._seq += 1
-        event = TraceEvent(
-            seq=self._seq,
-            ts=self.clock(),
-            kind=kind,
-            name=name,
-            span=span,
-            parent=parent,
-            fields=fields,
-        )
-        for sink in self._sinks:
-            sink.emit(event)
+        if self.thread_ids:
+            fields = {**fields, "thread": threading.get_ident()}
+        with self._lock:
+            self._seq += 1
+            event = TraceEvent(
+                seq=self._seq,
+                ts=self.clock(),
+                kind=kind,
+                name=name,
+                span=span,
+                parent=parent,
+                fields=fields,
+            )
+            for sink in self._sinks:
+                sink.emit(event)
 
     def event(self, name: str, **fields: Any) -> None:
         """Emit a point event under the innermost open span."""
@@ -247,10 +275,13 @@ class Tracer:
         """Open a span; returns the handle :meth:`end` closes."""
         if not self.enabled:
             return _NULL_SPAN
-        parent = self._stack[-1].id if self._stack else 0
-        self._next_span += 1
-        span = Span(name, self._next_span, parent, self.clock())
-        self._stack.append(span)
+        stack = self._stack
+        parent = stack[-1].id if stack else 0
+        with self._lock:
+            self._next_span += 1
+            span_id = self._next_span
+        span = Span(name, span_id, parent, self.clock())
+        stack.append(span)
         self._emit("span_start", name, span.id, parent, fields)
         return span
 
@@ -279,10 +310,18 @@ class Tracer:
         Used by recovery: the restored process starts a fresh trace
         timeline, and ``marker`` (e.g. ``"recovery"``) is emitted as the
         first event of the new timeline so consumers can see the seam.
+
+        Not safe to call concurrently with in-flight emitters: callers
+        (recovery, test fixtures) invoke it only while the object base
+        is quiesced — i.e. after ``db.quiesce()`` with no other threads
+        tracing.  The counters themselves are reset under the internal
+        lock so a stale reader at worst sees the seam, never a torn
+        counter.
         """
-        self._seq = 0
-        self._next_span = 0
-        self._stack.clear()
+        with self._lock:
+            self._seq = 0
+            self._next_span = 0
+            self._local = threading.local()
         if marker is not None and self.enabled:
             self._emit("event", marker, 0, 0, fields)
 

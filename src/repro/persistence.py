@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -387,6 +388,12 @@ def checkpoint(db: "ObjectBase", path: str) -> CheckpointReport:
     part of the snapshot.  Raises :class:`PersistenceError` while a batch
     scope or a transaction is open (those are the atomicity boundaries).
     Returns a :class:`CheckpointReport`.
+
+    With a worker pool attached (``workers > 0``) the base is quiesced
+    first — the pool drains every runnable revalidation — and the
+    document is built under the update lock, so the snapshot is a
+    transaction-consistent cut: no drain or elementary update is in
+    flight while the state is serialized.
     """
     tracer = getattr(db, "observe", None)
     tracer = tracer.tracer if tracer is not None else None
@@ -394,7 +401,11 @@ def checkpoint(db: "ObjectBase", path: str) -> CheckpointReport:
     if tracer is not None and tracer.enabled:
         span = tracer.begin("checkpoint", path=path)
     try:
-        document = to_document(db)
+        pool = getattr(db, "worker_pool", None)
+        if pool is not None:
+            pool.quiesce()
+        with getattr(db, "_update_lock", nullcontext()):
+            document = to_document(db)
         directory = os.path.dirname(os.path.abspath(path))
         fd, tmp_path = tempfile.mkstemp(
             prefix=os.path.basename(path) + ".", dir=directory

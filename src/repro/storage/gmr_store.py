@@ -19,11 +19,15 @@ lookups never return stale values.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from contextlib import nullcontext
 from typing import Any
 
 from repro.storage.btree import BPlusTree
 from repro.storage.gridfile import GridFile
 from repro.storage.pages import BufferManager, PageStore, Placement
+
+#: Shared no-op context for the single-threaded (``locks is None``) case.
+_NULL_CTX = nullcontext()
 
 #: Grid files degrade beyond three or four dimensions (Sec. 3.3).
 MDS_DIMENSION_LIMIT = 4
@@ -94,6 +98,13 @@ class GMRStore:
         self.row_segment = row_segment or f"gmr:{name}"
         self._pages = page_store
         self._buffer = buffer
+        #: The GMR-entry lock table (a
+        #: :class:`~repro.concurrency.locks.StripedRWLock` keyed by
+        #: ``args``), attached by the manager when the object base runs
+        #: with ``workers > 0``.  ``None`` (the default) keeps every
+        #: mutator lock-free — the single-threaded path.  Sec. 4.1:
+        #: maintenance locks the GMR entry, never the argument objects.
+        self.locks = None
         self._rows: dict[tuple, GMRRow] = {}
         self._invalid: list[set[tuple]] = [set() for _ in range(fct_count)]
         self._errors: list[set[tuple]] = [set() for _ in range(fct_count)]
@@ -113,6 +124,12 @@ class GMRStore:
             )
 
     # -- plumbing --------------------------------------------------------------
+
+    def _entry_write(self, args: tuple):
+        """Write-side context of ``args``'s entry lock (no-op when the
+        lock table is absent, i.e. single-threaded mode)."""
+        locks = self.locks
+        return _NULL_CTX if locks is None else locks.write(args)
 
     def _touch_row(self, row: GMRRow, *, write: bool = False) -> None:
         if self._buffer is not None:
@@ -174,6 +191,10 @@ class GMRStore:
         return row
 
     def ensure_row(self, args: tuple) -> GMRRow:
+        with self._entry_write(args):
+            return self._ensure_row_impl(args)
+
+    def _ensure_row_impl(self, args: tuple) -> GMRRow:
         row = self._rows.get(args)
         if row is None:
             placement = (
@@ -192,59 +213,62 @@ class GMRStore:
         return row
 
     def remove_row(self, args: tuple) -> bool:
-        row = self._rows.pop(args, None)
-        if row is None:
-            return False
-        self._touch_row(row, write=True)
-        had_all = all(row.valid)
-        for fct_index in range(self.fct_count):
-            if row.valid[fct_index]:
-                self._index_remove(row, fct_index, had_all=had_all)
-                # In MDS mode the whole point disappears with the first
-                # removal; stop after it.
-                if self.storage == "mds" and had_all:
-                    break
-            self._invalid[fct_index].discard(args)
-            self._errors[fct_index].discard(args)
-        if self._pages is not None and row.placement.page_id >= 0:
-            self._pages.remove(row.placement)
-        return True
+        with self._entry_write(args):
+            row = self._rows.pop(args, None)
+            if row is None:
+                return False
+            self._touch_row(row, write=True)
+            had_all = all(row.valid)
+            for fct_index in range(self.fct_count):
+                if row.valid[fct_index]:
+                    self._index_remove(row, fct_index, had_all=had_all)
+                    # In MDS mode the whole point disappears with the
+                    # first removal; stop after it.
+                    if self.storage == "mds" and had_all:
+                        break
+                self._invalid[fct_index].discard(args)
+                self._errors[fct_index].discard(args)
+            if self._pages is not None and row.placement.page_id >= 0:
+                self._pages.remove(row.placement)
+            return True
 
     # -- result maintenance ------------------------------------------------------------
 
     def set_result(self, args: tuple, fct_index: int, value: Any) -> GMRRow:
         """Store a freshly (re-)materialized result and mark it valid."""
-        row = self.ensure_row(args)
-        had_all = all(row.valid)
-        if row.valid[fct_index]:
-            self._index_remove(row, fct_index, had_all=had_all)
-        elif self.storage == "mds" and had_all:
-            pass  # cannot happen: invalid flag contradicts had_all
-        elif self.storage == "mds" and self._mds is not None:
-            # The row was not fully valid, so it is not in the MDS yet;
-            # nothing to remove.
-            pass
-        row.results[fct_index] = value
-        row.valid[fct_index] = True
-        self._invalid[fct_index].discard(args)
-        if row.error[fct_index]:
-            row.error[fct_index] = False
-            self._errors[fct_index].discard(args)
-        self._index_insert(row, fct_index)
-        self._touch_row(row, write=True)
-        return row
+        with self._entry_write(args):
+            row = self._ensure_row_impl(args)
+            had_all = all(row.valid)
+            if row.valid[fct_index]:
+                self._index_remove(row, fct_index, had_all=had_all)
+            elif self.storage == "mds" and had_all:
+                pass  # cannot happen: invalid flag contradicts had_all
+            elif self.storage == "mds" and self._mds is not None:
+                # The row was not fully valid, so it is not in the MDS
+                # yet; nothing to remove.
+                pass
+            row.results[fct_index] = value
+            row.valid[fct_index] = True
+            self._invalid[fct_index].discard(args)
+            if row.error[fct_index]:
+                row.error[fct_index] = False
+                self._errors[fct_index].discard(args)
+            self._index_insert(row, fct_index)
+            self._touch_row(row, write=True)
+            return row
 
     def mark_invalid(self, args: tuple, fct_index: int) -> bool:
         """Set ``V_fct := false`` (lazy rematerialization, Sec. 4.1)."""
-        row = self._rows.get(args)
-        if row is None or not row.valid[fct_index]:
-            return False
-        had_all = all(row.valid)
-        self._index_remove(row, fct_index, had_all=had_all)
-        row.valid[fct_index] = False
-        self._invalid[fct_index].add(args)
-        self._touch_row(row, write=True)
-        return True
+        with self._entry_write(args):
+            row = self._rows.get(args)
+            if row is None or not row.valid[fct_index]:
+                return False
+            had_all = all(row.valid)
+            self._index_remove(row, fct_index, had_all=had_all)
+            row.valid[fct_index] = False
+            self._invalid[fct_index].add(args)
+            self._touch_row(row, write=True)
+            return True
 
     def mark_error(self, args: tuple, fct_index: int) -> bool:
         """Demote the entry to the ERROR validity state.
@@ -255,22 +279,23 @@ class GMRStore:
         rematerialization attempt *failed* rather than merely being
         deferred.  Returns True when anything changed.
         """
-        row = self._rows.get(args)
-        if row is None:
-            return False
-        changed = False
-        if row.valid[fct_index]:
-            had_all = all(row.valid)
-            self._index_remove(row, fct_index, had_all=had_all)
-            row.valid[fct_index] = False
-            self._invalid[fct_index].add(args)
-            changed = True
-        if not row.error[fct_index]:
-            row.error[fct_index] = True
-            self._errors[fct_index].add(args)
-            changed = True
-        self._touch_row(row, write=True)
-        return changed
+        with self._entry_write(args):
+            row = self._rows.get(args)
+            if row is None:
+                return False
+            changed = False
+            if row.valid[fct_index]:
+                had_all = all(row.valid)
+                self._index_remove(row, fct_index, had_all=had_all)
+                row.valid[fct_index] = False
+                self._invalid[fct_index].add(args)
+                changed = True
+            if not row.error[fct_index]:
+                row.error[fct_index] = True
+                self._errors[fct_index].add(args)
+                changed = True
+            self._touch_row(row, write=True)
+            return changed
 
     def invalid_args(self, fct_index: int) -> set[tuple]:
         return set(self._invalid[fct_index])

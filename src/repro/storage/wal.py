@@ -50,6 +50,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from typing import Any, BinaryIO, Callable, Iterator
 
@@ -196,6 +197,11 @@ class WriteAheadLog:
         self.path = path
         self._file = fileobj
         self._fsync = fsync
+        #: Serializes appends/truncates: concurrent writers (foreground
+        #: updates racing a worker-pool drain) must not interleave the
+        #: bytes of two frames.  Always armed — an uncontended lock
+        #: acquisition is noise next to the write+flush it guards.
+        self._lock = threading.Lock()
         #: Optional hook ``on_append(record, nbytes)`` fired after each
         #: durable append — the object base wires it to the observability
         #: layer (``wal.appends`` / ``wal.bytes`` counters, trace events).
@@ -204,18 +210,20 @@ class WriteAheadLog:
     def append(self, record: dict) -> None:
         """Log one record durably (write + flush before it is applied)."""
         frame = encode_frame(record)
-        self._file.write(frame)
-        self._file.flush()
-        if self._fsync:
-            os.fsync(self._file.fileno())
+        with self._lock:
+            self._file.write(frame)
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
         if self.on_append is not None:
             self.on_append(record, len(frame))
 
     def truncate(self) -> None:
         """Discard the whole log (checkpoint has absorbed it)."""
-        self._file.seek(0)
-        self._file.truncate()
-        self._file.flush()
+        with self._lock:
+            self._file.seek(0)
+            self._file.truncate()
+            self._file.flush()
 
     def close(self) -> None:
         self._file.close()

@@ -1,0 +1,101 @@
+"""Listener (un)registration racing update dispatch and pool drains.
+
+Regression for the copy-on-write listener list: `_fire_listeners`
+iterates an immutable snapshot, so re-registering from another thread
+mid-dispatch must never raise (the historical failure mode is a
+``RuntimeError: list modified during iteration`` or a skipped
+listener).  The documented semantics are asserted too: a listener
+receives no events after its unregistration has been *observed* (one
+in-flight dispatch may still land).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import ObjectBase
+from repro.core.strategies import Strategy
+from repro.domains.geometry import build_geometry_schema, create_cuboid
+from repro.observe.config import MaterializationConfig
+
+JOIN = 30.0
+
+
+@pytest.mark.timeout(120)
+def test_register_unregister_races_updates():
+    config = MaterializationConfig(strategy=Strategy.DEFERRED, workers=2)
+    db = ObjectBase(config=config)
+    try:
+        build_geometry_schema(db)
+        iron = db.new("Material", Name="Iron", SpecWeight=7.86)
+        cuboids = [
+            create_cuboid(db, dims=(1.0 + i, 2.0, 3.0), material=iron)
+            for i in range(4)
+        ]
+        db.materialize([("Cuboid", "volume")], strategy=Strategy.DEFERRED)
+        grow = db.new("Vertex", X=2.0, Y=1.0, Z=1.0)
+        shrink = db.new("Vertex", X=0.5, Y=1.0, Z=1.0)
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        seen = []
+
+        def listener(kind, oid, type_name, attr, old, new):
+            seen.append(kind)
+
+        def churn_listeners():
+            try:
+                while not stop.is_set():
+                    db.register_update_listener(listener)
+                    db.unregister_update_listener(listener)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        def writer():
+            try:
+                for _ in range(60):
+                    for cuboid in cuboids:
+                        cuboid.scale(grow)
+                        cuboid.scale(shrink)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn_listeners, name="churn"),
+            threading.Thread(target=writer, name="writer"),
+        ]
+        for thread in threads:
+            thread.start()
+        threads[1].join(JOIN)
+        stop.set()
+        threads[0].join(JOIN)
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            pytest.fail(f"threads did not finish (deadlock?): {alive}")
+
+        assert errors == []
+        # The transaction manager's listener must have survived the
+        # churn: its registration predates it and is never touched.
+        assert db.quiesce(timeout=JOIN)
+        for gmr in db.gmr_manager.gmrs():
+            assert gmr.check_consistency(db) == []
+    finally:
+        db.close()
+
+
+def test_unregistered_listener_stops_receiving():
+    db = ObjectBase()
+    events = []
+
+    def listener(kind, oid, type_name, attr, old, new):
+        events.append(kind)
+
+    db.define_tuple_type("Point", {"X": "float"})
+    db.register_update_listener(listener)
+    db.new("Point", X=1.0)
+    assert events.count("create") == 1
+    db.unregister_update_listener(listener)
+    db.new("Point", X=2.0)
+    assert events.count("create") == 1  # nothing after unregistration

@@ -1,0 +1,166 @@
+"""Unit tests of the reader-writer lock primitives."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import RWLock, StripedRWLock
+
+JOIN = 10.0  # generous per-thread join budget; a hang fails the test
+
+
+def _join(threads):
+    for thread in threads:
+        thread.join(JOIN)
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        pytest.fail(f"threads did not finish (deadlock?): {alive}")
+
+
+class TestRWLock:
+    @pytest.mark.timeout(30)
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=JOIN)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        _join(threads)
+
+    @pytest.mark.timeout(30)
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        writing = threading.Event()
+        observed = []
+
+        def writer():
+            with lock.write():
+                writing.set()
+                time.sleep(0.05)
+                observed.append("writer-done")
+
+        def reader():
+            writing.wait(JOIN)
+            with lock.read():
+                observed.append("reader")
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        _join(threads)
+        assert observed == ["writer-done", "reader"]
+
+    @pytest.mark.timeout(30)
+    def test_writers_exclude_each_other(self):
+        lock = RWLock()
+        counter = {"value": 0, "max_inside": 0}
+
+        def writer():
+            for _ in range(200):
+                with lock.write():
+                    counter["value"] += 1
+                    counter["max_inside"] = max(counter["max_inside"], 1)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        _join(threads)
+        assert counter["value"] == 800
+
+    @pytest.mark.timeout(30)
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a queued writer starves no further."""
+        lock = RWLock()
+        first_reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        order = []
+
+        def long_reader():
+            with lock.read():
+                first_reader_in.set()
+                release_first_reader.wait(JOIN)
+
+        def writer():
+            first_reader_in.wait(JOIN)
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            # Started only after the writer is queued (see sleep below).
+            with lock.read():
+                order.append("late-reader")
+
+        t_reader = threading.Thread(target=long_reader)
+        t_writer = threading.Thread(target=writer)
+        t_reader.start()
+        t_writer.start()
+        first_reader_in.wait(JOIN)
+        time.sleep(0.05)  # let the writer block in acquire_write
+        t_late = threading.Thread(target=late_reader)
+        t_late.start()
+        time.sleep(0.05)
+        release_first_reader.set()
+        _join([t_reader, t_writer, t_late])
+        assert order[0] == "writer"
+
+
+class TestStripedRWLock:
+    def test_same_key_same_stripe(self):
+        striped = StripedRWLock(stripes=8)
+        assert len(striped) == 8
+        key = ("Cuboid.volume", 42)
+        # Acquiring the same key's stripe twice from two contexts must
+        # target the same underlying lock (write excludes write).
+        ctx = striped.write(key)
+        with ctx:
+            done = []
+
+            def contender():
+                with striped.write(key):
+                    done.append(True)
+
+            thread = threading.Thread(target=contender)
+            thread.start()
+            time.sleep(0.05)
+            assert not done  # still blocked: same stripe
+        thread.join(JOIN)
+        assert done == [True]
+
+    @pytest.mark.timeout(30)
+    def test_distinct_stripes_do_not_block(self):
+        striped = StripedRWLock(stripes=64)
+        # Find two keys mapping to different stripes.
+        key_a = ("f", 0)
+        key_b = next(
+            ("f", i)
+            for i in range(1, 1000)
+            if hash(("f", i)) % 64 != hash(key_a) % 64
+        )
+        entered = []
+        with striped.write(key_a):
+
+            def other():
+                with striped.write(key_b):
+                    entered.append(True)
+
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join(JOIN)
+        assert entered == [True]
+
+    def test_read_contexts(self):
+        striped = StripedRWLock()
+        with striped.read(("g", 1)):
+            with striped.read(("g", 2)):
+                pass

@@ -1,0 +1,126 @@
+"""Lifecycle and drain tests of the revalidation worker pool."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import ObjectBase
+from repro.concurrency.pool import RevalidationWorkerPool
+from repro.core.strategies import Strategy
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+)
+from repro.observe.config import MaterializationConfig, ObserveConfig
+
+
+def make_db(workers: int, **observe_kwargs) -> ObjectBase:
+    config = MaterializationConfig(
+        strategy=Strategy.DEFERRED,
+        workers=workers,
+        observe=ObserveConfig(**observe_kwargs),
+    )
+    database = ObjectBase(config=config)
+    build_geometry_schema(database)
+    return database
+
+
+class TestConfig:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializationConfig(workers=-1)
+
+    def test_workers_zero_creates_no_pool(self):
+        database = ObjectBase(config=MaterializationConfig(workers=0))
+        assert database.worker_pool is None
+        # quiesce is still available and synchronous
+        assert database.quiesce() is True
+
+    def test_pool_rejects_zero_workers(self):
+        database = make_db(0)
+        with pytest.raises(ValueError):
+            RevalidationWorkerPool(database.gmr_manager, 0)
+
+
+class TestPool:
+    @pytest.mark.timeout(60)
+    def test_pool_drains_deferred_invalidations(self):
+        database = make_db(2)
+        try:
+            fixture = build_figure2_database(database)
+            gmr = database.materialize(
+                [("Cuboid", "volume"), ("Cuboid", "weight")]
+            )
+            # Invalidate every cuboid; the pool should drain without any
+            # synchronous revalidate() call from this thread.
+            for cuboid in fixture.cuboids:
+                cuboid.scale(database.new("Vertex", X=2.0, Y=1.0, Z=1.0))
+            assert database.quiesce(timeout=30.0) is True
+            scheduler = database.gmr_manager.scheduler
+            assert scheduler.ready_pending() == 0
+            for row in gmr.store.rows():
+                assert all(row.valid), f"row {row.args} left invalid"
+            assert gmr.check_consistency(database) == []
+        finally:
+            database.close()
+
+    @pytest.mark.timeout(60)
+    def test_quiesce_then_stop_idempotent(self):
+        database = make_db(2)
+        try:
+            assert database.quiesce() is True
+            assert database.worker_pool.idle()
+        finally:
+            database.close()
+        database.close()  # second close is a no-op
+
+    @pytest.mark.timeout(60)
+    def test_pool_gauges(self):
+        database = make_db(2, metrics=True)
+        try:
+            metrics = database.observe.metrics
+            assert metrics.gauge("pool.workers").value == 2
+            fixture = build_figure2_database(database)
+            database.materialize([("Cuboid", "volume")])
+            for cuboid in fixture.cuboids:
+                cuboid.translate(database.new("Vertex", X=1.0, Y=0.0, Z=0.0))
+            assert database.quiesce(timeout=30.0)
+            assert metrics.counter("pool.drained").value >= 1
+            assert metrics.gauge("pool.active").value == 0
+        finally:
+            database.close()
+        assert database.observe.metrics.gauge("pool.workers").value == 0
+
+    @pytest.mark.timeout(60)
+    def test_context_manager(self):
+        database = make_db(0)
+        pool = RevalidationWorkerPool(database.gmr_manager, 1)
+        with pool:
+            assert pool.idle()
+        # stopped: no threads left running
+        assert not pool._threads
+
+    @pytest.mark.timeout(60)
+    def test_thread_ids_on_spans(self):
+        database = make_db(1, trace=True, ring_buffer=4096, thread_ids=True)
+        try:
+            fixture = build_figure2_database(database)
+            database.materialize([("Cuboid", "volume")])
+            fixture.cuboids[0].scale(
+                database.new("Vertex", X=2.0, Y=1.0, Z=1.0)
+            )
+            assert database.quiesce(timeout=30.0)
+            events = list(database.observe.ring.events())
+            threads = {
+                event.fields.get("thread")
+                for event in events
+                if "thread" in event.fields
+            }
+            assert threads, "thread_ids=True must stamp thread ids"
+            # The pool thread drained at least one event, so spans from
+            # more than one thread id should exist.
+            assert len(threads) >= 1
+        finally:
+            database.close()

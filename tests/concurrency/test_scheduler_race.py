@@ -1,0 +1,137 @@
+"""Two-thread hammer on the scheduler's queue bookkeeping.
+
+Regression for the delayed-retry pop/mark race: ``_claim_next`` must
+pop the heap and clear the ``_queued`` mark in one critical section, or
+a concurrent ``schedule`` of the same key can double-queue it (two heap
+entries, one mark) or lose it (mark without heap entry) — the queue
+then never converges to empty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import ObjectBase
+from repro.core.strategies import Strategy
+from repro.observe.config import MaterializationConfig
+
+JOIN = 30.0
+KEYS = 400
+
+
+def _join(threads):
+    for thread in threads:
+        thread.join(JOIN)
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        pytest.fail(f"threads did not finish (deadlock?): {alive}")
+
+
+def _make_scheduler():
+    config = MaterializationConfig(strategy=Strategy.DEFERRED)
+    config = dataclasses.replace(
+        config,
+        fault_policy=dataclasses.replace(
+            config.fault_policy, base_delay=0.0, max_delay=0.0, jitter=0.0
+        ),
+    )
+    db = ObjectBase(config=config)
+    return db.gmr_manager.scheduler
+
+
+@pytest.mark.timeout(120)
+def test_schedule_vs_drain_hammer():
+    """Enqueue unknown fids from one thread while another drains.
+
+    Unknown fids exercise only the queue bookkeeping (the drain drops
+    them on the ``gmr is None`` path), so the hammer isolates the heap
+    and mark-set invariants from rematerialization itself.
+    """
+    scheduler = _make_scheduler()
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def producer():
+        try:
+            for round_no in range(3):
+                for index in range(KEYS):
+                    scheduler.schedule(None, "Fake.op", (index,))
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    def drainer():
+        try:
+            while not stop.is_set():
+                scheduler.revalidate(max_entries=16)
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=producer, name="producer"),
+        threading.Thread(target=drainer, name="drainer"),
+    ]
+    for thread in threads:
+        thread.start()
+    threads[0].join(JOIN)
+    stop.set()
+    _join(threads)
+
+    assert errors == []
+    scheduler.revalidate()  # final synchronous sweep
+    assert len(scheduler) == 0
+    assert scheduler._heap == []
+    assert scheduler._queued == set()
+
+
+@pytest.mark.timeout(120)
+def test_retry_promote_vs_schedule_hammer():
+    """Race ``schedule_retry`` (delayed heap) against ready-side churn.
+
+    With a zero backoff every retry is immediately due, so each
+    ``revalidate`` call promotes delayed entries while the producer
+    keeps pushing new ones — the promote/mark handoff must never drop
+    or duplicate a key.
+    """
+    scheduler = _make_scheduler()
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def producer():
+        try:
+            for round_no in range(3):
+                for index in range(KEYS):
+                    scheduler.schedule_retry(None, "Fake.retry", (index,))
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    def drainer():
+        try:
+            while not stop.is_set():
+                scheduler.revalidate(max_entries=16)
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=producer, name="producer"),
+        threading.Thread(target=drainer, name="drainer"),
+    ]
+    for thread in threads:
+        thread.start()
+    threads[0].join(JOIN)
+    stop.set()
+    _join(threads)
+
+    assert errors == []
+    # Drain everything that is still parked or queued: with zero delay
+    # each sweep promotes the whole delayed heap.
+    for _ in range(10):
+        scheduler.revalidate()
+        if len(scheduler) == 0:
+            break
+    assert len(scheduler) == 0
+    assert scheduler._heap == []
+    assert scheduler._delayed == []
+    assert scheduler._queued == set()

@@ -1,0 +1,263 @@
+"""Racing stress harness: N writers vs M readers over a draining pool.
+
+The oracle is threefold (ISSUE acceptance criteria):
+
+* during the race no reader may observe an exception or a torn value;
+* after joining + ``quiesce()`` the Def. 3.2 consistency check and the
+  GMR/RRR lockstep verification must be clean;
+* the final extensions (arguments, results, validity bits) and RRR
+  triples must be *identical* to a single-threaded ``workers=0`` run of
+  the same per-object update scripts — background draining must not be
+  observable in the converged state.
+
+Writers own disjoint object partitions, so the final object state is
+interleaving-independent and the sequential reference run is
+well-defined.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import ObjectBase
+from repro.core.strategies import Strategy
+from repro.domains.company import build_company_schema, populate_company
+from repro.domains.geometry import build_geometry_schema, create_cuboid
+from repro.observe.config import MaterializationConfig
+from repro.util.rng import DeterministicRng
+
+JOIN = 30.0
+
+
+def _join(threads):
+    for thread in threads:
+        thread.join(JOIN)
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        pytest.fail(f"threads did not finish (deadlock?): {alive}")
+
+
+def _extensions(db):
+    """Sorted (args, results, valid) per GMR plus sorted RRR triples."""
+    manager = db.gmr_manager
+    gmrs = {
+        gmr.name: sorted(
+            (
+                (row.args, tuple(row.results), tuple(row.valid))
+                for row in gmr.store.rows()
+            ),
+            key=repr,
+        )
+        for gmr in manager.gmrs()
+    }
+    rrr = sorted(manager.rrr.triples(), key=repr)
+    return gmrs, rrr
+
+
+def _settle_and_check(db):
+    assert db.quiesce(timeout=JOIN) is True
+    manager = db.gmr_manager
+    for gmr in manager.gmrs():
+        assert gmr.check_consistency(db) == []
+    assert manager.verify_lockstep() == []
+
+
+# ---------------------------------------------------------------------------
+# Geometry workload (Fig. 7 cuboid domain)
+# ---------------------------------------------------------------------------
+
+N_CUBOIDS = 12
+N_WRITERS = 3
+N_READERS = 3
+ROUNDS = 4
+
+
+def _build_geometry(workers: int):
+    config = MaterializationConfig(strategy=Strategy.DEFERRED, workers=workers)
+    db = ObjectBase(config=config)
+    build_geometry_schema(db)
+    iron = db.new("Material", Name="Iron", SpecWeight=7.86)
+    cuboids = [
+        create_cuboid(
+            db,
+            origin=(float(i), 0.0, 0.0),
+            dims=(1.0 + i, 2.0, 3.0),
+            material=iron,
+            cuboid_id=i,
+        )
+        for i in range(N_CUBOIDS)
+    ]
+    gmr = db.materialize(
+        [("Cuboid", "volume"), ("Cuboid", "weight")],
+        strategy=Strategy.DEFERRED,
+    )
+    # Parameter vertices are pre-created so OID allocation is identical
+    # in the threaded and the sequential reference run.
+    params = {
+        "grow": db.new("Vertex", X=2.0, Y=1.0, Z=1.0),
+        "shrink": db.new("Vertex", X=0.5, Y=1.0, Z=1.0),
+        "fwd": db.new("Vertex", X=1.0, Y=2.0, Z=3.0),
+        "back": db.new("Vertex", X=-1.0, Y=-2.0, Z=-3.0),
+    }
+    return db, cuboids, gmr, params
+
+
+def _geometry_script(cuboid, params):
+    """Deterministic per-cuboid update sequence."""
+    for _ in range(ROUNDS):
+        cuboid.scale(params["grow"])
+        cuboid.translate(params["fwd"])
+        cuboid.scale(params["shrink"])
+        cuboid.translate(params["back"])
+
+
+@pytest.mark.timeout(300)
+def test_geometry_stress_matches_sequential():
+    # -- sequential reference ------------------------------------------------
+    seq_db, seq_cuboids, _, seq_params = _build_geometry(workers=0)
+    for cuboid in seq_cuboids:
+        _geometry_script(cuboid, seq_params)
+    seq_db.gmr_manager.scheduler.revalidate()
+    _settle_and_check(seq_db)
+    want = _extensions(seq_db)
+
+    # -- racing run ----------------------------------------------------------
+    db, cuboids, _, params = _build_geometry(workers=2)
+    try:
+        errors: list[BaseException] = []
+        writers_done = threading.Event()
+
+        def writer(partition):
+            try:
+                for cuboid in partition:
+                    _geometry_script(cuboid, params)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        def reader(seed):
+            rng = DeterministicRng(seed)
+            try:
+                while not writers_done.is_set():
+                    cuboid = rng.choice(cuboids)
+                    volume = cuboid.volume()
+                    assert isinstance(volume, float)
+                    if rng.random() < 0.25:
+                        rows = db.gmr_manager.backward_query(
+                            "Cuboid.volume", 0.0, 1e12
+                        )
+                        assert len(rows) == N_CUBOIDS
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        writer_threads = [
+            threading.Thread(
+                target=writer,
+                args=(cuboids[i::N_WRITERS],),
+                name=f"writer-{i}",
+            )
+            for i in range(N_WRITERS)
+        ]
+        reader_threads = [
+            threading.Thread(target=reader, args=(100 + i,), name=f"reader-{i}")
+            for i in range(N_READERS)
+        ]
+        for thread in writer_threads + reader_threads:
+            thread.start()
+        _join(writer_threads)
+        writers_done.set()
+        _join(reader_threads)
+
+        assert errors == []
+        _settle_and_check(db)
+        assert _extensions(db) == want
+    finally:
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Company workload (Fig. 7 analogue: Job.assessment / Employee.ranking)
+# ---------------------------------------------------------------------------
+
+
+def _build_company(workers: int):
+    config = MaterializationConfig(strategy=Strategy.DEFERRED, workers=workers)
+    db = ObjectBase(config=config)
+    build_company_schema(db)
+    fixture = populate_company(
+        db,
+        DeterministicRng(5),
+        departments=2,
+        employees_per_department=3,
+        projects=8,
+        jobs_per_employee=2,
+    )
+    db.materialize([("Job", "assessment")], strategy=Strategy.DEFERRED)
+    db.materialize([("Employee", "ranking")], strategy=Strategy.DEFERRED)
+    return db, fixture
+
+
+def _company_script(jobs, base):
+    """Deterministic per-job attribute churn."""
+    for round_no in range(ROUNDS):
+        for offset, job in enumerate(jobs):
+            job.set_LinesOfCode(base + round_no * 100 + offset)
+            job.set_OnTime((round_no + offset) % 2 == 0)
+
+
+@pytest.mark.timeout(300)
+def test_company_stress_matches_sequential():
+    seq_db, seq_fixture = _build_company(workers=0)
+    seq_parts = [seq_fixture.jobs[i::N_WRITERS] for i in range(N_WRITERS)]
+    for index, part in enumerate(seq_parts):
+        _company_script(part, 1000 * (index + 1))
+    seq_db.gmr_manager.scheduler.revalidate()
+    _settle_and_check(seq_db)
+    want = _extensions(seq_db)
+
+    db, fixture = _build_company(workers=2)
+    try:
+        errors: list[BaseException] = []
+        writers_done = threading.Event()
+        parts = [fixture.jobs[i::N_WRITERS] for i in range(N_WRITERS)]
+
+        def writer(index):
+            try:
+                _company_script(parts[index], 1000 * (index + 1))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        def reader(seed):
+            rng = DeterministicRng(seed)
+            try:
+                while not writers_done.is_set():
+                    employee = rng.choice(fixture.employees)
+                    ranking = employee.ranking()
+                    assert isinstance(ranking, float)
+                    if rng.random() < 0.25:
+                        db.gmr_manager.backward_query(
+                            "Employee.ranking", 0.0, 1e9
+                        )
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        writer_threads = [
+            threading.Thread(target=writer, args=(i,), name=f"writer-{i}")
+            for i in range(N_WRITERS)
+        ]
+        reader_threads = [
+            threading.Thread(target=reader, args=(200 + i,), name=f"reader-{i}")
+            for i in range(N_READERS)
+        ]
+        for thread in writer_threads + reader_threads:
+            thread.start()
+        _join(writer_threads)
+        writers_done.set()
+        _join(reader_threads)
+
+        assert errors == []
+        _settle_and_check(db)
+        assert _extensions(db) == want
+    finally:
+        db.close()

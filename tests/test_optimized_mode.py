@@ -1,0 +1,81 @@
+"""``python -O`` smoke: the library must not lean on ``assert``.
+
+Production invariants were moved from ``assert`` statements to typed
+errors (``SchemaError`` / ``TransactionError`` / ``InternalError``)
+because ``-O`` strips asserts — a guard that silently disappears under
+optimization is no guard.  The smoke runs a representative workload in
+a ``python -O`` subprocess and checks the typed error paths still fire.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+SMOKE = r"""
+import sys
+assert not __debug__ or sys.exit("smoke must run under -O")
+
+from repro import ObjectBase, Strategy
+from repro.errors import QueryError
+from repro.gom.transactions import TransactionError, TransactionScope
+
+db = ObjectBase()
+db.define_tuple_type("Point", {"X": "float", "Y": "float"})
+db.define_operation(
+    "Point", "norm", [], "float",
+    lambda self: (self.X * self.X + self.Y * self.Y) ** 0.5,
+)
+points = [db.new("Point", X=float(i), Y=float(i + 1)) for i in range(5)]
+gmr = db.materialize([("Point", "norm")], strategy=Strategy.DEFERRED)
+
+# workload: updates, batch, transaction, queries, maintenance
+points[0].set_X(9.0)
+with db.batch():
+    points[1].set_Y(3.0)
+    points[2].set_X(7.0)
+with db.transaction() as txn:
+    points[3].set_X(5.0)
+    txn.abort()
+db.gmr_manager.scheduler.revalidate()
+if points[3].X != 3.0:
+    sys.exit("rollback lost under -O")
+if gmr.check_consistency(db):
+    sys.exit("consistency violated under -O")
+rows = db.query("range p: Point retrieve p.X")
+if not rows:
+    sys.exit("query returned nothing under -O")
+db.explain("range p: Point retrieve p.norm")
+
+# typed error paths survive -O (an assert would have been stripped)
+try:
+    TransactionScope(db.transactions).update_count
+    sys.exit("un-entered scope must raise TransactionError")
+except TransactionError:
+    pass
+try:
+    db.query("range p: Point retrieve p.")
+    sys.exit("malformed query must raise QueryError")
+except QueryError:
+    pass
+
+print("OK")
+"""
+
+
+def test_optimized_smoke():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-O", "-c", SMOKE],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        f"-O smoke failed\nstdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    assert proc.stdout.strip() == "OK"
