@@ -19,6 +19,7 @@ at which the Def. 3.2 oracle and checkpointing are meaningful.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -79,17 +80,39 @@ class RevalidationWorkerPool:
             thread.start()
         self._g_workers.set(self.workers)
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Signal the workers to exit and join them."""
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Signal the workers to exit and join them.
+
+        Returns True once every worker has confirmed exit.  A worker
+        stuck behind a long-held update lock (e.g. a large batch scope
+        on another thread) can outlive the join timeout; such
+        stragglers are kept in ``_threads`` so a later ``stop()`` can
+        re-join them, and False is returned so callers (``db.close()``)
+        know not to tear down resources — the WAL in particular — that
+        a late drain could still touch.
+        """
         if self._scheduler.on_ready is self.notify:
             self._scheduler.on_ready = None
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
+        stragglers: list[threading.Thread] = []
         for thread in self._threads:
             thread.join(timeout)
-        self._threads = []
+            if thread.is_alive():
+                stragglers.append(thread)
+        self._threads = stragglers
+        if stragglers:
+            warnings.warn(
+                f"{len(stragglers)} revalidation worker(s) did not exit "
+                f"within {timeout}s (likely blocked on the update lock); "
+                "call stop() again once the lock is released",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
         self._g_workers.set(0)
+        return True
 
     def notify(self) -> None:
         """Wake the workers (scheduler ``on_ready`` hook)."""
@@ -135,9 +158,28 @@ class RevalidationWorkerPool:
         retry heap (backoff not yet elapsed) do not count as pending —
         quiescence means "nothing runnable now", matching what a
         synchronous ``scheduler.revalidate()`` would have processed.
+
+        If the calling thread already holds the update lock (e.g.
+        quiescing inside a ``db.batch()`` scope or an update listener)
+        the workers can never acquire it, so waiting on the pool would
+        spin until timeout; that case is detected and the queue is
+        drained synchronously on the calling thread instead (the lock
+        is reentrant).
         """
         import time
 
+        if self._holds_db_lock():
+            scheduler = self._scheduler
+            while scheduler.ready_pending():
+                drained = scheduler.revalidate(max_entries=self._batch)
+                if drained:
+                    self._c_drained.inc(drained)
+                else:  # pragma: no cover - defensive against a stuck queue
+                    break
+            # Workers that already claimed ``_active`` are blocked on
+            # the lock we hold: they cannot be mid-mutation, and will
+            # wake to an empty queue, so this *is* quiescence.
+            return self._scheduler.ready_pending() == 0
         deadline = time.monotonic() + timeout
         with self._cond:
             self._cond.notify_all()
@@ -149,6 +191,18 @@ class RevalidationWorkerPool:
             with self._cond:
                 self._cond.notify_all()
                 self._cond.wait(0.005)
+
+    def _holds_db_lock(self) -> bool:
+        """True when the calling thread owns the object base's update
+        lock (CPython RLock ``_is_owned``; conservatively False when
+        the probe is unavailable)."""
+        is_owned = getattr(self._db_lock, "_is_owned", None)
+        if is_owned is None:  # pragma: no cover - non-CPython fallback
+            return False
+        try:
+            return bool(is_owned())
+        except Exception:  # pragma: no cover - defensive
+            return False
 
     def __enter__(self) -> "RevalidationWorkerPool":
         self.start()

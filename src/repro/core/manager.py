@@ -1435,21 +1435,27 @@ class GMRManager:
         configuration: "all materialized volume results had been
         invalidated before the benchmark was started — this causes the
         RRR and the sets ObjDepFct to be empty with respect to
-        ⟨⟨volume⟩⟩"."""
-        fids = set(gmr.fids)
-        stale = [
-            (oid, fid, args)
-            for oid, fid, args in self._rrr.triples()
-            if fid in fids
-        ]
-        for oid, fid, args in stale:
-            self._rrr_remove(oid, fid, args)
-        for fid in gmr.fids:
-            for args in gmr.args():
-                if gmr.mark_invalid(args, fid) and (
-                    gmr.strategy is Strategy.DEFERRED
-                ):
-                    self.scheduler.schedule(gmr, fid, args)
+        ⟨⟨volume⟩⟩".
+
+        Runs under the object base's update lock (a no-op
+        single-threaded): it mutates the RRR and GMR validity bits,
+        which must be serialized against a concurrent worker-pool
+        drain."""
+        with self._maint_lock:
+            fids = set(gmr.fids)
+            stale = [
+                (oid, fid, args)
+                for oid, fid, args in self._rrr.triples()
+                if fid in fids
+            ]
+            for oid, fid, args in stale:
+                self._rrr_remove(oid, fid, args)
+            for fid in gmr.fids:
+                for args in gmr.args():
+                    if gmr.mark_invalid(args, fid) and (
+                        gmr.strategy is Strategy.DEFERRED
+                    ):
+                        self.scheduler.schedule(gmr, fid, args)
 
     def revalidate(self, gmr: GMR, fid: str | None = None) -> int:
         """Rematerialize every invalid entry (the paper's low-load sweep).
@@ -1481,16 +1487,23 @@ class GMRManager:
 
         The paper's alternative to lazy cleanup is "a periodic
         reorganization"; this is that sweep, usable on one GMR or all.
+
+        Runs under the object base's update lock (a no-op
+        single-threaded): ``remove_row`` mutates shared index
+        structures (B+-tree / grid file, page store), and per-entry
+        stripe locks do not serialize cross-entry index mutation
+        against a concurrent worker-pool drain.
         """
-        removed = 0
-        targets = [gmr] if gmr is not None else list(self._gmrs.values())
-        for target in targets:
-            for args in target.args():
-                if not self._args_alive(args):
-                    target.remove_row(args)
-                    removed += 1
-        self.stats.blind_rows_removed += removed
-        return removed
+        with self._maint_lock:
+            removed = 0
+            targets = [gmr] if gmr is not None else list(self._gmrs.values())
+            for target in targets:
+                for args in target.args():
+                    if not self._args_alive(args):
+                        target.remove_row(args)
+                        removed += 1
+            self.stats.blind_rows_removed += removed
+            return removed
 
     def verify_lockstep(self) -> list[str]:
         """Check the RRR ↔ ObjDepFct lockstep invariant (Sec. 5.2).
@@ -1522,15 +1535,20 @@ class GMRManager:
         Drops the old extension and repopulates from the current type
         extensions (the Adiba/Lindsay periodic refresh).  Returns the new
         row count.
+
+        Runs under the object base's update lock (a no-op
+        single-threaded): the drop-and-repopulate mutates shared index
+        structures and must not interleave with a worker-pool drain.
         """
         if gmr.strategy is not Strategy.SNAPSHOT:
             raise GMRDefinitionError(
                 f"{gmr.name} is not a snapshot GMR; use revalidate instead"
             )
-        for args in gmr.args():
-            gmr.remove_row(args)
-        self._populate(gmr)
-        return len(gmr)
+        with self._maint_lock:
+            for args in gmr.args():
+                gmr.remove_row(args)
+            self._populate(gmr)
+            return len(gmr)
 
     def backward_query(
         self,

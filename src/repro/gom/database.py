@@ -299,11 +299,19 @@ class ObjectBase:
         return True
 
     def close(self) -> None:
-        """Stop the worker pool (if any) and detach the WAL."""
+        """Stop the worker pool (if any) and detach the WAL.
+
+        If a worker fails to exit within the stop timeout (blocked
+        behind a long-held update lock), the WAL is detached — so
+        foreground appends stop — but its file is left open rather
+        than closed under a straggler that could still drain and
+        append, which would raise in a daemon thread.
+        """
+        stopped = True
         if self.worker_pool is not None:
-            self.worker_pool.stop()
+            stopped = self.worker_pool.stop()
         wal = self.detach_wal()
-        if wal is not None:
+        if wal is not None and stopped:
             wal.close()
 
     def batch(self):

@@ -198,8 +198,11 @@ class Tracer:
     its own spans — a worker-pool rematerialization span never becomes
     the parent of a foreground query's events), while the ``seq`` /
     span-id counters and sink emission are serialized by an internal
-    lock so interleaved emitters still produce unique, monotone
-    sequence numbers and sinks never see torn writes.  The lock is only
+    *reentrant* lock so interleaved emitters still produce unique,
+    monotone sequence numbers and sinks never see torn writes — and a
+    sink that itself emits a trace event recurses instead of
+    self-deadlocking (sinks should still avoid re-entering the tracer;
+    a slow sink serializes all tracing threads).  The lock is only
     ever taken when tracing is enabled, preserving the zero-overhead
     contract.  Set ``thread_ids=True`` (via
     ``ObserveConfig(thread_ids=True)``) to stamp every event with the
@@ -221,7 +224,9 @@ class Tracer:
         self._sinks: list[Any] = []
         self._seq = 0
         self._next_span = 0
-        self._lock = threading.Lock()
+        # Reentrant: a sink emitting from inside ``sink.emit`` (e.g. a
+        # metrics bridge that traces itself) must recurse, not deadlock.
+        self._lock = threading.RLock()
         self._local = threading.local()
 
     @property

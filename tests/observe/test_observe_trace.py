@@ -161,3 +161,22 @@ class TestReset:
         before = len(ring)
         tracer.reset()
         assert len(ring) == before
+
+
+class TestReentrantSinks:
+    @pytest.mark.timeout(10)
+    def test_sink_may_reenter_the_tracer(self):
+        # A sink that emits a trace event of its own (e.g. a metrics
+        # bridge tracing itself) must recurse, not self-deadlock on the
+        # tracer's emission lock.
+        tracer, ring = _tracer_with_ring()
+
+        def reemit(event):
+            if event.name == "primary":
+                tracer.event("echo", of=event.seq)
+
+        tracer.add_sink(CallbackSink(reemit))
+        tracer.event("primary")
+        names = [event.name for event in ring]
+        assert "primary" in names
+        assert "echo" in names
