@@ -1,0 +1,161 @@
+"""Ablation: precompiled invalidation plans vs. the per-update scan.
+
+``MaterializationConfig.invalidation_plans`` gates the hot-path rebuild
+of Sec. 5's update notification: with plans on, each elementary update
+resolves one cached ``UpdatePlan`` (a dict hit) instead of rebuilding
+``SchemaDepFct(t.set_A)`` as a fresh frozenset and re-deriving each
+function's GMR, predicate-fid and strategy flags inside the
+invalidation loop.
+
+Three checks at benchmark scale:
+
+* **wide fan-out** — vertex-coordinate updates hitting five
+  materialized functions at once: the planned path must win (this is
+  where the per-fid rediscovery cost is multiplied);
+* **irrelevant updates** — ``Value`` writes with an empty
+  ``SchemaDepFct``: the planned path must at least not regress;
+* **equivalence** — both paths must leave byte-identical GMR
+  extensions, answer queries identically, and stay Def. 3.2 clean
+  (the differential-fuzzer guarantee, spot-checked here).
+
+Timing assertions use min-of-N wall clock with deliberately generous
+margins; the fuzz suite, not this file, is the correctness net.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ObjectBase
+from repro.core.strategies import Strategy
+from repro.domains.geometry import (
+    build_geometry_schema,
+    create_cuboid,
+    create_material,
+)
+from repro.observe.config import MaterializationConfig
+
+_CUBOIDS = 40
+_ROUNDS = 40
+_REPEATS = 7
+
+_WIDE_FUNCTIONS = [
+    ("Cuboid", "volume"),
+    ("Cuboid", "weight"),
+    ("Cuboid", "length"),
+    ("Cuboid", "width"),
+    ("Cuboid", "height"),
+]
+
+
+def _build(plans: bool):
+    db = ObjectBase(
+        config=MaterializationConfig(
+            invalidation_plans=plans,
+            # LAZY keeps rematerialization out of the loop, so the
+            # notification dispatch itself dominates what we time.
+            strategy=Strategy.LAZY,
+        )
+    )
+    build_geometry_schema(db)
+    iron = create_material(db, "Iron", 7.86)
+    cuboids = [
+        create_cuboid(
+            db,
+            dims=(2.0, 3.0, 4.0),
+            material=iron,
+            value=10.0 + i,
+            cuboid_id=i,
+        )
+        for i in range(_CUBOIDS)
+    ]
+    db.materialize(_WIDE_FUNCTIONS)
+    vertices = [db.objects.get(c.oid).data["V1"] for c in cuboids]
+    return db, cuboids, vertices
+
+
+def _wide_fanout(db, vertices, rounds=_ROUNDS):
+    """Each write invalidates all five functions of its cuboid."""
+    for round_no in range(rounds):
+        x = float(round_no)
+        for vertex in vertices:
+            db.set_attr(vertex, "X", x)
+
+
+def _irrelevant(db, cuboids, rounds=_ROUNDS):
+    """Each write has an empty SchemaDepFct — the common no-op case."""
+    for round_no in range(rounds):
+        value = float(round_no)
+        for cuboid in cuboids:
+            db.set_attr(cuboid.oid, "Value", value)
+
+
+def _best_of(plans: bool, workload: str) -> float:
+    best = float("inf")
+    for _ in range(_REPEATS):
+        db, cuboids, vertices = _build(plans)
+        try:
+            started = time.perf_counter()
+            if workload == "wide":
+                _wide_fanout(db, vertices)
+            else:
+                _irrelevant(db, cuboids)
+            best = min(best, time.perf_counter() - started)
+        finally:
+            db.close()
+    return best
+
+
+def _final_state(plans: bool):
+    db, cuboids, vertices = _build(plans)
+    try:
+        _wide_fanout(db, vertices, rounds=6)
+        _irrelevant(db, cuboids, rounds=6)
+        volumes = sorted(db.query("range c:Cuboid retrieve c.volume"))
+        weights = sorted(db.query("range c:Cuboid retrieve c.weight"))
+        rows = sorted(
+            (gmr.name, row.args[0].value, tuple(row.valid), tuple(row.results))
+            for gmr in db.gmr_manager.gmrs()
+            for row in gmr.rows()
+        )
+        violations = []
+        for gmr in db.gmr_manager.gmrs():
+            violations.extend(gmr.check_consistency(db))
+        return volumes, weights, rows, violations
+    finally:
+        db.close()
+
+
+def test_smoke_wide_fanout_planned_beats_scan(benchmark):
+    scanned = _best_of(False, "wide")
+    planned = benchmark.pedantic(
+        lambda: _best_of(True, "wide"), rounds=1, iterations=1
+    )
+    # The planned path must win where fan-out multiplies the per-fid
+    # rediscovery cost.  Allow a whisker of noise above parity.
+    assert planned <= scanned * 1.02, (
+        f"planned {planned * 1e3:.2f}ms vs scanned {scanned * 1e3:.2f}ms"
+    )
+
+
+def test_smoke_irrelevant_updates_do_not_regress(benchmark):
+    scanned = _best_of(False, "irrelevant")
+    planned = benchmark.pedantic(
+        lambda: _best_of(True, "irrelevant"), rounds=1, iterations=1
+    )
+    assert planned <= scanned * 1.10, (
+        f"planned {planned * 1e3:.2f}ms vs scanned {scanned * 1e3:.2f}ms"
+    )
+
+
+def test_smoke_planned_and_scanned_results_identical(benchmark):
+    planned = benchmark.pedantic(
+        lambda: _final_state(True), rounds=1, iterations=1
+    )
+    scanned = _final_state(False)
+    p_volumes, p_weights, p_rows, p_violations = planned
+    s_volumes, s_weights, s_rows, s_violations = scanned
+    assert p_violations == [] and s_violations == []
+    assert p_volumes == s_volumes
+    assert p_weights == s_weights
+    assert p_rows == s_rows

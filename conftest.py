@@ -1,0 +1,20 @@
+"""Repo-root pytest configuration shared by ``tests/`` and ``benchmarks/``."""
+
+from __future__ import annotations
+
+
+def pytest_configure(config):
+    """Register a no-op ``timeout`` marker when pytest-timeout is absent.
+
+    The CI stress job installs pytest-timeout as a deadlock watchdog;
+    local runs without the plugin must still accept the marker (it
+    simply has no effect — the in-test ``join(timeout)`` guards remain).
+    Lives at the repo root so one definition covers the test suite and
+    the benchmark suite alike.
+    """
+    if not config.pluginmanager.hasplugin("timeout"):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): deadlock watchdog "
+            "(no-op without pytest-timeout)",
+        )

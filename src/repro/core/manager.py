@@ -36,7 +36,7 @@ from repro.core.batch import (
 )
 from repro.core.breaker import CircuitBreaker
 from repro.core.compensation import CompensatingAction, CompensationTable
-from repro.core.dependencies import DependencyIndex
+from repro.core.dependencies import DependencyIndex, FidPlan, UpdatePlan
 from repro.core.function_registry import FunctionInfo, function_id
 from repro.core.gmr import GMR
 from repro.core.guard import ExecutionGuard, FaultPolicy
@@ -162,6 +162,20 @@ class GMRManager:
         self._gmr_of_fid: dict[str, GMR] = {}
         self._op_dispatch: dict[tuple[str, str], str] = {}
         self._deps = DependencyIndex()
+        # -- precompiled invalidation plans ----------------------------
+        #: Gate for the plan caches below.  Read from
+        #: ``config.invalidation_plans`` here and refreshed by
+        #: :meth:`invalidate_plans`; ``False`` keeps the per-update
+        #: SchemaDepFct scan (the pre-plan baseline).
+        self._plans_on = db.config.invalidation_plans
+        #: ``fid -> FidPlan`` (``None`` = fid has no GMR), compiled
+        #: lazily; consulted once per fid per wave.
+        self._fid_plans: dict[str, FidPlan | None] = {}
+        #: ``(decl_type, attr) -> UpdatePlan`` — the flattened
+        #: SchemaDepFct lookup used by the elementary-update hot path.
+        self._update_plans: dict[tuple[str, str], UpdatePlan] = {}
+        #: Dependency-index version the caches were compiled against.
+        self._plan_epoch = 0
         self._rrr = ReverseReferenceRelation(db.page_store, db.buffer)
         self._ca = CompensationTable()
         self.stats = ManagerStats()
@@ -385,6 +399,10 @@ class GMRManager:
             # Atomic-only restriction: still track the pseudo function so
             # forget_object can clean rows via predicate RRR entries.
             self._gmr_of_fid[gmr.predicate_fid] = gmr
+        # The fid registry changed: precompiled invalidation plans are
+        # stale (the dependency-index version alone misses SNAPSHOT and
+        # atomic-restriction registrations, which add no pairs).
+        self.invalidate_plans()
 
         if complete and populate:
             self._populate(gmr)
@@ -464,6 +482,80 @@ class GMRManager:
 
     def relevant_attrs(self, fid: str) -> frozenset[tuple[str, str]]:
         return self._deps.relevant_attrs(fid)
+
+    # ------------------------------------------------------------------
+    # Precompiled invalidation plans
+    # ------------------------------------------------------------------
+
+    def invalidate_plans(self) -> None:
+        """Drop every precompiled invalidation plan.
+
+        Called on GMR registry change (:meth:`materialize`) and on
+        schema change (``ObjectBase._invalidate_plan_cache``); also
+        re-reads ``config.invalidation_plans`` so the flag can be
+        toggled on a live base.
+        """
+        self._fid_plans.clear()
+        self._update_plans.clear()
+        self._plan_epoch = self._deps.version
+        self._plans_on = self._db.config.invalidation_plans
+
+    def _check_plan_epoch(self) -> None:
+        """Rebuild-on-mismatch guard against direct index mutation."""
+        if self._plan_epoch != self._deps.version:
+            self._fid_plans.clear()
+            self._update_plans.clear()
+            self._plan_epoch = self._deps.version
+
+    def _fid_plan(self, fid: str) -> FidPlan | None:
+        """The cached :class:`FidPlan` for ``fid`` (None = no GMR).
+
+        Callers must have validated the plan epoch for the current
+        wave (:meth:`_check_plan_epoch`).
+        """
+        plans = self._fid_plans
+        try:
+            return plans[fid]
+        except KeyError:
+            pass
+        gmr = self._gmr_of_fid.get(fid)
+        if gmr is None:
+            plan = None
+        else:
+            strategy = gmr.strategy
+            plan = FidPlan(
+                fid,
+                gmr,
+                is_predicate=(fid == gmr.predicate_fid),
+                marks_only=strategy.marks_only,
+                deferred=strategy is Strategy.DEFERRED,
+            )
+        plans[fid] = plan
+        return plan
+
+    def update_plan(self, decl_type: str, attr: str) -> UpdatePlan | None:
+        """The precompiled plan for the update ``decl_type.set_attr``.
+
+        Returns ``None`` when plans are disabled
+        (``config.invalidation_plans=False``), which tells the caller
+        to fall back to the per-update SchemaDepFct scan.  ``plan.fids``
+        equals :meth:`schema_dep_fct` for the same key by construction.
+        """
+        if not self._plans_on:
+            return None
+        self._check_plan_epoch()
+        plan = self._update_plans.get((decl_type, attr))
+        if plan is None:
+            key = (decl_type, attr)
+            fids = self._deps.schema_dep_fct(decl_type, attr)
+            entries = tuple(
+                fp
+                for fid in sorted(fids)
+                if (fp := self._fid_plan(fid)) is not None
+            )
+            plan = UpdatePlan(key, fids, entries)
+            self._update_plans[key] = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Population and (re-)materialization
@@ -1034,6 +1126,9 @@ class GMRManager:
         )
         affected = 0
         probes = 0
+        plans_on = self._plans_on
+        if plans_on:
+            self._check_plan_epoch()
         try:
             for fid in relevant:
                 if self.rrr_policy == "second_chance":
@@ -1049,22 +1144,32 @@ class GMRManager:
                 self._obs_probe(fid, len(args_set))
                 if not args_set:
                     continue
-                gmr = self._gmr_of_fid.get(fid)
-                if gmr is None:
-                    continue
+                if plans_on:
+                    plan = self._fid_plan(fid)
+                    if plan is None:
+                        continue
+                    gmr = plan.gmr
+                    is_predicate = plan.is_predicate
+                    marks_only = plan.marks_only
+                    deferred = plan.deferred
+                else:
+                    gmr = self._gmr_of_fid.get(fid)
+                    if gmr is None:
+                        continue
+                    is_predicate = fid == gmr.predicate_fid
+                    marks_only = gmr.strategy.marks_only
+                    deferred = gmr.strategy is Strategy.DEFERRED
                 before = affected
-                if fid == gmr.predicate_fid:
+                if is_predicate:
                     for args in args_set:
                         self._predicate_update_safe(gmr, args)
                         affected += 1
-                elif gmr.strategy.marks_only:
+                elif marks_only:
                     for args in args_set:
                         # A missing row is a blind reference (Sec. 4.2):
                         # the popped entry was the stale leftover; nothing
                         # to do.
-                        if gmr.mark_invalid(args, fid) and (
-                            gmr.strategy is Strategy.DEFERRED
-                        ):
+                        if gmr.mark_invalid(args, fid) and deferred:
                             self.scheduler.schedule(gmr, fid, args)
                         self._note(fid, args, f"invalidated via={via}")
                         affected += 1

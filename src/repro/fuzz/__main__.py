@@ -1,0 +1,140 @@
+"""Command-line entry point: ``python -m repro.fuzz``.
+
+Examples::
+
+    # CI smoke: 200 scripts, rotating 4-wide config window
+    python -m repro.fuzz --count 200 --seed 0
+
+    # Nightly: time-boxed, minimize and save any failures
+    python -m repro.fuzz --count 100000 --seed 20260808 \\
+        --time-budget 1200 --minimize --out fuzz-failures
+
+    # Reproduce one script against the full 96-config matrix
+    python -m repro.fuzz --count 1 --seed 1234 --domain company --all-configs
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.fuzz.generator import generate_script
+from repro.fuzz.minimize import minimize_script
+from repro.fuzz.oracle import (
+    all_configs,
+    check_script,
+    run_fuzz,
+)
+from repro.fuzz.script import script_to_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential GOMql fuzzer (see docs/TESTING.md).",
+    )
+    parser.add_argument("--count", type=int, default=50,
+                        help="number of scripts to generate (default 50)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; script i uses seed+i (default 0)")
+    parser.add_argument("--domain", choices=["geometry", "company", "both"],
+                        default="both")
+    parser.add_argument("--configs-per-script", type=int, default=4,
+                        help="width of the rotating config window (default 4)")
+    parser.add_argument("--all-configs", action="store_true",
+                        help="check every script against the full 96-config "
+                             "matrix (slow; for reproductions)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="stop generating after this many seconds")
+    parser.add_argument("--minimize", action="store_true",
+                        help="delta-debug each failing script before saving")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write failing (minimized) scripts as JSON here")
+    parser.add_argument("--stop-on-first", action="store_true",
+                        help="abort the campaign at the first failure")
+    args = parser.parse_args(argv)
+
+    domains = (
+        ("geometry", "company") if args.domain == "both" else (args.domain,)
+    )
+    if args.all_configs:
+        report = _run_all_configs(args, domains)
+    else:
+        report = run_fuzz(
+            args.count,
+            base_seed=args.seed,
+            domains=domains,
+            configs_per_script=args.configs_per_script,
+            time_budget=args.time_budget,
+            stop_on_first=args.stop_on_first,
+            progress=lambda line: print(line, flush=True),
+        )
+
+    print(
+        f"ran {report.scripts_run} scripts / {report.configs_run} replays "
+        f"in {report.elapsed:.1f}s: "
+        f"{'OK' if report.ok else f'{len(report.failures)} failure(s)'}",
+        flush=True,
+    )
+    if report.ok:
+        return 0
+
+    failing_scripts = {}
+    for failure in report.failures:
+        failing_scripts.setdefault(
+            (failure.script.seed, failure.script.domain), failure.script
+        )
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for (seed, domain), script in sorted(failing_scripts.items()):
+        if args.minimize:
+            print(f"minimizing seed={seed} domain={domain} "
+                  f"({len(script.steps)} steps)...", flush=True)
+            script = minimize_script(
+                script,
+                all_configs() if args.all_configs else None,
+            )
+            print(f"  -> {len(script.steps)} steps", flush=True)
+        if args.out:
+            path = os.path.join(args.out, f"{domain}-seed{seed}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(script_to_json(script))
+                fh.write("\n")
+            print(f"  saved {path}", flush=True)
+    return 1
+
+
+def _run_all_configs(args, domains):
+    """--all-configs: every script against the whole matrix."""
+    from repro.fuzz.oracle import FuzzReport
+    import time
+
+    report = FuzzReport()
+    matrix = all_configs()
+    started = time.monotonic()
+    for i in range(args.count):
+        if (
+            args.time_budget is not None
+            and time.monotonic() - started > args.time_budget
+        ):
+            break
+        seed = args.seed + i
+        domain = domains[i % len(domains)]
+        script = generate_script(seed, domain)
+        failures = check_script(
+            script, matrix, stop_on_first=args.stop_on_first
+        )
+        report.scripts_run += 1
+        report.configs_run += len(matrix)
+        for failure in failures:
+            print(str(failure), flush=True)
+        report.failures.extend(failures)
+        if failures and args.stop_on_first:
+            break
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+if __name__ == "__main__":
+    sys.exit(main())

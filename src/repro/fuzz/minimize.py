@@ -1,0 +1,73 @@
+"""Delta-debugging minimization of failing fuzz scripts.
+
+Classic ddmin over the step list: partition into ``n`` chunks, try
+each complement, keep any complement that still fails, refine the
+granularity until single steps survive.  A candidate that raises
+:class:`~repro.fuzz.replay.ScriptError` (dangling label, unbalanced
+batch, ...) is simply *invalid* — it neither passes nor fails, the
+search moves on.
+
+The default failure predicate is "the differential oracle still
+reports at least one failure on the given configurations", which keeps
+the minimized script failing for the same observable reason class; a
+custom ``check`` callable can pin the predicate tighter (e.g. "query
+#3 still diverges on exactly this config").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.fuzz.oracle import OracleConfig, check_script
+from repro.fuzz.replay import ScriptError
+from repro.fuzz.script import Script
+
+
+def minimize_script(
+    script: Script,
+    configs: Sequence[OracleConfig] | None = None,
+    *,
+    check: Callable[[Script], bool] | None = None,
+    max_rounds: int = 200,
+) -> Script:
+    """Return a 1-minimal (per ddmin) failing subset of ``script``.
+
+    ``check(candidate) -> bool`` must return ``True`` while the
+    candidate still fails; the default runs the differential oracle on
+    ``configs`` (treating ``ScriptError`` as "invalid candidate").
+    ``script`` itself must fail the predicate, else it is returned
+    unchanged.
+    """
+    if check is None:
+        def check(candidate: Script) -> bool:
+            try:
+                return bool(
+                    check_script(candidate, configs, stop_on_first=True)
+                )
+            except ScriptError:
+                return False
+
+    steps = list(script.steps)
+    if not check(script.replace_steps(steps)):
+        return script
+
+    n = 2
+    rounds = 0
+    while len(steps) >= 2 and rounds < max_rounds:
+        chunk = max(1, len(steps) // n)
+        reduced = False
+        for start in range(0, len(steps), chunk):
+            rounds += 1
+            complement = steps[:start] + steps[start + chunk:]
+            if not complement:
+                continue
+            if check(script.replace_steps(complement)):
+                steps = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(steps):
+                break
+            n = min(n * 2, len(steps))
+    return script.replace_steps(steps)

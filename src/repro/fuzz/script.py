@@ -1,0 +1,85 @@
+"""The fuzz script format: a JSON-serializable workload.
+
+A *script* is a domain name, the seed that generated it, and a flat
+list of steps.  Objects are referenced by generator-chosen string
+labels (never raw OIDs), so a script replays identically into any
+fresh object base — the property the differential oracle and the
+delta-debugging minimizer both rely on.
+
+Step vocabulary (each step is a plain dict with an ``"op"`` key):
+
+``new``                ``{"op", "label", "type", "attrs"}`` — create a
+                       tuple object; attribute values are JSON scalars
+                       or ``{"$ref": label}`` object references.
+``new_collection``     ``{"op", "label", "type", "elements"}`` — create
+                       a set/list object from a list of labels.
+``set``                ``{"op", "target", "attr", "value"}`` — the
+                       elementary ``t.set_A`` update.
+``insert`` / ``remove``  ``{"op", "target", "value"}`` — collection
+                       membership updates.
+``delete``             ``{"op", "target"}`` — object deletion.
+``call``               ``{"op", "target", "method", "args"}`` — invoke
+                       an operation (``scale``, ``rotate``,
+                       ``add_project``, ...); args are scalars or refs.
+``materialize``        ``{"op", "text"}`` — a GOMql ``materialize``
+                       statement; skipped by the unmaterialized
+                       reference replay.
+``query``              ``{"op", "text"}`` — a GOMql ``retrieve``; its
+                       canonicalized result is recorded for the
+                       differential comparison.
+``batch_begin`` / ``batch_end``  — a batched-maintenance scope.
+``quiesce``            — drain every pending deferred revalidation.
+``checkpoint_recover`` — checkpoint the base, discard it, and recover
+                       into a fresh one (OIDs are preserved).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+SCRIPT_VERSION = 1
+
+
+@dataclass
+class Script:
+    """One generated workload (see module docstring for the step shapes)."""
+
+    domain: str
+    seed: int
+    steps: list[dict] = field(default_factory=list)
+    version: int = SCRIPT_VERSION
+
+    def replace_steps(self, steps: list[dict]) -> "Script":
+        """A copy with a different step list (used by the minimizer)."""
+        return Script(
+            domain=self.domain,
+            seed=self.seed,
+            steps=list(steps),
+            version=self.version,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "domain": self.domain,
+            "seed": self.seed,
+            "steps": self.steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Script":
+        return cls(
+            domain=data["domain"],
+            seed=data.get("seed", 0),
+            steps=list(data["steps"]),
+            version=data.get("version", SCRIPT_VERSION),
+        )
+
+
+def script_to_json(script: Script, *, indent: int | None = 2) -> str:
+    return json.dumps(script.to_dict(), indent=indent, sort_keys=False)
+
+
+def script_from_json(text: str) -> Script:
+    return Script.from_dict(json.loads(text))

@@ -229,6 +229,11 @@ class ObjectBase:
     def _invalidate_plan_cache(self) -> None:
         self._member_plans.clear()
         self._strict_cache.clear()
+        if self._gmr is not None:
+            # Schema changes can alter restriction-predicate RelAttr
+            # typing and member dispatch; drop the manager's precompiled
+            # invalidation plans alongside the member-plan caches.
+            self._gmr.invalidate_plans()
 
     # ------------------------------------------------------------------
     # Materialization wiring
@@ -870,7 +875,13 @@ class ObjectBase:
             # Figure 4: notify unconditionally; manager does the RRR lookup.
             gmr.invalidate(obj.oid, None, exclude=exclude, via="naive")
             return
-        schema_dep = gmr.schema_dep_fct(decl_type, attr)
+        plan = gmr.update_plan(decl_type, attr)
+        if plan is not None:
+            # Precompiled path: one cached dict lookup replaces the
+            # per-update SchemaDepFct set construction.
+            schema_dep = plan.fids
+        else:
+            schema_dep = gmr.schema_dep_fct(decl_type, attr)
         if not schema_dep:
             return
         if level is InstrumentationLevel.SCHEMA_DEP:

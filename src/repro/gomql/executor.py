@@ -13,7 +13,16 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import ExecutionError, InternalError, QueryError
+from repro.errors import (
+    ExecutionError,
+    InternalError,
+    NotListStructuredError,
+    NotSetStructuredError,
+    QueryError,
+    TypeCheckError,
+    UnknownAttributeError,
+    UnknownOperationError,
+)
 from repro.gom.handles import Handle, unwrap
 from repro.gom.oid import Oid
 from repro.gomql.ast import (
@@ -89,7 +98,7 @@ def eval_expr(expr: QExpr, env: dict[str, Any]) -> Any:
             raise ExecutionError(f"unbound identifier {expr.name!r}") from None
     if isinstance(expr, QAttr):
         base = eval_expr(expr.base, env)
-        value = getattr(base, expr.name)
+        value = _member(base, expr.name)
         if isinstance(base, Handle) and callable(value):
             # GOM invokes parameterless functions without parentheses:
             # ``c.volume`` denotes the invocation, not the callable.
@@ -98,35 +107,89 @@ def eval_expr(expr: QExpr, env: dict[str, Any]) -> Any:
     if isinstance(expr, QCall):
         base = eval_expr(expr.base, env)
         arguments = [eval_expr(argument, env) for argument in expr.args]
-        return getattr(base, expr.name)(*arguments)
+        target = _member(base, expr.name)
+        try:
+            return target(*arguments)
+        except (TypeError, TypeCheckError) as exc:
+            raise ExecutionError(
+                f"cannot call {expr.name!r} with {len(arguments)} "
+                f"argument(s): {exc}"
+            ) from exc
     if isinstance(expr, QBin):
         left = eval_expr(expr.left, env)
         right = eval_expr(expr.right, env)
-        if expr.op == "+":
-            return left + right
-        if expr.op == "-":
-            return left - right
-        if expr.op == "*":
-            return left * right
-        if expr.op == "/":
-            return left / right
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left / right
+        except ZeroDivisionError as exc:
+            raise ExecutionError("division by zero in query expression") from exc
+        except TypeError as exc:
+            raise ExecutionError(
+                f"operator {expr.op!r} not applicable to "
+                f"{type(left).__name__} and {type(right).__name__}"
+            ) from exc
         raise ExecutionError(f"unknown operator {expr.op}")
     if isinstance(expr, QNeg):
-        return -eval_expr(expr.operand, env)
+        value = eval_expr(expr.operand, env)
+        try:
+            return -value
+        except TypeError as exc:
+            raise ExecutionError(
+                f"unary minus not applicable to {type(value).__name__}"
+            ) from exc
     raise ExecutionError(f"cannot evaluate {expr!r}")
+
+
+def _member(base: Any, name: str) -> Any:
+    """``base.name`` with query-level error categorization.
+
+    An unknown attribute/operation is a *query* mistake, so the schema's
+    complaint (or a plain ``AttributeError`` on a non-object value) is
+    reported as :class:`ExecutionError`; anything else — encapsulation
+    violations, materialization faults — keeps its own type.
+    """
+    try:
+        return getattr(base, name)
+    except (AttributeError, UnknownAttributeError, UnknownOperationError) as exc:
+        raise ExecutionError(
+            f"no attribute or operation {name!r} on {_describe(base)}"
+        ) from exc
+
+
+def _describe(value: Any) -> str:
+    if isinstance(value, Handle):
+        return f"{value.type_name} object"
+    return f"value of type {type(value).__name__}"
 
 
 def eval_pred(pred: QPred, env: dict[str, Any]) -> bool:
     if isinstance(pred, QCmp):
         left = eval_expr(pred.left, env)
         right = eval_expr(pred.right, env)
-        return _CMP[pred.op](left, right)
+        try:
+            return _CMP[pred.op](left, right)
+        except TypeError as exc:
+            raise ExecutionError(
+                f"cannot compare {type(left).__name__} {pred.op} "
+                f"{type(right).__name__}"
+            ) from exc
     if isinstance(pred, QIn):
         item = eval_expr(pred.item, env)
         collection = eval_expr(pred.collection, env)
-        if isinstance(collection, Handle):
-            return collection.contains(item)
-        return item in collection
+        try:
+            if isinstance(collection, Handle):
+                return collection.contains(item)
+            return item in collection
+        except (TypeError, NotSetStructuredError, NotListStructuredError) as exc:
+            raise ExecutionError(
+                f"'in' target is not a collection: {_describe(collection)}"
+            ) from exc
     if isinstance(pred, QAnd):
         return all(eval_pred(part, env) for part in pred.parts)
     if isinstance(pred, QOr):
@@ -225,16 +288,21 @@ def _execute_query(db, query: Query, env: dict[str, Any]) -> Any:
 
 
 def _aggregate(func: str, values: list[Any]) -> Any:
-    if func == "count":
-        return len(values)
-    if func == "sum":
-        return sum(values)
-    if func == "avg":
-        return sum(values) / len(values) if values else 0.0
-    if func == "min":
-        return min(values) if values else None
-    if func == "max":
-        return max(values) if values else None
+    try:
+        if func == "count":
+            return len(values)
+        if func == "sum":
+            return sum(values)
+        if func == "avg":
+            return sum(values) / len(values) if values else 0.0
+        if func == "min":
+            return min(values) if values else None
+        if func == "max":
+            return max(values) if values else None
+    except TypeError as exc:
+        raise ExecutionError(
+            f"aggregate {func}() not applicable to these values"
+        ) from exc
     raise QueryError(f"unknown aggregate {func}")
 
 

@@ -134,9 +134,12 @@ def find_backward_plan(
             continue
         key, fid, fixed = signature
         bounds = candidates.setdefault(key, Bounds())
+        # Record the call even when the operator is unusable (!=): the
+        # key is already in `candidates`, and an unusable-only key must
+        # still resolve below (its empty bounds reject it there).
+        calls[key] = (fid, fixed)
         if not bounds.tighten(op, value):
             continue
-        calls[key] = (fid, fixed)
 
     for key, bounds in candidates.items():
         fid, fixed = calls[key]

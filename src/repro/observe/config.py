@@ -85,6 +85,14 @@ class MaterializationConfig:
     #: when no create adaptation is pending (the always-conservative
     #: variant; normally conservatism is inferred per batch).
     batch_conservative: bool = False
+    #: Use precompiled per-update invalidation plans (cached
+    #: SchemaDepFct → FidPlan records, one dict lookup per elementary
+    #: update).  ``False`` restores the per-update dependency-index
+    #: scan — the pre-plan baseline kept for the ablation benchmark and
+    #: for differential testing of the plan compiler.  Flipping the
+    #: flag on a live base takes effect after
+    #: ``db.gmr_manager.invalidate_plans()``.
+    invalidation_plans: bool = True
     #: The fault-tolerance pipeline's knobs (guard, retry, breaker).
     fault_policy: FaultPolicy = field(default_factory=FaultPolicy)
     #: Observability settings (tracing, metrics, sinks).

@@ -5,21 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import InstrumentationLevel, ObjectBase
-
-
-def pytest_configure(config):
-    """Register a no-op ``timeout`` marker when pytest-timeout is absent.
-
-    The CI stress job installs pytest-timeout as a deadlock watchdog;
-    local runs without the plugin must still accept the marker (it
-    simply has no effect — the in-test ``join(timeout)`` guards remain).
-    """
-    if not config.pluginmanager.hasplugin("timeout"):
-        config.addinivalue_line(
-            "markers",
-            "timeout(seconds): deadlock watchdog "
-            "(no-op without pytest-timeout)",
-        )
 from repro.domains.company import build_company_schema, populate_company
 from repro.domains.geometry import build_figure2_database, build_geometry_schema
 from repro.util.rng import DeterministicRng

@@ -3,8 +3,9 @@
 No module under ``src/repro`` outside ``observe/`` may ``print(`` or use
 the stdlib ``logging`` machinery — every diagnostic goes through the
 trace layer or the metrics registry, so one configuration point governs
-all output.  The CLI entry point (``bench/__main__.py``) is the one
-sanctioned exception: its job *is* printing reports to the terminal.
+all output.  The CLI entry points (``bench/__main__.py`` and
+``fuzz/__main__.py``) are the sanctioned exceptions: their job *is*
+printing reports to the terminal.
 """
 
 from __future__ import annotations
@@ -15,8 +16,9 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 ALLOWED = {
-    # The benchmark CLI prints figure reports by design.
+    # The benchmark and fuzz CLIs print their reports by design.
     SRC / "bench" / "__main__.py",
+    SRC / "fuzz" / "__main__.py",
 }
 
 _PRINT = re.compile(r"(?<![\w.])print\s*\(")
