@@ -64,7 +64,7 @@ from repro.persistence import (
     recover,
     verify_recovery,
 )
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import ShardedWriteAheadLog, WriteAheadLog
 
 __version__ = "1.0.0"
 
@@ -104,5 +104,6 @@ __all__ = [
     "base_state",
     "verify_recovery",
     "WriteAheadLog",
+    "ShardedWriteAheadLog",
     "__version__",
 ]

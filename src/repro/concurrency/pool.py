@@ -50,7 +50,9 @@ class RevalidationWorkerPool:
             raise ValueError("RevalidationWorkerPool needs workers >= 1")
         self._manager = manager
         self._scheduler = manager.scheduler
+        self._schedulers = manager.schedulers
         self._db_lock = manager._maint_lock
+        self._shard_locks = manager._shard_locks
         self.workers = workers
         self._batch = batch
         self._poll_interval = poll_interval
@@ -69,7 +71,8 @@ class RevalidationWorkerPool:
         if self._threads:
             return
         self._stopping = False
-        self._scheduler.on_ready = self.notify
+        for scheduler in self._schedulers:
+            scheduler.on_ready = self.notify
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._run,
@@ -91,8 +94,9 @@ class RevalidationWorkerPool:
         know not to tear down resources — the WAL in particular — that
         a late drain could still touch.
         """
-        if self._scheduler.on_ready is self.notify:
-            self._scheduler.on_ready = None
+        for scheduler in self._schedulers:
+            if scheduler.on_ready is self.notify:
+                scheduler.on_ready = None
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
@@ -122,18 +126,16 @@ class RevalidationWorkerPool:
     # -- the worker loop -------------------------------------------------------
 
     def _run(self) -> None:
-        scheduler = self._scheduler
         while True:
             with self._cond:
-                while not self._stopping and scheduler.ready_pending() == 0:
+                while not self._stopping and self._ready_total() == 0:
                     self._cond.wait(self._poll_interval)
                 if self._stopping:
                     return
                 self._active += 1
             try:
                 self._g_active.set(self._active)
-                with self._db_lock:
-                    drained = scheduler.revalidate(max_entries=self._batch)
+                drained = self._drain_once()
                 if drained:
                     self._c_drained.inc(drained)
             finally:
@@ -144,12 +146,53 @@ class RevalidationWorkerPool:
                     self._cond.notify_all()
                 self._g_active.set(self._active)
 
+    def _ready_total(self) -> int:
+        """Runnable entries across every shard's scheduler."""
+        return sum(s.ready_pending() for s in self._schedulers)
+
+    def _unsettled_total(self) -> int:
+        """Runnable entries plus transient (epoch-conflict) defers still
+        ripening — what :meth:`quiesce` must wait out.  Retry backoff
+        and quarantine parking are excluded, as ever."""
+        return sum(s.unsettled_pending() for s in self._schedulers)
+
+    def _drain_once(self) -> int:
+        """Drain up to one batch of ready entries.
+
+        Unsharded, a batch runs under the object base's update lock —
+        identical to a synchronous ``revalidate()``.  Sharded, the
+        update lock is *not* taken: each entry is drained under its own
+        shard's lock (one entry per lock hold, so foreground updates
+        and quiescers are never stalled behind a whole batch) and the
+        manager's write-epoch protocol discards any result that raced a
+        concurrent update.
+        """
+        if self._shard_locks is None:
+            with self._db_lock:
+                return self._scheduler.revalidate(max_entries=self._batch)
+        drained = 0
+        budget = self._batch
+        for shard, scheduler in enumerate(self._schedulers):
+            while budget > 0 and scheduler.ready_pending():
+                with self._shard_locks[shard]:
+                    done = scheduler.revalidate(max_entries=1)
+                if not done:
+                    break
+                drained += done
+                budget -= done
+            if budget <= 0:
+                break
+        return drained
+
     # -- synchronization -------------------------------------------------------
 
     def idle(self) -> bool:
-        """True when nothing is queued, due, or being drained."""
+        """True when nothing is queued, due, being drained, or parked
+        in a transient epoch-conflict defer (those ripen within
+        milliseconds and must not be mistaken for convergence — a
+        conflicted entry is still INVALID)."""
         with self._cond:
-            return self._active == 0 and self._scheduler.ready_pending() == 0
+            return self._active == 0 and self._unsettled_total() == 0
 
     def quiesce(self, timeout: float = 30.0) -> bool:
         """Block until the queue has fully drained (or ``timeout``).
@@ -168,7 +211,7 @@ class RevalidationWorkerPool:
         """
         import time
 
-        if self._holds_db_lock():
+        if self._shard_locks is None and self._holds_db_lock():
             scheduler = self._scheduler
             while scheduler.ready_pending():
                 drained = scheduler.revalidate(max_entries=self._batch)
@@ -180,6 +223,20 @@ class RevalidationWorkerPool:
             # the lock we hold: they cannot be mid-mutation, and will
             # wake to an empty queue, so this *is* quiescence.
             return self._scheduler.ready_pending() == 0
+        if self._shard_locks is not None and self._holds_db_lock():
+            # Sharded drains never take the update lock, so workers
+            # keep making progress even while the caller holds it; but
+            # drain synchronously too (shard locks are reentrant) so a
+            # quiesce inside a ``db.batch()`` scope converges without
+            # waiting on worker wakeups.
+            for shard, scheduler in enumerate(self._schedulers):
+                while scheduler.ready_pending():
+                    with self._shard_locks[shard]:
+                        drained = scheduler.revalidate(max_entries=self._batch)
+                    if drained:
+                        self._c_drained.inc(drained)
+                    else:  # pragma: no cover - stuck/deferred entries
+                        break
         deadline = time.monotonic() + timeout
         with self._cond:
             self._cond.notify_all()

@@ -20,11 +20,15 @@ compensating actions, and implements the paper's maintenance algorithms:
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, fields as dataclass_fields
 from itertools import product
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from repro.concurrency.sharding import ShardCommitConflict, shard_of
 
 from repro.core.batch import (
     CreateEvent,
@@ -153,6 +157,28 @@ class ManagerStats:
         )
 
 
+class _MultiLock:
+    """Hold a fixed tuple of locks, acquired ascending, released
+    descending — the all-shards context of engine-wide sweeps.  The
+    ascending order is the same everywhere (here and in
+    ``ObjectBase._freeze``), which keeps multi-shard acquisition
+    deadlock-free."""
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, locks: tuple) -> None:
+        self._locks = locks
+
+    def __enter__(self) -> "_MultiLock":
+        for lock in self._locks:
+            lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for lock in reversed(self._locks):
+            lock.release()
+
+
 class GMRManager:
     """Maintains every GMR extension of one object base."""
 
@@ -185,6 +211,40 @@ class GMRManager:
         self.guard = ExecutionGuard(self.fault_policy, clock=self._now)
         self.breaker = CircuitBreaker(self.fault_policy, clock=self._now)
         self.scheduler = RevalidationScheduler(self)
+        #: One scheduler per shard (sharded engines); ``schedulers[0]``
+        #: is always :attr:`scheduler`, so unsharded bases see exactly
+        #: one object and no new allocations.  All shards share *one*
+        #: ``query_frequency`` dict — query heat is a property of the
+        #: function, not of the shard that owns an argument tuple.
+        self._shards = db.config.shards
+        if self._shards > 1:
+            extra = []
+            for _ in range(self._shards - 1):
+                sibling = RevalidationScheduler(self)
+                sibling.query_frequency = self.scheduler.query_frequency
+                extra.append(sibling)
+            self.schedulers: tuple[RevalidationScheduler, ...] = (
+                self.scheduler,
+                *extra,
+            )
+        else:
+            self.schedulers = (self.scheduler,)
+        #: Per-shard drain gates (the *same* objects as
+        #: ``db._shard_locks``); ``None`` unsharded.
+        self._shard_locks = db._shard_locks
+        #: Leaf latch for RRR/ObjDepFct mutations.  Sharded drains run
+        #: outside the global update lock, so the dict-of-sets behind
+        #: the RRR needs its own structural serialization; unsharded
+        #: this is a shared no-op context (the global lock or the
+        #: single thread already serializes).
+        self._rrr_latch: Any = (
+            threading.Lock() if self._shards > 1 else nullcontext()
+        )
+        #: Per-thread marker set by a scheduler drain for its duration;
+        #: gates the write-epoch conflict protocol in
+        #: :meth:`_rematerialize_impl` (foreground remats hold the
+        #: global update lock and skip it).
+        self._drain_flag = threading.local()
         self._queue = InvalidationQueue()
         self._batch_depth = 0
         self._flushing = False
@@ -197,9 +257,10 @@ class GMRManager:
 
         # -- concurrency wiring (see repro.concurrency) ----------------
         #: True when the object base runs a revalidation worker pool
-        #: (``config.workers > 0``); gates the multi-threaded code
-        #: paths so ``workers=0`` keeps today's sequence bit-for-bit.
-        self._mt = db.config.workers > 0
+        #: (``config.workers > 0``) or a sharded engine (``shards >
+        #: 1``); gates the multi-threaded code paths so ``workers=0,
+        #: shards=1`` keeps today's sequence bit-for-bit.
+        self._mt = db.config.workers > 0 or db.config.shards > 1
         #: The object base's update lock — the *same* object as
         #: ``db._update_lock`` (an RLock in MT mode, a shared
         #: ``nullcontext`` otherwise), so maintenance entered from a
@@ -257,6 +318,105 @@ class GMRManager:
 
     def _now(self) -> float:
         return self.clock()
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    def _scheduler_for(self, args: tuple) -> RevalidationScheduler:
+        """The scheduler owning ``args``' shard (Sec. 4.1 decoupling,
+        partitioned): every schedule/retry of an entry lands on the
+        queue its shard's worker slice drains."""
+        schedulers = self.schedulers
+        if len(schedulers) == 1:
+            return self.scheduler
+        return schedulers[shard_of(args, self._shards)]
+
+    def scheduler_pending_for(self, fid: str) -> int:
+        """Queued entries of ``fid`` summed across every shard."""
+        return sum(s.pending_for(fid) for s in self.schedulers)
+
+    def _all_shards(self) -> Any:
+        """A context holding every shard lock (ascending); a shared
+        no-op unsharded.  Engine-wide sweeps take it *inside* the
+        maintenance lock so no shard drain runs while they rewrite
+        cross-shard state."""
+        locks = self._shard_locks
+        if locks is None:
+            return nullcontext()
+        return _MultiLock(locks)
+
+    def dump_scheduler_state(self) -> dict:
+        """One portable queue snapshot covering every shard.
+
+        Unsharded this is exactly ``scheduler.dump_state()`` (identical
+        output, so checkpoints stay byte-compatible).  Sharded, the
+        per-shard snapshots are merged into a single deterministic
+        stream — entries sorted by (priority, seq, shard) and
+        re-sequenced — so a checkpoint written at ``shards=N`` restores
+        into any shard count (routing is a pure function of the args).
+        """
+        if len(self.schedulers) == 1:
+            return self.scheduler.dump_state()
+        heap: list[list] = []
+        delayed: list[list] = []
+        attempts: list[list] = []
+        seq_high = 0
+        for shard, scheduler in enumerate(self.schedulers):
+            state = scheduler.dump_state()
+            heap.extend([*entry, shard] for entry in state["heap"])
+            delayed.extend([*entry, shard] for entry in state["delayed"])
+            attempts.extend(state["attempts"])
+            seq_high = max(seq_high, state["seq"])
+        heap.sort(key=lambda e: (e[0], e[1], e[4]))
+        delayed.sort(key=lambda e: (e[0], e[1], e[4]))
+        heap = [
+            [priority, index, fid, args]
+            for index, (priority, _, fid, args, _) in enumerate(heap)
+        ]
+        delayed = [
+            [remaining, index, fid, args]
+            for index, (remaining, _, fid, args, _) in enumerate(delayed)
+        ]
+        attempts.sort(key=lambda e: (e[0], repr(e[1])))
+        return {
+            "heap": heap,
+            "delayed": delayed,
+            "attempts": attempts,
+            "seq": max(seq_high, len(heap) + len(delayed)),
+            "frequency": dict(self.scheduler.query_frequency),
+        }
+
+    def restore_scheduler_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_scheduler_state` snapshot, splitting
+        the merged stream back onto the owning shards' schedulers."""
+        if len(self.schedulers) == 1:
+            self.scheduler.restore_state(state)
+            return
+        shards = self._shards
+        parts: list[dict] = [
+            {
+                "heap": [],
+                "delayed": [],
+                "attempts": [],
+                "seq": state.get("seq", 0),
+                "frequency": dict(state.get("frequency", {})),
+            }
+            for _ in range(shards)
+        ]
+        for entry in state.get("heap", []):
+            parts[shard_of(tuple(entry[3]), shards)]["heap"].append(entry)
+        for entry in state.get("delayed", []):
+            parts[shard_of(tuple(entry[3]), shards)]["delayed"].append(entry)
+        for entry in state.get("attempts", []):
+            parts[shard_of(tuple(entry[1]), shards)]["attempts"].append(entry)
+        for scheduler, part in zip(self.schedulers, parts):
+            scheduler.restore_state(part)
+        # ``restore_state`` replaces each query_frequency dict; re-share
+        # shard 0's so ``note_query`` heat stays visible to every shard.
+        shared = self.scheduler.query_frequency
+        for scheduler in self.schedulers[1:]:
+            scheduler.query_frequency = shared
 
     # ------------------------------------------------------------------
     # Observability (tracing, metrics, EXPLAIN)
@@ -641,7 +801,7 @@ class GMRManager:
                 self.stats.guard_timeouts += 1
             if self.breaker.record_failure(pfid):
                 self.stats.breaker_opens += 1
-            if self.scheduler.schedule_retry(gmr, pfid, args):
+            if self._scheduler_for(args).schedule_retry(gmr, pfid, args):
                 self.stats.retries_scheduled += 1
             raise failure
         if self.breaker.record_success(pfid):
@@ -676,6 +836,21 @@ class GMRManager:
         info = gmr.function(fid)
         db = self._db
         policy = self.fault_policy
+        # Write-epoch conflict protocol (sharded drains only): snapshot
+        # the epoch before computing.  An odd epoch means an elementary
+        # update is mutating the object graph *now*; any movement
+        # between snapshot and commit means the computation may have
+        # read half-applied state.  Either way the result is discarded,
+        # the entry re-deferred onto its shard's queue, and
+        # :class:`ShardCommitConflict` tells the drain loop to move on.
+        # Foreground remats hold the global update lock (epoch stable
+        # and even), so epoch0 stays -1 and the checks vanish.
+        epoch0 = -1
+        if self._shards > 1 and getattr(self._drain_flag, "active", 0):
+            epoch0 = db._write_epoch
+            if epoch0 & 1:
+                self._defer_conflicted(gmr, fid, args)
+                raise ShardCommitConflict(fid)
         if not policy.enabled:
             self.stats.rematerializations += 1
             self._obs_remat(fid)
@@ -683,6 +858,11 @@ class GMRManager:
                 with db.trace() as tracer:
                     value = db.call_function(info, args)
             except Exception:
+                if epoch0 >= 0 and db._write_epoch != epoch0:
+                    # The body raced an update; the exception is an
+                    # artifact of torn reads, not a real failure.
+                    self._defer_conflicted(gmr, fid, args)
+                    raise ShardCommitConflict(fid) from None
                 # A failing function body must never leave a stale value
                 # flagged valid (Def. 3.2): invalidate the entry and let
                 # the error surface to the updater/querier.
@@ -703,10 +883,18 @@ class GMRManager:
                     fid, args, lambda: db.call_function(info, args)
                 )
             if failure is not None:
+                if epoch0 >= 0 and db._write_epoch != epoch0:
+                    # Racing-update artifact: no failure accounting, no
+                    # breaker charge — just try again shortly.
+                    self._defer_conflicted(gmr, fid, args)
+                    raise ShardCommitConflict(fid)
                 self._record_failure(gmr, fid, args, failure)
                 raise failure
             if self.breaker.record_success(fid):
                 self.stats.breaker_closes += 1
+        if epoch0 >= 0 and db._write_epoch != epoch0:
+            self._defer_conflicted(gmr, fid, args)
+            raise ShardCommitConflict(fid)
         gmr.set_result(args, fid, value)
         self._note(fid, args, "rematerialized")
         if gmr.strategy is not Strategy.SNAPSHOT:
@@ -715,6 +903,12 @@ class GMRManager:
             for oid in accessed:
                 self._rrr_insert(oid, fid, args)
         return value
+
+    def _defer_conflicted(self, gmr: GMR, fid: str, args: tuple) -> None:
+        """Requeue an entry whose drain lost the write-epoch race."""
+        if self.tracer.enabled:
+            self.tracer.event("shard.conflict", fid=fid)
+        self._scheduler_for(args).defer(gmr, fid, args)
 
     def _record_failure(
         self,
@@ -755,7 +949,7 @@ class GMRManager:
         )
         if self.breaker.record_failure(fid):
             self.stats.breaker_opens += 1
-        if self.scheduler.schedule_retry(gmr, fid, args):
+        if self._scheduler_for(args).schedule_retry(gmr, fid, args):
             self.stats.retries_scheduled += 1
 
     def _remat_or_degrade(self, gmr: GMR, fid: str, args: tuple) -> bool:
@@ -774,12 +968,14 @@ class GMRManager:
         ):
             gmr.mark_invalid(args, fid)
             self._note(fid, args, "invalidated (function quarantined)")
-            self.scheduler.schedule(gmr, fid, args)
+            self._scheduler_for(args).schedule(gmr, fid, args)
             return False
         try:
             self._rematerialize(gmr, fid, args)
         except (FunctionExecutionError, FunctionQuarantinedError):
             return False
+        except ShardCommitConflict:
+            return False  # entry re-deferred; a later drain retries
         return True
 
     def _predicate_update_safe(self, gmr: GMR, args: tuple) -> bool:
@@ -809,30 +1005,57 @@ class GMRManager:
 
     # -- RRR/ObjDepFct lockstep maintenance (Sec. 5.2) ---------------------------
 
+    # Each helper runs under ``_rrr_latch`` — the leaf latch that keeps
+    # the RRR's dict-of-sets (and the ObjDepFct markings kept in
+    # lockstep with it) structurally sound when a sharded drain's
+    # commit races a global-locked updater's probe.  Unsharded the
+    # latch is a shared no-op context.
+
     def _rrr_insert(self, oid: Oid, fid: str, args: tuple) -> None:
-        first = self._rrr.insert(oid, fid, args)
-        if first and self._db.objects.exists(oid):
-            self._db.objects.get(oid).obj_dep_fct.add(fid)
+        with self._rrr_latch:
+            first = self._rrr.insert(oid, fid, args)
+            if first and self._db.objects.exists(oid):
+                self._db.objects.get(oid).obj_dep_fct.add(fid)
 
     def _rrr_pop_args(self, oid: Oid, fid: str) -> set[tuple]:
-        popped = self._rrr.pop_args(oid, fid)
-        if popped and self._db.objects.exists(oid):
-            self._db.objects.get(oid).obj_dep_fct.discard(fid)
-        return popped
+        with self._rrr_latch:
+            popped = self._rrr.pop_args(oid, fid)
+            if popped and self._db.objects.exists(oid):
+                self._db.objects.get(oid).obj_dep_fct.discard(fid)
+            return popped
 
     def _rrr_remove(self, oid: Oid, fid: str, args: tuple) -> None:
-        last = self._rrr.remove(oid, fid, args)
-        if last and self._db.objects.exists(oid):
-            self._db.objects.get(oid).obj_dep_fct.discard(fid)
+        with self._rrr_latch:
+            last = self._rrr.remove(oid, fid, args)
+            if last and self._db.objects.exists(oid):
+                self._db.objects.get(oid).obj_dep_fct.discard(fid)
 
     def _sync_obj_dep(self, oid: Oid) -> None:
         """Rebuild an object's ObjDepFct from its current RRR entries."""
-        if not self._db.objects.exists(oid):
-            return
-        obj = self._db.objects.get(oid)
-        current = self._rrr.fids_of(oid)
-        obj.obj_dep_fct.clear()
-        obj.obj_dep_fct.update(current)
+        with self._rrr_latch:
+            if not self._db.objects.exists(oid):
+                return
+            obj = self._db.objects.get(oid)
+            current = self._rrr.fids_of(oid)
+            obj.obj_dep_fct.clear()
+            obj.obj_dep_fct.update(current)
+
+    def _rrr_pop_object(self, oid: Oid) -> dict[str, set[tuple]]:
+        """Latched ``rrr.pop_object`` plus the ObjDepFct clear (the
+        grouped probe of the forget paths)."""
+        with self._rrr_latch:
+            by_fct = self._rrr.pop_object(oid)
+            if self._db.objects.exists(oid):
+                self._db.objects.get(oid).obj_dep_fct.clear()
+            return by_fct
+
+    def _rrr_fids_of(self, oid: Oid) -> set[str]:
+        with self._rrr_latch:
+            return self._rrr.fids_of(oid)
+
+    def _rrr_args_of(self, oid: Oid, fid: str) -> list[tuple]:
+        with self._rrr_latch:
+            return list(self._rrr.args_of(oid, fid))
 
     # ------------------------------------------------------------------
     # Batched maintenance (the deferred-notification pipeline)
@@ -916,7 +1139,7 @@ class GMRManager:
                     relevant = set(event.fids)
                     if event.all_fids:
                         relevant |= (
-                            self._rrr.fids_of(event.oid) - event.all_exclude
+                            self._rrr_fids_of(event.oid) - event.all_exclude
                         )
                     self.invalidate(event.oid, relevant, via="batch")
                 elif isinstance(event, CreateEvent):
@@ -945,7 +1168,7 @@ class GMRManager:
         oid = event.oid
         folded = event.folded
         inv_fids: set[str] = set()
-        by_fct = self._rrr.pop_object(oid)
+        by_fct = self._rrr_pop_object(oid)
         self._obs_probe(
             FORGET_KEY, sum(len(args_set) for args_set in by_fct.values())
         )
@@ -954,8 +1177,6 @@ class GMRManager:
             if folded.all_fids:
                 inv_fids |= set(by_fct) - folded.all_exclude
             self.stats.invalidate_calls += 1  # the merged probe
-        if self._db.objects.exists(oid):
-            self._db.objects.get(oid).obj_dep_fct.clear()
         affected = 0
         for fid, args_set in by_fct.items():
             gmr = self._gmr_of_fid.get(fid)
@@ -977,7 +1198,7 @@ class GMRManager:
                         if gmr.mark_invalid(args, fid) and (
                             gmr.strategy is Strategy.DEFERRED
                         ):
-                            self.scheduler.schedule(gmr, fid, args)
+                            self._scheduler_for(args).schedule(gmr, fid, args)
                         affected += 1
                         continue
                     # The forget_object part: drop the deleted object's
@@ -996,7 +1217,7 @@ class GMRManager:
                     if gmr.mark_invalid(args, fid) and (
                         gmr.strategy is Strategy.DEFERRED
                     ):
-                        self.scheduler.schedule(gmr, fid, args)
+                        self._scheduler_for(args).schedule(gmr, fid, args)
                     affected += 1
                 else:
                     if gmr.lookup(args) is None:
@@ -1066,7 +1287,7 @@ class GMRManager:
                     if gmr.mark_invalid(args, fid) and (
                         gmr.strategy is Strategy.DEFERRED
                     ):
-                        self.scheduler.schedule(gmr, fid, args)
+                        self._scheduler_for(args).schedule(gmr, fid, args)
                     affected += 1
         return affected
 
@@ -1107,7 +1328,7 @@ class GMRManager:
             return 0
         self.stats.invalidate_calls += 1
         if fcts is None:
-            relevant = self._rrr.fids_of(oid)
+            relevant = self._rrr_fids_of(oid)
         else:
             relevant = set(fcts)
         if exclude:
@@ -1135,8 +1356,9 @@ class GMRManager:
                     # Step 1, second-chance variant: drop stale leftovers
                     # from the previous round, mark the fresh entries and
                     # process exactly those.
-                    self._rrr.pop_marked(oid, fid)
-                    args_set = self._rrr.mark_all(oid, fid)
+                    with self._rrr_latch:
+                        self._rrr.pop_marked(oid, fid)
+                        args_set = self._rrr.mark_all(oid, fid)
                     self._sync_obj_dep(oid)
                 else:
                     args_set = self._rrr_pop_args(oid, fid)
@@ -1170,7 +1392,7 @@ class GMRManager:
                         # the popped entry was the stale leftover; nothing
                         # to do.
                         if gmr.mark_invalid(args, fid) and deferred:
-                            self.scheduler.schedule(gmr, fid, args)
+                            self._scheduler_for(args).schedule(gmr, fid, args)
                         self._note(fid, args, f"invalidated via={via}")
                         affected += 1
                 else:
@@ -1275,14 +1497,12 @@ class GMRManager:
                 self.stats.rrr_probes_saved += 1
             self.stats.batched_invalidations += 1
             return
-        by_fct = self._rrr.pop_object(oid)
+        by_fct = self._rrr_pop_object(oid)
         self._obs_probe(
             FORGET_KEY, sum(len(args_set) for args_set in by_fct.values())
         )
         if self.tracer.enabled:
             self.tracer.event("forget", oid=str(oid), fids=sorted(by_fct))
-        if self._db.objects.exists(oid):
-            self._db.objects.get(oid).obj_dep_fct.clear()
         for fid, args_set in by_fct.items():
             gmr = self._gmr_of_fid.get(fid)
             if gmr is None:
@@ -1386,7 +1606,7 @@ class GMRManager:
                 db.handle(argument) if isinstance(argument, Oid) else argument
                 for argument in update_args
             )
-            for args in list(self._rrr.args_of(oid, fid)):
+            for args in self._rrr_args_of(oid, fid):
                 row = gmr.lookup(args)
                 if row is None:
                     self._rrr_remove(oid, fid, args)  # blind reference
@@ -1546,7 +1766,7 @@ class GMRManager:
         single-threaded): it mutates the RRR and GMR validity bits,
         which must be serialized against a concurrent worker-pool
         drain."""
-        with self._maint_lock:
+        with self._maint_lock, self._all_shards():
             fids = set(gmr.fids)
             stale = [
                 (oid, fid, args)
@@ -1560,7 +1780,7 @@ class GMRManager:
                     if gmr.mark_invalid(args, fid) and (
                         gmr.strategy is Strategy.DEFERRED
                     ):
-                        self.scheduler.schedule(gmr, fid, args)
+                        self._scheduler_for(args).schedule(gmr, fid, args)
 
     def revalidate(self, gmr: GMR, fid: str | None = None) -> int:
         """Rematerialize every invalid entry (the paper's low-load sweep).
@@ -1569,7 +1789,7 @@ class GMRManager:
         whose function fails or is quarantined stay invalid/ERROR (a
         bounded retry is scheduled) instead of aborting the sweep.
         """
-        with self._maint_lock:
+        with self._maint_lock, self._all_shards():
             count = 0
             fids = [fid] if fid is not None else gmr.fids
             for function_fid in fids:
@@ -1599,7 +1819,7 @@ class GMRManager:
         stripe locks do not serialize cross-entry index mutation
         against a concurrent worker-pool drain.
         """
-        with self._maint_lock:
+        with self._maint_lock, self._all_shards():
             removed = 0
             targets = [gmr] if gmr is not None else list(self._gmrs.values())
             for target in targets:
@@ -1649,7 +1869,7 @@ class GMRManager:
             raise GMRDefinitionError(
                 f"{gmr.name} is not a snapshot GMR; use revalidate instead"
             )
-        with self._maint_lock:
+        with self._maint_lock, self._all_shards():
             for args in gmr.args():
                 gmr.remove_row(args)
             self._populate(gmr)
@@ -1682,7 +1902,7 @@ class GMRManager:
         lock (a no-op single-threaded): the revalidating sweep and the
         range scan must see one consistent extension.
         """
-        with self._maint_lock:
+        with self._maint_lock, self._all_shards():
             return self._backward_query_impl(
                 fid,
                 low,

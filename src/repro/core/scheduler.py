@@ -53,6 +53,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Callable
 
+from repro.concurrency.sharding import ShardCommitConflict
 from repro.errors import FunctionExecutionError, FunctionQuarantinedError
 from repro.core.guard import jittered_delay
 from repro.util.rng import DeterministicRng
@@ -80,6 +81,12 @@ class RevalidationScheduler:
         #: Failed-rematerialization attempt counts per ``(fid, args)``;
         #: cleared on success or when the entry becomes moot.
         self._attempts: dict[tuple[str, tuple], int] = {}
+        #: Delayed entries that are *transient* — parked for a few
+        #: milliseconds by the sharded write-epoch protocol, not backing
+        #: off a failure.  A quiescer must wait these out (they ripen
+        #: almost immediately), unlike retry backoff or quarantine
+        #: parking, which quiescence deliberately ignores.
+        self._transient: set[tuple[str, tuple]] = set()
         self._rng: DeterministicRng | None = None
         #: Forward queries observed per function id.
         self.query_frequency: dict[str, int] = {}
@@ -109,6 +116,15 @@ class RevalidationScheduler:
         with self._lock:
             self._promote_due()
             return len(self._heap)
+
+    def unsettled_pending(self) -> int:
+        """Entries a quiescer must wait out: everything runnable now
+        plus transient (write-epoch conflict) defers still ripening.
+        Excludes genuine retry backoff and breaker quarantine parking —
+        those are the *failure* delays quiescence deliberately skips."""
+        with self._lock:
+            self._promote_due()
+            return len(self._heap) + len(self._transient)
 
     def _observe_depth(self) -> None:
         manager = self._manager
@@ -144,6 +160,26 @@ class RevalidationScheduler:
             heapq.heappush(self._heap, (-frequency, self._seq, fid, args))
             self._queued.add(key)
         self._observe_depth()
+        self._notify_ready()
+        return True
+
+    def defer(
+        self, gmr: "GMR", fid: str, args: tuple, delay: float = 0.005
+    ) -> bool:
+        """Requeue an entry a short moment from now (no attempt charged).
+
+        Used by the sharded engine when a background rematerialization
+        loses the write-epoch race against a concurrent update: the
+        entry goes onto the *delayed* heap — delayed entries pushed
+        during a drain are not promoted within the same sweep, so a
+        hot updater cannot livelock a drain — and becomes ripe again
+        after ``delay`` seconds.  Already-queued entries are left alone.
+        """
+        key = (fid, args)
+        with self._lock:
+            if key in self._queued:
+                return False
+            self._push_delayed(fid, args, delay, transient=True)
         self._notify_ready()
         return True
 
@@ -199,12 +235,16 @@ class RevalidationScheduler:
         self._notify_ready()
         return True
 
-    def _push_delayed(self, fid: str, args: tuple, delay: float) -> None:
+    def _push_delayed(
+        self, fid: str, args: tuple, delay: float, *, transient: bool = False
+    ) -> None:
         with self._lock:
             self._seq += 1
             eligible_at = self._manager._now() + delay
             heapq.heappush(self._delayed, (eligible_at, self._seq, fid, args))
             self._queued.add((fid, args))
+            if transient:
+                self._transient.add((fid, args))
         self._observe_depth()
 
     def _promote_due(self) -> None:
@@ -213,6 +253,7 @@ class RevalidationScheduler:
             now = self._manager._now()
             while self._delayed and self._delayed[0][0] <= now:
                 _, _, fid, args = heapq.heappop(self._delayed)
+                self._transient.discard((fid, args))
                 self._seq += 1
                 frequency = self.query_frequency.get(fid, 0)
                 heapq.heappush(
@@ -235,6 +276,7 @@ class RevalidationScheduler:
             self._delayed.clear()
             self._queued.clear()
             self._attempts.clear()
+            self._transient.clear()
 
     # -- persistence -----------------------------------------------------------
 
@@ -287,6 +329,9 @@ class RevalidationScheduler:
                 (fid, tuple(args)): int(count)
                 for fid, args, count in state.get("attempts", [])
             }
+            # Transient (epoch-conflict) defers live for milliseconds;
+            # any that were dumped restore as ordinary delayed entries.
+            self._transient = set()
             self._seq = state.get("seq", 0)
             self.query_frequency = dict(state.get("frequency", {}))
         self._notify_ready()
@@ -351,6 +396,23 @@ class RevalidationScheduler:
         self, max_entries: int | None, time_budget: float | None
     ) -> int:
         manager = self._manager
+        # Mark this thread as draining for the duration of the sweep —
+        # the manager's rematerialization path only runs its write-epoch
+        # conflict protocol for drain-originated work on a sharded base
+        # (foreground remats hold the global update lock and need none).
+        flag = manager._drain_flag
+        flag.active = getattr(flag, "active", 0) + 1
+        try:
+            return self._drain_inner(manager, max_entries, time_budget)
+        finally:
+            flag.active -= 1
+
+    def _drain_inner(
+        self,
+        manager: "GMRManager",
+        max_entries: int | None,
+        time_budget: float | None,
+    ) -> int:
         self._promote_due()
         started = time.perf_counter()
         drained = 0
@@ -372,6 +434,11 @@ class RevalidationScheduler:
                 self._drop_attempts(key)
                 continue  # the GMR is gone; nothing to revalidate
             if fid == gmr.predicate_fid:
+                if manager._shards > 1 and manager._db._write_epoch & 1:
+                    # An update is mid-flight; a predicate re-evaluation
+                    # now could read torn state.  Defer instead.
+                    self._push_delayed(fid, args, 0.005, transient=True)
+                    continue
                 policy = manager.fault_policy
                 if (
                     policy.enabled
@@ -417,6 +484,8 @@ class RevalidationScheduler:
                 continue
             try:
                 manager._rematerialize(gmr, fid, args)
+            except ShardCommitConflict:
+                continue  # entry already re-deferred by the manager
             except FunctionQuarantinedError:
                 self._push_delayed(
                     fid,

@@ -9,7 +9,7 @@ Examples::
     python -m repro.fuzz --count 100000 --seed 20260808 \\
         --time-budget 1200 --minimize --out fuzz-failures
 
-    # Reproduce one script against the full 96-config matrix
+    # Reproduce one script against the full 192-config matrix
     python -m repro.fuzz --count 1 --seed 1234 --domain company --all-configs
 """
 
@@ -43,7 +43,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--configs-per-script", type=int, default=4,
                         help="width of the rotating config window (default 4)")
     parser.add_argument("--all-configs", action="store_true",
-                        help="check every script against the full 96-config "
+                        help="check every script against the full 192-config "
                              "matrix (slow; for reproductions)")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="stop generating after this many seconds")

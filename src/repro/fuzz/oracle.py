@@ -4,8 +4,8 @@ Each script is replayed once against an *unmaterialized* reference base
 (``materialize`` steps skipped — every query evaluates from scratch)
 and then against a rotating subset of the full configuration matrix:
 
-    instrumentation level  × strategy × batching × workers × plans
-    {NAIVE, SCHEMA_DEP,      {IMMEDIATE, {on,off}   {0, 2}    {on,off}
+    instrumentation level  × strategy × batching × workers × plans × shards
+    {NAIVE, SCHEMA_DEP,      {IMMEDIATE, {on,off}   {0, 2}    {on,off} {1, 4}
      OBJ_DEP, INFO_HIDING}    LAZY,
                               DEFERRED}
 
@@ -51,6 +51,7 @@ class OracleConfig:
     batching: bool
     workers: int
     plans: bool
+    shards: int = 1
 
     @property
     def name(self) -> str:
@@ -59,6 +60,7 @@ class OracleConfig:
             f"/batch={'on' if self.batching else 'off'}"
             f"/workers={self.workers}"
             f"/plans={'on' if self.plans else 'off'}"
+            f"/shards={self.shards}"
         )
 
     def to_config(self) -> MaterializationConfig:
@@ -68,6 +70,7 @@ class OracleConfig:
             batching=self.batching,
             workers=self.workers,
             invalidation_plans=self.plans,
+            shards=self.shards,
         )
 
 
@@ -89,7 +92,14 @@ class OracleFailure:
 
 
 def all_configs() -> tuple[OracleConfig, ...]:
-    """The full matrix (96 configurations), in a fixed order."""
+    """The full matrix (192 configurations), in a fixed order.
+
+    The shards axis is the innermost factor, so the first half of every
+    rotating window pairs each ``shards=1`` point with its ``shards=4``
+    sibling — a corpus replayed on any contiguous slice exercises both
+    the unsharded and the sharded engine for the same level/strategy
+    combination.
+    """
     return tuple(
         OracleConfig(
             level=level,
@@ -97,9 +107,10 @@ def all_configs() -> tuple[OracleConfig, ...]:
             batching=batching,
             workers=workers,
             plans=plans,
+            shards=shards,
         )
-        for level, strategy, batching, workers, plans in product(
-            _LEVELS, _STRATEGIES, (True, False), (0, 2), (True, False)
+        for level, strategy, batching, workers, plans, shards in product(
+            _LEVELS, _STRATEGIES, (True, False), (0, 2), (True, False), (1, 4)
         )
     )
 
@@ -107,8 +118,8 @@ def all_configs() -> tuple[OracleConfig, ...]:
 def configs_for_script(index: int, per_script: int = 4) -> tuple[OracleConfig, ...]:
     """A rotating window over the matrix.
 
-    Consecutive script indices cover disjoint (mod 96) windows, so a
-    ~24-script smoke run at the default width visits every
+    Consecutive script indices cover disjoint (mod 192) windows, so a
+    ~48-script smoke run at the default width visits every
     configuration at least once.
     """
     matrix = all_configs()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 import warnings
 from contextlib import contextmanager, nullcontext
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
@@ -45,7 +46,11 @@ from repro.gom.types import (
 )
 from repro.storage.btree import BPlusTree
 from repro.storage.pages import BufferManager, CostModel, PageStore
-from repro.storage.wal import WriteAheadLog, encode_value as _wal_encode
+from repro.storage.wal import (
+    ShardedWriteAheadLog,
+    WriteAheadLog,
+    encode_value as _wal_encode,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.function_registry import FunctionInfo, FunctionRegistry
@@ -60,6 +65,24 @@ _ATOMIC_DEFAULTS: dict[str, Any] = {
     "char": " ",
     "decimal": 0.0,
 }
+
+
+class _InvocationState(threading.local):
+    """Per-thread function-invocation state of one object base.
+
+    Holds the access-tracer stack and the nesting depths that the
+    invocation paths maintain (``_opaque_depth`` / ``_suppress_depth`` /
+    ``_materializing_depth``).  Subclassing ``threading.local`` gives
+    every thread — the foreground mutator and each pool drain thread —
+    its own independent copy, which is what makes concurrent
+    rematerializations trace independent accessed-object sets.
+    """
+
+    def __init__(self) -> None:
+        self.tracers: list[AccessTracer] = []
+        self.opaque_depth = 0
+        self.suppress_depth = 0
+        self.materializing_depth = 0
 
 
 class ObjectBase:
@@ -96,14 +119,45 @@ class ObjectBase:
         self.config = config
         #: The object base's update lock: every elementary update (and
         #: any maintenance entered from one) runs under it when a
-        #: revalidation worker pool is configured.  With ``workers=0``
-        #: it is a shared no-op context, so the single-threaded paths
-        #: stay bit-for-bit unchanged.  Reentrant: update paths nest
-        #: (``invoke`` → ``set_attr`` → invalidation → compensation).
-        if config.workers > 0:
+        #: revalidation worker pool or a sharded engine is configured.
+        #: With ``workers=0, shards=1`` it is a shared no-op context, so
+        #: the single-threaded paths stay bit-for-bit unchanged.
+        #: Reentrant: update paths nest (``invoke`` → ``set_attr`` →
+        #: invalidation → compensation).
+        if config.workers > 0 or config.shards > 1:
             self._update_lock: Any = threading.RLock()
         else:
             self._update_lock = nullcontext()
+        #: Shard count and per-shard drain gates.  Each shard lock
+        #: serializes that shard's background drains against freezes and
+        #: engine-wide maintenance sweeps: a pool worker holds the
+        #: owning shard's lock around each single-entry drain, while
+        #: writers take only the global update lock (their conflicts
+        #: with in-flight drains are resolved by the ``_write_epoch``
+        #: seqlock below, not by blocking).  ``None`` when unsharded —
+        #: no new objects on the shards=1 path.
+        self._shards = config.shards
+        if config.shards > 1:
+            self._shard_locks: "tuple[threading.RLock, ...] | None" = tuple(
+                threading.RLock() for _ in range(config.shards)
+            )
+        else:
+            self._shard_locks = None
+        #: Write-epoch seqlock (sharded engines only).  Every elementary
+        #: update increments it once on entry and once on exit, so an
+        #: odd value means an update is mutating the object graph right
+        #: now.  Background drains — which deliberately do *not* take
+        #: the global update lock when sharded — snapshot the epoch
+        #: before computing a rematerialization and re-check it before
+        #: committing; any movement defers the entry instead of
+        #: publishing a result computed from torn state.
+        self._write_epoch = 0
+        #: Elementary-update nesting depth of the thread holding the
+        #: update lock (listeners and invoked method bodies may issue
+        #: nested elementary updates); the epoch flips only at the
+        #: outermost level so it stays odd for the whole composite
+        #: update.  Only ever touched under the global update lock.
+        self._update_depth = 0
         #: Observability facade: ``db.observe.tracer`` and
         #: ``db.observe.metrics`` (see :mod:`repro.observe`).
         self.observe = Observability(config.observe)
@@ -119,10 +173,15 @@ class ObjectBase:
 
         self._gmr: "GMRManager | None" = None
         self._functions: "FunctionRegistry | None" = None
-        self._tracers: list[AccessTracer] = []
-        self._opaque_depth = 0
-        self._suppress_depth = 0
-        self._materializing_depth = 0
+        #: Per-thread invocation state (access tracers and the opaque /
+        #: suppress / materializing depths).  Thread-local because a
+        #: background drain's rematerialization must trace only the
+        #: objects *its* function body touches — a shared tracer list
+        #: would let concurrent drains pollute each other's accessed
+        #: sets and materialize spurious RRR rows.  Single-threaded
+        #: bases pay one attribute indirection (the property shims
+        #: below), nothing else.
+        self._invocation = _InvocationState()
         self._member_plans: dict[tuple[str, str], tuple] = {}
         self._strict_cache: dict[str, bool] = {}
         self._attr_indexes: dict[tuple[str, str], BPlusTree] = {}
@@ -135,7 +194,7 @@ class ObjectBase:
         #: Guards listener (un)registration; see
         #: :meth:`register_update_listener` for the snapshot semantics.
         self._listener_lock = threading.Lock()
-        self._wal: WriteAheadLog | None = None
+        self._wal: WriteAheadLog | ShardedWriteAheadLog | None = None
         self._wal_suppress = 0
         #: The background revalidation pool (``config.workers > 0``);
         #: ``None`` single-threaded.  See :mod:`repro.concurrency`.
@@ -156,6 +215,43 @@ class ObjectBase:
     @level.setter
     def level(self, value: InstrumentationLevel) -> None:
         self.config.level = value
+
+    # -- per-thread invocation state (shims over ``_invocation``) ------
+    # The invocation paths read and write these exactly as they did when
+    # they were plain attributes; the properties reroute every access to
+    # the current thread's ``_InvocationState`` slot.
+
+    @property
+    def _tracers(self) -> list[AccessTracer]:
+        return self._invocation.tracers
+
+    @_tracers.setter
+    def _tracers(self, value: list[AccessTracer]) -> None:
+        self._invocation.tracers = value
+
+    @property
+    def _opaque_depth(self) -> int:
+        return self._invocation.opaque_depth
+
+    @_opaque_depth.setter
+    def _opaque_depth(self, value: int) -> None:
+        self._invocation.opaque_depth = value
+
+    @property
+    def _suppress_depth(self) -> int:
+        return self._invocation.suppress_depth
+
+    @_suppress_depth.setter
+    def _suppress_depth(self, value: int) -> None:
+        self._invocation.suppress_depth = value
+
+    @property
+    def _materializing_depth(self) -> int:
+        return self._invocation.materializing_depth
+
+    @_materializing_depth.setter
+    def _materializing_depth(self, value: int) -> None:
+        self._invocation.materializing_depth = value
 
     # ------------------------------------------------------------------
     # Schema definition
@@ -300,8 +396,80 @@ class ObjectBase:
         if self.worker_pool is not None:
             return self.worker_pool.quiesce(timeout)
         if self._gmr is not None:
-            self._gmr.scheduler.revalidate()
+            manager = self._gmr
+            locks = self._shard_locks
+            if locks is None:
+                manager.scheduler.revalidate()
+            else:
+                # Sharded, no pool: drain each shard's scheduler under
+                # its shard lock, looping because a sweep can requeue
+                # work (retry backoff, epoch deferrals) onto any shard.
+                # Transient epoch-conflict defers ripen within
+                # milliseconds and count as unsettled — wait them out
+                # (bounded by ``timeout``) rather than declaring
+                # convergence with an entry still INVALID.
+                deadline = time.monotonic() + timeout
+                while any(
+                    s.unsettled_pending() for s in manager.schedulers
+                ):
+                    progressed = False
+                    for shard, scheduler in enumerate(manager.schedulers):
+                        if scheduler.ready_pending() == 0:
+                            continue
+                        with locks[shard]:
+                            if scheduler.revalidate():
+                                progressed = True
+                    if progressed:
+                        continue
+                    if time.monotonic() >= deadline:
+                        return False
+                    time.sleep(0.001)
         return True
+
+    @contextmanager
+    def _freeze(self) -> Iterator[None]:
+        """Hold every lock of the engine: no update and no drain can run.
+
+        Takes the global update lock, then every shard lock in
+        ascending order (the one place more than one shard lock is ever
+        held).  Checkpointing snapshots under this so a sharded base's
+        document captures a cut where no rematerialization is half
+        committed.  Unsharded this is exactly the update lock.
+        """
+        with self._update_lock:
+            locks = self._shard_locks
+            if locks is None:
+                yield
+                return
+            for lock in locks:
+                lock.acquire()
+            try:
+                yield
+            finally:
+                for lock in reversed(locks):
+                    lock.release()
+
+    @contextmanager
+    def _epoch_scope(self) -> Iterator[None]:
+        """Mark an elementary update in the write-epoch seqlock.
+
+        Entered (under the global update lock) by every elementary
+        update wrapper of a sharded base.  The epoch increments at the
+        start and end of the *outermost* update only — nested elementary
+        updates issued by listeners or invoked method bodies keep it odd
+        for the whole composite mutation, which is the invariant the
+        drain-side conflict check relies on.
+        """
+        depth = self._update_depth
+        self._update_depth = depth + 1
+        if depth == 0:
+            self._write_epoch += 1
+        try:
+            yield
+        finally:
+            self._update_depth = depth
+            if depth == 0:
+                self._write_epoch += 1
 
     def close(self) -> None:
         """Stop the worker pool (if any) and detach the WAL.
@@ -335,9 +503,11 @@ class ObjectBase:
     # Durability (write-ahead logging)
     # ------------------------------------------------------------------
 
-    def attach_wal(self, wal: WriteAheadLog) -> None:
+    def attach_wal(self, wal: WriteAheadLog | ShardedWriteAheadLog) -> None:
         """Attach a write-ahead log: every elementary update is appended
-        to it *before* it is applied (see :mod:`repro.storage.wal`)."""
+        to it *before* it is applied (see :mod:`repro.storage.wal`).
+        A :class:`~repro.storage.wal.ShardedWriteAheadLog` attaches the
+        same way — the object base is oblivious to the segmentation."""
         self._wal = wal
         observe = self.observe
         if observe.metrics.enabled or observe.tracer.enabled:
@@ -355,14 +525,14 @@ class ObjectBase:
 
             wal.on_append = _on_append
 
-    def detach_wal(self) -> WriteAheadLog | None:
+    def detach_wal(self) -> WriteAheadLog | ShardedWriteAheadLog | None:
         wal, self._wal = self._wal, None
         if wal is not None:
             wal.on_append = None
         return wal
 
     @property
-    def wal(self) -> WriteAheadLog | None:
+    def wal(self) -> WriteAheadLog | ShardedWriteAheadLog | None:
         return self._wal
 
     @contextmanager
@@ -456,7 +626,10 @@ class ObjectBase:
 
     def new(self, type_name: str, **attributes: Any) -> Handle:
         """Create a tuple-structured object (the elementary ``create``)."""
-        with self._update_lock:
+        if self._shard_locks is None:
+            with self._update_lock:
+                return self._new_impl(type_name, attributes)
+        with self._update_lock, self._epoch_scope():
             return self._new_impl(type_name, attributes)
 
     def _new_impl(self, type_name: str, attributes: dict) -> Handle:
@@ -501,7 +674,10 @@ class ObjectBase:
         self, type_name: str, elements: Iterable[Any] = ()
     ) -> Handle:
         """Create a set- or list-structured object."""
-        with self._update_lock:
+        if self._shard_locks is None:
+            with self._update_lock:
+                return self._new_collection_impl(type_name, elements)
+        with self._update_lock, self._epoch_scope():
             return self._new_collection_impl(type_name, elements)
 
     def _new_collection_impl(
@@ -542,7 +718,11 @@ class ObjectBase:
 
     def delete(self, target: Handle | Oid) -> None:
         """Delete an object (the elementary ``delete``, Figure 4/5)."""
-        with self._update_lock:
+        if self._shard_locks is None:
+            with self._update_lock:
+                self._delete_impl(target)
+            return
+        with self._update_lock, self._epoch_scope():
             self._delete_impl(target)
 
     def _delete_impl(self, target: Handle | Oid) -> None:
@@ -682,7 +862,11 @@ class ObjectBase:
 
     def set_attr(self, oid: Oid, attr: str, value: Any) -> None:
         """The elementary ``t.set_A`` update operation."""
-        with self._update_lock:
+        if self._shard_locks is None:
+            with self._update_lock:
+                self._set_attr_impl(oid, attr, value)
+            return
+        with self._update_lock, self._epoch_scope():
             self._set_attr_impl(oid, attr, value)
 
     def _set_attr_impl(self, oid: Oid, attr: str, value: Any) -> None:
@@ -729,7 +913,11 @@ class ObjectBase:
         ``position`` inserts at a specific index (used by transaction
         rollback to restore list order); the default appends.
         """
-        with self._update_lock:
+        if self._shard_locks is None:
+            with self._update_lock:
+                self._collection_insert_impl(target, element, position=position)
+            return
+        with self._update_lock, self._epoch_scope():
             self._collection_insert_impl(target, element, position=position)
 
     def _collection_insert_impl(
@@ -777,7 +965,11 @@ class ObjectBase:
 
     def collection_remove(self, target: Handle | Oid, element: Any) -> None:
         """The elementary ``remove`` update on a set/list object."""
-        with self._update_lock:
+        if self._shard_locks is None:
+            with self._update_lock:
+                self._collection_remove_impl(target, element)
+            return
+        with self._update_lock, self._epoch_scope():
             self._collection_remove_impl(target, element)
 
     def _collection_remove_impl(
@@ -1037,6 +1229,16 @@ class ObjectBase:
         # body's elementary updates, the post-operation invalidation);
         # in MT mode it runs atomically under the update lock so one
         # operation's effects never interleave with another thread's.
+        # Exception: a sharded drain's rematerialization (we are inside
+        # a ``call_function``) must never block on — or deadlock with —
+        # the global lock; the materialized bodies are side-effect-free
+        # (the paper's standing assumption), and any conflict with a
+        # concurrent update is caught by the write-epoch check before
+        # the result is committed.
+        if self._shard_locks is not None and self._materializing_depth:
+            return self._invoke_body(
+                obj, oid, op_name, decl_type, operation, raw_args
+            )
         with self._update_lock:
             return self._invoke_body(
                 obj, oid, op_name, decl_type, operation, raw_args

@@ -107,10 +107,26 @@ class MaterializationConfig:
     #: update lock so concurrent readers/writers are safe.  See
     #: ``docs/CONCURRENCY.md``.
     workers: int = 0
+    #: Hash partitions of the materialization engine.  ``1`` (the
+    #: default) keeps the single-shard engine bit-for-bit: one update
+    #: lock, one scheduler, one WAL file — no new objects are created.
+    #: ``N > 1`` partitions the GMR/RRR maintenance state by
+    #: ``shard_of(args)`` (:mod:`repro.concurrency.sharding`): each
+    #: shard owns an update lock, a :class:`RevalidationScheduler`
+    #: instance and a WAL segment file, and worker-pool drains take only
+    #: the owning shard's lock — so writers on different shards no
+    #: longer serialize behind one global drain.  Cross-shard
+    #: invalidation waves still fan out through the ordinary
+    #: batch/coalescing pipeline.  Sharding arms the same
+    #: multi-threading machinery as ``workers > 0`` (entry locks, MT
+    #: read path).  See the sharding section of ``docs/CONCURRENCY.md``.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
 
 class Observability:

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.concurrency.sharding import shard_of
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.gmr import GMR
     from repro.core.manager import GMRManager
@@ -91,6 +93,24 @@ class WaveExplain:
 
 
 @dataclass(frozen=True)
+class ShardExplain:
+    """One shard's slice of the engine (sharded bases only).
+
+    Built by grouping the very same rows the per-fid sections report
+    by ``shard_of(args)``, so the shard counts reconcile with the fid
+    sections — and through them with the metrics registry — by
+    construction; ``pending`` reads the shard's own scheduler.
+    """
+
+    shard: int
+    entries: int
+    valid: int
+    invalid: int
+    error: int
+    pending: int
+
+
+@dataclass(frozen=True)
 class ExplainReport:
     """What :meth:`GMRManager.explain` returns."""
 
@@ -101,6 +121,8 @@ class ExplainReport:
     #: Tally keys not owned by a live GMR fid (``__forget__``, fids of
     #: dropped GMRs) — included so ``totals`` stays exhaustive.
     other_tallies: dict = field(default_factory=dict)
+    #: Per-shard breakdown; empty on unsharded bases (``shards=1``).
+    shards: tuple[ShardExplain, ...] = ()
 
     def fid(self, fid: str) -> FidExplain:
         for section in self.fids:
@@ -122,6 +144,12 @@ class ExplainReport:
         for strategy, tally in sorted(self.per_strategy.items()):
             parts = " ".join(f"{k}={v}" for k, v in tally.items() if v)
             lines.append(f"strategy {strategy}: {parts or '(idle)'}")
+        for shard in self.shards:
+            lines.append(
+                f"shard {shard.shard}: {shard.entries} entries "
+                f"({shard.valid} valid / {shard.invalid} invalid / "
+                f"{shard.error} error); pending={shard.pending}"
+            )
         for section in self.fids:
             tally = " ".join(
                 f"{k}={v}" for k, v in section.tally.items() if v
@@ -169,8 +197,10 @@ def build_explain(
     sections: list[FidExplain] = []
     per_strategy: dict[str, dict] = {}
     covered: set[str] = set()
-    scheduler = manager.scheduler
     breaker = manager.breaker
+    shard_count = getattr(manager, "_shards", 1)
+    # valid/invalid/error/entries per shard (sharded bases only).
+    shard_counts = [[0, 0, 0, 0] for _ in range(shard_count)]
     for target in targets:
         strategy = target.strategy.value
         strategy_tally = per_strategy.setdefault(strategy, new_tally())
@@ -187,6 +217,15 @@ def build_explain(
             if not is_predicate:
                 for args in sorted(target.args(), key=repr):
                     state = target.entry_state(args, fid)
+                    if shard_count > 1:
+                        counts = shard_counts[shard_of(args, shard_count)]
+                        counts[3] += 1
+                        if state == "valid":
+                            counts[0] += 1
+                        elif state == "error":
+                            counts[2] += 1
+                        else:
+                            counts[1] += 1
                     if state == "valid":
                         valid += 1
                     elif state == "error":
@@ -212,7 +251,7 @@ def build_explain(
                     tally=tally,
                     breaker=breaker.state(fid).value,
                     quarantined=breaker.quarantined(fid),
-                    pending_retries=scheduler.pending_for(fid),
+                    pending_retries=manager.scheduler_pending_for(fid),
                 )
             )
     totals = new_tally()
@@ -229,10 +268,24 @@ def build_explain(
         for section in sections:
             _sum_into(totals, section.tally)
     wave = manager.last_wave
+    shards: tuple[ShardExplain, ...] = ()
+    if shard_count > 1:
+        shards = tuple(
+            ShardExplain(
+                shard=index,
+                entries=counts[3],
+                valid=counts[0],
+                invalid=counts[1],
+                error=counts[2],
+                pending=manager.schedulers[index].pending(),
+            )
+            for index, counts in enumerate(shard_counts)
+        )
     return ExplainReport(
         fids=tuple(sections),
         totals=totals,
         per_strategy=per_strategy,
         last_wave=wave,
         other_tallies=other,
+        shards=shards,
     )

@@ -44,7 +44,7 @@ from repro.gom.oid import Oid
 from repro.storage.wal import (
     WriteAheadLog,
     committed_prefix,
-    read_records,
+    read_records_merged,
 )
 from repro.storage.wal import decode_value as _decode_value
 
@@ -186,7 +186,7 @@ def to_document(db: "ObjectBase") -> dict:
     if db.has_gmr_manager:
         manager = db.gmr_manager
         document["stats"] = dict(vars(manager.stats))
-        scheduler = manager.scheduler.dump_state()
+        scheduler = manager.dump_scheduler_state()
         scheduler["heap"] = [
             [priority, seq, fid, [_encode_value(arg) for arg in args]]
             for priority, seq, fid, args in scheduler["heap"]
@@ -322,7 +322,7 @@ def from_document(
                 setattr(manager.stats, name, value)
     scheduler = document.get("scheduler")
     if scheduler:
-        manager.scheduler.restore_state(
+        manager.restore_scheduler_state(
             {
                 "heap": [
                     [
@@ -404,7 +404,8 @@ def checkpoint(db: "ObjectBase", path: str) -> CheckpointReport:
         pool = getattr(db, "worker_pool", None)
         if pool is not None:
             pool.quiesce()
-        with getattr(db, "_update_lock", nullcontext()):
+        freeze = getattr(db, "_freeze", None)
+        with freeze() if freeze is not None else nullcontext():
             document = to_document(db)
         directory = os.path.dirname(os.path.abspath(path))
         fd, tmp_path = tempfile.mkstemp(
@@ -476,7 +477,10 @@ def recover(
     if wal_path is None:
         report = RecoveryReport()
     else:
-        records = read_records(wal_path)
+        # Sharded bases persist per-shard WAL segments next to the base
+        # path; read_records_merged stitches them back into one global
+        # sequence (and degrades to a plain read for a single-file log).
+        records = read_records_merged(wal_path)
         durable, discarded = committed_prefix(records)
         replayed, closed = _replay(db, durable)
         report = RecoveryReport(
@@ -639,7 +643,7 @@ def base_state(db: "ObjectBase") -> dict:
         for obj in db.objects.iter_objects()
         if obj.obj_dep_fct
     }
-    scheduler = manager.scheduler.dump_state()
+    scheduler = manager.dump_scheduler_state()
     state["scheduler"] = {
         "pending": sorted(
             (

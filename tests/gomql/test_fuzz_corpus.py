@@ -52,9 +52,13 @@ class TestCorpus:
     @pytest.mark.parametrize("name", CORPUS_FILES)
     def test_corpus_replay(self, name):
         script = corpus_script(name)
-        # A deterministic 12-config slice spanning every level and
-        # strategy; the nightly job covers the full 96.
-        configs = all_configs()[::8]
+        # A deterministic 24-config slice spanning every level and
+        # strategy, each point replayed both unsharded and with
+        # shards=4 (the shards axis is the innermost matrix factor, so
+        # index i+1 is i's sharded sibling); the nightly job covers the
+        # full 192.
+        matrix = all_configs()
+        configs = matrix[::16] + matrix[1::16]
         failures = check_script(script, configs)
         assert not failures, "\n".join(str(f) for f in failures)
 

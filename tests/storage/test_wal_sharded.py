@@ -1,0 +1,317 @@
+"""Multi-segment WAL recovery: a crash tearing one shard's segment must
+not lose committed frames on any other shard.
+
+Extends the single-log crash matrix of ``test_wal_recovery.py`` to
+:class:`~repro.storage.wal.ShardedWriteAheadLog`:
+
+* **Routing/merge units** — records land on ``stable_hash(oid) %
+  shards``'s segment (markers on segment 0), and
+  ``read_records_merged`` reconstructs exactly the appended order from
+  the per-segment ``seq`` stamps.
+* **Torn-segment semantics** — truncating one segment mid-frame drops
+  that frame and everything *globally after* it (the seq-gap cut:
+  replaying a record whose predecessor is missing would reorder the
+  update stream), while every committed frame before the tear survives
+  on every shard.
+* **Crash matrix** — a victim base whose shard-``k`` segment dies at
+  each byte budget is recovered from checkpoint + merged segments and
+  compared (``base_state``) against a reference base applying the
+  independently-merged durable prefix — the merge oracle here is a
+  second implementation built on ``tests/_faults.parse_records``, not
+  the production reader.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ObjectBase, base_state, recover
+from repro.concurrency.sharding import stable_hash
+from repro.gom.oid import Oid
+from repro.observe.config import MaterializationConfig
+from repro.persistence import checkpoint, load_object_base
+from repro.storage.wal import (
+    ShardedWriteAheadLog,
+    WalError,
+    WriteAheadLog,
+    iter_frames,
+    read_records,
+    read_records_merged,
+    segment_path,
+    segment_paths,
+)
+
+from tests._faults import (
+    CrashingFile,
+    SimulatedCrash,
+    apply_records,
+    committed_records,
+    crash_points,
+    parse_records,
+)
+
+SHARDS = 3
+
+
+def _merged_reference(base_path: str) -> list[dict]:
+    """Independent merge oracle: parse each segment with the test-local
+    frame parser, order by seq, cut at the first gap, strip the stamps."""
+    stamped = []
+    for path in segment_paths(base_path):
+        with open(path, "rb") as handle:
+            for record in parse_records(handle.read()):
+                if isinstance(record.get("seq"), int):
+                    stamped.append((record["seq"], record))
+    stamped.sort(key=lambda item: item[0])
+    merged = []
+    expected = None
+    for seq, record in stamped:
+        if expected is not None and seq != expected:
+            break
+        expected = seq + 1
+        record = dict(record)
+        record.pop("seq")
+        merged.append(record)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Routing and merge units
+# ---------------------------------------------------------------------------
+
+
+class TestShardedLogUnits:
+    def test_requires_at_least_two_shards(self, tmp_path):
+        with pytest.raises(WalError):
+            ShardedWriteAheadLog(str(tmp_path / "w.log"), 1)
+
+    def test_records_route_by_stable_oid_hash(self, tmp_path):
+        base = str(tmp_path / "w.log")
+        log = ShardedWriteAheadLog(base, SHARDS)
+        oids = list(range(1, 20))
+        for oid in oids:
+            log.append({"kind": "set", "oid": oid, "attr": "X", "value": 1})
+        log.append({"kind": "txn_begin"})  # marker: no oid -> segment 0
+        log.close()
+        for shard in range(SHARDS):
+            for record in read_records(segment_path(base, shard)):
+                oid = record.get("oid")
+                if oid is None:
+                    assert shard == 0
+                else:
+                    assert stable_hash(Oid(oid)) % SHARDS == shard
+
+    def test_merged_read_restores_append_order(self, tmp_path):
+        base = str(tmp_path / "w.log")
+        log = ShardedWriteAheadLog(base, SHARDS)
+        appended = [
+            {"kind": "set", "oid": i % 7 + 1, "attr": "X", "value": i}
+            for i in range(25)
+        ]
+        for record in appended:
+            log.append(record)
+        log.close()
+        assert len(segment_paths(base)) == SHARDS
+        merged = read_records_merged(base)
+        assert merged == appended  # seq stamps stripped, order exact
+        assert merged == _merged_reference(base)
+
+    def test_merged_read_falls_back_to_single_log(self, tmp_path):
+        path = str(tmp_path / "plain.log")
+        log = WriteAheadLog(path)
+        log.append({"kind": "set", "oid": 1, "attr": "X", "value": 2})
+        log.close()
+        assert read_records_merged(path) == read_records(path)
+
+    def test_truncate_resets_every_segment_and_seq(self, tmp_path):
+        base = str(tmp_path / "w.log")
+        log = ShardedWriteAheadLog(base, SHARDS)
+        for i in range(10):
+            log.append({"kind": "set", "oid": i + 1, "attr": "X", "value": i})
+        log.truncate()
+        log.append({"kind": "set", "oid": 1, "attr": "X", "value": 99})
+        log.close()
+        merged = read_records_merged(base)
+        assert merged == [{"kind": "set", "oid": 1, "attr": "X", "value": 99}]
+
+    def test_seq_gap_cuts_later_records_on_all_shards(self, tmp_path):
+        base = str(tmp_path / "w.log")
+        log = ShardedWriteAheadLog(base, SHARDS)
+        appended = [
+            {"kind": "set", "oid": i % 7 + 1, "attr": "X", "value": i}
+            for i in range(25)
+        ]
+        for record in appended:
+            log.append(record)
+        log.close()
+        # Tear one victim segment down to its first frame: every record
+        # of that segment after the tear is gone, and the seq-gap cut
+        # must also drop the *other* shards' records that were appended
+        # after the first lost one.
+        victim = segment_path(base, 1)
+        with open(victim, "rb") as handle:
+            data = handle.read()
+        starts = [offset for offset, _ in iter_frames(data)]
+        assert len(starts) >= 2, "victim segment needs >= 2 frames"
+        keep_until = starts[1]
+        with open(victim, "wb") as handle:
+            handle.write(data[: keep_until + 3])  # + a torn header
+        merged = read_records_merged(base)
+        surviving = parse_records(data[:keep_until])
+        first_lost_seq = parse_records(data)[1]["seq"]
+        assert merged == appended[:first_lost_seq]
+        # Committed frames before the tear survived — including the
+        # victim's own first record.
+        assert surviving[0]["seq"] < first_lost_seq
+
+
+# ---------------------------------------------------------------------------
+# Crash matrix: one torn segment, full recovery differential
+# ---------------------------------------------------------------------------
+
+
+def _point_schema(db: ObjectBase) -> None:
+    db.define_tuple_type(
+        "Point", {"X": "float", "Y": "float", "Label": "string"}
+    )
+    db.define_operation(
+        "Point",
+        "norm",
+        [],
+        "float",
+        lambda self: (self.X * self.X + self.Y * self.Y) ** 0.5,
+    )
+    db.define_set_type("Cluster", "Point")
+
+
+def _build_point_base() -> ObjectBase:
+    db = ObjectBase(config=MaterializationConfig(shards=SHARDS))
+    _point_schema(db)
+    points = [
+        db.new("Point", X=float(i + 1), Y=float((i * 3) % 5), Label=f"p{i}")
+        for i in range(6)
+    ]
+    db.new_collection("Cluster", points[:4])
+    db.materialize([("Point", "norm")])
+    return db
+
+
+def _script(db: ObjectBase) -> None:
+    points = db.extension("Point")
+    cluster = db.extension("Cluster")[0]
+    for index, point in enumerate(points):
+        point.set_X(10.0 + index)
+    fresh = db.new("Point", X=5.0, Y=12.0, Label="q")
+    cluster.insert(fresh)
+    with db.batch():
+        points[1].set_Y(3.0)
+        points[2].set_Y(4.0)
+    with db.transaction():
+        points[3].set_X(2.5)
+        cluster.remove(points[0])
+    for point in points[:4]:
+        point.set_Y(1.0)
+
+
+def _attach_sharded(db, base_path, *, crash_shard=None, budget=None):
+    fileobjs = []
+    for shard in range(SHARDS):
+        raw = open(segment_path(base_path, shard), "wb")
+        if shard == crash_shard:
+            raw = CrashingFile(raw, budget)
+        fileobjs.append(raw)
+    wal = ShardedWriteAheadLog(base_path, SHARDS, fileobjs=fileobjs)
+    db.attach_wal(wal)
+    return fileobjs
+
+
+@pytest.mark.parametrize("crash_shard", range(SHARDS))
+def test_torn_segment_crash_matrix(crash_shard, tmp_path):
+    ckpt = str(tmp_path / "checkpoint.json")
+
+    # Clean run: capture each segment's full byte stream.
+    clean_base = str(tmp_path / "clean.log")
+    clean = _build_point_base()
+    _attach_sharded(clean, clean_base)
+    checkpoint(clean, ckpt)
+    _script(clean)
+    clean.detach_wal().close()
+    with open(segment_path(clean_base, crash_shard), "rb") as handle:
+        shard_bytes = handle.read()
+    assert shard_bytes, "every shard must see WAL traffic in this script"
+
+    crash_base = str(tmp_path / "crash.log")
+    offsets = crash_points(shard_bytes)
+    assert len(offsets) >= 8, "expected a dense per-segment crash matrix"
+
+    for offset in offsets:
+        victim = _build_point_base()
+        files = _attach_sharded(
+            victim, crash_base, crash_shard=crash_shard, budget=offset
+        )
+        crashed = False
+        try:
+            _script(victim)
+        except SimulatedCrash:
+            crashed = True
+        finally:
+            for fileobj in files:
+                fileobj.close()
+        assert crashed, f"shard {crash_shard} offset {offset} must crash"
+
+        with open(segment_path(crash_base, crash_shard), "rb") as handle:
+            durable = handle.read()
+        assert durable == shard_bytes[:offset]
+
+        # Production recovery from checkpoint + merged torn segments.
+        recovered = ObjectBase()
+        _point_schema(recovered)
+        report = recover(recovered, ckpt, crash_base)
+        assert report.records_replayed <= report.records_scanned
+
+        # Reference: independently merged committed prefix, applied live.
+        reference = ObjectBase()
+        _point_schema(reference)
+        load_object_base(reference, ckpt)
+        apply_records(
+            reference, committed_records(_merged_reference(crash_base))
+        )
+
+        left = base_state(recovered)
+        right = base_state(reference)
+        for key in left:
+            assert left[key] == right[key], (
+                f"shard {crash_shard} @ offset {offset}: recovered base "
+                f"diverges in {key!r}"
+            )
+
+        # The headline guarantee: committed frames on the *other*
+        # shards' segments are never lost — every durable record up to
+        # the first seq owned by the torn frame was replayed.
+        merged = _merged_reference(crash_base)
+        assert report.records_scanned == len(merged)
+
+
+def test_sharded_base_round_trips_through_sharded_wal(tmp_path):
+    """End-to-end: sharded engine + sharded WAL + checkpoint/recover."""
+    base_path = str(tmp_path / "w.log")
+    ckpt = str(tmp_path / "ck.json")
+    db = _build_point_base()
+    db.attach_wal(ShardedWriteAheadLog(base_path, SHARDS))
+    checkpoint(db, ckpt)
+    _script(db)
+    assert db.quiesce(timeout=30.0) is True
+    db.detach_wal().close()
+
+    recovered = ObjectBase(config=MaterializationConfig(shards=SHARDS))
+    _point_schema(recovered)
+    recover(recovered, ckpt, base_path)
+    assert recovered.quiesce(timeout=30.0) is True
+    for gmr in recovered.gmr_manager.gmrs():
+        assert gmr.check_consistency(recovered) == []
+
+    db.quiesce(timeout=30.0)
+    left = base_state(db)
+    right = base_state(recovered)
+    for key in ("objects", "gmrs", "rrr", "obj_dep"):
+        assert left[key] == right[key], f"round-trip diverges in {key!r}"
