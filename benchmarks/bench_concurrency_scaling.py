@@ -32,9 +32,14 @@ Three contracts from the concurrency and sharding PRs:
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import threading
 import time
 from contextlib import nullcontext
+
+import pytest
 
 from repro.bench.cuboid import CuboidApplication, CuboidConfig
 from repro.bench.runner import ProgramVersion
@@ -44,6 +49,51 @@ from repro.observe.config import MaterializationConfig
 from repro.util.rng import DeterministicRng
 
 DEFERRED_VERSION = ProgramVersion("Deferred", strategy=Strategy.DEFERRED)
+
+# ---------------------------------------------------------------------------
+# Machine-readable results: every smoke test records its measured
+# throughput here, and the module-scoped fixture below dumps the lot to
+# ``BENCH_concurrency.json`` at the repository root so the concurrency
+# perf trajectory is tracked across PRs.  The numbers are smoke-scale
+# and CI-noisy — the JSON records the *shape* (which config wins, by
+# roughly how much), not microbenchmark truth.
+# ---------------------------------------------------------------------------
+
+_RESULTS: list[dict] = []
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_concurrency.json",
+)
+
+
+def _record(metric: str, config: dict, ops_per_second: float) -> None:
+    _RESULTS.append(
+        {
+            "metric": metric,
+            "config": config,
+            "ops_per_second": round(ops_per_second, 2),
+        }
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write whatever this module measured, even under ``-k`` filters."""
+    yield
+    if not _RESULTS:
+        return
+    payload = {
+        "benchmark": "concurrency_scaling",
+        "schema_version": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": sorted(
+            _RESULTS, key=lambda row: (row["metric"], repr(row["config"]))
+        ),
+    }
+    with open(_BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 _FIG7_MIX = dict(
     queries=[(0.5, "Qbw"), (0.5, "Qfw")],
@@ -127,6 +177,16 @@ def test_smoke_workers_zero_overhead(benchmark):
         # Loose smoke bound, not a microbenchmark: locking and handoff
         # may cost, but not multiples of the single-threaded run.
         assert pooled_seconds <= single_seconds * 3.0 + 0.5
+        _record(
+            "fig7_mix",
+            {"workers": 0, "shards": 1, "operations": 60},
+            60 / single_seconds,
+        )
+        _record(
+            "fig7_mix",
+            {"workers": 1, "shards": 1, "operations": 60},
+            60 / pooled_seconds,
+        )
     finally:
         pooled.db.close()
         single.db.close()
@@ -298,6 +358,12 @@ def test_smoke_write_throughput_scales_with_shards(benchmark):
     assert throughput[2] >= throughput[1] * 0.9, throughput
     assert throughput[4] >= throughput[2] * 0.9, throughput
     assert throughput[4] >= throughput[1] * 0.9, throughput
+    for shards, rate in throughput.items():
+        _record(
+            "write_throughput",
+            {"workers": 2, "shards": shards, "writer_threads": N_WRITERS},
+            rate,
+        )
 
 
 def test_smoke_reader_scaling(benchmark):
@@ -318,6 +384,12 @@ def test_smoke_reader_scaling(benchmark):
             assert throughput[threads] >= throughput[1] * 0.2, (
                 f"reader throughput collapsed at {threads} threads: "
                 f"{throughput}"
+            )
+        for threads, rate in throughput.items():
+            _record(
+                "reader_throughput",
+                {"workers": 1, "shards": 1, "reader_threads": threads},
+                rate,
             )
     finally:
         application.db.close()

@@ -128,7 +128,11 @@ class RevalidationWorkerPool:
     def _run(self) -> None:
         while True:
             with self._cond:
-                while not self._stopping and self._ready_total() == 0:
+                while not self._stopping and (
+                    self._paused() or self._ready_total() == 0
+                ):
+                    # While storage health pauses drains, queued entries
+                    # stay put; the timed wait re-checks for a re-arm.
                     self._cond.wait(self._poll_interval)
                 if self._stopping:
                     return
@@ -149,6 +153,16 @@ class RevalidationWorkerPool:
     def _ready_total(self) -> int:
         """Runnable entries across every shard's scheduler."""
         return sum(s.ready_pending() for s in self._schedulers)
+
+    def _paused(self) -> bool:
+        """True while degraded storage health pauses background drains.
+
+        A rematerialization that cannot log its revalidation must not
+        commit (see :mod:`repro.core.health`); the scheduler enforces
+        the same rule inside ``revalidate``, this check just keeps the
+        workers from spinning hot against a queue they may not touch.
+        """
+        return self._manager._db.health.read_only
 
     def _unsettled_total(self) -> int:
         """Runnable entries plus transient (epoch-conflict) defers still

@@ -18,6 +18,7 @@ from repro.core.breaker import BreakerState, CircuitBreaker
 from repro.core.function_registry import FunctionInfo, FunctionRegistry
 from repro.core.gmr import GMR
 from repro.core.guard import ExecutionGuard, FaultPolicy
+from repro.core.health import HealthMonitor, HealthState
 from repro.core.manager import GMRManager
 from repro.core.strategies import Strategy
 from repro.core.restricted import Restriction, ValueRestriction, RangeRestriction
@@ -32,6 +33,8 @@ __all__ = [
     "FunctionRegistry",
     "GMR",
     "GMRManager",
+    "HealthMonitor",
+    "HealthState",
     "Strategy",
     "Restriction",
     "ValueRestriction",

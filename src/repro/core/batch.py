@@ -300,9 +300,17 @@ class UpdateBatch:
     def __enter__(self) -> "UpdateBatch":
         manager = self._manager
         manager._maint_lock.__enter__()
-        manager._batch_depth += 1
-        if manager._batch_depth == 1:
-            manager._db._wal_log({"kind": "batch_begin"})
+        try:
+            manager._batch_depth += 1
+            if manager._batch_depth == 1:
+                manager._db._wal_log({"kind": "batch_begin"})
+        except BaseException:
+            # A refused batch_begin append (degraded storage) must not
+            # leak the scope: Python skips __exit__ when __enter__
+            # raises, so the depth and the update lock are unwound here.
+            manager._batch_depth -= 1
+            manager._maint_lock.__exit__(None, None, None)
+            raise
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

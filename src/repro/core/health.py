@@ -1,0 +1,213 @@
+"""The storage health state machine: declared degradation, never silence.
+
+The durability layer's contract (fsyncgate discipline): after a failed
+durable write the system either retries into a consistent state or
+transitions to a *declared* degraded mode — it never limps along
+pretending the write happened.  :class:`HealthMonitor` is that
+declaration, attached to every :class:`~repro.gom.database.ObjectBase`
+as ``db.health``::
+
+                      io error           repair/truncate fails
+    HEALTHY ────────────────────▶ DEGRADED_READ_ONLY ────────▶ FAILED
+       ▲                                   │
+       └───────────────────────────────────┘
+            probe append succeeds
+            (after ``rearm_cooldown``)
+
+* **HEALTHY** — updates log and apply normally.
+* **DEGRADED_READ_ONLY** — a WAL append (or checkpoint write) failed.
+  The update that hit the fault was *not* applied: the elementary
+  update paths log before they mutate, so in-memory state and the
+  durable log still agree.  Forward queries keep serving (valid GMR
+  entries from the extension, invalid/missing ones by direct
+  evaluation, Sec. 3.2); updates raise
+  :class:`~repro.errors.StorageUnavailableError`; maintenance drains
+  pause — a rematerialization whose underlying storage is suspect must
+  not commit.  After ``rearm_cooldown`` seconds the next update is
+  allowed through as a *probe*: the WAL tail is repaired (torn bytes
+  truncated back to the last durable frame boundary) and the append
+  retried — success re-arms to HEALTHY, failure restarts the cooldown.
+* **FAILED** — the log tail could not be restored to a known-good
+  state (repair/truncate itself failed), so even the ordering of
+  future appends would be unsound.  Terminal: no probe path, and a
+  checkpoint that round-trips through :mod:`repro.persistence`
+  restores FAILED — a failed base cannot resurrect as HEALTHY by
+  restarting.
+
+The monitor is deliberately dumb about *what* failed — callers pass a
+site string — and does no I/O of its own; the object base wires
+``on_transition`` / ``on_io_error`` to the observability layer
+(``health.state`` / ``storage.io_errors`` gauges, trace events).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+from repro.errors import StorageUnavailableError
+
+
+class HealthState(enum.Enum):
+    """The declared storage-health states (see module docstring)."""
+
+    HEALTHY = "healthy"
+    DEGRADED_READ_ONLY = "degraded_read_only"
+    FAILED = "failed"
+
+
+#: Numeric encoding for the ``health.state`` gauge (monotone severity).
+STATE_CODES = {
+    HealthState.HEALTHY: 0,
+    HealthState.DEGRADED_READ_ONLY: 1,
+    HealthState.FAILED: 2,
+}
+
+
+class HealthMonitor:
+    """Tracks the storage health state of one object base.
+
+    Thread-safe: elementary updates (under the update lock), background
+    drains and checkpoint calls may all observe and transition it.
+    Transitions fire ``on_transition(event, old, new, reason)`` with
+    ``event`` in ``{"degrade", "rearm", "fail"}``; every recorded I/O
+    error fires ``on_io_error(total)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        rearm_cooldown: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._state = HealthState.HEALTHY
+        self._clock = clock
+        #: Seconds a degraded base waits before letting an update probe
+        #: the storage again.  0 re-probes on the very next update.
+        self.rearm_cooldown = rearm_cooldown
+        self._degraded_at = 0.0
+        #: Total I/O errors recorded over the monitor's lifetime
+        #: (survives re-arms; the ``storage.io_errors`` gauge).
+        self.io_errors = 0
+        #: Human-readable cause of the current non-HEALTHY state.
+        self.reason: str | None = None
+        self.on_transition: (
+            Callable[[str, HealthState, HealthState, str], None] | None
+        ) = None
+        self.on_io_error: Callable[[int], None] | None = None
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    @property
+    def writable(self) -> bool:
+        """True when updates may log and apply."""
+        return self._state is HealthState.HEALTHY
+
+    @property
+    def read_only(self) -> bool:
+        """True in any declared degraded state (updates must refuse)."""
+        return self._state is not HealthState.HEALTHY
+
+    def require_writable(self) -> None:
+        """Raise :class:`StorageUnavailableError` unless HEALTHY."""
+        state = self._state
+        if state is HealthState.HEALTHY:
+            return
+        raise StorageUnavailableError(
+            f"storage is {state.value}: {self.reason or 'unknown cause'}"
+        )
+
+    def probe_eligible(self) -> bool:
+        """True when a degraded base may let one update probe the disk."""
+        with self._lock:
+            if self._state is not HealthState.DEGRADED_READ_ONLY:
+                return False
+            return self._clock() - self._degraded_at >= self.rearm_cooldown
+
+    # -- transitions -----------------------------------------------------------
+
+    def _transition(
+        self, event: str, new: HealthState, reason: str
+    ) -> None:
+        old = self._state
+        self._state = new
+        self.reason = reason if new is not HealthState.HEALTHY else None
+        hook = self.on_transition
+        if hook is not None:
+            hook(event, old, new, reason)
+
+    def record_io_error(self, exc: BaseException, *, site: str) -> None:
+        """One durable write failed at ``site``: count it and degrade.
+
+        HEALTHY trips to DEGRADED_READ_ONLY; an already-degraded base
+        stays degraded with its probe cooldown restarted (the failed
+        call *was* the probe); a FAILED base just counts.
+        """
+        with self._lock:
+            self.io_errors += 1
+            hook = self.on_io_error
+            if hook is not None:
+                hook(self.io_errors)
+            reason = f"{site}: {exc}"
+            if self._state is HealthState.HEALTHY:
+                self._degraded_at = self._clock()
+                self._transition(
+                    "degrade", HealthState.DEGRADED_READ_ONLY, reason
+                )
+            elif self._state is HealthState.DEGRADED_READ_ONLY:
+                self._degraded_at = self._clock()
+                self.reason = reason
+
+    def fail(self, reason: str) -> None:
+        """Escalate to the terminal FAILED state (no probe path back)."""
+        with self._lock:
+            if self._state is HealthState.FAILED:
+                return
+            self._transition("fail", HealthState.FAILED, reason)
+
+    def rearm(self) -> None:
+        """A probe proved the storage writable: back to HEALTHY.
+
+        Raises :class:`StorageUnavailableError` from FAILED — a failed
+        base never resurrects; recover into a fresh one instead.
+        """
+        with self._lock:
+            if self._state is HealthState.FAILED:
+                raise StorageUnavailableError(
+                    f"storage is failed ({self.reason or 'unknown cause'}) "
+                    "and cannot be re-armed; recover into a fresh base"
+                )
+            if self._state is HealthState.HEALTHY:
+                return
+            self._transition("rearm", HealthState.HEALTHY, "probe succeeded")
+
+    # -- persistence -----------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Portable snapshot for the checkpoint document."""
+        with self._lock:
+            return {
+                "state": self._state.value,
+                "io_errors": self.io_errors,
+                "reason": self.reason,
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` snapshot (checkpoint recovery).
+
+        Restoring DEGRADED_READ_ONLY starts the probe cooldown afresh;
+        restoring FAILED is terminal exactly like reaching it live.
+        """
+        with self._lock:
+            self._state = HealthState(state.get("state", "healthy"))
+            self.io_errors = int(state.get("io_errors", 0))
+            self.reason = state.get("reason")
+            if self._state is HealthState.DEGRADED_READ_ONLY:
+                self._degraded_at = self._clock()

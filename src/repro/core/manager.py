@@ -1734,6 +1734,13 @@ class GMRManager:
         if row is not None and row.valid[column]:
             self.stats.forward_hits += 1
             return row.results[column]
+        if self._db.health.read_only:
+            # Storage degraded (Sec. 3.2 transparency): a valid entry was
+            # served above, but rematerializing this one would commit a
+            # revalidation whose maintenance trail cannot be logged.
+            # Answer by direct evaluation, leaving GMR/RRR untouched.
+            self.stats.degraded_forward_calls += 1
+            return self._degraded_value(gmr, fid, args)
         self.stats.forward_computes += 1
         if row is None and gmr.strategy is Strategy.SNAPSHOT:
             # Created after the last refresh: answer with the normal

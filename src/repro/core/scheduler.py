@@ -361,6 +361,11 @@ class RevalidationScheduler:
         terminates even under persistent failures.
         """
         manager = self._manager
+        if manager._db.health.read_only:
+            # Storage degraded: a rematerialization that cannot log its
+            # revalidation trail must not commit.  The queue keeps its
+            # entries; the sweep resumes once a probe re-arms HEALTHY.
+            return 0
         tracer = manager.tracer
         span = (
             tracer.begin("scheduler.drain", pending=len(self._queued))

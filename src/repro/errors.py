@@ -230,6 +230,19 @@ class StorageError(ReproError):
     """Base class for storage-substrate failures."""
 
 
+class StorageUnavailableError(StorageError):
+    """Durable storage cannot currently accept writes.
+
+    Raised by update paths while the object base is in the
+    DEGRADED_READ_ONLY or FAILED health state (see
+    :mod:`repro.core.health`): a write-ahead-log append or repair
+    failed, so the update was *not* applied — the in-memory state and
+    the durable log still agree.  Forward queries keep serving; updates
+    raise this until a probe re-arms the storage (or forever, once
+    FAILED).
+    """
+
+
 class PageFullError(StorageError):
     """A record does not fit into a page."""
 

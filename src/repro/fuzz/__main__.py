@@ -53,12 +53,29 @@ def main(argv: list[str] | None = None) -> int:
                         help="write failing (minimized) scripts as JSON here")
     parser.add_argument("--stop-on-first", action="store_true",
                         help="abort the campaign at the first failure")
+    parser.add_argument("--io-faults", action="store_true",
+                        help="inject one random transient storage fault "
+                             "per script and check the robustness oracle "
+                             "(declared degradation, probe re-arm, "
+                             "recovery equivalence) instead of the "
+                             "reference diff")
     args = parser.parse_args(argv)
 
     domains = (
         ("geometry", "company") if args.domain == "both" else (args.domain,)
     )
-    if args.all_configs:
+    if args.io_faults:
+        from repro.fuzz.iofaults import run_iofault_fuzz
+
+        report = run_iofault_fuzz(
+            args.count,
+            base_seed=args.seed,
+            domains=domains,
+            time_budget=args.time_budget,
+            stop_on_first=args.stop_on_first,
+            progress=lambda line: print(line, flush=True),
+        )
+    elif args.all_configs:
         report = _run_all_configs(args, domains)
     else:
         report = run_fuzz(
@@ -88,7 +105,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         os.makedirs(args.out, exist_ok=True)
     for (seed, domain), script in sorted(failing_scripts.items()):
-        if args.minimize:
+        if args.minimize and args.io_faults:
+            print("(--minimize is ignored with --io-faults: the fault "
+                  "draw depends on the script seed, so failures "
+                  "reproduce from the seed alone)", flush=True)
+        elif args.minimize:
             print(f"minimizing seed={seed} domain={domain} "
                   f"({len(script.steps)} steps)...", flush=True)
             script = minimize_script(

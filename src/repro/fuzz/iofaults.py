@@ -1,0 +1,375 @@
+"""Storage-fault fuzzing: one random transient I/O fault per script.
+
+The differential oracle in :mod:`repro.fuzz.oracle` assumes a healthy
+disk; this axis assumes a *flaky* one.  Each generated script replays
+against a WAL-attached base whose log files fail exactly one ``write``,
+``flush`` or ``fsync`` call (drawn deterministically from the fault
+seed, optionally as a torn partial write), and the oracle then checks
+the robustness contract instead of the reference diff:
+
+1. **Declared, never silent** — the only way an injected fault may
+   surface is a :class:`~repro.errors.StorageUnavailableError` on the
+   update that could not be logged; any other exception is a failure.
+2. **Re-arm** — after the (transient) fault, a probe append must bring
+   the base back to HEALTHY; ending DEGRADED means the probe path is
+   broken.  FAILED is accepted only for the declared unrecoverable
+   pairing (WAL truncation failing behind a durable checkpoint).
+3. **Def. 3.2 invariants** hold on the live base after it settles.
+4. **Recovery equivalence** — rebuilding a fresh base from the last
+   checkpoint plus the surviving log reproduces the live object graph
+   exactly: no acknowledged update lost, no refused update resurrected.
+
+Entry point: ``python -m repro.fuzz --io-faults`` (the nightly CI axis).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import traceback
+from typing import Callable, Sequence
+
+from repro.core.health import HealthState
+from repro.errors import StorageUnavailableError
+from repro.fuzz.generator import generate_script
+from repro.fuzz.oracle import (
+    FuzzReport,
+    OracleConfig,
+    OracleFailure,
+    configs_for_script,
+)
+from repro.fuzz.replay import SCHEMA_BUILDERS, Replayer, check_invariants
+from repro.fuzz.script import Script
+from repro.gom.database import ObjectBase
+from repro.persistence import base_state, checkpoint, recover
+from repro.storage.faultfs import FaultPlan, wal_file_factory
+from repro.storage.wal import ShardedWriteAheadLog, WriteAheadLog
+from repro.util.rng import DeterministicRng
+
+#: The fault sites a script may draw.  ``close`` is excluded: disposal
+#: faults are declared harmless (appends are durable at append time)
+#: and would never fire mid-script anyway.
+_FAULT_OPS = ("write", "flush", "fsync")
+
+#: Upper bound on the drawn call index.  Small scripts may never reach
+#: it — a fault that does not fire degrades the run to a clean replay,
+#: which must still pass the recovery-equivalence check.
+_MAX_FAULT_INDEX = 40
+
+
+def plan_for_seed(fault_seed: int) -> FaultPlan:
+    """One deterministic transient fault drawn from ``fault_seed``."""
+    rng = DeterministicRng(fault_seed)
+    op = rng.choice(_FAULT_OPS)
+    at = rng.randint(0, _MAX_FAULT_INDEX)
+    plan = FaultPlan()
+    if op == "write" and rng.random() < 0.5:
+        plan.fail(op, at=at, mode="torn", torn_bytes=rng.randint(1, 7))
+    else:
+        plan.fail(op, at=at, mode="once")
+    return plan
+
+
+class IoFaultReplayer(Replayer):
+    """Replay one script against a base whose WAL suffers ``plan``.
+
+    Every generation of the base (the initial one, plus each rebuild a
+    ``checkpoint_recover`` step performs) gets its own log file and a
+    *baseline* checkpoint, so the final recovery-equivalence check
+    always has a coherent (checkpoint, log) pair to rebuild from.
+    """
+
+    def __init__(
+        self,
+        script: Script,
+        *,
+        config=None,
+        plan: FaultPlan,
+        workdir: str,
+    ) -> None:
+        super().__init__(script, config=config, materialized=True)
+        self.plan = plan
+        self.refusals: list[tuple[str, str]] = []
+        self._ghosts: set = set()
+        self._workdir = workdir
+        self._generation = 0
+        self._ckpt_path: str | None = None
+        self._wal_path: str | None = None
+        self._needs_baseline = False
+        self._anchored = False
+
+    # -- plumbing -------------------------------------------------------
+
+    def _build_db(self) -> ObjectBase:
+        db = super()._build_db()
+        self._generation += 1
+        self._wal_path = os.path.join(
+            self._workdir, f"wal-{self._generation}.log"
+        )
+        factory = wal_file_factory(self.plan)
+        if self.config.shards > 1:
+            wal = ShardedWriteAheadLog(
+                self._wal_path,
+                self.config.shards,
+                fsync=True,
+                file_factory=factory,
+            )
+        else:
+            wal = WriteAheadLog(
+                self._wal_path, fsync=True, file_factory=factory
+            )
+        db.attach_wal(wal)
+        db.health.rearm_cooldown = 0.0
+        self._needs_baseline = True
+        return db
+
+    def _baseline(self) -> None:
+        """Anchor recovery: checkpoint the current generation.
+
+        A fault can hit the baseline itself (its WAL truncation goes
+        through the injected files); the run then continues un-anchored
+        and the recovery-equivalence check is skipped for this script.
+        """
+        self._needs_baseline = False
+        self._anchored = False
+        self._ckpt_path = os.path.join(
+            self._workdir, f"ckpt-{self._generation}.json"
+        )
+        checkpoint(self.db, self._ckpt_path)
+        self._anchored = True
+
+    @staticmethod
+    def _references(step: dict) -> set:
+        """Every label a step resolves through ``_oid``/``_value``."""
+        refs: set = set()
+
+        def scan(value) -> None:
+            if isinstance(value, dict):
+                if set(value) == {"$ref"}:
+                    refs.add(value["$ref"])
+                else:
+                    for inner in value.values():
+                        scan(inner)
+            elif isinstance(value, (list, tuple)):
+                for inner in value:
+                    scan(inner)
+
+        if "target" in step:
+            refs.add(step["target"])
+        for label in step.get("elements", ()) or ():
+            refs.add(label)
+        scan(step.get("attrs"))
+        scan(step.get("args"))
+        scan(step.get("value"))
+        return refs
+
+    def _apply(self, step: dict) -> None:
+        # A refused ``new`` never bound its label; every later step
+        # referencing it is a *cascade* of the declared refusal, not a
+        # malformed script — skip it (and propagate the ghost through
+        # creations built on top of it).
+        if self._ghosts and self._references(step) & self._ghosts:
+            if "label" in step:
+                self._ghosts.add(step["label"])
+            return
+        try:
+            if self._needs_baseline:
+                self._baseline()
+            super()._apply(step)
+        except StorageUnavailableError as exc:
+            # The declared refusal: the update could not be logged and
+            # was not applied.  Nothing to roll back; keep replaying.
+            self.refusals.append((step.get("op", "?"), str(exc)))
+            if step.get("op") == "batch_begin":
+                self._batch = None  # the scope never opened
+            if "label" in step:
+                self._ghosts.add(step["label"])
+            if step.get("op") in ("insert", "remove"):
+                # The membership update did not happen, so the script's
+                # hygiene invariants about this element (removed from
+                # every collection before its delete, present when
+                # removed) no longer hold — retire the label.
+                value = step.get("value")
+                if isinstance(value, dict) and set(value) == {"$ref"}:
+                    self._ghosts.add(value["$ref"])
+
+    def _op_batch_end(self, step: dict) -> None:
+        if self._batch is None and self.refusals:
+            return  # the matching batch_begin was refused
+        super()._op_batch_end(step)
+
+    def _op_checkpoint_recover(self, step: dict) -> None:
+        super()._op_checkpoint_recover(step)
+        # Re-anchor at the rebuilt base (its fresh WAL starts empty).
+        self._baseline()
+
+    def _op_quiesce(self, step: dict) -> None:
+        # A drain sweep is the natural place to notice the disk healed;
+        # without the probe a degraded pool would just time the quiesce
+        # out (drains are paused while read-only).
+        self._probe()
+        if self.db.health.writable:
+            super()._op_quiesce(step)
+
+    # -- the robustness oracle ------------------------------------------
+
+    def _settle(self) -> None:
+        self._probe()
+        if self.db.health.writable:
+            super()._settle()
+        self._verify_health()
+        self._verify_recovery()
+
+    def _probe(self) -> None:
+        """One explicit re-arm attempt before the verdict: a pair of
+        replay-neutral transaction markers through the ordinary logging
+        funnel (repair + append + re-arm)."""
+        health = self.db.health
+        if health.state is not HealthState.DEGRADED_READ_ONLY:
+            return
+        try:
+            self.db._wal_log({"kind": "txn_begin"})
+            self.db._wal_log({"kind": "txn_abort"})
+        except StorageUnavailableError as exc:
+            self.refusals.append(("probe", str(exc)))
+
+    def _verify_health(self) -> None:
+        state = self.db.health.state
+        if state is HealthState.HEALTHY:
+            return
+        if state is HealthState.FAILED and self.refusals:
+            # Declared terminal (truncate-behind-checkpoint); acceptable
+            # as long as the failure surfaced as a refusal.
+            return
+        self._result.violations.append(
+            f"base ended {state.value} after a single transient fault "
+            f"(refusals: {self.refusals!r})"
+        )
+
+    def _verify_recovery(self) -> None:
+        if not self._anchored:
+            return
+        if self.db.health.state is HealthState.FAILED:
+            # Declared unrecoverable: a WAL truncation failed behind a
+            # durable checkpoint, so the on-disk (checkpoint, log) pair
+            # is explicitly untrustworthy — that is what FAILED *means*,
+            # and _verify_health already required the refusals that
+            # declared it.  Demanding recovery equivalence here would
+            # test the absence of the very state the machine reported.
+            return
+        db = self.db
+        restrictions = {}
+        if db.has_gmr_manager:
+            for gmr in db.gmr_manager.gmrs():
+                if gmr.restriction is not None:
+                    restrictions[gmr.name] = gmr.restriction
+        live_objects = base_state(db)["objects"]
+        rebuilt = ObjectBase(config=self.config)
+        try:
+            SCHEMA_BUILDERS[self.script.domain](rebuilt)
+            recover(
+                rebuilt,
+                self._ckpt_path,
+                self._wal_path,
+                restrictions=restrictions or None,
+            )
+            if base_state(rebuilt)["objects"] != live_objects:
+                self._result.violations.append(
+                    "recovered object graph diverges from the live base "
+                    "(acknowledged update lost or refused update "
+                    "resurrected)"
+                )
+            if rebuilt.has_gmr_manager:
+                self._result.violations.extend(
+                    f"recovered base: {violation}"
+                    for violation in check_invariants(rebuilt)
+                )
+        finally:
+            rebuilt.close()
+
+
+def check_script_with_iofault(
+    script: Script, config: OracleConfig, fault_seed: int
+) -> tuple[list[OracleFailure], bool]:
+    """Replay ``script`` under one injected fault.
+
+    Returns ``(failures, fired)`` — ``fired`` reports whether the drawn
+    fault was actually reached (a short script may never make the
+    injected call index; that run still checks recovery equivalence,
+    but only as a clean replay).
+    """
+    plan = plan_for_seed(fault_seed)
+    failures: list[OracleFailure] = []
+    with tempfile.TemporaryDirectory(prefix="repro-iofuzz-") as workdir:
+        replayer = IoFaultReplayer(
+            script, config=config.to_config(), plan=plan, workdir=workdir
+        )
+        try:
+            result = replayer.run()
+        except Exception:
+            failures.append(
+                OracleFailure(
+                    script, config, "exception", traceback.format_exc()
+                )
+            )
+            return failures, bool(plan.fired)
+    for violation in result.violations:
+        failures.append(OracleFailure(script, config, "invariant", violation))
+    return failures, bool(plan.fired)
+
+
+def run_iofault_fuzz(
+    count: int,
+    *,
+    base_seed: int = 0,
+    domains: Sequence[str] = ("geometry", "company"),
+    time_budget: float | None = None,
+    stop_on_first: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """The ``--io-faults`` campaign: ``count`` scripts, one fault each.
+
+    Script ``i`` uses seed ``base_seed + i`` for both the workload and
+    the fault draw, and takes the first configuration of the standard
+    rotating window — deterministic end to end, like :func:`run_fuzz`.
+    """
+    report = FuzzReport()
+    fired = 0
+    started = time.monotonic()
+    for i in range(count):
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            if progress is not None:
+                progress(
+                    f"time budget of {time_budget:.0f}s exhausted after "
+                    f"{report.scripts_run} scripts"
+                )
+            break
+        seed = base_seed + i
+        domain = domains[i % len(domains)]
+        script = generate_script(seed, domain)
+        config = configs_for_script(i, 1)[0]
+        failures, did_fire = check_script_with_iofault(script, config, seed)
+        report.scripts_run += 1
+        report.configs_run += 1
+        fired += int(did_fire)
+        if failures:
+            report.failures.extend(failures)
+            if progress is not None:
+                for failure in failures:
+                    progress(str(failure))
+            if stop_on_first:
+                break
+        elif progress is not None and (i + 1) % 25 == 0:
+            progress(
+                f"{i + 1}/{count} scripts ok "
+                f"({fired} injected faults fired)"
+            )
+    if progress is not None:
+        # No silent coverage gaps: say how many draws actually bit.
+        progress(
+            f"{fired}/{report.scripts_run} scripts reached their "
+            f"injected fault"
+        )
+    report.elapsed = time.monotonic() - started
+    return report

@@ -25,6 +25,7 @@ from repro.errors import (
     InternalError,
     NotSetStructuredError,
     SchemaError,
+    StorageUnavailableError,
     TypeCheckError,
     UnknownAttributeError,
     UnknownOperationError,
@@ -161,6 +162,13 @@ class ObjectBase:
         #: Observability facade: ``db.observe.tracer`` and
         #: ``db.observe.metrics`` (see :mod:`repro.observe`).
         self.observe = Observability(config.observe)
+        #: Storage health state machine (HEALTHY / DEGRADED_READ_ONLY /
+        #: FAILED — see :mod:`repro.core.health`).  Imported lazily for
+        #: the same cycle reason as MaterializationConfig above.
+        from repro.core.health import HealthMonitor
+
+        self.health = HealthMonitor()
+        self._wire_health_observability()
         self.schema = Schema()
         self.page_store = PageStore(page_size=page_size)
         if buffer_pages is None:
@@ -525,6 +533,39 @@ class ObjectBase:
 
             wal.on_append = _on_append
 
+    def _wire_health_observability(self) -> None:
+        """Bind health transitions to the gauges and trace events.
+
+        ``health.state`` carries the numeric severity (0 HEALTHY,
+        1 DEGRADED_READ_ONLY, 2 FAILED), ``storage.io_errors`` the
+        lifetime I/O-error count; transitions emit ``health.degrade`` /
+        ``health.rearm`` / ``health.fail`` trace events.
+        """
+        from repro.core.health import STATE_CODES
+
+        observe = self.observe
+        if not (observe.metrics.enabled or observe.tracer.enabled):
+            return
+        state_gauge = observe.metrics.gauge("health.state")
+        errors_gauge = observe.metrics.gauge("storage.io_errors")
+        tracer = observe.tracer
+
+        def _on_transition(event, old, new, reason) -> None:
+            state_gauge.set(STATE_CODES[new])
+            if tracer.enabled:
+                tracer.event(
+                    f"health.{event}",
+                    old=old.value,
+                    new=new.value,
+                    reason=reason,
+                )
+
+        def _on_io_error(total: int) -> None:
+            errors_gauge.set(total)
+
+        self.health.on_transition = _on_transition
+        self.health.on_io_error = _on_io_error
+
     def detach_wal(self) -> WriteAheadLog | ShardedWriteAheadLog | None:
         wal, self._wal = self._wal, None
         if wal is not None:
@@ -546,9 +587,48 @@ class ObjectBase:
             self._wal_suppress -= 1
 
     def _wal_log(self, record: dict) -> None:
+        """Append one record durably, mediated by the health state.
+
+        WAL-before-apply: every elementary update calls this *before*
+        mutating, so a raise here is a clean refusal — there is nothing
+        to roll back, and in-memory state still matches the durable log.
+
+        A failed append trips the health monitor to DEGRADED_READ_ONLY
+        and surfaces as :class:`StorageUnavailableError`.  While
+        degraded, appends are refused until the probe cooldown elapses;
+        the first update after it acts as the probe — the torn WAL tail
+        is repaired (truncated back to the last durable frame boundary)
+        and the append retried.  Success re-arms HEALTHY; a repair that
+        itself fails escalates to FAILED, because a frame appended after
+        torn bytes would be silently cut by the recovery reader.
+        """
         wal = self._wal
-        if wal is not None and not self._wal_suppress:
+        if wal is None or self._wal_suppress:
+            return
+        health = self.health
+        was_degraded = not health.writable
+        if was_degraded:
+            if not health.probe_eligible():
+                health.require_writable()
+            try:
+                wal.repair()
+            except Exception as exc:
+                health.fail(f"wal.repair: {exc}")
+                raise StorageUnavailableError(
+                    f"write-ahead log tail could not be repaired: {exc}"
+                ) from exc
+        try:
             wal.append(record)
+        except Exception as exc:
+            health.record_io_error(exc, site="wal.append")
+            raise StorageUnavailableError(
+                f"write-ahead log append failed: {exc}"
+            ) from exc
+        if was_degraded:
+            try:
+                health.rearm()
+            except StorageUnavailableError:
+                pass  # raced to FAILED; the next update will refuse
 
     def replay_create(
         self,

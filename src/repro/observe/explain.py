@@ -123,6 +123,11 @@ class ExplainReport:
     other_tallies: dict = field(default_factory=dict)
     #: Per-shard breakdown; empty on unsharded bases (``shards=1``).
     shards: tuple[ShardExplain, ...] = ()
+    #: Storage health state (``healthy`` / ``degraded_read_only`` /
+    #: ``failed`` — see :mod:`repro.core.health`) and lifetime I/O-error
+    #: count of the owning object base.
+    health: str = "healthy"
+    io_errors: int = 0
 
     def fid(self, fid: str) -> FidExplain:
         for section in self.fids:
@@ -134,6 +139,7 @@ class ExplainReport:
         lines = ["EXPLAIN materialization"]
         totals = " ".join(f"{k}={v}" for k, v in self.totals.items())
         lines.append(f"totals: {totals}")
+        lines.append(f"health: {self.health} io_errors={self.io_errors}")
         if self.last_wave is not None:
             wave = self.last_wave
             lines.append(
@@ -268,6 +274,7 @@ def build_explain(
         for section in sections:
             _sum_into(totals, section.tally)
     wave = manager.last_wave
+    health = manager._db.health
     shards: tuple[ShardExplain, ...] = ()
     if shard_count > 1:
         shards = tuple(
@@ -288,4 +295,6 @@ def build_explain(
         last_wave=wave,
         other_tallies=other,
         shards=shards,
+        health=health.state.value,
+        io_errors=health.io_errors,
     )

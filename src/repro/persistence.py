@@ -37,10 +37,12 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.core.health import HealthState
 from repro.core.restricted import RestrictionSpec
 from repro.core.strategies import Strategy
-from repro.errors import ReproError
+from repro.errors import ReproError, StorageUnavailableError
 from repro.gom.oid import Oid
+from repro.storage.faultfs import REAL_FS, FileSystem
 from repro.storage.wal import (
     WriteAheadLog,
     committed_prefix,
@@ -79,11 +81,46 @@ def _try_encode(value: Any) -> tuple[bool, Any]:
 # -- dumping ---------------------------------------------------------------------
 
 
-def dump_object_base(db: "ObjectBase", path: str) -> None:
-    """Write the object base's state to ``path`` as JSON."""
+def _write_snapshot(document: dict, path: str, fs: FileSystem) -> None:
+    """Write ``document`` to ``path`` with the atomic-replace protocol.
+
+    temp file (``<path>.tmp``) + flush + fsync + atomic rename +
+    directory fsync: a failure at *any* step — including a torn write
+    into the temp file — leaves whatever previously lived at ``path``
+    intact and readable.  The temp file is removed on failure
+    (best-effort; a leftover ``.tmp`` is inert either way).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = path + ".tmp"
+    try:
+        handle = fs.open(tmp_path, "w", encoding="utf-8")
+        try:
+            json.dump(document, handle)
+            handle.flush()
+            fs.fsync(handle)
+        finally:
+            handle.close()
+        fs.replace(tmp_path, path)
+        fs.fsync_dir(directory)
+    except BaseException:
+        try:
+            fs.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def dump_object_base(
+    db: "ObjectBase", path: str, *, fs: FileSystem = REAL_FS
+) -> None:
+    """Write the object base's state to ``path`` as JSON.
+
+    Atomic like :func:`checkpoint` (never truncate-in-place): a dump
+    that dies mid-write leaves any previous snapshot at ``path``
+    untouched.
+    """
     document = to_document(db)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+    _write_snapshot(document, path, fs)
 
 
 def to_document(db: "ObjectBase") -> dict:
@@ -182,6 +219,9 @@ def to_document(db: "ObjectBase") -> dict:
         "attr_indexes": indexes,
         "gmrs": gmrs,
         "rrr": rrr_triples,
+        # Storage health round-trips with the snapshot: a FAILED base
+        # must not resurrect as HEALTHY by being reloaded.
+        "health": db.health.dump_state(),
     }
     if db.has_gmr_manager:
         manager = db.gmr_manager
@@ -271,6 +311,12 @@ def from_document(
 
     for index in document["attr_indexes"]:
         db.create_attr_index(index["type"], index["attr"])
+
+    # Restored before the materialization early-return below: health
+    # state travels with every document, GMRs or not.
+    health = document.get("health")
+    if health:
+        db.health.restore_state(health)
 
     if not (
         document["gmrs"]
@@ -378,23 +424,46 @@ class CheckpointReport:
     wal_truncated: bool = False
 
 
-def checkpoint(db: "ObjectBase", path: str) -> CheckpointReport:
+def checkpoint(
+    db: "ObjectBase", path: str, *, fs: FileSystem = REAL_FS
+) -> CheckpointReport:
     """Atomically snapshot the base to ``path`` and truncate its WAL.
 
-    The snapshot is written to a temporary file and renamed into place
-    (after an fsync), so a crash during checkpointing leaves the previous
-    checkpoint intact; only once the new one is durable is the attached
-    write-ahead log truncated.  Scheduler queue and ``ManagerStats`` are
-    part of the snapshot.  Raises :class:`PersistenceError` while a batch
-    scope or a transaction is open (those are the atomicity boundaries).
-    Returns a :class:`CheckpointReport`.
+    The snapshot is written to ``<path>.tmp`` and renamed into place
+    (after an fsync of the file and then of its directory), so a crash
+    or I/O error during checkpointing leaves the previous checkpoint
+    intact; only once the new one is durable is the attached write-ahead
+    log truncated.  Scheduler queue, ``ManagerStats`` and the storage
+    health state are part of the snapshot.  Raises
+    :class:`PersistenceError` while a batch scope or a transaction is
+    open (those are the atomicity boundaries).  Returns a
+    :class:`CheckpointReport`.
 
     With a worker pool attached (``workers > 0``) the base is quiesced
     first — the pool drains every runnable revalidation — and the
     document is built under the update lock, so the snapshot is a
     transaction-consistent cut: no drain or elementary update is in
     flight while the state is serialized.
+
+    Health interplay: a FAILED base refuses to checkpoint (its on-disk
+    log tail is not trustworthy).  A DEGRADED_READ_ONLY base *may*
+    checkpoint — snapshotting consistent in-memory state is exactly what
+    one wants from a base whose log is refusing appends — but the
+    quiesce is skipped (drains are paused while degraded and would only
+    time out).  A snapshot write that fails records the I/O error and
+    degrades; a WAL truncation that fails *after* the rename escalates
+    to FAILED, because the new checkpoint plus the stale log would
+    replay already-absorbed updates on recovery.
+
+    ``fs`` substitutes the file system (fault injection); the default
+    performs real I/O.
     """
+    health = db.health
+    if health.state is HealthState.FAILED:
+        raise StorageUnavailableError(
+            f"storage is failed: {health.reason or 'unknown cause'}; "
+            "refusing to checkpoint over a trustworthy snapshot"
+        )
     tracer = getattr(db, "observe", None)
     tracer = tracer.tracer if tracer is not None else None
     span = None
@@ -402,28 +471,30 @@ def checkpoint(db: "ObjectBase", path: str) -> CheckpointReport:
         span = tracer.begin("checkpoint", path=path)
     try:
         pool = getattr(db, "worker_pool", None)
-        if pool is not None:
+        if pool is not None and health.writable:
             pool.quiesce()
         freeze = getattr(db, "_freeze", None)
         with freeze() if freeze is not None else nullcontext():
             document = to_document(db)
-        directory = os.path.dirname(os.path.abspath(path))
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=os.path.basename(path) + ".", dir=directory
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+            _write_snapshot(document, path, fs)
+        except Exception as exc:
+            health.record_io_error(exc, site="checkpoint")
+            raise StorageUnavailableError(
+                f"checkpoint write failed (previous snapshot at {path} "
+                f"left intact): {exc}"
+            ) from exc
         truncated = db.wal is not None
         if db.wal is not None:
-            db.wal.truncate()
+            try:
+                db.wal.truncate()
+            except Exception as exc:
+                health.fail(f"wal.truncate after checkpoint rename: {exc}")
+                raise StorageUnavailableError(
+                    "checkpoint is durable but the write-ahead log could "
+                    f"not be truncated behind it: {exc}; recovery from "
+                    "this pair would double-replay absorbed updates"
+                ) from exc
         report = CheckpointReport(
             path=path,
             objects=len(document["objects"]),

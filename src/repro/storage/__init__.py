@@ -16,6 +16,15 @@ Index structures implemented (Sec. 3.3 of the paper):
   storage structure (MDS) used when the GMR has few dimensions.
 """
 
+from repro.storage.faultfs import (
+    FaultInjectingFileSystem,
+    FaultPlan,
+    FaultyFile,
+    FileSystem,
+    InjectedIOError,
+    REAL_FS,
+    wal_file_factory,
+)
 from repro.storage.pages import BufferManager, CostModel, PageStore
 from repro.storage.btree import BPlusTree
 from repro.storage.hashindex import HashIndex
@@ -25,7 +34,14 @@ from repro.storage.gmr_store import GMRStore
 __all__ = [
     "BufferManager",
     "CostModel",
+    "FaultInjectingFileSystem",
+    "FaultPlan",
+    "FaultyFile",
+    "FileSystem",
+    "InjectedIOError",
     "PageStore",
+    "REAL_FS",
+    "wal_file_factory",
     "BPlusTree",
     "HashIndex",
     "GridFile",

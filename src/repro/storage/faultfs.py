@@ -1,0 +1,352 @@
+"""The injectable file seam: real I/O by default, faults on demand.
+
+Every durable write the engine performs — WAL appends
+(:mod:`repro.storage.wal`) and checkpoint snapshots
+(:mod:`repro.persistence`) — goes through this module's two seams:
+
+* a *file factory* (``WriteAheadLog(file_factory=...)`` /
+  ``ShardedWriteAheadLog(file_factory=...)``), and
+* a :class:`FileSystem` object (``persistence.checkpoint(fs=...)``)
+  bundling the path-level operations an atomic snapshot needs
+  (open / fsync / rename / directory fsync).
+
+The default implementations are the thinnest possible wrappers over
+``os`` and ``open`` — zero new behaviour on the production path.  The
+fault half of the module (:class:`FaultPlan`, :class:`FaultyFile`,
+:class:`FaultInjectingFileSystem`) lives in the library rather than the
+test tree because the nightly fuzzer (``python -m repro.fuzz
+--io-faults``) injects storage faults too; ``tests/_faults.py``
+re-exports and builds on it.
+
+Fault model (the I/O-error half; crashes are ``tests/_faults.py``'s
+:class:`CrashingFile`, user-code failures are ``FlakyFunction``):
+
+* ``once`` — the targeted call raises :class:`InjectedIOError` one
+  time; the *next* call succeeds (a transient error: momentary ENOSPC,
+  a flaky controller).
+* ``persistent`` — the targeted call and every later call of that
+  operation raise (the disk is gone).
+* ``torn`` — a ``write`` persists only the first ``torn_bytes`` bytes,
+  then raises (a partial sector write / ENOSPC mid-frame).
+
+Faults are armed per operation (``write`` / ``flush`` / ``fsync`` /
+``close`` / ``replace`` / ``fsync_dir``), optionally per shard, and fire
+on the ``at``-th matching call — every call site of the engine is
+reachable by choosing ``at``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+#: Operations a fault can target.
+FAULT_OPS = ("write", "flush", "fsync", "close", "replace", "fsync_dir")
+
+
+class InjectedIOError(OSError):
+    """The deliberate I/O failure a :class:`FaultPlan` raises.
+
+    An ``OSError`` subclass (errno EIO) so production code handles it
+    exactly like a real disk error — nothing may special-case injected
+    faults.
+    """
+
+    def __init__(self, message: str) -> None:
+        import errno
+
+        super().__init__(errno.EIO, message)
+
+
+def fsync_file(fileobj: Any) -> None:
+    """fsync ``fileobj`` through its own seam when it offers one.
+
+    A wrapped file (``FaultyFile``, or any test double) exposes its own
+    ``fsync()``; a plain file is synced via ``os.fsync(fileno())``.  A
+    file with neither (an in-memory ``BytesIO``) needs no sync.
+    """
+    sync = getattr(fileobj, "fsync", None)
+    if sync is not None:
+        sync()
+        return
+    fileno = getattr(fileobj, "fileno", None)
+    if fileno is None:
+        return
+    try:
+        fd = fileno()
+    except (OSError, ValueError):
+        return  # not backed by a real descriptor
+    os.fsync(fd)
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory's metadata (the rename made durable).
+
+    The last step of the temp-file + fsync + atomic-rename protocol:
+    without it the rename itself can be lost in a crash even though
+    both file contents were synced.
+    """
+    fd = os.open(path, getattr(os, "O_DIRECTORY", 0) | os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class FileSystem:
+    """Path-level I/O operations behind one injectable object.
+
+    The default instance (:data:`REAL_FS`) delegates straight to the
+    standard library; :class:`FaultInjectingFileSystem` substitutes
+    fault-wrapped equivalents.  Only the operations the durable-write
+    protocols need are abstracted.
+    """
+
+    def open(self, path: str, mode: str = "r", *, encoding: str | None = None):
+        return open(path, mode, encoding=encoding)
+
+    def fsync(self, fileobj: Any) -> None:
+        fsync_file(fileobj)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        fsync_directory(path)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+
+#: The production file system — module-level so every default argument
+#: shares one stateless instance.
+REAL_FS = FileSystem()
+
+
+# -- fault injection ---------------------------------------------------------------
+
+
+@dataclass
+class _Fault:
+    """One armed fault (see :meth:`FaultPlan.fail`)."""
+
+    op: str
+    at: int
+    mode: str  # "once" | "persistent" | "torn"
+    shard: int | None
+    torn_bytes: int
+    message: str
+    fired: int = 0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (for test assertions)."""
+
+    op: str
+    shard: int | None
+    call_index: int
+    mode: str
+
+
+class FaultPlan:
+    """Shared, thread-safe schedule of storage faults.
+
+    One plan is typically shared by every file the factory hands out
+    (all WAL segments, the checkpoint temp file): call counting is per
+    ``(op, shard)``, so "fail the 3rd write on shard 1" addresses one
+    exact call site no matter how many files exist.  Files created
+    without a shard count under ``shard=None``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._faults: list[_Fault] = []
+        self._counts: dict[tuple[str, int | None], int] = {}
+        #: Every fault firing, in order — assert against this.
+        self.fired: list[FaultEvent] = []
+
+    def fail(
+        self,
+        op: str,
+        *,
+        at: int = 0,
+        mode: str = "once",
+        shard: int | None = None,
+        torn_bytes: int = 0,
+        message: str | None = None,
+    ) -> "FaultPlan":
+        """Arm one fault; returns ``self`` for chaining.
+
+        ``op`` is one of :data:`FAULT_OPS`; ``at`` is the 0-based index
+        of the matching call that fails (counted per ``(op, shard)``);
+        ``mode`` is ``once`` / ``persistent`` / ``torn``; ``torn``
+        applies to ``write`` and persists ``torn_bytes`` bytes before
+        raising.  ``shard=None`` matches calls from any file.
+        """
+        if op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {op!r} (use one of {FAULT_OPS})")
+        if mode not in ("once", "persistent", "torn"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if mode == "torn" and op != "write":
+            raise ValueError("torn faults only apply to write")
+        self._faults.append(
+            _Fault(
+                op=op,
+                at=at,
+                mode=mode,
+                shard=shard,
+                torn_bytes=torn_bytes,
+                message=message or f"injected {mode} {op} fault",
+            )
+        )
+        return self
+
+    def clear(self) -> None:
+        """Disarm every fault (the transient condition healed)."""
+        with self._lock:
+            self._faults.clear()
+
+    def check(self, op: str, shard: int | None) -> _Fault | None:
+        """Consume one call of ``op``; return the fault to apply, if any.
+
+        Called by the wrappers *before* performing the operation.  The
+        matching fault's raise is the caller's job (a torn write needs
+        the partial write first) — this only does the counting.
+        """
+        with self._lock:
+            index = self._counts.get((op, shard), 0)
+            self._counts[(op, shard)] = index + 1
+            for fault in self._faults:
+                if fault.op != op:
+                    continue
+                if fault.shard is not None and fault.shard != shard:
+                    continue
+                matched = (
+                    index >= fault.at
+                    if fault.mode == "persistent"
+                    else index == fault.at and fault.fired == 0
+                )
+                if not matched:
+                    continue
+                fault.fired += 1
+                self.fired.append(
+                    FaultEvent(
+                        op=op, shard=shard, call_index=index, mode=fault.mode
+                    )
+                )
+                return fault
+        return None
+
+
+class FaultyFile:
+    """A file wrapper that consults a :class:`FaultPlan` on every call.
+
+    Wraps binary or text files alike; operations not targeted by the
+    plan pass straight through.  A torn write persists the fault's
+    ``torn_bytes`` prefix (and flushes it, so the partial frame really
+    is on disk) before raising.
+    """
+
+    def __init__(
+        self, fileobj: Any, plan: FaultPlan, *, shard: int | None = None
+    ) -> None:
+        self._file = fileobj
+        self._plan = plan
+        self._shard = shard
+
+    def write(self, data) -> int:
+        fault = self._plan.check("write", self._shard)
+        if fault is not None:
+            if fault.mode == "torn" and fault.torn_bytes > 0:
+                self._file.write(data[: fault.torn_bytes])
+                self._file.flush()
+            raise InjectedIOError(fault.message)
+        return self._file.write(data)
+
+    def flush(self) -> None:
+        fault = self._plan.check("flush", self._shard)
+        if fault is not None:
+            raise InjectedIOError(fault.message)
+        self._file.flush()
+
+    def fsync(self) -> None:
+        fault = self._plan.check("fsync", self._shard)
+        if fault is not None:
+            raise InjectedIOError(fault.message)
+        fileno = getattr(self._file, "fileno", None)
+        if fileno is None:
+            return  # in-memory backing: durability is the buffer itself
+        try:
+            fd = fileno()
+        except (OSError, ValueError):
+            return
+        os.fsync(fd)
+
+    def close(self) -> None:
+        fault = self._plan.check("close", self._shard)
+        if fault is not None:
+            raise InjectedIOError(fault.message)
+        self._file.close()
+
+    def seek(self, *args) -> int:
+        return self._file.seek(*args)
+
+    def truncate(self, *args) -> int:
+        return self._file.truncate(*args)
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    @property
+    def closed(self) -> bool:
+        return getattr(self._file, "closed", False)
+
+
+class FaultInjectingFileSystem(FileSystem):
+    """A :class:`FileSystem` whose files and renames obey a plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def open(self, path: str, mode: str = "r", *, encoding: str | None = None):
+        return FaultyFile(
+            super().open(path, mode, encoding=encoding), self.plan
+        )
+
+    def replace(self, src: str, dst: str) -> None:
+        fault = self.plan.check("replace", None)
+        if fault is not None:
+            raise InjectedIOError(fault.message)
+        super().replace(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        fault = self.plan.check("fsync_dir", None)
+        if fault is not None:
+            raise InjectedIOError(fault.message)
+        super().fsync_dir(path)
+
+
+def wal_file_factory(
+    plan: FaultPlan,
+) -> Callable[[str, int | None], FaultyFile]:
+    """A WAL ``file_factory`` whose files obey ``plan``.
+
+    Suitable for both :class:`~repro.storage.wal.WriteAheadLog`
+    (called with ``shard=None``) and
+    :class:`~repro.storage.wal.ShardedWriteAheadLog` (called once per
+    shard).
+    """
+
+    def factory(path: str, shard: int | None = None) -> FaultyFile:
+        return FaultyFile(open(path, "ab"), plan, shard=shard)
+
+    return factory

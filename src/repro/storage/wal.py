@@ -56,6 +56,7 @@ from typing import Any, BinaryIO, Callable, Iterator
 
 from repro.errors import ReproError
 from repro.gom.oid import Oid
+from repro.storage.faultfs import fsync_file
 
 _HEADER = struct.Struct(">II")
 
@@ -177,10 +178,19 @@ class WriteAheadLog:
 
     ``fileobj`` substitutes the backing file — the fault-injection
     harness passes a wrapper that simulates a crash after a byte budget.
-    ``fsync=True`` additionally forces the record to stable storage on
-    every append (the durable-by-default mode for real deployments; the
-    tests run without it since the simulated crash model is the byte
-    budget, not the OS cache).
+    ``file_factory`` is the less intrusive seam: ``factory(path)``
+    produces the backing file (the storage-fault harness returns
+    :class:`~repro.storage.faultfs.FaultyFile` wrappers).  ``fsync=True``
+    additionally forces the record to stable storage on every append
+    (the durable-by-default mode for real deployments; the tests run
+    without it since the simulated crash model is the byte budget, not
+    the OS cache).
+
+    Failure discipline: an append that raises leaves the log *broken* —
+    the on-disk tail may hold a torn frame past the last durable record
+    boundary.  :meth:`repair` truncates that tail back to the boundary;
+    no new append is accepted while broken, because a frame written
+    after torn bytes would be silently cut by the recovery reader.
     """
 
     def __init__(
@@ -189,11 +199,15 @@ class WriteAheadLog:
         *,
         fileobj: BinaryIO | None = None,
         fsync: bool = False,
+        file_factory: Callable[[str], Any] | None = None,
     ) -> None:
         if fileobj is None:
             if path is None:
                 raise WalError("WriteAheadLog needs a path or a fileobj")
-            fileobj = open(path, "ab")
+            if file_factory is not None:
+                fileobj = file_factory(path)
+            else:
+                fileobj = open(path, "ab")
         self.path = path
         self._file = fileobj
         self._fsync = fsync
@@ -202,31 +216,118 @@ class WriteAheadLog:
         #: bytes of two frames.  Always armed — an uncontended lock
         #: acquisition is noise next to the write+flush it guards.
         self._lock = threading.Lock()
+        self._closed = False
+        #: True after a failed append: the physical tail may be torn and
+        #: must be repaired before the next append.
+        self._broken = False
+        #: End offset of the last known-durable frame — the truncation
+        #: target of :meth:`repair`.
+        try:
+            self._good_offset = self._file.seek(0, os.SEEK_END)
+        except (OSError, ValueError, AttributeError):
+            self._good_offset = 0
         #: Optional hook ``on_append(record, nbytes)`` fired after each
         #: durable append — the object base wires it to the observability
         #: layer (``wal.appends`` / ``wal.bytes`` counters, trace events).
         self.on_append: Callable[[dict, int], None] | None = None
 
+    @property
+    def broken(self) -> bool:
+        """True when a failed append left a possibly-torn tail."""
+        return self._broken
+
     def append(self, record: dict) -> None:
-        """Log one record durably (write + flush before it is applied)."""
+        """Log one record durably (write + flush before it is applied).
+
+        Raises whatever the backing file raises; the log is then marked
+        broken and refuses further appends until :meth:`repair` restores
+        the tail to the last durable frame boundary.  The record is
+        *not* durable when this raises — callers must not apply it.
+
+        The failure path immediately *scrubs* the unacknowledged tail
+        (best effort, without clearing the broken flag): a failed
+        ``fsync`` leaves a complete, parseable frame on disk, and a
+        crash before the next ``repair()`` would make recovery replay an
+        update the caller was told failed — the refused update would
+        silently resurrect.
+        """
         frame = encode_frame(record)
         with self._lock:
-            self._file.write(frame)
-            self._file.flush()
-            if self._fsync:
-                os.fsync(self._file.fileno())
+            if self._closed:
+                raise WalError("append on a closed write-ahead log")
+            if self._broken:
+                raise WalError(
+                    "append on a broken write-ahead log (repair first)"
+                )
+            try:
+                self._file.write(frame)
+                self._file.flush()
+                if self._fsync:
+                    fsync_file(self._file)
+            except Exception:
+                self._broken = True
+                try:
+                    self._file.seek(self._good_offset)
+                    self._file.truncate()
+                    self._file.flush()
+                except Exception:
+                    pass  # the tail stays torn; repair() retries this
+                raise
+            self._good_offset += len(frame)
         if self.on_append is not None:
             self.on_append(record, len(frame))
 
-    def truncate(self) -> None:
-        """Discard the whole log (checkpoint has absorbed it)."""
+    def repair(self) -> None:
+        """Truncate a torn tail back to the last durable frame boundary.
+
+        The probe step of the health re-arm path: after a failed append
+        the file may end mid-frame, and any record appended after those
+        bytes would be cut by the torn-tail-tolerant reader — losing an
+        *acknowledged* update.  A raise here means the tail cannot be
+        restored to a known-good state (callers escalate to FAILED);
+        the log stays broken.
+        """
         with self._lock:
-            self._file.seek(0)
+            if not self._broken:
+                return
+            self._file.seek(self._good_offset)
             self._file.truncate()
             self._file.flush()
+            self._broken = False
+
+    def truncate(self) -> None:
+        """Discard the whole log (checkpoint has absorbed it).
+
+        Doubles as a full repair: a successful truncation leaves an
+        empty, well-formed log whatever tail damage preceded it.
+        """
+        with self._lock:
+            try:
+                self._file.seek(0)
+                self._file.truncate()
+                self._file.flush()
+            except Exception:
+                self._broken = True
+                raise
+            self._good_offset = 0
+            self._broken = False
 
     def close(self) -> None:
-        self._file.close()
+        """Close the backing file; idempotent and exception-safe.
+
+        A second close is a no-op, and a backing file whose final
+        flush-on-close fails is still considered closed (the appends
+        themselves were flushed durably at append time, so nothing is
+        lost) — shutdown paths never die on a disposal error.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._file.close()
+        except Exception:
+            pass  # already-flushed appends are durable; see docstring
 
 
 # -- sharded segments ------------------------------------------------------------
@@ -240,17 +341,21 @@ def segment_path(path: str, shard: int) -> str:
 def segment_paths(path: str) -> list[str]:
     """Existing ``{path}.s{k}`` segment files, in shard order.
 
-    Probes ascending shard indices until the first gap — segments are
-    always created densely from 0, so the first missing index ends the
-    set.  An empty list means the log at ``path`` is unsharded (or
-    absent).
+    Scans the directory rather than probing indices densely from 0: a
+    segment file deleted by a storage fault must not hide the segments
+    after it — their surviving records decide where the contiguous
+    ``seq`` prefix ends (see :func:`read_records_merged`).  An empty
+    list means the log at ``path`` is unsharded (or absent).
     """
-    paths: list[str] = []
-    shard = 0
-    while os.path.exists(segment_path(path, shard)):
-        paths.append(segment_path(path, shard))
-        shard += 1
-    return paths
+    directory = os.path.dirname(path) or "."
+    prefix = os.path.basename(path) + ".s"
+    if not os.path.isdir(directory):
+        return []
+    shards: list[int] = []
+    for name in os.listdir(directory):
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            shards.append(int(name[len(prefix):]))
+    return [segment_path(path, shard) for shard in sorted(shards)]
 
 
 def read_records_merged(path: str) -> list[dict]:
@@ -258,13 +363,17 @@ def read_records_merged(path: str) -> list[dict]:
 
     With ``{path}.s{k}`` segment files present, each segment is read
     with the ordinary torn-tail-tolerant frame reader and the records
-    are merged by their global ``seq`` stamp.  The merged stream is cut
-    at the first *gap* in the sequence: the sharded writer assigns
-    sequence numbers and appends under one lock, so at most one frame —
-    the last append before a crash — can be torn, and every record
-    after a missing seq (none, in practice) is discarded rather than
-    replayed out of order.  The ``seq`` keys are stripped so the result
-    is interchangeable with :func:`read_records` output.
+    are merged by their global ``seq`` stamp.  The merged stream starts
+    at seq 0 and is cut at the first *gap* in the sequence: the sharded
+    writer assigns sequence numbers and appends under one lock, so at
+    most one frame — the last append before a crash — can be torn, and
+    every record after a missing seq is discarded rather than replayed
+    out of context.  (Starting at 0 rather than the smallest surviving
+    seq matters when a whole segment file is lost: its records are the
+    missing prefix, and replaying only the remainder would be exactly
+    the out-of-context replay the gap cut exists to prevent.)  The
+    ``seq`` keys are stripped so the result is interchangeable with
+    :func:`read_records` output.
 
     Without segment files this is exactly ``read_records(path)``.
     """
@@ -280,9 +389,9 @@ def read_records_merged(path: str) -> list[dict]:
             stamped.append((seq, record))
     stamped.sort(key=lambda item: item[0])
     merged: list[dict] = []
-    expected: int | None = None
+    expected = 0
     for seq, record in stamped:
-        if expected is not None and seq != expected:
+        if seq != expected:
             break  # gap: a lost frame orders before these records
         expected = seq + 1
         record = dict(record)
@@ -317,6 +426,7 @@ class ShardedWriteAheadLog:
         *,
         fileobjs: list[BinaryIO] | None = None,
         fsync: bool = False,
+        file_factory: Callable[[str, int], Any] | None = None,
     ) -> None:
         if shards < 2:
             raise WalError("ShardedWriteAheadLog needs shards >= 2")
@@ -329,9 +439,15 @@ class ShardedWriteAheadLog:
             if fileobjs is not None:
                 segment = WriteAheadLog(fileobj=fileobjs[shard], fsync=fsync)
             elif path is not None:
-                segment = WriteAheadLog(
-                    segment_path(path, shard), fsync=fsync
-                )
+                spath = segment_path(path, shard)
+                if file_factory is not None:
+                    segment = WriteAheadLog(
+                        spath,
+                        fileobj=file_factory(spath, shard),
+                        fsync=fsync,
+                    )
+                else:
+                    segment = WriteAheadLog(spath, fsync=fsync)
             else:
                 raise WalError(
                     "ShardedWriteAheadLog needs a path or fileobjs"
@@ -340,7 +456,13 @@ class ShardedWriteAheadLog:
         #: Serializes seq assignment + the routed append (see class doc).
         self._lock = threading.Lock()
         self._seq = 0
+        self._closed = False
         self.on_append: Callable[[dict, int], None] | None = None
+
+    @property
+    def broken(self) -> bool:
+        """True when any segment carries a possibly-torn tail."""
+        return any(segment.broken for segment in self._segments)
 
     def segment(self, shard: int) -> WriteAheadLog:
         """The underlying :class:`WriteAheadLog` of one shard."""
@@ -355,15 +477,28 @@ class ShardedWriteAheadLog:
         return stable_hash(Oid(oid)) % self.shards
 
     def append(self, record: dict) -> None:
-        """Stamp a global seq, route to the owning segment, append."""
+        """Stamp a global seq, route to the owning segment, append.
+
+        The seq counter advances only *after* the segment append
+        succeeds: a burned seq would be a permanent gap in the global
+        sequence, and the merge reader cuts at the first gap — every
+        later record of every shard would be silently discarded at
+        recovery.
+        """
         stamped = dict(record)
         with self._lock:
             stamped["seq"] = self._seq
-            self._seq += 1
             segment = self._segments[self._route(record)]
             segment.append(stamped)
+            self._seq += 1
         if self.on_append is not None:
             self.on_append(record, len(encode_frame(stamped)))
+
+    def repair(self) -> None:
+        """Repair every broken segment's tail (see WriteAheadLog.repair)."""
+        with self._lock:
+            for segment in self._segments:
+                segment.repair()
 
     def truncate(self) -> None:
         """Discard every segment (checkpoint has absorbed the log)."""
@@ -373,5 +508,14 @@ class ShardedWriteAheadLog:
             self._seq = 0
 
     def close(self) -> None:
+        """Close every segment; idempotent and exception-safe.
+
+        Each segment close already swallows disposal errors, so one
+        failing shard never strands the handles of the shards after it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         for segment in self._segments:
             segment.close()

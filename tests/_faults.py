@@ -11,6 +11,13 @@ Beyond storage crashes, :class:`FlakyFunction` injects *user-code*
 faults (raises and stalls at chosen call indices) into materialized
 operation bodies, and :func:`check_consistency` is the invariant oracle
 the function-fault matrix asserts after every injected fault.
+
+The *I/O-error* half of the storage fault model (fail a ``write`` /
+``flush`` / ``fsync`` / ``close`` once, persistently, or with a torn
+partial write) lives in :mod:`repro.storage.faultfs` — in the library,
+because the nightly fuzzer injects those faults too — and is re-exported
+here so the test tree has one import surface for all three fault kinds
+(crash / I/O error / function failure).
 """
 
 from __future__ import annotations
@@ -22,6 +29,14 @@ import time
 import zlib
 
 from repro.gom.oid import Oid
+from repro.storage.faultfs import (  # noqa: F401  (re-exports)
+    FaultEvent,
+    FaultInjectingFileSystem,
+    FaultPlan,
+    FaultyFile,
+    InjectedIOError,
+    wal_file_factory,
+)
 
 _HEADER = struct.Struct(">II")
 

@@ -1,0 +1,168 @@
+"""Unit tests of the storage health state machine (repro.core.health).
+
+The integration half — WAL faults actually driving the transitions —
+lives in ``tests/storage/test_storage_faults.py``; here the machine is
+exercised in isolation with an injectable clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.health import STATE_CODES, HealthMonitor, HealthState
+from repro.errors import StorageUnavailableError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _make(cooldown: float = 1.0):
+    clock = FakeClock()
+    monitor = HealthMonitor(rearm_cooldown=cooldown, clock=clock)
+    return monitor, clock
+
+
+def test_initial_state_is_healthy_and_writable():
+    monitor, _ = _make()
+    assert monitor.state is HealthState.HEALTHY
+    assert monitor.writable
+    assert not monitor.read_only
+    assert monitor.io_errors == 0
+    assert monitor.reason is None
+    monitor.require_writable()  # does not raise
+
+
+def test_io_error_degrades_and_counts():
+    monitor, _ = _make()
+    monitor.record_io_error(OSError("disk on fire"), site="wal.append")
+    assert monitor.state is HealthState.DEGRADED_READ_ONLY
+    assert monitor.read_only and not monitor.writable
+    assert monitor.io_errors == 1
+    assert "wal.append" in monitor.reason
+    with pytest.raises(StorageUnavailableError, match="degraded_read_only"):
+        monitor.require_writable()
+
+
+def test_probe_cooldown_uses_clock():
+    monitor, clock = _make(cooldown=1.0)
+    monitor.record_io_error(OSError("x"), site="wal.append")
+    assert not monitor.probe_eligible()
+    clock.advance(0.5)
+    assert not monitor.probe_eligible()
+    clock.advance(0.6)
+    assert monitor.probe_eligible()
+
+
+def test_failed_probe_restarts_cooldown():
+    monitor, clock = _make(cooldown=1.0)
+    monitor.record_io_error(OSError("x"), site="wal.append")
+    clock.advance(2.0)
+    assert monitor.probe_eligible()
+    # The probe append failed again: still degraded, window restarted.
+    monitor.record_io_error(OSError("y"), site="wal.append")
+    assert monitor.state is HealthState.DEGRADED_READ_ONLY
+    assert monitor.io_errors == 2
+    assert not monitor.probe_eligible()
+    clock.advance(1.1)
+    assert monitor.probe_eligible()
+
+
+def test_rearm_returns_to_healthy():
+    monitor, _ = _make()
+    monitor.record_io_error(OSError("x"), site="wal.append")
+    monitor.rearm()
+    assert monitor.state is HealthState.HEALTHY
+    assert monitor.reason is None
+    # The error count is lifetime, not per-episode.
+    assert monitor.io_errors == 1
+    monitor.rearm()  # idempotent from HEALTHY
+
+
+def test_failed_is_terminal():
+    monitor, clock = _make()
+    monitor.fail("wal.repair: truncate refused")
+    assert monitor.state is HealthState.FAILED
+    with pytest.raises(StorageUnavailableError, match="failed"):
+        monitor.require_writable()
+    with pytest.raises(StorageUnavailableError, match="re-armed"):
+        monitor.rearm()
+    # No probe path out of FAILED, however long we wait.
+    clock.advance(3600.0)
+    assert not monitor.probe_eligible()
+    # Further errors count but cannot change the state.
+    monitor.record_io_error(OSError("x"), site="checkpoint")
+    assert monitor.state is HealthState.FAILED
+    assert monitor.io_errors == 1
+    monitor.fail("again")  # idempotent
+
+
+def test_transition_and_io_error_hooks():
+    monitor, _ = _make()
+    transitions: list[tuple] = []
+    counts: list[int] = []
+    monitor.on_transition = lambda event, old, new, reason: transitions.append(
+        (event, old, new, reason)
+    )
+    monitor.on_io_error = lambda total: counts.append(total)
+
+    monitor.record_io_error(OSError("x"), site="wal.append")
+    monitor.rearm()
+    monitor.record_io_error(OSError("y"), site="wal.append")
+    monitor.fail("repair refused")
+
+    events = [(event, old.value, new.value) for event, old, new, _ in transitions]
+    assert events == [
+        ("degrade", "healthy", "degraded_read_only"),
+        ("rearm", "degraded_read_only", "healthy"),
+        ("degrade", "healthy", "degraded_read_only"),
+        ("fail", "degraded_read_only", "failed"),
+    ]
+    assert counts == [1, 2]
+
+
+def test_state_codes_are_monotone_severity():
+    assert STATE_CODES[HealthState.HEALTHY] == 0
+    assert STATE_CODES[HealthState.DEGRADED_READ_ONLY] == 1
+    assert STATE_CODES[HealthState.FAILED] == 2
+
+
+def test_dump_restore_round_trip():
+    monitor, _ = _make()
+    monitor.record_io_error(OSError("x"), site="wal.append")
+    snapshot = monitor.dump_state()
+
+    fresh = HealthMonitor()
+    fresh.restore_state(snapshot)
+    assert fresh.state is HealthState.DEGRADED_READ_ONLY
+    assert fresh.io_errors == 1
+    assert "wal.append" in fresh.reason
+    # Restoring a degraded state starts the probe window afresh.
+    fresh.rearm_cooldown = 0.0
+    assert fresh.probe_eligible()
+
+
+def test_failed_cannot_resurrect_via_restore():
+    monitor, _ = _make()
+    monitor.fail("truncate refused")
+    snapshot = monitor.dump_state()
+
+    fresh = HealthMonitor()
+    fresh.restore_state(snapshot)
+    assert fresh.state is HealthState.FAILED
+    with pytest.raises(StorageUnavailableError):
+        fresh.rearm()
+
+
+def test_restore_defaults_to_healthy_for_old_documents():
+    fresh = HealthMonitor()
+    fresh.restore_state({})
+    assert fresh.state is HealthState.HEALTHY
+    assert fresh.io_errors == 0

@@ -1,0 +1,169 @@
+"""Close/repair discipline of the WAL classes.
+
+Satellite coverage for the storage-fault PR: ``close()`` must be
+idempotent and exception-safe on both WAL classes (double-close and
+close-after-failed-flush used to raise), ``repair()`` must truncate a
+torn tail back to the last durable frame boundary, and a broken log
+must refuse appends until repaired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.wal import (
+    ShardedWriteAheadLog,
+    WalError,
+    WriteAheadLog,
+    read_records,
+    read_records_merged,
+    segment_path,
+)
+
+from tests._faults import FaultPlan, InjectedIOError, wal_file_factory
+
+
+def test_double_close_is_a_noop(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "w.log"))
+    wal.append({"kind": "txn_begin"})
+    wal.close()
+    wal.close()  # must not raise (double-close used to ValueError)
+
+
+def test_close_after_failed_flush_does_not_raise(tmp_path):
+    plan = FaultPlan().fail("flush", mode="persistent")
+    wal = WriteAheadLog(
+        str(tmp_path / "w.log"), file_factory=wal_file_factory(plan)
+    )
+    with pytest.raises(InjectedIOError):
+        wal.append({"kind": "txn_begin"})
+    assert wal.broken
+    wal.close()  # swallowed: already-flushed appends are durable
+    wal.close()
+
+
+def test_close_fault_is_swallowed(tmp_path):
+    plan = FaultPlan().fail("close", mode="persistent")
+    wal = WriteAheadLog(
+        str(tmp_path / "w.log"), file_factory=wal_file_factory(plan)
+    )
+    wal.append({"kind": "txn_begin"})
+    wal.close()
+    assert plan.fired, "the close fault must actually have fired"
+
+
+def test_append_after_close_raises(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "w.log"))
+    wal.close()
+    with pytest.raises(WalError, match="closed"):
+        wal.append({"kind": "txn_begin"})
+
+
+def test_broken_log_refuses_appends_until_repaired(tmp_path):
+    path = str(tmp_path / "w.log")
+    plan = FaultPlan().fail("write", at=1, mode="torn", torn_bytes=5)
+    wal = WriteAheadLog(path, file_factory=wal_file_factory(plan))
+    wal.append({"kind": "txn_begin"})
+    with pytest.raises(InjectedIOError):
+        wal.append({"kind": "txn_commit"})
+    assert wal.broken
+    with pytest.raises(WalError, match="broken"):
+        wal.append({"kind": "txn_commit"})
+    wal.repair()
+    assert not wal.broken
+    wal.append({"kind": "txn_commit"})
+    wal.close()
+    # The torn bytes were truncated before the retried append landed:
+    # *both* records must be readable (an unrepaired tail would have
+    # cut the reader at the torn frame, silently losing the retry).
+    assert [r["kind"] for r in read_records(path)] == [
+        "txn_begin",
+        "txn_commit",
+    ]
+
+
+def test_repair_on_a_healthy_log_is_a_noop(tmp_path):
+    path = str(tmp_path / "w.log")
+    wal = WriteAheadLog(path)
+    wal.append({"kind": "txn_begin"})
+    wal.repair()
+    wal.append({"kind": "txn_commit"})
+    wal.close()
+    assert len(read_records(path)) == 2
+
+
+def test_truncate_doubles_as_full_repair(tmp_path):
+    path = str(tmp_path / "w.log")
+    plan = FaultPlan().fail("write", at=1, mode="torn", torn_bytes=3)
+    wal = WriteAheadLog(path, file_factory=wal_file_factory(plan))
+    wal.append({"kind": "txn_begin"})
+    with pytest.raises(InjectedIOError):
+        wal.append({"kind": "txn_commit"})
+    assert wal.broken
+    wal.truncate()
+    assert not wal.broken
+    wal.append({"kind": "txn_begin"})
+    wal.close()
+    assert [r["kind"] for r in read_records(path)] == ["txn_begin"]
+
+
+def test_sharded_double_close_is_a_noop(tmp_path):
+    wal = ShardedWriteAheadLog(str(tmp_path / "w.log"), 4)
+    wal.append({"kind": "txn_begin"})
+    wal.close()
+    wal.close()
+
+
+def test_sharded_close_survives_a_failing_shard(tmp_path):
+    base = str(tmp_path / "w.log")
+    plan = FaultPlan().fail("close", shard=1, mode="persistent")
+    wal = ShardedWriteAheadLog(base, 4, file_factory=wal_file_factory(plan))
+    wal.append({"kind": "txn_begin"})
+    wal.close()  # shard 1's close fault must not strand shards 2..3
+    assert [event.shard for event in plan.fired] == [1]
+
+
+def test_sharded_failed_append_does_not_burn_a_seq(tmp_path):
+    """A refused append must not leave a permanent gap in the global
+    sequence — the merge reader cuts at the first gap, so a burned seq
+    would silently discard every later record of every shard."""
+    base = str(tmp_path / "w.log")
+    plan = FaultPlan()
+    wal = ShardedWriteAheadLog(base, 4, file_factory=wal_file_factory(plan))
+    wal.append({"kind": "set", "oid": 1, "attr": "X", "value": 1.0})
+    # Fail the next append wherever it routes (all shards armed).
+    for shard in range(4):
+        plan.fail("write", shard=shard, mode="once")
+    with pytest.raises(InjectedIOError):
+        wal.append({"kind": "set", "oid": 2, "attr": "X", "value": 2.0})
+    plan.clear()
+    wal.repair()
+    wal.append({"kind": "set", "oid": 3, "attr": "X", "value": 3.0})
+    wal.close()
+    merged = read_records_merged(base)
+    assert [record["oid"] for record in merged] == [1, 3]
+
+
+def test_sharded_repair_truncates_the_torn_segment(tmp_path):
+    base = str(tmp_path / "w.log")
+    plan = FaultPlan()
+    wal = ShardedWriteAheadLog(base, 2, file_factory=wal_file_factory(plan))
+    wal.append({"kind": "txn_begin"})  # marker -> segment 0
+    # Markers route to segment 0, which already holds one frame: tear
+    # its *second* write.
+    plan.fail("write", at=1, shard=0, mode="torn", torn_bytes=4)
+    with pytest.raises(InjectedIOError):
+        wal.append({"kind": "txn_commit"})
+    assert wal.broken
+    plan.clear()
+    wal.repair()
+    assert not wal.broken
+    wal.append({"kind": "txn_commit"})
+    wal.close()
+    assert [r["kind"] for r in read_records_merged(base)] == [
+        "txn_begin",
+        "txn_commit",
+    ]
+    # The torn bytes really were written before the repair: segment 0
+    # must parse cleanly to exactly two frames now.
+    assert len(read_records(segment_path(base, 0))) == 2

@@ -1,0 +1,173 @@
+"""Sharded recovery when whole WAL segment files are *missing*.
+
+PR 2's sharded crash matrix tears the tail of one segment; a storage
+fault can also take out an entire segment file (deleted, or unreadable
+and excluded from the merge).  The merge reader's contract then is
+declared truncation, never reordering: replay the longest contiguous
+``seq`` prefix of what survives and drop everything after the first
+gap — a record replayed without the missing records that preceded it
+would be the silent out-of-context corruption the oracle hunts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ObjectBase, base_state, recover
+from repro.observe.config import MaterializationConfig
+from repro.persistence import checkpoint, load_object_base
+from repro.storage.wal import (
+    ShardedWriteAheadLog,
+    read_records,
+    read_records_merged,
+    segment_path,
+    segment_paths,
+)
+
+from tests._faults import apply_records
+
+SHARDS = 4
+
+
+def _point_schema(db: ObjectBase) -> None:
+    db.define_tuple_type(
+        "Point", {"X": "float", "Y": "float", "Label": "string"}
+    )
+    db.define_operation(
+        "Point",
+        "norm",
+        [],
+        "float",
+        lambda self: (self.X * self.X + self.Y * self.Y) ** 0.5,
+    )
+
+
+def _build_point_base() -> ObjectBase:
+    db = ObjectBase(config=MaterializationConfig(shards=SHARDS))
+    _point_schema(db)
+    for i in range(8):
+        db.new("Point", X=float(i + 1), Y=float((i * 3) % 5), Label=f"p{i}")
+    db.materialize([("Point", "norm")])
+    return db
+
+
+def _script(db: ObjectBase) -> None:
+    points = db.extension("Point")
+    for index, point in enumerate(points):
+        point.set_X(10.0 + index)
+    for point in points[:5]:
+        point.set_Y(1.0)
+
+
+def test_segment_paths_scans_past_a_deleted_segment(tmp_path):
+    base = str(tmp_path / "w.log")
+    wal = ShardedWriteAheadLog(base, SHARDS)
+    wal.append({"kind": "txn_begin"})
+    wal.close()
+    os.remove(segment_path(base, 1))
+    found = segment_paths(base)
+    # The old dense index-probe stopped at the .s1 gap and hid .s2/.s3;
+    # the directory scan must report every survivor.
+    assert found == [segment_path(base, shard) for shard in (0, 2, 3)]
+
+
+def test_merged_reader_requires_the_seq_zero_prefix(tmp_path):
+    """A log whose earliest surviving record is seq > 0 has lost its
+    prefix; replaying the remainder out of context is forbidden."""
+    base = str(tmp_path / "w.log")
+    wal = ShardedWriteAheadLog(base, SHARDS)
+    for i in range(12):
+        wal.append({"kind": "set", "oid": i, "attr": "X", "value": float(i)})
+    wal.close()
+
+    # Find the segment owning seq 0 and delete it.
+    owner = next(
+        path
+        for path in segment_paths(base)
+        if any(record.get("seq") == 0 for record in read_records(path))
+    )
+    os.remove(owner)
+    assert read_records_merged(base) == []
+
+
+@pytest.mark.parametrize("victim_shard", range(SHARDS))
+def test_recovery_with_a_deleted_segment_is_declared_truncation(
+    victim_shard, tmp_path
+):
+    ckpt = str(tmp_path / "checkpoint.json")
+    base_path = str(tmp_path / "wal.log")
+
+    db = _build_point_base()
+    db.attach_wal(ShardedWriteAheadLog(base_path, SHARDS))
+    checkpoint(db, ckpt)
+    _script(db)
+    db.wal.close()
+
+    victim = segment_path(base_path, victim_shard)
+    victim_seqs = [
+        record["seq"] for record in read_records(victim)
+    ]
+    os.remove(victim)
+
+    merged = read_records_merged(base_path)
+    if victim_seqs:
+        # Declared truncation: everything before the victim's first seq
+        # survives, nothing at or after it does.
+        assert len(merged) == min(victim_seqs)
+    # Whatever survived replays cleanly and matches a reference base
+    # applying the same declared prefix through the public API.
+    recovered = ObjectBase(config=MaterializationConfig(shards=SHARDS))
+    _point_schema(recovered)
+    report = recover(recovered, ckpt, base_path)
+    assert report.records_replayed <= report.records_scanned
+
+    reference = ObjectBase(config=MaterializationConfig(shards=SHARDS))
+    _point_schema(reference)
+    load_object_base(reference, ckpt)
+    apply_records(reference, merged)
+
+    left, right = base_state(recovered), base_state(reference)
+    for key in left:
+        assert left[key] == right[key], (
+            f"deleted segment {victim_shard}: divergence in {key!r}"
+        )
+
+
+def test_deleted_vs_torn_segment(tmp_path):
+    """A torn segment keeps its durable prefix; a deleted one loses it
+    all — both cut the merged stream at their first missing seq."""
+    base_path = str(tmp_path / "wal.log")
+    wal = ShardedWriteAheadLog(base_path, SHARDS)
+    for i in range(16):
+        wal.append({"kind": "set", "oid": i, "attr": "X", "value": float(i)})
+    wal.close()
+
+    # Pick a victim segment that holds at least two records and does
+    # not own seq 0 (so the distinction is visible in the merge).
+    victim = None
+    for shard in range(SHARDS):
+        records = read_records(segment_path(base_path, shard))
+        seqs = [record["seq"] for record in records]
+        if len(seqs) >= 2 and 0 not in seqs:
+            victim = (shard, seqs)
+            break
+    assert victim is not None, "expected a multi-record non-zero segment"
+    shard, seqs = victim
+    victim_path = segment_path(base_path, shard)
+    with open(victim_path, "rb") as handle:
+        victim_bytes = handle.read()
+
+    # Torn: cut the victim mid-way through its last frame.
+    with open(victim_path, "wb") as handle:
+        handle.write(victim_bytes[:-5])
+    torn_merged = read_records_merged(base_path)
+    # The victim's last record is gone; the merge cuts at its seq.
+    assert len(torn_merged) == seqs[-1]
+
+    # Deleted: the victim's *first* seq now ends the merged stream.
+    os.remove(victim_path)
+    deleted_merged = read_records_merged(base_path)
+    assert len(deleted_merged) == seqs[0]
+    assert deleted_merged == torn_merged[: seqs[0]]
