@@ -25,6 +25,9 @@ def test_fig15_sweep(benchmark):
     assert totals["CompAction"] < totals["Immediate"]
     assert totals["Lazy"] < totals["Immediate"]
     assert totals["CompAction"] < totals["WithoutGMR"]
+    # The generalized delta engine routes the same handler, so it must
+    # keep the compensating action's advantage over recomputation.
+    assert totals["Delta"] < totals["Immediate"]
 
     # At Pup = 1.0 (only insertions) Lazy never rematerializes: it must
     # cost no more than Immediate there.
@@ -51,3 +54,52 @@ def test_fig15_add_project_with_immediate(benchmark):
     application = MatrixApplication(IMMEDIATE, CompanyConfig.matrix_shape())
     rng = DeterministicRng(10)
     benchmark(lambda: application.u_new_project(rng))
+
+
+def test_fig15_delta_probe_reduction():
+    """Delta-arm sanity check: O(delta) maintenance, not wall-clock.
+
+    The same project insertions cost the recompute arm a full matrix
+    rematerialization each (every department × every project probed),
+    while the delta arm patches only the new project's lines — at the
+    Figure 15 population that is well over a 10× reduction in logical
+    reads.  Both arms must agree line for line, and the patched GMR
+    must satisfy the Def. 3.2 recompute-and-compare oracle.
+    """
+    from repro.bench.company import CompanyConfig, MatrixApplication
+    from repro.bench.runner import ProgramVersion
+    from repro.util.rng import DeterministicRng
+
+    config = CompanyConfig.matrix_shape()
+
+    def run_arm(maintenance):
+        application = MatrixApplication(
+            ProgramVersion(maintenance.capitalize(), maintenance=maintenance),
+            config,
+        )
+        rng = DeterministicRng(10)
+        before = application.db.buffer.stats.snapshot()
+        for _ in range(5):
+            application.u_new_project(rng)
+        delta = application.db.buffer.stats.delta(before)
+        return application, delta.logical_reads
+
+    recompute_app, recompute_reads = run_arm("recompute")
+    delta_app, delta_reads = run_arm("delta")
+
+    stats = delta_app.db.gmr_manager.stats
+    assert stats.delta_patches >= 5, "delta arm did not patch"
+    assert recompute_reads >= 10 * max(1, delta_reads), (
+        f"expected >= 10x fewer probes: recompute={recompute_reads} "
+        f"delta={delta_reads}"
+    )
+
+    assert delta_app.gmr.check_consistency(delta_app.db) == []
+
+    def digest(application):
+        return sorted(
+            (line.dep.DepNo, line.proj.PName, len(line.emps))
+            for line in application.company.matrix()
+        )
+
+    assert digest(delta_app) == digest(recompute_app)

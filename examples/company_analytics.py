@@ -3,7 +3,7 @@
 Reproduces the Sec. 7.2 scenario: materialize ``Employee.ranking`` for
 fast backward queries ("who ranks between 4 and 5?"), keep it consistent
 under promotions, and maintain the department × project matrix with a
-compensating action so that adding a project is cheap.
+declared delta handler so that adding a project is cheap.
 
 Run with::
 
@@ -16,15 +16,16 @@ from repro import ObjectBase, Strategy, verify_recovery
 from repro.domains.company import (
     add_random_project,
     build_company_schema,
-    increase_matrix,
+    define_company_deltas,
     populate_company,
 )
 from repro.gomql import run_statement
+from repro.observe.config import MaterializationConfig
 from repro.util.rng import DeterministicRng
 
 
 def main() -> None:
-    db = ObjectBase()
+    db = ObjectBase(config=MaterializationConfig(maintenance="delta"))
     build_company_schema(db)
     rng = DeterministicRng(42)
     fixture = populate_company(
@@ -65,11 +66,11 @@ def main() -> None:
           f"(lazy: recomputed on next access)")
     print(f"fresh ranking: {some.ranking():.3f}")
 
-    # --- the matrix with a compensating action ----------------------------
+    # --- the matrix under delta maintenance -------------------------------
     matrix_gmr = db.materialize([("Company", "matrix")])
-    db.gmr_manager.register_compensation(
-        "Company", "add_project", ("Company", "matrix"), increase_matrix
-    )
+    # The generalized successor of register_compensation(increase_matrix):
+    # one declaration covers add_project *and* drop_project.
+    define_company_deltas(db)
     lines = fixture.company.matrix()
     print(f"\nmatrix holds {len(lines)} department × project lines")
 
@@ -78,7 +79,7 @@ def main() -> None:
         db, rng, fixture.company, fixture.employees, programmers=5
     )
     elapsed = time.perf_counter() - started
-    print(f"added project {project.PName} via compensating action "
+    print(f"added project {project.PName} via delta patch "
           f"in {elapsed * 1000:.2f}ms (no full recomputation)")
     lines = fixture.company.matrix()
     print(f"matrix now holds {len(lines)} lines; "

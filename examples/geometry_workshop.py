@@ -3,7 +3,8 @@
 Recreates the Figure 2 database, materializes ⟨⟨volume, weight⟩⟩, runs
 the paper's backward and forward queries, demonstrates the invalidation
 cost difference between plain maintenance and information hiding, and
-applies the ``increase_total`` compensating action.
+maintains ``total_volume`` with an O(delta) sum patch (the generalized
+successor of the ``increase_total`` compensating action).
 
 Run with::
 
@@ -11,13 +12,14 @@ Run with::
 """
 
 from repro import InstrumentationLevel, ObjectBase, Strategy, verify_recovery
+from repro.core.delta import sum_of
 from repro.domains.geometry import (
     build_figure2_database,
     build_geometry_schema,
     create_vertex,
-    increase_total,
 )
 from repro.gomql import run_statement
+from repro.observe.config import MaterializationConfig
 
 
 def count_invalidations(db):
@@ -113,26 +115,31 @@ def info_hiding_version() -> None:
 def compensating_action() -> None:
     print()
     print("=" * 64)
-    print("Compensating actions (Sec. 5.4)")
+    print("Delta maintenance (Sec. 5.4, generalized)")
     print("=" * 64)
-    db = ObjectBase()
+    db = ObjectBase(config=MaterializationConfig(maintenance="delta"))
     build_geometry_schema(db)
     fixture = build_figure2_database(db)
     gmr = db.materialize([("Workpieces", "total_volume")])
-    db.gmr_manager.register_compensation(
-        "Workpieces", "insert", ("Workpieces", "total_volume"), increase_total
+    # The successor of register_compensation(increase_total): declare
+    # total_volume as a self-maintainable sum — inserts and removes
+    # patch the stored result in O(delta) from the update payload.
+    db.define_delta(
+        ("Workpieces", "total_volume"),
+        aggregate=sum_of(lambda cuboid: cuboid.volume(), name="total_volume"),
     )
     print("total_volume before insert:", fixture.workpieces.total_volume())
     fixture.workpieces.insert(fixture.cuboids[2])
     value, valid = gmr.result(
         (fixture.workpieces.oid,), "Workpieces.total_volume"
     )
-    print("total_volume after insert (compensated, no recompute):", value)
+    print("total_volume after insert (patched, no recompute):", value)
     assert valid and gmr.check_consistency(db) == []
+    assert db.gmr_manager.stats.delta_patches == 1
 
-    # The compensated row is plain GMR state by now: it checkpoints and
-    # recovers like any other (the tail avoids the compensated insert —
-    # compensation registrations are code and live outside the log).
+    # The patched row is plain GMR state by now: it checkpoints and
+    # recovers like any other (the tail avoids the patched insert —
+    # delta declarations are code and live outside the log).
     verify_recovery(
         db,
         build_geometry_schema,

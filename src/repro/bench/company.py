@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.bench.runner import (
     COMP_ACTION,
+    DELTA,
     FigureResult,
     IMMEDIATE,
     LAZY_COMPANY,
@@ -28,10 +29,12 @@ from repro.bench.workload import OperationMix
 from repro.domains.company import (
     add_random_project,
     build_company_schema,
+    define_company_deltas,
     increase_matrix,
     populate_company,
 )
 from repro.gom.database import ObjectBase
+from repro.observe.config import MaterializationConfig
 from repro.gomql import run_statement
 from repro.util.rng import DeterministicRng
 
@@ -160,7 +163,12 @@ class MatrixApplication:
     def __init__(self, version: ProgramVersion, config: CompanyConfig) -> None:
         self.version = version
         self.config = config
-        self.db = ObjectBase(level=version.level, buffer_pages=config.buffer_pages)
+        self.db = ObjectBase(
+            config=MaterializationConfig(
+                level=version.level, maintenance=version.maintenance
+            ),
+            buffer_pages=config.buffer_pages,
+        )
         build_company_schema(self.db)
         self.fixture = populate_company(
             self.db,
@@ -177,7 +185,9 @@ class MatrixApplication:
             self.gmr = self.db.materialize(
                 [("Company", "matrix")], strategy=version.strategy
             )
-            if version.compensation:
+            if version.maintenance == "delta":
+                define_company_deltas(self.db)
+            elif version.compensation:
                 self.db.gmr_manager.register_compensation(
                     "Company",
                     "add_project",
@@ -345,7 +355,9 @@ def run_figure15(
     Expected: the compensating action wins for 0 < Pup ≤ 0.9; for very
     high update probabilities Lazy becomes superior (subsequent updates
     never trigger a rematerialization); Lazy tracks WithoutGMR closely
-    in the 0.5–0.9 region.
+    in the 0.5–0.9 region.  The extra Delta arm routes the same handler
+    through the generalized maintenance engine
+    (``maintenance="delta"``) — it should track CompAction.
     """
     config = config or CompanyConfig.matrix_shape()
     if seed is not None:
@@ -364,7 +376,7 @@ def run_figure15(
     ]
     return _sweep(
         MatrixApplication,
-        [WITHOUT_GMR, IMMEDIATE, LAZY_COMPANY, COMP_ACTION],
+        [WITHOUT_GMR, IMMEDIATE, LAZY_COMPANY, COMP_ACTION, DELTA],
         config,
         points,
         figure="15",

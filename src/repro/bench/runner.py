@@ -29,6 +29,9 @@ class ProgramVersion:
     strict: bool = False
     compensation: bool = False
     pre_invalidate: bool = False
+    #: Maintenance mode for the object base ("recompute" | "compensate"
+    #: | "delta"); "compensate" is the paper's original behaviour.
+    maintenance: str = "compensate"
 
 
 #: The version names used throughout Sec. 7.
@@ -43,6 +46,7 @@ LAZY = ProgramVersion("Lazy", strategy=Strategy.LAZY, pre_invalidate=True)
 IMMEDIATE = ProgramVersion("Immediate")
 LAZY_COMPANY = ProgramVersion("Lazy", strategy=Strategy.LAZY)
 COMP_ACTION = ProgramVersion("CompAction", compensation=True)
+DELTA = ProgramVersion("Delta", maintenance="delta")
 
 
 @dataclass

@@ -66,8 +66,17 @@ class CompensationTable:
         return bucket.get(fid)
 
     def entries(self) -> list[CompensatingAction]:
-        return [
-            action
-            for bucket in self._by_update.values()
-            for action in bucket.values()
-        ]
+        """All CA entries, sorted by ``(update_type, update_op, fid)``.
+
+        The sort keeps checkpoint digests and ``db.explain()`` output
+        stable across runs (dict iteration order would otherwise leak
+        registration order into both).
+        """
+        return sorted(
+            (
+                action
+                for bucket in self._by_update.values()
+                for action in bucket.values()
+            ),
+            key=lambda action: (action.update_type, action.update_op, action.fid),
+        )

@@ -1,0 +1,511 @@
+"""Generalized incremental maintenance: delta patches for GMR entries.
+
+The paper's compensating actions (Defs. 5.4/5.5) patch a stored result
+from the *old* result and the update parameters instead of re-running
+the function.  This module generalizes them into a maintenance engine
+with three capability classes per materialized fid:
+
+* **self-maintainable aggregates** — sum / count / avg / min / max
+  shapes over the members of a collection-typed argument, maintained
+  from the update payload alone via per-entry support state (the
+  *counting* algorithm of the Datalog materialisation-maintenance
+  line).  A deletion that exhausts an entry's support falls back to
+  Delete/Rederive: a forward re-derivation probe over the remaining
+  members rebuilds the result and its support without an invalidation
+  wave;
+* **user-declared delta handlers** — ``(old_result, update) ->
+  new_result`` callables declared once per fid via
+  ``db.define_delta(...)`` (the generalized successor of
+  ``register_compensation``);
+* **opaque** functions — everything else keeps the ordinary
+  invalidate/rematerialize path.
+
+The engine runs *before* the elementary update applies (exactly like
+compensating actions, so patches can read the old object-base state)
+and reports which fids it fully handled; those are excluded from the
+post-update invalidation wave.  Any per-entry failure — a moved write
+epoch, an exhausted support count, a raising handler — withholds the
+fid from the exclusion set, so the ordinary wave invalidates it right
+after the update: the fallback lattice is *delta patch → compensating
+action → invalidation*, and a discarded patch can never leave a stale
+row behind.  ERROR entries are never resurrected by a patch; they are
+routed to the retry scheduler instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.gom.oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.compensation import CompensatingAction
+    from repro.core.gmr import GMR
+    from repro.core.manager import GMRManager
+
+#: Aggregate shapes the engine can self-maintain.
+AGGREGATE_KINDS = ("sum", "count", "avg", "min", "max")
+
+#: ``handler(old_result, update) -> new_result``
+DeltaHandler = Callable[[Any, "UpdateEvent"], Any]
+
+
+class SupportExhausted(Exception):
+    """A patch cannot be derived from the payload + support state.
+
+    Internal control flow only: the engine catches it, counts a
+    fallback, and leaves the entry to the invalidation wave.
+    """
+
+
+class UpdateEvent:
+    """What a delta handler sees: one impending elementary update.
+
+    ``receiver`` is a handle on the updated object (pre-update state —
+    handlers run before the update applies), ``args`` are the update's
+    parameters with OIDs wrapped into handles, and ``entry_args`` is
+    the argument tuple of the GMR entry being patched.
+    """
+
+    __slots__ = ("receiver", "update_type", "update_op", "args", "entry_args")
+
+    def __init__(
+        self,
+        receiver: Any,
+        update_type: str,
+        update_op: str,
+        args: tuple,
+        entry_args: tuple,
+    ) -> None:
+        self.receiver = receiver
+        self.update_type = update_type
+        self.update_op = update_op
+        self.args = args
+        self.entry_args = entry_args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UpdateEvent({self.update_type}.{self.update_op}"
+            f"{self.args!r} -> {self.entry_args!r})"
+        )
+
+
+class AggregateSpec:
+    """A self-maintainable aggregate shape.
+
+    ``of`` maps one collection member (wrapped in a handle when it is
+    an object) to the numeric value being aggregated; ``kind="count"``
+    needs no ``of``.
+    """
+
+    __slots__ = ("kind", "of", "name")
+
+    def __init__(
+        self,
+        kind: str,
+        of: Callable[[Any], Any] | None = None,
+        *,
+        name: str = "",
+    ) -> None:
+        if kind not in AGGREGATE_KINDS:
+            raise ValueError(
+                f"unknown aggregate kind {kind!r}; one of {AGGREGATE_KINDS}"
+            )
+        if kind != "count" and of is None:
+            raise ValueError(f"aggregate kind {kind!r} needs an of= metric")
+        self.kind = kind
+        self.of = of
+        self.name = name or kind
+
+
+def sum_of(of: Callable[[Any], Any], *, name: str = "") -> AggregateSpec:
+    """Sum of ``of(member)`` over the collection argument's members."""
+    return AggregateSpec("sum", of, name=name)
+
+
+def count_members(*, name: str = "") -> AggregateSpec:
+    """Cardinality of the collection argument."""
+    return AggregateSpec("count", name=name)
+
+
+def avg_of(of: Callable[[Any], Any], *, name: str = "") -> AggregateSpec:
+    """Average of ``of(member)`` (support state: running sum + count)."""
+    return AggregateSpec("avg", of, name=name)
+
+
+def min_of(of: Callable[[Any], Any], *, name: str = "") -> AggregateSpec:
+    """Minimum of ``of(member)`` with a support count of witnesses."""
+    return AggregateSpec("min", of, name=name)
+
+
+def max_of(of: Callable[[Any], Any], *, name: str = "") -> AggregateSpec:
+    """Maximum of ``of(member)`` with a support count of witnesses."""
+    return AggregateSpec("max", of, name=name)
+
+
+class DeltaSpec:
+    """Everything declared for one fid: handlers keyed by update
+    operation plus an optional aggregate shape (with the update keys it
+    self-maintains under)."""
+
+    __slots__ = ("fid", "handlers", "aggregate", "aggregate_keys", "name")
+
+    def __init__(
+        self,
+        fid: str,
+        *,
+        handlers: dict[tuple[str, str], DeltaHandler] | None = None,
+        aggregate: AggregateSpec | None = None,
+        aggregate_keys: Iterable[tuple[str, str]] = (),
+        name: str = "",
+    ) -> None:
+        self.fid = fid
+        self.handlers = dict(handlers or {})
+        self.aggregate = aggregate
+        self.aggregate_keys = frozenset(aggregate_keys)
+        self.name = name
+
+    @property
+    def keys(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self.handlers) | self.aggregate_keys
+
+
+class DeltaRegistry:
+    """Per-fid delta declarations plus the update-key projection.
+
+    The successor of the ``CA`` table: where a compensating action is
+    one ``(update_type, update_op, fid)`` row, a :class:`DeltaSpec` is
+    declared once per fid and projects onto every update key it can
+    maintain under.
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, DeltaSpec] = {}
+        self._by_update: dict[tuple[str, str], set[str]] = {}
+
+    def register(self, spec: DeltaSpec) -> DeltaSpec:
+        """Register (or merge into) the declaration for ``spec.fid``."""
+        existing = self._specs.get(spec.fid)
+        if existing is None:
+            self._specs[spec.fid] = existing = spec
+        else:
+            existing.handlers.update(spec.handlers)
+            if spec.aggregate is not None:
+                existing.aggregate = spec.aggregate
+                existing.aggregate_keys = spec.aggregate_keys
+            if spec.name:
+                existing.name = spec.name
+        for key in existing.keys:
+            self._by_update.setdefault(key, set()).add(spec.fid)
+        return existing
+
+    def adopt_compensation(self, entry: "CompensatingAction") -> DeltaSpec:
+        """Adapt a legacy compensating action into a delta handler."""
+        action = entry.action
+
+        def legacy_handler(old: Any, update: UpdateEvent, _action=action) -> Any:
+            return _action(update.receiver, *update.args, old)
+
+        return self.register(
+            DeltaSpec(
+                entry.fid,
+                handlers={(entry.update_type, entry.update_op): legacy_handler},
+                name=entry.name or entry.update_op,
+            )
+        )
+
+    def has(self, key: tuple[str, str]) -> bool:
+        return key in self._by_update
+
+    def fids_for(self, key: tuple[str, str]) -> frozenset[str]:
+        bucket = self._by_update.get(key)
+        return frozenset(bucket) if bucket else frozenset()
+
+    def spec_of(self, fid: str) -> DeltaSpec | None:
+        return self._specs.get(fid)
+
+    def can_handle(self, fid: str, key: tuple[str, str]) -> bool:
+        spec = self._specs.get(fid)
+        return spec is not None and key in spec.keys
+
+    def entries(self) -> list[DeltaSpec]:
+        return [self._specs[fid] for fid in sorted(self._specs)]
+
+
+class DeltaEngine:
+    """Applies delta patches for one impending elementary update.
+
+    Owned by the :class:`~repro.core.manager.GMRManager`; dispatched
+    from its ``compensate()`` when ``maintenance="delta"``.
+    """
+
+    def __init__(self, manager: "GMRManager") -> None:
+        self._manager = manager
+        self.registry = DeltaRegistry()
+
+    # -- dispatch ------------------------------------------------------
+
+    def apply(
+        self,
+        oid: Oid,
+        update_args: tuple,
+        decl_type: str,
+        update_op: str,
+        fids: Iterable[str],
+    ) -> set[str]:
+        """Patch every GMR entry of ``fids`` referencing ``oid``.
+
+        Returns the fids whose entries were all handled (patched,
+        already invalid, or ERROR-routed); callers exclude exactly
+        those from the post-update invalidation wave.  A fid with any
+        discarded patch is *not* returned — the wave invalidates it.
+        """
+        manager = self._manager
+        key = (decl_type, update_op)
+        handled: set[str] = set()
+        for fid in sorted(fids):
+            spec = self.registry.spec_of(fid)
+            gmr = manager._gmr_of_fid.get(fid)
+            if spec is None or gmr is None:
+                continue
+            if manager.tracer.enabled:
+                with manager.tracer.span(
+                    "delta", fid=fid, op=f"{decl_type}.{update_op}"
+                ):
+                    ok = self._apply_fid(gmr, spec, fid, key, oid, update_args)
+            else:
+                ok = self._apply_fid(gmr, spec, fid, key, oid, update_args)
+            if ok:
+                handled.add(fid)
+        return handled
+
+    def _apply_fid(
+        self,
+        gmr: "GMR",
+        spec: DeltaSpec,
+        fid: str,
+        key: tuple[str, str],
+        oid: Oid,
+        update_args: tuple,
+    ) -> bool:
+        manager = self._manager
+        db = manager._db
+        column = gmr.column_of(fid)
+        handler = spec.handlers.get(key)
+        aggregate = spec.aggregate if key in spec.aggregate_keys else None
+        if handler is None and aggregate is None:
+            return False
+        receiver = db.handle(oid)
+        wrapped = tuple(
+            db.handle(argument) if isinstance(argument, Oid) else argument
+            for argument in update_args
+        )
+        ok = True
+        for args in manager._rrr_args_of(oid, fid):
+            row = gmr.lookup(args)
+            if row is None:
+                manager._rrr_remove(oid, fid, args)  # blind reference
+                continue
+            if row.error[column]:
+                # Never resurrect an ERROR entry from a patch: hand it
+                # to the retry scheduler and keep the entry as is.
+                manager._scheduler_for(args).schedule(gmr, fid, args)
+                self._note_fallback(fid, args, "error entry")
+                continue
+            if not row.valid[column]:
+                continue  # already invalid; the next access recomputes
+            old = row.results[column]
+            epoch0 = db._write_epoch
+            support: Mapping[str, Any] | None = None
+            try:
+                with db.materialization_scope():
+                    with db.trace() as tracer:
+                        if handler is not None:
+                            # An explicit handler outranks the aggregate
+                            # shape for the keys it declares.
+                            event = UpdateEvent(
+                                receiver, key[0], key[1], wrapped, args
+                            )
+                            new_value = handler(old, event)
+                        else:
+                            new_value, support = self._patch_aggregate(
+                                gmr, fid, args, aggregate, oid, key[1],
+                                update_args, old,
+                            )
+            except SupportExhausted as exhausted:
+                self._note_fallback(fid, args, str(exhausted))
+                ok = False
+                continue
+            except Exception:
+                self._note_fallback(fid, args, "handler raised")
+                ok = False
+                continue
+            if db._write_epoch != epoch0:
+                # The write epoch moved under the patch (sharded
+                # engines): the inputs may be torn — discard rather
+                # than risk a stale row.
+                self._note_fallback(fid, args, "write epoch moved")
+                ok = False
+                continue
+            gmr.set_result(args, fid, new_value)
+            if support is not None:
+                gmr.set_support_state(args, fid, dict(support))
+            accessed = set(tracer.objects)
+            accessed.update(arg for arg in args if isinstance(arg, Oid))
+            for touched in accessed:
+                manager._rrr_insert(touched, fid, args)
+            manager.stats.delta_patches += 1
+            if manager._obs_on:
+                manager._m_delta_patches.inc()
+                manager._tally(fid)["delta_patches"] += 1
+                manager._row_notes[(fid, args)] = (
+                    f"patched via=delta ({spec.name or key[1]})"
+                )
+            if manager.tracer.enabled:
+                manager.tracer.event(
+                    "delta_patch",
+                    fid=fid,
+                    oid=str(oid),
+                    op=f"{key[0]}.{key[1]}",
+                )
+        return ok
+
+    def _note_fallback(self, fid: str, args: tuple, reason: str) -> None:
+        manager = self._manager
+        manager.stats.delta_fallbacks += 1
+        if manager._obs_on:
+            manager._m_delta_fallbacks.inc()
+            manager._row_notes[(fid, args)] = f"delta fallback ({reason})"
+        if manager.tracer.enabled:
+            manager.tracer.event("delta_fallback", fid=fid, reason=reason)
+
+    # -- self-maintainable aggregates ---------------------------------
+
+    def _patch_aggregate(
+        self,
+        gmr: "GMR",
+        fid: str,
+        args: tuple,
+        aggregate: AggregateSpec,
+        oid: Oid,
+        update_op: str,
+        update_args: tuple,
+        old: Any,
+    ) -> tuple[Any, dict[str, Any] | None]:
+        """One counting-algorithm step; raises :class:`SupportExhausted`
+        when the patch is not derivable from payload + support."""
+        if oid not in args:
+            raise SupportExhausted("receiver not among entry arguments")
+        if not update_args:
+            raise SupportExhausted("update carries no member payload")
+        if not isinstance(old, (int, float)) or isinstance(old, bool):
+            raise SupportExhausted("stored result is not numeric")
+        member = update_args[0]
+        insert = update_op == "insert"
+        kind = aggregate.kind
+        if kind == "count":
+            if insert:
+                return old + 1, None
+            if old <= 0:
+                raise SupportExhausted("support exhausted")
+            return old - 1, None
+        value = self._member_metric(aggregate, member)
+        if kind == "sum":
+            return (old + value) if insert else (old - value), None
+        if kind == "avg":
+            state = gmr.support_state(args, fid)
+            if state is None:
+                state = self._seed_avg(aggregate, oid)
+            total, count = state["sum"], state["n"]
+            if insert:
+                total, count = total + value, count + 1
+            else:
+                total, count = total - value, count - 1
+                if count <= 0:
+                    raise SupportExhausted("support exhausted")
+            return total / count, {"sum": total, "n": count}
+        # min / max: the stored extremum plus a support count of the
+        # members witnessing it (the counting algorithm's derivation
+        # counter, specialized to one stratum).
+        better = _LT if kind == "min" else _GT
+        state = gmr.support_state(args, fid)
+        if state is None:
+            state = self._seed_extremum(aggregate, oid, old)
+        count = state["support"]
+        if insert:
+            if better(value, old):
+                return value, {"support": 1}
+            if value == old:
+                return old, {"support": count + 1}
+            return old, {"support": count}
+        if value == old:
+            if count > 1:
+                return old, {"support": count - 1}
+            # Delete/Rederive: the last derivation of the stored
+            # extremum disappeared — forward re-derive from the
+            # remaining members (no invalidation wave, no RRR probe).
+            return self._rederive_extremum(aggregate, oid, member)
+        if better(value, old):
+            raise SupportExhausted("support state inconsistent")
+        return old, {"support": count}
+
+    def _members(self, oid: Oid) -> list:
+        obj = self._manager._db.objects.get(oid)
+        elements = getattr(obj, "elements", None)
+        if elements is None:
+            raise SupportExhausted("receiver is not a collection")
+        return list(elements)
+
+    def _member_metric(self, aggregate: AggregateSpec, member: Any) -> Any:
+        db = self._manager._db
+        wrapped = db.handle(member) if isinstance(member, Oid) else member
+        value = aggregate.of(wrapped)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SupportExhausted("non-numeric member value")
+        return value
+
+    def _seed_avg(self, aggregate: AggregateSpec, oid: Oid) -> dict[str, Any]:
+        values = [
+            self._member_metric(aggregate, member)
+            for member in self._members(oid)
+        ]
+        if not values:
+            raise SupportExhausted("support exhausted")
+        return {"sum": sum(values), "n": len(values)}
+
+    def _seed_extremum(
+        self, aggregate: AggregateSpec, oid: Oid, old: Any
+    ) -> dict[str, Any]:
+        support = sum(
+            1
+            for member in self._members(oid)
+            if self._member_metric(aggregate, member) == old
+        )
+        if support == 0:
+            raise SupportExhausted("stored result has no witness")
+        return {"support": support}
+
+    def _rederive_extremum(
+        self, aggregate: AggregateSpec, oid: Oid, removed: Any
+    ) -> tuple[Any, dict[str, Any]]:
+        members = self._members(oid)
+        try:
+            members.remove(removed)  # pre-update state still holds it
+        except ValueError:
+            raise SupportExhausted("removed member not found") from None
+        values = [
+            self._member_metric(aggregate, member) for member in members
+        ]
+        if not values:
+            raise SupportExhausted("support exhausted")
+        best = min(values) if aggregate.kind == "min" else max(values)
+        self._manager.stats.delta_rederivations += 1
+        return best, {"support": values.count(best)}
+
+
+def _LT(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def _GT(a: Any, b: Any) -> bool:
+    return a > b

@@ -209,6 +209,13 @@ class GMR:
         """Demote one entry to the ERROR validity state (guard failure)."""
         return self.store.mark_error(args, self.column_of(fid))
 
+    def support_state(self, args: tuple, fid: str) -> dict | None:
+        """The delta engine's support state for one entry (or ``None``)."""
+        return self.store.support_state(args, self.column_of(fid))
+
+    def set_support_state(self, args: tuple, fid: str, state: dict | None) -> None:
+        self.store.set_support_state(args, self.column_of(fid), state)
+
     def result(self, args: tuple, fid: str) -> tuple[Any, bool]:
         """``(value, valid)`` for one entry; raises if the row is absent."""
         row = self.store.get(args)

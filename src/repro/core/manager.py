@@ -40,6 +40,7 @@ from repro.core.batch import (
 )
 from repro.core.breaker import CircuitBreaker
 from repro.core.compensation import CompensatingAction, CompensationTable
+from repro.core.delta import AggregateSpec, DeltaEngine, DeltaSpec
 from repro.core.dependencies import DependencyIndex, FidPlan, UpdatePlan
 from repro.core.function_registry import FunctionInfo, function_id
 from repro.core.gmr import GMR
@@ -132,6 +133,17 @@ class ManagerStats:
     #: Forward queries answered by direct evaluation because the
     #: function was quarantined (Sec. 3.2 pass-through).
     degraded_forward_calls: int = 0
+    #: GMR entries patched in place by the delta maintenance engine
+    #: (``maintenance="delta"``): handler results and O(delta)
+    #: aggregate updates that replaced an invalidate-then-recompute.
+    delta_patches: int = 0
+    #: Delete/Rederive forward re-derivations: aggregate patches whose
+    #: support ran out and rebuilt the result from remaining members.
+    delta_rederivations: int = 0
+    #: Delta patches discarded (moved write epoch, exhausted support,
+    #: raising handler, ERROR entry) — the entry fell back down the
+    #: maintenance lattice to the ordinary invalidation wave.
+    delta_fallbacks: int = 0
 
     def snapshot(self) -> "ManagerStats":
         cls = type(self)
@@ -204,6 +216,13 @@ class GMRManager:
         self._plan_epoch = 0
         self._rrr = ReverseReferenceRelation(db.page_store, db.buffer)
         self._ca = CompensationTable()
+        #: The generalized incremental maintenance engine (delta
+        #: patches + self-maintainable aggregates); its registry is
+        #: populated by :meth:`register_delta` and — via the
+        #: deprecation shim — :meth:`register_compensation`.  Which
+        #: engine actually runs on an update is decided per call by
+        #: ``config.maintenance`` (see :meth:`compensate`).
+        self._delta = DeltaEngine(self)
         self.stats = ManagerStats()
         #: Injectable time source: guard budgets, backoff deadlines and
         #: breaker cooldowns all read this one clock (tests swap it).
@@ -305,6 +324,8 @@ class GMRManager:
             "remat.latency", REMAT_LATENCY_BUCKETS
         )
         self._m_compensations = registry.counter("compensation.count")
+        self._m_delta_patches = registry.counter("maintenance.delta_patches")
+        self._m_delta_fallbacks = registry.counter("maintenance.fallbacks")
         self._m_guard_failures = registry.counter("guard.failures")
         self._m_breaker_transitions = registry.counter("breaker.transitions")
         self._m_queue_depth = registry.gauge("scheduler.queue_depth")
@@ -618,6 +639,16 @@ class GMRManager:
     @property
     def compensations(self) -> CompensationTable:
         return self._ca
+
+    @property
+    def deltas(self):
+        """The delta maintenance registry (``DeltaRegistry``)."""
+        return self._delta.registry
+
+    @property
+    def maintenance(self) -> str:
+        """The active maintenance mode (``config.maintenance``)."""
+        return self._db.config.maintenance
 
     def gmrs(self) -> list[GMR]:
         return list(self._gmrs.values())
@@ -1515,6 +1546,70 @@ class GMRManager:
     # Compensating actions (Sec. 5.4)
     # ------------------------------------------------------------------
 
+    def register_delta(
+        self,
+        function: Any,
+        *,
+        on: dict[tuple[str, str], Callable[..., Any]] | None = None,
+        aggregate: AggregateSpec | None = None,
+        name: str = "",
+    ) -> DeltaSpec:
+        """Declare delta maintenance for a materialized ``function``.
+
+        ``on`` maps update keys ``(type_name, update_op)`` to handlers
+        ``(old_result, update) -> new_result`` — declared once per fid,
+        the generalized successor of per-op compensating actions.
+        ``aggregate`` declares a self-maintainable aggregate shape
+        (:func:`repro.core.delta.sum_of` and friends) over the
+        function's collection-typed argument; its ``insert``/``remove``
+        update keys are derived automatically.
+
+        Enforces the same side condition as Def. 5.4: every update key
+        must belong to an *argument type* of the materialized function
+        (attaching elsewhere — e.g. ``Cuboid.scale`` for
+        ``total_volume`` — leads to inconsistent extensions).  The
+        declarations only run under ``maintenance="delta"``.
+        """
+        info = self._resolve_function(function)
+        if info.fid not in self._gmr_of_fid:
+            raise CompensationError(
+                f"{info.fid} is not materialized; create its GMR first"
+            )
+        if not on and aggregate is None:
+            raise CompensationError(
+                "define_delta needs on= handlers and/or an aggregate= shape"
+            )
+        handlers: dict[tuple[str, str], Callable[..., Any]] = {}
+        for (update_type, update_op), handler in (on or {}).items():
+            decl_type = self._resolve_update_type(update_type, update_op)
+            self._check_update_legality(info, decl_type, update_op)
+            handlers[(decl_type, update_op)] = handler
+        aggregate_keys: set[tuple[str, str]] = set()
+        if aggregate is not None:
+            schema = self._db.schema
+            collection_types = [
+                arg_type
+                for arg_type in info.arg_types
+                if not is_atomic_type(arg_type)
+                and schema.type(arg_type).is_collection()
+            ]
+            if not collection_types:
+                raise CompensationError(
+                    f"aggregate delta maintenance needs a collection-typed "
+                    f"argument; {info.fid} has none"
+                )
+            for arg_type in collection_types:
+                aggregate_keys.add((arg_type, "insert"))
+                aggregate_keys.add((arg_type, "remove"))
+        spec = DeltaSpec(
+            info.fid,
+            handlers=handlers,
+            aggregate=aggregate,
+            aggregate_keys=aggregate_keys,
+            name=name or (aggregate.name if aggregate is not None else ""),
+        )
+        return self._delta.registry.register(spec)
+
     def register_compensation(
         self,
         update_type: str,
@@ -1529,14 +1624,44 @@ class GMRManager:
 
         Enforces Def. 5.4's side condition: the update operation must be
         associated with an *argument type* of the materialized function.
+
+        .. deprecated::
+            Use :meth:`register_delta` / ``db.define_delta(...)``.  This
+            shim still fills the legacy CA table (so
+            ``maintenance="compensate"`` behaves exactly as before) and
+            additionally adapts the action into the delta registry, so
+            registered actions keep working under ``maintenance="delta"``.
         """
+        warnings.warn(
+            "register_compensation is deprecated; declare the handler via "
+            "db.define_delta(fid, on={(type, op): handler}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         info = self._resolve_function(function)
         if info.fid not in self._gmr_of_fid:
             raise CompensationError(
                 f"{info.fid} is not materialized; create its GMR first"
             )
-        schema = self._db.schema
         decl_type = self._resolve_update_type(update_type, update_op)
+        self._check_update_legality(info, decl_type, update_op)
+        entry = CompensatingAction(
+            update_type=decl_type,
+            update_op=update_op,
+            fid=info.fid,
+            action=action,
+            name=name or getattr(action, "__name__", ""),
+        )
+        self._ca.register(entry)
+        self._delta.registry.adopt_compensation(entry)
+        return entry
+
+    def _check_update_legality(
+        self, info: FunctionInfo, decl_type: str, update_op: str
+    ) -> None:
+        """Def. 5.4's consistency restriction, shared by both the legacy
+        and the delta registration surfaces."""
+        schema = self._db.schema
         compatible = any(
             schema.is_subtype(decl_type, arg_type)
             or schema.is_subtype(arg_type, decl_type)
@@ -1550,15 +1675,6 @@ class GMRManager:
                 f"{decl_type}.{update_op} is not associated with an argument "
                 f"type of {info.fid}"
             )
-        entry = CompensatingAction(
-            update_type=decl_type,
-            update_op=update_op,
-            fid=info.fid,
-            action=action,
-            name=name or getattr(action, "__name__", ""),
-        )
-        self._ca.register(entry)
-        return entry
 
     def _resolve_update_type(self, update_type: str, update_op: str) -> str:
         schema = self._db.schema
@@ -1572,10 +1688,25 @@ class GMRManager:
         return declaring
 
     def has_compensation(self, decl_type: str, update_op: str) -> bool:
-        return self._ca.has(decl_type, update_op)
+        """Whether the active maintenance mode patches this update key."""
+        mode = self._db.config.maintenance
+        if mode == "recompute":
+            return False
+        if self._ca.has(decl_type, update_op):
+            return True
+        return mode == "delta" and self._delta.registry.has(
+            (decl_type, update_op)
+        )
 
     def compensated_fct(self, decl_type: str, update_op: str) -> frozenset[str]:
-        return self._ca.compensated_fct(decl_type, update_op)
+        """``CompensatedFct(t.u)`` under the active maintenance mode."""
+        mode = self._db.config.maintenance
+        if mode == "recompute":
+            return frozenset()
+        fids = self._ca.compensated_fct(decl_type, update_op)
+        if mode == "delta":
+            fids |= self._delta.registry.fids_for((decl_type, update_op))
+        return fids
 
     def compensate(
         self,
@@ -1584,13 +1715,51 @@ class GMRManager:
         decl_type: str,
         update_op: str,
         fcts: Iterable[str],
-    ) -> int:
-        """Apply compensating actions for an impending update of ``oid``.
+    ) -> frozenset[str]:
+        """Patch GMR entries for an impending update of ``oid``.
 
-        Called *before* the update executes so actions can read the old
-        object-base state (Sec. 5.4).  Returns the number of compensated
-        entries.
+        Called *before* the update executes so patches can read the old
+        object-base state (Sec. 5.4).  Returns the fids fully handled —
+        the caller excludes exactly those from the post-update
+        invalidation wave.  Under ``maintenance="compensate"`` this is
+        the CA table's original all-or-nothing behavior; under
+        ``"delta"`` the delta engine runs first and any fid with a
+        discarded patch falls through to the wave (the maintenance
+        lattice's bottom rung).
         """
+        fcts = frozenset(fcts)
+        mode = self._db.config.maintenance
+        if mode == "recompute" or not fcts:
+            return frozenset()
+        if mode == "delta":
+            key = (decl_type, update_op)
+            delta_fids = {
+                fid
+                for fid in fcts
+                if self._delta.registry.can_handle(fid, key)
+            }
+            handled = self._delta.apply(
+                oid, update_args, decl_type, update_op, delta_fids
+            )
+            rest = fcts - delta_fids
+            if rest:
+                # Middle rung of the lattice: fids with only a legacy
+                # CA entry for this key run the classic Sec. 5.4 path.
+                self._compensate_ca(oid, update_args, decl_type, update_op, rest)
+                handled |= rest
+            return frozenset(handled)
+        self._compensate_ca(oid, update_args, decl_type, update_op, fcts)
+        return fcts
+
+    def _compensate_ca(
+        self,
+        oid: Oid,
+        update_args: tuple,
+        decl_type: str,
+        update_op: str,
+        fcts: Iterable[str],
+    ) -> int:
+        """The classic compensating-action path (Sec. 5.4)."""
         db = self._db
         compensated = 0
         for fid in fcts:

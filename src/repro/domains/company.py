@@ -122,6 +122,38 @@ def increase_matrix(company, new_project, old_matrix):
     return frozenset(lines)
 
 
+def matrix_add_project_delta(old_matrix, update):
+    """Delta handler for ``Company.add_project`` over ``matrix``."""
+    return increase_matrix(update.receiver, update.args[0], old_matrix)
+
+
+def matrix_drop_project_delta(old_matrix, update):
+    """Delta handler for ``Company.drop_project``: drop the project's
+    lines from the stored matrix."""
+    project = update.args[0]
+    return frozenset(line for line in old_matrix if line.proj != project)
+
+
+def define_company_deltas(db: "ObjectBase") -> None:
+    """Declare delta maintenance for ``Company.matrix`` (if materialized).
+
+    Safe to call repeatedly; skipped while the function has no GMR.
+    """
+    from repro.errors import CompensationError
+
+    try:
+        db.define_delta(
+            ("Company", "matrix"),
+            on={
+                ("Company", "add_project"): matrix_add_project_delta,
+                ("Company", "drop_project"): matrix_drop_project_delta,
+            },
+            name="matrix",
+        )
+    except CompensationError:
+        pass  # not materialized (yet)
+
+
 # ---------------------------------------------------------------------------
 # Schema construction
 # ---------------------------------------------------------------------------

@@ -207,6 +207,28 @@ def decrease_total(workpieces, removed_cuboid, old_total):
     return old_total - removed_cuboid.volume()
 
 
+def define_geometry_deltas(db: "ObjectBase") -> None:
+    """Declare delta maintenance for the domain's aggregate functions.
+
+    Every sum-shaped aggregate that is currently materialized becomes
+    self-maintainable under ``maintenance="delta"`` (an O(delta) patch
+    per member insert/remove instead of an invalidation wave).  Safe to
+    call repeatedly; functions without a GMR are skipped.
+    """
+    from repro.core.delta import sum_of
+    from repro.errors import CompensationError
+
+    for target, metric in (
+        (("Workpieces", "total_volume"), lambda cuboid: cuboid.volume()),
+        (("Workpieces", "total_weight"), lambda cuboid: cuboid.weight()),
+        (("Valuables", "total_value"), lambda cuboid: cuboid.Value),
+    ):
+        try:
+            db.define_delta(target, aggregate=sum_of(metric, name=target[1]))
+        except CompensationError:
+            continue  # not materialized (yet)
+
+
 # ---------------------------------------------------------------------------
 # Schema construction
 # ---------------------------------------------------------------------------

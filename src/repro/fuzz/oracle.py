@@ -4,10 +4,10 @@ Each script is replayed once against an *unmaterialized* reference base
 (``materialize`` steps skipped — every query evaluates from scratch)
 and then against a rotating subset of the full configuration matrix:
 
-    instrumentation level  × strategy × batching × workers × plans × shards
-    {NAIVE, SCHEMA_DEP,      {IMMEDIATE, {on,off}   {0, 2}    {on,off} {1, 4}
-     OBJ_DEP, INFO_HIDING}    LAZY,
-                              DEFERRED}
+    level × strategy × batching × workers × plans × maintenance × shards
+    {NAIVE, SCHEMA_DEP,  {IMMEDIATE, {on,off} {0, 2} {on,off} {recompute, {1, 4}
+     OBJ_DEP,             LAZY,                                delta}
+     INFO_HIDING}         DEFERRED}
 
 (``NONE`` never notifies and ``SNAPSHOT`` is stale by design — both
 would trivially diverge, so neither belongs in a correctness oracle.)
@@ -52,6 +52,7 @@ class OracleConfig:
     workers: int
     plans: bool
     shards: int = 1
+    maintenance: str = "compensate"
 
     @property
     def name(self) -> str:
@@ -60,6 +61,7 @@ class OracleConfig:
             f"/batch={'on' if self.batching else 'off'}"
             f"/workers={self.workers}"
             f"/plans={'on' if self.plans else 'off'}"
+            f"/maint={self.maintenance}"
             f"/shards={self.shards}"
         )
 
@@ -71,6 +73,7 @@ class OracleConfig:
             workers=self.workers,
             invalidation_plans=self.plans,
             shards=self.shards,
+            maintenance=self.maintenance,
         )
 
 
@@ -92,13 +95,17 @@ class OracleFailure:
 
 
 def all_configs() -> tuple[OracleConfig, ...]:
-    """The full matrix (192 configurations), in a fixed order.
+    """The full matrix (384 configurations), in a fixed order.
 
     The shards axis is the innermost factor, so the first half of every
     rotating window pairs each ``shards=1`` point with its ``shards=4``
     sibling — a corpus replayed on any contiguous slice exercises both
     the unsharded and the sharded engine for the same level/strategy
-    combination.
+    combination.  The maintenance axis sits just outside it:
+    ``"recompute"`` is pure invalidate-then-recompute, ``"delta"``
+    patches aggregate GMR entries in place via the delta engine (the
+    replayer declares the domains' default deltas) — both must agree
+    with the unmaterialized reference under the Def. 3.2 oracle.
     """
     return tuple(
         OracleConfig(
@@ -107,10 +114,18 @@ def all_configs() -> tuple[OracleConfig, ...]:
             batching=batching,
             workers=workers,
             plans=plans,
+            maintenance=maintenance,
             shards=shards,
         )
-        for level, strategy, batching, workers, plans, shards in product(
-            _LEVELS, _STRATEGIES, (True, False), (0, 2), (True, False), (1, 4)
+        for level, strategy, batching, workers, plans, maintenance, shards
+        in product(
+            _LEVELS,
+            _STRATEGIES,
+            (True, False),
+            (0, 2),
+            (True, False),
+            ("recompute", "delta"),
+            (1, 4),
         )
     )
 
@@ -118,8 +133,8 @@ def all_configs() -> tuple[OracleConfig, ...]:
 def configs_for_script(index: int, per_script: int = 4) -> tuple[OracleConfig, ...]:
     """A rotating window over the matrix.
 
-    Consecutive script indices cover disjoint (mod 192) windows, so a
-    ~48-script smoke run at the default width visits every
+    Consecutive script indices cover disjoint (mod 384) windows, so a
+    ~96-script smoke run at the default width visits every
     configuration at least once.
     """
     matrix = all_configs()

@@ -17,8 +17,8 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.domains.company import build_company_schema
-from repro.domains.geometry import build_geometry_schema
+from repro.domains.company import build_company_schema, define_company_deltas
+from repro.domains.geometry import build_geometry_schema, define_geometry_deltas
 from repro.errors import QueryError
 from repro.fuzz.script import Script
 from repro.gom.database import ObjectBase
@@ -29,6 +29,15 @@ from repro.observe.config import MaterializationConfig
 SCHEMA_BUILDERS = {
     "geometry": build_geometry_schema,
     "company": build_company_schema,
+}
+
+#: Default delta declarations per domain — applied after each
+#: ``materialize`` step (and after a recovery) when the configuration
+#: runs ``maintenance="delta"``, so the fuzz axis actually exercises
+#: the delta engine against the unmaterialized reference.
+DELTA_BUILDERS = {
+    "geometry": define_geometry_deltas,
+    "company": define_company_deltas,
 }
 
 #: Wall-clock budget for draining worker pools at settle points.
@@ -262,6 +271,15 @@ class Replayer:
     def _op_materialize(self, step: dict) -> None:
         if self.materialized:
             self.db.query(step["text"])
+            self._define_deltas()
+
+    def _define_deltas(self) -> None:
+        if (
+            self.config.maintenance == "delta"
+            and self.db.has_gmr_manager
+            and self.script.domain in DELTA_BUILDERS
+        ):
+            DELTA_BUILDERS[self.script.domain](self.db)
 
     def _op_query(self, step: dict) -> None:
         try:
@@ -310,6 +328,11 @@ class Replayer:
             fresh = self._build_db()
             recover(fresh, path, None, restrictions=restrictions or None)
             self.db = fresh
+            # Delta declarations are runtime state; re-declare them so
+            # post-recovery updates keep patching instead of silently
+            # downgrading to invalidation.
+            if self.materialized:
+                self._define_deltas()
 
 
 def check_invariants(db: ObjectBase) -> list[str]:

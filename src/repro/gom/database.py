@@ -675,6 +675,20 @@ class ObjectBase:
         :meth:`repro.core.manager.GMRManager.materialize`."""
         return self.gmr_manager.materialize(functions, **kwargs)
 
+    def define_delta(self, function, *, on=None, aggregate=None, name=""):
+        """Declare delta maintenance for a materialized function.
+
+        ``on={(type_name, update_op): handler}`` attaches
+        ``(old_result, update) -> new_result`` handlers;
+        ``aggregate=`` declares a self-maintainable aggregate shape
+        (:func:`repro.core.delta.sum_of` and friends).  Declarations
+        take effect under ``MaterializationConfig(maintenance="delta")``
+        — see :meth:`repro.core.manager.GMRManager.register_delta`.
+        """
+        return self.gmr_manager.register_delta(
+            function, on=on, aggregate=aggregate, name=name
+        )
+
     # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
@@ -1106,8 +1120,12 @@ class ObjectBase:
         relevant = gmr.compensated_fct(decl_type, update_name) & obj.obj_dep_fct
         if not relevant:
             return frozenset()
-        gmr.compensate(obj.oid, update_args, decl_type, update_name, relevant)
-        return frozenset(relevant)
+        # Only fully handled fids are excluded from the post-update
+        # invalidation wave; a fid whose delta patch was discarded falls
+        # back to ordinary invalidation (never a stale row).
+        return frozenset(
+            gmr.compensate(obj.oid, update_args, decl_type, update_name, relevant)
+        )
 
     def _notify_update(
         self,

@@ -121,12 +121,28 @@ class MaterializationConfig:
     #: multi-threading machinery as ``workers > 0`` (entry locks, MT
     #: read path).  See the sharding section of ``docs/CONCURRENCY.md``.
     shards: int = 1
+    #: Maintenance engine for updates touching materialized results:
+    #: ``"recompute"`` is pure invalidate-then-recompute (compensating
+    #: actions and delta declarations stay registered but inert),
+    #: ``"compensate"`` (the default) runs Sec. 5.4's hand-registered
+    #: compensating actions exactly as before, and ``"delta"`` enables
+    #: the generalized incremental maintenance engine
+    #: (:mod:`repro.core.delta`): declarative handlers and
+    #: self-maintainable aggregates patch GMR entries in O(delta),
+    #: falling back to compensation and then invalidation per the
+    #: lattice in ``docs/DESIGN.md``.
+    maintenance: str = "compensate"
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.maintenance not in ("recompute", "compensate", "delta"):
+            raise ValueError(
+                "maintenance must be one of 'recompute', 'compensate', "
+                f"'delta'; got {self.maintenance!r}"
+            )
 
 
 class Observability:

@@ -35,6 +35,7 @@ TALLY_FIELDS = (
     "probe_entries",
     "rematerializations",
     "compensations",
+    "delta_patches",
     "errors",
     "invalidations",
 )

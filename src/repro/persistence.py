@@ -184,6 +184,16 @@ def to_document(db: "ObjectBase") -> dict:
                 }
                 if any(row.error):
                     record["error"] = list(row.error)
+                if row.support:
+                    # Delta-engine support state only survives for
+                    # columns whose result survived the encoding above.
+                    support = {
+                        str(index): state
+                        for index, state in sorted(row.support.items())
+                        if valid[index]
+                    }
+                    if support:
+                        record["support"] = support
                 rows.append(record)
             gmrs.append(
                 {
@@ -353,6 +363,10 @@ def from_document(
             for fid, errored in zip(gmr.fids, row.get("error", [])):
                 if errored:
                     gmr.mark_error(args, fid)
+            for index, state in row.get("support", {}).items():
+                column = int(index)
+                if column < len(gmr.fids):
+                    gmr.set_support_state(args, gmr.fids[column], dict(state))
 
     for triple in document["rrr"]:
         manager._rrr_insert(
@@ -691,12 +705,18 @@ def base_state(db: "ObjectBase") -> dict:
                 usable = bool(flag and ok)
                 valid.append(usable)
                 results.append(encoded if usable else None)
+            support = tuple(
+                (index, tuple(sorted(state_dict.items())))
+                for index, state_dict in sorted((row.support or {}).items())
+                if valid[index]
+            )
             rows.append(
                 (
                     tuple(_encode_value(arg) for arg in row.args),
                     tuple(valid),
                     tuple(results),
                     tuple(row.error),
+                    support,
                 )
             )
         rows.sort(key=repr)

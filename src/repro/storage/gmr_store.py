@@ -50,13 +50,19 @@ class GMRRow:
     the next successful :meth:`GMRStore.set_result`.
     """
 
-    __slots__ = ("args", "results", "valid", "error", "placement")
+    __slots__ = ("args", "results", "valid", "error", "support", "placement")
 
     def __init__(self, args: tuple, fct_count: int, placement: Placement) -> None:
         self.args = args
         self.results: list[Any] = [None] * fct_count
         self.valid: list[bool] = [False] * fct_count
         self.error: list[bool] = [False] * fct_count
+        #: Per-column support state of the delta maintenance engine
+        #: (``None`` until a self-maintainable aggregate patches the
+        #: row): ``{fct_index: state_dict}``.  Derived from the result
+        #: — any transition of the result (set/invalidate/error) drops
+        #: the column's support so it can never go stale.
+        self.support: dict[int, dict] | None = None
         self.placement = placement
 
     def __repr__(self) -> str:
@@ -249,6 +255,8 @@ class GMRStore:
                 pass
             row.results[fct_index] = value
             row.valid[fct_index] = True
+            if row.support:
+                row.support.pop(fct_index, None)
             self._invalid[fct_index].discard(args)
             if row.error[fct_index]:
                 row.error[fct_index] = False
@@ -266,6 +274,8 @@ class GMRStore:
             had_all = all(row.valid)
             self._index_remove(row, fct_index, had_all=had_all)
             row.valid[fct_index] = False
+            if row.support:
+                row.support.pop(fct_index, None)
             self._invalid[fct_index].add(args)
             self._touch_row(row, write=True)
             return True
@@ -294,8 +304,40 @@ class GMRStore:
                 row.error[fct_index] = True
                 self._errors[fct_index].add(args)
                 changed = True
+            if row.support:
+                row.support.pop(fct_index, None)
             self._touch_row(row, write=True)
             return changed
+
+    def support_state(self, args: tuple, fct_index: int) -> dict | None:
+        """The delta engine's support state for one entry column."""
+        row = self._rows.get(args)
+        if row is None or not row.support:
+            return None
+        return row.support.get(fct_index)
+
+    def set_support_state(
+        self, args: tuple, fct_index: int, state: dict | None
+    ) -> None:
+        """Attach (or with ``None`` drop) one column's support state.
+
+        Only meaningful for a *valid* entry — the result transitions in
+        :meth:`set_result` / :meth:`mark_invalid` / :meth:`mark_error`
+        clear it, so callers set support immediately after storing the
+        patched result.
+        """
+        with self._entry_write(args):
+            row = self._rows.get(args)
+            if row is None:
+                return
+            if state is None:
+                if row.support:
+                    row.support.pop(fct_index, None)
+                return
+            if row.support is None:
+                row.support = {}
+            row.support[fct_index] = state
+            self._touch_row(row, write=True)
 
     def invalid_args(self, fct_index: int) -> set[tuple]:
         return set(self._invalid[fct_index])

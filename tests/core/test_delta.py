@@ -1,0 +1,464 @@
+"""The generalized maintenance engine (delta patches, Defs. 5.4/5.5).
+
+Covers the redesigned API (``db.define_delta``, the kw-only
+``MaterializationConfig(maintenance=...)`` axis), the self-maintainable
+aggregates with their support state, the fallback lattice
+(delta → compensate → invalidate) and the crash-recovery story.
+"""
+
+import os
+
+import pytest
+
+from repro import ObjectBase, Strategy
+from repro.core.delta import avg_of, count_members, min_of, sum_of
+from repro.domains.geometry import (
+    build_figure2_database,
+    build_geometry_schema,
+    define_geometry_deltas,
+    increase_total,
+)
+from repro.errors import CompensationError
+from repro.observe.config import MaterializationConfig
+
+
+def _delta_db(**overrides):
+    config = MaterializationConfig(maintenance="delta", **overrides)
+    db = ObjectBase(config=config)
+    build_geometry_schema(db)
+    fixture = build_figure2_database(db)
+    return db, fixture
+
+
+@pytest.fixture
+def delta_setting():
+    db, fixture = _delta_db()
+    gmr = db.materialize([("Workpieces", "total_volume")])
+    define_geometry_deltas(db)
+    return db, fixture, gmr
+
+
+ARGS_FID = "Workpieces.total_volume"
+
+
+class TestConfigSurface:
+    def test_maintenance_modes_validated(self):
+        for mode in ("recompute", "compensate", "delta"):
+            assert MaterializationConfig(maintenance=mode).maintenance == mode
+        with pytest.raises(ValueError):
+            MaterializationConfig(maintenance="bogus")
+
+    def test_manager_reports_mode(self, delta_setting):
+        db, _, _ = delta_setting
+        assert db.gmr_manager.maintenance == "delta"
+
+    def test_default_mode_is_compensate(self):
+        db = ObjectBase()
+        build_geometry_schema(db)
+        db.materialize([("Workpieces", "total_volume")])
+        assert db.gmr_manager.maintenance == "compensate"
+
+
+class TestDefineDeltaLegality:
+    def test_unmaterialized_function_rejected(self):
+        db, _ = _delta_db()
+        with pytest.raises(CompensationError):
+            db.define_delta(
+                ("Workpieces", "total_volume"),
+                aggregate=sum_of(lambda c: c.volume()),
+            )
+
+    def test_non_argument_type_rejected(self, delta_setting):
+        """The paper's Cuboid.scale / total_volume counterexample, on
+        the new declaration surface."""
+        db, _, _ = delta_setting
+        with pytest.raises(CompensationError):
+            db.define_delta(
+                ("Workpieces", "total_volume"),
+                on={("Cuboid", "scale"): lambda old, update: old},
+            )
+
+    def test_empty_declaration_rejected(self, delta_setting):
+        db, _, _ = delta_setting
+        with pytest.raises(CompensationError):
+            db.define_delta(("Workpieces", "total_volume"))
+
+    def test_aggregate_needs_collection_argument(self):
+        db, _ = _delta_db()
+        db.materialize([("Cuboid", "volume")])
+        with pytest.raises(CompensationError):
+            db.define_delta(
+                ("Cuboid", "volume"), aggregate=sum_of(lambda c: c.volume())
+            )
+
+
+class TestSumAggregate:
+    def test_insert_and_remove_patch_without_invalidation(self, delta_setting):
+        db, fixture, gmr = delta_setting
+        stats = db.gmr_manager.stats
+        remats0 = stats.rematerializations
+        key = (fixture.workpieces.oid,)
+
+        fixture.workpieces.insert(fixture.cuboids[2])
+        assert gmr.result(key, ARGS_FID) == (pytest.approx(600.0), True)
+        fixture.workpieces.remove(fixture.cuboids[0])
+        assert gmr.result(key, ARGS_FID) == (pytest.approx(300.0), True)
+
+        assert stats.delta_patches == 2
+        assert stats.delta_fallbacks == 0
+        assert stats.rematerializations == remats0  # patched, not recomputed
+        assert gmr.check_consistency(db) == []
+
+    def test_patch_notes_via_delta(self, delta_setting):
+        db, fixture, _ = delta_setting
+        fixture.workpieces.insert(fixture.cuboids[2])
+        note = db.gmr_manager._row_notes[(ARGS_FID, (fixture.workpieces.oid,))]
+        assert "via=delta" in note
+
+
+class TestCountAndAvg:
+    def _materialize_extra(self, db):
+        def member_count(self):
+            total = 0
+            for _ in self:
+                total = total + 1
+            return total
+
+        def avg_volume(self):
+            total, n = 0.0, 0
+            for cuboid in self:
+                total, n = total + cuboid.volume(), n + 1
+            return total / n if n else 0.0
+
+        db.define_operation("Workpieces", "member_count", [], "int", member_count)
+        db.define_operation("Workpieces", "avg_volume", [], "float", avg_volume)
+        return db.materialize(
+            [("Workpieces", "member_count"), ("Workpieces", "avg_volume")]
+        )
+
+    def test_count_patches_stateless(self):
+        db, fixture = _delta_db()
+        gmr = self._materialize_extra(db)
+        db.define_delta(("Workpieces", "member_count"), aggregate=count_members())
+        key = (fixture.workpieces.oid,)
+        fixture.workpieces.insert(fixture.cuboids[2])
+        assert gmr.result(key, "Workpieces.member_count") == (3, True)
+        fixture.workpieces.remove(fixture.cuboids[0])
+        assert gmr.result(key, "Workpieces.member_count") == (2, True)
+        assert db.gmr_manager.stats.delta_patches == 2
+        assert gmr.check_consistency(db) == []
+
+    def test_avg_seeds_then_maintains_support_state(self):
+        db, fixture = _delta_db()
+        gmr = self._materialize_extra(db)
+        db.define_delta(
+            ("Workpieces", "avg_volume"),
+            aggregate=avg_of(lambda c: c.volume()),
+        )
+        key = (fixture.workpieces.oid,)
+        fid = "Workpieces.avg_volume"
+        assert gmr.support_state(key, fid) is None
+        # volumes: 300, 200 → insert 100 → avg 200
+        fixture.workpieces.insert(fixture.cuboids[2])
+        assert gmr.result(key, fid) == (pytest.approx(200.0), True)
+        state = gmr.support_state(key, fid)
+        assert state == {"sum": pytest.approx(600.0), "n": 3}
+        fixture.workpieces.remove(fixture.cuboids[1])
+        assert gmr.result(key, fid) == (pytest.approx(200.0), True)
+        assert gmr.support_state(key, fid)["n"] == 2
+        assert gmr.check_consistency(db) == []
+
+
+class TestMinWithSupport:
+    def _setting(self):
+        db, fixture = _delta_db()
+
+        def min_volume(self):
+            best = None
+            for cuboid in self:
+                value = cuboid.volume()
+                if best is None or value < best:
+                    best = value
+            return best if best is not None else 0.0
+
+        db.define_operation("Workpieces", "min_volume", [], "float", min_volume)
+        gmr = db.materialize([("Workpieces", "min_volume")])
+        db.define_delta(
+            ("Workpieces", "min_volume"),
+            aggregate=min_of(lambda c: c.volume()),
+        )
+        return db, fixture, gmr, "Workpieces.min_volume"
+
+    def test_insert_better_takes_over(self):
+        db, fixture, gmr, fid = self._setting()
+        key = (fixture.workpieces.oid,)
+        fixture.workpieces.insert(fixture.cuboids[2])  # volume 100 < 200
+        assert gmr.result(key, fid) == (pytest.approx(100.0), True)
+        assert gmr.support_state(key, fid) == {"support": 1}
+        assert gmr.check_consistency(db) == []
+
+    def test_remove_last_witness_rederives_forward(self):
+        """Delete/Rederive: no invalidation wave, a member scan instead."""
+        db, fixture, gmr, fid = self._setting()
+        stats = db.gmr_manager.stats
+        key = (fixture.workpieces.oid,)
+        fixture.workpieces.remove(fixture.cuboids[1])  # the 200 minimum
+        assert gmr.result(key, fid) == (pytest.approx(300.0), True)
+        assert stats.delta_rederivations == 1
+        assert stats.delta_patches == 1
+        assert stats.delta_fallbacks == 0
+        assert gmr.check_consistency(db) == []
+
+    def test_remove_non_witness_keeps_support(self):
+        db, fixture, gmr, fid = self._setting()
+        key = (fixture.workpieces.oid,)
+        fixture.workpieces.insert(fixture.cuboids[2])  # min now 100
+        fixture.workpieces.remove(fixture.cuboids[0])  # 300 leaves
+        assert gmr.result(key, fid) == (pytest.approx(100.0), True)
+        assert db.gmr_manager.stats.delta_rederivations == 0
+        assert gmr.check_consistency(db) == []
+
+
+class TestFallbackLattice:
+    def test_raising_handler_falls_back_to_invalidation(self, delta_setting):
+        db, fixture, gmr = delta_setting
+
+        def broken(old, update):
+            raise RuntimeError("boom")
+
+        db.define_delta(
+            ("Workpieces", "total_volume"),
+            on={("Workpieces", "insert"): broken},
+        )
+        # The explicit handler outranks the aggregate for its key: it
+        # raises, and the entry falls down the lattice to the wave.
+        fixture.workpieces.insert(fixture.cuboids[2])
+        key = (fixture.workpieces.oid,)
+        value, valid = gmr.result(key, ARGS_FID)
+        stats = db.gmr_manager.stats
+        assert stats.delta_fallbacks >= 1
+        # IMMEDIATE strategy: the wave rematerialized right away.
+        assert valid and value == pytest.approx(600.0)
+        assert gmr.check_consistency(db) == []
+
+    def test_epoch_conflict_discards_patch(self, delta_setting):
+        """A write epoch moving under the patch (sharded engines racing)
+        discards the patch — never a stale row."""
+        db, fixture, gmr = delta_setting
+
+        def racing(old, update, _db=db):
+            _db._write_epoch += 1  # simulate a concurrent shard commit
+            return old  # deliberately stale
+
+        db.define_delta(
+            ("Workpieces", "total_volume"),
+            on={("Workpieces", "insert"): racing},
+        )
+        fallbacks0 = db.gmr_manager.stats.delta_fallbacks
+        fixture.workpieces.insert(fixture.cuboids[2])
+        key = (fixture.workpieces.oid,)
+        value, valid = gmr.result(key, ARGS_FID)
+        assert db.gmr_manager.stats.delta_fallbacks == fallbacks0 + 1
+        assert valid and value == pytest.approx(600.0)  # wave healed it
+        assert gmr.check_consistency(db) == []
+
+    def test_error_entry_never_resurrected(self, delta_setting):
+        db, fixture, gmr = delta_setting
+        key = (fixture.workpieces.oid,)
+        gmr.mark_error(key, ARGS_FID)
+        assert gmr.entry_state(key, ARGS_FID) == "error"
+        fixture.workpieces.insert(fixture.cuboids[2])
+        # The patch must not write a result into an ERROR entry; the
+        # entry is handed to the retry scheduler instead.
+        assert gmr.entry_state(key, ARGS_FID) == "error"
+        assert db.gmr_manager.stats.delta_patches == 0
+        assert db.gmr_manager.stats.delta_fallbacks >= 1
+
+
+class TestModeDispatch:
+    def test_recompute_mode_ignores_declared_handlers(self):
+        db = ObjectBase(config=MaterializationConfig(maintenance="recompute"))
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        gmr = db.materialize([("Workpieces", "total_volume")])
+        with pytest.warns(DeprecationWarning):
+            db.gmr_manager.register_compensation(
+                "Workpieces", "insert", ("Workpieces", "total_volume"),
+                increase_total,
+            )
+        assert not db.gmr_manager.has_compensation("Workpieces", "insert")
+        fixture.workpieces.insert(fixture.cuboids[2])
+        stats = db.gmr_manager.stats
+        assert stats.compensations == 0 and stats.delta_patches == 0
+        assert stats.invalidate_calls >= 1
+        value, valid = gmr.result((fixture.workpieces.oid,), ARGS_FID)
+        assert valid and value == pytest.approx(600.0)
+
+    def test_compensate_mode_runs_legacy_action(self):
+        db = ObjectBase()  # maintenance="compensate" is the default
+        build_geometry_schema(db)
+        fixture = build_figure2_database(db)
+        gmr = db.materialize([("Workpieces", "total_volume")])
+        with pytest.warns(DeprecationWarning):
+            db.gmr_manager.register_compensation(
+                "Workpieces", "insert", ("Workpieces", "total_volume"),
+                increase_total,
+            )
+        fixture.workpieces.insert(fixture.cuboids[2])
+        stats = db.gmr_manager.stats
+        assert stats.compensations == 1 and stats.delta_patches == 0
+        assert gmr.result((fixture.workpieces.oid,), ARGS_FID) == (
+            pytest.approx(600.0),
+            True,
+        )
+
+    def test_delta_mode_adopts_legacy_action(self):
+        """register_compensation keeps working under maintenance="delta"
+        — routed through the engine as an adopted handler."""
+        db, fixture = _delta_db()
+        gmr = db.materialize([("Workpieces", "total_volume")])
+        with pytest.warns(DeprecationWarning):
+            db.gmr_manager.register_compensation(
+                "Workpieces", "insert", ("Workpieces", "total_volume"),
+                increase_total,
+            )
+        fixture.workpieces.insert(fixture.cuboids[2])
+        stats = db.gmr_manager.stats
+        assert stats.delta_patches == 1 and stats.compensations == 0
+        assert gmr.result((fixture.workpieces.oid,), ARGS_FID) == (
+            pytest.approx(600.0),
+            True,
+        )
+        assert gmr.check_consistency(db) == []
+
+
+class TestDeterministicTables:
+    def test_compensation_entries_sorted(self):
+        db = ObjectBase()
+        build_geometry_schema(db)
+        build_figure2_database(db)
+        db.materialize(
+            [("Workpieces", "total_volume"), ("Workpieces", "total_weight")]
+        )
+        action = lambda workpieces, cuboid, old: old  # noqa: E731
+        with pytest.warns(DeprecationWarning):
+            for update_op, target in (
+                ("remove", "total_weight"),
+                ("insert", "total_volume"),
+                ("remove", "total_volume"),
+                ("insert", "total_weight"),
+            ):
+                db.gmr_manager.register_compensation(
+                    "Workpieces", update_op, ("Workpieces", target), action
+                )
+        keys = [
+            (entry.update_type, entry.update_op, entry.fid)
+            for entry in db.gmr_manager.compensations.entries()
+        ]
+        assert keys == sorted(keys)
+
+    def test_delta_registry_entries_sorted(self, delta_setting):
+        db, _, _ = delta_setting
+        fids = [spec.fid for spec in db.gmr_manager.deltas.entries()]
+        assert fids == sorted(fids)
+
+
+class TestRecovery:
+    def test_support_state_survives_checkpoint_recover(self, tmp_path):
+        """Counting-algorithm support survives checkpoint → crash →
+        recover, so post-recovery patches keep working without a scan."""
+        from repro.persistence import checkpoint, recover
+
+        def make(db):
+            def min_volume(self):
+                best = None
+                for cuboid in self:
+                    value = cuboid.volume()
+                    if best is None or value < best:
+                        best = value
+                return best if best is not None else 0.0
+
+            db.define_operation(
+                "Workpieces", "min_volume", [], "float", min_volume
+            )
+
+        db, fixture = _delta_db()
+        make(db)
+        gmr = db.materialize([("Workpieces", "min_volume")])
+        db.define_delta(
+            ("Workpieces", "min_volume"),
+            aggregate=min_of(lambda c: c.volume()),
+        )
+        key = (fixture.workpieces.oid,)
+        fid = "Workpieces.min_volume"
+        fixture.workpieces.insert(fixture.cuboids[2])  # min 100, support 1
+        assert gmr.support_state(key, fid) == {"support": 1}
+
+        path = os.path.join(tmp_path, "checkpoint.json")
+        checkpoint(db, path)
+        db.close()
+
+        fresh = ObjectBase(config=MaterializationConfig(maintenance="delta"))
+        build_geometry_schema(fresh)
+        make(fresh)
+        recover(fresh, path, None)
+        recovered = fresh.gmr_manager.gmr_of("Workpieces.min_volume")
+        assert recovered.support_state(key, fid) == {"support": 1}
+        assert recovered.result(key, fid) == (pytest.approx(100.0), True)
+
+        # Deltas are runtime declarations — re-declare and keep patching
+        # from the recovered support state.
+        fresh.define_delta(
+            ("Workpieces", "min_volume"),
+            aggregate=min_of(lambda c: c.volume()),
+        )
+        workpieces = fresh.handle(key[0])
+        cuboid = fresh.handle(fixture.cuboids[2].oid)
+        workpieces.remove(cuboid)  # last witness → forward rederive
+        assert recovered.result(key, fid) == (pytest.approx(200.0), True)
+        assert fresh.gmr_manager.stats.delta_rederivations == 1
+        assert recovered.check_consistency(fresh) == []
+
+    def test_recovery_without_declarations_downgrades_safely(self, tmp_path):
+        """WAL/checkpoint replay without re-declared deltas must not
+        leave stale rows: updates invalidate instead of patching."""
+        from repro.persistence import checkpoint, recover
+
+        db, fixture = _delta_db()
+        gmr = db.materialize([("Workpieces", "total_volume")])
+        define_geometry_deltas(db)
+        fixture.workpieces.insert(fixture.cuboids[2])
+        path = os.path.join(tmp_path, "checkpoint.json")
+        checkpoint(db, path)
+        db.close()
+
+        fresh = ObjectBase(config=MaterializationConfig(maintenance="delta"))
+        build_geometry_schema(fresh)
+        recover(fresh, path, None)
+        recovered = fresh.gmr_manager.gmr_of("Workpieces.total_volume")
+        key = (fixture.workpieces.oid,)
+        workpieces = fresh.handle(key[0])
+        # Checkpoints round-trip the manager counters; only the *new*
+        # update matters here, so compare against the recovered baseline.
+        patches0 = fresh.gmr_manager.stats.delta_patches
+        workpieces.remove(fresh.handle(fixture.cuboids[0].oid))
+        assert fresh.gmr_manager.stats.delta_patches == patches0
+        value, valid = recovered.result(key, ARGS_FID)
+        assert valid and value == pytest.approx(300.0)
+        assert recovered.check_consistency(fresh) == []
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", [Strategy.LAZY, Strategy.DEFERRED])
+    def test_patch_keeps_entry_valid_under_lazy_strategies(self, strategy):
+        """A patched entry stays VALID even under strategies that would
+        otherwise leave it invalid until the next access."""
+        db, fixture = _delta_db()
+        gmr = db.materialize([("Workpieces", "total_volume")], strategy=strategy)
+        db.quiesce(10.0)
+        define_geometry_deltas(db)
+        key = (fixture.workpieces.oid,)
+        fixture.workpieces.insert(fixture.cuboids[2])
+        assert gmr.entry_state(key, ARGS_FID) == "valid"
+        assert gmr.result(key, ARGS_FID) == (pytest.approx(600.0), True)
+        assert db.gmr_manager.stats.delta_patches == 1
