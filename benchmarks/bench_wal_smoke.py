@@ -91,3 +91,66 @@ def test_smoke_wal_replay_at_benchmark_scale(benchmark, tmp_path):
     left, right = base_state(recovered), base_state(live)
     for key in left:
         assert left[key] == right[key], f"recovery diverged in {key!r}"
+
+
+def _scheduler_with_queue(entries: int):
+    """A detached scheduler holding ``entries`` queued invalidations."""
+    from types import SimpleNamespace
+
+    from repro.core.scheduler import RevalidationScheduler
+
+    manager = SimpleNamespace(_now=lambda: 0.0, _obs_on=False)
+    scheduler = RevalidationScheduler(manager)
+    scheduler.restore_state(
+        {
+            "heap": [
+                (-1, i, "Cuboid.volume", (i, i + 1)) for i in range(entries)
+            ],
+            "delayed": [
+                (0.5, entries + i, "Cuboid.weight", (i,))
+                for i in range(entries // 4)
+            ],
+            "attempts": [
+                ("Cuboid.volume", (i, i + 1), 1) for i in range(entries // 4)
+            ],
+            "seq": entries * 2,
+            "frequency": {"Cuboid.volume": 3},
+        }
+    )
+    return scheduler
+
+
+def _dump_alloc_peak(scheduler) -> int:
+    import tracemalloc
+
+    scheduler.dump_state()  # warm any lazy state outside the window
+    tracemalloc.start()
+    scheduler.dump_state()
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def test_smoke_scheduler_dump_allocates_linearly():
+    """Checkpoint dumps hand out the queue's immutable tuples as-is.
+
+    ``dump_state`` used to rebuild ``list(args)`` per entry, so every
+    WAL checkpoint allocated a throwaway copy of each queued argument
+    list.  Pin the fixed allocation profile from both ends: scaling the
+    queue 8x must scale dump allocations by no more than the same
+    factor (plus measurement slack), and the per-entry footprint must
+    stay below what any per-entry args copy would cost.
+    """
+    small, large = 500, 4000
+    peak_small = _dump_alloc_peak(_scheduler_with_queue(small))
+    peak_large = _dump_alloc_peak(_scheduler_with_queue(large))
+    ratio = large / small
+    assert peak_large <= peak_small * ratio * 1.5, (
+        f"dump allocations grew superlinearly: {peak_small}B for {small} "
+        f"entries vs {peak_large}B for {large}"
+    )
+    # 1.5 queued entries per heap entry (heap + delayed/attempts at a
+    # quarter each); a reintroduced per-entry ``list(args)`` copy costs
+    # >= 56 bytes of list header alone, which blows this bound.
+    per_entry = peak_large / (large * 1.5)
+    assert per_entry < 96.0, f"{per_entry:.1f}B per dumped entry"

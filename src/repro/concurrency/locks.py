@@ -4,10 +4,17 @@ Sec. 4.1's insight is that invalidation/rematerialization must not lock
 the argument *objects* (that would serialize the object base behind
 every maintenance transaction) but only the GMR entry being refreshed.
 ``StripedRWLock`` implements that: a fixed table of reader-writer locks
-indexed by ``hash(args) % stripes``.  Two different entries almost
-always map to different stripes, so a forward query reading a valid
-entry proceeds concurrently with a rematerialization of another entry;
-collisions only cost spurious blocking, never correctness.
+indexed by ``stable_hash(args) % stripes``.  Two different entries
+almost always map to different stripes, so a forward query reading a
+valid entry proceeds concurrently with a rematerialization of another
+entry; collisions only cost spurious blocking, never correctness.
+
+The stripe index deliberately uses the same ``stable_hash`` that routes
+entries to shards and WAL schedulers — *not* the builtin ``hash``,
+whose string hashing is randomized per process (PYTHONHASHSEED).  With
+the builtin hash two runs of the same workload would spread the same
+keys over different stripes, making contention profiles unreproducible
+and stripe-assignment assertions impossible to pin in tests.
 
 ``RWLock`` is a classic condition-variable lock with writer preference
 (an arriving writer blocks new readers), which keeps rematerializations
@@ -97,17 +104,22 @@ class StripedRWLock:
         if stripes < 1:
             raise ValueError("StripedRWLock needs at least one stripe")
         self._stripes = tuple(RWLock() for _ in range(stripes))
+        # Imported here, not at module scope: repro.util.interning pulls
+        # in the sharding/GOM layers, which import this module back.
+        from repro.util.interning import interned_hash
+
+        self._hash = interned_hash
 
     def _stripe(self, key: object) -> RWLock:
-        return self._stripes[hash(key) % len(self._stripes)]
+        return self._stripes[self._hash(key) % len(self._stripes)]
 
     def read(self, key: object):
         """Context manager holding the read side of ``key``'s stripe."""
-        return self._stripes[hash(key) % len(self._stripes)].read()
+        return self._stripes[self._hash(key) % len(self._stripes)].read()
 
     def write(self, key: object):
         """Context manager holding the write side of ``key``'s stripe."""
-        return self._stripes[hash(key) % len(self._stripes)].write()
+        return self._stripes[self._hash(key) % len(self._stripes)].write()
 
     def __len__(self) -> int:
         return len(self._stripes)

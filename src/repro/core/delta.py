@@ -290,7 +290,6 @@ class DeltaEngine:
     ) -> bool:
         manager = self._manager
         db = manager._db
-        column = gmr.column_of(fid)
         handler = spec.handlers.get(key)
         aggregate = spec.aggregate if key in spec.aggregate_keys else None
         if handler is None and aggregate is None:
@@ -302,19 +301,18 @@ class DeltaEngine:
         )
         ok = True
         for args in manager._rrr_args_of(oid, fid):
-            row = gmr.lookup(args)
-            if row is None:
+            old, valid, error, exists = gmr.entry_cell(args, fid)
+            if not exists:
                 manager._rrr_remove(oid, fid, args)  # blind reference
                 continue
-            if row.error[column]:
+            if error:
                 # Never resurrect an ERROR entry from a patch: hand it
                 # to the retry scheduler and keep the entry as is.
                 manager._scheduler_for(args).schedule(gmr, fid, args)
                 self._note_fallback(fid, args, "error entry")
                 continue
-            if not row.valid[column]:
+            if not valid:
                 continue  # already invalid; the next access recomputes
-            old = row.results[column]
             epoch0 = db._write_epoch
             support: Mapping[str, Any] | None = None
             try:

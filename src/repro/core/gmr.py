@@ -29,7 +29,7 @@ from repro.core.function_registry import FunctionInfo
 from repro.core.restricted import RestrictionSpec
 from repro.core.strategies import Strategy
 from repro.errors import GMRDefinitionError
-from repro.storage.gmr_store import GMRRow, GMRStore
+from repro.storage.gmr_store import ColumnarGMRStore, GMRRow, GMRStore
 from repro.util.tables import format_table
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +52,7 @@ class GMR:
         name: str | None = None,
         capacity: int | None = None,
         row_placement: str = "separate",
+        layout: str = "rows",
     ) -> None:
         if not functions:
             raise GMRDefinitionError("a GMR needs at least one function")
@@ -98,7 +99,16 @@ class GMR:
                 f"(use 'separate' or 'with_arguments')"
             )
         self.row_placement = row_placement
-        self.store = GMRStore(
+        if layout == "rows":
+            store_cls = GMRStore
+        elif layout == "columnar":
+            store_cls = ColumnarGMRStore
+        else:
+            raise GMRDefinitionError(
+                f"unknown GMR layout {layout!r} (use 'rows' or 'columnar')"
+            )
+        self.layout = layout
+        self.store = store_cls(
             self.name,
             arg_count=len(arg_types),
             fct_count=len(functions),
@@ -216,23 +226,61 @@ class GMR:
     def set_support_state(self, args: tuple, fid: str, state: dict | None) -> None:
         self.store.set_support_state(args, self.column_of(fid), state)
 
+    def probe(self, args: tuple, fid: str) -> tuple[Any, bool, bool]:
+        """One cell of one entry: ``(value, valid, exists)``.
+
+        The forward-query fast path — equivalent to :meth:`lookup` plus
+        column reads, but the columnar layout answers it without
+        constructing a row view.  Keeps LRU recency exactly like
+        :meth:`lookup`.
+        """
+        cell = self.store.probe(args, self.column_of(fid))
+        if cell[2] and self.capacity is not None:
+            self._touch_recency(args)
+        return cell
+
+    def entry_cell(self, args: tuple, fid: str) -> tuple[Any, bool, bool, bool]:
+        """``(value, valid, error, exists)`` — :meth:`probe` plus the
+        ERROR flag, for the delta engine's cell reads."""
+        cell = self.store.entry_cell(args, self.column_of(fid))
+        if cell[3] and self.capacity is not None:
+            self._touch_recency(args)
+        return cell
+
+    def lookup_many(
+        self, args_list: list[tuple], fid: str
+    ) -> list[tuple[Any, bool, bool]]:
+        """Vectorized :meth:`probe` over a batch of argument tuples."""
+        cells = self.store.lookup_many(args_list, self.column_of(fid))
+        if self.capacity is not None:
+            for args, cell in zip(args_list, cells):
+                if cell[2]:
+                    self._touch_recency(args)
+        return cells
+
+    def mark_invalid_many(self, args_iter, fid: str) -> list[tuple]:
+        """Batch :meth:`mark_invalid`; returns the args that transitioned."""
+        return self.store.mark_invalid_many(self.column_of(fid), args_iter)
+
     def result(self, args: tuple, fid: str) -> tuple[Any, bool]:
         """``(value, valid)`` for one entry; raises if the row is absent."""
-        row = self.store.get(args)
-        if row is None:
+        value, valid, _error, exists = self.store.entry_cell(
+            args, self.column_of(fid)
+        )
+        if not exists:
             raise GMRDefinitionError(f"{self.name} has no entry for {args!r}")
-        column = self.column_of(fid)
-        return row.results[column], row.valid[column]
+        return value, valid
 
     def entry_state(self, args: tuple, fid: str) -> str:
         """``"valid"`` / ``"invalid"`` / ``"error"`` / ``"missing"``."""
-        row = self.store.get(args)
-        if row is None:
+        _value, valid, error, exists = self.store.entry_cell(
+            args, self.column_of(fid)
+        )
+        if not exists:
             return "missing"
-        column = self.column_of(fid)
-        if row.valid[column]:
+        if valid:
             return "valid"
-        return "error" if row.error[column] else "invalid"
+        return "error" if error else "invalid"
 
     def invalid_args(self, fid: str) -> set[tuple]:
         return self.store.invalid_args(self.column_of(fid))

@@ -29,6 +29,7 @@ from itertools import product
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.concurrency.sharding import ShardCommitConflict, shard_of
+from repro.util.interning import interned_shard_of
 
 from repro.core.batch import (
     CreateEvent,
@@ -351,7 +352,8 @@ class GMRManager:
         schedulers = self.schedulers
         if len(schedulers) == 1:
             return self.scheduler
-        return schedulers[shard_of(args, self._shards)]
+        # interned_shard_of == shard_of with the CRC cached per tuple.
+        return schedulers[interned_shard_of(args, self._shards)]
 
     def scheduler_pending_for(self, fid: str) -> int:
         """Queued entries of ``fid`` summed across every shard."""
@@ -525,6 +527,7 @@ class GMRManager:
         populate: bool = True,
         capacity: int | None = None,
         row_placement: str = "separate",
+        layout: str | None = None,
     ) -> GMR:
         """Create the GMR ``⟨⟨f1, ..., fm⟩⟩`` and (optionally) populate it.
 
@@ -533,10 +536,13 @@ class GMRManager:
         objects.  ``complete=False`` creates an incrementally set up GMR
         (a result cache, Sec. 3.2); ``capacity`` bounds such a cache with
         LRU replacement.  ``strategy=None`` uses the object base's
-        configured default (``db.config.strategy``).
+        configured default (``db.config.strategy``); ``layout=None``
+        likewise falls back to ``db.config.layout``.
         """
         if strategy is None:
             strategy = self._db.config.strategy
+        if layout is None:
+            layout = getattr(self._db.config, "layout", "rows")
         infos = [self._resolve_function(spec) for spec in functions]
         for info in infos:
             if info.fid in self._gmr_of_fid:
@@ -555,6 +561,7 @@ class GMRManager:
             name=name,
             capacity=capacity,
             row_placement=row_placement,
+            layout=layout,
         )
         if gmr.name in self._gmrs:
             raise GMRDefinitionError(f"a GMR named {gmr.name} already exists")
@@ -1055,6 +1062,20 @@ class GMRManager:
                 self._db.objects.get(oid).obj_dep_fct.discard(fid)
             return popped
 
+    def _rrr_pop_args_grouped(
+        self, oid: Oid, fids: Iterable[str]
+    ) -> dict[str, set[tuple]]:
+        """Grouped :meth:`_rrr_pop_args`: one latch acquisition and one
+        bucket walk for a whole invalidation wave."""
+        with self._rrr_latch:
+            popped = self._rrr.pop_args_grouped(oid, fids)
+            if self._db.objects.exists(oid):
+                obj_dep = self._db.objects.get(oid).obj_dep_fct
+                for fid, args_set in popped.items():
+                    if args_set:
+                        obj_dep.discard(fid)
+            return popped
+
     def _rrr_remove(self, oid: Oid, fid: str, args: tuple) -> None:
         with self._rrr_latch:
             last = self._rrr.remove(oid, fid, args)
@@ -1381,6 +1402,33 @@ class GMRManager:
         plans_on = self._plans_on
         if plans_on:
             self._check_plan_epoch()
+        # A *pure marks-only* wave — every relevant function dispatches
+        # to the LAZY/DEFERRED mark path, so nothing inside the loop can
+        # insert fresh RRR entries for a later fid — takes the grouped
+        # RRR probe: one latch acquisition and one bucket walk for the
+        # whole wave instead of a per-fid pop.  Any predicate or eager
+        # fid keeps the per-fid pops (their processing re-registers
+        # dependencies mid-wave, which grouped pre-popping would miss).
+        grouped: dict[str, set[tuple]] | None = None
+        if self.rrr_policy != "second_chance" and len(relevant) > 1:
+            pure_marks = True
+            for fid in relevant:
+                if plans_on:
+                    plan = self._fid_plan(fid)
+                    if plan is not None and (
+                        plan.is_predicate or not plan.marks_only
+                    ):
+                        pure_marks = False
+                        break
+                else:
+                    gmr = self._gmr_of_fid.get(fid)
+                    if gmr is not None and (
+                        fid == gmr.predicate_fid or not gmr.strategy.marks_only
+                    ):
+                        pure_marks = False
+                        break
+            if pure_marks:
+                grouped = self._rrr_pop_args_grouped(oid, relevant)
         try:
             for fid in relevant:
                 if self.rrr_policy == "second_chance":
@@ -1391,6 +1439,8 @@ class GMRManager:
                         self._rrr.pop_marked(oid, fid)
                         args_set = self._rrr.mark_all(oid, fid)
                     self._sync_obj_dep(oid)
+                elif grouped is not None:
+                    args_set = grouped[fid]
                 else:
                     args_set = self._rrr_pop_args(oid, fid)
                 probes += 1
@@ -1418,14 +1468,19 @@ class GMRManager:
                         self._predicate_update_safe(gmr, args)
                         affected += 1
                 elif marks_only:
-                    for args in args_set:
-                        # A missing row is a blind reference (Sec. 4.2):
-                        # the popped entry was the stale leftover; nothing
-                        # to do.
-                        if gmr.mark_invalid(args, fid) and deferred:
+                    # A missing row is a blind reference (Sec. 4.2): the
+                    # popped entry was the stale leftover; nothing to do.
+                    # ``mark_invalid_many`` resolves the batch in one
+                    # pass (columnar: over the flag arrays) and returns
+                    # the entries that actually transitioned.
+                    changed = gmr.mark_invalid_many(args_set, fid)
+                    if deferred:
+                        for args in changed:
                             self._scheduler_for(args).schedule(gmr, fid, args)
-                        self._note(fid, args, f"invalidated via={via}")
-                        affected += 1
+                    reason = f"invalidated via={via}"
+                    for args in args_set:
+                        self._note(fid, args, reason)
+                    affected += len(args_set)
                 else:
                     for args in args_set:
                         if gmr.lookup(args) is None:
@@ -1769,20 +1824,18 @@ class GMRManager:
             gmr = self._gmr_of_fid.get(fid)
             if gmr is None:
                 continue
-            column = gmr.column_of(fid)
             receiver = db.handle(oid)
             wrapped = tuple(
                 db.handle(argument) if isinstance(argument, Oid) else argument
                 for argument in update_args
             )
             for args in self._rrr_args_of(oid, fid):
-                row = gmr.lookup(args)
-                if row is None:
+                old, valid, _error, exists = gmr.entry_cell(args, fid)
+                if not exists:
                     self._rrr_remove(oid, fid, args)  # blind reference
                     continue
-                if not row.valid[column]:
+                if not valid:
                     continue  # already invalid; the next access recomputes
-                old = row.results[column]
                 with db.materialization_scope():
                     with db.trace() as tracer:
                         new_value = entry.action(receiver, *wrapped, old)
@@ -1873,15 +1926,15 @@ class GMRManager:
                 locks = store.locks
                 if locks is not None:
                     with locks.read(args):
-                        row = store.get(args)
-                        if row is not None and row.valid[column]:
+                        value, valid, _exists = store.probe(args, column)
+                        if valid:
                             self.stats.forward_hits += 1
-                            return row.results[column]
+                            return value
                 else:  # pragma: no cover - locks always armed in MT mode
-                    row = store.get(args)
-                    if row is not None and row.valid[column]:
+                    value, valid, _exists = store.probe(args, column)
+                    if valid:
                         self.stats.forward_hits += 1
-                        return row.results[column]
+                        return value
         with self._maint_lock:
             if self.batching:
                 self.flush_batch()
@@ -1898,11 +1951,10 @@ class GMRManager:
         ):
             self.stats.degraded_forward_calls += 1
             return self._degraded_value(gmr, fid, args)
-        column = gmr.column_of(fid)
-        row = gmr.lookup(args)
-        if row is not None and row.valid[column]:
+        value, valid, exists = gmr.probe(args, fid)
+        if valid:
             self.stats.forward_hits += 1
-            return row.results[column]
+            return value
         if self._db.health.read_only:
             # Storage degraded (Sec. 3.2 transparency): a valid entry was
             # served above, but rematerializing this one would commit a
@@ -1911,11 +1963,11 @@ class GMRManager:
             self.stats.degraded_forward_calls += 1
             return self._degraded_value(gmr, fid, args)
         self.stats.forward_computes += 1
-        if row is None and gmr.strategy is Strategy.SNAPSHOT:
+        if not exists and gmr.strategy is Strategy.SNAPSHOT:
             # Created after the last refresh: answer with the normal
             # function; the snapshot extension stays fixed.
             return self._db.call_function(gmr.function(fid), args)
-        if row is None and gmr.is_restricted:
+        if not exists and gmr.is_restricted:
             try:
                 admitted = self._evaluate_predicate(gmr, args)
             except (FunctionExecutionError, FunctionQuarantinedError):
@@ -1951,11 +2003,11 @@ class GMRManager:
             ]
             for oid, fid, args in stale:
                 self._rrr_remove(oid, fid, args)
+            deferred = gmr.strategy is Strategy.DEFERRED
             for fid in gmr.fids:
-                for args in gmr.args():
-                    if gmr.mark_invalid(args, fid) and (
-                        gmr.strategy is Strategy.DEFERRED
-                    ):
+                changed = gmr.mark_invalid_many(gmr.args(), fid)
+                if deferred:
+                    for args in changed:
                         self._scheduler_for(args).schedule(gmr, fid, args)
 
     def revalidate(self, gmr: GMR, fid: str | None = None) -> int:

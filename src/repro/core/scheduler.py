@@ -290,17 +290,19 @@ class RevalidationScheduler:
         """
         with self._lock:
             now = self._manager._now()
+            # The heap entries are immutable tuples — hand them out as-is
+            # (one shallow list copy for the whole heap).  Rebuilding
+            # ``list(args)`` per entry made every dump allocate O(entries)
+            # throwaway lists on the checkpoint path; the WAL smoke
+            # benchmark pins the allocation profile.
             return {
-                "heap": [
-                    [priority, seq, fid, list(args)]
-                    for priority, seq, fid, args in self._heap
-                ],
+                "heap": list(self._heap),
                 "delayed": [
-                    [max(0.0, eligible_at - now), seq, fid, list(args)]
+                    (max(0.0, eligible_at - now), seq, fid, args)
                     for eligible_at, seq, fid, args in self._delayed
                 ],
                 "attempts": [
-                    [fid, list(args), count]
+                    (fid, args, count)
                     for (fid, args), count in self._attempts.items()
                 ],
                 "seq": self._seq,
@@ -464,8 +466,8 @@ class RevalidationScheduler:
                     manager.stats.scheduler_revalidations += 1
                     drained += 1
                 continue
-            row = gmr.lookup(args)
-            if row is None or row.valid[gmr.column_of(fid)]:
+            _value, valid, exists = gmr.probe(args, fid)
+            if not exists or valid:
                 self._drop_attempts(key)
                 continue  # row removed or already revalidated on demand
             if not manager._args_alive(args):

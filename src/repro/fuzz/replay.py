@@ -69,8 +69,15 @@ def _approx_equal(a: Any, b: Any) -> bool:
     functions over the same object states); only *accumulated* floats
     (aggregate sums over differently-ordered domains) may drift by an
     ulp, which is what the tolerance absorbs.
+
+    NaN compares equal to NaN here.  Two replays of the same script
+    produce *distinct* NaN objects; ``math.isclose(nan, nan)`` is False,
+    so without the explicit check an aggregate that legitimately yields
+    NaN on both sides would be reported as a divergence.
     """
     if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
         return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
     if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
         return len(a) == len(b) and all(
@@ -148,6 +155,12 @@ class Replayer:
             items = [self._canonical(item) for item in value]
             items.sort(key=repr)
             return {"$set": items}
+        if isinstance(value, float) and math.isnan(value):
+            # Canonical NaN token: distinct NaN objects are unequal (and
+            # container equality's identity shortcut makes the result
+            # depend on *which* NaN object ended up where), so digests
+            # holding raw NaN floats would never compare stably.
+            return {"$nan": True}
         if value is None or isinstance(value, (bool, int, float, str)):
             return value
         if hasattr(value, "dep") and hasattr(value, "proj"):

@@ -132,6 +132,14 @@ class MaterializationConfig:
     #: falling back to compensation and then invalidation per the
     #: lattice in ``docs/DESIGN.md``.
     maintenance: str = "compensate"
+    #: Physical GMR layout.  ``"rows"`` (the default) keeps the per-row
+    #: object store bit-for-bit; ``"columnar"`` stores every extension
+    #: as struct-of-arrays (:class:`~repro.storage.gmr_store.ColumnarGMRStore`)
+    #: — interned-OID key columns, per-function result/flag arrays, and
+    #: vectorized batch probes on the forward-query and invalidation hot
+    #: paths.  Identical semantics (held by the layout axis of the fuzz
+    #: matrix); see ``docs/PERFORMANCE.md`` for when columnar wins.
+    layout: str = "rows"
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -142,6 +150,10 @@ class MaterializationConfig:
             raise ValueError(
                 "maintenance must be one of 'recompute', 'compensate', "
                 f"'delta'; got {self.maintenance!r}"
+            )
+        if self.layout not in ("rows", "columnar"):
+            raise ValueError(
+                f"layout must be 'rows' or 'columnar'; got {self.layout!r}"
             )
 
 

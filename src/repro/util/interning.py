@@ -1,0 +1,112 @@
+"""The OID intern table: dense ids plus a shared ``stable_hash`` cache.
+
+The columnar GMR layout stores argument columns as arrays of small
+integers instead of Python object references; this module owns the
+mapping.  Interning buys two things:
+
+* **Compact columns.**  An interned argument cell is one machine word
+  (an index into the table), so the simulated page footprint of a key
+  column is 8 bytes per argument instead of a full row field.
+
+* **One hash, computed once.**  ``stable_hash`` (the CRC32 of a
+  canonical type-tagged encoding, :mod:`repro.concurrency.sharding`)
+  is what both the shard router and the striped GMR-entry lock table
+  key on.  It is a pure function of the value, so the intern table
+  memoizes it: the first time an argument tuple is routed its hash is
+  computed and cached; every later shard lookup or stripe acquisition
+  for the same tuple is a dict hit.  The cached values are *identical*
+  to ``stable_hash`` — the cache never changes routing, only cost.
+
+The table is process-global (:data:`INTERN`): every GMR shares one id
+space, exactly like every GMR shares one entry-lock table.  The
+per-tuple hash cache is bounded (cleared wholesale at
+:data:`_TUPLE_CACHE_LIMIT`) so long-running bases with churning
+extensions cannot grow it without bound; the per-element table grows
+with the set of distinct argument values, which is bounded by the
+object population.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.concurrency.sharding import stable_hash
+
+#: Wholesale-clear threshold of the per-tuple hash cache.
+_TUPLE_CACHE_LIMIT = 65536
+
+
+class InternTable:
+    """Dense integer ids for argument values, with cached stable hashes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids: dict[Any, int] = {}
+        self._values: list[Any] = []
+        self._hashes: list[int] = []
+        self._tuple_hashes: dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern(self, value: Any) -> int:
+        """The dense id of ``value`` (allocating one on first sight)."""
+        iid = self._ids.get(value)
+        if iid is not None:
+            return iid
+        with self._lock:
+            iid = self._ids.get(value)
+            if iid is None:
+                iid = len(self._values)
+                self._values.append(value)
+                self._hashes.append(stable_hash(value))
+                self._ids[value] = iid
+            return iid
+
+    def value_of(self, iid: int) -> Any:
+        return self._values[iid]
+
+    def hash_of_id(self, iid: int) -> int:
+        """The cached ``stable_hash`` of an interned value."""
+        return self._hashes[iid]
+
+    def hash_of(self, value: Any) -> int:
+        """``stable_hash(value)``, memoized.
+
+        Tuples (GMR argument lists — the shard-router and stripe-lock
+        keys) go through a bounded per-tuple cache; scalars and OIDs go
+        through the intern table itself.
+        """
+        if isinstance(value, tuple):
+            cached = self._tuple_hashes.get(value)
+            if cached is not None:
+                return cached
+            computed = stable_hash(value)
+            with self._lock:
+                if len(self._tuple_hashes) >= _TUPLE_CACHE_LIMIT:
+                    self._tuple_hashes.clear()
+                self._tuple_hashes[value] = computed
+            return computed
+        return self._hashes[self.intern(value)]
+
+
+#: The process-global intern table shared by every columnar GMR store,
+#: the striped entry-lock layer and the shard router's hot path.
+INTERN = InternTable()
+
+
+def interned_hash(value: Any) -> int:
+    """``stable_hash(value)`` through the shared cache (same results)."""
+    return INTERN.hash_of(value)
+
+
+def interned_shard_of(args: Any, shards: int) -> int:
+    """:func:`repro.concurrency.sharding.shard_of`, cache-accelerated.
+
+    Bit-identical routing — only the CRC computation is skipped on a
+    cache hit.
+    """
+    if shards <= 1:
+        return 0
+    return INTERN.hash_of(args) % shards

@@ -1,0 +1,103 @@
+"""Entry-lock stripe assignment must not depend on PYTHONHASHSEED.
+
+The striped entry-lock table used to key its stripes on the builtin
+``hash(args)``.  Argument tuples routinely contain strings (and OIDs
+hash through their payload), so two runs of the same workload spread
+the same keys over *different* stripes whenever string hash
+randomization picked a different seed — contention profiles changed
+run to run and stripe assignment could not be pinned by a test at all.
+``StripedRWLock`` now keys on the same ``stable_hash`` that routes
+entries to shards and WAL schedulers.
+
+The subprocess test below is the regression proof: it recomputes stripe
+indices under several explicit ``PYTHONHASHSEED`` values and requires
+them identical (the builtin-hash version fails it on the string keys).
+The goldens pin the assignment itself, so an accidental change to the
+stripe function shows up as a diff here and not as an unexplained
+contention shift in the concurrency benchmarks.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.concurrency.locks import StripedRWLock
+from repro.concurrency.sharding import stable_hash
+from repro.gom.oid import Oid
+
+_KEYS = [
+    (Oid(1),),
+    (Oid(2),),
+    (Oid(7), Oid(41)),
+    ("volume", 3),
+    ("weight", 3),
+    (1, "x", 2.5),
+    (),
+]
+
+_SNIPPET = """
+import json, sys
+from repro.concurrency.locks import StripedRWLock
+from repro.gom.oid import Oid
+table = StripedRWLock(64)
+keys = [
+    (Oid(1),), (Oid(2),), (Oid(7), Oid(41)),
+    ("volume", 3), ("weight", 3), (1, "x", 2.5), (),
+]
+print(json.dumps([table._hash(key) % len(table) for key in keys]))
+"""
+
+
+def _stripes_under_seed(seed: str) -> list[int]:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=os.path.join(os.path.dirname(__file__), os.pardir, os.pardir),
+    ).stdout
+    return json.loads(output)
+
+
+class TestStripeStability:
+    def test_stripes_identical_across_hash_seeds(self):
+        """The PYTHONHASHSEED regression: same keys, same stripes, always."""
+        baseline = _stripes_under_seed("0")
+        for seed in ("1", "42", "random"):
+            assert _stripes_under_seed(seed) == baseline, (
+                f"stripe assignment changed under PYTHONHASHSEED={seed}"
+            )
+
+    def test_stripe_matches_stable_hash(self):
+        table = StripedRWLock(64)
+        for key in _KEYS:
+            assert table._stripe(key) is table._stripes[
+                stable_hash(key) % 64
+            ]
+
+    @pytest.mark.parametrize(
+        "key,stripe",
+        [(key, stable_hash(key) % 64) for key in _KEYS],
+    )
+    def test_golden_assignment(self, key, stripe):
+        # stable_hash values are pinned by the shard-router goldens;
+        # this pins that the lock table derives its stripe from them
+        # (stripes can only move together with a WAL format migration).
+        table = StripedRWLock(64)
+        assert table._stripe(key) is table._stripes[stripe]
+
+    def test_read_write_use_the_same_stripe(self):
+        table = StripedRWLock(8)
+        key = ("volume", 3)
+        with table.write(key):
+            other = table._stripes[(stable_hash(key) + 1) % 8]
+            with other.read():
+                pass  # a different stripe stays acquirable

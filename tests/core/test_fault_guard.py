@@ -249,7 +249,9 @@ class TestRetryBackoff:
         with pytest.raises(FunctionExecutionError):
             obj.double()
         state = manager.scheduler.dump_state()
-        assert state["attempts"] == [["T.double", [obj.oid], 1]]
+        # Dump hands out the immutable tuples directly (no per-entry
+        # list copies on the checkpoint path).
+        assert state["attempts"] == [("T.double", (obj.oid,), 1)]
         assert len(state["delayed"]) == 1
 
         manager.scheduler.clear()

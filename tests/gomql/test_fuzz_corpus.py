@@ -52,13 +52,14 @@ class TestCorpus:
     @pytest.mark.parametrize("name", CORPUS_FILES)
     def test_corpus_replay(self, name):
         script = corpus_script(name)
-        # A deterministic 24-config slice spanning every level and
-        # strategy, each point replayed both unsharded and with
-        # shards=4 (the shards axis is the innermost matrix factor, so
-        # index i+1 is i's sharded sibling); the nightly job covers the
-        # full 192.
+        # A deterministic 48-config slice spanning every level and
+        # strategy.  Shards is the innermost matrix factor and layout
+        # the next one out, so stride-32 offsets pick physical-layout
+        # complements: offset 0 replays rows/unsharded, offset 3
+        # (3 % 2 → shards=4, 3 // 2 % 2 → columnar) replays the
+        # columnar store sharded.  The nightly job covers the full 768.
         matrix = all_configs()
-        configs = matrix[::16] + matrix[1::16]
+        configs = matrix[::32] + matrix[3::32]
         failures = check_script(script, configs)
         assert not failures, "\n".join(str(f) for f in failures)
 
